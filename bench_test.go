@@ -1,0 +1,599 @@
+package strudel_test
+
+// The benchmark harness regenerates the performance side of every
+// table and figure in the paper's evaluation (see DESIGN.md Sec. 4 and
+// EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/experiments prints the corresponding tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"strudel/internal/baseline/procedural"
+	"strudel/internal/baseline/relational"
+	"strudel/internal/core"
+	"strudel/internal/graph"
+	"strudel/internal/incremental"
+	"strudel/internal/mediator"
+	"strudel/internal/optimizer"
+	"strudel/internal/repository"
+	"strudel/internal/schema"
+	"strudel/internal/sitegen"
+	"strudel/internal/struql"
+	"strudel/internal/template"
+	"strudel/internal/workload"
+	"strudel/internal/wrapper"
+)
+
+// buildSpec assembles a core builder for a workload spec over a data
+// graph.
+func buildSpec(b *testing.B, spec *workload.SiteSpec, data *graph.Graph) *core.Builder {
+	b.Helper()
+	cb := core.NewBuilder(spec.Name)
+	cb.SetDataGraph(data)
+	if err := cb.AddQuery(spec.Query); err != nil {
+		b.Fatal(err)
+	}
+	cb.AddTemplates(spec.Templates)
+	for k := range spec.EmbedOnly {
+		cb.SetEmbedOnly(k)
+	}
+	cb.SetIndex(spec.Index)
+	cb.SetRootCollection(spec.RootCollection)
+	return cb
+}
+
+// BenchmarkSiteStatistics (paper Sec. 5.1, table T1 in EXPERIMENTS.md)
+// builds the three experience-report sites at the paper's scales and
+// reports the per-site statistics alongside build time.
+func BenchmarkSiteStatistics(b *testing.B) {
+	cases := []struct {
+		name string
+		spec *workload.SiteSpec
+		data *graph.Graph
+	}{
+		{"homepage-30pubs", workload.BibliographySpec(), workload.Bibliography(30, 42)},
+		{"cnn-300articles", workload.ArticleSpec(false), workload.Articles(300, 1997)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var pages int
+			for i := 0; i < b.N; i++ {
+				res, err := buildSpec(b, c.spec, c.data).Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages = res.Stats.Pages
+			}
+			b.ReportMetric(float64(pages), "pages")
+			b.ReportMetric(float64(c.spec.QueryLines()), "query-lines")
+			b.ReportMetric(float64(c.spec.TemplateLines()), "template-lines")
+		})
+	}
+	b.Run("org-400people", func(b *testing.B) {
+		src := workload.Organization(400, 40, 8, 7)
+		spec := workload.OrgSpec(false)
+		var pages int
+		for i := 0; i < b.N; i++ {
+			cb := core.NewBuilder(spec.Name)
+			cb.AddSource("people.csv", "csv", src.PeopleCSV)
+			cb.AddSource("departments.csv", "csv", src.DepartmentsCSV)
+			cb.AddSource("projects.txt", "structured", src.ProjectsTxt)
+			cb.AddSource("refs.bib", "bibtex", src.BibTeX)
+			if err := cb.AddQuery(spec.Query); err != nil {
+				b.Fatal(err)
+			}
+			cb.AddTemplates(spec.Templates)
+			cb.SetIndex(spec.Index)
+			res, err := cb.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			pages = res.Stats.Pages
+		}
+		b.ReportMetric(float64(pages), "pages")
+		b.ReportMetric(float64(spec.QueryLines()), "query-lines")
+		b.ReportMetric(float64(spec.TemplateLines()), "template-lines")
+	})
+}
+
+// BenchmarkMultiVersion (T2) measures the cost of producing a site
+// variant from the same data: the sports-only CNN site (two extra
+// predicates, shared templates) and the external org site (same
+// query, five changed templates).
+func BenchmarkMultiVersion(b *testing.B) {
+	articles := workload.Articles(300, 1997)
+	b.Run("cnn-sports-variant", func(b *testing.B) {
+		spec := workload.ArticleSpec(true)
+		for i := 0; i < b.N; i++ {
+			if _, err := buildSpec(b, spec, articles).Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("org-external-variant", func(b *testing.B) {
+		src := workload.Organization(120, 25, 6, 7)
+		spec := workload.OrgSpec(true)
+		for i := 0; i < b.N; i++ {
+			cb := core.NewBuilder(spec.Name)
+			cb.AddSource("people.csv", "csv", src.PeopleCSV)
+			cb.AddSource("departments.csv", "csv", src.DepartmentsCSV)
+			cb.AddSource("projects.txt", "structured", src.ProjectsTxt)
+			if err := cb.AddQuery(spec.Query); err != nil {
+				b.Fatal(err)
+			}
+			cb.AddTemplates(spec.Templates)
+			cb.SetIndex(spec.Index)
+			if _, err := cb.Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig8Suitability (F8) times the three tool classes of the
+// paper's Fig. 8 across the data-quantity axis. cmd/experiments prints
+// the full quadrant including the variant-effort axis.
+func BenchmarkFig8Suitability(b *testing.B) {
+	for _, n := range []int{30, 300} {
+		data := workload.Bibliography(n, 42)
+		b.Run(fmt.Sprintf("strudel-%d", n), func(b *testing.B) {
+			spec := workload.BibliographySpec()
+			for i := 0; i < b.N; i++ {
+				if _, err := buildSpec(b, spec, data).Build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("procedural-%d", n), func(b *testing.B) {
+			prog := procedural.BibliographySite()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Run(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("relational-%d", n), func(b *testing.B) {
+			schemaCols := relational.MaximalSchema(data, "Publications")
+			for i := 0; i < b.N; i++ {
+				db := relational.NewDB()
+				table, err := db.LoadCollection(data, "Publications", schemaCols, []string{"author", "category"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages := relational.PageSpec{
+					Table: table, PathCol: "id", Title: "Publication",
+					BodyCols: []string{"title", "year", "journal", "booktitle"},
+				}.GeneratePages()
+				if len(pages) != n {
+					b.Fatalf("pages = %d", len(pages))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaterializeVsDynamic (E4) compares complete materialization
+// against click-time evaluation: total build cost vs first-click
+// latency, at growing corpus sizes.
+func BenchmarkMaterializeVsDynamic(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		data := workload.Articles(n, 5)
+		spec := workload.ArticleSpec(false)
+		b.Run(fmt.Sprintf("materialize-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := buildSpec(b, spec, data).Build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("first-click-%d", n), func(b *testing.B) {
+			q := struql.MustParse(spec.Query)
+			for i := 0; i < b.N; i++ {
+				dec := incremental.Decompose(q, data, nil)
+				roots, err := dec.Roots(spec.RootCollection)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dec.Page(roots[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cached-click-%d", n), func(b *testing.B) {
+			q := struql.MustParse(spec.Query)
+			dec := incremental.Decompose(q, data, nil)
+			roots, _ := dec.Roots(spec.RootCollection)
+			if _, err := dec.Page(roots[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.Page(roots[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizer (E5) compares the heuristic planner with the
+// cost-based planner exploiting indexes, on a query written in an
+// unfavourable syntactic order.
+func BenchmarkOptimizer(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		data := workloadPubGraph(n)
+		repo := repository.New("")
+		repo.Put(data)
+		idx := repo.Index(data.Name())
+		conds := struql.MustParse(
+			`WHERE Publications(x), x -> "year" -> y, x -> "category" -> c, c = "Cat3", y = 1995 COLLECT C(x)`,
+		).Root.Where
+		for name, planner := range map[string]func([]struql.Condition, *optimizer.Context) *optimizer.Plan{
+			"heuristic": optimizer.Heuristic,
+			"costbased": optimizer.CostBased,
+		} {
+			b.Run(fmt.Sprintf("%s-%d", name, n), func(b *testing.B) {
+				ctx := &optimizer.Context{Graph: data, Index: idx}
+				for i := 0; i < b.N; i++ {
+					plan := planner(conds, ctx)
+					if _, err := plan.Execute(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// workloadPubGraph builds the optimizer benchmark graph.
+func workloadPubGraph(n int) *graph.Graph {
+	g := graph.New("data")
+	for i := 0; i < n; i++ {
+		p := g.NewNode(fmt.Sprintf("pub%d", i))
+		g.AddToCollection("Publications", graph.NodeValue(p))
+		g.AddEdge(p, "year", graph.Int(int64(1990+i%10)))
+		g.AddEdge(p, "category", graph.Str(fmt.Sprintf("Cat%d", i%50)))
+		g.AddEdge(p, "title", graph.Str(fmt.Sprintf("Title %d", i)))
+	}
+	return g
+}
+
+// BenchmarkIndexAblation (E6) measures the repository's full-indexing
+// trade-off: index build (maintenance) cost vs the speedup of a
+// value lookup, with and without indexes.
+func BenchmarkIndexAblation(b *testing.B) {
+	data := workloadPubGraph(10000)
+	b.Run("build-indexes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repository.BuildIndex(data)
+		}
+	})
+	conds := struql.MustParse(`WHERE x -> "year" -> 1995 COLLECT C(x)`).Root.Where
+	repo := repository.New("")
+	repo.Put(data)
+	idx := repo.Index(data.Name())
+	b.Run("value-lookup-indexed", func(b *testing.B) {
+		ctx := &optimizer.Context{Graph: data, Index: idx}
+		for i := 0; i < b.N; i++ {
+			plan := optimizer.CostBased(conds, ctx)
+			rows, err := plan.Execute(ctx)
+			if err != nil || len(rows) != 1000 {
+				b.Fatalf("rows=%d err=%v", len(rows), err)
+			}
+		}
+	})
+	b.Run("value-lookup-scan", func(b *testing.B) {
+		ctx := &optimizer.Context{Graph: data, Index: nil}
+		for i := 0; i < b.N; i++ {
+			plan := optimizer.CostBased(conds, ctx)
+			rows, err := plan.Execute(ctx)
+			if err != nil || len(rows) != 1000 {
+				b.Fatalf("rows=%d err=%v", len(rows), err)
+			}
+		}
+	})
+}
+
+// BenchmarkTextOnly (E7) times the Sec. 3 graph-copy transformation.
+func BenchmarkTextOnly(b *testing.B) {
+	q := struql.MustParse(`
+WHERE Root(p), p -> * -> q, q -> l -> q2, not(isImageFile(q2))
+CREATE New(p), New(q), New(q2)
+LINK New(q) -> l -> New(q2)
+COLLECT TextOnlyRoot(New(p))`)
+	for _, n := range []int{50, 500} {
+		data := workload.Articles(n, 3)
+		front := data.NewNode("front")
+		data.AddToCollection("Root", graph.NodeValue(front))
+		for _, a := range data.Collection("Articles") {
+			data.AddEdge(front, "story", a)
+		}
+		b.Run(fmt.Sprintf("articles-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := struql.Eval(q, data, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerify (E8) times constraint verification on the schema
+// (data-independent) and on concrete site graphs of growing size.
+func BenchmarkVerify(b *testing.B) {
+	spec := workload.BibliographySpec()
+	q := struql.MustParse(spec.Query)
+	s := schema.Build(q)
+	constraints := []schema.Constraint{
+		schema.Reachable{Root: "RootPage"},
+		schema.MustLink{From: "YearPage", Label: "Paper", To: "PaperPresentation"},
+		schema.NoPath{From: "AbstractPage", To: "RootPage"},
+	}
+	b.Run("schema-level", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if errs := schema.VerifyAll(s, nil, constraints); len(errs) != 0 {
+				b.Fatal(errs)
+			}
+		}
+	})
+	for _, n := range []int{100, 1000} {
+		data := workload.Bibliography(n, 42)
+		res, err := struql.Eval(q, data, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("graph-level-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if errs := schema.VerifyAll(nil, res.Output, constraints); len(errs) != 0 {
+					b.Fatal(errs)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPathExpr ablates regular-path-expression evaluation: the
+// product-automaton traversal on a deep chain vs a wide star graph.
+func BenchmarkPathExpr(b *testing.B) {
+	shapes := map[string]*graph.Graph{}
+	chain := graph.New("chain")
+	prev := chain.NewNode("root")
+	chain.AddToCollection("Root", graph.NodeValue(prev))
+	for i := 0; i < 2000; i++ {
+		n := chain.NewNode("")
+		chain.AddEdge(prev, "next", graph.NodeValue(n))
+		prev = n
+	}
+	shapes["chain-2000"] = chain
+	star := graph.New("star")
+	hub := star.NewNode("root")
+	star.AddToCollection("Root", graph.NodeValue(hub))
+	for i := 0; i < 2000; i++ {
+		n := star.NewNode("")
+		star.AddEdge(hub, "spoke", graph.NodeValue(n))
+		star.AddEdge(n, "leaf", graph.Int(int64(i)))
+	}
+	shapes["star-2000"] = star
+	q := struql.MustParse(`WHERE Root(r), r -> * -> q COLLECT Reach(q)`)
+	for name, g := range shapes {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := struql.Eval(q, g, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSkolem ablates Skolem-node memoization: repeated
+// construction hitting the memo table.
+func BenchmarkSkolem(b *testing.B) {
+	data := workloadPubGraph(2000)
+	q := struql.MustParse(`
+WHERE Publications(x), x -> "year" -> y
+CREATE YearPage(y)
+LINK YearPage(y) -> "Paper" -> x`)
+	b.Run("eval-2000-pubs-10-pages", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := struql.Eval(q, data, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.NewNodes != 10 {
+				b.Fatalf("new nodes = %d", res.NewNodes)
+			}
+		}
+	})
+}
+
+// BenchmarkWrapperBibTeX times the BibTeX wrapper.
+func BenchmarkWrapperBibTeX(b *testing.B) {
+	src := workload.BibliographyBibTeX(500, 3)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		g := graph.New("BIBTEX")
+		if err := (wrapper.BibTeX{}).Wrap(g, "x", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTemplateExec times template evaluation on a presentation-
+// heavy page.
+func BenchmarkTemplateExec(b *testing.B) {
+	data := workload.Bibliography(200, 42)
+	spec := workload.BibliographySpec()
+	q := struql.MustParse(spec.Query)
+	res, err := struql.Eval(q, data, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := sitegen.New(res.Output, sitegen.Config{
+		Templates: spec.Templates,
+		EmbedOnly: map[string]bool{"PaperPresentation": true},
+		Index:     "RootPage",
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		site, err := gen.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(site.Pages) == 0 {
+			b.Fatal("no pages")
+		}
+	}
+}
+
+// BenchmarkPersistence times repository snapshot save/load.
+func BenchmarkPersistence(b *testing.B) {
+	data := workloadPubGraph(5000)
+	dir := b.TempDir()
+	repo := repository.New(dir)
+	repo.Put(data)
+	b.Run("save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := repo.Save(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := repo.Save(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("open", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repository.Open(dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTemplateParse times template compilation.
+func BenchmarkTemplateParse(b *testing.B) {
+	spec := workload.BibliographySpec()
+	srcs := map[string]string{}
+	for name, t := range spec.Templates {
+		srcs[name] = t.Source
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for name, src := range srcs {
+			if _, err := template.Parse(name, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExhaustivePlanning ablates plan enumeration: greedy
+// cost-based vs exhaustive branch-and-bound, planning time only.
+func BenchmarkExhaustivePlanning(b *testing.B) {
+	g := workloadPubGraph(1000)
+	repo := repository.New("")
+	repo.Put(g)
+	ctx := &optimizer.Context{Graph: g, Index: repo.Index(g.Name())}
+	conds := struql.MustParse(
+		`WHERE Publications(x), Publications(z), x -> "year" -> y, z -> "year" -> y, y = 1995, x != z COLLECT C(x)`,
+	).Root.Where
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			optimizer.CostBased(conds, ctx)
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			optimizer.Exhaustive(conds, ctx)
+		}
+	})
+}
+
+// BenchmarkMediationModes compares the warehousing prototype with the
+// virtual (query-time) integration mode over the organization sources.
+func BenchmarkMediationModes(b *testing.B) {
+	src := workload.Organization(100, 20, 5, 7)
+	newMediator := func() *mediator.Mediator {
+		m := mediator.New(repository.New(""), "Org")
+		m.AddSource("people.csv", "csv", src.PeopleCSV)
+		m.AddSource("departments.csv", "csv", src.DepartmentsCSV)
+		m.AddSource("projects.txt", "structured", src.ProjectsTxt)
+		return m
+	}
+	q := struql.MustParse(`WHERE People(p), p -> "dept" -> "dept1" COLLECT Out(p)`)
+	b.Run("warehouse-refresh-and-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := newMediator()
+			wh, err := m.Refresh()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := struql.Eval(q, wh, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warehouse-query-only", func(b *testing.B) {
+		m := newMediator()
+		wh, err := m.Refresh()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := struql.Eval(q, wh, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("virtual-query", func(b *testing.B) {
+		m := newMediator()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.VirtualQuery(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDataGuide times graph-schema extraction.
+func BenchmarkDataGuide(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		data := workload.Bibliography(n, 42)
+		b.Run(fmt.Sprintf("bibliography-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if schema.Extract(data).NumStates() == 0 {
+					b.Fatal("empty guide")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizedBuild compares end-to-end site builds with the
+// interpreter's greedy where stage vs the cost-based optimizer hook.
+func BenchmarkOptimizedBuild(b *testing.B) {
+	data := workload.Articles(300, 1997)
+	spec := workload.ArticleSpec(false)
+	b.Run("interpreter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := buildSpec(b, spec, data).Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimizer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cb := buildSpec(b, spec, data)
+			cb.EnableOptimizer()
+			if _, err := cb.Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

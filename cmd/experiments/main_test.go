@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// Smoke-run the fast experiments so the harness itself is covered.
+func TestFastExperiments(t *testing.T) {
+	for _, exp := range []struct {
+		name string
+		run  func() error
+	}{
+		{"F2", expF2}, {"F4", expF4}, {"F5", expF5},
+		{"T2", expT2}, {"E7", expE7}, {"E8", expE8},
+	} {
+		t.Run(exp.name, func(t *testing.T) {
+			if err := exp.run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+// Command siteschema prints the site schema of a StruQL
+// site-definition query (paper Sec. 3.2, Fig. 5) and optionally
+// verifies integrity constraints against it.
+//
+// Usage:
+//
+//	siteschema -query site.struql [-dot] [-withdata]
+//	siteschema -query site.struql -verify 'reachable RootPage' \
+//	           -verify 'forbid patent' -verify 'mustlink YearPage Paper PaperPresentation'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"strudel/internal/schema"
+	"strudel/internal/struql"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	queryFile := flag.String("query", "", "file containing the site-definition query")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT")
+	withData := flag.Bool("withdata", false, "include edges to the non-Skolem data node in DOT")
+	var verifies stringList
+	flag.Var(&verifies, "verify", "constraint to check (repeatable): 'reachable F' | 'forbid [F] L' | 'mustlink F L G' | 'nopath F G'")
+	flag.Parse()
+
+	if err := run(*queryFile, *dot, *withData, verifies); err != nil {
+		fmt.Fprintln(os.Stderr, "siteschema:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryFile string, dot, withData bool, verifies []string) error {
+	if queryFile == "" {
+		return fmt.Errorf("-query is required")
+	}
+	src, err := os.ReadFile(queryFile)
+	if err != nil {
+		return err
+	}
+	q, err := struql.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	s := schema.Build(q)
+	if dot {
+		s.DOT(os.Stdout, withData)
+	} else {
+		fmt.Print(s.String())
+	}
+	var constraints []schema.Constraint
+	for _, v := range verifies {
+		c, err := parseConstraint(v)
+		if err != nil {
+			return err
+		}
+		constraints = append(constraints, c)
+	}
+	if len(constraints) == 0 {
+		return nil
+	}
+	violations := schema.VerifyAll(s, nil, constraints)
+	for _, err := range violations {
+		fmt.Fprintln(os.Stderr, "violation:", err)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d constraint violation(s)", len(violations))
+	}
+	fmt.Println("all constraints hold on the site schema")
+	return nil
+}
+
+// parseConstraint parses the -verify mini-syntax.
+func parseConstraint(s string) (schema.Constraint, error) {
+	parts := strings.Fields(s)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("empty -verify")
+	}
+	switch parts[0] {
+	case "reachable":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("usage: reachable <RootFunc>")
+		}
+		return schema.Reachable{Root: parts[1]}, nil
+	case "forbid":
+		switch len(parts) {
+		case 2:
+			return schema.Forbid{Label: parts[1]}, nil
+		case 3:
+			return schema.Forbid{From: parts[1], Label: parts[2]}, nil
+		default:
+			return nil, fmt.Errorf("usage: forbid [FromFunc] <label>")
+		}
+	case "mustlink":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("usage: mustlink <FromFunc> <label> <ToFunc>")
+		}
+		return schema.MustLink{From: parts[1], Label: parts[2], To: parts[3]}, nil
+	case "nopath":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("usage: nopath <FromFunc> <ToFunc>")
+		}
+		return schema.NoPath{From: parts[1], To: parts[2]}, nil
+	default:
+		return nil, fmt.Errorf("unknown constraint kind %q", parts[0])
+	}
+}

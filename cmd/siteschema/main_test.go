@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strudel/internal/schema"
+)
+
+func queryFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "q.struql")
+	content := `
+CREATE Root()
+WHERE C(x)
+CREATE Page(x)
+LINK Root() -> "p" -> Page(x)
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPrintsSchema(t *testing.T) {
+	qf := queryFile(t)
+	if err := run(qf, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(qf, true, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(qf, true, true, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerify(t *testing.T) {
+	qf := queryFile(t)
+	if err := run(qf, false, false, []string{"reachable Root", "nopath Page Root"}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing constraint reports an error.
+	if err := run(qf, false, false, []string{"mustlink Page x Root"}); err == nil {
+		t.Error("violated constraint should fail")
+	}
+	if err := run(qf, false, false, []string{"gibberish"}); err == nil {
+		t.Error("bad constraint syntax should fail")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", false, false, nil); err == nil {
+		t.Error("missing -query should fail")
+	}
+	if err := run("/nonexistent", false, false, nil); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.struql")
+	os.WriteFile(bad, []byte("WHERE ((("), 0o644)
+	if err := run(bad, false, false, nil); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestParseConstraintKinds(t *testing.T) {
+	cases := map[string]any{
+		"reachable R":    schema.Reachable{},
+		"forbid l":       schema.Forbid{},
+		"forbid F l":     schema.Forbid{},
+		"mustlink A l B": schema.MustLink{},
+		"nopath A B":     schema.NoPath{},
+	}
+	for s := range cases {
+		if _, err := parseConstraint(s); err != nil {
+			t.Errorf("%q: %v", s, err)
+		}
+	}
+	for _, s := range []string{"", "reachable", "forbid", "mustlink A", "nopath A", "unknown x"} {
+		if _, err := parseConstraint(s); err == nil {
+			t.Errorf("%q should fail", s)
+		}
+	}
+}

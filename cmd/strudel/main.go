@@ -1,0 +1,304 @@
+// Command strudel builds and serves Web sites from a site manifest,
+// exercising the full architecture of the paper's Fig. 1.
+//
+// Usage:
+//
+//	strudel build -manifest site.manifest -out dir/
+//	strudel serve -manifest site.manifest -addr :8080 [-dynamic]
+//	strudel stats -manifest site.manifest
+//
+// A manifest is a line-oriented file (# comments allowed):
+//
+//	site      homepage
+//	source    refs.bib   bibtex      refs.bib
+//	mapping   map.struql
+//	query     site.struql
+//	template  RootPage   root.tpl
+//	embedonly PaperPresentation
+//	optimize
+//	index     RootPage
+//	roots     Roots
+//	constraint reachable RootPage
+//	constraint forbid patent
+//
+// Paths are relative to the manifest file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"strudel/internal/core"
+	"strudel/internal/schema"
+	"strudel/internal/server"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "build":
+		err = cmdBuild(args)
+	case "serve":
+		err = cmdServe(args)
+	case "stats":
+		err = cmdStats(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  strudel build -manifest site.manifest -out dir/
+  strudel serve -manifest site.manifest -addr :8080 [-dynamic]
+  strudel stats -manifest site.manifest`)
+}
+
+// manifest is the parsed site description.
+type manifest struct {
+	name        string
+	builder     *core.Builder
+	rootColl    string
+	constraints int
+}
+
+// loadManifest parses the manifest and populates a builder.
+func loadManifest(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	m := &manifest{name: "site"}
+	b := core.NewBuilder(m.name)
+	m.builder = b
+	readRel := func(p string) (string, error) {
+		content, err := os.ReadFile(filepath.Join(dir, p))
+		return string(content), err
+	}
+	for lineNum, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s", path, lineNum+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "site":
+			if len(fields) != 2 {
+				return nil, errf("usage: site <name>")
+			}
+			m.name = fields[1]
+		case "source":
+			if len(fields) != 4 {
+				return nil, errf("usage: source <name> <kind> <path>")
+			}
+			content, err := readRel(fields[3])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if err := b.AddSource(fields[1], fields[2], content); err != nil {
+				return nil, errf("%v", err)
+			}
+		case "mapping":
+			if len(fields) != 2 {
+				return nil, errf("usage: mapping <path>")
+			}
+			src, err := readRel(fields[1])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if err := b.AddMapping(src); err != nil {
+				return nil, errf("%v", err)
+			}
+		case "query":
+			if len(fields) != 2 {
+				return nil, errf("usage: query <path>")
+			}
+			src, err := readRel(fields[1])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if err := b.AddQuery(src); err != nil {
+				return nil, errf("%v", err)
+			}
+		case "template":
+			if len(fields) != 3 {
+				return nil, errf("usage: template <key> <path>")
+			}
+			src, err := readRel(fields[2])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if err := b.AddTemplate(fields[1], src); err != nil {
+				return nil, errf("%v", err)
+			}
+		case "embedonly":
+			b.SetEmbedOnly(fields[1:]...)
+		case "optimize":
+			b.EnableOptimizer()
+		case "index":
+			if len(fields) != 2 {
+				return nil, errf("usage: index <key>")
+			}
+			b.SetIndex(fields[1])
+		case "roots":
+			if len(fields) != 2 {
+				return nil, errf("usage: roots <collection>")
+			}
+			m.rootColl = fields[1]
+			b.SetRootCollection(fields[1])
+		case "constraint":
+			c, err := parseConstraint(strings.Join(fields[1:], " "))
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			b.AddConstraint(c)
+			m.constraints++
+		default:
+			return nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	return m, nil
+}
+
+func parseConstraint(s string) (schema.Constraint, error) {
+	parts := strings.Fields(s)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("empty constraint")
+	}
+	switch parts[0] {
+	case "reachable":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("usage: constraint reachable <RootFunc>")
+		}
+		return schema.Reachable{Root: parts[1]}, nil
+	case "forbid":
+		switch len(parts) {
+		case 2:
+			return schema.Forbid{Label: parts[1]}, nil
+		case 3:
+			return schema.Forbid{From: parts[1], Label: parts[2]}, nil
+		}
+		return nil, fmt.Errorf("usage: constraint forbid [From] <label>")
+	case "mustlink":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("usage: constraint mustlink <From> <label> <To>")
+		}
+		return schema.MustLink{From: parts[1], Label: parts[2], To: parts[3]}, nil
+	case "nopath":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("usage: constraint nopath <From> <To>")
+		}
+		return schema.NoPath{From: parts[1], To: parts[2]}, nil
+	}
+	return nil, fmt.Errorf("unknown constraint kind %q", parts[0])
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "site manifest file")
+	out := fs.String("out", "site-out", "output directory")
+	fs.Parse(args)
+	m, err := loadManifest(*manifestPath)
+	if err != nil {
+		return err
+	}
+	res, err := m.builder.Build()
+	if err != nil {
+		return err
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintln(os.Stderr, "warning:", v)
+	}
+	if err := res.Site.WriteTo(*out); err != nil {
+		return err
+	}
+	fmt.Printf("built %s: %d pages into %s (data %d/%d, site %d/%d nodes/edges)\n",
+		m.name, res.Stats.Pages, *out,
+		res.Stats.DataNodes, res.Stats.DataEdges,
+		res.Stats.SiteNodes, res.Stats.SiteEdges)
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "site manifest file")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	dynamic := fs.Bool("dynamic", false, "compute pages at click time instead of materializing")
+	fs.Parse(args)
+	m, err := loadManifest(*manifestPath)
+	if err != nil {
+		return err
+	}
+	handler, err := serveHandler(m, *dynamic)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on http://%s (dynamic=%v)\n", m.name, *addr, *dynamic)
+	return http.ListenAndServe(*addr, handler)
+}
+
+// serveHandler builds the HTTP handler for a manifest: either the
+// fully materialized site (plus /query for ad-hoc site queries) or
+// click-time evaluation.
+func serveHandler(m *manifest, dynamic bool) (http.Handler, error) {
+	if dynamic {
+		r, err := m.builder.BuildDynamic()
+		if err != nil {
+			return nil, err
+		}
+		return server.Dynamic(r, m.rootColl), nil
+	}
+	res, err := m.builder.Build()
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintln(os.Stderr, "warning:", v)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/query", http.StripPrefix("/query", server.QueryHandler(res.SiteGraph, nil, 0)))
+	mux.Handle("/", server.Static(res.Site))
+	return mux, nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "site manifest file")
+	fs.Parse(args)
+	m, err := loadManifest(*manifestPath)
+	if err != nil {
+		return err
+	}
+	res, err := m.builder.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("site %s\n", m.name)
+	fmt.Printf("  data graph:  %d nodes, %d edges\n", res.Stats.DataNodes, res.Stats.DataEdges)
+	fmt.Printf("  site graph:  %d nodes, %d edges\n", res.Stats.SiteNodes, res.Stats.SiteEdges)
+	fmt.Printf("  pages:       %d\n", res.Stats.Pages)
+	fmt.Printf("  bindings:    %d\n", res.Stats.Bindings)
+	fmt.Printf("  constraints: %d checked, %d violated\n", m.constraints, len(res.Violations))
+	fmt.Printf("  timings:     mediate %v, query %v, generate %v\n",
+		res.Stats.MediationTime, res.Stats.QueryTime, res.Stats.GenerateTime)
+	fmt.Printf("site schema:\n%s", res.Schema.String())
+	return nil
+}

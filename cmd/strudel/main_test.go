@@ -1,0 +1,186 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestSite creates a manifest plus its artifacts in a temp dir.
+func writeTestSite(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"refs.bib": `
+@article{p1, title = {Alpha}, author = {Ann}, year = 1997, category = {X}}
+@inproceedings{p2, title = {Beta}, author = {Bo}, year = 1998, booktitle = {C}, category = {Y}}
+`,
+		"site.struql": `
+INPUT DataGraph
+CREATE RootPage()
+COLLECT Roots(RootPage())
+WHERE Publications(x), x -> l -> v
+CREATE PaperPage(x)
+LINK PaperPage(x) -> l -> v,
+     RootPage() -> "Paper" -> PaperPage(x)
+OUTPUT Site`,
+		"root.tpl":  `<html><body><h1>Papers</h1><SFMT_UL Paper ORDER=ascend KEY=title></body></html>`,
+		"paper.tpl": `<html><body><h1><SFMT title></h1><SFMT author DELIM=", "> (<SFMT year>)</body></html>`,
+		"site.manifest": `# test site
+site      testsite
+source    refs.bib  bibtex  refs.bib
+query     site.struql
+template  RootPage  root.tpl
+template  PaperPage paper.tpl
+optimize
+index     RootPage
+roots     Roots
+constraint reachable RootPage
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadManifestAndBuild(t *testing.T) {
+	dir := writeTestSite(t)
+	m, err := loadManifest(filepath.Join(dir, "site.manifest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.name != "testsite" || m.rootColl != "Roots" || m.constraints != 1 {
+		t.Errorf("manifest = %+v", m)
+	}
+	res, err := m.builder.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Pages != 3 {
+		t.Errorf("pages = %d, want 3 (%v)", res.Stats.Pages, res.Site.Paths())
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("violations: %v", res.Violations)
+	}
+	idx := res.Site.Pages["index.html"]
+	if !strings.Contains(idx.HTML, "Alpha") || !strings.Contains(idx.HTML, "Beta") {
+		t.Errorf("index:\n%s", idx.HTML)
+	}
+}
+
+func TestCmdBuildWritesSite(t *testing.T) {
+	dir := writeTestSite(t)
+	out := filepath.Join(dir, "out")
+	if err := cmdBuild([]string{"-manifest", filepath.Join(dir, "site.manifest"), "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("wrote %d files", len(entries))
+	}
+}
+
+func TestCmdStats(t *testing.T) {
+	dir := writeTestSite(t)
+	if err := cmdStats([]string{"-manifest", filepath.Join(dir, "site.manifest")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManifestErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct{ name, content string }{
+		{"unknown directive", "frobnicate x\n"},
+		{"bad source arity", "source only-two\n"},
+		{"missing file", "query nosuch.struql\n"},
+		{"bad constraint", "constraint frob x\n"},
+		{"bad wrapper kind", "source s nosuchkind s.txt\n"},
+		{"bad template file", "template T nosuch.tpl\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(c.name, " ", "_")+".manifest")
+			extra := ""
+			if c.name == "bad wrapper kind" {
+				os.WriteFile(filepath.Join(dir, "s.txt"), []byte("x"), 0o644)
+			}
+			os.WriteFile(path, []byte(c.content+extra), 0o644)
+			if _, err := loadManifest(path); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if _, err := loadManifest(filepath.Join(dir, "does-not-exist")); err == nil {
+		t.Error("missing manifest should fail")
+	}
+}
+
+func TestParseConstraintForms(t *testing.T) {
+	good := []string{
+		"reachable Root",
+		"forbid patent",
+		"forbid PersonPage patent",
+		"mustlink A l B",
+		"nopath A B",
+	}
+	for _, s := range good {
+		if _, err := parseConstraint(s); err != nil {
+			t.Errorf("%q: %v", s, err)
+		}
+	}
+	bad := []string{"", "reachable", "mustlink A l", "nopath A", "forbid", "wat x"}
+	for _, s := range bad {
+		if _, err := parseConstraint(s); err == nil {
+			t.Errorf("%q should fail", s)
+		}
+	}
+}
+
+func TestServeHandlerStaticAndDynamic(t *testing.T) {
+	dir := writeTestSite(t)
+	for _, dynamic := range []bool{false, true} {
+		m, err := loadManifest(filepath.Join(dir, "site.manifest"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := serveHandler(m, dynamic)
+		if err != nil {
+			t.Fatalf("dynamic=%v: %v", dynamic, err)
+		}
+		srv := httptest.NewServer(h)
+		resp, err := http.Get(srv.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		srv.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(body), "Papers") {
+			t.Errorf("dynamic=%v: %d %q", dynamic, resp.StatusCode, body)
+		}
+	}
+	// Static mode also mounts /query.
+	m, _ := loadManifest(filepath.Join(dir, "site.manifest"))
+	h, _ := serveHandler(m, false)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "<form") {
+		t.Errorf("/query = %q", body)
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func dataFile(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.dd")
+	content := `
+collection Publications { }
+object p1 in Publications { title "Alpha" year 1997 }
+object p2 in Publications { title "Beta" year 1998 }
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunInlineQuery(t *testing.T) {
+	path := dataFile(t)
+	err := run([]string{path}, "", `WHERE Publications(x), x -> "year" -> 1997 COLLECT Old(x)`, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stats and dot modes also work.
+	if err := run([]string{path}, "", `WHERE Publications(x) COLLECT C(x)`, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, "", `WHERE Publications(x) CREATE F(x) LINK F(x) -> "t" -> x`, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	path := dataFile(t)
+	qf := filepath.Join(t.TempDir(), "q.struql")
+	os.WriteFile(qf, []byte(`WHERE Publications(x) COLLECT C(x)`), 0o644)
+	if err := run([]string{path}, qf, "", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := dataFile(t)
+	if err := run(nil, "", "x", false, false); err == nil {
+		t.Error("no data files should fail")
+	}
+	if err := run([]string{path}, "", "", false, false); err == nil {
+		t.Error("no query should fail")
+	}
+	if err := run([]string{path}, "", `WHERE (((`, false, false); err == nil {
+		t.Error("bad query should fail")
+	}
+	if err := run([]string{"/nonexistent"}, "", "x", false, false); err == nil {
+		t.Error("missing data file should fail")
+	}
+	if err := run([]string{path}, "/nonexistent", "", false, false); err == nil {
+		t.Error("missing query file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.dd")
+	os.WriteFile(bad, []byte("not valid datadef ((("), 0o644)
+	if err := run([]string{bad}, "", "x", false, false); err == nil {
+		t.Error("bad data file should fail")
+	}
+}
+
+func TestRunGuide(t *testing.T) {
+	path := dataFile(t)
+	if err := runGuide([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGuide(nil); err == nil {
+		t.Error("no data files should fail")
+	}
+	if err := runGuide([]string{"/nonexistent"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,32 @@
+// Package strudel is a Go reproduction of "STRUDEL: A Web-site
+// Management System" (Fernandez, Florescu, Kang, Levy, Suciu — SIGMOD
+// 1997 demo; overview paper 1998). STRUDEL applies database concepts
+// to Web-site construction by separating three tasks: managing the
+// site's data (wrappers + mediator + semistructured repository),
+// managing its structure (declarative StruQL site-definition queries
+// producing a site graph), and the visual presentation of its pages
+// (an HTML-template language interpreted by the HTML generator).
+//
+// The implementation lives under internal/:
+//
+//	graph        labeled-directed-graph data model (OEM-style)
+//	datadef      the data-definition exchange language (Fig. 2)
+//	repository   schema-less store with full schema+data indexing
+//	struql       the StruQL language: parser, two-stage evaluator
+//	optimizer    heuristic + cost-based query planning over indexes
+//	mediator     GAV source integration, warehousing
+//	wrapper      BibTeX / CSV / structured-file / HTML wrappers
+//	template     the HTML-template language (SFMT, SIF, SFOR)
+//	sitegen      the HTML generator (site graph + templates → pages)
+//	schema       site schemas (Fig. 5) + integrity-constraint checking
+//	incremental  query decomposition and click-time page evaluation
+//	server       static and dynamic HTTP serving
+//	baseline     procedural and relational comparison systems
+//	workload     synthetic data generators and shared site specs
+//	core         the end-to-end builder API
+//
+// Executables: cmd/strudel (manifest-driven builds and serving),
+// cmd/struql (query runner), cmd/siteschema (schema viewer/verifier),
+// cmd/experiments (regenerates every table and figure of the paper's
+// evaluation; see EXPERIMENTS.md).
+package strudel

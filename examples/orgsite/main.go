@@ -1,0 +1,89 @@
+// Orgsite reproduces the paper's largest example (Sec. 5.1): an
+// AT&T-Research-style organization site integrating five data sources
+// — two relational tables (people, departments), a structured project
+// file, a BibTeX bibliography, and existing HTML pages — through the
+// mediator into one data graph, from which internal and external
+// versions of the site are generated. Integrity constraints are
+// verified on the site schema and the concrete site graph.
+//
+// Run: go run ./examples/orgsite [outdir]
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"strudel/internal/core"
+	"strudel/internal/schema"
+	"strudel/internal/workload"
+)
+
+func main() {
+	outDir := "org-site"
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+	if err := run(outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "orgsite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string) error {
+	// The paper's internal site covers ~400 people; keep the example
+	// brisk with 120.
+	src := workload.Organization(120, 25, 6, 7)
+	for _, external := range []bool{false, true} {
+		spec := workload.OrgSpec(external)
+		b := core.NewBuilder(spec.Name)
+		if err := b.AddSource("people.csv", "csv", src.PeopleCSV); err != nil {
+			return err
+		}
+		if err := b.AddSource("departments.csv", "csv", src.DepartmentsCSV); err != nil {
+			return err
+		}
+		if err := b.AddSource("projects.txt", "structured", src.ProjectsTxt); err != nil {
+			return err
+		}
+		if err := b.AddSource("refs.bib", "bibtex", src.BibTeX); err != nil {
+			return err
+		}
+		var pageNames []string
+		for name := range src.HTMLPages {
+			pageNames = append(pageNames, name)
+		}
+		sort.Strings(pageNames)
+		for _, name := range pageNames {
+			if err := b.AddSource(name, "html", src.HTMLPages[name]); err != nil {
+				return err
+			}
+		}
+		if err := b.AddQuery(spec.Query); err != nil {
+			return err
+		}
+		b.AddTemplates(spec.Templates)
+		b.SetIndex(spec.Index)
+		b.AddConstraint(schema.Reachable{Root: spec.Root})
+		b.AddConstraint(schema.MustLink{From: "PersonPage", Label: "Dept", To: "DeptPage"})
+		res, err := b.Build()
+		if err != nil {
+			return err
+		}
+		dir := filepath.Join(outDir, spec.Name)
+		if err := res.Site.WriteTo(dir); err != nil {
+			return err
+		}
+		fmt.Printf("%-13s %4d pages from %d-node data graph (5 sources) -> %s\n",
+			spec.Name+":", res.Stats.Pages, res.Stats.DataNodes, dir)
+		fmt.Printf("  spec size: %d query lines, %d templates (%d lines)\n",
+			spec.QueryLines(), len(spec.Templates), spec.TemplateLines())
+		for _, v := range res.Violations {
+			fmt.Println("  constraint violation:", v)
+		}
+	}
+	fmt.Println("\nThe internal and external versions share the same site graph and")
+	fmt.Println("site-definition query; only five templates differ (paper Sec. 5.1).")
+	return nil
+}

@@ -1,0 +1,78 @@
+// Textonly reproduces the paper's TextOnly transformation (Sec. 3):
+// the site-definition query that copies everything reachable from a
+// site's root while excluding image files — fixing the CNN
+// inconsistency the paper footnotes, where only the root page had a
+// text-only version and every link led back to pages with images.
+//
+// Run: go run ./examples/textonly
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+	"strudel/internal/workload"
+)
+
+// textOnlyQuery is the paper's query, verbatim in our syntax.
+const textOnlyQuery = `
+INPUT Site
+WHERE Root(p), p -> * -> q, q -> l -> q2, not(isImageFile(q2))
+CREATE New(p), New(q), New(q2)
+LINK New(q) -> l -> New(q2)
+COLLECT TextOnlyRoot(New(p))
+OUTPUT TextOnly
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "textonly:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Build a small article site graph with images, rooted at a front
+	// page.
+	data := workload.Articles(40, 3)
+	front := data.NewNode("front")
+	data.AddToCollection("Root", graph.NodeValue(front))
+	for _, a := range data.Collection("Articles") {
+		if err := data.AddEdge(front, "story", a); err != nil {
+			return err
+		}
+	}
+
+	countImages := func(g *graph.Graph) int {
+		n := 0
+		g.Edges(func(e graph.Edge) bool {
+			if e.To.FileType() == graph.FileImage {
+				n++
+			}
+			return true
+		})
+		return n
+	}
+
+	q, err := struql.Parse(textOnlyQuery)
+	if err != nil {
+		return err
+	}
+	res, err := struql.Eval(q, data, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("original site:  %5d nodes, %5d edges, %3d image links\n",
+		data.NumNodes(), data.NumEdges(), countImages(data))
+	fmt.Printf("text-only copy: %5d nodes, %5d edges, %3d image links\n",
+		res.Output.NumNodes(), res.Output.NumEdges(), countImages(res.Output))
+	if n := countImages(res.Output); n != 0 {
+		return fmt.Errorf("text-only site still has %d image links", n)
+	}
+	roots := res.Output.Collection("TextOnlyRoot")
+	fmt.Printf("text-only root: %s (every page deep in the site is image-free,\n", res.Output.DisplayValue(roots[0]))
+	fmt.Println("unlike the CNN site the paper footnotes, which only de-imaged its root)")
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package procedural is the baseline STRUDEL's introduction argues
+// against: a hand-written site generator in the style of the CGI-BIN
+// script collections that produced sites like www.research.att.com.
+// Each page class is a hand-coded builder function that walks the
+// data graph and prints HTML, mixing content selection, inter-page
+// structure and visual presentation in one place. Site variants
+// (external view, sports-only view, ...) cannot share a declarative
+// spec; they are separate programs that duplicate builders, which is
+// exactly the maintenance cost Fig. 8's comparison quantifies.
+package procedural
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// Builder produces one class of pages. Reused reports whether the
+// builder was shared from another program or written anew — the unit
+// of "spec effort" the Fig. 8 experiment counts.
+type Builder struct {
+	Name   string
+	Reused bool
+	Build  func(g *graph.Graph, emit func(path, html string)) error
+}
+
+// Program is a hand-coded site generator: an ordered list of builders.
+type Program struct {
+	Name     string
+	Builders []Builder
+}
+
+// Run executes every builder and returns the generated pages.
+func (p *Program) Run(g *graph.Graph) (map[string]string, error) {
+	pages := map[string]string{}
+	emit := func(path, html string) { pages[path] = html }
+	for _, b := range p.Builders {
+		if err := b.Build(g, emit); err != nil {
+			return nil, fmt.Errorf("procedural: builder %s: %w", b.Name, err)
+		}
+	}
+	return pages, nil
+}
+
+// Effort counts the builders that had to be written for this program
+// (those not reused from an earlier program).
+func (p *Program) Effort() int {
+	n := 0
+	for _, b := range p.Builders {
+		if !b.Reused {
+			n++
+		}
+	}
+	return n
+}
+
+// esc is shorthand for HTML escaping.
+func esc(v graph.Value) string { return html.EscapeString(v.Text()) }
+
+// pubsOf collects and sorts the publication nodes.
+func pubsOf(g *graph.Graph) []graph.OID {
+	var pubs []graph.OID
+	for _, m := range g.Collection("Publications") {
+		if m.IsNode() {
+			pubs = append(pubs, m.OID())
+		}
+	}
+	sort.Slice(pubs, func(i, j int) bool { return g.NodeName(pubs[i]) < g.NodeName(pubs[j]) })
+	return pubs
+}
+
+// presentPub renders one publication entry — note how the same
+// presentation logic would have to be copied into every builder that
+// shows publications differently.
+func presentPub(g *graph.Graph, p graph.OID) string {
+	var sb strings.Builder
+	title, _ := g.First(p, "title")
+	if ps, ok := g.First(p, "postscript"); ok {
+		fmt.Fprintf(&sb, "<a href=%q>%s</a>", ps.Text(), esc(title))
+	} else {
+		sb.WriteString(esc(title))
+	}
+	var authors []string
+	for _, a := range g.OutLabel(p, "author") {
+		authors = append(authors, esc(a))
+	}
+	fmt.Fprintf(&sb, ". By %s.", strings.Join(authors, ", "))
+	if j, ok := g.First(p, "journal"); ok {
+		fmt.Fprintf(&sb, " %s", esc(j))
+	} else if b, ok := g.First(p, "booktitle"); ok {
+		fmt.Fprintf(&sb, " %s", esc(b))
+	}
+	if y, ok := g.First(p, "year"); ok {
+		fmt.Fprintf(&sb, ", %s.", esc(y))
+	}
+	return sb.String()
+}
+
+// groupPages returns a builder that produces one page per distinct
+// value of attr, listing the publications carrying it.
+func groupPages(name, attr, heading string, filter func(*graph.Graph, graph.OID) bool) Builder {
+	return Builder{Name: name, Build: func(g *graph.Graph, emit func(string, string)) error {
+		groups := map[string][]graph.OID{}
+		for _, p := range pubsOf(g) {
+			if filter != nil && !filter(g, p) {
+				continue
+			}
+			for _, v := range g.OutLabel(p, attr) {
+				groups[v.Text()] = append(groups[v.Text()], p)
+			}
+		}
+		for val, members := range groups {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "<html><body><h1>%s %s</h1>\n<ul>\n", heading, html.EscapeString(val))
+			for _, p := range members {
+				fmt.Fprintf(&sb, "<li>%s</li>\n", presentPub(g, p))
+			}
+			sb.WriteString("</ul>\n</body></html>")
+			emit(fmt.Sprintf("%s_%s.html", name, sanitize(val)), sb.String())
+		}
+		return nil
+	}}
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// rootPage builds the entry page linking to every group page.
+func rootPage(title string, attrs []string) Builder {
+	return Builder{Name: "root", Build: func(g *graph.Graph, emit func(string, string)) error {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "<html><body><h1>%s</h1>\n", html.EscapeString(title))
+		for _, attr := range attrs {
+			vals := map[string]bool{}
+			for _, p := range pubsOf(g) {
+				for _, v := range g.OutLabel(p, attr) {
+					vals[v.Text()] = true
+				}
+			}
+			var sorted []string
+			for v := range vals {
+				sorted = append(sorted, v)
+			}
+			sort.Strings(sorted)
+			fmt.Fprintf(&sb, "<h2>By %s</h2>\n<ul>\n", attr)
+			for _, v := range sorted {
+				fmt.Fprintf(&sb, "<li><a href=%q>%s</a></li>\n",
+					fmt.Sprintf("%s_%s.html", attr, sanitize(v)), html.EscapeString(v))
+			}
+			sb.WriteString("</ul>\n")
+		}
+		sb.WriteString("</body></html>")
+		emit("index.html", sb.String())
+		return nil
+	}}
+}
+
+// abstractsPage lists every abstract.
+func abstractsPage() Builder {
+	return Builder{Name: "abstracts", Build: func(g *graph.Graph, emit func(string, string)) error {
+		var sb strings.Builder
+		sb.WriteString("<html><body><h1>Paper Abstracts</h1>\n<ul>\n")
+		for _, p := range pubsOf(g) {
+			title, _ := g.First(p, "title")
+			abs, _ := g.First(p, "abstract")
+			fmt.Fprintf(&sb, "<li><b>%s</b>: %s</li>\n", esc(title), esc(abs))
+		}
+		sb.WriteString("</ul>\n</body></html>")
+		emit("abstracts.html", sb.String())
+		return nil
+	}}
+}
+
+// BibliographySite is the hand-coded equivalent of the paper's example
+// homepage site (Fig. 3 + Fig. 7).
+func BibliographySite() *Program {
+	return &Program{Name: "bibliography", Builders: []Builder{
+		rootPage("Publications", []string{"year", "category"}),
+		groupPages("year", "year", "Publications from", nil),
+		groupPages("category", "category", "Publications on", nil),
+		abstractsPage(),
+	}}
+}
+
+// BibliographySiteRecentOnly is a variant showing the procedural
+// maintenance cost: restricting to recent publications requires
+// copying every builder and threading the filter through by hand —
+// none of the originals can be reused unchanged.
+func BibliographySiteRecentOnly(minYear int64) *Program {
+	recent := func(g *graph.Graph, p graph.OID) bool {
+		y, ok := g.First(p, "year")
+		if !ok {
+			return false
+		}
+		n, _ := y.AsInt()
+		return n >= minYear
+	}
+	// The root and abstracts builders must be rewritten too: they
+	// enumerate publications directly.
+	root := Builder{Name: "root-recent", Build: func(g *graph.Graph, emit func(string, string)) error {
+		var sb strings.Builder
+		sb.WriteString("<html><body><h1>Recent Publications</h1>\n<ul>\n")
+		for _, p := range pubsOf(g) {
+			if !recent(g, p) {
+				continue
+			}
+			fmt.Fprintf(&sb, "<li>%s</li>\n", presentPub(g, p))
+		}
+		sb.WriteString("</ul>\n</body></html>")
+		emit("index.html", sb.String())
+		return nil
+	}}
+	return &Program{Name: "bibliography-recent", Builders: []Builder{
+		root,
+		groupPages("year", "year", "Recent publications from", recent),
+		groupPages("category", "category", "Recent publications on", recent),
+	}}
+}

@@ -1,0 +1,163 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/datadef"
+	"strudel/internal/graph"
+)
+
+func data(t *testing.T) *graph.Graph {
+	t.Helper()
+	res, err := datadef.Parse("BIBTEX", `
+collection Publications { }
+object pub1 in Publications {
+    title "Alpha" author "Ann" author "Bo" year 1997 journal "J1" category "X"
+}
+object pub2 in Publications {
+    title "Beta" author "Cy" year 1998 booktitle "Conf" category "X" category "Y"
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func TestMaximalSchema(t *testing.T) {
+	g := data(t)
+	schema := MaximalSchema(g, "Publications")
+	want := []string{"author", "booktitle", "category", "journal", "title", "year"}
+	if len(schema) != len(want) {
+		t.Fatalf("schema = %v", schema)
+	}
+	for i := range want {
+		if schema[i] != want[i] {
+			t.Errorf("schema[%d] = %s, want %s", i, schema[i], want[i])
+		}
+	}
+}
+
+func TestLoadCollectionNullPaddingAndLoss(t *testing.T) {
+	g := data(t)
+	db := NewDB()
+	table, err := db.LoadCollection(g, "Publications",
+		[]string{"title", "year", "journal", "booktitle", "author"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// pub1 has no booktitle; pub2 no journal: 2 NULLs.
+	if table.NullCount() != 2 {
+		t.Errorf("nulls = %d, want 2", table.NullCount())
+	}
+	if d := table.NullDensity(); d <= 0 || d >= 1 {
+		t.Errorf("density = %f", d)
+	}
+	// Lost: pub1's second author (scalar column) + categories outside
+	// the schema (1 for pub1, 2 for pub2).
+	if db.LostValues != 4 {
+		t.Errorf("lost = %d, want 4", db.LostValues)
+	}
+}
+
+func TestJunctionTablePreservesMultiValues(t *testing.T) {
+	g := data(t)
+	db := NewDB()
+	_, err := db.LoadCollection(g, "Publications",
+		[]string{"title", "year", "journal", "booktitle", "author", "category"},
+		[]string{"author", "category"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.LostValues != 0 {
+		t.Errorf("lost = %d, want 0 with junctions", db.LostValues)
+	}
+	authors := db.Tables["Publications_author"]
+	if len(authors.Rows) != 3 {
+		t.Errorf("author junction rows = %d, want 3", len(authors.Rows))
+	}
+	cats := db.Tables["Publications_category"]
+	if len(cats.Rows) != 3 {
+		t.Errorf("category junction rows = %d, want 3", len(cats.Rows))
+	}
+}
+
+func TestSelectProjectOrder(t *testing.T) {
+	g := data(t)
+	db := NewDB()
+	table, _ := db.LoadCollection(g, "Publications", []string{"title", "year"}, nil)
+	sel := table.Select(func(r Row) bool {
+		y := table.Get(r, "year")
+		n, _ := y.AsInt()
+		return n >= 1998
+	})
+	if len(sel.Rows) != 1 {
+		t.Fatalf("select rows = %d", len(sel.Rows))
+	}
+	proj, err := sel.Project("title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj.Cols) != 1 || proj.Rows[0][0] != graph.Str("Beta") {
+		t.Errorf("projection = %v", proj.Rows)
+	}
+	if _, err := sel.Project("nosuch"); err == nil {
+		t.Error("projecting missing column should fail")
+	}
+	ordered := table.OrderBy("year")
+	if y := ordered.Get(ordered.Rows[0], "year"); y != graph.Int(1997) {
+		t.Errorf("order by year first = %v", y)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	g := data(t)
+	db := NewDB()
+	pubs, _ := db.LoadCollection(g, "Publications", []string{"title"}, []string{"category"})
+	cats := db.Tables["Publications_category"]
+	joined, err := HashJoin(pubs, "id", cats, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pub1 x 1 category + pub2 x 2 categories = 3 rows.
+	if len(joined.Rows) != 3 {
+		t.Errorf("join rows = %d, want 3", len(joined.Rows))
+	}
+	if _, err := HashJoin(pubs, "nope", cats, "id"); err == nil {
+		t.Error("bad join column should fail")
+	}
+}
+
+func TestPageGeneration(t *testing.T) {
+	g := data(t)
+	db := NewDB()
+	table, _ := db.LoadCollection(g, "Publications", []string{"title", "year", "journal"}, nil)
+	pages := PageSpec{
+		Table:    table,
+		PathCol:  "id",
+		Title:    "Publication",
+		BodyCols: []string{"title", "year", "journal"},
+	}.GeneratePages()
+	if len(pages) != 2 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	p1 := pages["pub1.html"]
+	if !strings.Contains(p1, "Alpha") || !strings.Contains(p1, "1997") {
+		t.Errorf("pub1 page:\n%s", p1)
+	}
+	// NULLs are visible in the page — the irregularity leaks to users.
+	if !strings.Contains(pages["pub2.html"], "NULL") {
+		t.Error("pub2 page should show NULL journal")
+	}
+}
+
+func TestInsertArityCheck(t *testing.T) {
+	table := NewTable("t", "a", "b")
+	if err := table.Insert(Row{graph.Int(1)}); err == nil {
+		t.Error("short row should fail")
+	}
+}

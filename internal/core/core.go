@@ -1,0 +1,306 @@
+// Package core is STRUDEL's top-level API, wiring the paper's
+// architecture (Fig. 1) end to end: wrappers feed the mediator, which
+// warehouses an integrated data graph in the repository; one or more
+// site-definition queries produce the site graph; the HTML generator
+// renders the browsable site; the site schema supports verification
+// of integrity constraints; and the decomposed query supports dynamic
+// (click-time) evaluation.
+//
+// Typical use:
+//
+//	b := core.NewBuilder("homepage")
+//	b.AddSource("refs.bib", "bibtex", bibText)
+//	b.AddQuery(queryText)
+//	b.AddTemplate("RootPage", rootTemplate)
+//	res, err := b.Build()
+//	res.Site.WriteTo("out/")
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"strudel/internal/graph"
+	"strudel/internal/incremental"
+	"strudel/internal/mediator"
+	"strudel/internal/optimizer"
+	"strudel/internal/repository"
+	"strudel/internal/schema"
+	"strudel/internal/sitegen"
+	"strudel/internal/struql"
+	"strudel/internal/template"
+)
+
+// Builder assembles a STRUDEL site from sources, queries, templates
+// and constraints.
+type Builder struct {
+	name        string
+	repo        *repository.Repository
+	med         *mediator.Mediator
+	dataGraph   *graph.Graph // explicit data graph, bypassing the mediator
+	queries     []*struql.Query
+	templates   map[string]*template.Template
+	embedOnly   map[string]bool
+	index       string
+	rootColl    string
+	constraints []schema.Constraint
+	resolver    func(string) (string, error)
+	optimize    bool
+}
+
+// NewBuilder creates a builder. The repository is memory-only; use
+// Repository() to persist it.
+func NewBuilder(name string) *Builder {
+	repo := repository.New("")
+	return &Builder{
+		name:      name,
+		repo:      repo,
+		med:       mediator.New(repo, "DataGraph"),
+		templates: map[string]*template.Template{},
+		embedOnly: map[string]bool{},
+	}
+}
+
+// Repository exposes the underlying repository (e.g. for Save).
+func (b *Builder) Repository() *repository.Repository { return b.repo }
+
+// Registry exposes the predicate registry for custom predicates.
+func (b *Builder) Registry() *struql.Registry { return b.med.Registry() }
+
+// AddSource registers an external source with a built-in wrapper kind
+// ("bibtex", "csv", "structured", "html", "datadef").
+func (b *Builder) AddSource(name, kind, content string) error {
+	return b.med.AddSource(name, kind, content)
+}
+
+// AddMapping registers a GAV mediation query (its INPUT names a
+// source; its output builds the integrated data graph).
+func (b *Builder) AddMapping(querySrc string) error {
+	q, err := struql.Parse(querySrc)
+	if err != nil {
+		return err
+	}
+	return b.med.AddMapping(q)
+}
+
+// SetDataGraph supplies the data graph directly, bypassing wrappers
+// and mediation (useful when the data is already in graph form).
+func (b *Builder) SetDataGraph(g *graph.Graph) { b.dataGraph = g }
+
+// AddQuery appends a site-definition query. Multiple queries compose:
+// they build parts of the same site graph, with stable Skolem
+// identities across them.
+func (b *Builder) AddQuery(src string) error {
+	q, err := struql.Parse(src)
+	if err != nil {
+		return err
+	}
+	b.queries = append(b.queries, q)
+	return nil
+}
+
+// AddTemplate registers an HTML template under an association key
+// (object name, Skolem function, or collection).
+func (b *Builder) AddTemplate(key, src string) error {
+	t, err := template.Parse(key, src)
+	if err != nil {
+		return err
+	}
+	b.templates[key] = t
+	return nil
+}
+
+// AddTemplates registers pre-parsed templates.
+func (b *Builder) AddTemplates(ts map[string]*template.Template) {
+	for k, t := range ts {
+		b.templates[k] = t
+	}
+}
+
+// SetEmbedOnly marks association keys whose objects are always
+// embedded, never standalone pages.
+func (b *Builder) SetEmbedOnly(keys ...string) {
+	for _, k := range keys {
+		b.embedOnly[k] = true
+	}
+}
+
+// SetIndex names the association key rendered as index.html.
+func (b *Builder) SetIndex(key string) { b.index = key }
+
+// SetRootCollection names the collection holding the site roots, used
+// by dynamic evaluation.
+func (b *Builder) SetRootCollection(coll string) { b.rootColl = coll }
+
+// AddConstraint registers an integrity constraint checked at build
+// time against both the site schema and the concrete site graph.
+func (b *Builder) AddConstraint(c schema.Constraint) {
+	b.constraints = append(b.constraints, c)
+}
+
+// SetFileResolver lets text/HTML file atoms embed their contents.
+func (b *Builder) SetFileResolver(fn func(string) (string, error)) { b.resolver = fn }
+
+// EnableOptimizer routes every where conjunction through the
+// cost-based query optimizer with the repository's indexes instead of
+// the interpreter's built-in greedy strategy (paper Sec. 2.4).
+func (b *Builder) EnableOptimizer() { b.optimize = true }
+
+// Stats reports what a build did.
+type Stats struct {
+	DataNodes, DataEdges int
+	SiteNodes, SiteEdges int
+	Pages                int
+	Bindings             int
+	MediationTime        time.Duration
+	QueryTime            time.Duration
+	GenerateTime         time.Duration
+}
+
+// Result is a completed build.
+type Result struct {
+	DataGraph *graph.Graph
+	SiteGraph *graph.Graph
+	Schema    *schema.SiteSchema
+	Site      *sitegen.Site
+	Stats     Stats
+	// Violations are constraint failures; Build returns them without
+	// error so callers can decide whether to publish anyway.
+	Violations []error
+	// DomainWarnings flag variables of the site-definition queries
+	// that are not range-restricted and therefore range over the
+	// active domain (struql.RangeCheckWith).
+	DomainWarnings []struql.DomainWarning
+}
+
+// dataGraphFor produces the integrated data graph: the explicit one if
+// set, else the mediator's warehouse.
+func (b *Builder) buildDataGraph() (*graph.Graph, error) {
+	if b.dataGraph != nil {
+		return b.dataGraph, nil
+	}
+	return b.med.Refresh()
+}
+
+// evalQueries runs the site-definition queries into one site graph.
+func (b *Builder) evalQueries(data *graph.Graph) (*graph.Graph, int, error) {
+	if len(b.queries) == 0 {
+		return nil, 0, fmt.Errorf("core: site %q has no site-definition query", b.name)
+	}
+	outName := b.queries[0].Output
+	if outName == "" {
+		outName = b.name + "-site"
+	}
+	site := data.NewSibling(outName)
+	opts := &struql.Options{Output: site, Registry: b.Registry()}
+	if b.optimize {
+		// Index the data graph and plan every conjunction against it.
+		b.repo.Database().Attach(data)
+		b.repo.Invalidate(data.Name())
+		ctx := &optimizer.Context{
+			Graph:    data,
+			Index:    b.repo.Index(data.Name()),
+			Registry: b.Registry(),
+		}
+		opts.WherePlanner = optimizer.Hook(ctx)
+	}
+	bindings := 0
+	for _, q := range b.queries {
+		res, err := struql.Eval(q, data, opts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: evaluating site query: %w", err)
+		}
+		bindings += res.Bindings
+	}
+	return site, bindings, nil
+}
+
+// siteSchema merges the per-query schemas.
+func (b *Builder) siteSchema() *schema.SiteSchema {
+	schemas := make([]*schema.SiteSchema, len(b.queries))
+	for i, q := range b.queries {
+		schemas[i] = schema.Build(q)
+	}
+	return schema.Merge(schemas...)
+}
+
+// Build runs the full pipeline: mediate, query, verify, generate.
+func (b *Builder) Build() (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	data, err := b.buildDataGraph()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.MediationTime = time.Since(t0)
+	res.DataGraph = data
+
+	t1 := time.Now()
+	site, bindings, err := b.evalQueries(data)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.QueryTime = time.Since(t1)
+	res.SiteGraph = site
+	res.Stats.Bindings = bindings
+
+	res.Schema = b.siteSchema()
+	res.Violations = schema.VerifyAll(res.Schema, site, b.constraints)
+	for _, q := range b.queries {
+		res.DomainWarnings = append(res.DomainWarnings,
+			struql.RangeCheckWith(q, data.HasCollection)...)
+	}
+
+	t2 := time.Now()
+	gen := sitegen.New(site, sitegen.Config{
+		Templates:    b.templates,
+		EmbedOnly:    b.embedOnly,
+		Index:        b.index,
+		FileResolver: b.resolver,
+	})
+	htmlSite, err := gen.Generate()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.GenerateTime = time.Since(t2)
+	res.Site = htmlSite
+
+	ds, ss := data.Stats(), site.Stats()
+	res.Stats.DataNodes, res.Stats.DataEdges = ds.Nodes, ds.Edges
+	res.Stats.SiteNodes, res.Stats.SiteEdges = ss.Nodes, ss.Edges
+	res.Stats.Pages = len(htmlSite.Pages)
+	return res, nil
+}
+
+// BuildDynamic prepares click-time evaluation instead of full
+// materialization: the first site-definition query is decomposed into
+// per-page queries over the (mediated) data graph, and a renderer
+// using the builder's templates is returned. RootCollection must be
+// set (the precomputed entry points).
+func (b *Builder) BuildDynamic() (*incremental.Renderer, error) {
+	if len(b.queries) != 1 {
+		return nil, fmt.Errorf("core: dynamic evaluation needs exactly one site-definition query, have %d", len(b.queries))
+	}
+	if b.rootColl == "" {
+		return nil, fmt.Errorf("core: dynamic evaluation needs SetRootCollection")
+	}
+	data, err := b.buildDataGraph()
+	if err != nil {
+		return nil, err
+	}
+	dec := incremental.Decompose(b.queries[0], data, b.Registry())
+	if b.optimize {
+		b.repo.Database().Attach(data)
+		b.repo.Invalidate(data.Name())
+		dec.UsePlanner(optimizer.Hook(&optimizer.Context{
+			Graph:    data,
+			Index:    b.repo.Index(data.Name()),
+			Registry: b.Registry(),
+		}))
+	}
+	return &incremental.Renderer{
+		Dec:       dec,
+		Templates: b.templates,
+		EmbedOnly: b.embedOnly,
+	}, nil
+}

@@ -1,0 +1,354 @@
+package datadef
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"strudel/internal/graph"
+)
+
+// fig2 is the paper's Fig. 2 data-graph fragment, lightly abbreviated.
+const fig2 = `
+collection Publications {
+    abstract text
+    postscript ps
+}
+object pub1 in Publications {
+    title "Specifying Representations..."
+    author "Norman Ramsey"
+    author "Mary Fernandez"
+    year 1997
+    month "May"
+    journal "Transactions on Programming..."
+    pub-type "article"
+    abstract "abstracts/toplas97.txt"
+    postscript "papers/toplas97.ps.gz"
+    volume "19 (3)"
+    category "Architecture Specifications"
+    category "Programming Languages"
+}
+object pub2 in Publications {
+    title "Optimizing Regular..."
+    author "Mary Fernandez"
+    author "Dan Suciu"
+    year 1998
+    booktitle "Proc. of ICDE"
+    pub-type "inproceedings"
+    abstract "abstracts/icde98.txt"
+    postscript "papers/icde98.ps.gz"
+    category "Semistructured Data"
+    category "Programming Languages"
+}
+`
+
+func TestParseFig2(t *testing.T) {
+	res, err := Parse("BIBTEX", fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	pubs := g.Collection("Publications")
+	if len(pubs) != 2 {
+		t.Fatalf("Publications has %d members, want 2", len(pubs))
+	}
+	p1, ok := g.NodeByName("pub1")
+	if !ok {
+		t.Fatal("pub1 missing")
+	}
+	// Irregular structure: pub1 has month+journal, pub2 has booktitle.
+	if _, ok := g.First(p1, "month"); !ok {
+		t.Error("pub1 should have month")
+	}
+	p2, _ := g.NodeByName("pub2")
+	if _, ok := g.First(p2, "month"); ok {
+		t.Error("pub2 should not have month")
+	}
+	if _, ok := g.First(p2, "booktitle"); !ok {
+		t.Error("pub2 should have booktitle")
+	}
+	// Multi-valued attribute.
+	if authors := g.OutLabel(p1, "author"); len(authors) != 2 {
+		t.Errorf("pub1 has %d authors, want 2", len(authors))
+	}
+	// Type directives: abstract is a text file, postscript a ps file.
+	abs, _ := g.First(p1, "abstract")
+	if abs.Kind() != graph.KindFile || abs.FileType() != graph.FileText {
+		t.Errorf("abstract = %v, want text file", abs)
+	}
+	ps, _ := g.First(p1, "postscript")
+	if ps.FileType() != graph.FilePostScript {
+		t.Errorf("postscript = %v, want ps file", ps)
+	}
+	// Integers parse as ints.
+	year, _ := g.First(p1, "year")
+	if n, ok := year.AsInt(); !ok || n != 1997 {
+		t.Errorf("year = %v", year)
+	}
+	// Directives returned.
+	if res.Directives["Publications"]["abstract"] != "text" {
+		t.Errorf("directives = %v", res.Directives)
+	}
+}
+
+func TestParseValueForms(t *testing.T) {
+	src := `
+object x {
+    count 42
+    weight 3.5
+    neg -7
+    flag true
+    off false
+    home url("http://example.com")
+    pic image("logo.gif")
+    page html("index.html")
+    friend y
+    addr { city "Summit" zip 7901 }
+}
+object y { name "wye" }
+`
+	res, err := Parse("g", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	x, _ := g.NodeByName("x")
+	check := func(attr string, want graph.Value) {
+		t.Helper()
+		v, ok := g.First(x, attr)
+		if !ok || v != want {
+			t.Errorf("%s = %v, want %v", attr, v, want)
+		}
+	}
+	check("count", graph.Int(42))
+	check("weight", graph.Float(3.5))
+	check("neg", graph.Int(-7))
+	check("flag", graph.Bool(true))
+	check("off", graph.Bool(false))
+	check("home", graph.URL("http://example.com"))
+	check("pic", graph.File("logo.gif", graph.FileImage))
+	check("page", graph.File("index.html", graph.FileHTML))
+	y, _ := g.NodeByName("y")
+	if v, ok := g.First(x, "friend"); !ok || v != graph.NodeValue(y) {
+		t.Errorf("friend = %v, want node y", v)
+	}
+	// Nested object.
+	addr, ok := g.First(x, "addr")
+	if !ok || !addr.IsNode() {
+		t.Fatalf("addr = %v", addr)
+	}
+	city, _ := g.First(addr.OID(), "city")
+	if city != graph.Str("Summit") {
+		t.Errorf("city = %v", city)
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	src := `
+object a { next b }
+object b { next a }
+`
+	res, err := Parse("g", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := res.Graph.NodeByName("a")
+	b, _ := res.Graph.NodeByName("b")
+	if v, _ := res.Graph.First(a, "next"); v != graph.NodeValue(b) {
+		t.Error("forward reference a->b broken")
+	}
+	if v, _ := res.Graph.First(b, "next"); v != graph.NodeValue(a) {
+		t.Error("back reference b->a broken")
+	}
+}
+
+func TestParseMultipleCollections(t *testing.T) {
+	src := `object p in People, Directors { name "Ann" }`
+	res, err := Parse("g", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := res.Graph.NodeByName("p")
+	for _, c := range []string{"People", "Directors"} {
+		if !res.Graph.InCollection(c, graph.NodeValue(p)) {
+			t.Errorf("p missing from %s", c)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// a comment
+# another comment
+object a { x "1" } // trailing
+`
+	if _, err := Parse("g", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	res, err := Parse("g", `object a { s "line\nbreak \"quoted\" tab\t\\" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := res.Graph.NodeByName("a")
+	v, _ := res.Graph.First(a, "s")
+	if v.Text() != "line\nbreak \"quoted\" tab\t\\" {
+		t.Errorf("escapes = %q", v.Text())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"bad top-level", `frob x { }`, "expected 'collection' or 'object'"},
+		{"unterminated string", `object a { s "abc`, "unterminated string"},
+		{"newline in string", "object a { s \"ab\nc\" }", "newline in string"},
+		{"bad escape", `object a { s "a\q" }`, "unknown escape"},
+		{"undeclared ref", `object a { next nosuch }`, "undeclared object"},
+		{"missing value", `object a { attr }`, "expected a value"},
+		{"unknown type", `object a { x pdf("f") }`, "unknown value type"},
+		{"bad int in typed", `object a { x int("zz") }`, "bad int literal"},
+		{"stray char", `object a { x "1" } %`, "unexpected character"},
+		{"missing brace", `object a  x "1" }`, "expected '{'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("g", c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseIntoMergesFiles(t *testing.T) {
+	g := graph.New("merged")
+	if err := ParseInto(g, `object a in C { val 1 }`); err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseInto(g, `object b in C { friend a }`); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Collection("C")) != 2 {
+		t.Errorf("C has %d members", len(g.Collection("C")))
+	}
+	a, _ := g.NodeByName("a")
+	b, _ := g.NodeByName("b")
+	if v, _ := g.First(b, "friend"); v != graph.NodeValue(a) {
+		t.Error("cross-file reference broken")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	res, err := Parse("BIBTEX", fig2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, res.Graph); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Parse("BIBTEX2", sb.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, sb.String())
+	}
+	g1, g2 := res.Graph, res2.Graph
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Errorf("round trip changed size: %v vs %v", g1.Stats(), g2.Stats())
+	}
+	// Attribute-level check for one object.
+	p1a, _ := g1.NodeByName("pub1")
+	p1b, _ := g2.NodeByName("pub1")
+	ea, eb := g1.Out(p1a), g2.Out(p1b)
+	if len(ea) != len(eb) {
+		t.Fatalf("pub1 edges %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i].Label != eb[i].Label || ea[i].To.String() != eb[i].To.String() {
+			t.Errorf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestWriteEmptyCollection(t *testing.T) {
+	g := graph.New("g")
+	g.DeclareCollection("Empty")
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "collection Empty { }") {
+		t.Errorf("output: %s", sb.String())
+	}
+}
+
+func TestWriteRejectsAtomCollectionMembers(t *testing.T) {
+	g := graph.New("g")
+	g.AddToCollection("C", graph.Str("atom"))
+	if err := Write(&strings.Builder{}, g); err == nil {
+		t.Fatal("expected error for atomic collection member")
+	}
+}
+
+// TestQuickWriteParseRoundTrip: arbitrary graphs with named nodes
+// survive a serialize/parse cycle exactly.
+func TestQuickWriteParseRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomNamedGraph(seed)
+		var sb strings.Builder
+		if err := Write(&sb, g); err != nil {
+			return false
+		}
+		g2, err := Parse("rt", sb.String())
+		if err != nil {
+			return false
+		}
+		return g.DumpString() == strings.Replace(g2.Graph.DumpString(), "graph rt:", "graph rnd:", 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomNamedGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New("rnd")
+	n := 2 + rng.Intn(10)
+	var ids []graph.OID
+	for i := 0; i < n; i++ {
+		ids = append(ids, g.NewNode(fmt.Sprintf("obj%d", i)))
+	}
+	labels := []string{"alpha", "beta", "gamma"}
+	for i := 0; i < n*2; i++ {
+		from := ids[rng.Intn(len(ids))]
+		label := labels[rng.Intn(len(labels))]
+		switch rng.Intn(7) {
+		case 0:
+			g.AddEdge(from, label, graph.NodeValue(ids[rng.Intn(len(ids))]))
+		case 1:
+			g.AddEdge(from, label, graph.Int(int64(rng.Intn(200)-100)))
+		case 2:
+			g.AddEdge(from, label, graph.Float(float64(rng.Intn(100))+0.5))
+		case 3:
+			g.AddEdge(from, label, graph.Bool(rng.Intn(2) == 0))
+		case 4:
+			g.AddEdge(from, label, graph.URL(fmt.Sprintf("http://h/%d", rng.Intn(9))))
+		case 5:
+			g.AddEdge(from, label, graph.File(fmt.Sprintf("f%d.x", rng.Intn(9)), graph.FileType(1+rng.Intn(4))))
+		default:
+			g.AddEdge(from, label, graph.Str(fmt.Sprintf("text %d \"quoted\"\nline", rng.Intn(9))))
+		}
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		g.AddToCollection("Things", graph.NodeValue(ids[rng.Intn(len(ids))]))
+	}
+	return g
+}

@@ -1,0 +1,32 @@
+package datadef
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the datadef parser never panics, and that graphs
+// it accepts serialize and re-parse to the same shape.
+func FuzzParse(f *testing.F) {
+	f.Add(fig2)
+	f.Add(`object a { x "1" y 2 z 3.5 b true u url("http://x") }`)
+	f.Add(`collection C { a text } object o in C { a "f.txt" nested { k "v" } }`)
+	f.Add(`object a { next b } object b { next a }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Parse("g", src)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Write(&sb, res.Graph); err != nil {
+			return // e.g. atomic collection members
+		}
+		res2, err := Parse("g2", sb.String())
+		if err != nil {
+			t.Fatalf("serialized form does not re-parse: %v\n%s", err, sb.String())
+		}
+		if res.Graph.NumEdges() != res2.Graph.NumEdges() {
+			t.Fatalf("edge count changed: %d vs %d", res.Graph.NumEdges(), res2.Graph.NumEdges())
+		}
+	})
+}

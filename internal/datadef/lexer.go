@@ -1,0 +1,216 @@
+// Package datadef implements STRUDEL's data-definition language, the
+// common exchange format between wrappers and the data repository
+// (paper Sec. 2.2, Fig. 2). A file declares collections with default
+// attribute types and objects with attribute/value pairs:
+//
+//	collection Publications { abstract text postscript ps }
+//	object pub1 in Publications {
+//	    title  "Specifying Representations..."
+//	    author "Norman Ramsey"
+//	    year   1997
+//	    postscript "papers/toplas97.ps.gz"
+//	}
+//
+// Values may be strings, numbers, booleans, typed atoms such as
+// url("...") or image("..."), references to other objects by name,
+// and nested anonymous objects written as { attr value ... }.
+package datadef
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokInt
+	tokFloat
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	default:
+		return "token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer scans datadef source into tokens. Comments run from // or #
+// to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("datadef: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, text: "{", line: l.line}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, text: "}", line: l.line}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", line: l.line}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", line: l.line}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", line: l.line}, nil
+	case '"':
+		return l.scanString()
+	}
+	if c == '-' || c >= '0' && c <= '9' {
+		return l.scanNumber()
+	}
+	// Decode the rune the same way scanIdent will: a Latin-1 byte that
+	// is not valid UTF-8 must be rejected here, or scanIdent would
+	// make no progress.
+	if r, _ := utf8.DecodeRuneInString(l.src[l.pos:]); isIdentStart(r) {
+		return l.scanIdent(), nil
+	}
+	return token{}, l.errf("unexpected character %q", c)
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#' || c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// scanString scans a double-quoted literal and decodes it with the
+// full Go escape set (strconv.Unquote), matching what the writer's
+// strconv.Quote emits.
+func (l *lexer) scanString() (token, error) {
+	start := l.line
+	begin := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '"':
+			l.pos++
+			text, err := strconv.Unquote(l.src[begin:l.pos])
+			if err != nil {
+				return token{}, l.errf("bad string literal %s: unknown escape or malformed quoting", l.src[begin:l.pos])
+			}
+			return token{kind: tokString, text: text, line: start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated escape")
+			}
+			l.pos += 2
+		case '\n':
+			return token{}, l.errf("newline in string literal")
+		default:
+			l.pos++
+		}
+	}
+	return token{}, l.errf("unterminated string literal")
+}
+
+func (l *lexer) scanNumber() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+		digits++
+	}
+	if digits == 0 {
+		return token{}, l.errf("malformed number")
+	}
+	kind := tokInt
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		kind = tokFloat
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	return token{kind: kind, text: l.src[start:l.pos], line: l.line}, nil
+}
+
+func (l *lexer) scanIdent() token {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

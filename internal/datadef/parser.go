@@ -1,0 +1,323 @@
+package datadef
+
+import (
+	"fmt"
+	"strconv"
+
+	"strudel/internal/graph"
+)
+
+// TypeDirectives records the default value types declared per
+// collection: attribute name → type name ("text", "ps", "url", ...).
+// The directives are not constraints; explicit typed values in the
+// input override them (paper Sec. 3.1).
+type TypeDirectives map[string]map[string]string
+
+// Result is the outcome of parsing a datadef source: a graph plus the
+// collection type directives encountered.
+type Result struct {
+	Graph      *graph.Graph
+	Directives TypeDirectives
+}
+
+// Parse parses datadef source into a fresh standalone graph with the
+// given name.
+func Parse(name, src string) (*Result, error) {
+	g := graph.New(name)
+	p := &parser{lex: newLexer(src), g: g, directives: TypeDirectives{}}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return &Result{Graph: g, Directives: p.directives}, nil
+}
+
+// ParseInto parses datadef source into an existing graph, so multiple
+// source files can be merged (object names are shared across files).
+func ParseInto(g *graph.Graph, src string) error {
+	p := &parser{lex: newLexer(src), g: g, directives: TypeDirectives{}}
+	return p.run()
+}
+
+type parser struct {
+	lex        *lexer
+	g          *graph.Graph
+	directives TypeDirectives
+	tok        token
+	// pendingRefs are attribute values written as bare identifiers:
+	// references to objects that may be declared later in the file.
+	pendingRefs []pendingRef
+	// declared tracks object names declared in this source.
+	declared map[string]bool
+}
+
+type pendingRef struct {
+	from  graph.OID
+	label string
+	name  string
+	line  int
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, fmt.Errorf("datadef: line %d: expected %v, found %v %q", p.tok.line, kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) run() error {
+	p.declared = map[string]bool{}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for p.tok.kind != tokEOF {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		switch kw.text {
+		case "collection":
+			if err := p.parseCollection(); err != nil {
+				return err
+			}
+		case "object":
+			if err := p.parseObject(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("datadef: line %d: expected 'collection' or 'object', found %q", kw.line, kw.text)
+		}
+	}
+	return p.resolveRefs()
+}
+
+// parseCollection handles: collection NAME { (attr type)* }
+func (p *parser) parseCollection() error {
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	p.g.DeclareCollection(nameTok.text)
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.tok.kind == tokIdent {
+		attr := p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+		typTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		m := p.directives[nameTok.text]
+		if m == nil {
+			m = map[string]string{}
+			p.directives[nameTok.text] = m
+		}
+		m[attr] = typTok.text
+	}
+	_, err = p.expect(tokRBrace)
+	return err
+}
+
+// parseObject handles: object NAME (in C1, C2...)? { (attr value)* }
+func (p *parser) parseObject() error {
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	oid := p.g.NewNode(nameTok.text)
+	p.declared[nameTok.text] = true
+	var colls []string
+	if p.tok.kind == tokIdent && p.tok.text == "in" {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for {
+			collTok, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			colls = append(colls, collTok.text)
+			p.g.AddToCollection(collTok.text, graph.NodeValue(oid))
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	if err := p.parseAttrs(oid, colls); err != nil {
+		return err
+	}
+	_, err = p.expect(tokRBrace)
+	return err
+}
+
+// parseAttrs parses attr/value pairs until the closing brace.
+func (p *parser) parseAttrs(oid graph.OID, colls []string) error {
+	for p.tok.kind == tokIdent {
+		attr := p.tok.text
+		attrLine := p.tok.line
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.parseValue(oid, attr, attrLine, colls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseValue parses one attribute value and adds the edge.
+func (p *parser) parseValue(oid graph.OID, attr string, line int, colls []string) error {
+	switch p.tok.kind {
+	case tokString:
+		v := p.typedValue(attr, p.tok.text, colls)
+		if err := p.g.AddEdge(oid, attr, v); err != nil {
+			return err
+		}
+		return p.advance()
+	case tokInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("datadef: line %d: %v", p.tok.line, err)
+		}
+		if err := p.g.AddEdge(oid, attr, graph.Int(n)); err != nil {
+			return err
+		}
+		return p.advance()
+	case tokFloat:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return fmt.Errorf("datadef: line %d: %v", p.tok.line, err)
+		}
+		if err := p.g.AddEdge(oid, attr, graph.Float(f)); err != nil {
+			return err
+		}
+		return p.advance()
+	case tokLBrace:
+		// Nested anonymous object: attr { sub value ... }
+		if err := p.advance(); err != nil {
+			return err
+		}
+		sub := p.g.NewNode("")
+		if err := p.g.AddEdge(oid, attr, graph.NodeValue(sub)); err != nil {
+			return err
+		}
+		if err := p.parseAttrs(sub, nil); err != nil {
+			return err
+		}
+		_, err := p.expect(tokRBrace)
+		return err
+	case tokIdent:
+		word := p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+		switch word {
+		case "true", "false":
+			return p.g.AddEdge(oid, attr, graph.Bool(word == "true"))
+		}
+		if p.tok.kind == tokLParen {
+			// Typed value: url("..."), ps("..."), text("..."), etc.
+			if err := p.advance(); err != nil {
+				return err
+			}
+			lit, err := p.expect(tokString)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return err
+			}
+			v, err := typedAtom(word, lit.text)
+			if err != nil {
+				return fmt.Errorf("datadef: line %d: %v", lit.line, err)
+			}
+			return p.g.AddEdge(oid, attr, v)
+		}
+		// Bare identifier: reference to another object, possibly
+		// declared later.
+		p.pendingRefs = append(p.pendingRefs, pendingRef{from: oid, label: attr, name: word, line: line})
+		return nil
+	default:
+		return fmt.Errorf("datadef: line %d: expected a value for attribute %q, found %v", p.tok.line, attr, p.tok.kind)
+	}
+}
+
+// typedValue applies collection type directives to a string literal.
+func (p *parser) typedValue(attr, lit string, colls []string) graph.Value {
+	for _, c := range colls {
+		if typ, ok := p.directives[c][attr]; ok {
+			if v, err := typedAtom(typ, lit); err == nil {
+				return v
+			}
+		}
+	}
+	return graph.Str(lit)
+}
+
+// typedAtom builds an atom of the named type from a string literal.
+func typedAtom(typ, lit string) (graph.Value, error) {
+	switch typ {
+	case "string", "str":
+		return graph.Str(lit), nil
+	case "url":
+		return graph.URL(lit), nil
+	case "int":
+		n, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return graph.Value{}, fmt.Errorf("bad int literal %q", lit)
+		}
+		return graph.Int(n), nil
+	case "float":
+		f, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return graph.Value{}, fmt.Errorf("bad float literal %q", lit)
+		}
+		return graph.Float(f), nil
+	case "bool":
+		b, err := strconv.ParseBool(lit)
+		if err != nil {
+			return graph.Value{}, fmt.Errorf("bad bool literal %q", lit)
+		}
+		return graph.Bool(b), nil
+	}
+	if ft, ok := graph.FileTypeByName(typ); ok {
+		return graph.File(lit, ft), nil
+	}
+	return graph.Value{}, fmt.Errorf("unknown value type %q", typ)
+}
+
+// resolveRefs binds bare-identifier values to the objects they name.
+func (p *parser) resolveRefs() error {
+	for _, r := range p.pendingRefs {
+		oid, ok := p.g.NodeByName(r.name)
+		if !ok {
+			return fmt.Errorf("datadef: line %d: attribute %q references undeclared object %q", r.line, r.label, r.name)
+		}
+		if err := p.g.AddEdge(r.from, r.label, graph.NodeValue(oid)); err != nil {
+			return err
+		}
+	}
+	p.pendingRefs = nil
+	return nil
+}

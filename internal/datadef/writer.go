@@ -1,0 +1,104 @@
+package datadef
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"strudel/internal/graph"
+)
+
+// Write serializes a graph in the data-definition language. Nodes with
+// symbolic names keep them; anonymous nodes are written as o<oid>.
+// The output round-trips through Parse (modulo anonymous node names).
+func Write(w io.Writer, g *graph.Graph) error {
+	// Collection membership per node, for "in" clauses.
+	memberOf := map[graph.OID][]string{}
+	atomMembers := map[string][]graph.Value{}
+	for _, c := range g.Collections() {
+		for _, m := range g.Collection(c) {
+			if m.IsNode() {
+				memberOf[m.OID()] = append(memberOf[m.OID()], c)
+			} else {
+				atomMembers[c] = append(atomMembers[c], m)
+			}
+		}
+	}
+	// Collections with atom members cannot be expressed as object "in"
+	// clauses; reject them rather than silently dropping data.
+	for c, atoms := range atomMembers {
+		if len(atoms) > 0 {
+			return fmt.Errorf("datadef: collection %q has %d atomic members, which the data-definition language cannot express", c, len(atoms))
+		}
+	}
+	// Empty collections still need declaring.
+	for _, c := range g.Collections() {
+		empty := true
+		for _, m := range g.Collection(c) {
+			if m.IsNode() {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			if _, err := fmt.Fprintf(w, "collection %s { }\n", c); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range g.Nodes() {
+		if err := writeObject(w, g, id, memberOf[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func objName(g *graph.Graph, id graph.OID) string {
+	if n := g.NodeName(id); n != "" {
+		return n
+	}
+	return "o" + strconv.FormatUint(uint64(id), 10)
+}
+
+func writeObject(w io.Writer, g *graph.Graph, id graph.OID, colls []string) error {
+	sort.Strings(colls)
+	if _, err := fmt.Fprintf(w, "object %s", objName(g, id)); err != nil {
+		return err
+	}
+	for i, c := range colls {
+		sep := ", "
+		if i == 0 {
+			sep = " in "
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", sep, c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, " {"); err != nil {
+		return err
+	}
+	for _, e := range g.Out(id) {
+		if _, err := fmt.Fprintf(w, "    %s %s\n", e.Label, formatValue(g, e.To)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func formatValue(g *graph.Graph, v graph.Value) string {
+	switch v.Kind() {
+	case graph.KindNode:
+		return objName(g, v.OID())
+	case graph.KindString:
+		return strconv.Quote(v.Text())
+	case graph.KindURL:
+		return "url(" + strconv.Quote(v.Text()) + ")"
+	case graph.KindFile:
+		return v.FileType().String() + "(" + strconv.Quote(v.Text()) + ")"
+	default:
+		return v.Text()
+	}
+}

@@ -1,0 +1,158 @@
+package graph
+
+import "strconv"
+
+// Eq reports whether two values are equal under STRUDEL's dynamic
+// coercion rules. Atomic values of different kinds are coerced when
+// compared at run time: integers and floats compare numerically,
+// numeric strings compare with numbers, and URL/file atoms compare
+// with strings by their text. Nodes are equal only by identity.
+func Eq(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Compare compares two values under dynamic coercion. It returns
+// (-1|0|1, true) when the values are comparable and (0, false)
+// otherwise. Nodes compare only with nodes, by OID, which gives a
+// stable but semantically arbitrary order used for deterministic
+// output.
+func Compare(a, b Value) (int, bool) {
+	if a.kind == KindInvalid || b.kind == KindInvalid {
+		return 0, false
+	}
+	if a.kind == KindNode || b.kind == KindNode {
+		if a.kind != KindNode || b.kind != KindNode {
+			return 0, false
+		}
+		return cmpOrder(uint64(a.oid), uint64(b.oid)), true
+	}
+	// Same-kind fast paths.
+	if a.kind == b.kind {
+		switch a.kind {
+		case KindInt:
+			return cmpOrder(a.i, b.i), true
+		case KindFloat:
+			return cmpOrder(a.f, b.f), true
+		case KindBool:
+			return cmpBool(a.b, b.b), true
+		default: // string-like
+			return cmpOrder(a.s, b.s), true
+		}
+	}
+	// Numeric coercion.
+	if an, aok := a.numeric(); aok {
+		if bn, bok := b.numeric(); bok {
+			return cmpOrder(an, bn), true
+		}
+	}
+	// Boolean coercion from strings.
+	if a.kind == KindBool || b.kind == KindBool {
+		if ab, aok := a.boolean(); aok {
+			if bb, bok := b.boolean(); bok {
+				return cmpBool(ab, bb), true
+			}
+		}
+		return 0, false
+	}
+	// String coercion: everything with a textual payload.
+	as, aok := a.coerceString()
+	bs, bok := b.coerceString()
+	if aok && bok {
+		return cmpOrder(as, bs), true
+	}
+	return 0, false
+}
+
+// numeric attempts to view the value as a float64: ints and floats
+// directly, strings by parsing.
+func (v Value) numeric() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	case KindString:
+		f, err := strconv.ParseFloat(v.s, 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// boolean attempts to view the value as a bool: bools directly,
+// strings by parsing.
+func (v Value) boolean() (bool, bool) {
+	switch v.kind {
+	case KindBool:
+		return v.b, true
+	case KindString:
+		b, err := strconv.ParseBool(v.s)
+		return b, err == nil
+	default:
+		return false, false
+	}
+}
+
+// coerceString views string-like atoms (string, URL, file) as text.
+// Numeric and boolean atoms also coerce so that mixed comparisons
+// such as year values stored as either 1997 or "1997" behave sanely
+// when one side is clearly non-numeric.
+func (v Value) coerceString() (string, bool) {
+	switch v.kind {
+	case KindString, KindURL, KindFile:
+		return v.s, true
+	case KindInt, KindFloat, KindBool:
+		return v.Text(), true
+	default:
+		return "", false
+	}
+}
+
+func cmpOrder[T int64 | float64 | uint64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Less is a total order over all values, used only for deterministic
+// iteration and sorting in output (not query semantics). It orders
+// first by kind, then within a kind by payload.
+func Less(a, b Value) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	switch a.kind {
+	case KindNode:
+		return a.oid < b.oid
+	case KindInt:
+		return a.i < b.i
+	case KindFloat:
+		return a.f < b.f
+	case KindBool:
+		return !a.b && b.b
+	case KindFile:
+		if a.ft != b.ft {
+			return a.ft < b.ft
+		}
+		return a.s < b.s
+	default:
+		return a.s < b.s
+	}
+}

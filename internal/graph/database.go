@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Database is a set of named graphs sharing one OID space, so graphs
+// may share objects and collections (a data graph and the site graphs
+// derived from it typically live in the same database).
+type Database struct {
+	mu     sync.RWMutex
+	graphs map[string]*Graph
+	alloc  *oidAllocator
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{graphs: make(map[string]*Graph), alloc: newAllocator()}
+}
+
+// NewGraph creates (or returns, if it already exists) the graph with
+// the given name.
+func (db *Database) NewGraph(name string) *Graph {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if g, ok := db.graphs[name]; ok {
+		return g
+	}
+	g := newGraph(name, db.alloc)
+	db.graphs[name] = g
+	return g
+}
+
+// Graph returns the named graph.
+func (db *Database) Graph(name string) (*Graph, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	g, ok := db.graphs[name]
+	return g, ok
+}
+
+// MustGraph returns the named graph or panics; for tests and examples.
+func (db *Database) MustGraph(name string) *Graph {
+	g, ok := db.Graph(name)
+	if !ok {
+		panic(fmt.Sprintf("graph: database has no graph %q", name))
+	}
+	return g
+}
+
+// Attach registers an externally built standalone graph under its own
+// name, adopting the database's OID space for future allocations. The
+// graph's existing OIDs are reserved so they cannot collide.
+func (db *Database) Attach(g *Graph) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	g.mu.Lock()
+	for id := range g.nodes {
+		db.alloc.reserve(id)
+	}
+	g.alloc = db.alloc
+	g.mu.Unlock()
+	db.graphs[g.name] = g
+}
+
+// Drop removes the named graph from the database.
+func (db *Database) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.graphs, name)
+}
+
+// Names returns the graph names, sorted.
+func (db *Database) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.graphs))
+	for n := range db.graphs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DisplayName renders a node for humans: its symbolic name when it has
+// one, otherwise &oid.
+func (g *Graph) DisplayName(id OID) string {
+	if n := g.NodeName(id); n != "" {
+		return n
+	}
+	return fmt.Sprintf("&%d", uint64(id))
+}
+
+// DisplayValue renders a value for humans, resolving node names.
+func (g *Graph) DisplayValue(v Value) string {
+	if v.IsNode() {
+		return g.DisplayName(v.OID())
+	}
+	return v.String()
+}
+
+// Dump writes a deterministic textual rendering of the graph: its
+// collections and, per node, its outgoing edges. Used by examples to
+// print data-graph and site-graph fragments (paper Figs. 2 and 4) and
+// by golden tests.
+func (g *Graph) Dump(w io.Writer) {
+	fmt.Fprintf(w, "graph %s: %d nodes, %d edges\n", g.name, g.NumNodes(), g.NumEdges())
+	for _, c := range g.Collections() {
+		members := g.Collection(c)
+		names := make([]string, len(members))
+		for i, m := range members {
+			names[i] = g.DisplayValue(m)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "collection %s { %s }\n", c, strings.Join(names, ", "))
+	}
+	for _, id := range g.Nodes() {
+		out := g.Out(id)
+		if len(out) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s {\n", g.DisplayName(id))
+		lines := make([]string, len(out))
+		for i, e := range out {
+			lines[i] = fmt.Sprintf("  %s -> %s", e.Label, g.DisplayValue(e.To))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+		fmt.Fprintln(w, "}")
+	}
+}
+
+// DumpString returns Dump output as a string.
+func (g *Graph) DumpString() string {
+	var b strings.Builder
+	g.Dump(&b)
+	return b.String()
+}
+
+// DOT writes the graph in Graphviz DOT format for visualization.
+func (g *Graph) DOT(w io.Writer) {
+	fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", g.name)
+	for _, id := range g.Nodes() {
+		fmt.Fprintf(w, "  n%d [label=%q];\n", uint64(id), g.DisplayName(id))
+	}
+	atomSeq := 0
+	for _, id := range g.Nodes() {
+		for _, e := range g.Out(id) {
+			if e.To.IsNode() {
+				fmt.Fprintf(w, "  n%d -> n%d [label=%q];\n", uint64(id), uint64(e.To.OID()), e.Label)
+			} else {
+				atomSeq++
+				fmt.Fprintf(w, "  a%d [shape=box,label=%q];\n", atomSeq, e.To.Text())
+				fmt.Fprintf(w, "  n%d -> a%d [label=%q];\n", uint64(id), atomSeq, e.Label)
+			}
+		}
+	}
+	fmt.Fprintln(w, "}")
+}

@@ -1,0 +1,461 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Edge is one labeled directed edge. From is always a node; To may be
+// a node or an atomic value.
+type Edge struct {
+	From  OID
+	Label string
+	To    Value
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("&%d -%q-> %s", uint64(e.From), e.Label, e.To)
+}
+
+// Graph is one labeled directed graph: a set of nodes, labeled edges,
+// and named collections of objects. Graphs belonging to the same
+// Database share an OID space and may share objects. All methods are
+// safe for concurrent use.
+type Graph struct {
+	mu    sync.RWMutex
+	name  string
+	alloc *oidAllocator
+
+	nodes map[OID]*nodeData
+	// names maps a symbolic node name ("pub1", "RootPage()") to its OID.
+	names map[string]OID
+	colls map[string]*collection
+	// edgeCount caches the total number of edges for Stats.
+	edgeCount int
+}
+
+type nodeData struct {
+	name string
+	out  []Edge
+	in   []Edge // reverse adjacency; only edges whose To is a node land here
+}
+
+type collection struct {
+	members []Value
+	seen    map[Value]struct{}
+}
+
+// oidAllocator hands out database-unique OIDs.
+type oidAllocator struct {
+	mu   sync.Mutex
+	next OID
+}
+
+func newAllocator() *oidAllocator { return &oidAllocator{next: 1} }
+
+func (a *oidAllocator) take() OID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id := a.next
+	a.next++
+	return id
+}
+
+// reserve advances the allocator past id so externally supplied OIDs
+// (e.g. loaded from a snapshot) never collide with fresh ones.
+func (a *oidAllocator) reserve(id OID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id >= a.next {
+		a.next = id + 1
+	}
+}
+
+// New creates a standalone graph with its own OID space.
+func New(name string) *Graph {
+	return newGraph(name, newAllocator())
+}
+
+// NewSibling creates a graph sharing g's OID space, so the two graphs
+// can share objects (e.g. a site graph derived from a data graph).
+func (g *Graph) NewSibling(name string) *Graph {
+	return newGraph(name, g.alloc)
+}
+
+func newGraph(name string, alloc *oidAllocator) *Graph {
+	return &Graph{
+		name:  name,
+		alloc: alloc,
+		nodes: make(map[OID]*nodeData),
+		names: make(map[string]OID),
+		colls: make(map[string]*collection),
+	}
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// NewNode allocates a fresh node with an optional symbolic name and
+// returns its OID. If the name is already bound the existing node is
+// returned; an empty name never binds.
+func (g *Graph) NewNode(name string) OID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if name != "" {
+		if id, ok := g.names[name]; ok {
+			return id
+		}
+	}
+	id := g.alloc.take()
+	g.nodes[id] = &nodeData{name: name}
+	if name != "" {
+		g.names[name] = id
+	}
+	return id
+}
+
+// AddNode inserts an existing node (same database, e.g. an object
+// shared with another graph) into this graph. It is a no-op if the
+// node is already present.
+func (g *Graph) AddNode(id OID, name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.alloc.reserve(id)
+	if _, ok := g.nodes[id]; !ok {
+		g.nodes[id] = &nodeData{name: name}
+	}
+	if name != "" {
+		if _, bound := g.names[name]; !bound {
+			g.names[name] = id
+		}
+	}
+}
+
+// HasNode reports whether the node belongs to this graph.
+func (g *Graph) HasNode(id OID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// NodeName returns the symbolic name of a node, or "" if unnamed.
+func (g *Graph) NodeName(id OID) string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if nd, ok := g.nodes[id]; ok {
+		return nd.name
+	}
+	return ""
+}
+
+// NodeByName resolves a symbolic node name.
+func (g *Graph) NodeByName(name string) (OID, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	id, ok := g.names[name]
+	return id, ok
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.edgeCount
+}
+
+// Nodes returns all node OIDs in ascending order.
+func (g *Graph) Nodes() []OID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]OID, 0, len(g.nodes))
+	for id := range g.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddEdge adds a labeled edge from a node to a value. The target node
+// of a node-valued edge is implicitly added to the graph if missing
+// (graphs of the same database may share objects). Duplicate edges
+// (same from, label, to) are ignored.
+func (g *Graph) AddEdge(from OID, label string, to Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	nd, ok := g.nodes[from]
+	if !ok {
+		return fmt.Errorf("graph %q: edge source &%d is not a node of this graph", g.name, uint64(from))
+	}
+	if to.IsZero() {
+		return fmt.Errorf("graph %q: edge %q from &%d has invalid target", g.name, label, uint64(from))
+	}
+	for _, e := range nd.out {
+		if e.Label == label && e.To == to {
+			return nil
+		}
+	}
+	if to.IsNode() {
+		g.alloc.reserve(to.OID())
+		tn, ok := g.nodes[to.OID()]
+		if !ok {
+			tn = &nodeData{}
+			g.nodes[to.OID()] = tn
+		}
+		tn.in = append(tn.in, Edge{From: from, Label: label, To: to})
+	}
+	nd.out = append(nd.out, Edge{From: from, Label: label, To: to})
+	g.edgeCount++
+	return nil
+}
+
+// EachOut calls fn for each outgoing edge of a node, in insertion
+// order, without copying. Iteration stops early if fn returns false.
+// fn must not mutate the graph (a writer blocked between fn calls
+// would deadlock readers).
+func (g *Graph) EachOut(id OID, fn func(Edge) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	nd, ok := g.nodes[id]
+	if !ok {
+		return
+	}
+	for _, e := range nd.out {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Out returns the outgoing edges of a node, in insertion order.
+func (g *Graph) Out(id OID) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	nd, ok := g.nodes[id]
+	if !ok {
+		return nil
+	}
+	out := make([]Edge, len(nd.out))
+	copy(out, nd.out)
+	return out
+}
+
+// OutLabel returns the values reachable from a node via edges with the
+// given label, in insertion order.
+func (g *Graph) OutLabel(id OID, label string) []Value {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	nd, ok := g.nodes[id]
+	if !ok {
+		return nil
+	}
+	var vals []Value
+	for _, e := range nd.out {
+		if e.Label == label {
+			vals = append(vals, e.To)
+		}
+	}
+	return vals
+}
+
+// First returns the first value of the given attribute, if any. It is
+// the single-valued attribute accessor used by the template language.
+func (g *Graph) First(id OID, label string) (Value, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	nd, ok := g.nodes[id]
+	if !ok {
+		return Value{}, false
+	}
+	for _, e := range nd.out {
+		if e.Label == label {
+			return e.To, true
+		}
+	}
+	return Value{}, false
+}
+
+// In returns the incoming node-to-node edges of a node.
+func (g *Graph) In(id OID) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	nd, ok := g.nodes[id]
+	if !ok {
+		return nil
+	}
+	in := make([]Edge, len(nd.in))
+	copy(in, nd.in)
+	return in
+}
+
+// Edges calls fn for every edge in the graph, grouped by source node
+// in ascending OID order. Iteration stops early if fn returns false.
+func (g *Graph) Edges(fn func(Edge) bool) {
+	for _, id := range g.Nodes() {
+		for _, e := range g.Out(id) {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// AllEdges returns every edge, grouped by source node in ascending
+// OID order.
+func (g *Graph) AllEdges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	g.Edges(func(e Edge) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// Labels returns the distinct edge labels in the graph, sorted. This
+// is a schema query: the repository also maintains a label index, but
+// the graph can always answer from first principles.
+func (g *Graph) Labels() []string {
+	g.mu.RLock()
+	set := make(map[string]struct{})
+	for _, nd := range g.nodes {
+		for _, e := range nd.out {
+			set[e.Label] = struct{}{}
+		}
+	}
+	g.mu.RUnlock()
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddToCollection inserts a value into a named collection, creating
+// the collection if needed. Duplicates are ignored.
+func (g *Graph) AddToCollection(name string, v Value) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.colls[name]
+	if !ok {
+		c = &collection{seen: make(map[Value]struct{})}
+		g.colls[name] = c
+	}
+	if _, dup := c.seen[v]; dup {
+		return
+	}
+	c.seen[v] = struct{}{}
+	c.members = append(c.members, v)
+	if v.IsNode() {
+		g.alloc.reserve(v.OID())
+		if _, present := g.nodes[v.OID()]; !present {
+			g.nodes[v.OID()] = &nodeData{}
+		}
+	}
+}
+
+// DeclareCollection ensures a (possibly empty) collection exists.
+func (g *Graph) DeclareCollection(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.colls[name]; !ok {
+		g.colls[name] = &collection{seen: make(map[Value]struct{})}
+	}
+}
+
+// Collection returns the members of a collection in insertion order.
+func (g *Graph) Collection(name string) []Value {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c, ok := g.colls[name]
+	if !ok {
+		return nil
+	}
+	out := make([]Value, len(c.members))
+	copy(out, c.members)
+	return out
+}
+
+// InCollection reports membership of a value in a collection.
+func (g *Graph) InCollection(name string, v Value) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c, ok := g.colls[name]
+	if !ok {
+		return false
+	}
+	_, member := c.seen[v]
+	return member
+}
+
+// Collections returns the collection names, sorted. These are the
+// entry points into the graph's objects.
+func (g *Graph) Collections() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.colls))
+	for n := range g.colls {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasCollection reports whether a collection is declared.
+func (g *Graph) HasCollection(name string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.colls[name]
+	return ok
+}
+
+// Stats summarizes the size of a graph.
+type Stats struct {
+	Nodes       int
+	Edges       int
+	Collections int
+	Labels      int
+}
+
+// Stats computes the graph's size summary.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		Collections: len(g.Collections()),
+		Labels:      len(g.Labels()),
+	}
+}
+
+// Reachable returns the set of nodes reachable from start by following
+// node-to-node edges (including start itself).
+func (g *Graph) Reachable(start OID) map[OID]struct{} {
+	seen := map[OID]struct{}{}
+	if !g.HasNode(start) {
+		return seen
+	}
+	stack := []OID{start}
+	seen[start] = struct{}{}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Out(n) {
+			if e.To.IsNode() {
+				t := e.To.OID()
+				if _, ok := seen[t]; !ok {
+					seen[t] = struct{}{}
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+	return seen
+}

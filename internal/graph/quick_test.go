@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a graph from a seed: named nodes, random edges to
+// nodes and atoms, random collections. Deterministic per seed.
+func randomGraph(seed int64, nodes int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New("rnd")
+	ids := make([]OID, nodes)
+	for i := range ids {
+		ids[i] = g.NewNode(nodeName(i))
+	}
+	labels := []string{"a", "b", "c", "next", "title"}
+	for i := 0; i < nodes*3; i++ {
+		from := ids[rng.Intn(len(ids))]
+		label := labels[rng.Intn(len(labels))]
+		if rng.Intn(2) == 0 {
+			g.AddEdge(from, label, NodeValue(ids[rng.Intn(len(ids))]))
+		} else {
+			g.AddEdge(from, label, randomAtom(rng))
+		}
+	}
+	for i := 0; i < nodes/2; i++ {
+		g.AddToCollection("C"+string(rune('A'+rng.Intn(3))), NodeValue(ids[rng.Intn(len(ids))]))
+	}
+	return g
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func randomAtom(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Int(int64(rng.Intn(1000)))
+	case 1:
+		return Float(float64(rng.Intn(100)) / 4)
+	case 2:
+		return Bool(rng.Intn(2) == 0)
+	case 3:
+		return File("f"+string(rune('0'+rng.Intn(10))), FileType(rng.Intn(5)))
+	default:
+		return Str("s" + string(rune('0'+rng.Intn(10))))
+	}
+}
+
+// TestQuickEdgeCountConsistent: NumEdges always equals the number of
+// edges enumerated.
+func TestQuickEdgeCountConsistent(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(seed, 10+int(seed%20+20)%20)
+		return g.NumEdges() == len(g.AllEdges())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInOutDuality: every node-target edge appears in the
+// target's In list, and every In entry has a matching Out edge.
+func TestQuickInOutDuality(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(seed, 15)
+		for _, id := range g.Nodes() {
+			for _, e := range g.Out(id) {
+				if !e.To.IsNode() {
+					continue
+				}
+				found := false
+				for _, in := range g.In(e.To.OID()) {
+					if in == e {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			for _, in := range g.In(id) {
+				found := false
+				for _, out := range g.Out(in.From) {
+					if out == in {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReachableSubsetAndMonotone: reachable sets are subsets of
+// the node set and contain the start.
+func TestQuickReachableClosed(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(seed, 12)
+		nodes := g.Nodes()
+		if len(nodes) == 0 {
+			return true
+		}
+		start := nodes[int(seed%int64(len(nodes))+int64(len(nodes)))%len(nodes)]
+		reach := g.Reachable(start)
+		if _, ok := reach[start]; !ok {
+			return false
+		}
+		// Closure: every node edge from a reachable node stays inside.
+		for id := range reach {
+			for _, e := range g.Out(id) {
+				if e.To.IsNode() {
+					if _, ok := reach[e.To.OID()]; !ok {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDumpDeterministic: rebuilding the same graph dumps
+// identically.
+func TestQuickDumpDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		return randomGraph(seed, 10).DumpString() == randomGraph(seed, 10).DumpString()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompareEqConsistency: Eq agrees with Compare == 0, and
+// comparison with self holds for all atoms.
+func TestQuickCompareEqConsistency(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomAtom(rng), randomAtom(rng)
+		cmp, ok := Compare(a, b)
+		if ok && (cmp == 0) != Eq(a, b) {
+			return false
+		}
+		if !Eq(a, a) {
+			return false
+		}
+		selfCmp, selfOK := Compare(a, a)
+		return selfOK && selfCmp == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,446 @@
+// Package incremental implements STRUDEL's dynamic site evaluation
+// ([FER 98c], paper Secs. 1 and 6): instead of completely
+// materializing a site graph before browsing, the site-definition
+// query is decomposed into one query per Skolem function (per page
+// class). Only the site's roots are precomputed; when a user clicks
+// to a page, the page's query runs at click time against the data
+// graph, and its result is cached to reduce click time for future
+// visits. The entire spectrum between full materialization and pure
+// click-time evaluation is thus available.
+package incremental
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+)
+
+// PageRef identifies one page: a Skolem function applied to values.
+type PageRef struct {
+	Func string
+	Args []graph.Value
+	// key caches the graph-resolved rendering (node args by name).
+	key string
+}
+
+// Key renders the canonical page key, e.g. "YearPage(1997)"; it
+// matches the node names the full evaluator gives Skolem nodes, so
+// materialized and dynamic sites agree on identity.
+func (r PageRef) Key() string {
+	if r.key != "" {
+		return r.key
+	}
+	return r.keyWith(nil)
+}
+
+func (r PageRef) keyWith(g *graph.Graph) string {
+	if r.key != "" {
+		return r.key
+	}
+	parts := make([]string, len(r.Args))
+	for i, a := range r.Args {
+		if g != nil && a.IsNode() {
+			if n := g.NodeName(a.OID()); n != "" {
+				parts[i] = n
+				continue
+			}
+		}
+		parts[i] = a.String()
+	}
+	return r.Func + "(" + strings.Join(parts, ",") + ")"
+}
+
+// PageEdge is one outgoing edge of a dynamically computed page.
+type PageEdge struct {
+	Label string
+	// Page is set when the target is another page.
+	Page *PageRef
+	// Value is set when the target is an atom or a data-graph node.
+	Value graph.Value
+}
+
+// PageData is the computed content of one page.
+type PageData struct {
+	Ref   PageRef
+	Key   string
+	Edges []PageEdge
+}
+
+// First returns the first value of an attribute among the page's
+// atom-valued edges.
+func (p *PageData) First(label string) (graph.Value, bool) {
+	for _, e := range p.Edges {
+		if e.Label == label && e.Page == nil {
+			return e.Value, true
+		}
+	}
+	return graph.Value{}, false
+}
+
+// pageClause is one link clause contributing edges to a function's
+// pages, with the full condition conjunction governing it.
+type pageClause struct {
+	conds    []struql.Condition
+	fromArgs []struql.Term
+	label    struql.LabelTerm
+	to       struql.LinkTarget
+}
+
+// collectClause is a collect clause with its governing conjunction,
+// used to compute the site's roots.
+type collectClause struct {
+	conds      []struql.Condition
+	collection string
+	target     struql.LinkTarget
+}
+
+// Stats reports cache behaviour.
+type Stats struct {
+	CacheHits, CacheMisses int
+	BindingsComputed       int
+}
+
+// Decomposition is a site-definition query split into per-page
+// queries over a data graph.
+type Decomposition struct {
+	input *graph.Graph
+	reg   *struql.Registry
+	// planner, when set, evaluates conjunctions through the query
+	// optimizer instead of the interpreter (see UsePlanner).
+	planner func([]struql.Condition, []struql.Binding) ([]struql.Binding, error)
+
+	pages    map[string][]pageClause
+	collects []collectClause
+
+	mu    sync.Mutex
+	cache map[string]*PageData
+	// known maps page keys to refs discovered so far, so a server can
+	// resolve an incoming URL back to a page.
+	known map[string]PageRef
+	stats Stats
+}
+
+// Decompose splits a query. The registry may be nil (built-ins only).
+func Decompose(q *struql.Query, input *graph.Graph, reg *struql.Registry) *Decomposition {
+	if reg == nil {
+		reg = struql.NewRegistry()
+	}
+	d := &Decomposition{
+		input: input,
+		reg:   reg,
+		pages: map[string][]pageClause{},
+		cache: map[string]*PageData{},
+		known: map[string]PageRef{},
+	}
+	var walk func(b *struql.Block, conds []struql.Condition)
+	walk = func(b *struql.Block, conds []struql.Condition) {
+		conds = append(conds[:len(conds):len(conds)], b.Where...)
+		for _, l := range b.Links {
+			fn := l.From.Skolem.Func
+			d.pages[fn] = append(d.pages[fn], pageClause{
+				conds:    conds,
+				fromArgs: l.From.Skolem.Args,
+				label:    l.Label,
+				to:       l.To,
+			})
+		}
+		for _, c := range b.Collects {
+			d.collects = append(d.collects, collectClause{
+				conds:      conds,
+				collection: c.Collection,
+				target:     c.Target,
+			})
+		}
+		// Creates without links still define (empty) pages.
+		for _, ct := range b.Creates {
+			if _, ok := d.pages[ct.Func]; !ok {
+				d.pages[ct.Func] = nil
+			}
+		}
+		for _, ch := range b.Children {
+			walk(ch, conds)
+		}
+	}
+	walk(q.Root, nil)
+	return d
+}
+
+// UsePlanner routes the per-page conjunctions through a planner hook
+// (e.g. optimizer.Hook), so click-time evaluation also benefits from
+// the repository's indexes.
+func (d *Decomposition) UsePlanner(fn func([]struql.Condition, []struql.Binding) ([]struql.Binding, error)) {
+	d.planner = fn
+}
+
+// evalBindings evaluates one conjunction via the planner when set.
+func (d *Decomposition) evalBindings(conds []struql.Condition, seed []struql.Binding) ([]struql.Binding, error) {
+	if d.planner != nil {
+		return d.planner(conds, seed)
+	}
+	return struql.EvalBindings(d.input, d.reg, conds, seed)
+}
+
+// Functions lists the page classes (Skolem functions), sorted.
+func (d *Decomposition) Functions() []string {
+	out := make([]string, 0, len(d.pages))
+	for f := range d.pages {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a copy of the cache statistics.
+func (d *Decomposition) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// InvalidateCache drops all cached pages (call after the data graph
+// changes).
+func (d *Decomposition) InvalidateCache() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cache = map[string]*PageData{}
+}
+
+// Resolve maps a page key back to a discovered PageRef.
+func (d *Decomposition) Resolve(key string) (PageRef, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.known[key]
+	return r, ok
+}
+
+func (d *Decomposition) remember(r *PageRef) string {
+	if r.key == "" {
+		r.key = r.keyWith(d.input)
+	}
+	d.mu.Lock()
+	d.known[r.key] = *r
+	d.mu.Unlock()
+	return r.key
+}
+
+// Roots precomputes the page references (and plain values) collected
+// into a named collection — the precomputed entry points of the site.
+func (d *Decomposition) Roots(collection string) ([]PageRef, error) {
+	var out []PageRef
+	seen := map[string]bool{}
+	for _, c := range d.collects {
+		if c.collection != collection || c.target.Skolem == nil {
+			continue
+		}
+		rows, err := d.evalBindings(c.conds, nil)
+		if err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		d.stats.BindingsComputed += len(rows)
+		d.mu.Unlock()
+		for _, row := range rows {
+			ref, err := refFromSkolem(*c.target.Skolem, row)
+			if err != nil {
+				return nil, err
+			}
+			key := d.remember(&ref)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, ref)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Page computes (or returns from cache) one page's content.
+func (d *Decomposition) Page(ref PageRef) (*PageData, error) {
+	key := d.remember(&ref)
+	d.mu.Lock()
+	if pd, ok := d.cache[key]; ok {
+		d.stats.CacheHits++
+		d.mu.Unlock()
+		return pd, nil
+	}
+	d.stats.CacheMisses++
+	clauses := d.pages[ref.Func]
+	d.mu.Unlock()
+
+	pd := &PageData{Ref: ref, Key: key}
+	edgeSeen := map[string]bool{}
+	type aggGroup struct {
+		op    struql.AggOp
+		label string
+		seen  map[graph.Value]struct{}
+		vals  []graph.Value
+	}
+	var aggGroups []*aggGroup
+	for _, cl := range clauses {
+		if len(cl.fromArgs) != len(ref.Args) {
+			continue // a different arity overload of the function
+		}
+		// Seed the bindings with the page's own arguments.
+		seed := struql.Binding{}
+		ok := true
+		for i, t := range cl.fromArgs {
+			if t.IsVar() {
+				if prev, bound := seed[t.Var]; bound && prev != ref.Args[i] {
+					ok = false
+					break
+				}
+				seed[t.Var] = ref.Args[i]
+			} else if t.Const != ref.Args[i] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		rows, err := d.evalBindings(cl.conds, []struql.Binding{seed})
+		if err != nil {
+			return nil, fmt.Errorf("incremental: page %s: %w", key, err)
+		}
+		d.mu.Lock()
+		d.stats.BindingsComputed += len(rows)
+		d.mu.Unlock()
+		// Aggregate targets group over all of this clause's rows.
+		var grp *aggGroup
+		if cl.to.Agg != nil && len(rows) > 0 {
+			label := cl.label.Lit
+			if cl.label.Var != "" {
+				if lv, ok := rows[0][cl.label.Var]; ok {
+					label, _ = lv.AsString()
+				}
+			}
+			grp = &aggGroup{op: cl.to.Agg.Op, label: label, seen: map[graph.Value]struct{}{}}
+			aggGroups = append(aggGroups, grp)
+		}
+		for _, row := range rows {
+			if grp != nil {
+				v, ok := row[cl.to.Agg.Var]
+				if !ok {
+					return nil, fmt.Errorf("incremental: page %s: aggregate variable %q unbound", key, cl.to.Agg.Var)
+				}
+				if _, dup := grp.seen[v]; !dup {
+					grp.seen[v] = struct{}{}
+					grp.vals = append(grp.vals, v)
+				}
+				continue
+			}
+			edge, err := d.edgeFor(cl, row)
+			if err != nil {
+				return nil, fmt.Errorf("incremental: page %s: %w", key, err)
+			}
+			sig := edgeSignature(edge)
+			if !edgeSeen[sig] {
+				edgeSeen[sig] = true
+				pd.Edges = append(pd.Edges, edge)
+			}
+		}
+	}
+	for _, grp := range aggGroups {
+		v, err := struql.Aggregate(grp.op, grp.vals)
+		if err != nil {
+			return nil, fmt.Errorf("incremental: page %s: %w", key, err)
+		}
+		pd.Edges = append(pd.Edges, PageEdge{Label: grp.label, Value: v})
+	}
+	d.mu.Lock()
+	d.cache[key] = pd
+	d.mu.Unlock()
+	return pd, nil
+}
+
+func (d *Decomposition) edgeFor(cl pageClause, row struql.Binding) (PageEdge, error) {
+	var e PageEdge
+	switch {
+	case cl.label.Var != "":
+		lv, ok := row[cl.label.Var]
+		if !ok {
+			return e, fmt.Errorf("arc variable %q unbound", cl.label.Var)
+		}
+		e.Label, _ = lv.AsString()
+	default:
+		e.Label = cl.label.Lit
+	}
+	if cl.to.Skolem != nil {
+		ref, err := refFromSkolem(*cl.to.Skolem, row)
+		if err != nil {
+			return e, err
+		}
+		d.remember(&ref)
+		e.Page = &ref
+		return e, nil
+	}
+	if cl.to.Term.IsVar() {
+		v, ok := row[cl.to.Term.Var]
+		if !ok {
+			return e, fmt.Errorf("variable %q unbound", cl.to.Term.Var)
+		}
+		e.Value = v
+		return e, nil
+	}
+	e.Value = cl.to.Term.Const
+	return e, nil
+}
+
+func refFromSkolem(s struql.SkolemTerm, row struql.Binding) (PageRef, error) {
+	ref := PageRef{Func: s.Func, Args: make([]graph.Value, len(s.Args))}
+	for i, t := range s.Args {
+		if t.IsVar() {
+			v, ok := row[t.Var]
+			if !ok {
+				return ref, fmt.Errorf("variable %q unbound in Skolem term %s", t.Var, s)
+			}
+			ref.Args[i] = v
+		} else {
+			ref.Args[i] = t.Const
+		}
+	}
+	return ref, nil
+}
+
+func edgeSignature(e PageEdge) string {
+	if e.Page != nil {
+		return e.Label + "\x00P" + e.Page.Key()
+	}
+	return e.Label + "\x00V" + e.Value.String()
+}
+
+// MaterializeAll walks the whole site breadth-first from the given
+// root collection, computing every page. It is the "compute the
+// complete site before users browse it" end of the spectrum, built on
+// the same per-page queries, and returns the number of pages.
+func (d *Decomposition) MaterializeAll(rootCollection string) (int, error) {
+	roots, err := d.Roots(rootCollection)
+	if err != nil {
+		return 0, err
+	}
+	queue := roots
+	visited := map[string]bool{}
+	for len(queue) > 0 {
+		ref := queue[0]
+		queue = queue[1:]
+		key := ref.keyWith(d.input)
+		if visited[key] {
+			continue
+		}
+		visited[key] = true
+		pd, err := d.Page(ref)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range pd.Edges {
+			if e.Page != nil && !visited[e.Page.keyWith(d.input)] {
+				queue = append(queue, *e.Page)
+			}
+		}
+	}
+	return len(visited), nil
+}

@@ -1,0 +1,144 @@
+package incremental
+
+import (
+	"fmt"
+	"html"
+	"net/url"
+	"strings"
+
+	"strudel/internal/graph"
+	"strudel/internal/template"
+)
+
+// Renderer renders dynamically computed pages to HTML with the same
+// template language the static generator uses. Because a dynamic page
+// is not part of a materialized site graph, the renderer materializes
+// a small transient graph around the requested page — the page's own
+// edges plus, recursively, the edges of pages it embeds — and
+// evaluates the template against it.
+type Renderer struct {
+	Dec       *Decomposition
+	Templates map[string]*template.Template
+	// EmbedOnly marks functions always embedded, never linked.
+	EmbedOnly map[string]bool
+	// URLFor maps a page key to its URL; default "/page/<key>".
+	URLFor func(key string) string
+	// MaxDepth bounds transitive embedding (default 8).
+	MaxDepth int
+}
+
+func (r *Renderer) urlFor(key string) string {
+	if r.URLFor != nil {
+		return r.URLFor(key)
+	}
+	return "/page/" + url.PathEscape(key)
+}
+
+func (r *Renderer) maxDepth() int {
+	if r.MaxDepth > 0 {
+		return r.MaxDepth
+	}
+	return 8
+}
+
+// RenderPage computes and renders one page.
+func (r *Renderer) RenderPage(ref PageRef) (string, error) {
+	g := graph.New("dynamic")
+	oid, err := r.materialize(g, ref, 0, map[string]graph.OID{})
+	if err != nil {
+		return "", err
+	}
+	return r.renderOID(g, oid, 0)
+}
+
+// materialize loads a page's edges into the transient graph, recursing
+// into page targets up to the depth limit. Non-embedded page targets
+// are materialized shallowly (node only) since only their key is
+// needed for the link.
+func (r *Renderer) materialize(g *graph.Graph, ref PageRef, depth int, seen map[string]graph.OID) (graph.OID, error) {
+	key := ref.keyWith(r.Dec.input)
+	if oid, ok := seen[key]; ok {
+		return oid, nil
+	}
+	oid := g.NewNode(key)
+	seen[key] = oid
+	if depth > r.maxDepth() {
+		return oid, nil
+	}
+	pd, err := r.Dec.Page(ref)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range pd.Edges {
+		switch {
+		case e.Page != nil:
+			sub, err := r.materialize(g, *e.Page, depth+1, seen)
+			if err != nil {
+				return 0, err
+			}
+			if err := g.AddEdge(oid, e.Label, graph.NodeValue(sub)); err != nil {
+				return 0, err
+			}
+		case e.Value.IsNode():
+			// Data-graph node: carry its name across for display.
+			name := r.Dec.input.NodeName(e.Value.OID())
+			sub := g.NewNode(name)
+			if err := g.AddEdge(oid, e.Label, graph.NodeValue(sub)); err != nil {
+				return 0, err
+			}
+		default:
+			if err := g.AddEdge(oid, e.Label, e.Value); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return oid, nil
+}
+
+// funcOf extracts the Skolem function from a transient node name.
+func funcOf(name string) string {
+	if i := strings.IndexByte(name, '('); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Renderer) renderOID(g *graph.Graph, oid graph.OID, depth int) (string, error) {
+	if depth > r.maxDepth() {
+		return "", fmt.Errorf("incremental: embedding depth exceeds %d", r.maxDepth())
+	}
+	name := g.NodeName(oid)
+	tpl, ok := r.Templates[funcOf(name)]
+	if !ok {
+		return html.EscapeString(name), nil
+	}
+	env := &template.Env{
+		Graph: g,
+		Self:  oid,
+		Render: func(v graph.Value, opts template.RenderOpts) (string, error) {
+			return r.renderValue(g, v, opts, depth)
+		},
+	}
+	return tpl.ExecuteString(env)
+}
+
+func (r *Renderer) renderValue(g *graph.Graph, v graph.Value, opts template.RenderOpts, depth int) (string, error) {
+	if v.IsNode() {
+		name := g.NodeName(v.OID())
+		fn := funcOf(name)
+		_, templated := r.Templates[fn]
+		isPage := templated && !r.EmbedOnly[fn]
+		if isPage && !opts.Embed {
+			tag := opts.LinkTag
+			if tag == "" {
+				tag = name
+			}
+			return fmt.Sprintf("<a href=%q>%s</a>", r.urlFor(name), html.EscapeString(tag)), nil
+		}
+		if templated {
+			return r.renderOID(g, v.OID(), depth+1)
+		}
+		return html.EscapeString(name), nil
+	}
+	return template.RenderAtom(g, v, opts)
+}

@@ -1,0 +1,170 @@
+// Package mediator implements STRUDEL's mediation layer (paper
+// Sec. 2.3): a uniform, integrated view of all underlying data,
+// irrespective of where it is stored. Following the paper's prototype
+// it takes the warehousing approach to data integration — sources are
+// wrapped into graphs and the result of integration is stored in the
+// repository — and the global-as-view (GAV) approach to schema
+// mapping: the relationship between the mediated view and the sources
+// is given by StruQL queries, one or more per source, whose outputs
+// build the warehouse graph. Sources without mapping queries are
+// merged verbatim (object names preserved), which suits sources
+// already shaped like the mediated view.
+package mediator
+
+import (
+	"fmt"
+
+	"strudel/internal/graph"
+	"strudel/internal/repository"
+	"strudel/internal/struql"
+	"strudel/internal/wrapper"
+)
+
+// SourceMode selects how a source reaches the warehouse.
+type SourceMode int
+
+const (
+	// Merge copies the wrapped source graph into the warehouse
+	// verbatim, preserving object identity and names.
+	Merge SourceMode = iota
+	// Mapped keeps the source graph out of the warehouse; only GAV
+	// mapping queries over it contribute.
+	Mapped
+)
+
+// Source is one external data source.
+type Source struct {
+	Name    string
+	Wrapper wrapper.Wrapper
+	Mode    SourceMode
+	// Fetch returns the current source text; called on every Refresh
+	// so changing source data is picked up (the paper: "the data in
+	// the sources may change frequently").
+	Fetch func() (string, error)
+}
+
+// Mediator integrates a set of sources into one warehouse graph.
+type Mediator struct {
+	repo      *repository.Repository
+	warehouse string
+	sources   []*Source
+	mappings  []*struql.Query
+	registry  *struql.Registry
+	// Refreshes counts warehouse rebuilds, for diagnostics.
+	Refreshes int
+}
+
+// New creates a mediator that materializes its integrated view in the
+// named warehouse graph of the repository.
+func New(repo *repository.Repository, warehouseName string) *Mediator {
+	return &Mediator{
+		repo:      repo,
+		warehouse: warehouseName,
+		registry:  struql.NewRegistry(),
+	}
+}
+
+// Registry exposes the predicate registry used by mapping queries.
+func (m *Mediator) Registry() *struql.Registry { return m.registry }
+
+// AddSource registers a source with static content and a built-in
+// wrapper kind.
+func (m *Mediator) AddSource(name, kind, content string) error {
+	w, ok := wrapper.ByName(kind)
+	if !ok {
+		return fmt.Errorf("mediator: unknown wrapper kind %q for source %q", kind, name)
+	}
+	m.sources = append(m.sources, &Source{
+		Name:    name,
+		Wrapper: w,
+		Fetch:   func() (string, error) { return content, nil },
+	})
+	return nil
+}
+
+// AddSourceDynamic registers a source with a fetch function, a custom
+// wrapper and a mode.
+func (m *Mediator) AddSourceDynamic(s *Source) {
+	m.sources = append(m.sources, s)
+}
+
+// AddMapping registers a GAV mapping query. The query's INPUT names a
+// source; its constructions are applied to the warehouse graph.
+func (m *Mediator) AddMapping(q *struql.Query) error {
+	if q.Input == "" {
+		return fmt.Errorf("mediator: mapping query must name its INPUT source")
+	}
+	m.mappings = append(m.mappings, q)
+	return nil
+}
+
+// Refresh re-wraps every source and rebuilds the warehouse from
+// scratch. Incremental view maintenance for semistructured data is an
+// open problem the paper defers (Sec. 6); full rebuild matches its
+// prototype. The warehouse graph object is replaced in the repository;
+// callers must re-resolve it.
+func (m *Mediator) Refresh() (*graph.Graph, error) {
+	db := m.repo.Database()
+	// Wrap sources into per-source graphs.
+	srcGraphs := map[string]*graph.Graph{}
+	for _, s := range m.sources {
+		content, err := s.Fetch()
+		if err != nil {
+			return nil, fmt.Errorf("mediator: fetching source %q: %w", s.Name, err)
+		}
+		name := "src:" + s.Name
+		db.Drop(name)
+		g := db.NewGraph(name)
+		if err := s.Wrapper.Wrap(g, s.Name, content); err != nil {
+			return nil, fmt.Errorf("mediator: wrapping source %q: %w", s.Name, err)
+		}
+		m.repo.Invalidate(name)
+		srcGraphs[s.Name] = g
+	}
+	// Rebuild the warehouse.
+	db.Drop(m.warehouse)
+	wh := db.NewGraph(m.warehouse)
+	for _, s := range m.sources {
+		if s.Mode == Merge {
+			mergeInto(wh, srcGraphs[s.Name])
+		}
+	}
+	// Apply GAV mappings.
+	for _, q := range m.mappings {
+		src, ok := srcGraphs[q.Input]
+		if !ok {
+			return nil, fmt.Errorf("mediator: mapping query reads unknown source %q", q.Input)
+		}
+		if _, err := struql.Eval(q, src, &struql.Options{Output: wh, Registry: m.registry}); err != nil {
+			return nil, fmt.Errorf("mediator: mapping over source %q: %w", q.Input, err)
+		}
+	}
+	m.repo.Invalidate(m.warehouse)
+	m.Refreshes++
+	return wh, nil
+}
+
+// Warehouse returns the current warehouse graph, if Refresh has run.
+func (m *Mediator) Warehouse() (*graph.Graph, bool) {
+	return m.repo.Graph(m.warehouse)
+}
+
+// mergeInto copies src into dst verbatim. The graphs share the
+// repository database's OID space, so identity is preserved.
+func mergeInto(dst, src *graph.Graph) {
+	for _, id := range src.Nodes() {
+		dst.AddNode(id, src.NodeName(id))
+	}
+	for _, id := range src.Nodes() {
+		for _, e := range src.Out(id) {
+			// Duplicate edges are ignored by AddEdge.
+			_ = dst.AddEdge(e.From, e.Label, e.To)
+		}
+	}
+	for _, c := range src.Collections() {
+		dst.DeclareCollection(c)
+		for _, v := range src.Collection(c) {
+			dst.AddToCollection(c, v)
+		}
+	}
+}

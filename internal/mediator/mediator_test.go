@@ -1,0 +1,320 @@
+package mediator
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+	"strudel/internal/repository"
+	"strudel/internal/struql"
+	"strudel/internal/wrapper"
+)
+
+const peopleCSV = `id,name,dept
+mff,Mary Fernandez,db
+suciu,Dan Suciu,db
+levy,Alon Levy,uw
+`
+
+const projectsTxt = `
+id: strudel
+name: STRUDEL
+member_ref: strudel
+synopsis: Web-site management
+`
+
+func TestRefreshMergesSources(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	if err := m.AddSource("people.csv", "csv", peopleCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSource("projects.txt", "structured", projectsTxt); err != nil {
+		t.Fatal(err)
+	}
+	wh, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wh.Collection("People")) != 3 {
+		t.Errorf("People = %v", wh.Collection("People"))
+	}
+	if len(wh.Collection("Projects")) != 1 {
+		t.Errorf("Projects = %v", wh.Collection("Projects"))
+	}
+	// Per-source graphs land in the repository too.
+	if _, ok := repo.Graph("src:people.csv"); !ok {
+		t.Error("source graph missing from repository")
+	}
+}
+
+func TestGAVMapping(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	if err := m.AddSource("people.csv", "csv", peopleCSV); err != nil {
+		t.Fatal(err)
+	}
+	// GAV: the mediated collection Researchers is defined by a query
+	// over the source.
+	q := struql.MustParse(`
+INPUT people.csv
+WHERE People(p), p -> "dept" -> "db"
+CREATE Researcher(p)
+LINK Researcher(p) -> "origin" -> p
+COLLECT Researchers(Researcher(p))
+`)
+	if err := m.AddMapping(q); err != nil {
+		t.Fatal(err)
+	}
+	wh, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := wh.Collection("Researchers")
+	if len(rs) != 2 {
+		t.Fatalf("Researchers = %v", rs)
+	}
+	// The mediated object links back to the source object, whose
+	// attributes remain reachable (shared OID space).
+	src, _ := repo.Graph("src:people.csv")
+	for _, r := range rs {
+		orig, ok := wh.First(r.OID(), "origin")
+		if !ok {
+			t.Fatal("origin missing")
+		}
+		if _, ok := src.First(orig.OID(), "name"); !ok {
+			t.Error("source attributes unreachable")
+		}
+	}
+}
+
+func TestMappedModeKeepsSourceOut(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	w, _ := wrapper.ByName("csv")
+	m.AddSourceDynamic(&Source{
+		Name:    "people.csv",
+		Wrapper: w,
+		Mode:    Mapped,
+		Fetch:   func() (string, error) { return peopleCSV, nil },
+	})
+	q := struql.MustParse(`
+INPUT people.csv
+WHERE People(p), p -> "name" -> n
+CREATE R(p)
+LINK R(p) -> "name" -> n
+COLLECT Rs(R(p))`)
+	m.AddMapping(q)
+	wh, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wh.HasCollection("People") {
+		t.Error("mapped source leaked into warehouse")
+	}
+	if len(wh.Collection("Rs")) != 3 {
+		t.Errorf("Rs = %v", wh.Collection("Rs"))
+	}
+}
+
+func TestRefreshPicksUpSourceChanges(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	content := "id,name\na,Alpha\n"
+	w, _ := wrapper.ByName("csv")
+	m.AddSourceDynamic(&Source{
+		Name:    "t.csv",
+		Wrapper: w,
+		Fetch:   func() (string, error) { return content, nil },
+	})
+	wh, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wh.Collection("T")) != 1 {
+		t.Fatalf("T = %v", wh.Collection("T"))
+	}
+	content = "id,name\na,Alpha\nb,Beta\n"
+	wh, err = m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wh.Collection("T")) != 2 {
+		t.Errorf("after change T = %v", wh.Collection("T"))
+	}
+	if m.Refreshes != 2 {
+		t.Errorf("Refreshes = %d", m.Refreshes)
+	}
+}
+
+func TestRefreshIdempotentRebuild(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	m.AddSource("people.csv", "csv", peopleCSV)
+	w1, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := w1.DumpString()
+	w2, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure identical up to OIDs; compare counts and collections.
+	if w1.NumEdges() != w2.NumEdges() || len(w1.Collection("People")) != len(w2.Collection("People")) {
+		t.Errorf("rebuild changed shape:\n%s\nvs\n%s", d1, w2.DumpString())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "W")
+	if err := m.AddSource("x", "nosuchkind", ""); err == nil {
+		t.Error("unknown wrapper kind should fail")
+	}
+	if err := m.AddMapping(struql.MustParse(`WHERE C(x) COLLECT D(x)`)); err == nil {
+		t.Error("mapping without INPUT should fail")
+	}
+	m.AddMapping(struql.MustParse(`INPUT missing WHERE C(x) COLLECT D(x)`))
+	if _, err := m.Refresh(); err == nil || !strings.Contains(err.Error(), "unknown source") {
+		t.Errorf("err = %v", err)
+	}
+
+	m2 := New(repository.New(""), "W")
+	w, _ := wrapper.ByName("csv")
+	m2.AddSourceDynamic(&Source{
+		Name:    "bad",
+		Wrapper: w,
+		Fetch:   func() (string, error) { return "", errors.New("network down") },
+	})
+	if _, err := m2.Refresh(); err == nil || !strings.Contains(err.Error(), "network down") {
+		t.Errorf("err = %v", err)
+	}
+
+	m3 := New(repository.New(""), "W")
+	m3.AddSource("bad.csv", "csv", "") // empty CSV fails in wrapper
+	if _, err := m3.Refresh(); err == nil || !strings.Contains(err.Error(), "wrapping source") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWarehouseAccessor(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "W")
+	if _, ok := m.Warehouse(); ok {
+		t.Error("warehouse should not exist before refresh")
+	}
+	m.AddSource("p.csv", "csv", "id,x\na,1\n")
+	if _, err := m.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	wh, ok := m.Warehouse()
+	if !ok || wh.Name() != "W" {
+		t.Errorf("warehouse = %v, %v", wh, ok)
+	}
+}
+
+func TestCustomPredicateInMapping(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "W")
+	m.AddSource("p.csv", "csv", "id,name\na,Ann\nb,Bo\n")
+	m.Registry().RegisterObject("isShortName", func(v graph.Value) bool {
+		s, ok := v.AsString()
+		return ok && len(s) <= 2
+	})
+	m.AddMapping(struql.MustParse(`
+INPUT p.csv
+WHERE P(p), p -> "name" -> n, isShortName(n)
+COLLECT Short(p)`))
+	wh, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wh.Collection("Short")) != 1 {
+		t.Errorf("Short = %v", wh.Collection("Short"))
+	}
+}
+
+func TestVirtualQuerySeesCurrentSources(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "W")
+	content := "id,name\na,Alpha\n"
+	w, _ := wrapper.ByName("csv")
+	m.AddSourceDynamic(&Source{
+		Name:    "t.csv",
+		Wrapper: w,
+		Fetch:   func() (string, error) { return content, nil },
+	})
+	q := struql.MustParse(`WHERE T(x) COLLECT Out(x)`)
+	res, err := m.VirtualQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output.Collection("Out")) != 1 {
+		t.Fatalf("Out = %v", res.Output.Collection("Out"))
+	}
+	// The source changes; a virtual query sees it with no Refresh.
+	content = "id,name\na,Alpha\nb,Beta\n"
+	res, err = m.VirtualQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output.Collection("Out")) != 2 {
+		t.Errorf("after change Out = %v", res.Output.Collection("Out"))
+	}
+	// No warehouse was materialized.
+	if _, ok := m.Warehouse(); ok {
+		t.Error("virtual query must not materialize the warehouse")
+	}
+}
+
+func TestVirtualQueryPrunesMappedSources(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "W")
+	w, _ := wrapper.ByName("csv")
+	fetchedB := 0
+	m.AddSourceDynamic(&Source{
+		Name: "a.csv", Wrapper: w, Mode: Mapped,
+		Fetch: func() (string, error) { return "id,x\na1,1\n", nil },
+	})
+	m.AddSourceDynamic(&Source{
+		Name: "b.csv", Wrapper: w, Mode: Mapped,
+		Fetch: func() (string, error) {
+			fetchedB++
+			return "id,x\nb1,1\n", nil
+		},
+	})
+	m.AddMapping(struql.MustParse(`INPUT a.csv WHERE A(p) COLLECT FromA(p)`))
+	m.AddMapping(struql.MustParse(`INPUT b.csv WHERE B(p) COLLECT FromB(p)`))
+	// A query needing only FromA must not fetch b.csv.
+	res, err := m.VirtualQuery(struql.MustParse(`WHERE FromA(x) COLLECT Out(x)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output.Collection("Out")) != 1 {
+		t.Errorf("Out = %v", res.Output.Collection("Out"))
+	}
+	if fetchedB != 0 {
+		t.Errorf("b.csv fetched %d times; source pruning broken", fetchedB)
+	}
+	// A query needing FromB fetches it.
+	if _, err := m.VirtualQuery(struql.MustParse(`WHERE FromB(x) COLLECT Out(x)`)); err != nil {
+		t.Fatal(err)
+	}
+	if fetchedB != 1 {
+		t.Errorf("b.csv fetched %d times, want 1", fetchedB)
+	}
+}
+
+func TestVirtualQueryNoRelevantSource(t *testing.T) {
+	m := New(repository.New(""), "W")
+	w, _ := wrapper.ByName("csv")
+	m.AddSourceDynamic(&Source{
+		Name: "a.csv", Wrapper: w, Mode: Mapped,
+		Fetch: func() (string, error) { return "id,x\na1,1\n", nil },
+	})
+	if _, err := m.VirtualQuery(struql.MustParse(`WHERE Nowhere(x) COLLECT Out(x)`)); err == nil {
+		t.Error("expected error for unknown mediated collection")
+	}
+}

@@ -1,0 +1,84 @@
+package optimizer
+
+import (
+	"math"
+
+	"strudel/internal/struql"
+)
+
+// maxEnumerable bounds the conjunction size for exhaustive
+// enumeration; larger conjunctions fall back to the greedy cost-based
+// planner (the same trade-off real optimizers make).
+const maxEnumerable = 10
+
+// Exhaustive enumerates condition orderings with branch-and-bound
+// pruning and returns the plan with the lowest estimated cost — the
+// "enumerate plans that exploit indexes on the data and the schema in
+// order to choose the best plan" optimizer of [FLO 97]. The greedy
+// CostBased planner can be trapped by locally cheap steps; Exhaustive
+// cannot, at exponential (but pruned) planning cost.
+func Exhaustive(conds []struql.Condition, ctx *Context) *Plan {
+	if len(conds) > maxEnumerable {
+		return CostBased(conds, ctx)
+	}
+	st := stats{ctx: ctx}
+	e := &enumerator{
+		st:       st,
+		conds:    conds,
+		bestCost: math.Inf(1),
+	}
+	used := make([]bool, len(conds))
+	e.search(used, nil, map[string]bool{}, 1.0, 0)
+	if e.best == nil {
+		// Degenerate (no conditions): empty plan.
+		return &Plan{EstRows: 1}
+	}
+	plan := &Plan{Steps: e.best, EstCost: e.bestCost}
+	if n := len(plan.Steps); n > 0 {
+		plan.EstRows = plan.Steps[n-1].EstRows
+	} else {
+		plan.EstRows = 1
+	}
+	return plan
+}
+
+type enumerator struct {
+	st       stats
+	conds    []struql.Condition
+	best     []Step
+	bestCost float64
+}
+
+// search extends the partial plan with every unused condition,
+// pruning branches whose accumulated cost already exceeds the best
+// complete plan.
+func (e *enumerator) search(used []bool, steps []Step, bound map[string]bool, rows, cost float64) {
+	if cost >= e.bestCost {
+		return // prune
+	}
+	done := true
+	for i, u := range used {
+		if u {
+			continue
+		}
+		done = false
+		s := chooseMethod(e.conds[i], bound, rows, e.st)
+		used[i] = true
+		var added []string
+		for _, v := range condVars(e.conds[i]) {
+			if !bound[v] {
+				bound[v] = true
+				added = append(added, v)
+			}
+		}
+		e.search(used, append(steps, s), bound, math.Max(s.EstRows, 0.1), cost+s.EstCost)
+		for _, v := range added {
+			delete(bound, v)
+		}
+		used[i] = false
+	}
+	if done && cost < e.bestCost {
+		e.bestCost = cost
+		e.best = append([]Step(nil), steps...)
+	}
+}

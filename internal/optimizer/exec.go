@@ -1,0 +1,117 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+)
+
+// Execute runs the plan from the empty seed row and returns the
+// binding relation.
+func (p *Plan) Execute(ctx *Context) ([]struql.Binding, error) {
+	return p.ExecuteFrom(ctx, nil)
+}
+
+// execLabelIndexScan enumerates the attribute extent of a literal
+// label, binding both endpoints.
+func execLabelIndexScan(ctx *Context, cond struql.Condition, rows []struql.Binding) ([]struql.Binding, error) {
+	ec, ok := cond.(*struql.EdgeCond)
+	if !ok || ctx.Index == nil {
+		return struql.EvalBindings(ctx.Graph, ctx.registry(), []struql.Condition{cond}, rows)
+	}
+	edges := ctx.Index.ByLabel(ec.Label.Lit)
+	var out []struql.Binding
+	for _, r := range rows {
+		for _, e := range edges {
+			nr, ok := bindEdge(r, ec, e)
+			if ok {
+				out = append(out, nr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// execValueIndexLookup probes the global atomic-value index for edges
+// targeting the condition's constant atom.
+func execValueIndexLookup(ctx *Context, cond struql.Condition, rows []struql.Binding) ([]struql.Binding, error) {
+	ec, ok := cond.(*struql.EdgeCond)
+	if !ok || ctx.Index == nil || ec.To.IsVar() {
+		return struql.EvalBindings(ctx.Graph, ctx.registry(), []struql.Condition{cond}, rows)
+	}
+	edges := ctx.Index.ByValue(ec.To.Const)
+	var out []struql.Binding
+	for _, r := range rows {
+		for _, e := range edges {
+			nr, ok := bindEdge(r, ec, e)
+			if ok {
+				out = append(out, nr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// bindEdge extends a row with an edge's endpoints if the condition's
+// terms are compatible with it.
+func bindEdge(r struql.Binding, ec *struql.EdgeCond, e graph.Edge) (struql.Binding, bool) {
+	nr := r
+	ext := func(name string, v graph.Value) bool {
+		if cur, bound := nr[name]; bound {
+			return cur == v
+		}
+		cp := make(struql.Binding, len(nr)+1)
+		for k, val := range nr {
+			cp[k] = val
+		}
+		cp[name] = v
+		nr = cp
+		return true
+	}
+	// Label.
+	switch {
+	case ec.Label.Any:
+	case ec.Label.Var != "":
+		if !ext(ec.Label.Var, graph.Str(e.Label)) {
+			return nil, false
+		}
+	default:
+		if ec.Label.Lit != e.Label {
+			return nil, false
+		}
+	}
+	// Source.
+	if ec.From.IsVar() {
+		if !ext(ec.From.Var, graph.NodeValue(e.From)) {
+			return nil, false
+		}
+	} else if !ec.From.Const.IsNode() || ec.From.Const.OID() != e.From {
+		return nil, false
+	}
+	// Target.
+	if ec.To.IsVar() {
+		if !ext(ec.To.Var, e.To) {
+			return nil, false
+		}
+	} else if ec.To.Const != e.To {
+		return nil, false
+	}
+	return nr, true
+}
+
+// PlanAndRun is a convenience: cost-based planning plus execution.
+func PlanAndRun(conds []struql.Condition, ctx *Context) ([]struql.Binding, *Plan, error) {
+	plan := CostBased(conds, ctx)
+	rows, err := plan.Execute(ctx)
+	if err != nil {
+		return nil, plan, fmt.Errorf("optimizer: %w", err)
+	}
+	return rows, plan, nil
+}
+
+// WhereOf extracts the top-level where conjunction of a query block,
+// the unit the optimizer plans.
+func WhereOf(q *struql.Query) []struql.Condition {
+	return q.Root.Where
+}

@@ -1,0 +1,96 @@
+package optimizer
+
+import (
+	"strudel/internal/struql"
+)
+
+// boundOf derives the bound-variable set from seed rows (all rows of
+// one relation bind the same variables).
+func boundOf(seed []struql.Binding) map[string]bool {
+	bound := map[string]bool{}
+	if len(seed) > 0 {
+		for v := range seed[0] {
+			bound[v] = true
+		}
+	}
+	return bound
+}
+
+// CostBasedFrom plans by greedy cheapest-next selection using index
+// statistics, starting from pre-bound variables (the bindings of
+// enclosing query blocks; nil for a fresh query).
+func CostBasedFrom(conds []struql.Condition, ctx *Context, bound map[string]bool) *Plan {
+	st := stats{ctx: ctx}
+	remaining := make([]struql.Condition, len(conds))
+	copy(remaining, conds)
+	b := map[string]bool{}
+	for v := range bound {
+		b[v] = true
+	}
+	rows := 1.0
+	plan := &Plan{}
+	for len(remaining) > 0 {
+		bestIdx, bestStep := -1, Step{}
+		bestScore := 1e300
+		for i, c := range remaining {
+			s := chooseMethod(c, b, rows, st)
+			// Score favours low cost, breaking ties toward lower
+			// output cardinality.
+			score := s.EstCost + s.EstRows*0.01
+			if score < bestScore {
+				bestScore, bestIdx, bestStep = score, i, s
+			}
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		for _, v := range condVars(bestStep.Cond) {
+			b[v] = true
+		}
+		plan.Steps = append(plan.Steps, bestStep)
+		plan.EstCost += bestStep.EstCost
+		if bestStep.EstRows > 0.1 {
+			rows = bestStep.EstRows
+		} else {
+			rows = 0.1
+		}
+	}
+	plan.EstRows = rows
+	return plan
+}
+
+// ExecuteFrom runs the plan starting from the given seed relation
+// instead of the empty row.
+func (p *Plan) ExecuteFrom(ctx *Context, seed []struql.Binding) ([]struql.Binding, error) {
+	rows := seed
+	if rows == nil {
+		rows = []struql.Binding{{}}
+	}
+	for _, s := range p.Steps {
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		var err error
+		switch s.Method {
+		case MethodLabelIndexScan:
+			rows, err = execLabelIndexScan(ctx, s.Cond, rows)
+		case MethodValueIndexLookup:
+			rows, err = execValueIndexLookup(ctx, s.Cond, rows)
+		default:
+			rows, err = struql.EvalBindings(ctx.Graph, ctx.registry(), []struql.Condition{s.Cond}, rows)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Hook adapts the cost-based planner to struql.Options.WherePlanner,
+// making the optimizer the production query stage: each block's
+// conjunction is planned against the context's index statistics and
+// executed with index-based physical operators.
+func Hook(ctx *Context) func([]struql.Condition, []struql.Binding) ([]struql.Binding, error) {
+	return func(conds []struql.Condition, seed []struql.Binding) ([]struql.Binding, error) {
+		plan := CostBasedFrom(conds, ctx, boundOf(seed))
+		return plan.ExecuteFrom(ctx, seed)
+	}
+}

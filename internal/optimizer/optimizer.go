@@ -1,0 +1,159 @@
+// Package optimizer implements STRUDEL's query optimization (paper
+// Sec. 2.4, [FLO 97]). A StruQL where clause — one conjunction of
+// conditions — is compiled into a physical-operation pipeline. Two
+// planners are provided:
+//
+//   - Heuristic: the first implementation's simple planner, which
+//     keeps the syntactic condition order, only pulling fully bound
+//     conditions forward as filters.
+//   - CostBased: estimates cardinalities from the repository's index
+//     statistics and greedily picks the cheapest next condition,
+//     choosing physical operators that exploit the data and schema
+//     indexes (attribute-extent scans, global value-index lookups)
+//     instead of full edge scans.
+//
+// Plans execute against a graph plus its (optional) GraphIndex and
+// produce the binding relation of the conjunction — the query stage of
+// StruQL. Explain renders the chosen plan for inspection.
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"strudel/internal/graph"
+	"strudel/internal/repository"
+	"strudel/internal/struql"
+)
+
+// Method is the physical operator chosen for one condition.
+type Method int
+
+// Physical operators.
+const (
+	// MethodGeneric evaluates the condition with the interpreter's
+	// default strategy (traversal from bound endpoints, filters).
+	MethodGeneric Method = iota
+	// MethodCollectionScan enumerates a collection extent.
+	MethodCollectionScan
+	// MethodLabelIndexScan enumerates the attribute extent of a
+	// literal label from the index instead of scanning all edges.
+	MethodLabelIndexScan
+	// MethodValueIndexLookup probes the global atomic-value index for
+	// edges targeting a known atom.
+	MethodValueIndexLookup
+	// MethodSchemaScan enumerates the attribute-name (schema) index to
+	// bind an arc variable.
+	MethodSchemaScan
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodCollectionScan:
+		return "collection-scan"
+	case MethodLabelIndexScan:
+		return "label-index-scan"
+	case MethodValueIndexLookup:
+		return "value-index-lookup"
+	case MethodSchemaScan:
+		return "schema-scan"
+	default:
+		return "generic"
+	}
+}
+
+// Step is one pipeline stage: a condition with its chosen operator and
+// estimates.
+type Step struct {
+	Cond    struql.Condition
+	Method  Method
+	EstRows float64 // estimated output rows
+	EstCost float64 // estimated work for this step
+}
+
+// Plan is an ordered pipeline of steps.
+type Plan struct {
+	Steps   []Step
+	EstCost float64
+	EstRows float64
+}
+
+// Explain renders the plan.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan: est. cost %.0f, est. rows %.0f\n", p.EstCost, p.EstRows)
+	for i, s := range p.Steps {
+		fmt.Fprintf(&sb, "  %d. [%s] %s  (rows≈%.0f cost≈%.0f)\n", i+1, s.Method, s.Cond, s.EstRows, s.EstCost)
+	}
+	return sb.String()
+}
+
+// Context carries what execution needs.
+type Context struct {
+	Graph *graph.Graph
+	// Index may be nil (indexing disabled): index-based operators then
+	// degrade to generic evaluation.
+	Index *repository.GraphIndex
+	// Registry may be nil (built-ins only).
+	Registry *struql.Registry
+}
+
+func (c *Context) registry() *struql.Registry {
+	if c.Registry == nil {
+		c.Registry = struql.NewRegistry()
+	}
+	return c.Registry
+}
+
+// stats answer cardinality questions, falling back to graph counts
+// when no index is available.
+type stats struct {
+	ctx *Context
+}
+
+func (s stats) numNodes() float64 {
+	if s.ctx.Index != nil {
+		return float64(s.ctx.Index.NumNodes())
+	}
+	return float64(s.ctx.Graph.NumNodes())
+}
+
+func (s stats) numEdges() float64 {
+	if s.ctx.Index != nil {
+		return float64(s.ctx.Index.NumEdges())
+	}
+	return float64(s.ctx.Graph.NumEdges())
+}
+
+func (s stats) labelCount(l string) float64 {
+	if s.ctx.Index != nil {
+		return float64(s.ctx.Index.LabelCount(l))
+	}
+	// Without an index assume a uniform distribution over labels.
+	labels := s.ctx.Graph.Labels()
+	if len(labels) == 0 {
+		return 0
+	}
+	return s.numEdges() / float64(len(labels))
+}
+
+func (s stats) collectionCount(c string) float64 {
+	return float64(len(s.ctx.Graph.Collection(c)))
+}
+
+func (s stats) valueCount(v graph.Value) float64 {
+	if s.ctx.Index != nil {
+		return float64(len(s.ctx.Index.ByValue(v)))
+	}
+	if dv := s.distinctValues(); dv > 0 {
+		return s.numEdges() / dv
+	}
+	return s.numEdges()
+}
+
+func (s stats) distinctValues() float64 {
+	if s.ctx.Index != nil {
+		return float64(s.ctx.Index.DistinctValues())
+	}
+	return s.numEdges() / 2 // crude guess
+}

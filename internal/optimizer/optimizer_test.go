@@ -1,0 +1,288 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+	"strudel/internal/repository"
+	"strudel/internal/struql"
+)
+
+// testGraph builds a publication-like graph: n pubs with year, title,
+// and a few categories; a small Featured collection.
+func testGraph(n int) *graph.Graph {
+	g := graph.New("data")
+	for i := 0; i < n; i++ {
+		p := g.NewNode(fmt.Sprintf("pub%d", i))
+		g.AddToCollection("Publications", graph.NodeValue(p))
+		g.AddEdge(p, "year", graph.Int(int64(1990+i%10)))
+		g.AddEdge(p, "title", graph.Str(fmt.Sprintf("Title %d", i)))
+		g.AddEdge(p, "category", graph.Str(fmt.Sprintf("Cat%d", i%5)))
+		if i%20 == 0 {
+			g.AddToCollection("Featured", graph.NodeValue(p))
+		}
+	}
+	return g
+}
+
+func ctxFor(g *graph.Graph, indexed bool) *Context {
+	repo := repository.New("")
+	repo.Put(g)
+	ctx := &Context{Graph: g}
+	if indexed {
+		ctx.Index = repo.Index(g.Name())
+	}
+	return ctx
+}
+
+func whereOf(t *testing.T, src string) []struql.Condition {
+	t.Helper()
+	q, err := struql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Root.Where
+}
+
+func sortedKeys(rows []struql.Binding, v string) []string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r[v].String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPlansAgreeWithInterpreter(t *testing.T) {
+	g := testGraph(100)
+	queries := []string{
+		`WHERE Publications(x), x -> "year" -> y, y = 1995 COLLECT C(x)`,
+		`WHERE Publications(x), x -> "category" -> "Cat3" COLLECT C(x)`,
+		`WHERE Featured(x), x -> l -> v COLLECT C(x)`,
+		`WHERE x -> "year" -> 1995 COLLECT C(x)`,
+		`WHERE Publications(x), x -> "year" -> y, Publications(z), z -> "year" -> y, x != z COLLECT C(x)`,
+	}
+	for _, src := range queries {
+		conds := whereOf(t, src)
+		want, err := struql.EvalBindings(g, nil, conds, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for _, indexed := range []bool{true, false} {
+			ctx := ctxFor(g, indexed)
+			for name, planner := range map[string]func([]struql.Condition, *Context) *Plan{
+				"cost": CostBased, "heuristic": Heuristic,
+			} {
+				got, err := planner(conds, ctx).Execute(ctx)
+				if err != nil {
+					t.Fatalf("%s (%s, indexed=%v): %v", src, name, indexed, err)
+				}
+				if len(got) != len(want) {
+					t.Errorf("%s (%s, indexed=%v): %d rows, interpreter has %d",
+						src, name, indexed, len(got), len(want))
+					continue
+				}
+				gx, wx := sortedKeys(got, "x"), sortedKeys(want, "x")
+				for i := range wx {
+					if gx[i] != wx[i] {
+						t.Errorf("%s (%s): row %d = %s, want %s", src, name, i, gx[i], wx[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCostBasedUsesValueIndex(t *testing.T) {
+	g := testGraph(100)
+	ctx := ctxFor(g, true)
+	conds := whereOf(t, `WHERE x -> "year" -> 1995 COLLECT C(x)`)
+	plan := CostBased(conds, ctx)
+	if plan.Steps[0].Method != MethodValueIndexLookup {
+		t.Errorf("plan did not choose value index:\n%s", plan.Explain())
+	}
+	rows, err := plan.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(rows))
+	}
+}
+
+func TestCostBasedUsesLabelIndex(t *testing.T) {
+	g := testGraph(50)
+	ctx := ctxFor(g, true)
+	conds := whereOf(t, `WHERE x -> "category" -> c COLLECT C(x)`)
+	plan := CostBased(conds, ctx)
+	if plan.Steps[0].Method != MethodLabelIndexScan {
+		t.Errorf("plan did not choose label index:\n%s", plan.Explain())
+	}
+	rows, err := plan.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Errorf("rows = %d, want 50", len(rows))
+	}
+}
+
+func TestCostBasedPrefersSmallCollectionFirst(t *testing.T) {
+	g := testGraph(200) // Featured has 10, Publications 200
+	ctx := ctxFor(g, true)
+	conds := whereOf(t, `WHERE Publications(x), Featured(x) COLLECT C(x)`)
+	plan := CostBased(conds, ctx)
+	m, ok := plan.Steps[0].Cond.(*struql.MembershipCond)
+	if !ok || m.Collection != "Featured" {
+		t.Errorf("expected Featured first:\n%s", plan.Explain())
+	}
+	rows, err := plan.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(rows))
+	}
+}
+
+func TestCostBasedCheaperThanHeuristicOnBadOrder(t *testing.T) {
+	g := testGraph(200)
+	ctx := ctxFor(g, true)
+	// Written in a bad order: the selective equality comes last.
+	conds := whereOf(t, `WHERE Publications(x), Publications(z), x -> "year" -> y, z -> "year" -> y, y = 1995 COLLECT C(x)`)
+	cost := CostBased(conds, ctx)
+	heur := Heuristic(conds, ctx)
+	if cost.EstCost >= heur.EstCost {
+		t.Errorf("cost-based (%.0f) should beat heuristic (%.0f)\ncost:\n%s\nheuristic:\n%s",
+			cost.EstCost, heur.EstCost, cost.Explain(), heur.Explain())
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	g := testGraph(20)
+	ctx := ctxFor(g, true)
+	conds := whereOf(t, `WHERE Publications(x), x -> "year" -> y COLLECT C(x)`)
+	plan := CostBased(conds, ctx)
+	exp := plan.Explain()
+	for _, want := range []string{"plan:", "collection-scan", "Publications(x)"} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("explain missing %q:\n%s", want, exp)
+		}
+	}
+}
+
+func TestPlanAndRun(t *testing.T) {
+	g := testGraph(30)
+	ctx := ctxFor(g, true)
+	rows, plan, err := PlanAndRun(whereOf(t, `WHERE Featured(x) COLLECT C(x)`), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || plan == nil {
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func TestEmptyIntermediateRelationShortCircuits(t *testing.T) {
+	g := testGraph(10)
+	ctx := ctxFor(g, true)
+	conds := whereOf(t, `WHERE Publications(x), x -> "year" -> 1800, x -> "title" -> v COLLECT C(x)`)
+	rows, _, err := PlanAndRun(conds, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(rows))
+	}
+}
+
+func TestWhereOf(t *testing.T) {
+	q := struql.MustParse(`WHERE C(x), x -> "a" -> b COLLECT D(x)`)
+	if len(WhereOf(q)) != 2 {
+		t.Error("WhereOf wrong")
+	}
+}
+
+func TestPathConditionPlanning(t *testing.T) {
+	g := graph.New("g")
+	root := g.NewNode("root")
+	g.AddToCollection("Root", graph.NodeValue(root))
+	prev := root
+	for i := 0; i < 5; i++ {
+		n := g.NewNode("")
+		g.AddEdge(prev, "next", graph.NodeValue(n))
+		prev = n
+	}
+	ctx := ctxFor(g, true)
+	rows, plan, err := PlanAndRun(whereOf(t, `WHERE Root(r), r -> * -> q COLLECT C(q)`), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Errorf("rows = %d, want 6\n%s", len(rows), plan.Explain())
+	}
+	// The plan should bind Root first (cheap generator), then traverse.
+	if _, ok := plan.Steps[0].Cond.(*struql.MembershipCond); !ok {
+		t.Errorf("plan order wrong:\n%s", plan.Explain())
+	}
+}
+
+func TestExhaustiveNeverWorseThanGreedy(t *testing.T) {
+	g := testGraph(200)
+	ctx := ctxFor(g, true)
+	queries := []string{
+		`WHERE Publications(x), x -> "year" -> y, y = 1995 COLLECT C(x)`,
+		`WHERE Publications(x), Publications(z), x -> "year" -> y, z -> "year" -> y, y = 1995, x != z COLLECT C(x)`,
+		`WHERE Featured(x), x -> "category" -> c, Publications(z), z -> "category" -> c COLLECT C(z)`,
+	}
+	for _, src := range queries {
+		conds := whereOf(t, src)
+		ex := Exhaustive(conds, ctx)
+		greedy := CostBased(conds, ctx)
+		if ex.EstCost > greedy.EstCost+1e-9 {
+			t.Errorf("%s: exhaustive cost %.1f > greedy %.1f\n%s\nvs\n%s",
+				src, ex.EstCost, greedy.EstCost, ex.Explain(), greedy.Explain())
+		}
+		// Execution agrees with the reference interpreter.
+		want, err := struql.EvalBindings(g, nil, conds, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ex.Execute(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: exhaustive plan yields %d rows, want %d", src, len(got), len(want))
+		}
+	}
+}
+
+func TestExhaustiveFallsBackOnLargeConjunctions(t *testing.T) {
+	g := testGraph(10)
+	ctx := ctxFor(g, true)
+	// Build an 12-condition conjunction (over the enumeration cap).
+	src := `WHERE Publications(a), Publications(b), Publications(c), Publications(d),
+	a -> "year" -> v, b -> "year" -> v, c -> "year" -> v, d -> "year" -> v,
+	a != b, a != c, a != d, b != c COLLECT C(a)`
+	conds := whereOf(t, src)
+	if len(conds) != 12 {
+		t.Fatalf("conds = %d", len(conds))
+	}
+	plan := Exhaustive(conds, ctx)
+	if len(plan.Steps) != 12 {
+		t.Errorf("fallback plan has %d steps", len(plan.Steps))
+	}
+}
+
+func TestExhaustiveEmptyConjunction(t *testing.T) {
+	plan := Exhaustive(nil, ctxFor(testGraph(5), true))
+	rows, err := plan.Execute(ctxFor(testGraph(5), true))
+	if err != nil || len(rows) != 1 {
+		t.Errorf("rows=%v err=%v", rows, err)
+	}
+}

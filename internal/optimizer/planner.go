@@ -1,0 +1,217 @@
+package optimizer
+
+import (
+	"math"
+
+	"strudel/internal/struql"
+)
+
+// condVars returns the variables of a condition.
+func condVars(c struql.Condition) []string {
+	m := map[string]struct{}{}
+	collectVars(c, m)
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// collectVars extracts variable names structurally (the struql package
+// keeps its kind-tagged version unexported; names suffice here).
+func collectVars(c struql.Condition, m map[string]struct{}) {
+	add := func(t struql.Term) {
+		if t.IsVar() {
+			m[t.Var] = struct{}{}
+		}
+	}
+	switch c := c.(type) {
+	case *struql.MembershipCond:
+		add(c.Arg)
+	case *struql.EdgeCond:
+		add(c.From)
+		add(c.To)
+		if c.Label.Var != "" {
+			m[c.Label.Var] = struct{}{}
+		}
+	case *struql.PathCond:
+		add(c.From)
+		add(c.To)
+	case *struql.CompareCond:
+		add(c.Left)
+		add(c.Right)
+	case *struql.InSetCond:
+		m[c.Var] = struct{}{}
+	case *struql.PredCond:
+		for _, a := range c.Args {
+			add(a)
+		}
+	case *struql.NotCond:
+		collectVars(c.Inner, m)
+	}
+}
+
+func allBound(c struql.Condition, bound map[string]bool) bool {
+	for _, v := range condVars(c) {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// chooseMethod picks the physical operator and estimates for one
+// condition given the variables bound so far and the current row
+// estimate.
+func chooseMethod(c struql.Condition, bound map[string]bool, rows float64, st stats) Step {
+	step := Step{Cond: c, Method: MethodGeneric}
+	termBound := func(t struql.Term) bool { return !t.IsVar() || bound[t.Var] }
+	switch c := c.(type) {
+	case *struql.MembershipCond:
+		if termBound(c.Arg) {
+			step.EstRows = rows * 0.5
+			step.EstCost = rows
+			return step
+		}
+		n := st.collectionCount(c.Collection)
+		step.Method = MethodCollectionScan
+		step.EstRows = rows * math.Max(n, 1)
+		step.EstCost = rows * math.Max(n, 1)
+	case *struql.EdgeCond:
+		fb, tb := termBound(c.From), termBound(c.To)
+		lit := c.Label.Var == "" && !c.Label.Any
+		switch {
+		case fb:
+			// Traverse out-edges of the bound source.
+			perNode := st.numEdges() / math.Max(st.numNodes(), 1)
+			if lit {
+				perNode = st.labelCount(c.Label.Lit) / math.Max(st.numNodes(), 1)
+			}
+			out := rows * math.Max(perNode, 0.1)
+			if tb {
+				out *= 0.2
+			}
+			step.EstRows = out
+			step.EstCost = rows * math.Max(st.numEdges()/math.Max(st.numNodes(), 1), 1)
+		case tb && !c.To.IsVar() && c.To.Const.IsAtom() && st.ctx.Index != nil:
+			// Probe the global value index for the constant atom.
+			n := st.valueCount(c.To.Const)
+			step.Method = MethodValueIndexLookup
+			step.EstRows = rows * math.Max(n, 0.1)
+			step.EstCost = rows * math.Max(n, 1)
+		case tb:
+			// Reverse traversal (node target) or edge scan (atom in a
+			// variable): treat as per-node in-degree.
+			step.EstRows = rows * math.Max(st.numEdges()/math.Max(st.numNodes(), 1), 0.1)
+			step.EstCost = rows * st.numEdges() * 0.1
+		case lit && st.ctx.Index != nil:
+			// Both endpoints free: enumerate the attribute extent.
+			n := st.labelCount(c.Label.Lit)
+			step.Method = MethodLabelIndexScan
+			step.EstRows = rows * math.Max(n, 1)
+			step.EstCost = rows * math.Max(n, 1)
+		default:
+			step.EstRows = rows * math.Max(st.numEdges(), 1)
+			step.EstCost = rows * math.Max(st.numEdges(), 1)
+		}
+	case *struql.PathCond:
+		fb, tb := termBound(c.From), termBound(c.To)
+		perSource := math.Max(st.numNodes()*0.5, 1)
+		switch {
+		case fb && tb:
+			step.EstRows = rows * 0.5
+			step.EstCost = rows * st.numEdges()
+		case fb:
+			step.EstRows = rows * perSource
+			step.EstCost = rows * st.numEdges()
+		default:
+			step.EstRows = rows * st.numNodes() * perSource
+			step.EstCost = rows * st.numNodes() * st.numEdges()
+		}
+	case *struql.CompareCond:
+		lb, rb := termBound(c.Left), termBound(c.Right)
+		switch {
+		case lb && rb:
+			sel := 0.3
+			if c.Op == struql.OpEq {
+				sel = 0.1
+			}
+			step.EstRows = math.Max(rows*sel, 0.1)
+			step.EstCost = rows
+		case c.Op == struql.OpEq && (lb || rb):
+			step.EstRows = rows
+			step.EstCost = rows
+		default:
+			step.EstRows = rows * st.numNodes()
+			step.EstCost = rows * st.numNodes() * 10
+		}
+	case *struql.InSetCond:
+		if bound[c.Var] {
+			step.EstRows = rows * 0.5
+			step.EstCost = rows
+		} else {
+			step.EstRows = rows * float64(len(c.Set))
+			step.EstCost = rows * float64(len(c.Set))
+			step.Method = MethodSchemaScan
+		}
+	case *struql.PredCond:
+		if allBound(c, bound) {
+			step.EstRows = rows * 0.5
+			step.EstCost = rows
+		} else {
+			step.EstRows = rows * st.numNodes()
+			step.EstCost = rows * st.numNodes() * 10
+		}
+	case *struql.NotCond:
+		if allBound(c, bound) {
+			step.EstRows = rows * 0.5
+			step.EstCost = rows * 2
+		} else {
+			step.EstRows = rows * st.numNodes()
+			step.EstCost = rows * st.numNodes() * st.numEdges()
+		}
+	default:
+		step.EstRows = rows
+		step.EstCost = rows
+	}
+	return step
+}
+
+// CostBased plans a conjunction by greedy cheapest-next selection
+// using index statistics.
+func CostBased(conds []struql.Condition, ctx *Context) *Plan {
+	return CostBasedFrom(conds, ctx, nil)
+}
+
+// Heuristic plans a conjunction with the first prototype's strategy:
+// syntactic order, except fully bound conditions are pulled forward as
+// filters. No index-based operators are chosen.
+func Heuristic(conds []struql.Condition, ctx *Context) *Plan {
+	st := stats{ctx: ctx}
+	remaining := make([]struql.Condition, len(conds))
+	copy(remaining, conds)
+	bound := map[string]bool{}
+	rows := 1.0
+	plan := &Plan{}
+	for len(remaining) > 0 {
+		idx := 0
+		for i, c := range remaining {
+			if allBound(c, bound) {
+				idx = i
+				break
+			}
+		}
+		c := remaining[idx]
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		s := chooseMethod(c, bound, rows, st)
+		s.Method = MethodGeneric // the prototype had no index operators
+		for _, v := range condVars(c) {
+			bound[v] = true
+		}
+		plan.Steps = append(plan.Steps, s)
+		plan.EstCost += s.EstCost
+		rows = math.Max(s.EstRows, 0.1)
+	}
+	plan.EstRows = rows
+	return plan
+}

@@ -1,0 +1,129 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"strudel/internal/repository"
+	"strudel/internal/struql"
+)
+
+// randomConjunction builds a random but range-restricted conjunction
+// over the test graph's shape.
+func randomConjunction(rng *rand.Rand) string {
+	conds := []string{"Publications(x)"}
+	vars := []string{"x"}
+	nextVar := 0
+	newVar := func() string {
+		nextVar++
+		return fmt.Sprintf("v%d", nextVar)
+	}
+	attrs := []string{"year", "category", "title"}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		from := vars[rng.Intn(len(vars))]
+		switch rng.Intn(4) {
+		case 0: // edge to fresh variable
+			v := newVar()
+			conds = append(conds, fmt.Sprintf(`%s -> %q -> %s`, from, attrs[rng.Intn(len(attrs))], v))
+			vars = append(vars, v)
+		case 1: // edge to constant
+			conds = append(conds, fmt.Sprintf(`%s -> "year" -> %d`, from, 1990+rng.Intn(10)))
+		case 2: // arc variable edge
+			v, l := newVar(), newVar()
+			conds = append(conds, fmt.Sprintf(`%s -> %sL -> %s`, from, l, v))
+			vars = append(vars, v)
+		default: // comparison on an existing variable
+			conds = append(conds, fmt.Sprintf(`%s != "zzz"`, vars[rng.Intn(len(vars))]))
+		}
+	}
+	return "WHERE " + joinConds(conds) + " COLLECT Out(x)"
+}
+
+func joinConds(cs []string) string {
+	out := cs[0]
+	for _, c := range cs[1:] {
+		out += ", " + c
+	}
+	return out
+}
+
+// TestQuickPlannersAgree: for random conjunctions, the heuristic,
+// greedy cost-based and exhaustive planners all produce the same
+// binding relation as the reference interpreter, with and without
+// indexes.
+func TestQuickPlannersAgree(t *testing.T) {
+	g := testGraph(60)
+	repo := repository.New("")
+	repo.Put(g)
+	idx := repo.Index(g.Name())
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomConjunction(rng)
+		q, err := struql.Parse(src)
+		if err != nil {
+			t.Logf("generator produced unparseable query %q: %v", src, err)
+			return false
+		}
+		conds := q.Root.Where
+		want, err := struql.EvalBindings(g, nil, conds, nil)
+		if err != nil {
+			return true // interpreter rejects it; nothing to compare
+		}
+		wantKeys := bindingKeys(want)
+		for _, ix := range []*repository.GraphIndex{idx, nil} {
+			ctx := &Context{Graph: g, Index: ix}
+			for name, planner := range map[string]func([]struql.Condition, *Context) *Plan{
+				"heuristic": Heuristic, "cost": CostBased, "exhaustive": Exhaustive,
+			} {
+				got, err := planner(conds, ctx).Execute(ctx)
+				if err != nil {
+					t.Logf("%s (%s): %v", src, name, err)
+					return false
+				}
+				if !sameKeys(bindingKeys(got), wantKeys) {
+					t.Logf("%s (%s, indexed=%v): %d rows vs %d", src, name, ix != nil, len(got), len(want))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bindingKeys canonicalizes a relation for comparison.
+func bindingKeys(rows []struql.Binding) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		names := make([]string, 0, len(r))
+		for n := range r {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		s := ""
+		for _, n := range names {
+			s += n + "=" + r[n].String() + ";"
+		}
+		keys[i] = s
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

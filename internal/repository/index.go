@@ -1,0 +1,82 @@
+// Package repository implements STRUDEL's data repository for
+// semistructured data (paper Sec. 2.2). Unlike traditional systems,
+// the repository cannot rely on schema information to organize data,
+// so it fully indexes both the schema and the data: one index holds
+// the names of all collections and attributes in a graph, others hold
+// the extent of each collection and attribute, and indexes on atomic
+// values are global to the graph rather than per attribute. The
+// repository also persists graphs to disk.
+package repository
+
+import (
+	"sort"
+
+	"strudel/internal/graph"
+)
+
+// GraphIndex is the full index set for one graph. It is an immutable
+// snapshot; call Repository.Invalidate after mutating a graph and the
+// next Index call rebuilds it.
+type GraphIndex struct {
+	// labels and collections are the schema indexes: the names of all
+	// attributes and collections in the graph.
+	labels      []string
+	collections []string
+	// byLabel is the attribute extent: every edge carrying a label.
+	byLabel map[string][]graph.Edge
+	// byValue is the global atomic-value index: every edge whose
+	// target equals an atom, keyed by the atom.
+	byValue map[graph.Value][]graph.Edge
+	// stats for the cost-based optimizer.
+	nodes, edges int
+}
+
+// BuildIndex constructs the index set for a graph.
+func BuildIndex(g *graph.Graph) *GraphIndex {
+	idx := &GraphIndex{
+		byLabel: map[string][]graph.Edge{},
+		byValue: map[graph.Value][]graph.Edge{},
+	}
+	g.Edges(func(e graph.Edge) bool {
+		idx.edges++
+		idx.byLabel[e.Label] = append(idx.byLabel[e.Label], e)
+		if !e.To.IsNode() {
+			idx.byValue[e.To] = append(idx.byValue[e.To], e)
+		}
+		return true
+	})
+	idx.nodes = g.NumNodes()
+	idx.labels = make([]string, 0, len(idx.byLabel))
+	for l := range idx.byLabel {
+		idx.labels = append(idx.labels, l)
+	}
+	sort.Strings(idx.labels)
+	idx.collections = g.Collections()
+	return idx
+}
+
+// Labels returns the attribute-name index (schema index).
+func (i *GraphIndex) Labels() []string { return i.labels }
+
+// Collections returns the collection-name index (schema index).
+func (i *GraphIndex) Collections() []string { return i.collections }
+
+// ByLabel returns the attribute extent: all edges with the label.
+func (i *GraphIndex) ByLabel(label string) []graph.Edge { return i.byLabel[label] }
+
+// ByValue returns the global value index entry for an atom: all edges
+// whose target equals it.
+func (i *GraphIndex) ByValue(v graph.Value) []graph.Edge { return i.byValue[v] }
+
+// LabelCount returns the number of edges carrying a label, a
+// cardinality statistic for the optimizer.
+func (i *GraphIndex) LabelCount(label string) int { return len(i.byLabel[label]) }
+
+// DistinctValues returns the number of distinct atomic values indexed.
+func (i *GraphIndex) DistinctValues() int { return len(i.byValue) }
+
+// NumNodes returns the node count at index-build time.
+func (i *GraphIndex) NumNodes() int { return i.nodes }
+
+// NumEdges returns the edge count at index-build time.
+func (i *GraphIndex) NumEdges() int { return i.edges }

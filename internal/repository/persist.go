@@ -1,0 +1,234 @@
+package repository
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// The on-disk format is one gob-encoded snapshot file per graph plus
+// a manifest listing them. Writes go through a temporary file and
+// rename so a crash cannot leave a torn graph file.
+
+type valueSnap struct {
+	Kind uint8
+	OID  uint64
+	I    int64
+	F    float64
+	B    bool
+	S    string
+	FT   uint8
+}
+
+type edgeSnap struct {
+	From  uint64
+	Label string
+	To    valueSnap
+}
+
+type collSnap struct {
+	Name    string
+	Members []valueSnap
+}
+
+type graphSnap struct {
+	Name  string
+	Nodes []nodeSnap
+	Edges []edgeSnap
+	Colls []collSnap
+}
+
+type nodeSnap struct {
+	ID   uint64
+	Name string
+}
+
+func snapValue(v graph.Value) valueSnap {
+	s := valueSnap{Kind: uint8(v.Kind())}
+	switch v.Kind() {
+	case graph.KindNode:
+		s.OID = uint64(v.OID())
+	case graph.KindInt:
+		s.I, _ = v.AsInt()
+	case graph.KindFloat:
+		s.F, _ = v.AsFloat()
+	case graph.KindBool:
+		s.B, _ = v.AsBool()
+	case graph.KindString, graph.KindURL:
+		s.S, _ = v.AsString()
+	case graph.KindFile:
+		s.S, _ = v.AsString()
+		s.FT = uint8(v.FileType())
+	}
+	return s
+}
+
+func (s valueSnap) value() (graph.Value, error) {
+	switch graph.Kind(s.Kind) {
+	case graph.KindNode:
+		return graph.NodeValue(graph.OID(s.OID)), nil
+	case graph.KindInt:
+		return graph.Int(s.I), nil
+	case graph.KindFloat:
+		return graph.Float(s.F), nil
+	case graph.KindBool:
+		return graph.Bool(s.B), nil
+	case graph.KindString:
+		return graph.Str(s.S), nil
+	case graph.KindURL:
+		return graph.URL(s.S), nil
+	case graph.KindFile:
+		return graph.File(s.S, graph.FileType(s.FT)), nil
+	default:
+		return graph.Value{}, fmt.Errorf("repository: corrupt value kind %d", s.Kind)
+	}
+}
+
+func snapshot(g *graph.Graph) *graphSnap {
+	s := &graphSnap{Name: g.Name()}
+	for _, id := range g.Nodes() {
+		s.Nodes = append(s.Nodes, nodeSnap{ID: uint64(id), Name: g.NodeName(id)})
+		for _, e := range g.Out(id) {
+			s.Edges = append(s.Edges, edgeSnap{From: uint64(e.From), Label: e.Label, To: snapValue(e.To)})
+		}
+	}
+	for _, c := range g.Collections() {
+		cs := collSnap{Name: c}
+		for _, m := range g.Collection(c) {
+			cs.Members = append(cs.Members, snapValue(m))
+		}
+		s.Colls = append(s.Colls, cs)
+	}
+	return s
+}
+
+func restore(db *graph.Database, s *graphSnap) (*graph.Graph, error) {
+	g := db.NewGraph(s.Name)
+	for _, n := range s.Nodes {
+		g.AddNode(graph.OID(n.ID), n.Name)
+	}
+	for _, e := range s.Edges {
+		to, err := e.To.value()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddEdge(graph.OID(e.From), e.Label, to); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range s.Colls {
+		g.DeclareCollection(c.Name)
+		for _, m := range c.Members {
+			v, err := m.value()
+			if err != nil {
+				return nil, err
+			}
+			g.AddToCollection(c.Name, v)
+		}
+	}
+	return g, nil
+}
+
+// graphFileName maps a graph name to a safe file name.
+func graphFileName(name string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	return safe + ".graph"
+}
+
+// Save writes every graph in the repository to its directory.
+func (r *Repository) Save() error {
+	if r.dir == "" {
+		return fmt.Errorf("repository: no persistence directory configured")
+	}
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		return err
+	}
+	var manifest []string
+	for _, name := range r.Names() {
+		g, _ := r.Graph(name)
+		fn := graphFileName(name)
+		if err := writeGob(filepath.Join(r.dir, fn), snapshot(g)); err != nil {
+			return fmt.Errorf("repository: saving graph %q: %w", name, err)
+		}
+		manifest = append(manifest, name+"\t"+fn)
+	}
+	return writeAtomic(filepath.Join(r.dir, "MANIFEST"), []byte(strings.Join(manifest, "\n")+"\n"))
+}
+
+// Open loads a repository previously written by Save.
+func Open(dir string) (*Repository, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		return nil, fmt.Errorf("repository: opening %s: %w", dir, err)
+	}
+	r := New(dir)
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("repository: corrupt manifest line %q", line)
+		}
+		var snap graphSnap
+		if err := readGob(filepath.Join(dir, parts[1]), &snap); err != nil {
+			return nil, fmt.Errorf("repository: loading graph %q: %w", parts[0], err)
+		}
+		if _, err := restore(r.db, &snap); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func writeGob(path string, v any) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(v); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func readGob(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewDecoder(f).Decode(v)
+}
+
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,121 @@
+package repository
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"strudel/internal/graph"
+)
+
+func randomGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New("rnd")
+	n := 3 + rng.Intn(12)
+	var ids []graph.OID
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%d", i)
+		if rng.Intn(4) == 0 {
+			name = "" // anonymous nodes survive persistence too
+		}
+		ids = append(ids, g.NewNode(name))
+	}
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < n*2; i++ {
+		from := ids[rng.Intn(len(ids))]
+		label := labels[rng.Intn(len(labels))]
+		switch rng.Intn(6) {
+		case 0:
+			g.AddEdge(from, label, graph.NodeValue(ids[rng.Intn(len(ids))]))
+		case 1:
+			g.AddEdge(from, label, graph.Int(int64(rng.Intn(100))))
+		case 2:
+			g.AddEdge(from, label, graph.Float(float64(rng.Intn(100))/8))
+		case 3:
+			g.AddEdge(from, label, graph.Bool(rng.Intn(2) == 0))
+		case 4:
+			g.AddEdge(from, label, graph.URL(fmt.Sprintf("http://x/%d", rng.Intn(9))))
+		default:
+			g.AddEdge(from, label, graph.File(fmt.Sprintf("f%d", rng.Intn(9)), graph.FileType(rng.Intn(5))))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		g.AddToCollection("Coll", graph.NodeValue(ids[rng.Intn(len(ids))]))
+	}
+	return g
+}
+
+// TestQuickPersistenceRoundTrip: save/open preserves the exact graph
+// (OIDs, names, edges, collections) for arbitrary graphs.
+func TestQuickPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	prop := func(seed int64) bool {
+		g := randomGraph(seed)
+		r := New(dir)
+		r.Put(g)
+		if err := r.Save(); err != nil {
+			return false
+		}
+		r2, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		g2, ok := r2.Graph("rnd")
+		if !ok {
+			return false
+		}
+		return g.DumpString() == g2.DumpString()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIndexMatchesGraph: the index's extents agree with direct
+// graph queries for arbitrary graphs.
+func TestQuickIndexMatchesGraph(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(seed)
+		idx := BuildIndex(g)
+		// Label extents partition the edges.
+		total := 0
+		for _, l := range idx.Labels() {
+			total += idx.LabelCount(l)
+		}
+		if total != g.NumEdges() {
+			return false
+		}
+		// Every value-index entry is a real edge with the right target.
+		valueTotal := 0
+		g.Edges(func(e graph.Edge) bool {
+			if !e.To.IsNode() {
+				valueTotal++
+			}
+			return true
+		})
+		indexed := 0
+		for _, l := range idx.Labels() {
+			for _, e := range idx.ByLabel(l) {
+				if !e.To.IsNode() {
+					hits := idx.ByValue(e.To)
+					found := false
+					for _, h := range hits {
+						if h == e {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return false
+					}
+					indexed++
+				}
+			}
+		}
+		return indexed == valueTotal
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package repository
+
+import (
+	"fmt"
+	"sync"
+
+	"strudel/internal/graph"
+)
+
+// Repository stores the data graphs and site graphs of a STRUDEL
+// application: a database of graphs plus the index sets built over
+// them, with optional on-disk persistence (see Save and Open).
+type Repository struct {
+	mu       sync.Mutex
+	db       *graph.Database
+	dir      string // persistence directory; "" = memory only
+	indexes  map[string]*GraphIndex
+	indexing bool
+}
+
+// New creates a repository. dir is the persistence directory used by
+// Save; pass "" for a memory-only repository.
+func New(dir string) *Repository {
+	return &Repository{
+		db:       graph.NewDatabase(),
+		dir:      dir,
+		indexes:  map[string]*GraphIndex{},
+		indexing: true,
+	}
+}
+
+// Database exposes the underlying graph database.
+func (r *Repository) Database() *graph.Database { return r.db }
+
+// NewGraph creates (or returns) a graph in the repository's database.
+func (r *Repository) NewGraph(name string) *graph.Graph {
+	return r.db.NewGraph(name)
+}
+
+// Put attaches an externally built graph (e.g. a wrapper's output)
+// to the repository and schedules its indexing.
+func (r *Repository) Put(g *graph.Graph) {
+	r.db.Attach(g)
+	r.Invalidate(g.Name())
+}
+
+// Graph returns the named graph.
+func (r *Repository) Graph(name string) (*graph.Graph, bool) {
+	return r.db.Graph(name)
+}
+
+// SetIndexing toggles index maintenance; with indexing off, Index
+// returns nil and query processing falls back to scans. Used by the
+// index-ablation experiment (maintaining the full index set is
+// expensive, as the paper notes, but benefits queries).
+func (r *Repository) SetIndexing(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.indexing = on
+	if !on {
+		r.indexes = map[string]*GraphIndex{}
+	}
+}
+
+// Index returns the (lazily built) index set for a graph, or nil if
+// indexing is disabled or the graph does not exist.
+func (r *Repository) Index(name string) *GraphIndex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.indexing {
+		return nil
+	}
+	if idx, ok := r.indexes[name]; ok {
+		return idx
+	}
+	g, ok := r.db.Graph(name)
+	if !ok {
+		return nil
+	}
+	idx := BuildIndex(g)
+	r.indexes[name] = idx
+	return idx
+}
+
+// Invalidate discards the cached index for a graph; the next Index
+// call rebuilds it. Call after mutating a graph.
+func (r *Repository) Invalidate(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.indexes, name)
+}
+
+// Drop removes a graph and its index.
+func (r *Repository) Drop(name string) {
+	r.db.Drop(name)
+	r.Invalidate(name)
+}
+
+// Names lists the graphs in the repository.
+func (r *Repository) Names() []string { return r.db.Names() }
+
+// Stats summarizes the repository for diagnostics.
+func (r *Repository) Stats() string {
+	s := ""
+	for _, n := range r.Names() {
+		g, _ := r.Graph(n)
+		st := g.Stats()
+		s += fmt.Sprintf("%s: %d nodes, %d edges, %d collections, %d labels\n",
+			n, st.Nodes, st.Edges, st.Collections, st.Labels)
+	}
+	return s
+}

@@ -1,0 +1,210 @@
+package repository
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+func sample() *graph.Graph {
+	g := graph.New("data")
+	a := g.NewNode("a")
+	b := g.NewNode("b")
+	g.AddEdge(a, "title", graph.Str("Paper A"))
+	g.AddEdge(a, "year", graph.Int(1997))
+	g.AddEdge(a, "next", graph.NodeValue(b))
+	g.AddEdge(b, "title", graph.Str("Paper B"))
+	g.AddEdge(b, "year", graph.Int(1997))
+	g.AddEdge(b, "ps", graph.File("b.ps", graph.FilePostScript))
+	g.AddEdge(b, "home", graph.URL("http://x"))
+	g.AddEdge(b, "w", graph.Float(1.5))
+	g.AddEdge(b, "ok", graph.Bool(true))
+	g.AddToCollection("Pubs", graph.NodeValue(a))
+	g.AddToCollection("Pubs", graph.NodeValue(b))
+	g.DeclareCollection("Empty")
+	return g
+}
+
+func TestIndexContents(t *testing.T) {
+	g := sample()
+	idx := BuildIndex(g)
+	if got := idx.Labels(); len(got) != 7 {
+		t.Errorf("labels = %v", got)
+	}
+	if got := idx.Collections(); len(got) != 2 || got[0] != "Empty" {
+		t.Errorf("collections = %v", got)
+	}
+	if n := idx.LabelCount("title"); n != 2 {
+		t.Errorf("title extent = %d", n)
+	}
+	if n := idx.LabelCount("nosuch"); n != 0 {
+		t.Errorf("missing label extent = %d", n)
+	}
+	// Global value index: two edges target Int(1997).
+	hits := idx.ByValue(graph.Int(1997))
+	if len(hits) != 2 {
+		t.Errorf("ByValue(1997) = %v", hits)
+	}
+	// Node-valued edges are not in the value index.
+	a, _ := g.NodeByName("a")
+	_ = a
+	if idx.DistinctValues() != 7 {
+		t.Errorf("distinct values = %d", idx.DistinctValues())
+	}
+	if idx.NumNodes() != 2 || idx.NumEdges() != 9 {
+		t.Errorf("sizes = %d nodes %d edges", idx.NumNodes(), idx.NumEdges())
+	}
+}
+
+func TestRepositoryIndexLifecycle(t *testing.T) {
+	r := New("")
+	g := sample()
+	r.Put(g)
+	idx := r.Index("data")
+	if idx == nil {
+		t.Fatal("no index")
+	}
+	if again := r.Index("data"); again != idx {
+		t.Error("index should be cached")
+	}
+	// Mutate and invalidate.
+	a, _ := g.NodeByName("a")
+	g.AddEdge(a, "extra", graph.Str("x"))
+	r.Invalidate("data")
+	idx2 := r.Index("data")
+	if idx2 == idx {
+		t.Error("index not rebuilt after invalidate")
+	}
+	if idx2.LabelCount("extra") != 1 {
+		t.Error("rebuilt index missing new edge")
+	}
+	if r.Index("nosuch") != nil {
+		t.Error("index for missing graph should be nil")
+	}
+}
+
+func TestRepositoryIndexingToggle(t *testing.T) {
+	r := New("")
+	r.Put(sample())
+	r.SetIndexing(false)
+	if r.Index("data") != nil {
+		t.Error("index should be nil with indexing off")
+	}
+	r.SetIndexing(true)
+	if r.Index("data") == nil {
+		t.Error("index should return after re-enabling")
+	}
+}
+
+func TestSaveAndOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := New(dir)
+	r.Put(sample())
+	g2 := r.NewGraph("site")
+	n := g2.NewNode("Root()")
+	g2.AddEdge(n, "x", graph.Str("y"))
+	if err := r.Save(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := r2.Names(); len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	gd, _ := r2.Graph("data")
+	orig := sample()
+	if gd.DumpString() != orig.DumpString() {
+		t.Errorf("data graph changed after round trip:\n%s\nvs\n%s", gd.DumpString(), orig.DumpString())
+	}
+	gs, _ := r2.Graph("site")
+	root, ok := gs.NodeByName("Root()")
+	if !ok {
+		t.Fatal("site root lost")
+	}
+	if v, _ := gs.First(root, "x"); v != graph.Str("y") {
+		t.Errorf("site edge lost: %v", v)
+	}
+	// OID allocation after load must not collide: new nodes in either
+	// graph get fresh ids.
+	fresh := gd.NewNode("")
+	if gs.HasNode(fresh) {
+		t.Error("oid collision after reload")
+	}
+}
+
+func TestSaveWithoutDirFails(t *testing.T) {
+	r := New("")
+	if err := r.Save(); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestOpenMissingDirFails(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestOpenCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte("oneline-no-tab\n"), 0o644)
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "corrupt manifest") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGraphFileNameSanitizes(t *testing.T) {
+	fn := graphFileName("week/end site #1")
+	if strings.ContainsAny(fn, "/# ") {
+		t.Errorf("unsafe file name %q", fn)
+	}
+	if !strings.HasSuffix(fn, ".graph") {
+		t.Errorf("missing suffix: %q", fn)
+	}
+}
+
+func TestDropRemovesGraphAndIndex(t *testing.T) {
+	r := New("")
+	r.Put(sample())
+	r.Index("data")
+	r.Drop("data")
+	if _, ok := r.Graph("data"); ok {
+		t.Error("graph not dropped")
+	}
+	if r.Index("data") != nil {
+		t.Error("index not dropped")
+	}
+}
+
+func TestStatsSummary(t *testing.T) {
+	r := New("")
+	r.Put(sample())
+	s := r.Stats()
+	if !strings.Contains(s, "data: 2 nodes, 9 edges") {
+		t.Errorf("stats = %q", s)
+	}
+}
+
+func TestPersistAnonymousNodes(t *testing.T) {
+	dir := t.TempDir()
+	r := New(dir)
+	g := r.NewGraph("g")
+	a := g.NewNode("")
+	g.AddEdge(a, "v", graph.Int(1))
+	if err := r.Save(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := r2.Graph("g")
+	if g2.NumNodes() != 1 || g2.NumEdges() != 1 {
+		t.Errorf("anonymous node lost: %+v", g2.Stats())
+	}
+}

@@ -1,0 +1,252 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// Constraint is an integrity constraint on a Web site's structure
+// ([FER 98b]). Each constraint can be checked in two ways:
+//
+//   - CheckSchema reasons over the site schema — i.e. over the
+//     site-definition query itself, guaranteeing the property for
+//     every site the query can generate (where decidable; schema
+//     checks are conservative: a schema-level pass guarantees the
+//     property only when the schema edge structure alone implies it).
+//   - CheckGraph verifies the property on one concrete site graph.
+//
+// The paper's motivating examples are expressible: "all pages are
+// reachable from the root" (Reachable), "every organization homepage
+// points to the homepages of its suborganizations" (MustLink), and
+// "proprietary data is not displayed on the external version"
+// (Forbid / NoPath).
+type Constraint interface {
+	fmt.Stringer
+	// CheckSchema verifies the constraint against a site schema.
+	CheckSchema(s *SiteSchema) error
+	// CheckGraph verifies the constraint against a concrete site
+	// graph, mapping nodes to Skolem functions by their names.
+	CheckGraph(g *graph.Graph) error
+}
+
+// skolemFuncOf extracts the Skolem function of a node name:
+// "YearPage(1997)" → "YearPage"; names without parentheses are their
+// own function.
+func skolemFuncOf(name string) string {
+	if i := strings.IndexByte(name, '('); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// nodesOfFunc returns the concrete nodes created by a Skolem function.
+func nodesOfFunc(g *graph.Graph, fn string) []graph.OID {
+	var out []graph.OID
+	for _, id := range g.Nodes() {
+		if name := g.NodeName(id); name != "" && skolemFuncOf(name) == fn {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Reachable requires every page (every Skolem node) to be reachable
+// from the Root function's pages.
+type Reachable struct {
+	Root string
+}
+
+func (c Reachable) String() string {
+	return fmt.Sprintf("all pages reachable from %s", c.Root)
+}
+
+// CheckSchema verifies reachability over the schema graph.
+func (c Reachable) CheckSchema(s *SiteSchema) error {
+	reach := s.Reachable(c.Root)
+	var missing []string
+	for _, f := range s.Funcs {
+		if !reach[f] {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("constraint %q violated: functions not reachable in the site schema: %s", c, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// CheckGraph verifies reachability over a concrete site graph.
+func (c Reachable) CheckGraph(g *graph.Graph) error {
+	roots := nodesOfFunc(g, c.Root)
+	if len(roots) == 0 {
+		return fmt.Errorf("constraint %q violated: no %s page exists", c, c.Root)
+	}
+	reach := map[graph.OID]struct{}{}
+	for _, r := range roots {
+		for id := range g.Reachable(r) {
+			reach[id] = struct{}{}
+		}
+	}
+	for _, id := range g.Nodes() {
+		name := g.NodeName(id)
+		if name == "" || !strings.Contains(name, "(") {
+			continue // not a Skolem page node
+		}
+		if _, ok := reach[id]; !ok {
+			return fmt.Errorf("constraint %q violated: page %s is unreachable", c, name)
+		}
+	}
+	return nil
+}
+
+// MustLink requires every page of function From to have at least one
+// Label edge to a page of function To ("every organization homepage
+// points to the homepages of its suborganizations").
+type MustLink struct {
+	From  string
+	Label string // "" means any label
+	To    string
+}
+
+func (c MustLink) String() string {
+	l := c.Label
+	if l == "" {
+		l = "*"
+	}
+	return fmt.Sprintf("every %s page links via %q to a %s page", c.From, l, c.To)
+}
+
+// CheckSchema verifies that the schema has a matching edge. This is
+// conservative in the other direction than Forbid: a schema edge
+// exists iff the query *can* create such links; whether every
+// instance gets one depends on the data, so schema-level MustLink
+// asserts possibility and CheckGraph asserts totality.
+func (c MustLink) CheckSchema(s *SiteSchema) error {
+	for _, e := range s.EdgesBetween(c.From, c.To) {
+		if c.Label == "" || (!e.LabelIsVar && e.Label == c.Label) || e.LabelIsVar {
+			return nil
+		}
+	}
+	return fmt.Errorf("constraint %q violated: the site-definition query never links %s to %s", c, c.From, c.To)
+}
+
+// CheckGraph verifies every From page has the link.
+func (c MustLink) CheckGraph(g *graph.Graph) error {
+	for _, id := range nodesOfFunc(g, c.From) {
+		found := false
+		for _, e := range g.Out(id) {
+			if c.Label != "" && e.Label != c.Label {
+				continue
+			}
+			if e.To.IsNode() && skolemFuncOf(g.NodeName(e.To.OID())) == c.To {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("constraint %q violated: page %s has no such link", c, g.DisplayName(id))
+		}
+	}
+	return nil
+}
+
+// Forbid requires that no page of function From carries a Label edge
+// (e.g. external sites must not expose a "patent" attribute).
+type Forbid struct {
+	From  string // "" means any function
+	Label string
+}
+
+func (c Forbid) String() string {
+	from := c.From
+	if from == "" {
+		from = "any page"
+	}
+	return fmt.Sprintf("%s must not have a %q edge", from, c.Label)
+}
+
+// CheckSchema verifies the query cannot create a forbidden edge. Arc
+// variables as labels are conservatively treated as violations, since
+// they may carry any label from the data.
+func (c Forbid) CheckSchema(s *SiteSchema) error {
+	for _, e := range s.Edges {
+		if c.From != "" && e.From != c.From {
+			continue
+		}
+		if e.LabelIsVar {
+			return fmt.Errorf("constraint %q possibly violated: link %s copies arbitrary labels (arc variable %s)", c, e, e.Label)
+		}
+		if e.Label == c.Label {
+			return fmt.Errorf("constraint %q violated: the query creates edge %s", c, e)
+		}
+	}
+	return nil
+}
+
+// CheckGraph verifies no concrete edge violates the constraint.
+func (c Forbid) CheckGraph(g *graph.Graph) error {
+	var bad error
+	g.Edges(func(e graph.Edge) bool {
+		if e.Label != c.Label {
+			return true
+		}
+		if c.From != "" && skolemFuncOf(g.NodeName(e.From)) != c.From {
+			return true
+		}
+		bad = fmt.Errorf("constraint %q violated: edge %s", c, g.DisplayName(e.From)+" -"+e.Label+"-> "+g.DisplayValue(e.To))
+		return false
+	})
+	return bad
+}
+
+// NoPath requires that no sequence of links connects a From page to a
+// To page (e.g. the external root must not reach internal-only pages).
+type NoPath struct {
+	From, To string
+}
+
+func (c NoPath) String() string {
+	return fmt.Sprintf("no path from %s to %s", c.From, c.To)
+}
+
+// CheckSchema verifies over the schema graph.
+func (c NoPath) CheckSchema(s *SiteSchema) error {
+	if s.Reachable(c.From)[c.To] {
+		return fmt.Errorf("constraint %q violated: the site schema has a path", c)
+	}
+	return nil
+}
+
+// CheckGraph verifies over the concrete graph.
+func (c NoPath) CheckGraph(g *graph.Graph) error {
+	for _, root := range nodesOfFunc(g, c.From) {
+		for id := range g.Reachable(root) {
+			if skolemFuncOf(g.NodeName(id)) == c.To && id != root {
+				return fmt.Errorf("constraint %q violated: %s reaches %s", c, g.DisplayName(root), g.DisplayName(id))
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyAll checks a set of constraints against both the schema and,
+// when a concrete graph is supplied (non-nil), the graph. It returns
+// all violations.
+func VerifyAll(s *SiteSchema, g *graph.Graph, cs []Constraint) []error {
+	var errs []error
+	for _, c := range cs {
+		if s != nil {
+			if err := c.CheckSchema(s); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if g != nil {
+			if err := c.CheckGraph(g); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errs
+}

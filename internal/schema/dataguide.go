@@ -1,0 +1,180 @@
+package schema
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// DataGuide is a graph schema extracted from the data, in the style of
+// the graph schemas of [BUN 97b] that the paper's site schemas refine:
+// a deterministic summary of a semistructured graph in which every
+// label path from the entry points (the graph's collections) appears
+// exactly once. The paper observes that "the schema for semistructured
+// data is often implicit in the data"; a dataguide makes it explicit —
+// useful for browsing a source's shape while writing wrappers and
+// site-definition queries, and as the statistics substrate for the
+// optimizer.
+//
+// The construction is the usual powerset (NFA→DFA) determinization:
+// each guide node stands for the exact set of objects reachable by
+// some label path, so extents are precise.
+type DataGuide struct {
+	root  *GuideNode
+	nodes []*GuideNode
+}
+
+// GuideNode is one state of the dataguide: a set of objects sharing
+// the label paths that reach them.
+type GuideNode struct {
+	id int
+	// Extent is the object set this state represents, in insertion
+	// order (atoms included).
+	Extent []graph.Value
+	// Children maps edge labels to successor states. For the root,
+	// labels are collection names.
+	Children map[string]*GuideNode
+}
+
+// Extract computes the dataguide of a graph. Entry points are the
+// graph's collections; objects unreachable from any collection do not
+// appear.
+func Extract(g *graph.Graph) *DataGuide {
+	dg := &DataGuide{}
+	memo := map[string]*GuideNode{}
+	dg.root = &GuideNode{Children: map[string]*GuideNode{}}
+	dg.nodes = append(dg.nodes, dg.root)
+	for _, coll := range g.Collections() {
+		members := g.Collection(coll)
+		if len(members) == 0 {
+			continue
+		}
+		dg.root.Children[coll] = dg.determinize(g, members, memo)
+	}
+	return dg
+}
+
+// setKey canonically identifies an object set.
+func setKey(vals []graph.Value) string {
+	keys := make([]string, len(vals))
+	for i, v := range vals {
+		keys[i] = v.String()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+func (dg *DataGuide) determinize(g *graph.Graph, objs []graph.Value, memo map[string]*GuideNode) *GuideNode {
+	objs = dedupeValues(objs)
+	key := setKey(objs)
+	if n, ok := memo[key]; ok {
+		return n
+	}
+	n := &GuideNode{id: len(dg.nodes), Extent: objs, Children: map[string]*GuideNode{}}
+	memo[key] = n
+	dg.nodes = append(dg.nodes, n)
+	// Group successor objects by label.
+	byLabel := map[string][]graph.Value{}
+	for _, o := range objs {
+		if !o.IsNode() {
+			continue
+		}
+		for _, e := range g.Out(o.OID()) {
+			byLabel[e.Label] = append(byLabel[e.Label], e.To)
+		}
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		n.Children[l] = dg.determinize(g, byLabel[l], memo)
+	}
+	return n
+}
+
+func dedupeValues(vals []graph.Value) []graph.Value {
+	seen := make(map[graph.Value]struct{}, len(vals))
+	out := make([]graph.Value, 0, len(vals))
+	for _, v := range vals {
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NumStates returns the number of guide nodes (excluding the root).
+func (dg *DataGuide) NumStates() int { return len(dg.nodes) - 1 }
+
+// Lookup resolves a label path (first component a collection name) to
+// its extent, or nil if the path does not occur in the data.
+func (dg *DataGuide) Lookup(path ...string) []graph.Value {
+	n := dg.root
+	for _, label := range path {
+		next, ok := n.Children[label]
+		if !ok {
+			return nil
+		}
+		n = next
+	}
+	return n.Extent
+}
+
+// Paths enumerates every label path of the guide up to the given
+// depth, sorted; a path is rendered "Coll.attr.attr".
+func (dg *DataGuide) Paths(maxDepth int) []string {
+	var out []string
+	var walk func(n *GuideNode, prefix []string, depth int)
+	walk = func(n *GuideNode, prefix []string, depth int) {
+		if depth >= maxDepth {
+			return
+		}
+		labels := make([]string, 0, len(n.Children))
+		for l := range n.Children {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			p := append(append([]string{}, prefix...), l)
+			out = append(out, strings.Join(p, "."))
+			walk(n.Children[l], p, depth+1)
+		}
+	}
+	walk(dg.root, nil, 0)
+	sort.Strings(out)
+	return out
+}
+
+// DOT renders the guide for visualization.
+func (dg *DataGuide) DOT(w io.Writer) {
+	fmt.Fprintln(w, "digraph dataguide {\n  rankdir=LR;")
+	for _, n := range dg.nodes {
+		label := fmt.Sprintf("%d (%d objs)", n.id, len(n.Extent))
+		if n == dg.root {
+			label = "root"
+		}
+		fmt.Fprintf(w, "  g%d [label=%q];\n", n.id, label)
+	}
+	for _, n := range dg.nodes {
+		labels := make([]string, 0, len(n.Children))
+		for l := range n.Children {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Fprintf(w, "  g%d -> g%d [label=%q];\n", n.id, n.Children[l].id, l)
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// String summarizes the guide.
+func (dg *DataGuide) String() string {
+	return fmt.Sprintf("dataguide: %d states, %d level-1 paths", dg.NumStates(), len(dg.root.Children))
+}

@@ -1,0 +1,249 @@
+// Package schema implements STRUDEL's site schemas (paper Sec. 3.2):
+// an equivalent formulation of a StruQL query as a labeled graph that
+// describes the possible paths in any site graph the query can
+// generate. The schema has one node per Skolem function symbol plus a
+// special node for non-Skolem values; each link expression
+// F(X) -> L -> G(Y) contributes an edge from N_F to N_G labeled
+// (Q, L, X, Y), where Q is the conjunction of the where clauses in
+// scope at the link. Site schemas serve as a visual summary of the
+// site during design (DOT export) and as the basis for verifying
+// integrity constraints on a site's structure ([FER 98b]; see
+// constraint.go).
+package schema
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"strudel/internal/struql"
+)
+
+// DataNode is the special schema node standing for non-Skolem values:
+// nodes of the data graph and atomic values.
+const DataNode = "•"
+
+// Edge is one schema edge, labeled (Query, Label, FromArgs, ToArgs).
+type Edge struct {
+	From string // Skolem function name
+	To   string // Skolem function name or DataNode
+	// Label is the link label: a literal, or an arc variable name for
+	// labels copied from the data (schema-carrying edges).
+	Label      string
+	LabelIsVar bool
+	// Conds is the conjunction of where conditions governing the link:
+	// the block's own conditions and all its ancestors'.
+	Conds []struql.Condition
+	// FromArgs and ToArgs are the Skolem argument terms, rendered.
+	FromArgs []string
+	ToArgs   []string
+}
+
+// CondString renders the governing query conjunction.
+func (e Edge) CondString() string {
+	if len(e.Conds) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(e.Conds))
+	for i, c := range e.Conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+func (e Edge) String() string {
+	label := e.Label
+	if !e.LabelIsVar {
+		label = fmt.Sprintf("%q", e.Label)
+	}
+	return fmt.Sprintf("%s -(%s, %s, [%s], [%s])-> %s",
+		e.From, e.CondString(), label,
+		strings.Join(e.FromArgs, ","), strings.Join(e.ToArgs, ","), e.To)
+}
+
+// SiteSchema is the schema graph of one query.
+type SiteSchema struct {
+	// Funcs are the Skolem function names, sorted.
+	Funcs []string
+	Edges []Edge
+	// Collections maps output collection names to the Skolem functions
+	// (or DataNode) collected into them.
+	Collections map[string][]string
+}
+
+// Build constructs the site schema of a query.
+func Build(q *struql.Query) *SiteSchema {
+	s := &SiteSchema{Collections: map[string][]string{}}
+	funcs := map[string]bool{}
+	var walk func(b *struql.Block, conds []struql.Condition)
+	walk = func(b *struql.Block, conds []struql.Condition) {
+		conds = append(conds[:len(conds):len(conds)], b.Where...)
+		for _, ct := range b.Creates {
+			funcs[ct.Func] = true
+		}
+		for _, l := range b.Links {
+			e := Edge{
+				From:     l.From.Skolem.Func,
+				FromArgs: renderTerms(l.From.Skolem.Args),
+				Conds:    conds,
+			}
+			funcs[e.From] = true
+			if l.Label.Var != "" {
+				e.Label, e.LabelIsVar = l.Label.Var, true
+			} else {
+				e.Label = l.Label.Lit
+			}
+			switch {
+			case l.To.Skolem != nil:
+				e.To = l.To.Skolem.Func
+				e.ToArgs = renderTerms(l.To.Skolem.Args)
+				funcs[e.To] = true
+			case l.To.Agg != nil:
+				// Aggregates produce atoms: non-Skolem targets.
+				e.To = DataNode
+				e.ToArgs = []string{l.To.Agg.String()}
+			default:
+				e.To = DataNode
+				e.ToArgs = []string{l.To.Term.String()}
+			}
+			s.Edges = append(s.Edges, e)
+		}
+		for _, c := range b.Collects {
+			target := DataNode
+			if c.Target.Skolem != nil {
+				target = c.Target.Skolem.Func
+				funcs[target] = true
+			}
+			s.Collections[c.Collection] = append(s.Collections[c.Collection], target)
+		}
+		for _, ch := range b.Children {
+			walk(ch, conds)
+		}
+	}
+	walk(q.Root, nil)
+	for f := range funcs {
+		s.Funcs = append(s.Funcs, f)
+	}
+	sort.Strings(s.Funcs)
+	return s
+}
+
+// Merge combines the schemas of several composed queries (the paper's
+// suciu example builds its site graph "in several successive steps by
+// multiple, composed StruQL queries"): functions are unioned, edges
+// and collections concatenated.
+func Merge(schemas ...*SiteSchema) *SiteSchema {
+	out := &SiteSchema{Collections: map[string][]string{}}
+	funcs := map[string]bool{}
+	for _, s := range schemas {
+		for _, f := range s.Funcs {
+			funcs[f] = true
+		}
+		out.Edges = append(out.Edges, s.Edges...)
+		for c, targets := range s.Collections {
+			out.Collections[c] = append(out.Collections[c], targets...)
+		}
+	}
+	for f := range funcs {
+		out.Funcs = append(out.Funcs, f)
+	}
+	sort.Strings(out.Funcs)
+	return out
+}
+
+func renderTerms(ts []struql.Term) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.String()
+	}
+	return out
+}
+
+// EdgesFrom returns the schema edges leaving a function node.
+func (s *SiteSchema) EdgesFrom(fn string) []Edge {
+	var out []Edge
+	for _, e := range s.Edges {
+		if e.From == fn {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EdgesBetween returns the schema edges from one function to another.
+func (s *SiteSchema) EdgesBetween(from, to string) []Edge {
+	var out []Edge
+	for _, e := range s.Edges {
+		if e.From == from && e.To == to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of schema nodes reachable from a function
+// node along schema edges (excluding DataNode hops).
+func (s *SiteSchema) Reachable(from string) map[string]bool {
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range s.EdgesFrom(n) {
+			if e.To != DataNode && !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders the schema as text, one edge per line.
+func (s *SiteSchema) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "site schema: %d functions, %d edges\n", len(s.Funcs), len(s.Edges))
+	for _, e := range s.Edges {
+		fmt.Fprintf(&sb, "  %s\n", e)
+	}
+	colls := make([]string, 0, len(s.Collections))
+	for c := range s.Collections {
+		colls = append(colls, c)
+	}
+	sort.Strings(colls)
+	for _, c := range colls {
+		fmt.Fprintf(&sb, "  collect %s ← %s\n", c, strings.Join(s.Collections[c], ", "))
+	}
+	return sb.String()
+}
+
+// DOT renders the schema in Graphviz format (the paper's Fig. 5 view).
+// Edges to the special non-Skolem node are excluded by default, as in
+// the paper's figure; pass withData to include them.
+func (s *SiteSchema) DOT(w io.Writer, withData bool) {
+	fmt.Fprintln(w, "digraph siteschema {\n  rankdir=TB;")
+	for _, f := range s.Funcs {
+		fmt.Fprintf(w, "  %q;\n", f)
+	}
+	if withData {
+		fmt.Fprintf(w, "  %q [shape=box];\n", DataNode)
+	}
+	for _, e := range s.Edges {
+		if e.To == DataNode && !withData {
+			continue
+		}
+		label := fmt.Sprintf("(%s, %s, [%s], [%s])",
+			abbreviate(e.CondString(), 40), e.Label,
+			strings.Join(e.FromArgs, ","), strings.Join(e.ToArgs, ","))
+		fmt.Fprintf(w, "  %q -> %q [label=%q];\n", e.From, e.To, label)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func abbreviate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

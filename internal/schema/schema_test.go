@@ -1,0 +1,289 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/datadef"
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+)
+
+const fig3 = `
+INPUT BIBTEX
+CREATE RootPage(), AbstractsPage()
+LINK RootPage() -> "AbstractsPage" -> AbstractsPage()
+WHERE Publications(x), x -> l -> v
+CREATE PaperPresentation(x), AbstractPage(x)
+LINK AbstractPage(x) -> l -> v,
+     PaperPresentation(x) -> l -> v,
+     PaperPresentation(x) -> "Abstract" -> AbstractPage(x),
+     AbstractsPage() -> "Abstract" -> AbstractPage(x)
+{
+  WHERE l = "year"
+  CREATE YearPage(v)
+  LINK YearPage(v) -> "Year" -> v,
+       YearPage(v) -> "Paper" -> PaperPresentation(x),
+       RootPage() -> "YearPage" -> YearPage(v)
+}
+{
+  WHERE l = "category"
+  CREATE CategoryPage(v)
+  LINK CategoryPage(v) -> "Name" -> v,
+       CategoryPage(v) -> "Paper" -> PaperPresentation(x),
+       RootPage() -> "CategoryPage" -> CategoryPage(v)
+}
+OUTPUT HomePage
+`
+
+func fig5Schema(t *testing.T) *SiteSchema {
+	t.Helper()
+	return Build(struql.MustParse(fig3))
+}
+
+// TestBuildFig5 verifies the paper's Fig. 5 site schema.
+func TestBuildFig5(t *testing.T) {
+	s := fig5Schema(t)
+	wantFuncs := []string{"AbstractPage", "AbstractsPage", "CategoryPage", "PaperPresentation", "RootPage", "YearPage"}
+	if len(s.Funcs) != len(wantFuncs) {
+		t.Fatalf("funcs = %v", s.Funcs)
+	}
+	for i, f := range wantFuncs {
+		if s.Funcs[i] != f {
+			t.Errorf("funcs[%d] = %s, want %s", i, s.Funcs[i], f)
+		}
+	}
+	// RootPage -(true, "AbstractsPage", [], [])-> AbstractsPage.
+	root := s.EdgesBetween("RootPage", "AbstractsPage")
+	if len(root) != 1 || root[0].Label != "AbstractsPage" || len(root[0].Conds) != 0 {
+		t.Errorf("root edge = %v", root)
+	}
+	// YearPage -(Q1∧Q2, "Paper", [v], [x])-> PaperPresentation.
+	yp := s.EdgesBetween("YearPage", "PaperPresentation")
+	if len(yp) != 1 {
+		t.Fatalf("YearPage->PaperPresentation edges = %v", yp)
+	}
+	e := yp[0]
+	if e.Label != "Paper" || e.LabelIsVar {
+		t.Errorf("edge label = %v", e)
+	}
+	if len(e.FromArgs) != 1 || e.FromArgs[0] != "v" || len(e.ToArgs) != 1 || e.ToArgs[0] != "x" {
+		t.Errorf("edge args = %v / %v", e.FromArgs, e.ToArgs)
+	}
+	// The governing query is the conjunction of Q1 and Q2.
+	cond := e.CondString()
+	if !strings.Contains(cond, "Publications(x)") || !strings.Contains(cond, `l = "year"`) {
+		t.Errorf("governing condition = %s", cond)
+	}
+	// Data edges: PaperPresentation -(Q1, l, [x], [v])-> •.
+	var dataEdge *Edge
+	for i := range s.Edges {
+		if s.Edges[i].From == "PaperPresentation" && s.Edges[i].To == DataNode {
+			dataEdge = &s.Edges[i]
+		}
+	}
+	if dataEdge == nil || !dataEdge.LabelIsVar || dataEdge.Label != "l" {
+		t.Errorf("data edge = %v", dataEdge)
+	}
+}
+
+func TestSchemaReachable(t *testing.T) {
+	s := fig5Schema(t)
+	reach := s.Reachable("RootPage")
+	for _, f := range s.Funcs {
+		if !reach[f] {
+			t.Errorf("%s not reachable from RootPage", f)
+		}
+	}
+	if r2 := s.Reachable("AbstractPage"); len(r2) != 1 {
+		t.Errorf("AbstractPage should reach only itself: %v", r2)
+	}
+}
+
+func TestSchemaCollections(t *testing.T) {
+	q := struql.MustParse(`WHERE C(x) CREATE F(x) COLLECT Roots(F(x)), Others(x)`)
+	s := Build(q)
+	if got := s.Collections["Roots"]; len(got) != 1 || got[0] != "F" {
+		t.Errorf("Roots = %v", got)
+	}
+	if got := s.Collections["Others"]; len(got) != 1 || got[0] != DataNode {
+		t.Errorf("Others = %v", got)
+	}
+}
+
+func TestSchemaDOTAndString(t *testing.T) {
+	s := fig5Schema(t)
+	var sb strings.Builder
+	s.DOT(&sb, false)
+	dot := sb.String()
+	if !strings.Contains(dot, `"RootPage" -> "YearPage"`) {
+		t.Errorf("DOT missing edge:\n%s", dot)
+	}
+	if strings.Contains(dot, DataNode) {
+		t.Errorf("DOT should exclude data node by default:\n%s", dot)
+	}
+	sb.Reset()
+	s.DOT(&sb, true)
+	if !strings.Contains(sb.String(), DataNode) {
+		t.Error("DOT withData should include data node")
+	}
+	if !strings.Contains(s.String(), "site schema: 6 functions") {
+		t.Errorf("String = %s", s.String())
+	}
+}
+
+// concreteSite evaluates fig3 over a small data graph.
+func concreteSite(t *testing.T) *graph.Graph {
+	t.Helper()
+	res, err := datadef.Parse("BIBTEX", `
+collection Publications { }
+object pub1 in Publications { title "A" year 1997 category "X" }
+object pub2 in Publications { title "B" year 1998 category "X" }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := struql.Eval(struql.MustParse(fig3), res.Graph, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Output
+}
+
+func TestReachableConstraint(t *testing.T) {
+	s := fig5Schema(t)
+	g := concreteSite(t)
+	c := Reachable{Root: "RootPage"}
+	if err := c.CheckSchema(s); err != nil {
+		t.Errorf("schema check: %v", err)
+	}
+	if err := c.CheckGraph(g); err != nil {
+		t.Errorf("graph check: %v", err)
+	}
+	// A query with an orphan function fails the schema check.
+	orphan := Build(struql.MustParse(`
+CREATE Root(), Orphan()
+WHERE C(x)
+LINK Root() -> "x" -> x`))
+	if err := (Reachable{Root: "Root"}).CheckSchema(orphan); err == nil {
+		t.Error("orphan function should violate reachability")
+	}
+}
+
+func TestReachableConstraintGraphViolation(t *testing.T) {
+	g := graph.New("site")
+	g.NewNode("Root()")
+	g.NewNode("Lost(1)")
+	err := Reachable{Root: "Root"}.CheckGraph(g)
+	if err == nil || !strings.Contains(err.Error(), "Lost(1)") {
+		t.Errorf("err = %v", err)
+	}
+	if err := (Reachable{Root: "Nope"}).CheckGraph(g); err == nil {
+		t.Error("missing root page should violate")
+	}
+}
+
+func TestMustLinkConstraint(t *testing.T) {
+	s := fig5Schema(t)
+	g := concreteSite(t)
+	ok := MustLink{From: "YearPage", Label: "Paper", To: "PaperPresentation"}
+	if err := ok.CheckSchema(s); err != nil {
+		t.Errorf("schema: %v", err)
+	}
+	if err := ok.CheckGraph(g); err != nil {
+		t.Errorf("graph: %v", err)
+	}
+	bad := MustLink{From: "AbstractPage", Label: "Paper", To: "YearPage"}
+	if err := bad.CheckSchema(s); err == nil {
+		t.Error("impossible link should violate schema check")
+	}
+	// Any-label form.
+	anyl := MustLink{From: "RootPage", To: "YearPage"}
+	if err := anyl.CheckSchema(s); err != nil {
+		t.Errorf("any-label schema: %v", err)
+	}
+	if err := anyl.CheckGraph(g); err != nil {
+		t.Errorf("any-label graph: %v", err)
+	}
+	// Graph-level violation: a YearPage without papers.
+	g2 := graph.New("site")
+	g2.NewNode("YearPage(2000)")
+	if err := ok.CheckGraph(g2); err == nil {
+		t.Error("paperless year page should violate")
+	}
+}
+
+func TestForbidConstraint(t *testing.T) {
+	s := fig5Schema(t)
+	g := concreteSite(t)
+	// Fig. 3 copies arbitrary labels through arc variable l, so a
+	// schema-level Forbid on any label is conservatively flagged.
+	if err := (Forbid{Label: "patent"}).CheckSchema(s); err == nil {
+		t.Error("arc-variable copies should trip conservative Forbid")
+	}
+	// The concrete graph has no patent edges.
+	if err := (Forbid{Label: "patent"}).CheckGraph(g); err != nil {
+		t.Errorf("graph: %v", err)
+	}
+	// A literal forbidden label in the query is caught precisely.
+	q := struql.MustParse(`WHERE C(x) CREATE F(x) LINK F(x) -> "patent" -> x`)
+	if err := (Forbid{Label: "patent"}).CheckSchema(Build(q)); err == nil {
+		t.Error("literal patent edge should violate")
+	}
+	// Scoped to a function.
+	if err := (Forbid{From: "G", Label: "patent"}).CheckSchema(Build(q)); err != nil {
+		t.Errorf("scoped forbid should pass: %v", err)
+	}
+	// Concrete violation.
+	g3 := graph.New("site")
+	n := g3.NewNode("F(1)")
+	g3.AddEdge(n, "patent", graph.Str("secret"))
+	if err := (Forbid{Label: "patent"}).CheckGraph(g3); err == nil {
+		t.Error("concrete patent edge should violate")
+	}
+}
+
+func TestNoPathConstraint(t *testing.T) {
+	s := fig5Schema(t)
+	if err := (NoPath{From: "AbstractPage", To: "RootPage"}).CheckSchema(s); err != nil {
+		t.Errorf("no-path should hold: %v", err)
+	}
+	if err := (NoPath{From: "RootPage", To: "AbstractPage"}).CheckSchema(s); err == nil {
+		t.Error("path exists, should violate")
+	}
+	g := concreteSite(t)
+	if err := (NoPath{From: "AbstractPage", To: "RootPage"}).CheckGraph(g); err != nil {
+		t.Errorf("concrete no-path should hold: %v", err)
+	}
+	if err := (NoPath{From: "RootPage", To: "YearPage"}).CheckGraph(g); err == nil {
+		t.Error("concrete path exists, should violate")
+	}
+}
+
+func TestVerifyAll(t *testing.T) {
+	s := fig5Schema(t)
+	g := concreteSite(t)
+	errs := VerifyAll(s, g, []Constraint{
+		Reachable{Root: "RootPage"},
+		MustLink{From: "YearPage", Label: "Paper", To: "PaperPresentation"},
+		Forbid{Label: "patent"}, // schema-conservative violation
+	})
+	if len(errs) != 1 {
+		t.Errorf("errs = %v", errs)
+	}
+	if len(VerifyAll(nil, g, []Constraint{Reachable{Root: "RootPage"}})) != 0 {
+		t.Error("graph-only verify should pass")
+	}
+}
+
+func TestSchemaWithAggregateTarget(t *testing.T) {
+	q := struql.MustParse(`
+WHERE C(x), x -> "year" -> y
+CREATE YearPage(y)
+LINK YearPage(y) -> "papers" -> COUNT(x)`)
+	s := Build(q)
+	edges := s.EdgesFrom("YearPage")
+	if len(edges) != 1 || edges[0].To != DataNode || edges[0].ToArgs[0] != "COUNT(x)" {
+		t.Errorf("edges = %v", edges)
+	}
+}

@@ -1,0 +1,115 @@
+// Package server serves STRUDEL-generated Web sites over HTTP, in the
+// two evaluation modes the paper discusses (Secs. 1 and 6): static —
+// the completely materialized site's pages are served from memory —
+// and dynamic — only the root is precomputed, and each click runs the
+// page's decomposed query at request time, with query-result caching
+// to reduce click time.
+package server
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+
+	"strudel/internal/incremental"
+	"strudel/internal/sitegen"
+)
+
+// Static returns a handler serving a materialized site. "/" serves
+// index.html when present, else a page listing.
+func Static(site *sitegen.Site) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		path := strings.TrimPrefix(r.URL.Path, "/")
+		if path == "" {
+			path = "index.html"
+		}
+		page, ok := site.Pages[path]
+		if !ok {
+			if r.URL.Path == "/" {
+				writeListing(w, site)
+				return
+			}
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, page.HTML)
+	})
+	return mux
+}
+
+func writeListing(w http.ResponseWriter, site *sitegen.Site) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<html><body><h1>Site</h1><ul>")
+	for _, p := range site.Paths() {
+		fmt.Fprintf(w, "<li><a href=%q>%s</a></li>", "/"+p, html.EscapeString(p))
+	}
+	fmt.Fprint(w, "</ul></body></html>")
+}
+
+// Dynamic returns a handler computing pages at click time. "/" renders
+// the first root of the given collection; "/page/<key>" renders the
+// page with that key (keys are discovered during browsing, starting
+// from the roots, exactly as a user could only reach pages by
+// following links).
+func Dynamic(r *incremental.Renderer, rootCollection string) http.Handler {
+	mux := http.NewServeMux()
+	serve := func(w http.ResponseWriter, ref incremental.PageRef) {
+		htmlText, err := r.RenderPage(ref)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, htmlText)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		roots, err := r.Dec.Roots(rootCollection)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if len(roots) == 0 {
+			http.Error(w, "site has no root pages", http.StatusNotFound)
+			return
+		}
+		if len(roots) == 1 {
+			serve(w, roots[0])
+			return
+		}
+		// Multiple roots: list them.
+		keys := make([]string, len(roots))
+		for i, root := range roots {
+			keys[i] = root.Key()
+		}
+		sort.Strings(keys)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<html><body><h1>Roots</h1><ul>")
+		for _, k := range keys {
+			fmt.Fprintf(w, "<li><a href=%q>%s</a></li>", "/page/"+url.PathEscape(k), html.EscapeString(k))
+		}
+		fmt.Fprint(w, "</ul></body></html>")
+	})
+	mux.HandleFunc("/page/", func(w http.ResponseWriter, req *http.Request) {
+		key, err := url.PathUnescape(strings.TrimPrefix(req.URL.Path, "/page/"))
+		if err != nil {
+			http.Error(w, "bad page key", http.StatusBadRequest)
+			return
+		}
+		ref, ok := r.Dec.Resolve(key)
+		if !ok {
+			http.NotFound(w, req)
+			return
+		}
+		serve(w, ref)
+	})
+	return mux
+}

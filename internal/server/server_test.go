@@ -1,0 +1,178 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"strudel/internal/datadef"
+	"strudel/internal/incremental"
+	"strudel/internal/sitegen"
+	"strudel/internal/struql"
+	"strudel/internal/template"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestStaticServer(t *testing.T) {
+	site := &sitegen.Site{Pages: map[string]*sitegen.Page{
+		"index.html": {Path: "index.html", HTML: "<h1>Home</h1>"},
+		"a.html":     {Path: "a.html", HTML: "<h1>A</h1>"},
+	}}
+	srv := httptest.NewServer(Static(site))
+	defer srv.Close()
+	if code, body := get(t, srv, "/"); code != 200 || body != "<h1>Home</h1>" {
+		t.Errorf("/ = %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/a.html"); code != 200 || body != "<h1>A</h1>" {
+		t.Errorf("/a.html = %d %q", code, body)
+	}
+	if code, _ := get(t, srv, "/missing.html"); code != 404 {
+		t.Errorf("missing = %d", code)
+	}
+}
+
+func TestStaticServerListingWithoutIndex(t *testing.T) {
+	site := &sitegen.Site{Pages: map[string]*sitegen.Page{
+		"a.html": {Path: "a.html", HTML: "A"},
+	}}
+	srv := httptest.NewServer(Static(site))
+	defer srv.Close()
+	code, body := get(t, srv, "/")
+	if code != 200 || !strings.Contains(body, `href="/a.html"`) {
+		t.Errorf("listing = %d %q", code, body)
+	}
+}
+
+func dynamicRenderer(t *testing.T) *incremental.Renderer {
+	t.Helper()
+	res, err := datadef.Parse("G", `
+collection Publications { }
+object pub1 in Publications { title "Alpha" year 1997 }
+object pub2 in Publications { title "Beta" year 1998 }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := struql.MustParse(`
+INPUT G
+CREATE RootPage()
+COLLECT Roots(RootPage())
+WHERE Publications(x), x -> "year" -> y
+CREATE YearPage(y)
+LINK YearPage(y) -> "Year" -> y,
+     RootPage() -> "YearPage" -> YearPage(y)`)
+	d := incremental.Decompose(q, res.Graph, nil)
+	return &incremental.Renderer{
+		Dec: d,
+		Templates: map[string]*template.Template{
+			"RootPage": template.MustParse("RootPage", `<h1>Years</h1><SFMT_UL YearPage ORDER=ascend KEY=Year>`),
+			"YearPage": template.MustParse("YearPage", `<h1>Year <SFMT Year></h1>`),
+		},
+	}
+}
+
+func TestDynamicServerClickThrough(t *testing.T) {
+	srv := httptest.NewServer(Dynamic(dynamicRenderer(t), "Roots"))
+	defer srv.Close()
+	// Root renders with links to year pages.
+	code, body := get(t, srv, "/")
+	if code != 200 || !strings.Contains(body, "<h1>Years</h1>") {
+		t.Fatalf("/ = %d %q", code, body)
+	}
+	if !strings.Contains(body, "/page/YearPage%281997%29") {
+		t.Errorf("root missing year link: %q", body)
+	}
+	// Click through to a year page (computed at click time).
+	code, body = get(t, srv, "/page/YearPage%281997%29")
+	if code != 200 || !strings.Contains(body, "<h1>Year 1997</h1>") {
+		t.Errorf("year page = %d %q", code, body)
+	}
+	// Unknown (undiscovered) pages are 404.
+	if code, _ := get(t, srv, "/page/YearPage%282050%29"); code != 404 {
+		t.Errorf("undiscovered page = %d", code)
+	}
+	if code, _ := get(t, srv, "/nosuch"); code != 404 {
+		t.Errorf("bad path = %d", code)
+	}
+}
+
+func TestDynamicServerCachesPages(t *testing.T) {
+	r := dynamicRenderer(t)
+	srv := httptest.NewServer(Dynamic(r, "Roots"))
+	defer srv.Close()
+	get(t, srv, "/")
+	get(t, srv, "/page/YearPage%281997%29")
+	first := r.Dec.Stats()
+	get(t, srv, "/page/YearPage%281997%29")
+	second := r.Dec.Stats()
+	if second.CacheHits <= first.CacheHits {
+		t.Errorf("stats = %+v -> %+v", first, second)
+	}
+}
+
+func TestQueryHandler(t *testing.T) {
+	res, err := datadef.Parse("site", `
+collection Pages { }
+object home in Pages { title "Home" kind "page" }
+object about in Pages { title "About" kind "page" link home }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(QueryHandler(res.Graph, nil, 0))
+	defer srv.Close()
+
+	// The empty query serves the form.
+	code, body := get(t, srv, "/")
+	if code != 200 || !strings.Contains(body, "<form") {
+		t.Errorf("form = %d %q", code, body)
+	}
+	// A collect query renders results.
+	q := url.QueryEscape(`WHERE Pages(p), p -> "title" -> v COLLECT Titles(v)`)
+	code, body = get(t, srv, "/?q="+q)
+	if code != 200 || !strings.Contains(body, "Home") || !strings.Contains(body, "About") {
+		t.Errorf("results = %d %q", code, body)
+	}
+	// A regular-path-expression query over the site.
+	q = url.QueryEscape(`WHERE Pages(p), p -> * -> q2, Pages(q2) COLLECT Reachable(q2)`)
+	if code, body = get(t, srv, "/?q="+q); code != 200 || !strings.Contains(body, "home") {
+		t.Errorf("path query = %d %q", code, body)
+	}
+	// Mutating queries are rejected.
+	q = url.QueryEscape(`WHERE Pages(p) CREATE F(p) LINK F(p) -> "x" -> p`)
+	if code, _ = get(t, srv, "/?q="+q); code != 400 {
+		t.Errorf("mutating query = %d", code)
+	}
+	// Parse errors are 400.
+	if code, _ = get(t, srv, "/?q="+url.QueryEscape("WHERE (((")); code != 400 {
+		t.Errorf("bad query = %d", code)
+	}
+	// Runaway queries hit the binding cap.
+	srvTight := httptest.NewServer(QueryHandler(res.Graph, nil, 2))
+	defer srvTight.Close()
+	q = url.QueryEscape(`WHERE Pages(p), p -> a -> v COLLECT Out(v)`)
+	if code, _ = get(t, srvTight, "/?q="+q); code != 422 {
+		t.Errorf("capped query = %d", code)
+	}
+	// Queries with no collect clauses say so.
+	q = url.QueryEscape(`WHERE Pages(p), p -> "title" -> v`)
+	if code, body = get(t, srv, "/?q="+q); code != 200 || !strings.Contains(body, "nothing to show") {
+		t.Errorf("collectless = %d %q", code, body)
+	}
+}

@@ -1,0 +1,354 @@
+package sitegen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strudel/internal/datadef"
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+	"strudel/internal/template"
+)
+
+const fig2Data = `
+collection Publications { abstract text postscript ps }
+object pub1 in Publications {
+    title "Specifying Representations..."
+    author "Norman Ramsey"
+    author "Mary Fernandez"
+    year 1997
+    journal "TOPLAS"
+    abstract "abstracts/toplas97.txt"
+    postscript "papers/toplas97.ps.gz"
+    category "Programming Languages"
+}
+object pub2 in Publications {
+    title "Optimizing Regular..."
+    author "Mary Fernandez"
+    author "Dan Suciu"
+    year 1998
+    booktitle "Proc. of ICDE"
+    abstract "abstracts/icde98.txt"
+    postscript "papers/icde98.ps.gz"
+    category "Semistructured Data"
+    category "Programming Languages"
+}
+`
+
+const fig3Query = `
+INPUT BIBTEX
+CREATE RootPage(), AbstractsPage()
+LINK RootPage() -> "AbstractsPage" -> AbstractsPage()
+WHERE Publications(x), x -> l -> v
+CREATE PaperPresentation(x), AbstractPage(x)
+LINK AbstractPage(x) -> l -> v,
+     PaperPresentation(x) -> l -> v,
+     PaperPresentation(x) -> "Abstract" -> AbstractPage(x),
+     AbstractsPage() -> "Abstract" -> AbstractPage(x)
+{
+  WHERE l = "year"
+  CREATE YearPage(v)
+  LINK YearPage(v) -> "Year" -> v,
+       YearPage(v) -> "Paper" -> PaperPresentation(x),
+       RootPage() -> "YearPage" -> YearPage(v)
+}
+{
+  WHERE l = "category"
+  CREATE CategoryPage(v)
+  LINK CategoryPage(v) -> "Name" -> v,
+       CategoryPage(v) -> "Paper" -> PaperPresentation(x),
+       RootPage() -> "CategoryPage" -> CategoryPage(v)
+}
+OUTPUT HomePage
+`
+
+// fig7Templates are the paper's Fig. 7 templates, reconstructed.
+func fig7Templates(t *testing.T) map[string]*template.Template {
+	t.Helper()
+	srcs := map[string]string{
+		"RootPage": `<html><head><title>Home</title></head><body>
+<h2>Publications by Year</h2>
+<SFMT_UL YearPage ORDER=ascend KEY=Year>
+<h2>Publications by Topic</h2>
+<SFMT_UL CategoryPage ORDER=ascend KEY=Name>
+<p><SFMT AbstractsPage LINK="All abstracts">
+</body></html>`,
+		"AbstractsPage": `<html><body><h1>Paper Abstracts</h1>
+<SFMT_UL Abstract EMBED>
+</body></html>`,
+		"YearPage": `<html><body><h1>Publications from <SFMT Year></h1>
+<SFMT_UL Paper EMBED>
+</body></html>`,
+		"CategoryPage": `<html><body><h1>Publications on <SFMT Name></h1>
+<SFMT_UL Paper EMBED>
+</body></html>`,
+		"PaperPresentation": `<SFMT postscript LINK=title>. By <SFMT author DELIM=", ">. <SIF journal><SFMT journal><SELSE><SFMT booktitle></SIF>, <SFMT year>. <SFMT Abstract LINK="abstract">`,
+		"AbstractPage":      `<html><body><h1><SFMT title></h1><p><SFMT abstract></body></html>`,
+	}
+	out := map[string]*template.Template{}
+	for name, src := range srcs {
+		tpl, err := template.Parse(name, src)
+		if err != nil {
+			t.Fatalf("template %s: %v", name, err)
+		}
+		out[name] = tpl
+	}
+	return out
+}
+
+func buildSite(t *testing.T) *graph.Graph {
+	t.Helper()
+	res, err := datadef.Parse("BIBTEX", fig2Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := struql.Parse(fig3Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := struql.Eval(q, res.Graph, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Output
+}
+
+func generate(t *testing.T) *Site {
+	t.Helper()
+	siteGraph := buildSite(t)
+	gen := New(siteGraph, Config{
+		Templates: fig7Templates(t),
+		EmbedOnly: map[string]bool{"PaperPresentation": true},
+		Index:     "RootPage",
+	})
+	site, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+func TestGenerateFig7Site(t *testing.T) {
+	site := generate(t)
+	// Pages: index (root), abstracts, 2 year pages, 2 category pages,
+	// 2 abstract pages. PaperPresentation objects are embed-only.
+	if len(site.Pages) != 8 {
+		t.Fatalf("generated %d pages, want 8: %v", len(site.Pages), site.Paths())
+	}
+	idx, ok := site.Pages["index.html"]
+	if !ok {
+		t.Fatalf("no index.html: %v", site.Paths())
+	}
+	// Root links to year pages in ascending order.
+	p97 := strings.Index(idx.HTML, "YearPage_1997.html")
+	p98 := strings.Index(idx.HTML, "YearPage_1998.html")
+	if p97 < 0 || p98 < 0 || p97 > p98 {
+		t.Errorf("index year links wrong (97@%d, 98@%d):\n%s", p97, p98, idx.HTML)
+	}
+	if !strings.Contains(idx.HTML, ">All abstracts</a>") {
+		t.Errorf("index missing abstracts link:\n%s", idx.HTML)
+	}
+}
+
+func TestYearPageEmbedsPresentation(t *testing.T) {
+	site := generate(t)
+	var year97 *Page
+	for _, p := range site.Pages {
+		if strings.Contains(p.Path, "1997") {
+			year97 = p
+		}
+	}
+	if year97 == nil {
+		t.Fatalf("no 1997 page in %v", site.Paths())
+	}
+	// The presentation is embedded: authors and the PostScript link
+	// appear inline.
+	for _, want := range []string{
+		"Publications from 1997",
+		"Norman Ramsey, Mary Fernandez",
+		`<a href="papers/toplas97.ps.gz">Specifying Representations...</a>`,
+		"TOPLAS",
+	} {
+		if !strings.Contains(year97.HTML, want) {
+			t.Errorf("1997 page missing %q:\n%s", want, year97.HTML)
+		}
+	}
+	// The embedded presentation links (not embeds) its abstract page.
+	if !strings.Contains(year97.HTML, `<a href="AbstractPage_pub1.html">abstract</a>`) {
+		t.Errorf("presentation should link to abstract page:\n%s", year97.HTML)
+	}
+}
+
+func TestAbstractsPageEmbedOverride(t *testing.T) {
+	site := generate(t)
+	// AbstractPage objects are pages by default (linked from
+	// presentations) but the AbstractsPage template EMBEDs them.
+	var abstracts *Page
+	for _, p := range site.Pages {
+		if strings.HasPrefix(p.Path, "AbstractsPage") {
+			abstracts = p
+		}
+	}
+	if abstracts == nil {
+		t.Fatalf("no abstracts page in %v", site.Paths())
+	}
+	// Embedded: the abstract pages' <h1> titles appear inline.
+	if !strings.Contains(abstracts.HTML, "<h1>Specifying Representations...</h1>") {
+		t.Errorf("abstracts page should embed abstract pages:\n%s", abstracts.HTML)
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	site := generate(t)
+	dir := t.TempDir()
+	if err := site.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Publications by Year") {
+		t.Error("written index.html wrong")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 8 {
+		t.Errorf("wrote %d files, want 8", len(entries))
+	}
+}
+
+func TestHTMLTemplateAttributeSelection(t *testing.T) {
+	g := graph.New("site")
+	n := g.NewNode("thing")
+	g.AddEdge(n, "HTML-template", graph.Str("special"))
+	g.AddEdge(n, "label", graph.Str("I am special"))
+	gen := New(g, Config{Templates: map[string]*template.Template{
+		"special": template.MustParse("special", `<p><SFMT label></p>`),
+	}})
+	site, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(site.Pages) != 1 {
+		t.Fatalf("pages = %v", site.Paths())
+	}
+	for _, p := range site.Pages {
+		if p.HTML != "<p>I am special</p>" {
+			t.Errorf("html = %q", p.HTML)
+		}
+	}
+}
+
+func TestObjectSpecificBeatsCollection(t *testing.T) {
+	g := graph.New("site")
+	a := g.NewNode("a")
+	b := g.NewNode("b")
+	g.AddToCollection("C", graph.NodeValue(a))
+	g.AddToCollection("C", graph.NodeValue(b))
+	gen := New(g, Config{Templates: map[string]*template.Template{
+		"C": template.MustParse("C", `generic`),
+		"a": template.MustParse("a", `specific`),
+	}})
+	site, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byOID = map[string]string{}
+	for _, p := range site.Pages {
+		byOID[g.NodeName(p.OID)] = p.HTML
+	}
+	if byOID["a"] != "specific" || byOID["b"] != "generic" {
+		t.Errorf("selection wrong: %v", byOID)
+	}
+}
+
+func TestFileResolverEmbedsText(t *testing.T) {
+	g := graph.New("site")
+	n := g.NewNode("page")
+	g.AddEdge(n, "abstract", graph.File("abs.txt", graph.FileText))
+	g.AddEdge(n, "frag", graph.File("frag.html", graph.FileHTML))
+	gen := New(g, Config{
+		Templates: map[string]*template.Template{
+			"page": template.MustParse("page", `<SFMT abstract>|<SFMT frag>`),
+		},
+		FileResolver: func(path string) (string, error) {
+			switch path {
+			case "abs.txt":
+				return "the <abstract>", nil
+			case "frag.html":
+				return "<b>bold</b>", nil
+			}
+			return "", fmt.Errorf("no such file")
+		},
+	})
+	site, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range site.Pages {
+		if p.HTML != "the &lt;abstract&gt;|<b>bold</b>" {
+			t.Errorf("html = %q", p.HTML)
+		}
+	}
+}
+
+func TestEmbedCycleDetected(t *testing.T) {
+	g := graph.New("site")
+	a := g.NewNode("a")
+	b := g.NewNode("b")
+	g.AddEdge(a, "other", graph.NodeValue(b))
+	g.AddEdge(b, "other", graph.NodeValue(a))
+	g.AddToCollection("C", graph.NodeValue(a))
+	g.AddToCollection("C", graph.NodeValue(b))
+	gen := New(g, Config{Templates: map[string]*template.Template{
+		"C": template.MustParse("C", `<SFMT other EMBED>`),
+	}})
+	if _, err := gen.Generate(); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUntemplatedObjectRendersName(t *testing.T) {
+	g := graph.New("site")
+	a := g.NewNode("a")
+	b := g.NewNode("helper")
+	g.AddEdge(a, "aux", graph.NodeValue(b))
+	g.AddToCollection("C", graph.NodeValue(a))
+	gen := New(g, Config{Templates: map[string]*template.Template{
+		"C": template.MustParse("C", `[<SFMT aux>]`),
+	}})
+	site, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(site.Pages) != 1 {
+		t.Fatalf("pages = %v", site.Paths())
+	}
+	for _, p := range site.Pages {
+		if p.HTML != "[helper]" {
+			t.Errorf("html = %q", p.HTML)
+		}
+	}
+}
+
+func TestPathCollisionDisambiguation(t *testing.T) {
+	g := graph.New("site")
+	// Two distinct objects whose names sanitize identically.
+	a := g.NewNode("X(1)")
+	b := g.NewNode("X 1")
+	g.AddToCollection("C", graph.NodeValue(a))
+	g.AddToCollection("C", graph.NodeValue(b))
+	gen := New(g, Config{Templates: map[string]*template.Template{
+		"C": template.MustParse("C", `x`),
+	}})
+	site, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(site.Pages) != 2 {
+		t.Errorf("collision lost a page: %v", site.Paths())
+	}
+}

@@ -1,0 +1,152 @@
+package struql
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// aggData: three publications across two years with citation counts.
+func aggData(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("g")
+	add := func(name string, year int64, cites int64) {
+		n := g.NewNode(name)
+		g.AddToCollection("Publications", graph.NodeValue(n))
+		g.AddEdge(n, "year", graph.Int(year))
+		g.AddEdge(n, "cites", graph.Int(cites))
+	}
+	add("p1", 1997, 10)
+	add("p2", 1998, 4)
+	add("p3", 1998, 6)
+	return g
+}
+
+func TestAggregateCountPerGroup(t *testing.T) {
+	g := aggData(t)
+	q := MustParse(`
+WHERE Publications(x), x -> "year" -> y
+CREATE YearPage(y)
+LINK YearPage(y) -> "Year" -> y,
+     YearPage(y) -> "papers" -> COUNT(x)`)
+	res, err := Eval(q, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y97, _ := res.Output.NodeByName("YearPage(1997)")
+	y98, _ := res.Output.NodeByName("YearPage(1998)")
+	if v, _ := res.Output.First(y97, "papers"); v != graph.Int(1) {
+		t.Errorf("1997 count = %v", v)
+	}
+	if v, _ := res.Output.First(y98, "papers"); v != graph.Int(2) {
+		t.Errorf("1998 count = %v", v)
+	}
+}
+
+func TestAggregateSumMinMaxAvg(t *testing.T) {
+	g := aggData(t)
+	q := MustParse(`
+WHERE Publications(x), x -> "cites" -> c
+CREATE Summary()
+LINK Summary() -> "total" -> SUM(c),
+     Summary() -> "least" -> MIN(c),
+     Summary() -> "most" -> MAX(c),
+     Summary() -> "mean" -> AVG(c)`)
+	res, err := Eval(q, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.Output.NodeByName("Summary()")
+	check := func(label string, want graph.Value) {
+		t.Helper()
+		if v, _ := res.Output.First(s, label); v != want {
+			t.Errorf("%s = %v, want %v", label, v, want)
+		}
+	}
+	check("total", graph.Int(20))
+	check("least", graph.Int(4))
+	check("most", graph.Int(10))
+	// AVG over distinct cite values {10,4,6}.
+	check("mean", graph.Float(20.0/3.0))
+}
+
+func TestAggregateDistinctSemantics(t *testing.T) {
+	// The binding relation is a set; an aggregate sees each distinct
+	// value once even when several objects share it.
+	g := graph.New("g")
+	for _, name := range []string{"a", "b"} {
+		n := g.NewNode(name)
+		g.AddToCollection("C", graph.NodeValue(n))
+		g.AddEdge(n, "tag", graph.Str("shared"))
+	}
+	q := MustParse(`
+WHERE C(x), x -> "tag" -> tg
+CREATE Stats()
+LINK Stats() -> "tags" -> COUNT(tg),
+     Stats() -> "objects" -> COUNT(x)`)
+	res, err := Eval(q, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.Output.NodeByName("Stats()")
+	if v, _ := res.Output.First(s, "tags"); v != graph.Int(1) {
+		t.Errorf("tags = %v, want 1 (distinct)", v)
+	}
+	if v, _ := res.Output.First(s, "objects"); v != graph.Int(2) {
+		t.Errorf("objects = %v, want 2", v)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"unbound var", `WHERE C(x) CREATE F() LINK F() -> "n" -> COUNT(z)`, "unbound"},
+		{"agg as source", `WHERE C(x) CREATE F() LINK COUNT(x) -> "n" -> F()`, "cannot be a link source"},
+		{"agg in collect", `WHERE C(x) COLLECT Out(COUNT(x))`, "only allowed as link targets"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("err = %v", err)
+			}
+		})
+	}
+	// SUM over non-numeric values fails at evaluation time.
+	g := graph.New("g")
+	n := g.NewNode("n")
+	g.AddToCollection("C", graph.NodeValue(n))
+	g.AddEdge(n, "v", graph.Str("abc"))
+	q := MustParse(`WHERE C(x), x -> "v" -> v CREATE F() LINK F() -> "s" -> SUM(v)`)
+	if _, err := Eval(q, g, nil); err == nil || !strings.Contains(err.Error(), "non-numeric") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAggregateSumFloatPromotion(t *testing.T) {
+	g := graph.New("g")
+	n := g.NewNode("n")
+	g.AddToCollection("C", graph.NodeValue(n))
+	g.AddEdge(n, "v", graph.Int(1))
+	g.AddEdge(n, "v", graph.Float(2.5))
+	q := MustParse(`WHERE C(x), x -> "v" -> v CREATE F() LINK F() -> "s" -> SUM(v)`)
+	res, err := Eval(q, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := res.Output.NodeByName("F()")
+	if v, _ := res.Output.First(f, "s"); v != graph.Float(3.5) {
+		t.Errorf("sum = %v", v)
+	}
+}
+
+func TestAggregateStringRoundTrip(t *testing.T) {
+	src := `WHERE C(x), x -> "v" -> v
+CREATE F()
+LINK F() -> "n" -> COUNT(x), F() -> "s" -> SUM(v)`
+	q := MustParse(src)
+	q2 := MustParse(q.String())
+	if q.String() != q2.String() {
+		t.Errorf("unstable: %s vs %s", q.String(), q2.String())
+	}
+}

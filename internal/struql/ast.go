@@ -1,0 +1,446 @@
+package struql
+
+import (
+	"fmt"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// Query is a parsed StruQL query: one named input graph, one block
+// tree, one named output graph.
+type Query struct {
+	Input  string
+	Output string
+	Root   *Block
+	// Source preserves the original text for diagnostics and metrics
+	// (site-definition query sizes are one of the paper's reported
+	// statistics).
+	Source string
+}
+
+// Block is one where/create/link/collect group. A child block's where
+// conditions are conjoined with all of its ancestors' conditions; its
+// construction clauses execute once per combined binding.
+type Block struct {
+	Where    []Condition
+	Creates  []SkolemTerm
+	Links    []Link
+	Collects []Collect
+	Children []*Block
+}
+
+// Term is a variable or a constant in a condition or clause.
+type Term struct {
+	Var   string // variable name; empty for constants
+	Const graph.Value
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return t.Const.String()
+}
+
+// Var makes a variable term.
+func VarTerm(name string) Term { return Term{Var: name} }
+
+// ConstTerm makes a constant term.
+func ConstTerm(v graph.Value) Term { return Term{Const: v} }
+
+// LabelTerm is the middle of an x -> label -> y edge: a literal label,
+// an arc variable, or the any-label wildcard.
+type LabelTerm struct {
+	Var string // arc variable
+	Lit string // literal label
+	Any bool   // "_" wildcard
+}
+
+func (l LabelTerm) String() string {
+	switch {
+	case l.Any:
+		return "_"
+	case l.Var != "":
+		return l.Var
+	default:
+		return fmt.Sprintf("%q", l.Lit)
+	}
+}
+
+// Condition is one conjunct of a where clause.
+type Condition interface {
+	fmt.Stringer
+	// vars appends the variables mentioned by the condition.
+	vars(map[string]varKind)
+}
+
+type varKind int
+
+const (
+	nodeVar varKind = iota
+	arcVar
+)
+
+// MembershipCond tests collection membership: Publications(x). At the
+// semantic level a name is a collection if the input graph declares
+// it, otherwise it denotes an external predicate (PredCond); the
+// parser produces MembershipCond and the evaluator reinterprets.
+type MembershipCond struct {
+	Collection string
+	Arg        Term
+}
+
+func (c *MembershipCond) String() string {
+	return fmt.Sprintf("%s(%s)", c.Collection, c.Arg)
+}
+
+func (c *MembershipCond) vars(m map[string]varKind) {
+	if c.Arg.IsVar() {
+		m[c.Arg.Var] = nodeVar
+	}
+}
+
+// EdgeCond is a single-edge condition x -> l -> y. The label may be a
+// literal, an arc variable (which binds to the edge's label), or the
+// any-label wildcard.
+type EdgeCond struct {
+	From  Term
+	Label LabelTerm
+	To    Term
+}
+
+func (c *EdgeCond) String() string {
+	return fmt.Sprintf("%s -> %s -> %s", c.From, c.Label, c.To)
+}
+
+func (c *EdgeCond) vars(m map[string]varKind) {
+	if c.From.IsVar() {
+		m[c.From.Var] = nodeVar
+	}
+	if c.To.IsVar() {
+		m[c.To.Var] = nodeVar
+	}
+	if c.Label.Var != "" {
+		m[c.Label.Var] = arcVar
+	}
+}
+
+// PathCond is a regular-path-expression condition x -> R -> y: there
+// is a path from x to y whose label sequence matches R.
+type PathCond struct {
+	From Term
+	Path *PathExpr
+	To   Term
+}
+
+func (c *PathCond) String() string {
+	return fmt.Sprintf("%s -> %s -> %s", c.From, c.Path, c.To)
+}
+
+func (c *PathCond) vars(m map[string]varKind) {
+	if c.From.IsVar() {
+		m[c.From.Var] = nodeVar
+	}
+	if c.To.IsVar() {
+		m[c.To.Var] = nodeVar
+	}
+}
+
+// PredCond applies a built-in or external predicate to terms:
+// isPostScript(q).
+type PredCond struct {
+	Name string
+	Args []Term
+}
+
+func (c *PredCond) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+}
+
+func (c *PredCond) vars(m map[string]varKind) {
+	for _, a := range c.Args {
+		if a.IsVar() {
+			m[a.Var] = nodeVar
+		}
+	}
+}
+
+// CompareCond compares two terms: l = "year", x != y, year >= 1997.
+type CompareCond struct {
+	Left  Term
+	Op    CompareOp
+	Right Term
+}
+
+// CompareOp enumerates comparison operators.
+type CompareOp int
+
+// Comparison operators of StruQL conditions.
+const (
+	OpEq CompareOp = iota
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CompareOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[op]
+}
+
+func (c *CompareCond) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+func (c *CompareCond) vars(m map[string]varKind) {
+	if c.Left.IsVar() {
+		m[c.Left.Var] = nodeVar
+	}
+	if c.Right.IsVar() {
+		m[c.Right.Var] = nodeVar
+	}
+}
+
+// InSetCond tests an arc variable against a set of labels:
+// l in {"Paper", "TechReport"}.
+type InSetCond struct {
+	Var string
+	Set []string
+}
+
+func (c *InSetCond) String() string {
+	quoted := make([]string, len(c.Set))
+	for i, s := range c.Set {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return fmt.Sprintf("%s in {%s}", c.Var, strings.Join(quoted, ", "))
+}
+
+func (c *InSetCond) vars(m map[string]varKind) { m[c.Var] = arcVar }
+
+// NotCond negates a condition: not(isImageFile(q)). Under the
+// active-domain semantics, variables appearing only under negation
+// range over the graph's active domain.
+type NotCond struct {
+	Inner Condition
+}
+
+func (c *NotCond) String() string { return fmt.Sprintf("not(%s)", c.Inner) }
+
+func (c *NotCond) vars(m map[string]varKind) { c.Inner.vars(m) }
+
+// SkolemTerm is an application of a Skolem function to terms:
+// PaperPresentation(x), RootPage(). By definition, applying a Skolem
+// function to the same inputs yields the same new node OID.
+type SkolemTerm struct {
+	Func string
+	Args []Term
+}
+
+func (s SkolemTerm) String() string {
+	parts := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", s.Func, strings.Join(parts, ", "))
+}
+
+// AggOp enumerates aggregate functions — the grouping/aggregation
+// extension of the query stage the paper anticipates (Sec. 5.2: "we
+// could extend it to include grouping and aggregation").
+type AggOp int
+
+// Aggregate functions usable as link targets.
+const (
+	AggCount AggOp = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (op AggOp) String() string {
+	return [...]string{"COUNT", "SUM", "MIN", "MAX", "AVG"}[op]
+}
+
+// AggTerm is an aggregate applied to a variable, e.g. COUNT(x).
+// Used as a link target, it groups the block's binding rows by the
+// link's resolved source node and label, aggregating the variable's
+// distinct values within each group.
+type AggTerm struct {
+	Op  AggOp
+	Var string
+}
+
+func (a AggTerm) String() string { return fmt.Sprintf("%s(%s)", a.Op, a.Var) }
+
+// LinkTarget is an endpoint of a link clause: a Skolem term, a
+// variable, a constant, or (as a link's To only) an aggregate.
+type LinkTarget struct {
+	Skolem *SkolemTerm
+	Term   *Term
+	Agg    *AggTerm
+}
+
+func (t LinkTarget) String() string {
+	if t.Skolem != nil {
+		return t.Skolem.String()
+	}
+	if t.Agg != nil {
+		return t.Agg.String()
+	}
+	return t.Term.String()
+}
+
+// Link adds an edge in the output graph. Edges may only be added from
+// newly created nodes (existing nodes are immutable).
+type Link struct {
+	From  LinkTarget
+	Label LabelTerm
+	To    LinkTarget
+}
+
+func (l Link) String() string {
+	return fmt.Sprintf("%s -> %s -> %s", l.From, l.Label, l.To)
+}
+
+// Collect adds a value to a named collection of the output graph.
+type Collect struct {
+	Collection string
+	Target     LinkTarget
+}
+
+func (c Collect) String() string {
+	return fmt.Sprintf("%s(%s)", c.Collection, c.Target)
+}
+
+// PathOp discriminates PathExpr variants.
+type PathOp int
+
+// Path-expression operators: a label predicate leaf, concatenation,
+// alternation, and Kleene star.
+const (
+	PathPred PathOp = iota
+	PathConcat
+	PathAlt
+	PathStar
+)
+
+// PathExpr is a regular path expression over edge labels. The grammar
+// (paper Sec. 3) is R ::= Pred | (R.R) | (R|R) | R*.
+type PathExpr struct {
+	Op          PathOp
+	Pred        *LabelPred // PathPred
+	Left, Right *PathExpr  // Concat, Alt; Left only for Star
+}
+
+// LabelPred is the leaf of a path expression: a literal label, the
+// any-label predicate (written _ or true), or a named external
+// predicate on labels.
+type LabelPred struct {
+	Lit string
+	Any bool
+	Ext string
+}
+
+func (p *LabelPred) String() string {
+	switch {
+	case p.Any:
+		return "_"
+	case p.Ext != "":
+		return p.Ext
+	default:
+		return fmt.Sprintf("%q", p.Lit)
+	}
+}
+
+func (e *PathExpr) String() string {
+	switch e.Op {
+	case PathPred:
+		return e.Pred.String()
+	case PathConcat:
+		return "(" + e.Left.String() + "." + e.Right.String() + ")"
+	case PathAlt:
+		return "(" + e.Left.String() + "|" + e.Right.String() + ")"
+	case PathStar:
+		return e.Left.String() + "*"
+	default:
+		return "?"
+	}
+}
+
+// Vars returns the variables of the block subtree rooted at b,
+// classified as node or arc variables.
+func (b *Block) Vars() map[string]varKind {
+	m := map[string]varKind{}
+	b.collectVars(m)
+	return m
+}
+
+func (b *Block) collectVars(m map[string]varKind) {
+	for _, c := range b.Where {
+		c.vars(m)
+	}
+	for _, ch := range b.Children {
+		ch.collectVars(m)
+	}
+}
+
+// String renders the query in canonical StruQL syntax.
+func (q *Query) String() string {
+	var sb strings.Builder
+	if q.Input != "" {
+		fmt.Fprintf(&sb, "INPUT %s\n", q.Input)
+	}
+	q.Root.write(&sb, 0)
+	if q.Output != "" {
+		fmt.Fprintf(&sb, "OUTPUT %s\n", q.Output)
+	}
+	return sb.String()
+}
+
+func (b *Block) write(sb *strings.Builder, depth int) {
+	ind := strings.Repeat("  ", depth)
+	if len(b.Where) > 0 {
+		parts := make([]string, len(b.Where))
+		for i, c := range b.Where {
+			parts[i] = c.String()
+		}
+		fmt.Fprintf(sb, "%sWHERE %s\n", ind, strings.Join(parts, ", "))
+	}
+	if len(b.Creates) > 0 {
+		parts := make([]string, len(b.Creates))
+		for i, c := range b.Creates {
+			parts[i] = c.String()
+		}
+		fmt.Fprintf(sb, "%sCREATE %s\n", ind, strings.Join(parts, ", "))
+	}
+	if len(b.Links) > 0 {
+		parts := make([]string, len(b.Links))
+		for i, l := range b.Links {
+			parts[i] = l.String()
+		}
+		fmt.Fprintf(sb, "%sLINK %s\n", ind, strings.Join(parts, ",\n"+ind+"     "))
+	}
+	if len(b.Collects) > 0 {
+		parts := make([]string, len(b.Collects))
+		for i, c := range b.Collects {
+			parts[i] = c.String()
+		}
+		fmt.Fprintf(sb, "%sCOLLECT %s\n", ind, strings.Join(parts, ", "))
+	}
+	for _, ch := range b.Children {
+		fmt.Fprintf(sb, "%s{\n", ind)
+		ch.write(sb, depth+1)
+		fmt.Fprintf(sb, "%s}\n", ind)
+	}
+}

@@ -1,0 +1,49 @@
+package struql
+
+import "strudel/internal/graph"
+
+// Binding is one row of a binding relation, exposed for the
+// incremental evaluator and the optimizer: variable name → value.
+// Arc variables bind to string atoms carrying the edge label.
+type Binding = map[string]graph.Value
+
+// EvalBindings evaluates a condition list (one conjunction) against a
+// graph, extending the seed rows, and returns the satisfying binding
+// relation. It is the query stage of StruQL in isolation — the
+// incremental evaluator uses it to compute a single page's bindings at
+// click time (paper Sec. 6, [FER 98c]).
+func EvalBindings(input *graph.Graph, reg *Registry, conds []Condition, seed []Binding) ([]Binding, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	varKinds := map[string]varKind{}
+	for _, c := range conds {
+		c.vars(varKinds)
+	}
+	ev := &evaluator{
+		in:       input,
+		out:      nil,
+		reg:      reg,
+		varKinds: varKinds,
+		newNodes: map[graph.OID]bool{},
+		nfaCache: map[*PathExpr]*nfa{},
+		maxB:     defaultMaxBindings,
+	}
+	rows := make([]env, 0, len(seed)+1)
+	if len(seed) == 0 {
+		rows = append(rows, env{})
+	}
+	for _, s := range seed {
+		rows = append(rows, env(s))
+	}
+	out, err := ev.applyWhere(conds, rows)
+	if err != nil {
+		return nil, err
+	}
+	out = dedupe(out)
+	res := make([]Binding, len(out))
+	for i, r := range out {
+		res[i] = Binding(r)
+	}
+	return res, nil
+}

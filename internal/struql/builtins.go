@@ -1,0 +1,95 @@
+package struql
+
+import (
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// ObjectPred is an external or built-in predicate over graph objects,
+// e.g. isPostScript(q). The distinction between collection names and
+// external predicates is made at the semantic level: a name that is
+// not a collection of the input graph is looked up here.
+type ObjectPred func(graph.Value) bool
+
+// MultiPred is an n-ary predicate over graph objects.
+type MultiPred func([]graph.Value) bool
+
+// LabelPredFunc is a predicate over edge labels, usable inside regular
+// path expressions (e.g. isName* denotes any sequence of labels each
+// satisfying isName).
+type LabelPredFunc func(string) bool
+
+// Registry holds the predicates available to a query. The zero value
+// is not useful; construct with NewRegistry, which installs the
+// built-ins.
+type Registry struct {
+	object map[string]ObjectPred
+	multi  map[string]MultiPred
+	label  map[string]LabelPredFunc
+}
+
+// NewRegistry returns a registry preloaded with STRUDEL's built-in
+// predicates: the file-type tests used in the paper's examples
+// (isPostScript, isImageFile, isTextFile, isHTMLFile) plus structural
+// tests (isNode, isAtom, isInt, isFloat, isBool, isString, isURL,
+// isFile).
+func NewRegistry() *Registry {
+	r := &Registry{
+		object: map[string]ObjectPred{},
+		multi:  map[string]MultiPred{},
+		label:  map[string]LabelPredFunc{},
+	}
+	fileType := func(t graph.FileType) ObjectPred {
+		return func(v graph.Value) bool { return v.Kind() == graph.KindFile && v.FileType() == t }
+	}
+	kind := func(k graph.Kind) ObjectPred {
+		return func(v graph.Value) bool { return v.Kind() == k }
+	}
+	r.object["isPostScript"] = fileType(graph.FilePostScript)
+	r.object["isImageFile"] = fileType(graph.FileImage)
+	r.object["isTextFile"] = fileType(graph.FileText)
+	r.object["isHTMLFile"] = fileType(graph.FileHTML)
+	r.object["isNode"] = func(v graph.Value) bool { return v.IsNode() }
+	r.object["isAtom"] = func(v graph.Value) bool { return v.IsAtom() }
+	r.object["isInt"] = kind(graph.KindInt)
+	r.object["isFloat"] = kind(graph.KindFloat)
+	r.object["isBool"] = kind(graph.KindBool)
+	r.object["isString"] = kind(graph.KindString)
+	r.object["isURL"] = kind(graph.KindURL)
+	r.object["isFile"] = kind(graph.KindFile)
+	return r
+}
+
+// RegisterObject installs (or replaces) a unary object predicate.
+func (r *Registry) RegisterObject(name string, fn ObjectPred) { r.object[name] = fn }
+
+// RegisterMulti installs an n-ary object predicate.
+func (r *Registry) RegisterMulti(name string, fn MultiPred) { r.multi[name] = fn }
+
+// RegisterLabel installs a label predicate for path expressions.
+func (r *Registry) RegisterLabel(name string, fn LabelPredFunc) { r.label[name] = fn }
+
+func (r *Registry) objectPred(name string) (ObjectPred, bool) {
+	fn, ok := r.object[name]
+	if ok {
+		return fn, true
+	}
+	// Case-insensitive fallback for convenience.
+	for k, v := range r.object {
+		if strings.EqualFold(k, name) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (r *Registry) multiPred(name string) (MultiPred, bool) {
+	fn, ok := r.multi[name]
+	return fn, ok
+}
+
+func (r *Registry) labelPred(name string) (LabelPredFunc, bool) {
+	fn, ok := r.label[name]
+	return fn, ok
+}

@@ -1,0 +1,121 @@
+package struql
+
+import (
+	"fmt"
+)
+
+// Check performs the static semantic checks the paper imposes on
+// StruQL queries (Sec. 3, Semantics):
+//
+//  1. Each node mentioned in a link or collect clause is either
+//     mentioned in a create clause or is a node of the data graph (a
+//     bound variable). Concretely: every Skolem function used in link
+//     or collect must appear in some create clause of the query. (The
+//     set is query-global: by Skolem semantics the same function
+//     applied to the same inputs denotes the same node wherever it is
+//     written, so fragments may reference pages created elsewhere.)
+//  2. Edges can only be added from new nodes — a link's source must be
+//     a Skolem term, never a plain variable (existing nodes are
+//     immutable).
+//  3. Variables used in construction clauses must be bound by the
+//     where conditions in scope (the block's own and its ancestors').
+//
+// Parse runs Check automatically; it is exported for callers that
+// build ASTs programmatically.
+func Check(q *Query) error {
+	created := map[string]bool{}
+	collectCreates(q.Root, created)
+	return checkBlock(q.Root, created, map[string]bool{})
+}
+
+func collectCreates(b *Block, created map[string]bool) {
+	for _, ct := range b.Creates {
+		created[ct.Func] = true
+	}
+	for _, ch := range b.Children {
+		collectCreates(ch, created)
+	}
+}
+
+// checkBlock validates one block given the query-global created set
+// and the variables bound by ancestor scopes.
+func checkBlock(b *Block, created, bound map[string]bool) error {
+	bound = copySet(bound)
+	for _, c := range b.Where {
+		vm := map[string]varKind{}
+		c.vars(vm)
+		for v := range vm {
+			bound[v] = true
+		}
+	}
+	for _, ct := range b.Creates {
+		for _, a := range ct.Args {
+			if a.IsVar() && !bound[a.Var] {
+				return fmt.Errorf("struql: create %s uses unbound variable %q", ct, a.Var)
+			}
+		}
+	}
+	for _, l := range b.Links {
+		if l.From.Skolem == nil {
+			if l.From.Agg != nil {
+				return fmt.Errorf("struql: link %s: an aggregate cannot be a link source", l)
+			}
+			return fmt.Errorf("struql: link %s adds an edge from an existing node; existing nodes are immutable, the source must be a Skolem term", l)
+		}
+		if err := checkTarget(l.From, created, bound); err != nil {
+			return err
+		}
+		if err := checkTarget(l.To, created, bound); err != nil {
+			return err
+		}
+		if l.Label.Var != "" && !bound[l.Label.Var] {
+			return fmt.Errorf("struql: link %s uses unbound arc variable %q", l, l.Label.Var)
+		}
+	}
+	for _, c := range b.Collects {
+		if c.Target.Agg != nil {
+			return fmt.Errorf("struql: collect %s: aggregates are only allowed as link targets", c)
+		}
+		if err := checkTarget(c.Target, created, bound); err != nil {
+			return err
+		}
+	}
+	for _, ch := range b.Children {
+		if err := checkBlock(ch, created, bound); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkTarget(t LinkTarget, created, bound map[string]bool) error {
+	if t.Agg != nil {
+		if !bound[t.Agg.Var] {
+			return fmt.Errorf("struql: aggregate %s uses unbound variable %q", t.Agg, t.Agg.Var)
+		}
+		return nil
+	}
+	if t.Skolem != nil {
+		if !created[t.Skolem.Func] {
+			return fmt.Errorf("struql: %s mentions Skolem function %q that no create clause mentions", t.Skolem, t.Skolem.Func)
+		}
+		for _, a := range t.Skolem.Args {
+			if a.IsVar() && !bound[a.Var] {
+				return fmt.Errorf("struql: %s uses unbound variable %q", t.Skolem, a.Var)
+			}
+		}
+		return nil
+	}
+	if t.Term.IsVar() && !bound[t.Term.Var] {
+		return fmt.Errorf("struql: construction clause uses unbound variable %q", t.Term.Var)
+	}
+	return nil
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package struql_test
+
+import (
+	"fmt"
+
+	"strudel/internal/datadef"
+	"strudel/internal/struql"
+)
+
+// Example evaluates the paper's first example query: all PostScript
+// papers directly accessible from home pages.
+func Example() {
+	res, err := datadef.Parse("G", `
+object hp in HomePages {
+    Paper ps("papers/a.ps")
+    Paper "plain-text-draft"
+}`)
+	if err != nil {
+		panic(err)
+	}
+	q := struql.MustParse(`
+WHERE HomePages(p), p -> "Paper" -> q, isPostScript(q)
+COLLECT PostscriptPages(q)`)
+	out, err := struql.Eval(q, res.Graph, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range out.Output.Collection("PostscriptPages") {
+		fmt.Println(v)
+	}
+	// Output:
+	// postscript(papers/a.ps)
+}
+
+// ExampleEval_construction shows the construction stage: Skolem
+// functions create one new page per distinct year.
+func ExampleEval_construction() {
+	res, _ := datadef.Parse("G", `
+object p1 in Publications { year 1997 }
+object p2 in Publications { year 1998 }
+object p3 in Publications { year 1998 }`)
+	q := struql.MustParse(`
+WHERE Publications(x), x -> "year" -> y
+CREATE YearPage(y)
+LINK YearPage(y) -> "Paper" -> x,
+     YearPage(y) -> "papers" -> COUNT(x)`)
+	out, _ := struql.Eval(q, res.Graph, nil)
+	for _, id := range out.Output.Nodes() {
+		// The output graph also holds the linked data objects; report
+		// only the new pages.
+		if n, ok := out.Output.First(id, "papers"); ok {
+			fmt.Printf("%s: %s papers\n", out.Output.NodeName(id), n.Text())
+		}
+	}
+	// Output:
+	// YearPage(1997): 1 papers
+	// YearPage(1998): 2 papers
+}
+
+// ExampleRangeCheck flags domain-dependent variables.
+func ExampleRangeCheck() {
+	q := struql.MustParse(`
+WHERE not(p -> "link" -> q)
+CREATE F(p), F(q)
+LINK F(p) -> "missing" -> F(q)`)
+	for _, w := range struql.RangeCheck(q) {
+		fmt.Println(w.Var)
+	}
+	// Output:
+	// p
+	// q
+}

@@ -1,0 +1,59 @@
+package struql
+
+import (
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// FuzzParse asserts the parser never panics and that successfully
+// parsed queries re-parse from their canonical rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		fig3,
+		`WHERE C(x), x -> l -> v COLLECT Out(x)`,
+		`WHERE not(p -> l -> q) CREATE F(p), F(q) LINK F(p) -> l -> F(q)`,
+		`WHERE a -> ("x"|"y")* . isName -> b COLLECT C(b)`,
+		`INPUT a.b WHERE C(x), x -> "y" -> 3, z = x COLLECT D(z) OUTPUT o`,
+		`WHERE C(x) CREATE F(x) LINK F(x) -> "n" -> COUNT(x)`,
+		`{ WHERE C(x) { WHERE x -> "a" -> y COLLECT O(y) } }`,
+		`WHERE x -> l -> y, l in {"a","b"}, y >= 1.5 COLLECT C(y)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, q.String())
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("canonical form unstable:\n%s\nvs\n%s", q.String(), q2.String())
+		}
+	})
+}
+
+// FuzzEval asserts evaluation never panics on parseable queries over a
+// small fixed graph (errors are fine; crashes are not).
+func FuzzEval(f *testing.F) {
+	f.Add(`WHERE C(x), x -> l -> v COLLECT Out(v)`)
+	f.Add(`WHERE C(x), x -> * -> q COLLECT R(q)`)
+	f.Add(`WHERE not(a -> "x" -> b) CREATE F(a) LINK F(a) -> "y" -> b`)
+	g := graph.New("g")
+	n1 := g.NewNode("n1")
+	n2 := g.NewNode("n2")
+	g.AddToCollection("C", graph.NodeValue(n1))
+	g.AddEdge(n1, "x", graph.NodeValue(n2))
+	g.AddEdge(n2, "y", graph.Int(3))
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_, _ = Eval(q, g, &Options{MaxBindings: 10_000})
+	})
+}

@@ -1,0 +1,685 @@
+package struql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// Parse parses a StruQL query.
+//
+// The concrete syntax follows the paper's relaxed block form: clauses
+// may intermix, and each WHERE keyword opens a new (sibling) block
+// whose conditions are conjoined with those of its ancestors, exactly
+// as braced sub-blocks are. Keywords are case-insensitive.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.fill(); err != nil {
+		return nil, err
+	}
+	q := &Query{Source: src}
+	if p.isKeyword("input") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.parseGraphName()
+		if err != nil {
+			return nil, err
+		}
+		q.Input = name
+	}
+	root, err := p.parseBlockBody()
+	if err != nil {
+		return nil, err
+	}
+	q.Root = root
+	if p.isKeyword("output") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.parseGraphName()
+		if err != nil {
+			return nil, err
+		}
+		q.Output = name
+	}
+	if p.cur().kind != tEOF {
+		return nil, p.errf("unexpected %v %q after query", p.cur().kind, p.cur().text)
+	}
+	if err := Check(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse parses a query and panics on error; for tests and examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lex *lexer
+	buf [2]tok // lookahead window
+	n   int    // valid tokens in buf
+}
+
+func (p *parser) fill() error {
+	for p.n < 2 {
+		t, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		p.buf[p.n] = t
+		p.n++
+	}
+	return nil
+}
+
+func (p *parser) cur() tok  { return p.buf[0] }
+func (p *parser) peek() tok { return p.buf[1] }
+
+func (p *parser) advance() error {
+	p.buf[0] = p.buf[1]
+	p.n = 1
+	return p.fill()
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("struql: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind) (tok, error) {
+	if p.cur().kind != kind {
+		return tok{}, p.errf("expected %v, found %v %q", kind, p.cur().kind, p.cur().text)
+	}
+	t := p.cur()
+	if err := p.advance(); err != nil {
+		return tok{}, err
+	}
+	return t, nil
+}
+
+// parseGraphName parses a graph name, which may contain dots and
+// colons (source graphs are named like "src:people.csv").
+func (p *parser) parseGraphName() (string, error) {
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return "", err
+	}
+	out := name.text
+	for p.cur().kind == tDot {
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+		part, err := p.expect(tIdent)
+		if err != nil {
+			return "", err
+		}
+		out += "." + part.text
+	}
+	return out, nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.cur().kind == tIdent && strings.EqualFold(p.cur().text, kw)
+}
+
+// parseBlockBody parses a sequence of clauses and sub-blocks up to a
+// closing brace, OUTPUT, or EOF. Clauses before the first WHERE attach
+// to the enclosing block; each WHERE starts a new child block.
+func (p *parser) parseBlockBody() (*Block, error) {
+	root := &Block{}
+	current := root
+	sawWhere := false
+	for {
+		switch {
+		case p.isKeyword("where"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			conds, err := p.parseConditions()
+			if err != nil {
+				return nil, err
+			}
+			if !sawWhere && len(current.Creates) == 0 && len(current.Links) == 0 && len(current.Collects) == 0 && len(current.Children) == 0 {
+				// First clause of the block: attach directly.
+				current.Where = append(current.Where, conds...)
+			} else {
+				// A later WHERE opens a block nested in the current
+				// one, so its conditions conjoin with all bindings
+				// established so far (paper Sec. 3: intermixed
+				// clauses, nested queries).
+				child := &Block{Where: conds}
+				current.Children = append(current.Children, child)
+				current = child
+			}
+			sawWhere = true
+		case p.isKeyword("create"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			terms, err := p.parseSkolemList()
+			if err != nil {
+				return nil, err
+			}
+			current.Creates = append(current.Creates, terms...)
+		case p.isKeyword("link"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			links, err := p.parseLinkList()
+			if err != nil {
+				return nil, err
+			}
+			current.Links = append(current.Links, links...)
+		case p.isKeyword("collect"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			colls, err := p.parseCollectList()
+			if err != nil {
+				return nil, err
+			}
+			current.Collects = append(current.Collects, colls...)
+		case p.cur().kind == tLBrace:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			child, err := p.parseBlockBody()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBrace); err != nil {
+				return nil, err
+			}
+			current.Children = append(current.Children, child)
+		default:
+			return root, nil
+		}
+	}
+}
+
+// parseConditions parses a comma-separated condition list. The list
+// ends at a keyword, brace, or EOF.
+func (p *parser) parseConditions() ([]Condition, error) {
+	var conds []Condition
+	for {
+		c, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c...)
+		if p.cur().kind != tComma {
+			return conds, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseCondition parses one condition; an arrow chain like
+// x -> * -> y -> l -> z expands to multiple conditions.
+func (p *parser) parseCondition() ([]Condition, error) {
+	if p.isKeyword("not") && p.peek().kind == tLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil { // '('
+			return nil, err
+		}
+		inner, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		if len(inner) != 1 {
+			return nil, p.errf("not(...) takes exactly one condition, found a chain of %d", len(inner))
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return []Condition{&NotCond{Inner: inner[0]}}, nil
+	}
+	// Name(args): collection membership or external predicate.
+	if p.cur().kind == tIdent && p.peek().kind == tLParen && !strings.EqualFold(p.cur().text, "true") && !strings.EqualFold(p.cur().text, "false") {
+		name := p.cur().text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil { // '('
+			return nil, err
+		}
+		var args []Term
+		for p.cur().kind != tRParen {
+			t, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, t)
+			if p.cur().kind == tComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.advance(); err != nil { // ')'
+			return nil, err
+		}
+		if len(args) == 1 {
+			return []Condition{&MembershipCond{Collection: name, Arg: args[0]}}, nil
+		}
+		return []Condition{&PredCond{Name: name, Args: args}}, nil
+	}
+	// Term-led condition: comparison, in-set, or arrow chain.
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().kind {
+	case tEq, tNeq, tLt, tLe, tGt, tGe:
+		op := map[tokKind]CompareOp{tEq: OpEq, tNeq: OpNeq, tLt: OpLt, tLe: OpLe, tGt: OpGt, tGe: OpGe}[p.cur().kind]
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return []Condition{&CompareCond{Left: left, Op: op, Right: right}}, nil
+	case tArrow:
+		return p.parseChain(left)
+	case tIdent:
+		if strings.EqualFold(p.cur().text, "in") {
+			if !left.IsVar() {
+				return nil, p.errf("left side of 'in' must be a variable")
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tLBrace); err != nil {
+				return nil, err
+			}
+			var set []string
+			for {
+				s, err := p.expect(tString)
+				if err != nil {
+					return nil, err
+				}
+				set = append(set, s.text)
+				if p.cur().kind != tComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tRBrace); err != nil {
+				return nil, err
+			}
+			return []Condition{&InSetCond{Var: left.Var, Set: set}}, nil
+		}
+	}
+	return nil, p.errf("expected a condition after %s, found %v %q", left, p.cur().kind, p.cur().text)
+}
+
+// parseChain parses (-> path -> term)+ emitting one condition per hop.
+func (p *parser) parseChain(from Term) ([]Condition, error) {
+	var conds []Condition
+	for p.cur().kind == tArrow {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		mid, arcVar, err := p.parsePathSegment()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tArrow); err != nil {
+			return nil, err
+		}
+		to, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case arcVar != "":
+			conds = append(conds, &EdgeCond{From: from, Label: LabelTerm{Var: arcVar}, To: to})
+		case mid.Op == PathPred && mid.Pred.Ext == "":
+			conds = append(conds, &EdgeCond{From: from, Label: LabelTerm{Lit: mid.Pred.Lit, Any: mid.Pred.Any}, To: to})
+		default:
+			conds = append(conds, &PathCond{From: from, Path: mid, To: to})
+		}
+		from = to
+	}
+	return conds, nil
+}
+
+// parsePathSegment parses the middle of an arrow: either an arc
+// variable (returned as arcVar) or a regular path expression.
+func (p *parser) parsePathSegment() (*PathExpr, string, error) {
+	// A bare identifier immediately followed by '->' is an arc
+	// variable, except the keywords 'true' (any label) and '_'.
+	if p.cur().kind == tIdent && p.peek().kind == tArrow {
+		name := p.cur().text
+		if !strings.EqualFold(name, "true") && name != "_" {
+			if err := p.advance(); err != nil {
+				return nil, "", err
+			}
+			return nil, name, nil
+		}
+	}
+	// A lone '*' means "any path": (true)*.
+	if p.cur().kind == tStar && p.peek().kind == tArrow {
+		if err := p.advance(); err != nil {
+			return nil, "", err
+		}
+		return &PathExpr{Op: PathStar, Left: anyPred()}, "", nil
+	}
+	e, err := p.parsePathAlt()
+	if err != nil {
+		return nil, "", err
+	}
+	return e, "", nil
+}
+
+func anyPred() *PathExpr {
+	return &PathExpr{Op: PathPred, Pred: &LabelPred{Any: true}}
+}
+
+// parsePathAlt parses R ('|' R)*.
+func (p *parser) parsePathAlt() (*PathExpr, error) {
+	left, err := p.parsePathConcat()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tBar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePathConcat()
+		if err != nil {
+			return nil, err
+		}
+		left = &PathExpr{Op: PathAlt, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parsePathConcat parses R ('.' R)*.
+func (p *parser) parsePathConcat() (*PathExpr, error) {
+	left, err := p.parsePathPost()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePathPost()
+		if err != nil {
+			return nil, err
+		}
+		left = &PathExpr{Op: PathConcat, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parsePathPost parses an atom followed by zero or more '*'.
+func (p *parser) parsePathPost() (*PathExpr, error) {
+	atom, err := p.parsePathAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tStar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		atom = &PathExpr{Op: PathStar, Left: atom}
+	}
+	return atom, nil
+}
+
+func (p *parser) parsePathAtom() (*PathExpr, error) {
+	switch p.cur().kind {
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parsePathAlt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tString:
+		lit := p.cur().text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &PathExpr{Op: PathPred, Pred: &LabelPred{Lit: lit}}, nil
+	case tIdent:
+		name := p.cur().text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if strings.EqualFold(name, "true") || name == "_" {
+			return anyPred(), nil
+		}
+		return &PathExpr{Op: PathPred, Pred: &LabelPred{Ext: name}}, nil
+	default:
+		return nil, p.errf("expected a path expression, found %v %q", p.cur().kind, p.cur().text)
+	}
+}
+
+// parseTerm parses a variable or constant.
+func (p *parser) parseTerm() (Term, error) {
+	switch p.cur().kind {
+	case tIdent:
+		name := p.cur().text
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		switch strings.ToLower(name) {
+		case "true":
+			return ConstTerm(graph.Bool(true)), nil
+		case "false":
+			return ConstTerm(graph.Bool(false)), nil
+		}
+		return VarTerm(name), nil
+	case tString:
+		s := p.cur().text
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return ConstTerm(graph.Str(s)), nil
+	case tInt:
+		n, err := strconv.ParseInt(p.cur().text, 10, 64)
+		if err != nil {
+			return Term{}, p.errf("%v", err)
+		}
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return ConstTerm(graph.Int(n)), nil
+	case tFloat:
+		f, err := strconv.ParseFloat(p.cur().text, 64)
+		if err != nil {
+			return Term{}, p.errf("%v", err)
+		}
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return ConstTerm(graph.Float(f)), nil
+	default:
+		return Term{}, p.errf("expected a term, found %v %q", p.cur().kind, p.cur().text)
+	}
+}
+
+// parseSkolemList parses F(args) (',' F(args))*.
+func (p *parser) parseSkolemList() ([]SkolemTerm, error) {
+	var out []SkolemTerm
+	for {
+		s, err := p.parseSkolem()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if p.cur().kind != tComma {
+			return out, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseSkolem() (SkolemTerm, error) {
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return SkolemTerm{}, err
+	}
+	if _, err := p.expect(tLParen); err != nil {
+		return SkolemTerm{}, err
+	}
+	var args []Term
+	for p.cur().kind != tRParen {
+		t, err := p.parseTerm()
+		if err != nil {
+			return SkolemTerm{}, err
+		}
+		args = append(args, t)
+		if p.cur().kind == tComma {
+			if err := p.advance(); err != nil {
+				return SkolemTerm{}, err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // ')'
+		return SkolemTerm{}, err
+	}
+	return SkolemTerm{Func: name.text, Args: args}, nil
+}
+
+// parseLinkList parses link clauses: target -> label -> target, ...
+func (p *parser) parseLinkList() ([]Link, error) {
+	var out []Link
+	for {
+		from, err := p.parseLinkTarget()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tArrow); err != nil {
+			return nil, err
+		}
+		label, err := p.parseLinkLabel()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tArrow); err != nil {
+			return nil, err
+		}
+		to, err := p.parseLinkTarget()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Link{From: from, Label: label, To: to})
+		if p.cur().kind != tComma {
+			return out, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseLinkLabel() (LabelTerm, error) {
+	switch p.cur().kind {
+	case tString:
+		lit := p.cur().text
+		if err := p.advance(); err != nil {
+			return LabelTerm{}, err
+		}
+		return LabelTerm{Lit: lit}, nil
+	case tIdent:
+		name := p.cur().text
+		if err := p.advance(); err != nil {
+			return LabelTerm{}, err
+		}
+		return LabelTerm{Var: name}, nil
+	default:
+		return LabelTerm{}, p.errf("expected a link label, found %v %q", p.cur().kind, p.cur().text)
+	}
+}
+
+// aggOps maps the aggregate keywords (case-insensitive).
+var aggOps = map[string]AggOp{
+	"COUNT": AggCount, "SUM": AggSum, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg,
+}
+
+// parseLinkTarget parses a Skolem term, aggregate, variable, or
+// constant.
+func (p *parser) parseLinkTarget() (LinkTarget, error) {
+	if p.cur().kind == tIdent && p.peek().kind == tLParen {
+		if op, isAgg := aggOps[strings.ToUpper(p.cur().text)]; isAgg {
+			if err := p.advance(); err != nil {
+				return LinkTarget{}, err
+			}
+			if err := p.advance(); err != nil { // '('
+				return LinkTarget{}, err
+			}
+			v, err := p.expect(tIdent)
+			if err != nil {
+				return LinkTarget{}, err
+			}
+			if _, err := p.expect(tRParen); err != nil {
+				return LinkTarget{}, err
+			}
+			return LinkTarget{Agg: &AggTerm{Op: op, Var: v.text}}, nil
+		}
+		s, err := p.parseSkolem()
+		if err != nil {
+			return LinkTarget{}, err
+		}
+		return LinkTarget{Skolem: &s}, nil
+	}
+	t, err := p.parseTerm()
+	if err != nil {
+		return LinkTarget{}, err
+	}
+	return LinkTarget{Term: &t}, nil
+}
+
+// parseCollectList parses collect clauses: Name(target), ...
+func (p *parser) parseCollectList() ([]Collect, error) {
+	var out []Collect
+	for {
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tLParen); err != nil {
+			return nil, err
+		}
+		target, err := p.parseLinkTarget()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		out = append(out, Collect{Collection: name.text, Target: target})
+		if p.cur().kind != tComma {
+			return out, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}

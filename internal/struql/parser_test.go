@@ -1,0 +1,336 @@
+package struql
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// fig3 is the paper's Fig. 3 site-definition query for the example
+// homepage site.
+const fig3 = `
+INPUT BIBTEX
+// Create Root & Abstracts page and link them
+CREATE RootPage(), AbstractsPage()
+LINK RootPage() -> "AbstractsPage" -> AbstractsPage()
+// Create a presentation for every publication x
+WHERE Publications(x), x -> l -> v
+CREATE PaperPresentation(x), AbstractPage(x)
+LINK AbstractPage(x) -> l -> v,
+     PaperPresentation(x) -> l -> v,
+     PaperPresentation(x) -> "Abstract" -> AbstractPage(x),
+     AbstractsPage() -> "Abstract" -> AbstractPage(x)
+{
+  // Create a page for every year
+  WHERE l = "year"
+  CREATE YearPage(v)
+  LINK YearPage(v) -> "Year" -> v,
+       YearPage(v) -> "Paper" -> PaperPresentation(x),
+       RootPage() -> "YearPage" -> YearPage(v)
+}
+{
+  // Create a page for every category
+  WHERE l = "category"
+  CREATE CategoryPage(v)
+  LINK CategoryPage(v) -> "Name" -> v,
+       CategoryPage(v) -> "Paper" -> PaperPresentation(x),
+       RootPage() -> "CategoryPage" -> CategoryPage(v)
+}
+OUTPUT HomePage
+`
+
+func TestParseFig3Structure(t *testing.T) {
+	q, err := Parse(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Input != "BIBTEX" || q.Output != "HomePage" {
+		t.Errorf("input/output = %q/%q", q.Input, q.Output)
+	}
+	root := q.Root
+	if len(root.Creates) != 2 || len(root.Links) != 1 || len(root.Where) != 0 {
+		t.Errorf("root block: %d creates, %d links, %d where", len(root.Creates), len(root.Links), len(root.Where))
+	}
+	if len(root.Children) != 1 {
+		t.Fatalf("root has %d children, want 1 (Q1)", len(root.Children))
+	}
+	q1 := root.Children[0]
+	if len(q1.Where) != 2 {
+		t.Errorf("Q1 has %d conditions, want 2", len(q1.Where))
+	}
+	if len(q1.Creates) != 2 || len(q1.Links) != 4 {
+		t.Errorf("Q1: %d creates, %d links", len(q1.Creates), len(q1.Links))
+	}
+	if len(q1.Children) != 2 {
+		t.Fatalf("Q1 has %d children, want 2 (Q2, Q3)", len(q1.Children))
+	}
+	q2 := q1.Children[0]
+	if len(q2.Where) != 1 || len(q2.Creates) != 1 || len(q2.Links) != 3 {
+		t.Errorf("Q2 shape wrong: %+v", q2)
+	}
+	cmp, ok := q2.Where[0].(*CompareCond)
+	if !ok || cmp.Op != OpEq || cmp.Left.Var != "l" {
+		t.Errorf("Q2 condition = %v", q2.Where[0])
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	q1, err := Parse(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(q1.String())
+	if err != nil {
+		t.Fatalf("reparse of String() failed: %v\n%s", err, q1.String())
+	}
+	if q1.String() != q2.String() {
+		t.Errorf("String() not stable:\n%s\nvs\n%s", q1.String(), q2.String())
+	}
+}
+
+func TestParseArrowChain(t *testing.T) {
+	q, err := Parse(`WHERE Publications(x), x -> * -> y -> l -> z COLLECT Out(z)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := q.Root.Where
+	if len(conds) != 3 {
+		t.Fatalf("chain expanded to %d conditions, want 3", len(conds))
+	}
+	pc, ok := conds[1].(*PathCond)
+	if !ok || pc.Path.Op != PathStar {
+		t.Errorf("second condition = %v, want any-path", conds[1])
+	}
+	ec, ok := conds[2].(*EdgeCond)
+	if !ok || ec.Label.Var != "l" {
+		t.Errorf("third condition = %v, want edge with arc variable", conds[2])
+	}
+	if ec.From.Var != "y" || ec.To.Var != "z" {
+		t.Errorf("chain endpoints wrong: %v", ec)
+	}
+}
+
+func TestParsePathExpressions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // String() of the parsed path
+	}{
+		{`WHERE a -> "x" . "y" -> b COLLECT C(b)`, `("x"."y")`},
+		{`WHERE a -> "x" | "y" -> b COLLECT C(b)`, `("x"|"y")`},
+		{`WHERE a -> "x"* -> b COLLECT C(b)`, `"x"*`},
+		{`WHERE a -> ("x"."y")* -> b COLLECT C(b)`, `("x"."y")*`},
+		{`WHERE a -> isName* -> b COLLECT C(b)`, `isName*`},
+		{`WHERE a -> _ . "y" -> b COLLECT C(b)`, `(_."y")`},
+		{`WHERE a -> "x" . true* -> b COLLECT C(b)`, `("x"._*)`},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		pc, ok := q.Root.Where[0].(*PathCond)
+		if !ok {
+			t.Errorf("%s: condition is %T, want PathCond", c.src, q.Root.Where[0])
+			continue
+		}
+		if got := pc.Path.String(); got != c.want {
+			t.Errorf("%s: path = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseSingleEdgeForms(t *testing.T) {
+	q := MustParse(`WHERE a -> "Paper" -> b, a -> _ -> c, a -> lbl -> d COLLECT C(b)`)
+	e0 := q.Root.Where[0].(*EdgeCond)
+	if e0.Label.Lit != "Paper" {
+		t.Errorf("literal edge = %v", e0)
+	}
+	e1 := q.Root.Where[1].(*EdgeCond)
+	if !e1.Label.Any {
+		t.Errorf("wildcard edge = %v", e1)
+	}
+	e2 := q.Root.Where[2].(*EdgeCond)
+	if e2.Label.Var != "lbl" {
+		t.Errorf("arc-variable edge = %v", e2)
+	}
+}
+
+func TestParseInSet(t *testing.T) {
+	q := MustParse(`WHERE x -> l -> y, l in {"Paper", "TechReport"} COLLECT C(y)`)
+	c, ok := q.Root.Where[1].(*InSetCond)
+	if !ok || c.Var != "l" || len(c.Set) != 2 {
+		t.Fatalf("in-set condition = %v", q.Root.Where[1])
+	}
+}
+
+func TestParseNotAndPredicates(t *testing.T) {
+	q := MustParse(`WHERE HomePages(p), p -> "Paper" -> q, isPostScript(q), not(isImageFile(q)) COLLECT PostscriptPages(q)`)
+	if _, ok := q.Root.Where[2].(*MembershipCond); !ok {
+		t.Errorf("isPostScript(q) should parse as membership (resolved semantically), got %T", q.Root.Where[2])
+	}
+	n, ok := q.Root.Where[3].(*NotCond)
+	if !ok {
+		t.Fatalf("not condition = %T", q.Root.Where[3])
+	}
+	if _, ok := n.Inner.(*MembershipCond); !ok {
+		t.Errorf("inner = %T", n.Inner)
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	q := MustParse(`WHERE Pubs(x), x -> "year" -> y, y >= 1997, y != 2000 COLLECT Recent(x)`)
+	c2 := q.Root.Where[2].(*CompareCond)
+	if c2.Op != OpGe {
+		t.Errorf("op = %v", c2.Op)
+	}
+	if v, ok := c2.Right.Const.AsInt(); !ok || v != 1997 {
+		t.Errorf("rhs = %v", c2.Right)
+	}
+	c3 := q.Root.Where[3].(*CompareCond)
+	if c3.Op != OpNeq {
+		t.Errorf("op = %v", c3.Op)
+	}
+}
+
+func TestParseBoolAndFloatTerms(t *testing.T) {
+	q := MustParse(`WHERE Pubs(x), x -> "flag" -> f, f = true, x -> "w" -> w, w < 2.5 COLLECT C(x)`)
+	eq := q.Root.Where[2].(*CompareCond)
+	if b, ok := eq.Right.Const.AsBool(); !ok || !b {
+		t.Errorf("bool const = %v", eq.Right)
+	}
+	lt := q.Root.Where[4].(*CompareCond)
+	if f, ok := lt.Right.Const.AsFloat(); !ok || f != 2.5 {
+		t.Errorf("float const = %v", lt.Right)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"link from variable", `WHERE C(x) CREATE F(x) LINK x -> "a" -> F(x)`, "immutable"},
+		{"unknown skolem in link", `WHERE C(x) CREATE F(x) LINK F(x) -> "a" -> G(x)`, "no create clause"},
+		{"unbound var in create", `WHERE C(x) CREATE F(y)`, "unbound variable"},
+		{"unbound var in collect", `WHERE C(x) COLLECT Out(z)`, "unbound variable"},
+		{"unbound arc var in link", `WHERE C(x) CREATE F(x) LINK F(x) -> m -> F(x)`, "unbound arc variable"},
+		{"unknown skolem in collect", `WHERE C(x) COLLECT Out(G(x))`, "no create clause"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestCheckScopePropagation(t *testing.T) {
+	// Skolem created in an ancestor scope is usable in a child block
+	// (Fig. 3 uses RootPage() created at the root inside Q2/Q3).
+	src := `
+CREATE Root()
+WHERE C(x)
+CREATE Page(x)
+LINK Root() -> "p" -> Page(x)
+{ WHERE x -> "y" -> v LINK Page(x) -> "v" -> v }
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+	// The created set is query-global (Skolem identity is global), so
+	// a sibling may reference a function created in another branch.
+	crossSibling := `
+WHERE C(x)
+CREATE Page(x)
+{ WHERE x -> "a" -> u CREATE A(u) LINK A(u) -> "x" -> u }
+{ WHERE x -> "b" -> w LINK A(w) -> "x" -> w }
+`
+	if _, err := Parse(crossSibling); err != nil {
+		t.Fatalf("cross-sibling Skolem reference should be legal: %v", err)
+	}
+	// But a function never created anywhere is still an error.
+	if _, err := Parse(`WHERE C(x) CREATE F(x) LINK F(x) -> "a" -> Ghost(x)`); err == nil {
+		t.Fatal("uncreated Skolem function should be rejected")
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"garbage after query", `COLLECT C(x) WHERE` + ` zzz`},
+		{"unterminated string", `WHERE C(x`},
+		{"bad arrow", `WHERE x -> -> y COLLECT C(x)`},
+		{"missing paren", `WHERE C(x COLLECT D(x)`},
+		{"stray char", `WHERE C(x) @`},
+		{"chain into keyword", `WHERE x -> COLLECT C(x)`},
+		{"not with chain", `WHERE not(a -> "x" -> b -> "y" -> c) COLLECT C(a)`},
+		{"lone term", `WHERE x COLLECT C(x)`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("expected error for %q", c.src)
+			}
+		})
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`input G where C(x) collect Out(x) output H`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLinkConstantTarget(t *testing.T) {
+	q := MustParse(`WHERE C(x) CREATE F(x) LINK F(x) -> "n" -> "const", F(x) -> "i" -> 42`)
+	if len(q.Root.Links) != 2 {
+		t.Fatal("want 2 links")
+	}
+	if q.Root.Links[0].To.Term.Const != graph.Str("const") {
+		t.Errorf("string const target = %v", q.Root.Links[0].To)
+	}
+	if q.Root.Links[1].To.Term.Const != graph.Int(42) {
+		t.Errorf("int const target = %v", q.Root.Links[1].To)
+	}
+}
+
+func TestLexerNumbersVsConcatDot(t *testing.T) {
+	// "x" . "y" uses '.' as concatenation; 2.5 is a float.
+	l := newLexer(`2.5 2 . 5 -3`)
+	var kinds []tokKind
+	for {
+		tk, err := l.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.kind == tEOF {
+			break
+		}
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokKind{tFloat, tInt, tDot, tInt, tInt}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestVarsClassification(t *testing.T) {
+	q := MustParse(`WHERE C(x), x -> l -> v, l in {"a"} COLLECT Out(v)`)
+	vars := q.Root.Vars()
+	if vars["x"] != nodeVar || vars["v"] != nodeVar {
+		t.Errorf("node vars misclassified: %v", vars)
+	}
+	if vars["l"] != arcVar {
+		t.Errorf("arc var misclassified: %v", vars)
+	}
+}

@@ -1,0 +1,204 @@
+package struql
+
+import (
+	"fmt"
+
+	"strudel/internal/graph"
+)
+
+// nfa is a Thompson-constructed automaton over edge labels, used to
+// evaluate regular path expressions by traversing the product of the
+// graph and the automaton.
+type nfa struct {
+	start, accept int
+	numStates     int
+	eps           [][]int           // epsilon transitions per state
+	trans         [][]nfaTransition // labeled transitions per state
+}
+
+type nfaTransition struct {
+	pred labelMatcher
+	to   int
+}
+
+// labelMatcher tests one edge label.
+type labelMatcher func(string) bool
+
+// compilePath builds an NFA for a path expression, resolving external
+// label predicates against the registry.
+func compilePath(e *PathExpr, reg *Registry) (*nfa, error) {
+	n := &nfa{}
+	start, accept, err := n.build(e, reg)
+	if err != nil {
+		return nil, err
+	}
+	n.start, n.accept = start, accept
+	return n, nil
+}
+
+func (n *nfa) newState() int {
+	n.eps = append(n.eps, nil)
+	n.trans = append(n.trans, nil)
+	n.numStates++
+	return n.numStates - 1
+}
+
+func (n *nfa) build(e *PathExpr, reg *Registry) (start, accept int, err error) {
+	switch e.Op {
+	case PathPred:
+		m, err := matcherFor(e.Pred, reg)
+		if err != nil {
+			return 0, 0, err
+		}
+		s, a := n.newState(), n.newState()
+		n.trans[s] = append(n.trans[s], nfaTransition{pred: m, to: a})
+		return s, a, nil
+	case PathConcat:
+		ls, la, err := n.build(e.Left, reg)
+		if err != nil {
+			return 0, 0, err
+		}
+		rs, ra, err := n.build(e.Right, reg)
+		if err != nil {
+			return 0, 0, err
+		}
+		n.eps[la] = append(n.eps[la], rs)
+		return ls, ra, nil
+	case PathAlt:
+		ls, la, err := n.build(e.Left, reg)
+		if err != nil {
+			return 0, 0, err
+		}
+		rs, ra, err := n.build(e.Right, reg)
+		if err != nil {
+			return 0, 0, err
+		}
+		s, a := n.newState(), n.newState()
+		n.eps[s] = append(n.eps[s], ls, rs)
+		n.eps[la] = append(n.eps[la], a)
+		n.eps[ra] = append(n.eps[ra], a)
+		return s, a, nil
+	case PathStar:
+		is, ia, err := n.build(e.Left, reg)
+		if err != nil {
+			return 0, 0, err
+		}
+		s, a := n.newState(), n.newState()
+		n.eps[s] = append(n.eps[s], is, a)
+		n.eps[ia] = append(n.eps[ia], is, a)
+		return s, a, nil
+	default:
+		return 0, 0, fmt.Errorf("struql: unknown path operator %d", e.Op)
+	}
+}
+
+func matcherFor(p *LabelPred, reg *Registry) (labelMatcher, error) {
+	switch {
+	case p.Any:
+		return func(string) bool { return true }, nil
+	case p.Ext != "":
+		fn, ok := reg.labelPred(p.Ext)
+		if !ok {
+			return nil, fmt.Errorf("struql: unknown label predicate %q in path expression", p.Ext)
+		}
+		return labelMatcher(fn), nil
+	default:
+		lit := p.Lit
+		return func(l string) bool { return l == lit }, nil
+	}
+}
+
+// closure expands a state set through epsilon transitions, in place.
+func (n *nfa) closure(states map[int]struct{}) {
+	stack := make([]int, 0, len(states))
+	for s := range states {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if _, ok := states[t]; !ok {
+				states[t] = struct{}{}
+				stack = append(stack, t)
+			}
+		}
+	}
+}
+
+// acceptsEmpty reports whether the empty path matches.
+func (n *nfa) acceptsEmpty() bool {
+	set := map[int]struct{}{n.start: {}}
+	n.closure(set)
+	_, ok := set[n.accept]
+	return ok
+}
+
+// reach computes all values reachable from src by a path whose label
+// sequence matches the automaton. It explores the product of the graph
+// and the NFA breadth-first, memoizing visited (value, state) pairs,
+// so it runs in O(|edges| x |states|).
+func (n *nfa) reach(g *graph.Graph, src graph.Value) []graph.Value {
+	type pair struct {
+		val   graph.Value
+		state int
+	}
+	visited := map[pair]struct{}{}
+	accepted := map[graph.Value]struct{}{}
+	var order []graph.Value
+
+	// Seed with the epsilon closure of the start state at src.
+	startSet := map[int]struct{}{n.start: {}}
+	n.closure(startSet)
+	queue := make([]pair, 0, len(startSet))
+	for s := range startSet {
+		p := pair{src, s}
+		visited[p] = struct{}{}
+		queue = append(queue, p)
+	}
+	accept := func(v graph.Value) {
+		if _, ok := accepted[v]; !ok {
+			accepted[v] = struct{}{}
+			order = append(order, v)
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p.state == n.accept {
+			accept(p.val)
+		}
+		if !p.val.IsNode() {
+			continue // atoms have no outgoing edges
+		}
+		g.EachOut(p.val.OID(), func(e graph.Edge) bool {
+			for _, tr := range n.trans[p.state] {
+				if !tr.pred(e.Label) {
+					continue
+				}
+				next := map[int]struct{}{tr.to: {}}
+				n.closure(next)
+				for s := range next {
+					np := pair{e.To, s}
+					if _, seen := visited[np]; !seen {
+						visited[np] = struct{}{}
+						queue = append(queue, np)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return order
+}
+
+// matches reports whether a path matching the automaton connects src
+// to dst. It reuses reach but stops early when dst is accepted.
+func (n *nfa) matches(g *graph.Graph, src, dst graph.Value) bool {
+	for _, v := range n.reach(g, src) {
+		if v == dst {
+			return true
+		}
+	}
+	return false
+}

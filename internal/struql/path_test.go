@@ -1,0 +1,176 @@
+package struql
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// chainGraph builds a -x-> b -y-> c -x-> d with an atom leaf on d.
+func chainGraph() (*graph.Graph, [4]graph.OID) {
+	g := graph.New("chain")
+	a, b, c, d := g.NewNode("a"), g.NewNode("b"), g.NewNode("c"), g.NewNode("d")
+	g.AddEdge(a, "x", graph.NodeValue(b))
+	g.AddEdge(b, "y", graph.NodeValue(c))
+	g.AddEdge(c, "x", graph.NodeValue(d))
+	g.AddEdge(d, "leaf", graph.Str("end"))
+	return g, [4]graph.OID{a, b, c, d}
+}
+
+func pathOf(t *testing.T, src string) *PathExpr {
+	t.Helper()
+	q := MustParse(`WHERE a -> ` + src + ` -> b COLLECT C(b)`)
+	pc, ok := q.Root.Where[0].(*PathCond)
+	if !ok {
+		// Single literal/any edges parse as EdgeCond; wrap them.
+		ec := q.Root.Where[0].(*EdgeCond)
+		return &PathExpr{Op: PathPred, Pred: &LabelPred{Lit: ec.Label.Lit, Any: ec.Label.Any}}
+	}
+	return pc.Path
+}
+
+func reachNames(t *testing.T, g *graph.Graph, src graph.Value, expr string, reg *Registry) []string {
+	t.Helper()
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	n, err := compilePath(pathOf(t, expr), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, v := range n.reach(g, src) {
+		names = append(names, g.DisplayValue(v))
+	}
+	return names
+}
+
+func TestPathSingleLabel(t *testing.T) {
+	g, n := chainGraph()
+	got := reachNames(t, g, graph.NodeValue(n[0]), `"x"`, nil)
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("reach = %v", got)
+	}
+}
+
+func TestPathConcat(t *testing.T) {
+	g, n := chainGraph()
+	got := reachNames(t, g, graph.NodeValue(n[0]), `"x"."y"`, nil)
+	if len(got) != 1 || got[0] != "c" {
+		t.Errorf("reach = %v", got)
+	}
+}
+
+func TestPathAlt(t *testing.T) {
+	g, n := chainGraph()
+	got := reachNames(t, g, graph.NodeValue(n[1]), `"y"|"x"`, nil)
+	if len(got) != 1 || got[0] != "c" {
+		t.Errorf("reach = %v", got)
+	}
+}
+
+func TestPathStarIncludesSource(t *testing.T) {
+	g, n := chainGraph()
+	got := reachNames(t, g, graph.NodeValue(n[0]), `*`, nil)
+	// All nodes plus the atom, including the source itself.
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": true, `"end"`: true}
+	if len(got) != len(want) {
+		t.Fatalf("reach = %v", got)
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Errorf("unexpected %q in reach", name)
+		}
+	}
+}
+
+func TestPathStarOfLabel(t *testing.T) {
+	g := graph.New("loop")
+	a, b, c := g.NewNode("a"), g.NewNode("b"), g.NewNode("c")
+	g.AddEdge(a, "n", graph.NodeValue(b))
+	g.AddEdge(b, "n", graph.NodeValue(c))
+	g.AddEdge(c, "n", graph.NodeValue(a)) // cycle
+	got := reachNames(t, g, graph.NodeValue(a), `"n"*`, nil)
+	if len(got) != 3 {
+		t.Errorf("cycle reach = %v", got)
+	}
+}
+
+func TestPathMixedStarConcat(t *testing.T) {
+	g, n := chainGraph()
+	// "x" . _* : one x edge then anything.
+	got := reachNames(t, g, graph.NodeValue(n[0]), `"x" . true*`, nil)
+	want := map[string]bool{"b": true, "c": true, "d": true, `"end"`: true}
+	if len(got) != len(want) {
+		t.Fatalf("reach = %v", got)
+	}
+}
+
+func TestPathExternalLabelPredicate(t *testing.T) {
+	g, n := chainGraph()
+	reg := NewRegistry()
+	reg.RegisterLabel("isShort", func(l string) bool { return len(l) == 1 })
+	got := reachNames(t, g, graph.NodeValue(n[0]), `isShort*`, reg)
+	// x and y are short; "leaf" is not.
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	if len(got) != len(want) {
+		t.Errorf("reach = %v", got)
+	}
+}
+
+func TestPathUnknownLabelPredicate(t *testing.T) {
+	_, err := compilePath(&PathExpr{Op: PathPred, Pred: &LabelPred{Ext: "nosuch"}}, NewRegistry())
+	if err == nil || !strings.Contains(err.Error(), "unknown label predicate") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPathFromAtomSource(t *testing.T) {
+	g, _ := chainGraph()
+	// Atoms reach only themselves, and only via the empty path.
+	atom := graph.Str("end")
+	if got := reachNames(t, g, atom, `*`, nil); len(got) != 1 || got[0] != `"end"` {
+		t.Errorf("atom reach via star = %v", got)
+	}
+	if got := reachNames(t, g, atom, `"x"`, nil); len(got) != 0 {
+		t.Errorf("atom reach via label = %v", got)
+	}
+}
+
+func TestPathAcceptsEmpty(t *testing.T) {
+	reg := NewRegistry()
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{`"x"`, false},
+		{`"x"*`, true},
+		{`"x" . "y"`, false},
+		{`"x"* . "y"*`, true},
+		{`"x" | "y"*`, true},
+	}
+	for _, c := range cases {
+		n, err := compilePath(pathOf(t, c.expr), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.acceptsEmpty() != c.want {
+			t.Errorf("%s acceptsEmpty = %v, want %v", c.expr, !c.want, c.want)
+		}
+	}
+}
+
+func TestPathMatches(t *testing.T) {
+	g, n := chainGraph()
+	nfa, err := compilePath(pathOf(t, `"x" . "y"`), NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nfa.matches(g, graph.NodeValue(n[0]), graph.NodeValue(n[2])) {
+		t.Error("a -x.y-> c should match")
+	}
+	if nfa.matches(g, graph.NodeValue(n[0]), graph.NodeValue(n[3])) {
+		t.Error("a -x.y-> d should not match")
+	}
+}

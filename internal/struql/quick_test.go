@@ -1,0 +1,193 @@
+package struql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"strudel/internal/graph"
+)
+
+// randomData builds a random publication-ish graph per seed.
+func randomData(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New("rnd")
+	n := 5 + rng.Intn(15)
+	var ids []graph.OID
+	for i := 0; i < n; i++ {
+		id := g.NewNode(fmt.Sprintf("o%d", i))
+		ids = append(ids, id)
+		g.AddToCollection("C", graph.NodeValue(id))
+		for a := 0; a < 1+rng.Intn(3); a++ {
+			label := []string{"x", "y", "z"}[rng.Intn(3)]
+			if rng.Intn(3) == 0 {
+				g.AddEdge(id, label, graph.NodeValue(ids[rng.Intn(len(ids))]))
+			} else {
+				g.AddEdge(id, label, graph.Int(int64(rng.Intn(5))))
+			}
+		}
+	}
+	return g
+}
+
+// TestQuickEvalDeterministic: evaluation of the same query over the
+// same graph produces identical output graphs.
+func TestQuickEvalDeterministic(t *testing.T) {
+	q := MustParse(`
+WHERE C(x), x -> l -> v
+CREATE N(x)
+LINK N(x) -> l -> v
+COLLECT Out(N(x))`)
+	prop := func(seed int64) bool {
+		g := randomData(seed)
+		r1, err1 := Eval(q, g, nil)
+		r2, err2 := Eval(q, g, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Output.DumpString() == r2.Output.DumpString()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCopyPreservesEdges: the copy query reproduces every edge of
+// every collection member on its copy (Skolem copy is an isomorphism
+// on the copied part).
+func TestQuickCopyPreservesEdges(t *testing.T) {
+	q := MustParse(`
+WHERE C(x), x -> l -> v
+CREATE N(x)
+LINK N(x) -> l -> v`)
+	prop := func(seed int64) bool {
+		g := randomData(seed)
+		res, err := Eval(q, g, nil)
+		if err != nil {
+			return false
+		}
+		for _, m := range g.Collection("C") {
+			src := m.OID()
+			if len(g.Out(src)) == 0 {
+				continue
+			}
+			copyName := "N(" + g.NodeName(src) + ")"
+			cp, ok := res.Output.NodeByName(copyName)
+			if !ok {
+				return false
+			}
+			// Every original edge appears on the copy (targets are
+			// the original objects — copies link back into the data).
+			for _, e := range g.Out(src) {
+				found := false
+				for _, ce := range res.Output.Out(cp) {
+					if ce.Label == e.Label && ce.To == e.To {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPathStarEqualsReachable: x -> * -> q from a source agrees
+// with the graph's transitive closure (plus atoms).
+func TestQuickPathStarEqualsReachable(t *testing.T) {
+	q := MustParse(`WHERE Root(r), r -> * -> q COLLECT Reach(q)`)
+	prop := func(seed int64) bool {
+		g := randomData(seed)
+		nodes := g.Nodes()
+		start := nodes[int((seed%int64(len(nodes)))+int64(len(nodes)))%len(nodes)]
+		g.AddToCollection("Root", graph.NodeValue(start))
+		res, err := Eval(q, g, nil)
+		if err != nil {
+			return false
+		}
+		got := map[graph.Value]bool{}
+		for _, v := range res.Output.Collection("Reach") {
+			got[v] = true
+		}
+		// Expected: closure nodes plus atom targets of closure nodes.
+		want := map[graph.Value]bool{}
+		for id := range g.Reachable(start) {
+			want[graph.NodeValue(id)] = true
+			for _, e := range g.Out(id) {
+				if !e.To.IsNode() {
+					want[e.To] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for v := range want {
+			if !got[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBindingsAreSet: the binding relation never contains
+// duplicate rows.
+func TestQuickBindingsAreSet(t *testing.T) {
+	conds := MustParse(`WHERE C(x), x -> l -> v COLLECT O(x)`).Root.Where
+	prop := func(seed int64) bool {
+		g := randomData(seed)
+		rows, err := EvalBindings(g, nil, conds, nil)
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, r := range rows {
+			k := fmt.Sprint(r["x"], r["l"], r["v"])
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickQueryStringRoundTrip: parse(print(q)) is stable for the
+// generated query family.
+func TestQuickQueryStringRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		label := []string{"x", "y", "z"}[rng.Intn(3)]
+		src := fmt.Sprintf(`
+WHERE C(a), a -> %q -> b, b != %d
+CREATE F(a), G(b)
+LINK F(a) -> "t" -> G(b), G(b) -> %q -> b
+COLLECT Out(F(a))`, label, rng.Intn(10), label)
+		q1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			return false
+		}
+		return q1.String() == q2.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

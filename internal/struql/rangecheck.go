@@ -1,0 +1,146 @@
+package struql
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DomainWarning reports a variable whose bindings depend on the active
+// domain: it occurs only under negation, in predicate arguments, or in
+// non-binding comparisons, so the evaluator must range it over all
+// objects (or labels) of the graph. The paper notes that active-domain
+// semantics is unsatisfactory and that range-restriction rules are the
+// standard remedy ("the situation is similar to the domain independence
+// issue in the relational calculus"); RangeCheck implements those
+// rules as a static analysis.
+type DomainWarning struct {
+	Var  string
+	Cond Condition
+}
+
+func (w DomainWarning) String() string {
+	return fmt.Sprintf("variable %q is not range-restricted: it is bound only by %s, so it ranges over the active domain", w.Var, w.Cond)
+}
+
+// RangeCheck analyzes a query and returns one warning per variable
+// per block that is not bound by a generating condition (collection
+// membership, edge or path traversal, label-set membership, or an
+// equality with a range-restricted side). The query remains executable
+// — StruQL gives it a well-defined active-domain meaning — but the
+// warning predicts a potentially explosive evaluation.
+func RangeCheck(q *Query) []DomainWarning {
+	return RangeCheckWith(q, nil)
+}
+
+// RangeCheckWith refines RangeCheck with knowledge of which names are
+// collections of the intended input graph. Name(x) conditions over
+// collections are generators; over external predicates they are
+// filters and do not range-restrict x. A nil isCollection treats every
+// name as a collection (never a false positive for real collections).
+func RangeCheckWith(q *Query, isCollection func(string) bool) []DomainWarning {
+	var out []DomainWarning
+	a := &domainAnalysis{isCollection: isCollection}
+	a.checkBlockDomains(q.Root, map[string]bool{}, &out)
+	return out
+}
+
+type domainAnalysis struct {
+	isCollection func(string) bool
+}
+
+func (a *domainAnalysis) checkBlockDomains(b *Block, inherited map[string]bool, out *[]DomainWarning) {
+	safe := copySet(inherited)
+	// Fixpoint: grow the safe set through generating conditions.
+	for changed := true; changed; {
+		changed = false
+		for _, c := range b.Where {
+			for _, v := range a.newlySafe(c, safe) {
+				if !safe[v] {
+					safe[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	// Any variable of the block not in the safe set is domain-bound;
+	// attribute the warning to the first condition mentioning it.
+	reported := map[string]bool{}
+	for _, c := range b.Where {
+		vm := map[string]varKind{}
+		c.vars(vm)
+		names := make([]string, 0, len(vm))
+		for v := range vm {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		for _, v := range names {
+			if !safe[v] && !reported[v] {
+				reported[v] = true
+				*out = append(*out, DomainWarning{Var: v, Cond: c})
+			}
+		}
+	}
+	// Children inherit everything this block binds (safe or not —
+	// by execution time the parent will have materialized them).
+	childBound := copySet(safe)
+	for _, c := range b.Where {
+		vm := map[string]varKind{}
+		c.vars(vm)
+		for v := range vm {
+			childBound[v] = true
+		}
+	}
+	for _, ch := range b.Children {
+		a.checkBlockDomains(ch, childBound, out)
+	}
+}
+
+// newlySafe returns the variables a condition can bind without
+// consulting the active domain, given the currently safe set.
+func (a *domainAnalysis) newlySafe(c Condition, safe map[string]bool) []string {
+	termSafe := func(t Term) bool { return !t.IsVar() || safe[t.Var] }
+	var out []string
+	switch c := c.(type) {
+	case *MembershipCond:
+		// Collection scans generate; external predicates filter.
+		// Without collection knowledge the name is ambiguous and we
+		// assume a collection (never a false positive for real ones).
+		if c.Arg.IsVar() && (a.isCollection == nil || a.isCollection(c.Collection)) {
+			out = append(out, c.Arg.Var)
+		}
+	case *EdgeCond:
+		// Edge conditions range over the graph's edges: both
+		// endpoints and the arc variable are range-restricted.
+		if c.From.IsVar() {
+			out = append(out, c.From.Var)
+		}
+		if c.To.IsVar() {
+			out = append(out, c.To.Var)
+		}
+		if c.Label.Var != "" {
+			out = append(out, c.Label.Var)
+		}
+	case *PathCond:
+		if c.From.IsVar() {
+			out = append(out, c.From.Var)
+		}
+		if c.To.IsVar() {
+			out = append(out, c.To.Var)
+		}
+	case *InSetCond:
+		out = append(out, c.Var)
+	case *CompareCond:
+		// Equality propagates restriction across sides.
+		if c.Op == OpEq {
+			if termSafe(c.Left) && c.Right.IsVar() {
+				out = append(out, c.Right.Var)
+			}
+			if termSafe(c.Right) && c.Left.IsVar() {
+				out = append(out, c.Left.Var)
+			}
+		}
+	case *NotCond, *PredCond:
+		// Never generate.
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package struql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRangeCheckCleanQueries(t *testing.T) {
+	clean := []string{
+		`WHERE C(x), x -> l -> v COLLECT Out(x)`,
+		`WHERE C(x), x -> * -> y COLLECT Out(y)`,
+		`WHERE C(x), x -> "year" -> y, y = z COLLECT Out(z)`,
+		`WHERE C(x), not(x -> "img" -> v2), x -> "a" -> v2 COLLECT Out(x)`,
+		`WHERE x -> l -> v, l in {"a","b"} COLLECT Out(v)`,
+	}
+	for _, src := range clean {
+		q := MustParse(src)
+		if ws := RangeCheck(q); len(ws) != 0 {
+			t.Errorf("%s: unexpected warnings %v", src, ws)
+		}
+	}
+}
+
+func TestRangeCheckComplementQuery(t *testing.T) {
+	// The paper's complement query is the canonical domain-dependent
+	// query: all three variables range over the active domain.
+	q := MustParse(`
+WHERE not(p -> l -> q)
+CREATE F(p), F(q)
+LINK F(p) -> l -> F(q)`)
+	ws := RangeCheck(q)
+	if len(ws) != 3 {
+		t.Fatalf("warnings = %v", ws)
+	}
+	vars := map[string]bool{}
+	for _, w := range ws {
+		vars[w.Var] = true
+		if !strings.Contains(w.String(), "active domain") {
+			t.Errorf("warning text: %s", w)
+		}
+	}
+	for _, v := range []string{"p", "l", "q"} {
+		if !vars[v] {
+			t.Errorf("missing warning for %q", v)
+		}
+	}
+}
+
+func TestRangeCheckNonEqComparison(t *testing.T) {
+	q := MustParse(`WHERE C(x), x -> "year" -> y, z < y COLLECT Out(z)`)
+	ws := RangeCheck(q)
+	if len(ws) != 1 || ws[0].Var != "z" {
+		t.Fatalf("warnings = %v", ws)
+	}
+}
+
+func TestRangeCheckPredicateOnlyVar(t *testing.T) {
+	q := MustParse(`WHERE isPostScript(v) COLLECT Out(v)`)
+	// Without collection knowledge the name is assumed a collection.
+	if ws := RangeCheck(q); len(ws) != 0 {
+		t.Fatalf("default warnings = %v", ws)
+	}
+	// With collection knowledge the predicate does not restrict v.
+	ws := RangeCheckWith(q, func(string) bool { return false })
+	if len(ws) != 1 || ws[0].Var != "v" {
+		t.Fatalf("warnings = %v", ws)
+	}
+}
+
+func TestRangeCheckChildInheritsParentBindings(t *testing.T) {
+	// The child's y < x comparison is fine: x is bound by the parent.
+	q := MustParse(`
+WHERE C(x)
+CREATE F(x)
+{ WHERE x -> "v" -> y, y != x COLLECT Out(y) }`)
+	if ws := RangeCheck(q); len(ws) != 0 {
+		t.Errorf("warnings = %v", ws)
+	}
+}
+
+func TestRangeCheckEqualityPropagation(t *testing.T) {
+	// z is restricted transitively: z = y, y from an edge.
+	q := MustParse(`WHERE C(x), x -> "a" -> y, z = y, w = z COLLECT Out(w)`)
+	if ws := RangeCheck(q); len(ws) != 0 {
+		t.Errorf("warnings = %v", ws)
+	}
+}

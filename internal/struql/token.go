@@ -1,0 +1,277 @@
+// Package struql implements StruQL (Site TRansformation Und Query
+// Language), STRUDEL's declarative query and restructuring language
+// for semistructured data (paper Sec. 3). A query names an input
+// graph, gives one block of where / create / link / collect clauses
+// (with nested sub-blocks whose where conditions are conjoined with
+// their ancestors'), and names an output graph:
+//
+//	INPUT BIBTEX
+//	CREATE RootPage(), AbstractsPage()
+//	LINK   RootPage() -> "AbstractsPage" -> AbstractsPage()
+//	WHERE  Publications(x), x -> l -> v
+//	CREATE PaperPresentation(x), AbstractPage(x)
+//	LINK   AbstractPage(x) -> l -> v
+//	{ WHERE l = "year" CREATE YearPage(v) ... }
+//	OUTPUT HomePage
+//
+// The semantics are two-stage: the query stage produces all bindings
+// of node and arc variables satisfying the where conditions; the
+// construction stage builds a new graph from that relation using
+// Skolem functions for new object identities.
+package struql
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tInt
+	tFloat
+	tArrow  // ->
+	tLBrace // {
+	tRBrace // }
+	tLParen // (
+	tRParen // )
+	tComma  // ,
+	tStar   // *
+	tDot    // .
+	tBar    // |
+	tEq     // =
+	tNeq    // !=
+	tLt     // <
+	tLe     // <=
+	tGt     // >
+	tGe     // >=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of query"
+	case tIdent:
+		return "identifier"
+	case tString:
+		return "string"
+	case tInt:
+		return "integer"
+	case tFloat:
+		return "float"
+	case tArrow:
+		return "'->'"
+	case tLBrace:
+		return "'{'"
+	case tRBrace:
+		return "'}'"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tComma:
+		return "','"
+	case tStar:
+		return "'*'"
+	case tDot:
+		return "'.'"
+	case tBar:
+		return "'|'"
+	case tEq:
+		return "'='"
+	case tNeq:
+		return "'!='"
+	case tLt:
+		return "'<'"
+	case tLe:
+		return "'<='"
+	case tGt:
+		return "'>'"
+	case tGe:
+		return "'>='"
+	default:
+		return "token"
+	}
+}
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("struql: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (tok, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return tok{kind: tEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch {
+	case two == "->":
+		l.pos += 2
+		return tok{kind: tArrow, text: "->", line: l.line}, nil
+	case two == "!=":
+		l.pos += 2
+		return tok{kind: tNeq, text: "!=", line: l.line}, nil
+	case two == "<=":
+		l.pos += 2
+		return tok{kind: tLe, text: "<=", line: l.line}, nil
+	case two == ">=":
+		l.pos += 2
+		return tok{kind: tGe, text: ">=", line: l.line}, nil
+	}
+	switch c {
+	case '{':
+		l.pos++
+		return tok{kind: tLBrace, text: "{", line: l.line}, nil
+	case '}':
+		l.pos++
+		return tok{kind: tRBrace, text: "}", line: l.line}, nil
+	case '(':
+		l.pos++
+		return tok{kind: tLParen, text: "(", line: l.line}, nil
+	case ')':
+		l.pos++
+		return tok{kind: tRParen, text: ")", line: l.line}, nil
+	case ',':
+		l.pos++
+		return tok{kind: tComma, text: ",", line: l.line}, nil
+	case '*':
+		l.pos++
+		return tok{kind: tStar, text: "*", line: l.line}, nil
+	case '.':
+		l.pos++
+		return tok{kind: tDot, text: ".", line: l.line}, nil
+	case '|':
+		l.pos++
+		return tok{kind: tBar, text: "|", line: l.line}, nil
+	case '=':
+		l.pos++
+		return tok{kind: tEq, text: "=", line: l.line}, nil
+	case '<':
+		l.pos++
+		return tok{kind: tLt, text: "<", line: l.line}, nil
+	case '>':
+		l.pos++
+		return tok{kind: tGt, text: ">", line: l.line}, nil
+	case '"':
+		return l.scanString()
+	}
+	if c == '-' || c >= '0' && c <= '9' {
+		return l.scanNumber()
+	}
+	// Decode the rune the same way scanIdent will: a Latin-1 byte that
+	// is not valid UTF-8 must be rejected here, or scanIdent would
+	// make no progress.
+	if r, _ := utf8.DecodeRuneInString(l.src[l.pos:]); r == '_' || unicode.IsLetter(r) {
+		return l.scanIdent(), nil
+	}
+	return tok{}, l.errf("unexpected character %q", c)
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// scanString scans a double-quoted literal and decodes it with the
+// full Go escape set (strconv.Unquote), matching the %q rendering the
+// canonical query printer emits.
+func (l *lexer) scanString() (tok, error) {
+	start := l.line
+	begin := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '"':
+			l.pos++
+			text, err := strconv.Unquote(l.src[begin:l.pos])
+			if err != nil {
+				return tok{}, l.errf("bad string literal %s: unknown escape or malformed quoting", l.src[begin:l.pos])
+			}
+			return tok{kind: tString, text: text, line: start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return tok{}, l.errf("unterminated escape")
+			}
+			l.pos += 2
+		case '\n':
+			return tok{}, l.errf("newline in string literal")
+		default:
+			l.pos++
+		}
+	}
+	return tok{}, l.errf("unterminated string literal")
+}
+
+func (l *lexer) scanNumber() (tok, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+		digits++
+	}
+	if digits == 0 {
+		return tok{}, l.errf("malformed number")
+	}
+	kind := tInt
+	// A '.' is a concatenation operator unless followed by a digit.
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		kind = tFloat
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	return tok{kind: kind, text: l.src[start:l.pos], line: l.line}, nil
+}
+
+func (l *lexer) scanIdent() tok {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if r != '_' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			break
+		}
+		l.pos += size
+	}
+	return tok{kind: tIdent, text: l.src[start:l.pos], line: l.line}
+}

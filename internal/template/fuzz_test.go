@@ -1,0 +1,28 @@
+package template
+
+import (
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// FuzzParse asserts the template parser never panics, and that parsed
+// templates execute without panicking against a small graph.
+func FuzzParse(f *testing.F) {
+	f.Add(`<html><SFMT title></html>`)
+	f.Add(`<SIF year > 1996>old<SELSE>new</SIF>`)
+	f.Add(`<SFOR a author ORDER=ascend KEY=key DELIM=", "><SFMT a.name></SFOR>`)
+	f.Add(`<SFMT_UL x ORDER=descend> plain < text `)
+	f.Add(`<SIF a = NULL OR (b != 2 AND NOT c)>x</SIF>`)
+	g := graph.New("g")
+	n := g.NewNode("n")
+	g.AddEdge(n, "title", graph.Str("T"))
+	g.AddEdge(n, "year", graph.Int(1997))
+	f.Fuzz(func(t *testing.T, src string) {
+		tpl, err := Parse("f", src)
+		if err != nil {
+			return
+		}
+		_, _ = tpl.ExecuteString(&Env{Graph: g, Self: n})
+	})
+}

@@ -1,0 +1,505 @@
+package template
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"strudel/internal/graph"
+)
+
+// pubGraph builds a small site-graph fragment for template tests.
+func pubGraph() (*graph.Graph, graph.OID) {
+	g := graph.New("site")
+	pp := g.NewNode("PaperPresentation(pub1)")
+	g.AddEdge(pp, "title", graph.Str("Specifying Representations"))
+	g.AddEdge(pp, "author", graph.Str("Norman Ramsey"))
+	g.AddEdge(pp, "author", graph.Str("Mary Fernandez"))
+	g.AddEdge(pp, "year", graph.Int(1997))
+	g.AddEdge(pp, "journal", graph.Str("TOPLAS"))
+	g.AddEdge(pp, "postscript", graph.File("papers/toplas97.ps.gz", graph.FilePostScript))
+	ab := g.NewNode("AbstractPage(pub1)")
+	g.AddEdge(pp, "Abstract", graph.NodeValue(ab))
+	g.AddEdge(ab, "abstract", graph.File("abstracts/toplas97.txt", graph.FileText))
+	return g, pp
+}
+
+func render(t *testing.T, src string, g *graph.Graph, self graph.OID) string {
+	t.Helper()
+	tpl, err := Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tpl.ExecuteString(&Env{Graph: g, Self: self})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPlainHTMLPassesThrough(t *testing.T) {
+	g, pp := pubGraph()
+	src := `<html><body><h1>Hello</h1><table border=1></table></body></html>`
+	if got := render(t, src, g, pp); got != src {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTString(t *testing.T) {
+	g, pp := pubGraph()
+	got := render(t, `<b><SFMT title></b>`, g, pp)
+	if got != `<b>Specifying Representations</b>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTMultiValuedWithDelim(t *testing.T) {
+	g, pp := pubGraph()
+	got := render(t, `By <SFMT author DELIM=", ">.`, g, pp)
+	if got != `By Norman Ramsey, Mary Fernandez.` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTPostScriptLink(t *testing.T) {
+	g, pp := pubGraph()
+	got := render(t, `<SFMT postscript LINK=title>`, g, pp)
+	want := `<a href="papers/toplas97.ps.gz">Specifying Representations</a>`
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	// Literal link tag.
+	got = render(t, `<SFMT postscript LINK="download">`, g, pp)
+	if !strings.Contains(got, ">download</a>") {
+		t.Errorf("got %q", got)
+	}
+	// No link tag: path is the tag.
+	got = render(t, `<SFMT postscript>`, g, pp)
+	if !strings.Contains(got, ">papers/toplas97.ps.gz</a>") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTMissingAttributeEmitsNothing(t *testing.T) {
+	g, pp := pubGraph()
+	if got := render(t, `[<SFMT nosuch>]`, g, pp); got != "[]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTEscapesHTML(t *testing.T) {
+	g := graph.New("g")
+	n := g.NewNode("n")
+	g.AddEdge(n, "t", graph.Str(`<script>&`))
+	got := render(t, `<SFMT t>`, g, n)
+	if got != `&lt;script&gt;&amp;` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTPathExpression(t *testing.T) {
+	g, pp := pubGraph()
+	got := render(t, `<SFMT Abstract.abstract>`, g, pp)
+	if got != `abstracts/toplas97.txt` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTULList(t *testing.T) {
+	g, pp := pubGraph()
+	got := render(t, `<SFMT_UL author>`, g, pp)
+	want := "<ul>\n<li>Norman Ramsey</li>\n<li>Mary Fernandez</li>\n</ul>\n"
+	if got != want {
+		t.Errorf("got %q", got)
+	}
+	got = render(t, `<SFMT_OL author>`, g, pp)
+	if !strings.HasPrefix(got, "<ol>") || !strings.Contains(got, "<li>Norman Ramsey</li>") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFMTOrder(t *testing.T) {
+	g, pp := pubGraph()
+	got := render(t, `<SFMT author ORDER=ascend DELIM="|">`, g, pp)
+	if got != "Mary Fernandez|Norman Ramsey" {
+		t.Errorf("ascend got %q", got)
+	}
+	got = render(t, `<SFMT author ORDER=descend DELIM="|">`, g, pp)
+	if got != "Norman Ramsey|Mary Fernandez" {
+		t.Errorf("descend got %q", got)
+	}
+}
+
+func TestOrderWithKey(t *testing.T) {
+	g := graph.New("g")
+	root := g.NewNode("root")
+	for _, y := range []int64{1996, 1998, 1997} {
+		yp := g.NewNode("")
+		g.AddEdge(yp, "Year", graph.Int(y))
+		g.AddEdge(root, "YearPage", graph.NodeValue(yp))
+	}
+	src := `<SFOR y YearPage ORDER=ascend KEY=Year DELIM=","><SFMT y.Year></SFOR>`
+	got := render(t, src, g, root)
+	if got != "1996,1997,1998" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSIFBranches(t *testing.T) {
+	g, pp := pubGraph()
+	src := `<SIF journal>In <SFMT journal>.<SELSE>In <SFMT booktitle>.</SIF>`
+	if got := render(t, src, g, pp); got != "In TOPLAS." {
+		t.Errorf("got %q", got)
+	}
+	// An object without journal takes the else branch.
+	n2 := g.NewNode("other")
+	g.AddEdge(n2, "booktitle", graph.Str("ICDE"))
+	if got := render(t, src, g, n2); got != "In ICDE." {
+		t.Errorf("else branch got %q", got)
+	}
+}
+
+func TestSIFComparisonsAndBoolOps(t *testing.T) {
+	g, pp := pubGraph()
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`year = 1997`, true},
+		{`year != 1997`, false},
+		{`year > 1996`, true},
+		{`year >= 1998`, false},
+		{`year < 1998 AND journal = "TOPLAS"`, true},
+		{`year < 1990 OR journal`, true},
+		{`NOT booktitle`, true},
+		{`booktitle = NULL`, true},
+		{`journal != NULL`, true},
+		{`(year = 1997 OR year = 1998) AND NOT booktitle`, true},
+		{`title > "A"`, true},
+	}
+	for _, c := range cases {
+		src := `<SIF ` + c.cond + `>Y<SELSE>N</SIF>`
+		got := render(t, src, g, pp)
+		want := "N"
+		if c.want {
+			want = "Y"
+		}
+		if got != want {
+			t.Errorf("cond %q: got %q, want %q", c.cond, got, want)
+		}
+	}
+}
+
+func TestSFORBindsVariable(t *testing.T) {
+	g, pp := pubGraph()
+	src := `<SFOR a author>[<SFMT a>]</SFOR>`
+	got := render(t, src, g, pp)
+	if got != "[Norman Ramsey][Mary Fernandez]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFORNestedObjects(t *testing.T) {
+	g := graph.New("g")
+	root := g.NewNode("root")
+	for _, name := range []string{"one", "two"} {
+		c := g.NewNode("")
+		g.AddEdge(c, "name", graph.Str(name))
+		g.AddEdge(c, "n", graph.Int(int64(len(name))))
+		g.AddEdge(root, "child", graph.NodeValue(c))
+	}
+	src := `<SFOR c child DELIM="; "><SFMT c.name>=<SFMT c.n></SFOR>`
+	got := render(t, src, g, root)
+	if got != "one=3; two=3" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSFORNestedLoops(t *testing.T) {
+	g := graph.New("g")
+	root := g.NewNode("root")
+	for _, tag := range []string{"A", "B"} {
+		c := g.NewNode("")
+		g.AddEdge(c, "tag", graph.Str(tag))
+		g.AddEdge(c, "item", graph.Str(tag+"1"))
+		g.AddEdge(c, "item", graph.Str(tag+"2"))
+		g.AddEdge(root, "group", graph.NodeValue(c))
+	}
+	src := `<SFOR gr group><SFMT gr.tag>:<SFOR i gr.item><SFMT i> </SFOR></SFOR>`
+	got := render(t, src, g, root)
+	if got != "A:A1 A2 B:B1 B2 " {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCustomRendererReceivesOpts(t *testing.T) {
+	g, pp := pubGraph()
+	tpl := MustParse("t", `<SFMT Abstract EMBED>`)
+	var gotOpts RenderOpts
+	var gotVal graph.Value
+	out, err := tpl.ExecuteString(&Env{
+		Graph: g, Self: pp,
+		Render: func(v graph.Value, opts RenderOpts) (string, error) {
+			gotOpts, gotVal = opts, v
+			return "[rendered]", nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "[rendered]" || !gotOpts.Embed || !gotVal.IsNode() {
+		t.Errorf("out=%q opts=%+v val=%v", out, gotOpts, gotVal)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unterminated SIF", `<SIF x>abc`},
+		{"unterminated SFOR", `<SFOR a b>abc`},
+		{"stray SELSE", `<SELSE>`},
+		{"stray close", `abc</SIF>`},
+		{"empty SFMT", `<SFMT >`},
+		{"bad ORDER", `<SFMT x ORDER=sideways>`},
+		{"KEY without ORDER", `<SFMT x KEY=y>`},
+		{"bad directive", `<SFMT x FROB=1>`},
+		{"SFOR missing expr", `<SFOR a></SFOR>`},
+		{"bad condition", `<SIF 5>x</SIF>`},
+		{"unbalanced paren", `<SIF (x>x</SIF>`},
+		{"unterminated string", `<SFMT x DELIM="abc>`},
+		{"double else", `<SIF x>a<SELSE>b<SELSE>c</SIF>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse("t", c.src); err == nil {
+				t.Errorf("expected error for %q", c.src)
+			}
+		})
+	}
+}
+
+func TestNonTemplateTagsPassThrough(t *testing.T) {
+	g, pp := pubGraph()
+	src := `<p>5 < 6 and <span class="x">ok</span></p>`
+	if got := render(t, src, g, pp); got != src {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTemplateMetrics(t *testing.T) {
+	tpl := MustParse("t", "<h1><SFMT title></h1>\n<SIF x>a<SELSE>b</SIF>\n<SFOR a author><SFMT a></SFOR>\n")
+	if tpl.Lines() != 4 {
+		t.Errorf("lines = %d", tpl.Lines())
+	}
+	if tpl.NumNodes() < 6 {
+		t.Errorf("nodes = %d", tpl.NumNodes())
+	}
+	if !strings.Contains(tpl.String(), "template t") {
+		t.Errorf("String = %q", tpl.String())
+	}
+}
+
+func TestPaperPresentationTemplate(t *testing.T) {
+	// A full Fig.-7-style PaperPresentation template.
+	g, pp := pubGraph()
+	src := `<SFMT postscript LINK=title>. By <SFMT author DELIM=", ">.
+<SIF journal><SFMT journal><SELSE><SFMT booktitle></SIF>, <SFMT year>.
+<SFMT Abstract LINK="abstract">`
+	got := render(t, src, g, pp)
+	for _, want := range []string{
+		`<a href="papers/toplas97.ps.gz">Specifying Representations</a>`,
+		`Norman Ramsey, Mary Fernandez`,
+		`TOPLAS`,
+		`1997`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestOrderedAuthorIdiom(t *testing.T) {
+	// The paper's order-preservation idiom (Sec. 5.2): author objects
+	// carry an integer key; ORDER=ascend KEY=key restores bibliography
+	// order even though the graph model has no lists.
+	g := graph.New("g")
+	pub := g.NewNode("pub")
+	for i, name := range []string{"Zed Zulu", "Ann Alpha", "Mid Mike"} {
+		a := g.NewNode("")
+		g.AddEdge(a, "name", graph.Str(name))
+		g.AddEdge(a, "key", graph.Int(int64(i+1)))
+		g.AddEdge(pub, "author", graph.NodeValue(a))
+	}
+	src := `<SFOR a author ORDER=ascend KEY=key DELIM=", "><SFMT a.name></SFOR>`
+	got := render(t, src, g, pub)
+	if got != "Zed Zulu, Ann Alpha, Mid Mike" {
+		t.Errorf("got %q", got)
+	}
+	// Sorting by name instead gives alphabetical order.
+	src = `<SFOR a author ORDER=ascend KEY=name DELIM=", "><SFMT a.name></SFOR>`
+	if got := render(t, src, g, pub); got != "Ann Alpha, Mid Mike, Zed Zulu" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// TestQuickPlainTextIdentity: text without template tags renders
+// unchanged (testing/quick over arbitrary tag-free strings).
+func TestQuickPlainTextIdentity(t *testing.T) {
+	g := graph.New("g")
+	n := g.NewNode("n")
+	prop := func(words []string) bool {
+		src := strings.Join(words, " ")
+		src = strings.Map(func(r rune) rune {
+			if r == '<' {
+				return '('
+			}
+			return r
+		}, src)
+		tpl, err := Parse("q", src)
+		if err != nil {
+			return false
+		}
+		out, err := tpl.ExecuteString(&Env{Graph: g, Self: n})
+		return err == nil && out == src
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrderSorts: ORDER=ascend output is always sorted.
+func TestQuickOrderSorts(t *testing.T) {
+	prop := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		g := graph.New("g")
+		n := g.NewNode("n")
+		for _, v := range vals {
+			g.AddEdge(n, "v", graph.Int(int64(v)))
+		}
+		tpl := MustParse("t", `<SFMT v ORDER=ascend DELIM=",">`)
+		out, err := tpl.ExecuteString(&Env{Graph: g, Self: n})
+		if err != nil {
+			return false
+		}
+		parts := strings.Split(out, ",")
+		prev := int64(-1 << 62)
+		for _, p := range parts {
+			var cur int64
+			fmt.Sscanf(p, "%d", &cur)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderAtomVariants(t *testing.T) {
+	g := graph.New("g")
+	n := g.NewNode("n")
+	g.AddEdge(n, "u", graph.URL("http://x/y"))
+	g.AddEdge(n, "f", graph.Float(2.5))
+	g.AddEdge(n, "b", graph.Bool(true))
+	g.AddEdge(n, "img", graph.File("pic.gif", graph.FileImage))
+	g.AddEdge(n, "txt", graph.File("doc.txt", graph.FileText))
+	g.AddEdge(n, "page", graph.File("p.html", graph.FileHTML))
+	g.AddEdge(n, "other", graph.File("blob.bin", graph.FileUnknown))
+	cases := map[string]string{
+		`<SFMT u>`:                `<a href="http://x/y">http://x/y</a>`,
+		`<SFMT u LINK="site">`:    `<a href="http://x/y">site</a>`,
+		`<SFMT f>`:                `2.5`,
+		`<SFMT b>`:                `true`,
+		`<SFMT img>`:              `<img src="pic.gif">`,
+		`<SFMT img LINK="photo">`: `<a href="pic.gif">photo</a>`,
+		`<SFMT txt>`:              `doc.txt`,
+		`<SFMT page>`:             `p.html`,
+		`<SFMT other>`:            `<a href="blob.bin">blob.bin</a>`,
+	}
+	for src, want := range cases {
+		if got := render(t, src, g, n); got != want {
+			t.Errorf("%s = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestCondOperandForms(t *testing.T) {
+	g := graph.New("g")
+	n := g.NewNode("n")
+	g.AddEdge(n, "f", graph.Float(2.5))
+	g.AddEdge(n, "flag", graph.Bool(true))
+	g.AddEdge(n, "s", graph.Str("abc"))
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`f = 2.5`, true},
+		{`f < 3.0`, true},
+		{`flag = TRUE`, true},
+		{`flag = FALSE`, false},
+		{`s = "abc"`, true},
+		{`NULL = missing`, true},
+		{`NULL != s`, true},
+		{`NULL < s`, false}, // NULL only supports =/!=
+	}
+	for _, c := range cases {
+		got := render(t, `<SIF `+c.cond+`>Y<SELSE>N</SIF>`, g, n)
+		want := "N"
+		if c.want {
+			want = "Y"
+		}
+		if got != want {
+			t.Errorf("cond %q = %q, want %q", c.cond, got, want)
+		}
+	}
+}
+
+func TestTagStringEscapesInDelim(t *testing.T) {
+	g := graph.New("g")
+	n := g.NewNode("n")
+	g.AddEdge(n, "v", graph.Str("a"))
+	g.AddEdge(n, "v", graph.Str("b"))
+	got := render(t, `<SFMT v DELIM="\n\t\"x\"">`, g, n)
+	if got != "a\n\t\"x\"b" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTemplateStringRendering(t *testing.T) {
+	tpl := MustParse("t", `<SFMT a.b>`)
+	if tpl.String() == "" || tpl.Lines() != 1 {
+		t.Errorf("metrics: %s / %d", tpl.String(), tpl.Lines())
+	}
+	empty := &Template{Name: "e"}
+	if empty.Lines() != 0 {
+		t.Errorf("empty lines = %d", empty.Lines())
+	}
+	// AttrExpr and cmpOp render.
+	if (AttrExpr{"a", "b"}).String() != "a.b" {
+		t.Error("AttrExpr.String wrong")
+	}
+	for op, want := range map[cmpOp]string{cmpEq: "=", cmpNeq: "!=", cmpLt: "<", cmpLe: "<=", cmpGt: ">", cmpGe: ">="} {
+		if op.String() != want {
+			t.Errorf("op %d = %q", op, op.String())
+		}
+	}
+}
+
+func TestCondParserErrors(t *testing.T) {
+	for _, cond := range []string{
+		`"lonely constant"`,
+		`x = `,
+		`x ~ y`,
+		`(x = 1`,
+		`= 3`,
+	} {
+		if _, err := Parse("t", `<SIF `+cond+`>x</SIF>`); err == nil {
+			t.Errorf("cond %q should fail", cond)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package workload generates the synthetic equivalents of the paper's
+// data sources, per DESIGN.md's substitution table: BibTeX
+// bibliographies (the homepage sites), a CNN-style article corpus
+// (~300 articles wrapped from HTML in the paper's demo), and an
+// AT&T-Research-style organization fed by five sources. Generators are
+// deterministic for a given seed so experiments are reproducible. The
+// package also carries the site-definition queries and HTML templates
+// for each workload, so examples and benchmarks share one spec.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+var (
+	firstNames = []string{"Mary", "Dan", "Alon", "Daniela", "Jaewoo", "Norman", "Ann", "Bo", "Cy", "Dee", "Eve", "Flo", "Gus", "Hal", "Ida", "Jo"}
+	lastNames  = []string{"Fernandez", "Suciu", "Levy", "Florescu", "Kang", "Ramsey", "Adams", "Baker", "Chen", "Dietz", "Evans", "Ford", "Gray", "Hill", "Ito", "Jones"}
+	categories = []string{"Semistructured Data", "Programming Languages", "Query Optimization", "Web Sites", "Data Integration", "Architecture Specifications", "Networks", "Verification"}
+	venues     = []string{"SIGMOD", "VLDB", "ICDE", "PODS", "ICDT", "WWW"}
+	journals   = []string{"TODS", "TOPLAS", "VLDB Journal", "SIGMOD Record"}
+	words      = []string{"optimizing", "declarative", "semistructured", "queries", "graphs", "management", "incremental", "views", "schemas", "sites", "integration", "wrappers", "templates", "paths", "regular", "expressions"}
+)
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func pick(rng *rand.Rand, ss []string) string { return ss[rng.Intn(len(ss))] }
+
+func titleOf(rng *rand.Rand) string {
+	n := 3 + rng.Intn(4)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = pick(rng, words)
+	}
+	parts[0] = strings.ToUpper(parts[0][:1]) + parts[0][1:]
+	return strings.Join(parts, " ")
+}
+
+func personName(rng *rand.Rand) string {
+	return pick(rng, firstNames) + " " + pick(rng, lastNames)
+}
+
+// Bibliography generates a publication data graph of n entries with
+// the paper's irregularities: articles have journal (and sometimes
+// month/volume), inproceedings have booktitle, ~10% lack an abstract,
+// ~15% lack PostScript, author counts vary, category counts vary.
+func Bibliography(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New("BIBTEX")
+	g.DeclareCollection("Publications")
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("pub%d", i)
+		oid := g.NewNode(key)
+		g.AddToCollection("Publications", graph.NodeValue(oid))
+		g.AddEdge(oid, "title", graph.Str(titleOf(rng)))
+		for a := 0; a < 1+rng.Intn(3); a++ {
+			g.AddEdge(oid, "author", graph.Str(personName(rng)))
+		}
+		year := int64(1988 + rng.Intn(10))
+		g.AddEdge(oid, "year", graph.Int(year))
+		if rng.Intn(2) == 0 {
+			g.AddEdge(oid, "pub-type", graph.Str("article"))
+			g.AddEdge(oid, "journal", graph.Str(pick(rng, journals)))
+			if rng.Intn(3) == 0 {
+				g.AddEdge(oid, "month", graph.Str("May"))
+				g.AddEdge(oid, "volume", graph.Str(fmt.Sprintf("%d (%d)", rng.Intn(30), rng.Intn(4)+1)))
+			}
+		} else {
+			g.AddEdge(oid, "pub-type", graph.Str("inproceedings"))
+			g.AddEdge(oid, "booktitle", graph.Str("Proc. of "+pick(rng, venues)))
+		}
+		if rng.Intn(10) != 0 {
+			g.AddEdge(oid, "abstract", graph.File(fmt.Sprintf("abstracts/%s.txt", key), graph.FileText))
+		}
+		if rng.Intn(7) != 0 {
+			g.AddEdge(oid, "postscript", graph.File(fmt.Sprintf("papers/%s.ps.gz", key), graph.FilePostScript))
+		}
+		for c := 0; c < 1+rng.Intn(2); c++ {
+			g.AddEdge(oid, "category", graph.Str(pick(rng, categories)))
+		}
+		if rng.Intn(12) == 0 {
+			g.AddEdge(oid, "proprietary", graph.Bool(true))
+		}
+	}
+	return g
+}
+
+// BibliographyBibTeX renders a bibliography as BibTeX source for
+// wrapper benchmarks.
+func BibliographyBibTeX(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		kind := "article"
+		extra := fmt.Sprintf("  journal = {%s},\n", pick(rng, journals))
+		if rng.Intn(2) == 1 {
+			kind = "inproceedings"
+			extra = fmt.Sprintf("  booktitle = {Proc. of %s},\n", pick(rng, venues))
+		}
+		fmt.Fprintf(&sb, "@%s{pub%d,\n  title = {%s},\n  author = {%s and %s},\n  year = %d,\n%s  category = {%s},\n}\n\n",
+			kind, i, titleOf(rng), personName(rng), personName(rng),
+			1988+rng.Intn(10), extra, pick(rng, categories))
+	}
+	return sb.String()
+}
+
+// Sections of the article corpus; "sports" drives the sports-only
+// variant of the CNN experiment.
+var Sections = []string{"world", "us", "politics", "sports", "weather", "showbiz", "tech"}
+
+// Articles generates a CNN-style corpus: n articles with title,
+// byline, date, section(s), body, optional image and related links —
+// one article may appear in several sections, matching the paper's
+// observation that one article appears on multiple pages.
+func Articles(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New("CNN")
+	g.DeclareCollection("Articles")
+	var oids []graph.OID
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("art%d", i)
+		oid := g.NewNode(key)
+		oids = append(oids, oid)
+		g.AddToCollection("Articles", graph.NodeValue(oid))
+		g.AddEdge(oid, "title", graph.Str(titleOf(rng)))
+		g.AddEdge(oid, "byline", graph.Str(personName(rng)))
+		g.AddEdge(oid, "date", graph.Str(fmt.Sprintf("1997-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))))
+		nsec := 1 + rng.Intn(2)
+		for s := 0; s < nsec; s++ {
+			g.AddEdge(oid, "section", graph.Str(pick(rng, Sections)))
+		}
+		g.AddEdge(oid, "body", graph.Str(titleOf(rng)+". "+titleOf(rng)+"."))
+		if rng.Intn(3) != 0 {
+			g.AddEdge(oid, "image", graph.File(fmt.Sprintf("images/%s.gif", key), graph.FileImage))
+		}
+	}
+	// Related-article links (within the corpus).
+	for _, oid := range oids {
+		for r := 0; r < rng.Intn(3); r++ {
+			other := oids[rng.Intn(len(oids))]
+			if other != oid {
+				g.AddEdge(oid, "related", graph.NodeValue(other))
+			}
+		}
+	}
+	return g
+}
+
+// OrgSources is the five-source input of the organization workload,
+// mirroring the AT&T site's sources: two relational tables (people,
+// departments), a structured project file, a BibTeX bibliography, and
+// existing HTML pages.
+type OrgSources struct {
+	PeopleCSV      string
+	DepartmentsCSV string
+	ProjectsTxt    string
+	BibTeX         string
+	HTMLPages      map[string]string
+}
+
+// Organization generates an organization of the given size. About the
+// paper's scale: people≈400 for the AT&T internal site.
+func Organization(people, projects, departments int, seed int64) *OrgSources {
+	rng := rand.New(rand.NewSource(seed))
+	src := &OrgSources{HTMLPages: map[string]string{}}
+
+	// Cross-source references are plain identifier columns: each source
+	// is wrapped independently, so references resolve in the
+	// site-definition query by joining on the ident attribute.
+	var depts strings.Builder
+	depts.WriteString("id,ident,name,director\n")
+	for d := 0; d < departments; d++ {
+		fmt.Fprintf(&depts, "dept%d,dept%d,%s Research Department,p%d\n", d, d, titleCase(pick(rng, words)), rng.Intn(people))
+	}
+	src.DepartmentsCSV = depts.String()
+
+	var ppl strings.Builder
+	ppl.WriteString("id,ident,name,phone,office,dept,proprietary\n")
+	for p := 0; p < people; p++ {
+		phone := ""
+		if rng.Intn(10) != 0 { // some people lack phone entries
+			phone = fmt.Sprintf("973-360-%04d", rng.Intn(10000))
+		}
+		proprietary := ""
+		if rng.Intn(15) == 0 {
+			proprietary = "true"
+		}
+		fmt.Fprintf(&ppl, "p%d,p%d,%s,%s,B-%03d,dept%d,%s\n",
+			p, p, personName(rng), phone, rng.Intn(400), rng.Intn(departments), proprietary)
+	}
+	src.PeopleCSV = ppl.String()
+
+	var proj strings.Builder
+	for j := 0; j < projects; j++ {
+		fmt.Fprintf(&proj, "id: proj%d\nin: Projects\nident: proj%d\nname: %s\n", j, j, titleCase(titleOf(rng)))
+		if rng.Intn(5) != 0 { // some projects omit the synopsis
+			fmt.Fprintf(&proj, "synopsis: %s\n", titleOf(rng))
+		}
+		if rng.Intn(3) == 0 { // not all projects are sponsored
+			fmt.Fprintf(&proj, "sponsor: %s Fund\n", titleCase(pick(rng, words)))
+		}
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			fmt.Fprintf(&proj, "member: p%d\n", rng.Intn(people))
+		}
+		proj.WriteString("\n")
+	}
+	src.ProjectsTxt = proj.String()
+
+	src.BibTeX = BibliographyBibTeX(people/2, seed+1)
+
+	for h := 0; h < departments; h++ {
+		name := fmt.Sprintf("dept%d.html", h)
+		src.HTMLPages[name] = fmt.Sprintf(
+			"<html><head><title>Department %d</title></head><body><h1>Welcome</h1><p>%s</p><a href=%q>next</a></body></html>",
+			h, titleOf(rng), fmt.Sprintf("dept%d.html", (h+1)%departments))
+	}
+	return src
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+	"strudel/internal/wrapper"
+)
+
+func TestBibliographyDeterministicAndIrregular(t *testing.T) {
+	g1 := Bibliography(50, 7)
+	g2 := Bibliography(50, 7)
+	if g1.DumpString() != g2.DumpString() {
+		t.Error("generator not deterministic")
+	}
+	if len(g1.Collection("Publications")) != 50 {
+		t.Fatalf("pubs = %d", len(g1.Collection("Publications")))
+	}
+	// Irregularity: some pubs have journal, others booktitle; some
+	// lack abstracts.
+	var journals, booktitles, noAbstract int
+	for _, m := range g1.Collection("Publications") {
+		if _, ok := g1.First(m.OID(), "journal"); ok {
+			journals++
+		}
+		if _, ok := g1.First(m.OID(), "booktitle"); ok {
+			booktitles++
+		}
+		if _, ok := g1.First(m.OID(), "abstract"); !ok {
+			noAbstract++
+		}
+	}
+	if journals == 0 || booktitles == 0 || journals+booktitles != 50 {
+		t.Errorf("journals=%d booktitles=%d", journals, booktitles)
+	}
+	if noAbstract == 0 {
+		t.Error("expected some missing abstracts")
+	}
+	// A different seed gives a different graph.
+	if Bibliography(50, 8).DumpString() == g1.DumpString() {
+		t.Error("seed ignored")
+	}
+}
+
+func TestBibliographyBibTeXParses(t *testing.T) {
+	src := BibliographyBibTeX(20, 3)
+	g := graph.New("BIBTEX")
+	if err := (wrapper.BibTeX{}).Wrap(g, "gen.bib", src); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Collection("Publications")) != 20 {
+		t.Errorf("wrapped pubs = %d", len(g.Collection("Publications")))
+	}
+}
+
+func TestArticlesShape(t *testing.T) {
+	g := Articles(100, 11)
+	arts := g.Collection("Articles")
+	if len(arts) != 100 {
+		t.Fatalf("articles = %d", len(arts))
+	}
+	sports := 0
+	for _, a := range arts {
+		for _, s := range g.OutLabel(a.OID(), "section") {
+			if s == graph.Str("sports") {
+				sports++
+				break
+			}
+		}
+	}
+	if sports == 0 || sports == 100 {
+		t.Errorf("sports articles = %d", sports)
+	}
+}
+
+func TestOrganizationSourcesWrap(t *testing.T) {
+	src := Organization(40, 10, 4, 5)
+	g := graph.New("Org")
+	if err := (wrapper.CSV{}).Wrap(g, "people.csv", src.PeopleCSV); err != nil {
+		t.Fatalf("people: %v", err)
+	}
+	if err := (wrapper.CSV{}).Wrap(g, "departments.csv", src.DepartmentsCSV); err != nil {
+		t.Fatalf("departments: %v", err)
+	}
+	if err := (wrapper.Structured{}).Wrap(g, "projects.txt", src.ProjectsTxt); err != nil {
+		t.Fatalf("projects: %v", err)
+	}
+	if err := (wrapper.BibTeX{}).Wrap(g, "bib.bib", src.BibTeX); err != nil {
+		t.Fatalf("bibtex: %v", err)
+	}
+	for name, html := range src.HTMLPages {
+		if err := (wrapper.HTML{}).Wrap(g, name, html); err != nil {
+			t.Fatalf("html %s: %v", name, err)
+		}
+	}
+	if len(g.Collection("People")) != 40 {
+		t.Errorf("people = %d", len(g.Collection("People")))
+	}
+	if len(g.Collection("Projects")) != 10 {
+		t.Errorf("projects = %d", len(g.Collection("Projects")))
+	}
+	if len(g.Collection("Departments")) != 4 {
+		t.Errorf("departments = %d", len(g.Collection("Departments")))
+	}
+	if len(g.Collection("Pages")) != 4 {
+		t.Errorf("html pages = %d", len(g.Collection("Pages")))
+	}
+}
+
+func TestSpecsParse(t *testing.T) {
+	for _, spec := range []*SiteSpec{
+		BibliographySpec(), ArticleSpec(false), ArticleSpec(true),
+		OrgSpec(false), OrgSpec(true),
+	} {
+		if _, err := struql.Parse(spec.Query); err != nil {
+			t.Errorf("spec %s query: %v", spec.Name, err)
+		}
+		if spec.QueryLines() == 0 || spec.TemplateLines() == 0 || len(spec.Templates) == 0 {
+			t.Errorf("spec %s metrics empty", spec.Name)
+		}
+	}
+}
+
+func TestSportsOnlyDiffersByTwoPredicates(t *testing.T) {
+	base := ArticleSpec(false)
+	sports := ArticleSpec(true)
+	bq, _ := struql.Parse(base.Query)
+	sq, _ := struql.Parse(sports.Query)
+	// The variant adds exactly two conditions (an edge and an
+	// equality) to the main where clause, as in the paper.
+	bw := len(bq.Root.Children[0].Where)
+	sw := len(sq.Root.Children[0].Where)
+	if sw-bw != 2 {
+		t.Errorf("extra predicates = %d, want 2", sw-bw)
+	}
+	// The templates are shared verbatim.
+	for name, tb := range base.Templates {
+		if sports.Templates[name].Source != tb.Source {
+			t.Errorf("template %s differs between variants", name)
+		}
+	}
+}
+
+func TestOrgVersionsShareQuery(t *testing.T) {
+	in, ex := OrgSpec(false), OrgSpec(true)
+	if in.Query != ex.Query {
+		t.Error("internal and external versions must share the query")
+	}
+	changed := 0
+	for name, ti := range in.Templates {
+		if ex.Templates[name].Source != ti.Source {
+			changed++
+		}
+	}
+	if changed != 5 {
+		t.Errorf("changed templates = %d, want 5 (as in the paper)", changed)
+	}
+}

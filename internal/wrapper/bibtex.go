@@ -1,0 +1,406 @@
+package wrapper
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// BibTeX converts BibTeX bibliography files into data graphs, the main
+// data source for the paper's homepage sites (Sec. 3.1, Sec. 5.1). One
+// object per entry joins the Publications collection; the entry type
+// becomes the pub-type attribute, the citation key names the object,
+// and the author field is split into one author edge per author so the
+// site graph can enumerate them. The abstract and postscript fields
+// become typed file atoms, matching the Fig. 2 type directives.
+//
+// The data model has no ordered lists; with OrderedAuthors set, the
+// wrapper applies the paper's order-preservation idiom (Sec. 5.2:
+// "associating an integer key with each author"): each author becomes
+// a nested object {name, key} so templates can render authors in
+// bibliography order via ORDER=ascend KEY=key.
+type BibTeX struct {
+	OrderedAuthors bool
+}
+
+// Name implements Wrapper.
+func (BibTeX) Name() string { return "bibtex" }
+
+// Wrap implements Wrapper.
+func (b BibTeX) Wrap(g *graph.Graph, sourceName, src string) error {
+	p := &bibParser{src: src, line: 1}
+	g.DeclareCollection("Publications")
+	for {
+		entry, err := p.nextEntry()
+		if err != nil {
+			return err
+		}
+		if entry == nil {
+			return nil
+		}
+		if err := entry.addTo(g, b.OrderedAuthors); err != nil {
+			return err
+		}
+	}
+}
+
+type bibEntry struct {
+	kind   string // article, inproceedings, ...
+	key    string // citation key
+	fields []bibField
+}
+
+type bibField struct {
+	name  string
+	value string
+}
+
+func (e *bibEntry) addTo(g *graph.Graph, orderedAuthors bool) error {
+	oid := g.NewNode(e.key)
+	g.AddToCollection("Publications", graph.NodeValue(oid))
+	if err := g.AddEdge(oid, "pub-type", graph.Str(strings.ToLower(e.kind))); err != nil {
+		return err
+	}
+	for _, f := range e.fields {
+		name := strings.ToLower(f.name)
+		switch name {
+		case "author", "editor":
+			for i, a := range splitAuthors(f.value) {
+				if orderedAuthors {
+					sub := g.NewNode("")
+					if err := g.AddEdge(sub, "name", graph.Str(a)); err != nil {
+						return err
+					}
+					if err := g.AddEdge(sub, "key", graph.Int(int64(i+1))); err != nil {
+						return err
+					}
+					if err := g.AddEdge(oid, name, graph.NodeValue(sub)); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := g.AddEdge(oid, name, graph.Str(a)); err != nil {
+					return err
+				}
+			}
+		case "year":
+			if n, err := strconv.ParseInt(strings.TrimSpace(f.value), 10, 64); err == nil {
+				if err := g.AddEdge(oid, "year", graph.Int(n)); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := g.AddEdge(oid, "year", graph.Str(f.value)); err != nil {
+				return err
+			}
+		case "abstract":
+			if err := g.AddEdge(oid, "abstract", graph.File(f.value, graph.FileText)); err != nil {
+				return err
+			}
+		case "postscript", "ps":
+			if err := g.AddEdge(oid, "postscript", graph.File(f.value, graph.FilePostScript)); err != nil {
+				return err
+			}
+		case "url":
+			if err := g.AddEdge(oid, "url", graph.URL(f.value)); err != nil {
+				return err
+			}
+		case "category", "keywords":
+			// Multi-valued, comma- or semicolon-separated.
+			for _, c := range splitList(f.value) {
+				if err := g.AddEdge(oid, "category", graph.Str(c)); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := g.AddEdge(oid, name, graph.Str(f.value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// splitAuthors splits a BibTeX author list on the "and" keyword.
+func splitAuthors(s string) []string {
+	parts := strings.Split(s, " and ")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.Join(strings.Fields(p), " ")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitList(s string) []string {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ';' })
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// bibParser is a small recursive-descent parser for the subset of
+// BibTeX the paper's wrappers handled: @type{key, field = value, ...}
+// with brace- or quote-delimited values, numeric literals, and the
+// standard month abbreviations. @comment, @preamble and @string blocks
+// are skipped (string macros are not expanded).
+type bibParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+var bibMonths = map[string]string{
+	"jan": "January", "feb": "February", "mar": "March", "apr": "April",
+	"may": "May", "jun": "June", "jul": "July", "aug": "August",
+	"sep": "September", "oct": "October", "nov": "November", "dec": "December",
+}
+
+func (p *bibParser) errf(format string, args ...any) error {
+	return fmt.Errorf("bibtex: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *bibParser) skipToAt() bool {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '@' {
+			return true
+		}
+		if c == '\n' {
+			p.line++
+		}
+		p.pos++
+	}
+	return false
+}
+
+func (p *bibParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '\n' {
+			p.line++
+			p.pos++
+		} else if c == ' ' || c == '\t' || c == '\r' {
+			p.pos++
+		} else {
+			return
+		}
+	}
+}
+
+func (p *bibParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c == '-' || c == ':' || c == '.' ||
+			c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *bibParser) nextEntry() (*bibEntry, error) {
+	for {
+		if !p.skipToAt() {
+			return nil, nil
+		}
+		p.pos++ // '@'
+		kind := strings.ToLower(p.ident())
+		if kind == "" {
+			return nil, p.errf("missing entry type after '@'")
+		}
+		p.skipSpace()
+		if kind == "comment" || kind == "preamble" || kind == "string" {
+			if err := p.skipBalanced(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != '{' && p.src[p.pos] != '(' {
+			return nil, p.errf("expected '{' after @%s", kind)
+		}
+		closer := byte('}')
+		if p.src[p.pos] == '(' {
+			closer = ')'
+		}
+		p.pos++
+		p.skipSpace()
+		key := p.ident()
+		if key == "" {
+			return nil, p.errf("@%s entry missing citation key", kind)
+		}
+		entry := &bibEntry{kind: kind, key: key}
+		p.skipSpace()
+		for p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == closer {
+				break // trailing comma
+			}
+			name := p.ident()
+			if name == "" {
+				return nil, p.errf("expected field name in @%s{%s}", kind, key)
+			}
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != '=' {
+				return nil, p.errf("expected '=' after field %q", name)
+			}
+			p.pos++
+			p.skipSpace()
+			val, err := p.fieldValue()
+			if err != nil {
+				return nil, err
+			}
+			entry.fields = append(entry.fields, bibField{name: name, value: val})
+			p.skipSpace()
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != closer {
+			return nil, p.errf("unterminated @%s{%s}", kind, key)
+		}
+		p.pos++
+		return entry, nil
+	}
+}
+
+// fieldValue parses a brace-group, quoted string, number, or month
+// abbreviation. Adjacent values joined by '#' are concatenated.
+func (p *bibParser) fieldValue() (string, error) {
+	var parts []string
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return "", p.errf("unterminated field value")
+		}
+		switch c := p.src[p.pos]; {
+		case c == '{':
+			v, err := p.braceGroup()
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, v)
+		case c == '"':
+			v, err := p.quoted()
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, v)
+		case c >= '0' && c <= '9':
+			start := p.pos
+			for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+				p.pos++
+			}
+			parts = append(parts, p.src[start:p.pos])
+		default:
+			word := p.ident()
+			if word == "" {
+				return "", p.errf("malformed field value")
+			}
+			if m, ok := bibMonths[strings.ToLower(word)]; ok {
+				parts = append(parts, m)
+			} else {
+				parts = append(parts, word) // unexpanded macro name
+			}
+		}
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '#' {
+			p.pos++
+			continue
+		}
+		return cleanBibText(strings.Join(parts, "")), nil
+	}
+}
+
+// braceGroup reads a balanced {...} group, stripping the outer braces
+// and keeping inner text.
+func (p *bibParser) braceGroup() (string, error) {
+	depth := 0
+	start := p.pos + 1
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				v := p.src[start:p.pos]
+				p.pos++
+				return v, nil
+			}
+		case '\n':
+			p.line++
+		}
+		p.pos++
+	}
+	return "", p.errf("unterminated brace group")
+}
+
+func (p *bibParser) quoted() (string, error) {
+	p.pos++ // opening quote
+	start := p.pos
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '"':
+			v := p.src[start:p.pos]
+			p.pos++
+			return v, nil
+		case '\n':
+			p.line++
+		}
+		p.pos++
+	}
+	return "", p.errf("unterminated quoted value")
+}
+
+// skipBalanced skips a {...} or (...) block after @comment etc.
+func (p *bibParser) skipBalanced() error {
+	if p.pos >= len(p.src) {
+		return nil
+	}
+	open := p.src[p.pos]
+	var close byte
+	switch open {
+	case '{':
+		close = '}'
+	case '(':
+		close = ')'
+	default:
+		return nil // line comment style; nothing to skip
+	}
+	depth := 0
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case open:
+			depth++
+		case close:
+			depth--
+			if depth == 0 {
+				p.pos++
+				return nil
+			}
+		case '\n':
+			p.line++
+		}
+		p.pos++
+	}
+	return p.errf("unterminated @comment/@string block")
+}
+
+// cleanBibText removes remaining TeX braces and collapses whitespace.
+func cleanBibText(s string) string {
+	s = strings.ReplaceAll(s, "{", "")
+	s = strings.ReplaceAll(s, "}", "")
+	s = strings.ReplaceAll(s, "~", " ")
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,120 @@
+package wrapper
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// CSV wraps relational tables exported as CSV, standing in for the
+// "small relational databases that contain personnel and
+// organizational data" of the paper's AT&T site. The first record is
+// the header; each following record becomes one object in a collection
+// named after the source. Empty cells are omitted (they become the
+// missing attributes the semistructured model is built for). Column
+// values are typed by inference: integer, float, boolean, URL, else
+// string. A column named "id" names the object so other sources can
+// reference it; a column name ending in "_ref" makes a node reference
+// by object name.
+type CSV struct{}
+
+// Name implements Wrapper.
+func (CSV) Name() string { return "csv" }
+
+// Wrap implements Wrapper.
+func (CSV) Wrap(g *graph.Graph, sourceName, src string) error {
+	r := csv.NewReader(strings.NewReader(src))
+	r.TrimLeadingSpace = true
+	r.FieldsPerRecord = -1
+	records, err := r.ReadAll()
+	if err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("csv: source %q is empty", sourceName)
+	}
+	header := records[0]
+	coll := collectionName(sourceName)
+	g.DeclareCollection(coll)
+	type ref struct {
+		from  graph.OID
+		label string
+		name  string
+	}
+	var refs []ref
+	for rowNum, rec := range records[1:] {
+		if len(rec) > len(header) {
+			return fmt.Errorf("csv: row %d of %q has %d fields, header has %d", rowNum+2, sourceName, len(rec), len(header))
+		}
+		name := ""
+		for i, cell := range rec {
+			if strings.EqualFold(header[i], "id") {
+				name = strings.TrimSpace(cell)
+			}
+		}
+		oid := g.NewNode(name)
+		g.AddToCollection(coll, graph.NodeValue(oid))
+		for i, cell := range rec {
+			cell = strings.TrimSpace(cell)
+			if cell == "" || strings.EqualFold(header[i], "id") {
+				continue
+			}
+			col := header[i]
+			if strings.HasSuffix(col, "_ref") {
+				refs = append(refs, ref{from: oid, label: strings.TrimSuffix(col, "_ref"), name: cell})
+				continue
+			}
+			if err := g.AddEdge(oid, col, inferValue(cell)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rf := range refs {
+		target, ok := g.NodeByName(rf.name)
+		if !ok {
+			return fmt.Errorf("csv: %s reference to unknown object %q", rf.label, rf.name)
+		}
+		if err := g.AddEdge(rf.from, rf.label, graph.NodeValue(target)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectionName derives a collection name from a source name:
+// "people.csv" → "People".
+func collectionName(sourceName string) string {
+	base := sourceName
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.IndexByte(base, '.'); i >= 0 {
+		base = base[:i]
+	}
+	if base == "" {
+		return "Rows"
+	}
+	return strings.ToUpper(base[:1]) + base[1:]
+}
+
+// inferValue types a cell: int, float, bool, URL, else string.
+func inferValue(cell string) graph.Value {
+	if n, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return graph.Int(n)
+	}
+	if f, err := strconv.ParseFloat(cell, 64); err == nil {
+		return graph.Float(f)
+	}
+	switch strings.ToLower(cell) {
+	case "true", "false":
+		b, _ := strconv.ParseBool(cell)
+		return graph.Bool(b)
+	}
+	if strings.HasPrefix(cell, "http://") || strings.HasPrefix(cell, "https://") {
+		return graph.URL(cell)
+	}
+	return graph.Str(cell)
+}

@@ -1,0 +1,19 @@
+package wrapper
+
+import (
+	"strudel/internal/datadef"
+	"strudel/internal/graph"
+)
+
+// DataDef wraps files already in STRUDEL's own data-definition
+// language — the "other information ... stored in files in STRUDEL's
+// data definition language" of the paper's homepage sites.
+type DataDef struct{}
+
+// Name implements Wrapper.
+func (DataDef) Name() string { return "datadef" }
+
+// Wrap implements Wrapper.
+func (DataDef) Wrap(g *graph.Graph, sourceName, src string) error {
+	return datadef.ParseInto(g, src)
+}

@@ -1,0 +1,37 @@
+package wrapper
+
+import (
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// FuzzBibTeX asserts the BibTeX parser never panics.
+func FuzzBibTeX(f *testing.F) {
+	f.Add(sampleBib)
+	f.Add(`@misc{k, a = "x" # {y} # 3, month = jan}`)
+	f.Add(`@comment{skip} @article(k2, t = {nested {deep}}) trailing`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_ = BibTeX{}.Wrap(graph.New("g"), "f", src)
+		_ = BibTeX{OrderedAuthors: true}.Wrap(graph.New("g"), "f", src)
+	})
+}
+
+// FuzzHTML asserts the HTML scanner never panics.
+func FuzzHTML(f *testing.F) {
+	f.Add(sampleHTML)
+	f.Add(`<a href=bare>x</a><img src='q'><h1>t`)
+	f.Add(`<title>unclosed <script>while(1){}<`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_ = HTML{}.Wrap(graph.New("g"), "p.html", src)
+	})
+}
+
+// FuzzXML asserts the XML wrapper never panics.
+func FuzzXML(f *testing.F) {
+	f.Add(sampleXML)
+	f.Add(`<db><o id="a"><x ref="b"/></o><o id="b"/></db>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_ = XML{}.Wrap(graph.New("g"), "f.xml", src)
+	})
+}

@@ -1,0 +1,213 @@
+package wrapper
+
+import (
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// HTML wraps existing HTML pages into the graph model, the technique
+// the paper used to build its CNN demo ("we mapped their HTML pages
+// into a data graph containing about 300 articles"). The wrapper is a
+// small hand-written tag scanner — no external parser — extracting per
+// page: the title, headings, anchors (href plus link text), image
+// sources, and the visible text. Each page becomes one object in the
+// Pages collection; anchors whose target names another wrapped page
+// (by source name) become node references, external ones become URL
+// atoms.
+type HTML struct{}
+
+// Name implements Wrapper.
+func (HTML) Name() string { return "html" }
+
+// Wrap implements Wrapper.
+func (HTML) Wrap(g *graph.Graph, sourceName, src string) error {
+	doc := scanHTML(src)
+	oid := g.NewNode(sourceName)
+	g.AddToCollection("Pages", graph.NodeValue(oid))
+	if doc.title != "" {
+		if err := g.AddEdge(oid, "title", graph.Str(doc.title)); err != nil {
+			return err
+		}
+	}
+	for _, h := range doc.headings {
+		if err := g.AddEdge(oid, "heading", graph.Str(h)); err != nil {
+			return err
+		}
+	}
+	for _, a := range doc.anchors {
+		var target graph.Value
+		if to, ok := g.NodeByName(a.href); ok {
+			target = graph.NodeValue(to)
+		} else if strings.Contains(a.href, "://") {
+			target = graph.URL(a.href)
+		} else {
+			// Local reference to a page not wrapped yet: create the
+			// placeholder node so a later Wrap call fills it in.
+			target = graph.NodeValue(g.NewNode(a.href))
+		}
+		if err := g.AddEdge(oid, "link", target); err != nil {
+			return err
+		}
+		if a.text != "" && target.IsNode() {
+			if err := g.AddEdge(target.OID(), "anchor-text", graph.Str(a.text)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, img := range doc.images {
+		if err := g.AddEdge(oid, "image", graph.File(img, graph.FileImage)); err != nil {
+			return err
+		}
+	}
+	if doc.text != "" {
+		if err := g.AddEdge(oid, "text", graph.Str(doc.text)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type htmlAnchor struct {
+	href string
+	text string
+}
+
+type htmlDoc struct {
+	title    string
+	headings []string
+	anchors  []htmlAnchor
+	images   []string
+	text     string
+}
+
+// scanHTML is a forgiving single-pass tag scanner. It tracks just
+// enough state to capture title/heading/anchor text and skips script
+// and style contents.
+func scanHTML(src string) *htmlDoc {
+	doc := &htmlDoc{}
+	var textBuf, capture strings.Builder
+	capturing := "" // "title", "h", "a"
+	var pendingHref string
+	skipUntil := "" // closing tag that ends a skipped region
+	i := 0
+	for i < len(src) {
+		if src[i] != '<' {
+			j := strings.IndexByte(src[i:], '<')
+			if j < 0 {
+				j = len(src) - i
+			}
+			chunk := src[i : i+j]
+			if skipUntil == "" {
+				if capturing != "" {
+					capture.WriteString(chunk)
+				}
+				textBuf.WriteString(chunk)
+			}
+			i += j
+			continue
+		}
+		end := strings.IndexByte(src[i:], '>')
+		if end < 0 {
+			break
+		}
+		tag := src[i+1 : i+end]
+		i += end + 1
+		name, attrs := splitTag(tag)
+		lower := strings.ToLower(name)
+		if skipUntil != "" {
+			if lower == skipUntil {
+				skipUntil = ""
+			}
+			continue
+		}
+		switch lower {
+		case "script", "style":
+			skipUntil = "/" + lower
+		case "title":
+			capturing = "title"
+			capture.Reset()
+		case "/title":
+			doc.title = collapse(capture.String())
+			capturing = ""
+		case "h1", "h2", "h3":
+			capturing = "h"
+			capture.Reset()
+		case "/h1", "/h2", "/h3":
+			if h := collapse(capture.String()); h != "" {
+				doc.headings = append(doc.headings, h)
+			}
+			capturing = ""
+		case "a":
+			pendingHref = attrValue(attrs, "href")
+			capturing = "a"
+			capture.Reset()
+		case "/a":
+			if pendingHref != "" {
+				doc.anchors = append(doc.anchors, htmlAnchor{href: pendingHref, text: collapse(capture.String())})
+			}
+			pendingHref = ""
+			capturing = ""
+		case "img":
+			if srcAttr := attrValue(attrs, "src"); srcAttr != "" {
+				doc.images = append(doc.images, srcAttr)
+			}
+		}
+	}
+	doc.text = collapse(textBuf.String())
+	return doc
+}
+
+func splitTag(tag string) (name, attrs string) {
+	tag = strings.TrimSpace(tag)
+	if i := strings.IndexAny(tag, " \t\n\r"); i >= 0 {
+		return tag[:i], tag[i+1:]
+	}
+	return tag, ""
+}
+
+// attrValue extracts a (quoted or bare) attribute value.
+func attrValue(attrs, name string) string {
+	// ASCII-only lowering preserves byte offsets even on invalid
+	// UTF-8 (strings.ToLower would substitute multi-byte replacement
+	// runes and desynchronize the indexes).
+	lb := []byte(attrs)
+	for i, c := range lb {
+		if 'A' <= c && c <= 'Z' {
+			lb[i] = c + 'a' - 'A'
+		}
+	}
+	lower := string(lb)
+	idx := 0
+	for {
+		j := strings.Index(lower[idx:], name)
+		if j < 0 {
+			return ""
+		}
+		j += idx
+		rest := strings.TrimSpace(attrs[j+len(name):])
+		if !strings.HasPrefix(rest, "=") {
+			idx = j + len(name)
+			continue
+		}
+		rest = strings.TrimSpace(rest[1:])
+		if rest == "" {
+			return ""
+		}
+		if rest[0] == '"' || rest[0] == '\'' {
+			q := rest[0]
+			if k := strings.IndexByte(rest[1:], q); k >= 0 {
+				return rest[1 : 1+k]
+			}
+			return rest[1:]
+		}
+		if k := strings.IndexAny(rest, " \t\n\r"); k >= 0 {
+			return rest[:k]
+		}
+		return rest
+	}
+}
+
+func collapse(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,107 @@
+package wrapper
+
+import (
+	"fmt"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// Structured wraps plain structured files — blank-line-separated
+// records of "key: value" lines, the format of the paper's project
+// files. Special keys: "id" names the object, "in" lists collections
+// (comma-separated), and a key ending in "_ref" references another
+// object by name. Repeating a key yields a multi-valued attribute.
+type Structured struct{}
+
+// Name implements Wrapper.
+func (Structured) Name() string { return "structured" }
+
+// Wrap implements Wrapper.
+func (Structured) Wrap(g *graph.Graph, sourceName, src string) error {
+	type ref struct {
+		from  graph.OID
+		label string
+		name  string
+	}
+	var refs []ref
+	defaultColl := collectionName(sourceName)
+	records := splitRecords(src)
+	for recNum, rec := range records {
+		var name string
+		var colls []string
+		var attrs [][2]string
+		for _, line := range rec {
+			key, val, ok := strings.Cut(line, ":")
+			if !ok {
+				return fmt.Errorf("structured: record %d of %q: malformed line %q", recNum+1, sourceName, line)
+			}
+			key = strings.TrimSpace(key)
+			val = strings.TrimSpace(val)
+			switch key {
+			case "id":
+				name = val
+			case "in":
+				for _, c := range strings.Split(val, ",") {
+					if c = strings.TrimSpace(c); c != "" {
+						colls = append(colls, c)
+					}
+				}
+			default:
+				attrs = append(attrs, [2]string{key, val})
+			}
+		}
+		if len(colls) == 0 {
+			colls = []string{defaultColl}
+		}
+		oid := g.NewNode(name)
+		for _, c := range colls {
+			g.AddToCollection(c, graph.NodeValue(oid))
+		}
+		for _, kv := range attrs {
+			key, val := kv[0], kv[1]
+			if strings.HasSuffix(key, "_ref") {
+				refs = append(refs, ref{from: oid, label: strings.TrimSuffix(key, "_ref"), name: val})
+				continue
+			}
+			if err := g.AddEdge(oid, key, inferValue(val)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rf := range refs {
+		target, ok := g.NodeByName(rf.name)
+		if !ok {
+			return fmt.Errorf("structured: %s reference to unknown object %q", rf.label, rf.name)
+		}
+		if err := g.AddEdge(rf.from, rf.label, graph.NodeValue(target)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitRecords splits on blank lines, dropping comment lines (#).
+func splitRecords(src string) [][]string {
+	var records [][]string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			records = append(records, cur)
+			cur = nil
+		}
+	}
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "":
+			flush()
+		case strings.HasPrefix(trimmed, "#"):
+			// comment
+		default:
+			cur = append(cur, trimmed)
+		}
+	}
+	flush()
+	return records
+}

@@ -1,0 +1,39 @@
+// Package wrapper implements STRUDEL's source-specific wrappers, which
+// translate external data representations into the labeled-graph model
+// (paper Sec. 2: "a set of source-specific wrappers translates the
+// external representation into the graph model"). The paper's sites
+// used wrappers for BibTeX bibliographies, small relational databases,
+// structured files with project data, and existing HTML pages; this
+// package provides Go equivalents of each.
+package wrapper
+
+import "strudel/internal/graph"
+
+// Wrapper converts one external source into a graph.
+type Wrapper interface {
+	// Name identifies the wrapper kind ("bibtex", "csv", ...).
+	Name() string
+	// Wrap parses source text into the given graph. The sourceName
+	// seeds object naming and collection defaults.
+	Wrap(g *graph.Graph, sourceName, src string) error
+}
+
+// ByName returns the built-in wrapper for a kind.
+func ByName(kind string) (Wrapper, bool) {
+	switch kind {
+	case "bibtex":
+		return BibTeX{}, true
+	case "csv":
+		return CSV{}, true
+	case "structured":
+		return Structured{}, true
+	case "html":
+		return HTML{}, true
+	case "datadef":
+		return DataDef{}, true
+	case "xml":
+		return XML{}, true
+	default:
+		return nil, false
+	}
+}

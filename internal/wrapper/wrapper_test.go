@@ -1,0 +1,402 @@
+package wrapper
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+const sampleBib = `
+% a LaTeX-style comment line is just skipped text
+@string{toplas = "ACM TOPLAS"}
+@comment{this is ignored}
+
+@article{toplas97,
+  title = {Specifying Representations of Machine Instructions},
+  author = {Norman Ramsey and Mary F. Fernandez},
+  year = 1997,
+  month = may,
+  journal = {Transactions on Programming Languages and Systems},
+  volume = {19 (3)},
+  abstract = {abstracts/toplas97.txt},
+  postscript = {papers/toplas97.ps.gz},
+  category = {Architecture Specifications, Programming Languages},
+}
+
+@inproceedings{icde98,
+  title = "Optimizing Regular Path Expressions Using Graph Schemas",
+  author = {Mary F. Fernandez and Dan Suciu},
+  year = {1998},
+  booktitle = {Proc. of ICDE},
+  abstract = {abstracts/icde98.txt},
+  postscript = {papers/icde98.ps.gz},
+  category = {Semistructured Data; Programming Languages}
+}
+`
+
+func TestBibTeXWrap(t *testing.T) {
+	g := graph.New("BIBTEX")
+	if err := (BibTeX{}).Wrap(g, "refs.bib", sampleBib); err != nil {
+		t.Fatal(err)
+	}
+	pubs := g.Collection("Publications")
+	if len(pubs) != 2 {
+		t.Fatalf("Publications = %d, want 2", len(pubs))
+	}
+	p1, ok := g.NodeByName("toplas97")
+	if !ok {
+		t.Fatal("toplas97 missing")
+	}
+	if v, _ := g.First(p1, "pub-type"); v != graph.Str("article") {
+		t.Errorf("pub-type = %v", v)
+	}
+	authors := g.OutLabel(p1, "author")
+	if len(authors) != 2 || authors[0] != graph.Str("Norman Ramsey") {
+		t.Errorf("authors = %v", authors)
+	}
+	if y, _ := g.First(p1, "year"); y != graph.Int(1997) {
+		t.Errorf("year = %v", y)
+	}
+	if m, _ := g.First(p1, "month"); m != graph.Str("May") {
+		t.Errorf("month = %v", m)
+	}
+	if ps, _ := g.First(p1, "postscript"); ps.FileType() != graph.FilePostScript {
+		t.Errorf("postscript = %v", ps)
+	}
+	if abs, _ := g.First(p1, "abstract"); abs.FileType() != graph.FileText {
+		t.Errorf("abstract = %v", abs)
+	}
+	cats := g.OutLabel(p1, "category")
+	if len(cats) != 2 {
+		t.Errorf("categories = %v", cats)
+	}
+	// Irregularity: only icde98 has booktitle; only toplas97 journal.
+	p2, _ := g.NodeByName("icde98")
+	if _, ok := g.First(p2, "journal"); ok {
+		t.Error("icde98 should have no journal")
+	}
+	if _, ok := g.First(p2, "booktitle"); !ok {
+		t.Error("icde98 should have booktitle")
+	}
+}
+
+func TestBibTeXQuotedAndConcat(t *testing.T) {
+	src := `@misc{k1, note = "part one" # " and two", year = 1999}`
+	g := graph.New("g")
+	if err := (BibTeX{}).Wrap(g, "x", src); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.NodeByName("k1")
+	if v, _ := g.First(n, "note"); v != graph.Str("part one and two") {
+		t.Errorf("note = %v", v)
+	}
+}
+
+func TestBibTeXParenDelimiters(t *testing.T) {
+	src := `@misc(k2, title = {Paren Style})`
+	g := graph.New("g")
+	if err := (BibTeX{}).Wrap(g, "x", src); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.NodeByName("k2")
+	if v, _ := g.First(n, "title"); v != graph.Str("Paren Style") {
+		t.Errorf("title = %v", v)
+	}
+}
+
+func TestBibTeXNestedBraces(t *testing.T) {
+	src := `@misc{k3, title = {The {GNU} System {and {more}}}}`
+	g := graph.New("g")
+	if err := (BibTeX{}).Wrap(g, "x", src); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.NodeByName("k3")
+	if v, _ := g.First(n, "title"); v != graph.Str("The GNU System and more") {
+		t.Errorf("title = %v", v)
+	}
+}
+
+func TestBibTeXErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing key", `@article{, title = {X}}`},
+		{"missing brace", `@article{k, title = {X}`},
+		{"bad field", `@article{k, = {X}}`},
+		{"unterminated value", `@article{k, title = {X`},
+		{"missing eq", `@article{k, title {X}}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := graph.New("g")
+			if err := (BibTeX{}).Wrap(g, "x", c.src); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestCSVWrap(t *testing.T) {
+	src := `id,name,phone,office,homepage,dept_ref
+mff,Mary Fernandez,973-360-8679,B-123,http://research.att.com/~mff,dbres
+suciu,Dan Suciu,,B-124,,dbres
+dbres,Database Research,,,,
+`
+	g := graph.New("g")
+	if err := (CSV{}).Wrap(g, "people.csv", src); err != nil {
+		t.Fatal(err)
+	}
+	people := g.Collection("People")
+	if len(people) != 3 {
+		t.Fatalf("People = %d", len(people))
+	}
+	mff, ok := g.NodeByName("mff")
+	if !ok {
+		t.Fatal("mff missing")
+	}
+	if v, _ := g.First(mff, "name"); v != graph.Str("Mary Fernandez") {
+		t.Errorf("name = %v", v)
+	}
+	if v, _ := g.First(mff, "homepage"); v.Kind() != graph.KindURL {
+		t.Errorf("homepage = %v", v)
+	}
+	// Missing cells become missing attributes.
+	suciu, _ := g.NodeByName("suciu")
+	if _, ok := g.First(suciu, "phone"); ok {
+		t.Error("suciu should have no phone")
+	}
+	// References resolve by object name.
+	dept, _ := g.First(mff, "dept")
+	if !dept.IsNode() || g.NodeName(dept.OID()) != "dbres" {
+		t.Errorf("dept = %v", dept)
+	}
+}
+
+func TestCSVTypeInference(t *testing.T) {
+	src := "id,n,f,b,s\nx,42,2.5,true,hello\n"
+	g := graph.New("g")
+	if err := (CSV{}).Wrap(g, "t.csv", src); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := g.NodeByName("x")
+	if v, _ := g.First(x, "n"); v != graph.Int(42) {
+		t.Errorf("n = %v", v)
+	}
+	if v, _ := g.First(x, "f"); v != graph.Float(2.5) {
+		t.Errorf("f = %v", v)
+	}
+	if v, _ := g.First(x, "b"); v != graph.Bool(true) {
+		t.Errorf("b = %v", v)
+	}
+	if v, _ := g.First(x, "s"); v != graph.Str("hello") {
+		t.Errorf("s = %v", v)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	g := graph.New("g")
+	if err := (CSV{}).Wrap(g, "e.csv", ""); err == nil {
+		t.Error("empty source should fail")
+	}
+	if err := (CSV{}).Wrap(g, "e.csv", "id,x\na,1\nb,2,extra,fields\n"); err == nil {
+		t.Error("over-long row should fail")
+	}
+	if err := (CSV{}).Wrap(graph.New("g"), "e.csv", "id,dept_ref\na,nosuch\n"); err == nil {
+		t.Error("dangling reference should fail")
+	}
+}
+
+func TestStructuredWrap(t *testing.T) {
+	src := `
+# project records
+id: strudel
+in: Projects, Demos
+name: STRUDEL
+synopsis: Web-site management
+member_ref: mff
+member_ref: suciu
+started: 1996
+
+id: mff
+in: People
+name: Mary Fernandez
+
+id: suciu
+in: People
+name: Dan Suciu
+`
+	g := graph.New("g")
+	if err := (Structured{}).Wrap(g, "projects.txt", src); err != nil {
+		t.Fatal(err)
+	}
+	proj, ok := g.NodeByName("strudel")
+	if !ok {
+		t.Fatal("strudel missing")
+	}
+	if !g.InCollection("Projects", graph.NodeValue(proj)) || !g.InCollection("Demos", graph.NodeValue(proj)) {
+		t.Error("multi-collection membership broken")
+	}
+	members := g.OutLabel(proj, "member")
+	if len(members) != 2 {
+		t.Fatalf("members = %v", members)
+	}
+	if v, _ := g.First(proj, "started"); v != graph.Int(1996) {
+		t.Errorf("started = %v", v)
+	}
+	if len(g.Collection("People")) != 2 {
+		t.Errorf("People = %v", g.Collection("People"))
+	}
+}
+
+func TestStructuredDefaultCollection(t *testing.T) {
+	g := graph.New("g")
+	if err := (Structured{}).Wrap(g, "projects.txt", "id: a\nname: A\n"); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Collection("Projects")) != 1 {
+		t.Errorf("default collection missing: %v", g.Collections())
+	}
+}
+
+func TestStructuredErrors(t *testing.T) {
+	g := graph.New("g")
+	if err := (Structured{}).Wrap(g, "x", "id: a\nmalformed line\n"); err == nil {
+		t.Error("malformed line should fail")
+	}
+	if err := (Structured{}).Wrap(graph.New("g"), "x", "id: a\nfriend_ref: nosuch\n"); err == nil {
+		t.Error("dangling ref should fail")
+	}
+}
+
+const sampleHTML = `<html>
+<head><title>CNN - Top Stories</title><script>ignore("this");</script></head>
+<body>
+<h1>World News</h1>
+<style>.x { color: red }</style>
+<p>A story about <a href="story2.html">the election</a> and
+<a href="http://example.com/wire">wire reports</a>.</p>
+<img src="logo.gif" alt="logo">
+<h2>Sports</h2>
+</body></html>`
+
+func TestHTMLWrap(t *testing.T) {
+	g := graph.New("g")
+	if err := (HTML{}).Wrap(g, "index.html", sampleHTML); err != nil {
+		t.Fatal(err)
+	}
+	page, ok := g.NodeByName("index.html")
+	if !ok {
+		t.Fatal("page node missing")
+	}
+	if v, _ := g.First(page, "title"); v != graph.Str("CNN - Top Stories") {
+		t.Errorf("title = %v", v)
+	}
+	heads := g.OutLabel(page, "heading")
+	if len(heads) != 2 || heads[0] != graph.Str("World News") {
+		t.Errorf("headings = %v", heads)
+	}
+	links := g.OutLabel(page, "link")
+	if len(links) != 2 {
+		t.Fatalf("links = %v", links)
+	}
+	// Local link becomes a placeholder node carrying the anchor text;
+	// external link is a URL atom.
+	var local, external graph.Value
+	for _, l := range links {
+		if l.IsNode() {
+			local = l
+		} else {
+			external = l
+		}
+	}
+	if g.NodeName(local.OID()) != "story2.html" {
+		t.Errorf("local link = %v", local)
+	}
+	if at, _ := g.First(local.OID(), "anchor-text"); at != graph.Str("the election") {
+		t.Errorf("anchor text = %v", at)
+	}
+	if external.Kind() != graph.KindURL {
+		t.Errorf("external link = %v", external)
+	}
+	imgs := g.OutLabel(page, "image")
+	if len(imgs) != 1 || imgs[0].FileType() != graph.FileImage {
+		t.Errorf("images = %v", imgs)
+	}
+	// Script and style contents are excluded from text.
+	txt, _ := g.First(page, "text")
+	s, _ := txt.AsString()
+	if strings.Contains(s, "ignore") || strings.Contains(s, "color") {
+		t.Errorf("text includes script/style: %q", s)
+	}
+	if !strings.Contains(s, "A story about") {
+		t.Errorf("text missing body: %q", s)
+	}
+}
+
+func TestHTMLLinkResolution(t *testing.T) {
+	// Wrapping the linked page afterwards reuses the placeholder node.
+	g := graph.New("g")
+	if err := (HTML{}).Wrap(g, "index.html", `<a href="two.html">two</a>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := (HTML{}).Wrap(g, "two.html", `<title>Two</title>`); err != nil {
+		t.Fatal(err)
+	}
+	two, _ := g.NodeByName("two.html")
+	if v, _ := g.First(two, "title"); v != graph.Str("Two") {
+		t.Errorf("two.html title = %v", v)
+	}
+	if len(g.Collection("Pages")) != 2 {
+		t.Errorf("Pages = %v", g.Collection("Pages"))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, kind := range []string{"bibtex", "csv", "structured", "html", "datadef"} {
+		w, ok := ByName(kind)
+		if !ok || w.Name() != kind {
+			t.Errorf("ByName(%q) = %v, %v", kind, w, ok)
+		}
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Error("unknown wrapper should not resolve")
+	}
+}
+
+func TestDataDefWrapper(t *testing.T) {
+	g := graph.New("g")
+	w, _ := ByName("datadef")
+	if err := w.Wrap(g, "x", `object a in C { v 1 }`); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Collection("C")) != 1 {
+		t.Error("datadef wrapper failed")
+	}
+}
+
+func TestBibTeXOrderedAuthors(t *testing.T) {
+	src := `@article{k, title = {T}, author = {Zed Zulu and Ann Alpha and Mid Mike}}`
+	g := graph.New("g")
+	if err := (BibTeX{OrderedAuthors: true}).Wrap(g, "x", src); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.NodeByName("k")
+	authors := g.OutLabel(n, "author")
+	if len(authors) != 3 {
+		t.Fatalf("authors = %v", authors)
+	}
+	// Each author is a {name, key} object preserving bibliography
+	// order via the integer key (paper Sec. 5.2).
+	for i, a := range authors {
+		if !a.IsNode() {
+			t.Fatalf("author %d is not an object: %v", i, a)
+		}
+		k, _ := g.First(a.OID(), "key")
+		if k != graph.Int(int64(i+1)) {
+			t.Errorf("author %d key = %v", i, k)
+		}
+	}
+	name0, _ := g.First(authors[0].OID(), "name")
+	if name0 != graph.Str("Zed Zulu") {
+		t.Errorf("first author = %v (bibliography order lost)", name0)
+	}
+}

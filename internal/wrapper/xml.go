@@ -1,0 +1,224 @@
+package wrapper
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// XML wraps XML documents into the graph model. The paper (Sec. 2.2)
+// names XML as "another possible data exchange language between the
+// wrappers and the mediator layer of Strudel"; this wrapper realizes
+// it. The mapping mirrors the natural XML↔OEM correspondence of the
+// era:
+//
+//   - an element with child elements becomes a node; each child
+//     element contributes an edge labeled with the child's tag;
+//   - an element with only character data becomes an atom (typed by
+//     inference: int, float, bool, URL, else string);
+//   - attributes become edges labeled with the attribute name;
+//   - an "id" attribute names the object, and a "ref" attribute turns
+//     the element into a reference to the so-named object;
+//   - top-level children of the document element join a collection
+//     named after the document element's tag (title-cased).
+type XML struct{}
+
+// Name implements Wrapper.
+func (XML) Name() string { return "xml" }
+
+// Wrap implements Wrapper.
+func (XML) Wrap(g *graph.Graph, sourceName, src string) error {
+	dec := xml.NewDecoder(strings.NewReader(src))
+	root, err := parseElement(dec)
+	if err != nil {
+		return fmt.Errorf("xml: %s: %w", sourceName, err)
+	}
+	if root == nil {
+		return fmt.Errorf("xml: %s: no document element", sourceName)
+	}
+	w := &xmlWalker{g: g}
+	coll := titleTag(root.tag)
+	g.DeclareCollection(coll)
+	for _, child := range root.children {
+		v, err := w.value(child)
+		if err != nil {
+			return fmt.Errorf("xml: %s: %w", sourceName, err)
+		}
+		g.AddToCollection(coll, v)
+	}
+	return w.resolveRefs()
+}
+
+// xmlElem is one parsed element.
+type xmlElem struct {
+	tag      string
+	attrs    []xml.Attr
+	children []*xmlElem
+	text     string
+}
+
+// parseElement reads the next element (and its subtree) from the
+// decoder; nil at EOF before any element.
+func parseElement(dec *xml.Decoder) (*xmlElem, error) {
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			return parseFrom(dec, start)
+		}
+	}
+}
+
+func parseFrom(dec *xml.Decoder, start xml.StartElement) (*xmlElem, error) {
+	e := &xmlElem{tag: start.Name.Local, attrs: start.Attr}
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := parseFrom(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			e.children = append(e.children, child)
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			e.text = strings.TrimSpace(text.String())
+			return e, nil
+		}
+	}
+}
+
+type xmlWalker struct {
+	g    *graph.Graph
+	refs []pendingXMLRef
+}
+
+type pendingXMLRef struct {
+	from  graph.OID
+	label string
+	name  string
+}
+
+// value converts an element to a graph value.
+func (w *xmlWalker) value(e *xmlElem) (graph.Value, error) {
+	// Pure reference: <author ref="mff"/>.
+	if ref := attrOf(e, "ref"); ref != "" {
+		if id, ok := w.g.NodeByName(ref); ok {
+			return graph.NodeValue(id), nil
+		}
+		// Forward reference: create the named node now; a later
+		// element with id= will reuse it.
+		return graph.NodeValue(w.g.NewNode(ref)), nil
+	}
+	// Leaf with text only: an atom.
+	if len(e.children) == 0 && len(visibleAttrs(e)) == 0 {
+		return inferValue(e.text), nil
+	}
+	// Internal object.
+	oid := w.g.NewNode(attrOf(e, "id"))
+	for _, a := range visibleAttrs(e) {
+		if err := w.g.AddEdge(oid, a.Name.Local, inferValue(a.Value)); err != nil {
+			return graph.Value{}, err
+		}
+	}
+	if e.text != "" {
+		if err := w.g.AddEdge(oid, "text", graph.Str(e.text)); err != nil {
+			return graph.Value{}, err
+		}
+	}
+	for _, child := range e.children {
+		cv, err := w.value(child)
+		if err != nil {
+			return graph.Value{}, err
+		}
+		if err := w.g.AddEdge(oid, child.tag, cv); err != nil {
+			return graph.Value{}, err
+		}
+	}
+	return graph.NodeValue(oid), nil
+}
+
+func (w *xmlWalker) resolveRefs() error {
+	for _, r := range w.refs {
+		id, ok := w.g.NodeByName(r.name)
+		if !ok {
+			return fmt.Errorf("unresolved reference %q", r.name)
+		}
+		if err := w.g.AddEdge(r.from, r.label, graph.NodeValue(id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func attrOf(e *xmlElem, name string) string {
+	for _, a := range e.attrs {
+		if a.Name.Local == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// visibleAttrs filters out the id/ref bookkeeping attributes.
+func visibleAttrs(e *xmlElem) []xml.Attr {
+	var out []xml.Attr
+	for _, a := range e.attrs {
+		if a.Name.Local != "id" && a.Name.Local != "ref" && a.Name.Space == "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func titleTag(tag string) string {
+	if tag == "" {
+		return "Items"
+	}
+	return strings.ToUpper(tag[:1]) + tag[1:]
+}
+
+// WriteXML serializes a graph in the exchange dialect Wrap reads: one
+// document element containing each named object, attributes as child
+// elements, node references via ref. It round-trips modulo anonymous
+// node names.
+func WriteXML(w io.Writer, g *graph.Graph, rootTag string) error {
+	fmt.Fprintf(w, "<%s>\n", rootTag)
+	for _, id := range g.Nodes() {
+		name := g.NodeName(id)
+		if name == "" {
+			name = "o" + strconv.FormatUint(uint64(id), 10)
+		}
+		fmt.Fprintf(w, "  <object id=%q>\n", name)
+		for _, e := range g.Out(id) {
+			if e.To.IsNode() {
+				tn := g.NodeName(e.To.OID())
+				if tn == "" {
+					tn = "o" + strconv.FormatUint(uint64(e.To.OID()), 10)
+				}
+				fmt.Fprintf(w, "    <%s ref=%q/>\n", e.Label, tn)
+			} else {
+				var sb strings.Builder
+				xml.EscapeText(&sb, []byte(e.To.Text()))
+				fmt.Fprintf(w, "    <%s>%s</%s>\n", e.Label, sb.String(), e.Label)
+			}
+		}
+		fmt.Fprintln(w, "  </object>")
+	}
+	_, err := fmt.Fprintf(w, "</%s>\n", rootTag)
+	return err
+}

@@ -1,0 +1,128 @@
+package wrapper
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+const sampleXML = `<?xml version="1.0"?>
+<bibliography>
+  <publication id="pub1" kind="article">
+    <title>Specifying Representations</title>
+    <author>Norman Ramsey</author>
+    <author>Mary Fernandez</author>
+    <year>1997</year>
+    <rating>4.5</rating>
+    <published>true</published>
+    <home>http://example.com/pub1</home>
+    <cites ref="pub2"/>
+  </publication>
+  <publication id="pub2">
+    <title>Optimizing Regular Path Expressions</title>
+    <venue>
+      <name>ICDE</name>
+      <location>Orlando</location>
+    </venue>
+  </publication>
+</bibliography>`
+
+func TestXMLWrap(t *testing.T) {
+	g := graph.New("g")
+	if err := (XML{}).Wrap(g, "bib.xml", sampleXML); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Collection("Bibliography")) != 2 {
+		t.Fatalf("collection = %v", g.Collection("Bibliography"))
+	}
+	p1, ok := g.NodeByName("pub1")
+	if !ok {
+		t.Fatal("pub1 missing")
+	}
+	if v, _ := g.First(p1, "title"); v != graph.Str("Specifying Representations") {
+		t.Errorf("title = %v", v)
+	}
+	if authors := g.OutLabel(p1, "author"); len(authors) != 2 {
+		t.Errorf("authors = %v", authors)
+	}
+	// Attributes become edges.
+	if v, _ := g.First(p1, "kind"); v != graph.Str("article") {
+		t.Errorf("kind = %v", v)
+	}
+	// Type inference on leaf text.
+	if v, _ := g.First(p1, "year"); v != graph.Int(1997) {
+		t.Errorf("year = %v", v)
+	}
+	if v, _ := g.First(p1, "rating"); v != graph.Float(4.5) {
+		t.Errorf("rating = %v", v)
+	}
+	if v, _ := g.First(p1, "published"); v != graph.Bool(true) {
+		t.Errorf("published = %v", v)
+	}
+	if v, _ := g.First(p1, "home"); v.Kind() != graph.KindURL {
+		t.Errorf("home = %v", v)
+	}
+	// Forward reference resolves to the same node.
+	p2, _ := g.NodeByName("pub2")
+	if v, _ := g.First(p1, "cites"); v != graph.NodeValue(p2) {
+		t.Errorf("cites = %v", v)
+	}
+	// Nested element becomes an anonymous object.
+	venue, ok := g.First(p2, "venue")
+	if !ok || !venue.IsNode() {
+		t.Fatalf("venue = %v", venue)
+	}
+	if v, _ := g.First(venue.OID(), "location"); v != graph.Str("Orlando") {
+		t.Errorf("location = %v", v)
+	}
+}
+
+func TestXMLWrapErrors(t *testing.T) {
+	g := graph.New("g")
+	if err := (XML{}).Wrap(g, "bad.xml", "<a><b></a>"); err == nil {
+		t.Error("mismatched tags should fail")
+	}
+	if err := (XML{}).Wrap(g, "empty.xml", "  "); err == nil {
+		t.Error("empty document should fail")
+	}
+}
+
+func TestXMLRegisteredByName(t *testing.T) {
+	w, ok := ByName("xml")
+	if !ok || w.Name() != "xml" {
+		t.Fatal("xml wrapper not registered")
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	g := graph.New("g")
+	a := g.NewNode("a")
+	b := g.NewNode("b")
+	g.AddEdge(a, "title", graph.Str("Hello <World> & Co"))
+	g.AddEdge(a, "year", graph.Int(1997))
+	g.AddEdge(a, "next", graph.NodeValue(b))
+	g.AddEdge(b, "title", graph.Str("Other"))
+	var sb strings.Builder
+	if err := WriteXML(&sb, g, "db"); err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.New("g2")
+	if err := (XML{}).Wrap(g2, "rt.xml", sb.String()); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	a2, ok := g2.NodeByName("a")
+	if !ok {
+		t.Fatal("a lost")
+	}
+	if v, _ := g2.First(a2, "title"); v != graph.Str("Hello <World> & Co") {
+		t.Errorf("title = %v", v)
+	}
+	if v, _ := g2.First(a2, "year"); v != graph.Int(1997) {
+		t.Errorf("year = %v", v)
+	}
+	b2, _ := g2.NodeByName("b")
+	if v, _ := g2.First(a2, "next"); v != graph.NodeValue(b2) {
+		t.Errorf("next = %v", v)
+	}
+}

@@ -1,0 +1,23 @@
+# Verify loop. `make check` is the gate every change must pass: build,
+# vet, the full test suite, and the race detector over the atomic
+# telemetry counters and the concurrent click-time cache.
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+check: build vet test race

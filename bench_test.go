@@ -10,6 +10,8 @@ package strudel_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"strudel/internal/baseline/procedural"
@@ -21,8 +23,10 @@ import (
 	"strudel/internal/optimizer"
 	"strudel/internal/repository"
 	"strudel/internal/schema"
+	"strudel/internal/server"
 	"strudel/internal/sitegen"
 	"strudel/internal/struql"
+	"strudel/internal/telemetry"
 	"strudel/internal/template"
 	"strudel/internal/workload"
 	"strudel/internal/wrapper"
@@ -596,4 +600,37 @@ func BenchmarkOptimizedBuild(b *testing.B) {
 			}
 		}
 	})
+}
+
+// nopResponseWriter discards the response, so the serve benchmarks
+// measure handler work rather than recorder allocation.
+type nopResponseWriter struct{ h http.Header }
+
+func (w nopResponseWriter) Header() http.Header        { return w.h }
+func (w nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w nopResponseWriter) WriteHeader(int)             {}
+
+// BenchmarkTelemetryOverhead measures what the observability layer
+// adds to the hot serve path: one in-memory static page served bare
+// vs. through the server.Instrument middleware (request counter,
+// latency histogram, in-flight gauge). The instrumented cost must stay
+// within noise of the bare cost — the middleware's hot path is two
+// time.Now calls and a handful of atomic adds.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	site := &sitegen.Site{Pages: map[string]*sitegen.Page{
+		"index.html": {Path: "index.html", HTML: "<html><body><h1>Home</h1></body></html>"},
+	}}
+	req := httptest.NewRequest("GET", "/index.html", nil)
+	run := func(h http.Handler) func(*testing.B) {
+		return func(b *testing.B) {
+			w := nopResponseWriter{h: http.Header{}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.ServeHTTP(w, req)
+			}
+		}
+	}
+	b.Run("bare", run(server.Static(site)))
+	reg := telemetry.NewRegistry()
+	b.Run("instrumented", run(server.Instrument(reg, "static", server.Static(site))))
 }

@@ -3,9 +3,13 @@
 //
 // Usage:
 //
-//	strudel build -manifest site.manifest -out dir/
-//	strudel serve -manifest site.manifest -addr :8080 [-dynamic]
-//	strudel stats -manifest site.manifest
+//	strudel build -manifest site.manifest -out dir/ [-trace]
+//	strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics]
+//	strudel stats -manifest site.manifest [-trace]
+//
+// -trace prints the build's span timeline (mediation → query → verify
+// → generate). -metrics instruments the server and exposes /metrics
+// (Prometheus text format), /debug/vars and /debug/pprof.
 //
 // A manifest is a line-oriented file (# comments allowed):
 //
@@ -35,6 +39,7 @@ import (
 	"strudel/internal/core"
 	"strudel/internal/schema"
 	"strudel/internal/server"
+	"strudel/internal/telemetry"
 )
 
 func main() {
@@ -63,9 +68,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  strudel build -manifest site.manifest -out dir/
-  strudel serve -manifest site.manifest -addr :8080 [-dynamic]
-  strudel stats -manifest site.manifest`)
+  strudel build -manifest site.manifest -out dir/ [-trace]
+  strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics]
+  strudel stats -manifest site.manifest [-trace]`)
 }
 
 // manifest is the parsed site description.
@@ -215,6 +220,7 @@ func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	manifestPath := fs.String("manifest", "", "site manifest file")
 	out := fs.String("out", "site-out", "output directory")
+	trace := fs.Bool("trace", false, "print the build's span timeline")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
@@ -234,6 +240,9 @@ func cmdBuild(args []string) error {
 		m.name, res.Stats.Pages, *out,
 		res.Stats.DataNodes, res.Stats.DataEdges,
 		res.Stats.SiteNodes, res.Stats.SiteEdges)
+	if *trace {
+		fmt.Print(res.Trace.Summary())
+	}
 	return nil
 }
 
@@ -242,29 +251,45 @@ func cmdServe(args []string) error {
 	manifestPath := fs.String("manifest", "", "site manifest file")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	dynamic := fs.Bool("dynamic", false, "compute pages at click time instead of materializing")
+	metrics := fs.Bool("metrics", false, "instrument serving and expose /metrics, /debug/vars, /debug/pprof")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
 		return err
 	}
-	handler, err := serveHandler(m, *dynamic)
+	var reg *telemetry.Registry
+	if *metrics {
+		reg = telemetry.NewRegistry()
+	}
+	handler, err := serveHandler(m, *dynamic, reg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s on http://%s (dynamic=%v)\n", m.name, *addr, *dynamic)
+	fmt.Printf("serving %s on http://%s (dynamic=%v, metrics=%v)\n", m.name, *addr, *dynamic, *metrics)
 	return http.ListenAndServe(*addr, handler)
 }
 
 // serveHandler builds the HTTP handler for a manifest: either the
 // fully materialized site (plus /query for ad-hoc site queries) or
-// click-time evaluation.
-func serveHandler(m *manifest, dynamic bool) (http.Handler, error) {
+// click-time evaluation. With a non-nil registry the whole pipeline
+// reports into it and the debug endpoints are mounted.
+func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry) (http.Handler, error) {
+	if reg != nil {
+		m.builder.SetTelemetry(reg)
+	}
 	if dynamic {
 		r, err := m.builder.BuildDynamic()
 		if err != nil {
 			return nil, err
 		}
-		return server.Dynamic(r, m.rootColl), nil
+		h := server.DynamicWith(r, m.rootColl, reg)
+		if reg == nil {
+			return h, nil
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", server.Instrument(reg, "dynamic", h))
+		server.AttachDebug(mux, reg)
+		return mux, nil
 	}
 	res, err := m.builder.Build()
 	if err != nil {
@@ -275,13 +300,19 @@ func serveHandler(m *manifest, dynamic bool) (http.Handler, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/query", http.StripPrefix("/query", server.QueryHandler(res.SiteGraph, nil, 0)))
-	mux.Handle("/", server.Static(res.Site))
+	if reg == nil {
+		mux.Handle("/", server.Static(res.Site))
+		return mux, nil
+	}
+	mux.Handle("/", server.Instrument(reg, "static", server.Static(res.Site)))
+	server.AttachDebug(mux, reg)
 	return mux, nil
 }
 
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	manifestPath := fs.String("manifest", "", "site manifest file")
+	trace := fs.Bool("trace", false, "print the build's span timeline")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
@@ -297,8 +328,12 @@ func cmdStats(args []string) error {
 	fmt.Printf("  pages:       %d\n", res.Stats.Pages)
 	fmt.Printf("  bindings:    %d\n", res.Stats.Bindings)
 	fmt.Printf("  constraints: %d checked, %d violated\n", m.constraints, len(res.Violations))
-	fmt.Printf("  timings:     mediate %v, query %v, generate %v\n",
-		res.Stats.MediationTime, res.Stats.QueryTime, res.Stats.GenerateTime)
+	fmt.Printf("  timings:     mediate %v, query %v, verify %v, generate %v (total %v)\n",
+		res.Stats.MediationTime, res.Stats.QueryTime, res.Stats.VerifyTime,
+		res.Stats.GenerateTime, res.Stats.TotalTime)
+	if *trace {
+		fmt.Printf("build trace:\n%s", res.Trace.Summary())
+	}
 	fmt.Printf("site schema:\n%s", res.Schema.String())
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"strudel/internal/telemetry"
 )
 
 // writeTestSite creates a manifest plus its artifacts in a temp dir.
@@ -153,7 +155,7 @@ func TestServeHandlerStaticAndDynamic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h, err := serveHandler(m, dynamic)
+		h, err := serveHandler(m, dynamic, nil)
 		if err != nil {
 			t.Fatalf("dynamic=%v: %v", dynamic, err)
 		}
@@ -171,7 +173,7 @@ func TestServeHandlerStaticAndDynamic(t *testing.T) {
 	}
 	// Static mode also mounts /query.
 	m, _ := loadManifest(filepath.Join(dir, "site.manifest"))
-	h, _ := serveHandler(m, false)
+	h, _ := serveHandler(m, false, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/query")
@@ -182,5 +184,60 @@ func TestServeHandlerStaticAndDynamic(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "<form") {
 		t.Errorf("/query = %q", body)
+	}
+}
+
+// TestServeHandlerMetricsEndpoint covers the acceptance surface of the
+// observability layer: a metrics-enabled dynamic server exposes
+// request-latency histograms, dynamic-cache counters and optimizer
+// plan-choice counters on /metrics after a few clicks.
+func TestServeHandlerMetricsEndpoint(t *testing.T) {
+	dir := writeTestSite(t)
+	m, err := loadManifest(filepath.Join(dir, "site.manifest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	h, err := serveHandler(m, true, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	fetch := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	// Click twice so the page cache records a hit.
+	fetch("/")
+	fetch("/")
+	code, body := fetch("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`strudel_http_requests_total{class="2xx",mode="dynamic"}`,
+		`strudel_http_request_seconds_bucket{mode="dynamic",le="+Inf"}`,
+		`strudel_dynamic_cache_events_total{event="hit"}`,
+		`strudel_dynamic_cache_events_total{event="miss"}`,
+		`strudel_dynamic_render_seconds_count`,
+		`strudel_optimizer_plan_choice_total{method=`,
+		`strudel_repository_index_builds_total`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if code, body := fetch("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d", code)
+	}
+	if code, _ := fetch("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"strudel/internal/graph"
+	"strudel/internal/telemetry"
 	"strudel/internal/incremental"
 	"strudel/internal/mediator"
 	"strudel/internal/optimizer"
@@ -46,6 +47,7 @@ type Builder struct {
 	constraints []schema.Constraint
 	resolver    func(string) (string, error)
 	optimize    bool
+	telem       *telemetry.Registry
 }
 
 // NewBuilder creates a builder. The repository is memory-only; use
@@ -146,7 +148,19 @@ func (b *Builder) SetFileResolver(fn func(string) (string, error)) { b.resolver 
 // the interpreter's built-in greedy strategy (paper Sec. 2.4).
 func (b *Builder) EnableOptimizer() { b.optimize = true }
 
-// Stats reports what a build did.
+// SetTelemetry attaches a metrics registry: the repository, the
+// optimizer (when enabled) and dynamic evaluation all report into it,
+// and builds are traced span by span regardless. Pass nil to detach.
+func (b *Builder) SetTelemetry(reg *telemetry.Registry) {
+	b.telem = reg
+	if reg != nil {
+		b.repo.Instrument(reg)
+	}
+}
+
+// Stats reports what a build did. The phase durations are the
+// durations of the corresponding spans of the build trace (see
+// Result.Trace), so a printed trace timeline and Stats always agree.
 type Stats struct {
 	DataNodes, DataEdges int
 	SiteNodes, SiteEdges int
@@ -154,7 +168,9 @@ type Stats struct {
 	Bindings             int
 	MediationTime        time.Duration
 	QueryTime            time.Duration
+	VerifyTime           time.Duration
 	GenerateTime         time.Duration
+	TotalTime            time.Duration
 }
 
 // Result is a completed build.
@@ -164,6 +180,9 @@ type Result struct {
 	Schema    *schema.SiteSchema
 	Site      *sitegen.Site
 	Stats     Stats
+	// Trace is the build-scoped span tree (mediation → query → verify
+	// → generate); Trace.Summary() renders a timeline.
+	Trace *telemetry.Trace
 	// Violations are constraint failures; Build returns them without
 	// error so callers can decide whether to publish anyway.
 	Violations []error
@@ -182,8 +201,22 @@ func (b *Builder) buildDataGraph() (*graph.Graph, error) {
 	return b.med.Refresh()
 }
 
-// evalQueries runs the site-definition queries into one site graph.
-func (b *Builder) evalQueries(data *graph.Graph) (*graph.Graph, int, error) {
+// optimizerContext indexes the data graph and builds the planning
+// context the optimizer hook evaluates conjunctions through.
+func (b *Builder) optimizerContext(data *graph.Graph) *optimizer.Context {
+	b.repo.Database().Attach(data)
+	b.repo.Invalidate(data.Name())
+	return &optimizer.Context{
+		Graph:     data,
+		Index:     b.repo.Index(data.Name()),
+		Registry:  b.Registry(),
+		Telemetry: b.telem,
+	}
+}
+
+// evalQueries runs the site-definition queries into one site graph,
+// tracing each query as a child span of sp (which may be nil).
+func (b *Builder) evalQueries(data *graph.Graph, sp *telemetry.Span) (*graph.Graph, int, error) {
 	if len(b.queries) == 0 {
 		return nil, 0, fmt.Errorf("core: site %q has no site-definition query", b.name)
 	}
@@ -195,18 +228,18 @@ func (b *Builder) evalQueries(data *graph.Graph) (*graph.Graph, int, error) {
 	opts := &struql.Options{Output: site, Registry: b.Registry()}
 	if b.optimize {
 		// Index the data graph and plan every conjunction against it.
-		b.repo.Database().Attach(data)
-		b.repo.Invalidate(data.Name())
-		ctx := &optimizer.Context{
-			Graph:    data,
-			Index:    b.repo.Index(data.Name()),
-			Registry: b.Registry(),
-		}
-		opts.WherePlanner = optimizer.Hook(ctx)
+		opts.WherePlanner = optimizer.Hook(b.optimizerContext(data))
 	}
 	bindings := 0
-	for _, q := range b.queries {
+	for i, q := range b.queries {
+		var qs *telemetry.Span
+		if sp != nil {
+			qs = sp.Child(fmt.Sprintf("query[%d]", i))
+		}
 		res, err := struql.Eval(q, data, opts)
+		if qs != nil {
+			qs.Finish()
+		}
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: evaluating site query: %w", err)
 		}
@@ -225,33 +258,47 @@ func (b *Builder) siteSchema() *schema.SiteSchema {
 }
 
 // Build runs the full pipeline: mediate, query, verify, generate.
+// Each phase is a child span of the build trace (Result.Trace), and
+// the Stats durations are those spans' durations — the trace timeline
+// and Stats cannot disagree.
 func (b *Builder) Build() (*Result, error) {
-	res := &Result{}
-	t0 := time.Now()
+	tr := telemetry.NewTrace("build " + b.name)
+	res := &Result{Trace: tr}
+	defer func() {
+		tr.Finish()
+		res.Stats.TotalTime = tr.Duration()
+	}()
+
+	med := tr.Root().Child("mediation")
 	data, err := b.buildDataGraph()
+	med.Finish()
+	res.Stats.MediationTime = med.Duration()
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.MediationTime = time.Since(t0)
 	res.DataGraph = data
 
-	t1 := time.Now()
-	site, bindings, err := b.evalQueries(data)
+	qsp := tr.Root().Child("query")
+	site, bindings, err := b.evalQueries(data, qsp)
+	qsp.Finish()
+	res.Stats.QueryTime = qsp.Duration()
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.QueryTime = time.Since(t1)
 	res.SiteGraph = site
 	res.Stats.Bindings = bindings
 
+	ver := tr.Root().Child("verify")
 	res.Schema = b.siteSchema()
 	res.Violations = schema.VerifyAll(res.Schema, site, b.constraints)
 	for _, q := range b.queries {
 		res.DomainWarnings = append(res.DomainWarnings,
 			struql.RangeCheckWith(q, data.HasCollection)...)
 	}
+	ver.Finish()
+	res.Stats.VerifyTime = ver.Duration()
 
-	t2 := time.Now()
+	gsp := tr.Root().Child("generate")
 	gen := sitegen.New(site, sitegen.Config{
 		Templates:    b.templates,
 		EmbedOnly:    b.embedOnly,
@@ -259,10 +306,11 @@ func (b *Builder) Build() (*Result, error) {
 		FileResolver: b.resolver,
 	})
 	htmlSite, err := gen.Generate()
+	gsp.Finish()
+	res.Stats.GenerateTime = gsp.Duration()
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.GenerateTime = time.Since(t2)
 	res.Site = htmlSite
 
 	ds, ss := data.Stats(), site.Stats()
@@ -290,17 +338,15 @@ func (b *Builder) BuildDynamic() (*incremental.Renderer, error) {
 	}
 	dec := incremental.Decompose(b.queries[0], data, b.Registry())
 	if b.optimize {
-		b.repo.Database().Attach(data)
-		b.repo.Invalidate(data.Name())
-		dec.UsePlanner(optimizer.Hook(&optimizer.Context{
-			Graph:    data,
-			Index:    b.repo.Index(data.Name()),
-			Registry: b.Registry(),
-		}))
+		dec.UsePlanner(optimizer.Hook(b.optimizerContext(data)))
 	}
-	return &incremental.Renderer{
+	r := &incremental.Renderer{
 		Dec:       dec,
 		Templates: b.templates,
 		EmbedOnly: b.embedOnly,
-	}, nil
+	}
+	if b.telem != nil {
+		r.Instrument(b.telem)
+	}
+	return r, nil
 }

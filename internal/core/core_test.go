@@ -3,9 +3,11 @@ package core
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"strudel/internal/graph"
 	"strudel/internal/schema"
+	"strudel/internal/telemetry"
 	"strudel/internal/workload"
 )
 
@@ -311,5 +313,95 @@ func TestOptimizedBuildMatchesInterpreterCNN(t *testing.T) {
 	plain, opt := build(false), build(true)
 	if plain.SiteGraph.DumpString() != opt.SiteGraph.DumpString() {
 		t.Error("optimizer changed the CNN site graph")
+	}
+}
+
+// TestBuildTraceConsistentWithStats checks the contract behind the
+// -trace flag: the Stats phase durations are the trace spans'
+// durations, so a printed timeline and Stats cannot disagree.
+func TestBuildTraceConsistentWithStats(t *testing.T) {
+	res, err := bibBuilder(t, 25).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no build trace")
+	}
+	phases := map[string]time.Duration{}
+	for _, sp := range res.Trace.Root().Children() {
+		phases[sp.Name] = sp.Duration()
+	}
+	for name, want := range map[string]time.Duration{
+		"mediation": res.Stats.MediationTime,
+		"query":     res.Stats.QueryTime,
+		"verify":    res.Stats.VerifyTime,
+		"generate":  res.Stats.GenerateTime,
+	} {
+		if got, ok := phases[name]; !ok || got != want {
+			t.Errorf("phase %s: span %v, stats %v", name, got, want)
+		}
+	}
+	if sum := res.Stats.MediationTime + res.Stats.QueryTime +
+		res.Stats.VerifyTime + res.Stats.GenerateTime; res.Stats.TotalTime < sum {
+		t.Errorf("total %v < phase sum %v", res.Stats.TotalTime, sum)
+	}
+	summary := res.Trace.Summary()
+	for _, want := range []string{"build homepage", "mediation", "query[0]", "verify", "generate"} {
+		if !strings.Contains(summary, want) {
+			t.Errorf("summary missing %q:\n%s", want, summary)
+		}
+	}
+}
+
+// TestSetTelemetryWiresPipeline builds with the optimizer under a
+// registry and checks every layer reported: plan choices, index
+// builds and lookups, and (via BuildDynamic) the dynamic cache.
+func TestSetTelemetryWiresPipeline(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b := bibBuilder(t, 25)
+	b.EnableOptimizer()
+	b.SetTelemetry(reg)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"strudel_optimizer_plan_choice_total{method=",
+		"strudel_optimizer_step_rows_total{kind=\"actual\"}",
+		"strudel_repository_index_builds_total 1",
+		"strudel_repository_index_lookups_total{index=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	// Dynamic evaluation reports the page cache into the same registry.
+	db := bibBuilder(t, 10)
+	db.EnableOptimizer()
+	db.SetTelemetry(reg)
+	r, err := db.BuildDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, err := r.Dec.Roots(workload.BibliographySpec().RootCollection)
+	if err != nil || len(roots) == 0 {
+		t.Fatalf("roots = %v, %v", roots, err)
+	}
+	if _, err := r.RenderPage(roots[0]); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	reg.WritePrometheus(&sb)
+	out = sb.String()
+	for _, want := range []string{
+		`strudel_dynamic_cache_events_total{event="miss"}`,
+		"strudel_dynamic_render_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dynamic metrics missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"strudel/internal/graph"
 	"strudel/internal/struql"
+	"strudel/internal/telemetry"
 )
 
 // PageRef identifies one page: a Skolem function applied to values.
@@ -104,6 +105,12 @@ type Stats struct {
 	BindingsComputed       int
 }
 
+// decompMetrics are the decomposition's telemetry handles (nil when
+// not instrumented); they mirror Stats plus eviction counts.
+type decompMetrics struct {
+	hits, misses, evictions, bindings *telemetry.Counter
+}
+
 // Decomposition is a site-definition query split into per-page
 // queries over a data graph.
 type Decomposition struct {
@@ -122,6 +129,7 @@ type Decomposition struct {
 	// resolve an incoming URL back to a page.
 	known map[string]PageRef
 	stats Stats
+	met   *decompMetrics
 }
 
 // Decompose splits a query. The registry may be nil (built-ins only).
@@ -169,6 +177,26 @@ func Decompose(q *struql.Query, input *graph.Graph, reg *struql.Registry) *Decom
 	return d
 }
 
+// Instrument makes the decomposition report cache behaviour into a
+// telemetry registry: page-cache hits, misses and evictions, and the
+// number of binding rows computed at click time. Call before serving
+// traffic; the existing Stats accessor keeps working either way.
+func (d *Decomposition) Instrument(reg *telemetry.Registry) {
+	cache := func(event string) *telemetry.Counter {
+		return reg.Counter("strudel_dynamic_cache_events_total",
+			"Dynamic page-cache events (hit, miss, evict).", "event", event)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.met = &decompMetrics{
+		hits:      cache("hit"),
+		misses:    cache("miss"),
+		evictions: cache("evict"),
+		bindings: reg.Counter("strudel_dynamic_bindings_total",
+			"Binding rows computed by click-time query evaluation."),
+	}
+}
+
 // UsePlanner routes the per-page conjunctions through a planner hook
 // (e.g. optimizer.Hook), so click-time evaluation also benefits from
 // the repository's indexes.
@@ -202,11 +230,26 @@ func (d *Decomposition) Stats() Stats {
 }
 
 // InvalidateCache drops all cached pages (call after the data graph
-// changes).
+// changes). Dropped entries count as evictions.
 func (d *Decomposition) InvalidateCache() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.met != nil {
+		d.met.evictions.Add(len(d.cache))
+	}
 	d.cache = map[string]*PageData{}
+}
+
+// addBindings records click-time binding rows in both Stats and the
+// telemetry counter.
+func (d *Decomposition) addBindings(n int) {
+	d.mu.Lock()
+	d.stats.BindingsComputed += n
+	met := d.met
+	d.mu.Unlock()
+	if met != nil {
+		met.bindings.Add(n)
+	}
 }
 
 // Resolve maps a page key back to a discovered PageRef.
@@ -240,9 +283,7 @@ func (d *Decomposition) Roots(collection string) ([]PageRef, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.mu.Lock()
-		d.stats.BindingsComputed += len(rows)
-		d.mu.Unlock()
+		d.addBindings(len(rows))
 		for _, row := range rows {
 			ref, err := refFromSkolem(*c.target.Skolem, row)
 			if err != nil {
@@ -262,14 +303,21 @@ func (d *Decomposition) Roots(collection string) ([]PageRef, error) {
 func (d *Decomposition) Page(ref PageRef) (*PageData, error) {
 	key := d.remember(&ref)
 	d.mu.Lock()
+	met := d.met
 	if pd, ok := d.cache[key]; ok {
 		d.stats.CacheHits++
 		d.mu.Unlock()
+		if met != nil {
+			met.hits.Inc()
+		}
 		return pd, nil
 	}
 	d.stats.CacheMisses++
 	clauses := d.pages[ref.Func]
 	d.mu.Unlock()
+	if met != nil {
+		met.misses.Inc()
+	}
 
 	pd := &PageData{Ref: ref, Key: key}
 	edgeSeen := map[string]bool{}
@@ -306,9 +354,7 @@ func (d *Decomposition) Page(ref PageRef) (*PageData, error) {
 		if err != nil {
 			return nil, fmt.Errorf("incremental: page %s: %w", key, err)
 		}
-		d.mu.Lock()
-		d.stats.BindingsComputed += len(rows)
-		d.mu.Unlock()
+		d.addBindings(len(rows))
 		// Aggregate targets group over all of this clause's rows.
 		var grp *aggGroup
 		if cl.to.Agg != nil && len(rows) > 0 {

@@ -5,8 +5,10 @@ import (
 	"html"
 	"net/url"
 	"strings"
+	"time"
 
 	"strudel/internal/graph"
+	"strudel/internal/telemetry"
 	"strudel/internal/template"
 )
 
@@ -25,6 +27,22 @@ type Renderer struct {
 	URLFor func(key string) string
 	// MaxDepth bounds transitive embedding (default 8).
 	MaxDepth int
+
+	// renderSeconds, when set via Instrument, times RenderPage — the
+	// paper's "click time" for one dynamically computed page.
+	renderSeconds *telemetry.Histogram
+}
+
+// Instrument makes the renderer record per-page render latency (the
+// click time of Sec. 6) and wires its decomposition's cache counters
+// into the same registry. Call before serving traffic.
+func (r *Renderer) Instrument(reg *telemetry.Registry) {
+	r.renderSeconds = reg.Histogram("strudel_dynamic_render_seconds",
+		"Click-time latency of dynamically computed pages, in seconds.",
+		telemetry.DefBuckets)
+	if r.Dec != nil {
+		r.Dec.Instrument(reg)
+	}
 }
 
 func (r *Renderer) urlFor(key string) string {
@@ -43,6 +61,10 @@ func (r *Renderer) maxDepth() int {
 
 // RenderPage computes and renders one page.
 func (r *Renderer) RenderPage(ref PageRef) (string, error) {
+	if r.renderSeconds != nil {
+		t0 := time.Now()
+		defer func() { r.renderSeconds.Observe(time.Since(t0).Seconds()) }()
+	}
 	g := graph.New("dynamic")
 	oid, err := r.materialize(g, ref, 0, map[string]graph.OID{})
 	if err != nil {

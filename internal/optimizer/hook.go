@@ -29,6 +29,7 @@ func CostBasedFrom(conds []struql.Condition, ctx *Context, bound map[string]bool
 	}
 	rows := 1.0
 	plan := &Plan{}
+	met := ctx.metrics()
 	for len(remaining) > 0 {
 		bestIdx, bestStep := -1, Step{}
 		bestScore := 1e300
@@ -42,6 +43,9 @@ func CostBasedFrom(conds []struql.Condition, ctx *Context, bound map[string]bool
 			}
 		}
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		if met != nil {
+			met.choice[bestStep.Method].Inc()
+		}
 		for _, v := range condVars(bestStep.Cond) {
 			b[v] = true
 		}
@@ -64,6 +68,7 @@ func (p *Plan) ExecuteFrom(ctx *Context, seed []struql.Binding) ([]struql.Bindin
 	if rows == nil {
 		rows = []struql.Binding{{}}
 	}
+	met := ctx.metrics()
 	for _, s := range p.Steps {
 		if len(rows) == 0 {
 			return nil, nil
@@ -79,6 +84,9 @@ func (p *Plan) ExecuteFrom(ctx *Context, seed []struql.Binding) ([]struql.Bindin
 		}
 		if err != nil {
 			return nil, err
+		}
+		if met != nil {
+			met.observeStep(s, len(rows))
 		}
 	}
 	return rows, nil

@@ -1,0 +1,59 @@
+package optimizer
+
+import (
+	"strudel/internal/telemetry"
+)
+
+// planMetrics caches the telemetry handles a Context reports into, so
+// the per-step hot path is a single atomic add.
+type planMetrics struct {
+	// choice counts, per physical operator, how often the planner
+	// picked it — which access method won per condition.
+	choice [methodCount]*telemetry.Counter
+	// estRows/actualRows accumulate the planner's estimated output
+	// cardinality next to the observed one, step by step, so gross
+	// misestimation shows up as diverging totals.
+	estRows, actualRows *telemetry.Counter
+	// ratio is the per-step actual/estimated distribution; mass far
+	// from the 1.0 boundary means the cost model is off.
+	ratio *telemetry.Histogram
+}
+
+const methodCount = int(MethodSchemaScan) + 1
+
+// metrics returns the Context's cached handles, or nil when no
+// registry is attached. Safe for concurrent use (click-time evaluation
+// plans from many request goroutines against one Context).
+func (c *Context) metrics() *planMetrics {
+	if c.Telemetry == nil {
+		return nil
+	}
+	c.metOnce.Do(func() {
+		m := &planMetrics{}
+		for i := 0; i < methodCount; i++ {
+			m.choice[i] = c.Telemetry.Counter("strudel_optimizer_plan_choice_total",
+				"Conditions planned, by the physical access method chosen.",
+				"method", Method(i).String())
+		}
+		m.estRows = c.Telemetry.Counter("strudel_optimizer_step_rows_total",
+			"Binding rows per executed plan step, estimated vs. actual.",
+			"kind", "estimated")
+		m.actualRows = c.Telemetry.Counter("strudel_optimizer_step_rows_total",
+			"Binding rows per executed plan step, estimated vs. actual.",
+			"kind", "actual")
+		m.ratio = c.Telemetry.Histogram("strudel_optimizer_row_estimate_ratio",
+			"Per-step actual/estimated row-count ratio.",
+			telemetry.RatioBuckets)
+		c.met = m
+	})
+	return c.met
+}
+
+// observeStep records one executed step's estimated-vs-actual output.
+func (m *planMetrics) observeStep(s Step, actual int) {
+	m.estRows.Add(int(s.EstRows + 0.5))
+	m.actualRows.Add(actual)
+	if s.EstRows > 0 {
+		m.ratio.Observe(float64(actual) / s.EstRows)
+	}
+}

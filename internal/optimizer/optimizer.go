@@ -20,10 +20,12 @@ package optimizer
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"strudel/internal/graph"
 	"strudel/internal/repository"
 	"strudel/internal/struql"
+	"strudel/internal/telemetry"
 )
 
 // Method is the physical operator chosen for one condition.
@@ -96,6 +98,13 @@ type Context struct {
 	Index *repository.GraphIndex
 	// Registry may be nil (built-ins only).
 	Registry *struql.Registry
+	// Telemetry, when set, records plan-choice counters and
+	// estimated-vs-actual row counts for every plan built and executed
+	// through this context.
+	Telemetry *telemetry.Registry
+
+	metOnce sync.Once
+	met     *planMetrics
 }
 
 func (c *Context) registry() *struql.Registry {

@@ -29,6 +29,8 @@ type GraphIndex struct {
 	byValue map[graph.Value][]graph.Edge
 	// stats for the cost-based optimizer.
 	nodes, edges int
+	// met counts lookups when the owning repository is instrumented.
+	met *indexMetrics
 }
 
 // BuildIndex constructs the index set for a graph.
@@ -56,17 +58,37 @@ func BuildIndex(g *graph.Graph) *GraphIndex {
 }
 
 // Labels returns the attribute-name index (schema index).
-func (i *GraphIndex) Labels() []string { return i.labels }
+func (i *GraphIndex) Labels() []string {
+	if i.met != nil {
+		i.met.schemaLookups.Inc()
+	}
+	return i.labels
+}
 
 // Collections returns the collection-name index (schema index).
-func (i *GraphIndex) Collections() []string { return i.collections }
+func (i *GraphIndex) Collections() []string {
+	if i.met != nil {
+		i.met.schemaLookups.Inc()
+	}
+	return i.collections
+}
 
 // ByLabel returns the attribute extent: all edges with the label.
-func (i *GraphIndex) ByLabel(label string) []graph.Edge { return i.byLabel[label] }
+func (i *GraphIndex) ByLabel(label string) []graph.Edge {
+	if i.met != nil {
+		i.met.labelLookups.Inc()
+	}
+	return i.byLabel[label]
+}
 
 // ByValue returns the global value index entry for an atom: all edges
 // whose target equals it.
-func (i *GraphIndex) ByValue(v graph.Value) []graph.Edge { return i.byValue[v] }
+func (i *GraphIndex) ByValue(v graph.Value) []graph.Edge {
+	if i.met != nil {
+		i.met.valueLookups.Inc()
+	}
+	return i.byValue[v]
+}
 
 // LabelCount returns the number of edges carrying a label, a
 // cardinality statistic for the optimizer.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"strudel/internal/graph"
+	"strudel/internal/telemetry"
 )
 
 // Repository stores the data graphs and site graphs of a STRUDEL
@@ -16,6 +17,41 @@ type Repository struct {
 	dir      string // persistence directory; "" = memory only
 	indexes  map[string]*GraphIndex
 	indexing bool
+	met      *indexMetrics
+}
+
+// indexMetrics are the repository's telemetry handles (nil when not
+// instrumented).
+type indexMetrics struct {
+	builds, cacheHits            *telemetry.Counter
+	labelLookups, valueLookups   *telemetry.Counter
+	schemaLookups                *telemetry.Counter
+}
+
+// Instrument makes the repository report index behaviour into a
+// telemetry registry: index (re)builds, index-cache hits, and — via
+// the GraphIndex snapshots it hands out — per-kind lookup counters
+// (attribute extent, global value index, schema index).
+func (r *Repository) Instrument(reg *telemetry.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lookups := func(kind string) *telemetry.Counter {
+		return reg.Counter("strudel_repository_index_lookups_total",
+			"Index probes served, by index kind.", "index", kind)
+	}
+	r.met = &indexMetrics{
+		builds: reg.Counter("strudel_repository_index_builds_total",
+			"Full index-set builds (rebuilds after invalidation included)."),
+		cacheHits: reg.Counter("strudel_repository_index_cache_hits_total",
+			"Index requests answered from the cached snapshot."),
+		labelLookups:  lookups("label"),
+		valueLookups:  lookups("value"),
+		schemaLookups: lookups("schema"),
+	}
+	// Already cached snapshots start reporting too.
+	for _, idx := range r.indexes {
+		idx.met = r.met
+	}
 }
 
 // New creates a repository. dir is the persistence directory used by
@@ -71,6 +107,9 @@ func (r *Repository) Index(name string) *GraphIndex {
 		return nil
 	}
 	if idx, ok := r.indexes[name]; ok {
+		if r.met != nil {
+			r.met.cacheHits.Inc()
+		}
 		return idx
 	}
 	g, ok := r.db.Graph(name)
@@ -78,6 +117,10 @@ func (r *Repository) Index(name string) *GraphIndex {
 		return nil
 	}
 	idx := BuildIndex(g)
+	idx.met = r.met
+	if r.met != nil {
+		r.met.builds.Inc()
+	}
 	r.indexes[name] = idx
 	return idx
 }

@@ -4,18 +4,29 @@
 // and dynamic — only the root is precomputed, and each click runs the
 // page's decomposed query at request time, with query-result caching
 // to reduce click time.
+//
+// Observability: Instrument wraps a handler with request counting and
+// latency histograms per serving mode, and AttachDebug exposes the
+// live introspection endpoints (/metrics in Prometheus text format,
+// /debug/vars, /debug/pprof) that back the paper's click-time
+// measurements (Sec. 6).
 package server
 
 import (
+	"expvar"
 	"fmt"
 	"html"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"sort"
 	"strings"
+	"time"
 
 	"strudel/internal/incremental"
 	"strudel/internal/sitegen"
+	"strudel/internal/telemetry"
 )
 
 // Static returns a handler serving a materialized site. "/" serves
@@ -51,17 +62,36 @@ func writeListing(w http.ResponseWriter, site *sitegen.Site) {
 	fmt.Fprint(w, "</ul></body></html>")
 }
 
+// internalError answers a failed request without leaking the error
+// into the response body: the client gets a generic page, and the
+// detail goes to the log and the error counter instead.
+func internalError(w http.ResponseWriter, reg *telemetry.Registry, mode string, err error) {
+	log.Printf("server: %s: internal error: %v", mode, err)
+	if reg != nil {
+		reg.Counter("strudel_http_internal_errors_total",
+			"Requests that failed with an internal error, by serving mode.",
+			"mode", mode).Inc()
+	}
+	http.Error(w, "internal error", http.StatusInternalServerError)
+}
+
 // Dynamic returns a handler computing pages at click time. "/" renders
 // the first root of the given collection; "/page/<key>" renders the
 // page with that key (keys are discovered during browsing, starting
 // from the roots, exactly as a user could only reach pages by
 // following links).
 func Dynamic(r *incremental.Renderer, rootCollection string) http.Handler {
+	return DynamicWith(r, rootCollection, nil)
+}
+
+// DynamicWith is Dynamic with render errors counted in a telemetry
+// registry (which may be nil).
+func DynamicWith(r *incremental.Renderer, rootCollection string, reg *telemetry.Registry) http.Handler {
 	mux := http.NewServeMux()
 	serve := func(w http.ResponseWriter, ref incremental.PageRef) {
 		htmlText, err := r.RenderPage(ref)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			internalError(w, reg, "dynamic", err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -74,7 +104,7 @@ func Dynamic(r *incremental.Renderer, rootCollection string) http.Handler {
 		}
 		roots, err := r.Dec.Roots(rootCollection)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			internalError(w, reg, "dynamic", err)
 			return
 		}
 		if len(roots) == 0 {
@@ -112,4 +142,74 @@ func Dynamic(r *incremental.Renderer, rootCollection string) http.Handler {
 		serve(w, ref)
 	})
 	return mux
+}
+
+// statusWriter captures the response status for classification.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Instrument wraps a handler with per-mode request telemetry: a
+// request counter labeled by status class, a latency histogram
+// (telemetry.DefBuckets, seconds), and an in-flight gauge. mode is
+// "static" or "dynamic" (any short tag works). All series register
+// eagerly so /metrics shows them before the first request.
+func Instrument(reg *telemetry.Registry, mode string, next http.Handler) http.Handler {
+	classes := [6]*telemetry.Counter{}
+	for i, cl := range []string{"1xx", "2xx", "3xx", "4xx", "5xx", "other"} {
+		classes[i] = reg.Counter("strudel_http_requests_total",
+			"HTTP requests served, by serving mode and status class.",
+			"mode", mode, "class", cl)
+	}
+	latency := reg.Histogram("strudel_http_request_seconds",
+		"HTTP request latency in seconds, by serving mode.",
+		telemetry.DefBuckets, "mode", mode)
+	inflight := reg.Gauge("strudel_http_inflight_requests",
+		"Requests currently being served, by serving mode.",
+		"mode", mode)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		inflight.Add(-1)
+		latency.Observe(time.Since(t0).Seconds())
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if i := status/100 - 1; i >= 0 && i < 5 {
+			classes[i].Inc()
+		} else {
+			classes[5].Inc()
+		}
+	})
+}
+
+// AttachDebug mounts the live introspection endpoints on a mux:
+//
+//	/metrics       the registry in Prometheus text exposition format
+//	/debug/vars    expvar (Go runtime memstats and cmdline)
+//	/debug/pprof/  the standard pprof profiles
+func AttachDebug(mux *http.ServeMux, reg *telemetry.Registry) {
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -9,9 +10,11 @@ import (
 	"testing"
 
 	"strudel/internal/datadef"
+	"strudel/internal/graph"
 	"strudel/internal/incremental"
 	"strudel/internal/sitegen"
 	"strudel/internal/struql"
+	"strudel/internal/telemetry"
 	"strudel/internal/template"
 )
 
@@ -61,6 +64,12 @@ func TestStaticServerListingWithoutIndex(t *testing.T) {
 
 func dynamicRenderer(t *testing.T) *incremental.Renderer {
 	t.Helper()
+	r, _ := dynamicRendererAndGraph(t)
+	return r
+}
+
+func dynamicRendererAndGraph(t *testing.T) (*incremental.Renderer, *graph.Graph) {
+	t.Helper()
 	res, err := datadef.Parse("G", `
 collection Publications { }
 object pub1 in Publications { title "Alpha" year 1997 }
@@ -84,7 +93,7 @@ LINK YearPage(y) -> "Year" -> y,
 			"RootPage": template.MustParse("RootPage", `<h1>Years</h1><SFMT_UL YearPage ORDER=ascend KEY=Year>`),
 			"YearPage": template.MustParse("YearPage", `<h1>Year <SFMT Year></h1>`),
 		},
-	}
+	}, res.Graph
 }
 
 func TestDynamicServerClickThrough(t *testing.T) {
@@ -123,6 +132,89 @@ func TestDynamicServerCachesPages(t *testing.T) {
 	second := r.Dec.Stats()
 	if second.CacheHits <= first.CacheHits {
 		t.Errorf("stats = %+v -> %+v", first, second)
+	}
+}
+
+// brokenRenderer builds a renderer whose root is computable but whose
+// page queries fail at click time (the planner errors on any seeded
+// conjunction), so RenderPage returns an error.
+func brokenRenderer(t *testing.T) *incremental.Renderer {
+	t.Helper()
+	r, g := dynamicRendererAndGraph(t)
+	r.Dec.UsePlanner(func(conds []struql.Condition, seed []struql.Binding) ([]struql.Binding, error) {
+		if seed == nil {
+			// Roots still computes, so "/" reaches the render path.
+			return struql.EvalBindings(g, struql.NewRegistry(), conds, nil)
+		}
+		return nil, errors.New("synthetic render failure: secret-detail")
+	})
+	return r
+}
+
+// TestDynamicServerRenderErrorIs500 checks that a render failure
+// produces a generic 500 page — the error detail must not leak into
+// the response body — and is counted in the telemetry registry.
+func TestDynamicServerRenderErrorIs500(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := httptest.NewServer(DynamicWith(brokenRenderer(t), "Roots", reg))
+	defer srv.Close()
+	code, body := get(t, srv, "/")
+	if code != 500 {
+		t.Fatalf("/ = %d %q", code, body)
+	}
+	if strings.Contains(body, "unbound") || strings.Contains(body, "BadPage") {
+		t.Errorf("error detail leaked into response: %q", body)
+	}
+	if !strings.Contains(body, "internal error") {
+		t.Errorf("missing generic error page: %q", body)
+	}
+	c := reg.Counter("strudel_http_internal_errors_total",
+		"Requests that failed with an internal error, by serving mode.",
+		"mode", "dynamic")
+	if c.Value() != 1 {
+		t.Errorf("internal error counter = %d, want 1", c.Value())
+	}
+}
+
+// TestInstrumentAndMetricsEndpoint drives an instrumented static
+// server and checks the registered series appear on /metrics.
+func TestInstrumentAndMetricsEndpoint(t *testing.T) {
+	site := &sitegen.Site{Pages: map[string]*sitegen.Page{
+		"index.html": {Path: "index.html", HTML: "<h1>Home</h1>"},
+	}}
+	reg := telemetry.NewRegistry()
+	mux := http.NewServeMux()
+	mux.Handle("/", Instrument(reg, "static", Static(site)))
+	AttachDebug(mux, reg)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if code, _ := get(t, srv, "/"); code != 200 {
+		t.Fatalf("/ = %d", code)
+	}
+	if code, _ := get(t, srv, "/missing.html"); code != 404 {
+		t.Fatalf("missing = %d", code)
+	}
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`strudel_http_requests_total{class="2xx",mode="static"} 1`,
+		`strudel_http_requests_total{class="4xx",mode="static"} 1`,
+		`strudel_http_request_seconds_count{mode="static"} 2`,
+		`strudel_http_request_seconds_bucket{mode="static",le="+Inf"} 2`,
+		`strudel_http_inflight_requests{mode="static"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if code, body := get(t, srv, "/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ = %d", code)
 	}
 }
 

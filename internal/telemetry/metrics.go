@@ -1,0 +1,327 @@
+// Package telemetry is STRUDEL's zero-dependency observability layer:
+// an atomic metrics registry with Prometheus-text exposition, and
+// lightweight span tracing for build pipelines. The paper evaluates
+// STRUDEL along axes — click time of dynamically computed pages, query
+// evaluation cost under different plans, full vs. incremental
+// regeneration cost (Secs. 2.4 and 6) — that are observable only with
+// instrumentation; this package is the measurement substrate every
+// layer of the pipeline reports into.
+//
+// Metrics are identified by a name plus an optional set of label
+// pairs, exactly as in the Prometheus exposition format:
+//
+//	reg := telemetry.NewRegistry()
+//	hits := reg.Counter("strudel_dynamic_cache_hits_total",
+//		"Dynamic page-cache hits.")
+//	lat := reg.Histogram("strudel_http_request_seconds",
+//		"HTTP request latency.", telemetry.DefBuckets, "mode", "static")
+//	hits.Inc()
+//	lat.Observe(time.Since(t0).Seconds())
+//
+// All metric operations are lock-free atomics; acquiring a handle once
+// and reusing it keeps the hot path to a single atomic add.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets is the default latency histogram layout: exponential-ish
+// upper bounds in seconds from 0.5ms to 10s, chosen so that both
+// in-memory static serving (tens of microseconds) and click-time query
+// evaluation over large data graphs (milliseconds to seconds) resolve
+// into distinct buckets.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// RatioBuckets is the bucket layout for dimensionless ratios (e.g. the
+// optimizer's actual/estimated row counts): 1.0 sits on a boundary so
+// under- and over-estimation separate cleanly.
+var RatioBuckets = []float64{0.01, 0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 4, 10, 100}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int) {
+	if n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative-style buckets
+// and tracks their sum, mirroring a Prometheus histogram.
+type Histogram struct {
+	upper   []float64 // sorted upper bounds, excluding +Inf
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound contains v; past the last bound
+	// only count/sum record it (the +Inf bucket is implicit).
+	i := sort.SearchFloat64s(h.upper, v)
+	if i < len(h.buckets) {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one labeled series inside a family.
+type metric struct {
+	labels string // canonical rendering, e.g. `mode="static"`; "" for none
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name, help, typ string
+	buckets         []float64 // histograms only
+	series          map[string]*metric
+	order           []string // registration order of label keys, for stable output
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// canonLabels renders "k1","v1","k2","v2"... sorted by key. Panics on
+// an odd-length pair list (a programming error, like a bad Printf verb).
+func canonLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("telemetry: odd label pair list")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	parts := make([]string, len(kvs))
+	for i, p := range kvs {
+		parts[i] = p.k + `="` + escapeLabel(p.v) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// getFamily returns (creating if needed) the family, checking that the
+// type is consistent with prior registrations of the same name.
+func (r *Registry) getFamily(name, help, typ string, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets,
+			series: map[string]*metric{}}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) get(labels string) (*metric, bool) {
+	m, ok := f.series[labels]
+	if !ok {
+		m = &metric{labels: labels}
+		f.series[labels] = m
+		f.order = append(f.order, labels)
+	}
+	return m, ok
+}
+
+// Counter returns (registering on first use) the counter series for
+// name and label pairs. The series appears in the exposition
+// immediately, with value 0.
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, "counter", nil)
+	m, ok := f.get(canonLabels(labelPairs))
+	if !ok {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns (registering on first use) the gauge series.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, "gauge", nil)
+	m, ok := f.get(canonLabels(labelPairs))
+	if !ok {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram returns (registering on first use) the histogram series.
+// buckets are upper bounds in ascending order (the +Inf bucket is
+// implicit); nil means DefBuckets. All series of one family share the
+// first registration's layout.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelPairs ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.getFamily(name, help, "histogram", buckets)
+	m, ok := f.get(canonLabels(labelPairs))
+	if !ok {
+		h := &Histogram{upper: f.buckets}
+		h.buckets = make([]atomic.Uint64, len(f.buckets))
+		m.h = h
+	}
+	return m.h
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4), families sorted by name, series in
+// registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, labels := range f.order {
+			m := f.series[labels]
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(w, "%s%s %d\n", f.name, braced(labels), m.c.Value())
+			case "gauge":
+				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(labels), formatFloat(m.g.Value()))
+			case "histogram":
+				writeHistogram(w, f, m)
+			}
+		}
+	}
+}
+
+func writeHistogram(w io.Writer, f *family, m *metric) {
+	cum := uint64(0)
+	for i, ub := range f.buckets {
+		cum += m.h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			braced(withLE(m.labels, formatFloat(ub))), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+		braced(withLE(m.labels, "+Inf")), m.h.Count())
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(m.labels), formatFloat(m.h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(m.labels), m.h.Count())
+}
+
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `le="` + le + `"`
+	}
+	return labels + `,le="` + le + `"`
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler serves the registry in Prometheus text format (the /metrics
+// endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total", "Requests.", "mode", "static")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same series.
+	if reg.Counter("reqs_total", "Requests.", "mode", "static") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	g := reg.Gauge("inflight", "In-flight requests.")
+	g.Add(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %v, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Errorf("sum = %v, want 56.05", h.Sum())
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 56.05",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "B.", "mode", "static", "class", "2xx").Add(3)
+	reg.Counter("b_total", "B.", "mode", "dynamic", "class", "5xx").Inc()
+	reg.Gauge("a_gauge", "A.").Set(2.5)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	// Families sorted by name; labels sorted by key.
+	if !strings.Contains(out, "# HELP b_total B.\n# TYPE b_total counter\n") {
+		t.Errorf("bad family header:\n%s", out)
+	}
+	if !strings.Contains(out, `b_total{class="2xx",mode="static"} 3`) {
+		t.Errorf("missing labeled series:\n%s", out)
+	}
+	if !strings.Contains(out, `b_total{class="5xx",mode="dynamic"} 1`) {
+		t.Errorf("missing labeled series:\n%s", out)
+	}
+	if !strings.Contains(out, "a_gauge 2.5") {
+		t.Errorf("missing gauge:\n%s", out)
+	}
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "C.", "path", `a"b\c`).Inc()
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `c_total{path="a\"b\\c"} 1`) {
+		t.Errorf("bad escaping:\n%s", sb.String())
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on counter/gauge name conflict")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Counter("x_total", "X.")
+	reg.Gauge("x_total", "X.")
+}
+
+// TestConcurrentMetrics exercises every metric type from many
+// goroutines; run under -race this validates the atomic hot paths.
+func TestConcurrentMetrics(t *testing.T) {
+	reg := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("cc_total", "C.")
+			g := reg.Gauge("gg", "G.")
+			h := reg.Histogram("hh_seconds", "H.", nil)
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+			}
+		}()
+	}
+	// Concurrent scrapes while writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			reg.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := reg.Counter("cc_total", "C.").Value(); got != workers*each {
+		t.Errorf("counter = %d, want %d", got, workers*each)
+	}
+	if got := reg.Histogram("hh_seconds", "H.", nil).Count(); got != workers*each {
+		t.Errorf("histogram count = %d, want %d", got, workers*each)
+	}
+	if got := reg.Gauge("gg", "G.").Value(); got != workers*each {
+		t.Errorf("gauge = %v, want %d", got, workers*each)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("build")
+	med := tr.Root().Child("mediation")
+	time.Sleep(2 * time.Millisecond)
+	med.Finish()
+	q := tr.Root().Child("query")
+	q1 := q.Child("query[0]")
+	time.Sleep(time.Millisecond)
+	q1.Finish()
+	q.Finish()
+	tr.Finish()
+
+	if tr.Duration() < med.Duration() {
+		t.Errorf("root %v shorter than child %v", tr.Duration(), med.Duration())
+	}
+	// Finish is idempotent.
+	d := med.Duration()
+	med.Finish()
+	if med.Duration() != d {
+		t.Error("second Finish changed duration")
+	}
+	sum := tr.Summary()
+	for _, want := range []string{"build", "mediation", "query", "query[0]"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	// Children are indented under parents.
+	if strings.Index(sum, "mediation") < strings.Index(sum, "build") {
+		t.Errorf("ordering wrong:\n%s", sum)
+	}
+}
+
+func TestTraceConcurrentChildren(t *testing.T) {
+	tr := NewTrace("t")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Root().Child("c").Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Root().Children()); n != 800 {
+		t.Errorf("children = %d, want 800", n)
+	}
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a trace, with parent/child nesting. A
+// span is open until Finish is called; Duration of an open span is the
+// time elapsed so far. Child creation and finishing are safe for
+// concurrent use.
+type Span struct {
+	Name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	done     bool
+	children []*Span
+}
+
+// Start returns the span's start time.
+func (s *Span) Start() time.Time { return s.start }
+
+// Finish closes the span. Finishing twice keeps the first end time.
+func (s *Span) Finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		s.done = true
+		s.end = time.Now()
+	}
+}
+
+// Duration is the span's elapsed time (up to now if still open).
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.end.Sub(s.start)
+	}
+	return time.Since(s.start)
+}
+
+// Child starts a nested span.
+func (s *Span) Child(name string) *Span {
+	c := &Span{Name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Children returns a snapshot of the nested spans.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Trace is a tree of spans rooted at one operation (e.g. a site
+// build). Use Root().Child(...) for phases and Summary() for a
+// human-readable timeline.
+type Trace struct {
+	root *Span
+}
+
+// NewTrace starts a trace whose root span begins now.
+func NewTrace(name string) *Trace {
+	return &Trace{root: &Span{Name: name, start: time.Now()}}
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// Finish closes the root span.
+func (t *Trace) Finish() { t.root.Finish() }
+
+// Duration is the root span's elapsed time.
+func (t *Trace) Duration() time.Duration { return t.root.Duration() }
+
+// Summary renders the span tree as an indented timeline: one line per
+// span with its offset from the trace start, its duration, and its
+// share of the root duration.
+func (t *Trace) Summary() string {
+	var sb strings.Builder
+	t.WriteSummary(&sb)
+	return sb.String()
+}
+
+// WriteSummary writes Summary to w.
+func (t *Trace) WriteSummary(w io.Writer) {
+	total := t.root.Duration()
+	writeSpan(w, t.root, t.root.start, total, 0)
+}
+
+func writeSpan(w io.Writer, s *Span, t0 time.Time, total time.Duration, depth int) {
+	d := s.Duration()
+	pct := 100.0
+	if total > 0 {
+		pct = 100 * float64(d) / float64(total)
+	}
+	fmt.Fprintf(w, "%s%-*s %10s  +%-10s %5.1f%%\n",
+		strings.Repeat("  ", depth), 24-2*depth, s.Name,
+		round(d), round(s.start.Sub(t0)), pct)
+	for _, c := range s.Children() {
+		writeSpan(w, c, t0, total, depth+1)
+	}
+}
+
+// round trims durations to a readable precision.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}

@@ -1,9 +1,10 @@
 # Verify loop. `make check` is the gate every change must pass: build,
-# vet, the full test suite, and the race detector over the atomic
-# telemetry counters and the concurrent click-time cache.
+# vet, the full test suite, the race detector over the atomic
+# telemetry counters and the concurrent click-time cache, and the
+# chaos suite (fault-injected sources under concurrent load).
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench chaos check
 
 build:
 	$(GO) build ./...
@@ -20,4 +21,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-check: build vet test race
+# Fault-injection suite: flaky/hanging sources and overload against
+# the full serving stack, twice, under the race detector.
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos' ./internal/server/
+
+check: build vet test race chaos

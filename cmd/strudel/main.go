@@ -5,11 +5,18 @@
 //
 //	strudel build -manifest site.manifest -out dir/ [-trace]
 //	strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics]
+//	              [-refresh-interval 5m] [-request-timeout 10s] [-max-inflight 256]
 //	strudel stats -manifest site.manifest [-trace]
 //
 // -trace prints the build's span timeline (mediation → query → verify
 // → generate). -metrics instruments the server and exposes /metrics
 // (Prometheus text format), /debug/vars and /debug/pprof.
+// -refresh-interval rebuilds the site from its sources in the
+// background and swaps the result in atomically; a failed or degraded
+// refresh keeps serving the last good build. -request-timeout bounds
+// each dynamic page computation (504 past the deadline), and
+// -max-inflight sheds excess concurrent requests with 503 instead of
+// queueing them. The server shuts down gracefully on SIGINT/SIGTERM.
 //
 // A manifest is a line-oriented file (# comments allowed):
 //
@@ -33,12 +40,19 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"strudel/internal/core"
+	"strudel/internal/graph"
+	"strudel/internal/incremental"
 	"strudel/internal/schema"
 	"strudel/internal/server"
+	"strudel/internal/sitegen"
 	"strudel/internal/telemetry"
 )
 
@@ -70,6 +84,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   strudel build -manifest site.manifest -out dir/ [-trace]
   strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics]
+                [-refresh-interval 5m] [-request-timeout 10s] [-max-inflight 256]
   strudel stats -manifest site.manifest [-trace]`)
 }
 
@@ -252,6 +267,12 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	dynamic := fs.Bool("dynamic", false, "compute pages at click time instead of materializing")
 	metrics := fs.Bool("metrics", false, "instrument serving and expose /metrics, /debug/vars, /debug/pprof")
+	refreshInterval := fs.Duration("refresh-interval", 0,
+		"rebuild the site from its sources this often (0 disables); a failed refresh keeps serving the last good build")
+	requestTimeout := fs.Duration("request-timeout", 10*time.Second,
+		"render deadline per dynamic page computation (0 disables)")
+	maxInflight := fs.Int("max-inflight", 256,
+		"max concurrently served requests before shedding with 503 (0 disables)")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
@@ -261,52 +282,132 @@ func cmdServe(args []string) error {
 	if *metrics {
 		reg = telemetry.NewRegistry()
 	}
-	handler, err := serveHandler(m, *dynamic, reg)
+	handler, refresh, err := serveHandler(m, *dynamic, reg, *requestTimeout, *maxInflight)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s on http://%s (dynamic=%v, metrics=%v)\n", m.name, *addr, *dynamic, *metrics)
-	return http.ListenAndServe(*addr, handler)
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "strudel: shutting down")
+		close(stop)
+	}()
+	if *refreshInterval > 0 {
+		go refreshLoop(refresh, *refreshInterval, stop)
+	}
+	fmt.Printf("serving %s on http://%s (dynamic=%v, metrics=%v, refresh=%v)\n",
+		m.name, *addr, *dynamic, *metrics, *refreshInterval)
+	return server.ServeUntil(server.NewServer(*addr, handler), stop, 5*time.Second)
 }
 
-// serveHandler builds the HTTP handler for a manifest: either the
-// fully materialized site (plus /query for ad-hoc site queries) or
-// click-time evaluation. With a non-nil registry the whole pipeline
-// reports into it and the debug endpoints are mounted.
-func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry) (http.Handler, error) {
-	if reg != nil {
-		m.builder.SetTelemetry(reg)
+// refreshLoop re-runs refresh every interval until stop fires. A hard
+// failure (no last-good data to fall back on) backs off exponentially,
+// capped at 10× the interval, so a broken source set is not hammered;
+// the server keeps answering from the last good build throughout.
+func refreshLoop(refresh func() error, interval time.Duration, stop <-chan struct{}) {
+	delay := interval
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(delay):
+		}
+		if err := refresh(); err != nil {
+			fmt.Fprintf(os.Stderr, "strudel: refresh failed (serving stale data): %v\n", err)
+			delay = min(delay*2, 10*interval)
+		} else {
+			delay = interval
+		}
 	}
+}
+
+// serveHandler builds the HTTP handler for a manifest — the fully
+// materialized site or click-time evaluation, each with /query for
+// ad-hoc StruQL queries — plus a refresh function that rebuilds from
+// the sources and atomically swaps the new result in (in-flight
+// requests keep their snapshot). The handler is hardened: panics in
+// one request answer 500 without taking the process down, and beyond
+// maxInflight concurrent requests new ones are shed with 503. With a
+// non-nil registry the whole pipeline reports into it and the debug
+// endpoints are mounted (outside the shedding chain, so /metrics
+// stays reachable under overload).
+func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTimeout time.Duration, maxInflight int) (http.Handler, func() error, error) {
+	m.builder.SetTelemetry(reg)
+	mode := "static"
 	if dynamic {
-		r, err := m.builder.BuildDynamic()
-		if err != nil {
-			return nil, err
-		}
-		h := server.DynamicWith(r, m.rootColl, reg)
-		if reg == nil {
-			return h, nil
-		}
-		mux := http.NewServeMux()
-		mux.Handle("/", server.Instrument(reg, "dynamic", h))
-		server.AttachDebug(mux, reg)
-		return mux, nil
-	}
-	res, err := m.builder.Build()
-	if err != nil {
-		return nil, err
-	}
-	for _, v := range res.Violations {
-		fmt.Fprintln(os.Stderr, "warning:", v)
+		mode = "dynamic"
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/query", http.StripPrefix("/query", server.QueryHandler(res.SiteGraph, nil, 0)))
-	if reg == nil {
-		mux.Handle("/", server.Static(res.Site))
-		return mux, nil
+	var refresh func() error
+
+	if dynamic {
+		r0, err := m.builder.BuildDynamic()
+		if err != nil {
+			return nil, nil, err
+		}
+		var cur atomic.Pointer[incremental.Renderer]
+		cur.Store(r0)
+		mux.Handle("/", server.DynamicFrom(cur.Load, m.rootColl,
+			server.DynamicConfig{Registry: reg, RenderTimeout: renderTimeout}))
+		// Ad-hoc queries run against the same data-graph snapshot the
+		// click-time pages see.
+		mux.Handle("/query", http.StripPrefix("/query", server.QueryHandlerFrom(
+			func() *graph.Graph { return cur.Load().Dec.Input() }, m.builder.Registry(), 0)))
+		refresh = func() error {
+			r, err := m.builder.BuildDynamic()
+			if err != nil {
+				return err
+			}
+			warnDegraded(m.builder)
+			cur.Store(r)
+			return nil
+		}
+	} else {
+		res, err := m.builder.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "warning:", v)
+		}
+		type built struct {
+			site      *sitegen.Site
+			siteGraph *graph.Graph
+		}
+		var cur atomic.Pointer[built]
+		cur.Store(&built{res.Site, res.SiteGraph})
+		mux.Handle("/", server.StaticFrom(func() *sitegen.Site { return cur.Load().site }))
+		mux.Handle("/query", http.StripPrefix("/query", server.QueryHandlerFrom(
+			func() *graph.Graph { return cur.Load().siteGraph }, m.builder.Registry(), 0)))
+		refresh = func() error {
+			res, err := m.builder.Build()
+			if err != nil {
+				return err
+			}
+			warnDegraded(m.builder)
+			cur.Store(&built{res.Site, res.SiteGraph})
+			return nil
+		}
 	}
-	mux.Handle("/", server.Instrument(reg, "static", server.Static(res.Site)))
-	server.AttachDebug(mux, reg)
-	return mux, nil
+
+	var h http.Handler = server.Shed(reg, mode, maxInflight, server.Recover(reg, mode, mux))
+	if reg == nil {
+		return h, refresh, nil
+	}
+	outer := http.NewServeMux()
+	outer.Handle("/", server.Instrument(reg, mode, h))
+	server.AttachDebug(outer, reg)
+	return outer, refresh, nil
+}
+
+// warnDegraded logs which sources the last refresh served from stale
+// data, so operators see partial failures that did not stop the build.
+func warnDegraded(b *core.Builder) {
+	if rep := b.LastRefresh(); rep != nil && !rep.Ok() {
+		fmt.Fprintln(os.Stderr, "strudel: refresh degraded:", rep.Summary())
+	}
 }
 
 func cmdStats(args []string) error {

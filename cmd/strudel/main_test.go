@@ -155,9 +155,12 @@ func TestServeHandlerStaticAndDynamic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h, err := serveHandler(m, dynamic, nil)
+		h, refresh, err := serveHandler(m, dynamic, nil, 0, 0)
 		if err != nil {
 			t.Fatalf("dynamic=%v: %v", dynamic, err)
+		}
+		if refresh == nil {
+			t.Fatalf("dynamic=%v: nil refresh func", dynamic)
 		}
 		srv := httptest.NewServer(h)
 		resp, err := http.Get(srv.URL + "/")
@@ -171,19 +174,77 @@ func TestServeHandlerStaticAndDynamic(t *testing.T) {
 			t.Errorf("dynamic=%v: %d %q", dynamic, resp.StatusCode, body)
 		}
 	}
-	// Static mode also mounts /query.
-	m, _ := loadManifest(filepath.Join(dir, "site.manifest"))
-	h, _ := serveHandler(m, false, nil)
-	srv := httptest.NewServer(h)
-	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/query")
+}
+
+// TestServeHandlerQueryEndpointBothModes: /query is mounted in static
+// AND dynamic mode — the ad-hoc query page the paper motivates is not
+// an artifact of one serving strategy.
+func TestServeHandlerQueryEndpointBothModes(t *testing.T) {
+	dir := writeTestSite(t)
+	for _, dynamic := range []bool{false, true} {
+		m, err := loadManifest(filepath.Join(dir, "site.manifest"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _, err := serveHandler(m, dynamic, nil, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(h)
+		resp, err := http.Get(srv.URL + "/query")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		srv.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(body), "<form") {
+			t.Errorf("dynamic=%v: /query = %d %q", dynamic, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestServeHandlerRefreshSwaps: the refresh function returned by
+// serveHandler rebuilds from the (changed) sources and swaps the new
+// site in while the server keeps running.
+func TestServeHandlerRefreshSwaps(t *testing.T) {
+	dir := writeTestSite(t)
+	m, err := loadManifest(filepath.Join(dir, "site.manifest"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if !strings.Contains(string(body), "<form") {
-		t.Errorf("/query = %q", body)
+	h, refresh, err := serveHandler(m, true, nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	fetchBody := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	// Discover the paper page from the root, then click through.
+	if body := fetchBody("/"); !strings.Contains(body, "PaperPage%28p1%29") {
+		t.Fatalf("root body = %q", body)
+	}
+	if body := fetchBody("/page/PaperPage%28p1%29"); !strings.Contains(body, "Alpha") {
+		t.Fatalf("paper page = %q", body)
+	}
+	if err := refresh(); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	// The refreshed renderer serves the same site; page keys resolve
+	// again after rediscovery from the root.
+	if body := fetchBody("/"); !strings.Contains(body, "PaperPage%28p1%29") {
+		t.Errorf("post-refresh root = %q", body)
+	}
+	if body := fetchBody("/page/PaperPage%28p1%29"); !strings.Contains(body, "Alpha") {
+		t.Errorf("post-refresh paper page = %q", body)
 	}
 }
 
@@ -198,7 +259,7 @@ func TestServeHandlerMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := telemetry.NewRegistry()
-	h, err := serveHandler(m, true, reg)
+	h, _, err := serveHandler(m, true, reg, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

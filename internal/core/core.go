@@ -75,6 +75,25 @@ func (b *Builder) AddSource(name, kind, content string) error {
 	return b.med.AddSource(name, kind, content)
 }
 
+// AddSourceFunc registers an external source whose content comes from
+// a fetch function called on every refresh — a remote source that may
+// change, fail, or hang. Pair with SetResilience to bound how failures
+// are handled.
+func (b *Builder) AddSourceFunc(name, kind string, fetch func() (string, error)) error {
+	return b.med.AddSourceFunc(name, kind, fetch)
+}
+
+// SetResilience configures the mediator's fault tolerance: retries
+// with backoff, per-fetch deadlines, and per-source circuit breakers.
+// The zero value means one attempt, no deadline, no breakers.
+func (b *Builder) SetResilience(cfg mediator.Resilience) { b.med.SetResilience(cfg) }
+
+// LastRefresh reports how the most recent mediated refresh went —
+// which sources are fresh, degraded (serving last-good data), or
+// failed. Nil before the first refresh or when SetDataGraph bypasses
+// the mediator.
+func (b *Builder) LastRefresh() *mediator.RefreshReport { return b.med.LastReport() }
+
 // AddMapping registers a GAV mediation query (its INPUT names a
 // source; its output builds the integrated data graph).
 func (b *Builder) AddMapping(querySrc string) error {
@@ -153,6 +172,7 @@ func (b *Builder) EnableOptimizer() { b.optimize = true }
 // and builds are traced span by span regardless. Pass nil to detach.
 func (b *Builder) SetTelemetry(reg *telemetry.Registry) {
 	b.telem = reg
+	b.med.Instrument(reg)
 	if reg != nil {
 		b.repo.Instrument(reg)
 	}
@@ -183,6 +203,10 @@ type Result struct {
 	// Trace is the build-scoped span tree (mediation → query → verify
 	// → generate); Trace.Summary() renders a timeline.
 	Trace *telemetry.Trace
+	// Refresh reports per-source mediation outcomes (fresh, degraded
+	// to last-good data, failed). Nil when SetDataGraph bypassed the
+	// mediator.
+	Refresh *mediator.RefreshReport
 	// Violations are constraint failures; Build returns them without
 	// error so callers can decide whether to publish anyway.
 	Violations []error
@@ -277,6 +301,9 @@ func (b *Builder) Build() (*Result, error) {
 		return nil, err
 	}
 	res.DataGraph = data
+	if b.dataGraph == nil {
+		res.Refresh = b.med.LastReport()
+	}
 
 	qsp := tr.Root().Child("query")
 	site, bindings, err := b.evalQueries(data, qsp)

@@ -50,6 +50,17 @@ func (db *Database) MustGraph(name string) *Graph {
 	return g
 }
 
+// Sibling creates a graph that shares the database's OID space but is
+// NOT registered: readers of the database cannot see it. It is the
+// staging half of an atomic swap — build the replacement off to the
+// side, then Attach it to publish, so a failed build leaves the
+// registered graphs untouched.
+func (db *Database) Sibling(name string) *Graph {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return newGraph(name, db.alloc)
+}
+
 // Attach registers an externally built standalone graph under its own
 // name, adopting the database's OID space for future allocations. The
 // graph's existing OIDs are reserved so they cannot collide.

@@ -212,6 +212,12 @@ func (d *Decomposition) evalBindings(conds []struql.Condition, seed []struql.Bin
 	return struql.EvalBindings(d.input, d.reg, conds, seed)
 }
 
+// Input returns the data graph this decomposition evaluates over.
+// Serving layers use it to expose ad-hoc queries against the same
+// snapshot the click-time pages see; after a refresh swaps in a new
+// renderer, its Input is the newly committed graph.
+func (d *Decomposition) Input() *graph.Graph { return d.input }
+
 // Functions lists the page classes (Skolem functions), sorted.
 func (d *Decomposition) Functions() []string {
 	out := make([]string, 0, len(d.pages))

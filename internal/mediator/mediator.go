@@ -12,11 +12,16 @@
 package mediator
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"strudel/internal/graph"
 	"strudel/internal/repository"
+	"strudel/internal/resilience"
 	"strudel/internal/struql"
+	"strudel/internal/telemetry"
 	"strudel/internal/wrapper"
 )
 
@@ -43,6 +48,42 @@ type Source struct {
 	Fetch func() (string, error)
 }
 
+// Resilience configures fault tolerance for Refresh. The zero value
+// means one fetch attempt, no deadline, no circuit breaker — failures
+// still degrade to last-good data, but nothing is retried.
+type Resilience struct {
+	// Retry schedules repeated fetch attempts per source.
+	Retry resilience.RetryPolicy
+	// FetchTimeout bounds each fetch attempt (0 = unbounded). A source
+	// that hangs past the deadline counts as failed; its goroutine is
+	// abandoned.
+	FetchTimeout time.Duration
+	// BreakerThreshold opens a per-source circuit breaker after that
+	// many consecutive failed acquisitions (0 disables breakers), so a
+	// dead source is not re-fetched and re-timed-out on every refresh.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// admitting a probe.
+	BreakerCooldown time.Duration
+	// Clock drives backoff, deadlines and breaker cooldowns; nil means
+	// the wall clock. Tests inject a resilience.FakeClock.
+	Clock resilience.Clock
+	// Rand supplies backoff jitter in [0,1); nil means math/rand.
+	Rand func() float64
+}
+
+// medMetrics are the mediator's telemetry handles (nil when not
+// instrumented).
+type medMetrics struct {
+	reg            *telemetry.Registry
+	refreshOK      *telemetry.Counter
+	refreshDegr    *telemetry.Counter
+	refreshFail    *telemetry.Counter
+	retries        *telemetry.Counter
+	degradedGauge  *telemetry.Gauge
+	breakerRejects *telemetry.Counter
+}
+
 // Mediator integrates a set of sources into one warehouse graph.
 type Mediator struct {
 	repo      *repository.Repository
@@ -52,16 +93,150 @@ type Mediator struct {
 	registry  *struql.Registry
 	// Refreshes counts warehouse rebuilds, for diagnostics.
 	Refreshes int
+
+	// mu serializes Refresh (a background refresher and a foreground
+	// rebuild must not interleave staging) and guards the fields below.
+	mu         sync.Mutex
+	res        Resilience
+	breakers   map[string]*resilience.Breaker
+	lastGood   map[string]*graph.Graph
+	staleSince map[string]time.Time
+	lastReport *RefreshReport
+	met        *medMetrics
 }
 
 // New creates a mediator that materializes its integrated view in the
 // named warehouse graph of the repository.
 func New(repo *repository.Repository, warehouseName string) *Mediator {
 	return &Mediator{
-		repo:      repo,
-		warehouse: warehouseName,
-		registry:  struql.NewRegistry(),
+		repo:       repo,
+		warehouse:  warehouseName,
+		registry:   struql.NewRegistry(),
+		breakers:   map[string]*resilience.Breaker{},
+		lastGood:   map[string]*graph.Graph{},
+		staleSince: map[string]time.Time{},
 	}
+}
+
+// SetResilience configures retry, fetch deadlines and circuit breakers
+// for subsequent Refreshes. Existing breaker state is discarded.
+func (m *Mediator) SetResilience(cfg Resilience) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.res = cfg
+	m.breakers = map[string]*resilience.Breaker{}
+}
+
+// Instrument makes refreshes report into a telemetry registry: refresh
+// outcomes, fetch retries, the number of currently degraded sources,
+// breaker rejections, and per-source breaker state gauges
+// (0 closed, 1 half-open, 2 open). Pass nil to detach.
+func (m *Mediator) Instrument(reg *telemetry.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if reg == nil {
+		m.met = nil
+		return
+	}
+	refresh := func(result string) *telemetry.Counter {
+		return reg.Counter("strudel_mediator_refresh_total",
+			"Warehouse refreshes, by outcome (ok, degraded, failed).",
+			"result", result)
+	}
+	m.met = &medMetrics{
+		reg:         reg,
+		refreshOK:   refresh("ok"),
+		refreshDegr: refresh("degraded"),
+		refreshFail: refresh("failed"),
+		retries: reg.Counter("strudel_mediator_fetch_retries_total",
+			"Source fetch attempts beyond the first, across all sources."),
+		degradedGauge: reg.Gauge("strudel_mediator_degraded_sources",
+			"Sources currently served from last-good data."),
+		breakerRejects: reg.Counter("strudel_mediator_breaker_rejections_total",
+			"Source fetches skipped because the circuit breaker was open."),
+	}
+}
+
+// LastReport returns the report of the most recent Refresh (nil before
+// the first).
+func (m *Mediator) LastReport() *RefreshReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastReport
+}
+
+func (m *Mediator) clock() resilience.Clock {
+	if m.res.Clock == nil {
+		return resilience.Real
+	}
+	return m.res.Clock
+}
+
+// breakerFor returns (creating on first use) the source's circuit
+// breaker, or nil when breakers are disabled. Callers hold m.mu.
+func (m *Mediator) breakerFor(name string) *resilience.Breaker {
+	if m.res.BreakerThreshold <= 0 {
+		return nil
+	}
+	if b, ok := m.breakers[name]; ok {
+		return b
+	}
+	b := resilience.NewBreaker(m.res.BreakerThreshold, m.res.BreakerCooldown, m.clock())
+	source := name
+	b.OnStateChange(func(from, to resilience.BreakerState) {
+		if m.met == nil {
+			return
+		}
+		m.met.reg.Counter("strudel_mediator_breaker_transitions_total",
+			"Circuit breaker state transitions, by source and new state.",
+			"source", source, "to", to.String()).Inc()
+		m.met.reg.Gauge("strudel_mediator_breaker_state",
+			"Circuit breaker position per source (0 closed, 1 half-open, 2 open).",
+			"source", source).Set(float64(to))
+	})
+	m.breakers[name] = b
+	return b
+}
+
+// acquire fetches one source's content through breaker, retry and
+// per-attempt deadline. Callers hold m.mu.
+func (m *Mediator) acquire(s *Source) (string, int, error) {
+	br := m.breakerFor(s.Name)
+	if br != nil {
+		if err := br.Allow(); err != nil {
+			if m.met != nil {
+				m.met.breakerRejects.Inc()
+			}
+			return "", 0, err
+		}
+	}
+	var content string
+	attempts := 0
+	retrier := &resilience.Retrier{
+		Policy: m.res.Retry,
+		Clock:  m.clock(),
+		Rand:   m.res.Rand,
+		OnRetry: func(int, time.Duration, error) {
+			if m.met != nil {
+				m.met.retries.Inc()
+			}
+		},
+	}
+	_, err := retrier.Do(func() error {
+		attempts++
+		return resilience.WithTimeout(m.clock(), m.res.FetchTimeout, func() error {
+			c, err := s.Fetch()
+			if err != nil {
+				return err
+			}
+			content = c
+			return nil
+		})
+	})
+	if br != nil {
+		br.Report(err)
+	}
+	return content, attempts, err
 }
 
 // Registry exposes the predicate registry used by mapping queries.
@@ -79,6 +254,18 @@ func (m *Mediator) AddSource(name, kind, content string) error {
 		Wrapper: w,
 		Fetch:   func() (string, error) { return content, nil },
 	})
+	return nil
+}
+
+// AddSourceFunc registers a source whose content is produced by a
+// fetch function called on every Refresh, with a built-in wrapper
+// kind — a remote source, as opposed to AddSource's static text.
+func (m *Mediator) AddSourceFunc(name, kind string, fetch func() (string, error)) error {
+	w, ok := wrapper.ByName(kind)
+	if !ok {
+		return fmt.Errorf("mediator: unknown wrapper kind %q for source %q", kind, name)
+	}
+	m.sources = append(m.sources, &Source{Name: name, Wrapper: w, Fetch: fetch})
 	return nil
 }
 
@@ -102,46 +289,127 @@ func (m *Mediator) AddMapping(q *struql.Query) error {
 // scratch. Incremental view maintenance for semistructured data is an
 // open problem the paper defers (Sec. 6); full rebuild matches its
 // prototype. The warehouse graph object is replaced in the repository;
-// callers must re-resolve it.
+// callers must re-resolve it. See RefreshWithReport for the semantics
+// under source failure.
 func (m *Mediator) Refresh() (*graph.Graph, error) {
+	wh, _, err := m.RefreshWithReport()
+	return wh, err
+}
+
+// RefreshWithReport rebuilds the warehouse with per-source fault
+// tolerance and returns what happened source by source.
+//
+// Everything is staged off to the side: source graphs and the new
+// warehouse are built as unregistered siblings of the repository
+// database and committed only when the whole build succeeds, so a
+// failed refresh never leaves the repository partial — readers keep
+// the previous warehouse and src:* graphs.
+//
+// A source whose fetch fails (after the configured retries, deadline
+// and breaker) degrades rather than aborts: its last-good graph
+// feeds the new warehouse, the report marks it Degraded with the time
+// it went stale, and the refresh continues. Only a failing source
+// with no last-good copy — typically the very first refresh — aborts
+// the refresh as a whole, with nothing committed.
+func (m *Mediator) RefreshWithReport() (*graph.Graph, *RefreshReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	db := m.repo.Database()
-	// Wrap sources into per-source graphs.
-	srcGraphs := map[string]*graph.Graph{}
-	for _, s := range m.sources {
-		content, err := s.Fetch()
-		if err != nil {
-			return nil, fmt.Errorf("mediator: fetching source %q: %w", s.Name, err)
-		}
-		name := "src:" + s.Name
-		db.Drop(name)
-		g := db.NewGraph(name)
-		if err := s.Wrapper.Wrap(g, s.Name, content); err != nil {
-			return nil, fmt.Errorf("mediator: wrapping source %q: %w", s.Name, err)
-		}
-		m.repo.Invalidate(name)
-		srcGraphs[s.Name] = g
+	now := m.clock().Now()
+	report := &RefreshReport{At: now}
+	abort := func(err error) (*graph.Graph, *RefreshReport, error) {
+		m.lastReport = report
+		m.observeRefresh(report, true)
+		return nil, report, err
 	}
-	// Rebuild the warehouse.
-	db.Drop(m.warehouse)
-	wh := db.NewGraph(m.warehouse)
+
+	// Stage: wrap each source into an unregistered sibling graph, or
+	// fall back to its last-good graph.
+	use := map[string]*graph.Graph{}   // graph feeding this build, per source
+	fresh := map[string]*graph.Graph{} // newly staged graphs, committed at the end
+	for _, s := range m.sources {
+		st := SourceStatus{Name: s.Name, State: Fresh}
+		content, attempts, err := m.acquire(s)
+		st.Attempts = attempts
+		if err == nil {
+			g := db.Sibling("src:" + s.Name)
+			if werr := s.Wrapper.Wrap(g, s.Name, content); werr != nil {
+				err = fmt.Errorf("mediator: wrapping source %q: %w", s.Name, werr)
+			} else {
+				use[s.Name] = g
+				fresh[s.Name] = g
+			}
+		} else if !errors.Is(err, resilience.ErrBreakerOpen) {
+			err = fmt.Errorf("mediator: fetching source %q: %w", s.Name, err)
+		}
+		if err != nil {
+			st.Err = err
+			last, ok := m.lastGood[s.Name]
+			if !ok {
+				st.State = Failed
+				report.Sources = append(report.Sources, st)
+				return abort(err)
+			}
+			if m.staleSince[s.Name].IsZero() {
+				m.staleSince[s.Name] = now
+			}
+			st.State = Degraded
+			st.StaleSince = m.staleSince[s.Name]
+			use[s.Name] = last
+		} else {
+			delete(m.staleSince, s.Name)
+		}
+		report.Sources = append(report.Sources, st)
+	}
+
+	// Build the replacement warehouse, still off to the side.
+	wh := db.Sibling(m.warehouse)
 	for _, s := range m.sources {
 		if s.Mode == Merge {
-			mergeInto(wh, srcGraphs[s.Name])
+			mergeInto(wh, use[s.Name])
 		}
 	}
-	// Apply GAV mappings.
+	// Apply GAV mappings. Their failures are configuration or query
+	// bugs, not source flakiness: abort with nothing committed.
 	for _, q := range m.mappings {
-		src, ok := srcGraphs[q.Input]
+		src, ok := use[q.Input]
 		if !ok {
-			return nil, fmt.Errorf("mediator: mapping query reads unknown source %q", q.Input)
+			return abort(fmt.Errorf("mediator: mapping query reads unknown source %q", q.Input))
 		}
 		if _, err := struql.Eval(q, src, &struql.Options{Output: wh, Registry: m.registry}); err != nil {
-			return nil, fmt.Errorf("mediator: mapping over source %q: %w", q.Input, err)
+			return abort(fmt.Errorf("mediator: mapping over source %q: %w", q.Input, err))
 		}
 	}
-	m.repo.Invalidate(m.warehouse)
+
+	// Commit: publish the fresh source graphs and the new warehouse.
+	// Each Put is an atomic pointer swap in the database; readers
+	// holding the old graphs keep a consistent (if stale) view.
+	for name, g := range fresh {
+		m.repo.Put(g)
+		m.lastGood[name] = g
+	}
+	m.repo.Put(wh)
 	m.Refreshes++
-	return wh, nil
+	m.lastReport = report
+	m.observeRefresh(report, false)
+	return wh, report, nil
+}
+
+// observeRefresh records a refresh outcome in telemetry.
+func (m *Mediator) observeRefresh(r *RefreshReport, failed bool) {
+	if m.met == nil {
+		return
+	}
+	degraded := len(r.Degraded())
+	switch {
+	case failed:
+		m.met.refreshFail.Inc()
+	case degraded > 0:
+		m.met.refreshDegr.Inc()
+	default:
+		m.met.refreshOK.Inc()
+	}
+	m.met.degradedGauge.Set(float64(degraded))
 }
 
 // Warehouse returns the current warehouse graph, if Refresh has run.

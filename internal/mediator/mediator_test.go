@@ -4,10 +4,13 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"strudel/internal/graph"
 	"strudel/internal/repository"
+	"strudel/internal/resilience"
 	"strudel/internal/struql"
+	"strudel/internal/telemetry"
 	"strudel/internal/wrapper"
 )
 
@@ -316,5 +319,282 @@ func TestVirtualQueryNoRelevantSource(t *testing.T) {
 	})
 	if _, err := m.VirtualQuery(struql.MustParse(`WHERE Nowhere(x) COLLECT Out(x)`)); err == nil {
 		t.Error("expected error for unknown mediated collection")
+	}
+}
+
+// TestRefreshKeepsLastGoodOnSourceFailure is the regression test for
+// the partial-state bug: a failing second source used to leave src:*
+// graphs dropped and the warehouse partially rebuilt. Now the refresh
+// degrades to the source's last-good graph and commits a complete
+// warehouse atomically.
+func TestRefreshKeepsLastGoodOnSourceFailure(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	w, _ := wrapper.ByName("csv")
+	bContent, bErr := "id,x\nb1,1\nb2,2\n", error(nil)
+	m.AddSource("a.csv", "csv", "id,x\na1,1\n")
+	m.AddSourceDynamic(&Source{
+		Name:    "b.csv",
+		Wrapper: w,
+		Fetch:   func() (string, error) { return bContent, bErr },
+	})
+	wh, report, err := m.RefreshWithReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Ok() {
+		t.Fatalf("first refresh not ok: %s", report.Summary())
+	}
+	if got := len(wh.Collection("B")); got != 2 {
+		t.Fatalf("B = %d", got)
+	}
+
+	// The second source starts failing; a refresh must neither error
+	// nor drop anything.
+	bErr = errors.New("network down")
+	wh2, report2, err := m.RefreshWithReport()
+	if err != nil {
+		t.Fatalf("degraded refresh errored: %v", err)
+	}
+	if degr := report2.Degraded(); len(degr) != 1 || degr[0] != "b.csv" {
+		t.Errorf("degraded = %v", degr)
+	}
+	if st, _ := report2.Source("b.csv"); st.State != Degraded || st.StaleSince.IsZero() || st.Err == nil {
+		t.Errorf("b.csv status = %+v", st)
+	}
+	if st, _ := report2.Source("a.csv"); st.State != Fresh {
+		t.Errorf("a.csv status = %+v", st)
+	}
+	// Both src:* graphs are still registered and queryable.
+	for _, name := range []string{"src:a.csv", "src:b.csv"} {
+		if _, ok := repo.Graph(name); !ok {
+			t.Errorf("%s dropped from repository", name)
+		}
+	}
+	// The new warehouse still integrates b's last-good data.
+	if got := len(wh2.Collection("B")); got != 2 {
+		t.Errorf("warehouse lost degraded source data: B = %d", got)
+	}
+	if got := len(wh2.Collection("A")); got != 1 {
+		t.Errorf("A = %d", got)
+	}
+	if m.Refreshes != 2 {
+		t.Errorf("Refreshes = %d", m.Refreshes)
+	}
+
+	// Recovery: the source comes back, staleness clears.
+	bErr = nil
+	bContent = "id,x\nb1,1\nb2,2\nb3,3\n"
+	wh3, report3, err := m.RefreshWithReport()
+	if err != nil || !report3.Ok() {
+		t.Fatalf("recovery refresh: %v %s", err, report3.Summary())
+	}
+	if got := len(wh3.Collection("B")); got != 3 {
+		t.Errorf("after recovery B = %d", got)
+	}
+	if st, _ := report3.Source("b.csv"); !st.StaleSince.IsZero() {
+		t.Errorf("stale-since not cleared: %+v", st)
+	}
+}
+
+// TestRefreshAtomicOnFirstFailure: with no last-good copy to fall back
+// on, a failing source aborts the refresh — and stages nothing: no
+// src:* graphs, no warehouse, no partial state.
+func TestRefreshAtomicOnFirstFailure(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	w, _ := wrapper.ByName("csv")
+	m.AddSource("a.csv", "csv", "id,x\na1,1\n")
+	m.AddSourceDynamic(&Source{
+		Name:    "b.csv",
+		Wrapper: w,
+		Fetch:   func() (string, error) { return "", errors.New("down") },
+	})
+	_, report, err := m.RefreshWithReport()
+	if err == nil {
+		t.Fatal("expected hard error with no last-good copy")
+	}
+	if !report.Failed() {
+		t.Errorf("report = %s", report.Summary())
+	}
+	for _, name := range []string{"src:a.csv", "src:b.csv", "DataGraph"} {
+		if _, ok := repo.Graph(name); ok {
+			t.Errorf("%s committed despite aborted refresh", name)
+		}
+	}
+	if m.Refreshes != 0 {
+		t.Errorf("Refreshes = %d", m.Refreshes)
+	}
+	if m.LastReport() != report {
+		t.Error("LastReport not recorded")
+	}
+}
+
+// TestRefreshRetriesWithInjectedClock drives the retry schedule with
+// an auto-advancing fake clock: no real sleeps, deterministic backoff.
+func TestRefreshRetriesWithInjectedClock(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	w, _ := wrapper.ByName("csv")
+	calls := 0
+	m.AddSourceDynamic(&Source{
+		Name:    "t.csv",
+		Wrapper: w,
+		Fetch: func() (string, error) {
+			calls++
+			if calls < 3 {
+				return "", errors.New("transient")
+			}
+			return "id,x\na,1\n", nil
+		},
+	})
+	clock := resilience.NewAutoClock(time.Date(1997, 5, 1, 0, 0, 0, 0, time.UTC))
+	m.SetResilience(Resilience{
+		Retry: resilience.RetryPolicy{MaxAttempts: 4, BaseDelay: 250 * time.Millisecond},
+		Clock: clock,
+	})
+	_, report, err := m.RefreshWithReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := report.Source("t.csv")
+	if st.State != Fresh || st.Attempts != 3 {
+		t.Errorf("status = %+v", st)
+	}
+	sleeps := clock.Sleeps()
+	if len(sleeps) != 2 || sleeps[0] != 250*time.Millisecond || sleeps[1] != 500*time.Millisecond {
+		t.Errorf("backoff schedule = %v", sleeps)
+	}
+}
+
+// TestRefreshBreakerSkipsDeadSource: after the breaker opens, refreshes
+// stop calling Fetch entirely and serve last-good data until the
+// cooldown admits a probe.
+func TestRefreshBreakerSkipsDeadSource(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	w, _ := wrapper.ByName("csv")
+	calls, fail := 0, false
+	m.AddSourceDynamic(&Source{
+		Name:    "t.csv",
+		Wrapper: w,
+		Fetch: func() (string, error) {
+			calls++
+			if fail {
+				return "", errors.New("down")
+			}
+			return "id,x\na,1\n", nil
+		},
+	})
+	clock := resilience.NewFakeClock(time.Date(1997, 5, 1, 0, 0, 0, 0, time.UTC))
+	m.SetResilience(Resilience{
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+		Clock:            clock,
+	})
+	if _, err := m.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	// This refresh fails the fetch and opens the breaker.
+	if _, report, err := m.RefreshWithReport(); err != nil || len(report.Degraded()) != 1 {
+		t.Fatalf("err=%v report=%s", err, report.Summary())
+	}
+	callsAfterOpen := calls
+	// Breaker open: degraded without even calling Fetch.
+	_, report, err := m.RefreshWithReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != callsAfterOpen {
+		t.Errorf("open breaker still fetched (calls %d -> %d)", callsAfterOpen, calls)
+	}
+	if st, _ := report.Source("t.csv"); st.State != Degraded || st.Attempts != 0 || !errors.Is(st.Err, resilience.ErrBreakerOpen) {
+		t.Errorf("status = %+v", st)
+	}
+	// After the cooldown the probe goes through; the source recovered.
+	fail = false
+	clock.Advance(2 * time.Minute)
+	_, report, err = m.RefreshWithReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := report.Source("t.csv"); st.State != Fresh {
+		t.Errorf("post-cooldown status = %+v", st)
+	}
+	if calls != callsAfterOpen+1 {
+		t.Errorf("probe calls = %d, want %d", calls, callsAfterOpen+1)
+	}
+}
+
+// TestRefreshHangingFetchTimesOut bounds a hanging source with the
+// fetch deadline and falls back to last-good data.
+func TestRefreshHangingFetchTimesOut(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	w, _ := wrapper.ByName("csv")
+	hang := make(chan struct{})
+	defer close(hang)
+	hanging := false
+	m.AddSourceDynamic(&Source{
+		Name:    "t.csv",
+		Wrapper: w,
+		Fetch: func() (string, error) {
+			if hanging {
+				<-hang
+			}
+			return "id,x\na,1\n", nil
+		},
+	})
+	m.SetResilience(Resilience{FetchTimeout: 5 * time.Millisecond})
+	if _, err := m.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	hanging = true
+	_, report, err := m.RefreshWithReport()
+	if err != nil {
+		t.Fatalf("hanging source aborted refresh: %v", err)
+	}
+	st, _ := report.Source("t.csv")
+	if st.State != Degraded || !errors.Is(st.Err, resilience.ErrTimeout) {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestRefreshTelemetry checks the refresh outcome counters and the
+// degraded-sources gauge.
+func TestRefreshTelemetry(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	reg := telemetry.NewRegistry()
+	m.Instrument(reg)
+	w, _ := wrapper.ByName("csv")
+	var fetchErr error
+	m.AddSourceDynamic(&Source{
+		Name:    "t.csv",
+		Wrapper: w,
+		Fetch:   func() (string, error) { return "id,x\na,1\n", fetchErr },
+	})
+	m.SetResilience(Resilience{Retry: resilience.RetryPolicy{MaxAttempts: 2},
+		Clock: resilience.NewAutoClock(time.Now())})
+	if _, err := m.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	fetchErr = errors.New("down")
+	if _, err := m.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`strudel_mediator_refresh_total{result="ok"} 1`,
+		`strudel_mediator_refresh_total{result="degraded"} 1`,
+		`strudel_mediator_degraded_sources 1`,
+		`strudel_mediator_fetch_retries_total 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
 	}
 }

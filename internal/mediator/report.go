@@ -1,0 +1,125 @@
+package mediator
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SourceState classifies how one source fared during a Refresh.
+type SourceState int
+
+const (
+	// Fresh: the source was fetched and wrapped successfully; the
+	// warehouse reflects its current contents.
+	Fresh SourceState = iota
+	// Degraded: fetching or wrapping failed (or the circuit breaker
+	// rejected the call), and the warehouse was built from the
+	// source's last-good graph instead.
+	Degraded
+	// Failed: the source failed and no last-good graph exists; the
+	// refresh as a whole was aborted with nothing committed.
+	Failed
+)
+
+func (s SourceState) String() string {
+	switch s {
+	case Fresh:
+		return "fresh"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// SourceStatus is one source's outcome in a RefreshReport.
+type SourceStatus struct {
+	Name  string
+	State SourceState
+	// Attempts counts fetch attempts made (0 when the breaker
+	// rejected the call without trying).
+	Attempts int
+	// Err is the final fetch/wrap error for non-fresh sources.
+	Err error
+	// StaleSince is when the source first degraded without recovering
+	// since; zero for fresh sources.
+	StaleSince time.Time
+}
+
+// RefreshReport describes a warehouse refresh source by source,
+// replacing all-or-nothing errors: a refresh that served every source
+// fresh, one that fell back to last-good data for some, and one that
+// had to abort all leave a report behind.
+type RefreshReport struct {
+	// At is when the refresh started.
+	At time.Time
+	// Sources holds one status per configured source, in registration
+	// order (truncated at the failing source when the refresh aborts).
+	Sources []SourceStatus
+}
+
+// Ok reports whether every source was fresh.
+func (r *RefreshReport) Ok() bool {
+	return len(r.Degraded()) == 0 && !r.Failed()
+}
+
+// Degraded lists the names of sources served from last-good data.
+func (r *RefreshReport) Degraded() []string {
+	var out []string
+	for _, s := range r.Sources {
+		if s.State == Degraded {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// Failed reports whether the refresh aborted on a source with no
+// last-good fallback.
+func (r *RefreshReport) Failed() bool {
+	for _, s := range r.Sources {
+		if s.State == Failed {
+			return true
+		}
+	}
+	return false
+}
+
+// Source returns the status for a named source.
+func (r *RefreshReport) Source(name string) (SourceStatus, bool) {
+	for _, s := range r.Sources {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SourceStatus{}, false
+}
+
+// Summary renders a one-line human-readable digest, e.g.
+// "2/3 sources fresh; degraded: b.csv (stale 2m30s): network down".
+func (r *RefreshReport) Summary() string {
+	fresh := 0
+	var bad []string
+	for _, s := range r.Sources {
+		switch s.State {
+		case Fresh:
+			fresh++
+		default:
+			detail := fmt.Sprintf("%s (%s)", s.Name, s.State)
+			if !s.StaleSince.IsZero() {
+				detail = fmt.Sprintf("%s (stale since %s)", s.Name, s.StaleSince.Format(time.RFC3339))
+			}
+			if s.Err != nil {
+				detail += ": " + s.Err.Error()
+			}
+			bad = append(bad, detail)
+		}
+	}
+	out := fmt.Sprintf("%d/%d sources fresh", fresh, len(r.Sources))
+	if len(bad) > 0 {
+		out += "; " + strings.Join(bad, "; ")
+	}
+	return out
+}

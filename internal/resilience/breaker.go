@@ -1,0 +1,159 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// Closed: calls flow normally; consecutive failures are counted.
+	Closed BreakerState = iota
+	// HalfOpen: the cooldown elapsed and one probe call is in flight;
+	// its outcome decides between Closed and Open.
+	HalfOpen
+	// Open: calls are rejected without touching the dependency until
+	// the cooldown elapses.
+	Open
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// ErrBreakerOpen is returned by Allow while the breaker rejects calls.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures
+// in a row open it, rejecting calls for Cooldown; then a single probe
+// is admitted (half-open) and its outcome closes or re-opens the
+// circuit. All transitions are driven by the injected clock.
+type Breaker struct {
+	mu        sync.Mutex
+	clock     Clock
+	threshold int
+	cooldown  time.Duration
+	onChange  func(from, to BreakerState)
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker creates a breaker opening after threshold consecutive
+// failures and probing again after cooldown. clock nil means the wall
+// clock.
+func NewBreaker(threshold int, cooldown time.Duration, clock Clock) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if clock == nil {
+		clock = Real
+	}
+	return &Breaker{clock: clock, threshold: threshold, cooldown: cooldown}
+}
+
+// OnStateChange registers a transition observer (telemetry hook).
+func (b *Breaker) OnStateChange(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onChange = fn
+	b.mu.Unlock()
+}
+
+// State returns the current position, accounting for an elapsed
+// cooldown (an Open breaker past its cooldown reports HalfOpen).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cooldownOver() {
+		return HalfOpen
+	}
+	return b.state
+}
+
+func (b *Breaker) cooldownOver() bool {
+	return !b.clock.Now().Before(b.openedAt.Add(b.cooldown))
+}
+
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
+// Allow reports whether a call may proceed. It returns nil in Closed
+// state, nil for exactly one probe once an Open breaker's cooldown has
+// elapsed, and ErrBreakerOpen otherwise. Every admitted call must be
+// answered with Report.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case HalfOpen:
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	default: // Open
+		if !b.cooldownOver() {
+			return ErrBreakerOpen
+		}
+		b.transition(HalfOpen)
+		b.probing = true
+		return nil
+	}
+}
+
+// Report records the outcome of an admitted call.
+func (b *Breaker) Report(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.failures = 0
+		b.probing = false
+		b.transition(Closed)
+		return
+	}
+	switch b.state {
+	case HalfOpen:
+		b.probing = false
+		b.openedAt = b.clock.Now()
+		b.transition(Open)
+	default:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.clock.Now()
+			b.transition(Open)
+		}
+	}
+}
+
+// Do runs op through the breaker: Allow, op, Report.
+func (b *Breaker) Do(op func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op()
+	b.Report(err)
+	return err
+}

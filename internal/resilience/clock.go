@@ -1,0 +1,107 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so every delay in this package — retry backoff,
+// breaker cooldowns, call deadlines — is testable without real sleeps.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Real is the wall clock.
+var Real Clock = realClock{}
+
+// FakeClock is a manually advanced clock for deterministic tests.
+// Advance moves time forward and fires due timers. With auto-advance
+// (NewAutoClock), After fires immediately and records the requested
+// duration, so code that sleeps between retries runs synchronously and
+// tests assert on the recorded backoff schedule instead of waiting.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	auto   bool
+	timers []fakeTimer
+	sleeps []time.Duration
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a manually advanced clock at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// NewAutoClock starts an auto-advancing clock: every After advances
+// time by the requested duration and fires immediately.
+func NewAutoClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start, auto: true}
+}
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires when the clock passes now+d.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleeps = append(c.sleeps, d)
+	ch := make(chan time.Time, 1)
+	if c.auto || d <= 0 {
+		if c.auto {
+			c.now = c.now.Add(d)
+		}
+		ch <- c.now
+		return ch
+	}
+	c.timers = append(c.timers, fakeTimer{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward, firing timers in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	sort.SliceStable(c.timers, func(i, j int) bool { return c.timers[i].at.Before(c.timers[j].at) })
+	remaining := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			t.ch <- t.at
+		} else {
+			remaining = append(remaining, t)
+		}
+	}
+	c.timers = remaining
+}
+
+// Sleeps returns the durations requested via After, in order — the
+// backoff schedule a retry loop actually asked for.
+func (c *FakeClock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+// Waiting reports how many timers have not fired yet.
+func (c *FakeClock) Waiting() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}

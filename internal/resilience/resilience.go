@@ -1,0 +1,147 @@
+// Package resilience is STRUDEL's fault-tolerance toolkit: retry with
+// exponential backoff and jitter, per-dependency circuit breakers, and
+// deadline-bounded calls. The mediator depends on external sources the
+// paper says "may change frequently" and that live outside our control
+// (Sec. 2.3); this package is how the pipeline keeps publishing a
+// consistent site while those sources misbehave. Like
+// internal/telemetry it is zero-dependency, and every time-dependent
+// behaviour takes an injectable Clock so tests are deterministic and
+// sleep-free.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrTimeout is returned by WithTimeout when the operation does not
+// complete within its deadline.
+var ErrTimeout = errors.New("resilience: operation timed out")
+
+// RetryPolicy describes a bounded retry schedule.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (not re-tries); values
+	// below 1 mean a single attempt with no retry.
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay; 0 means no cap.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts; values below 1 mean 2.
+	Multiplier float64
+	// Jitter randomizes each delay by ±Jitter fraction (0..1), so a
+	// fleet of refreshers does not hammer a recovering source in
+	// lockstep.
+	Jitter float64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Delay computes the backoff after the given 1-based failed attempt.
+// rnd supplies the jitter sample in [0,1); nil uses math/rand.
+func (p RetryPolicy) Delay(attempt int, rnd func() float64) time.Duration {
+	d := float64(p.BaseDelay)
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		if rnd == nil {
+			rnd = rand.Float64
+		}
+		d *= 1 - p.Jitter + 2*p.Jitter*rnd()
+	}
+	return time.Duration(d)
+}
+
+// Retrier executes operations under a RetryPolicy.
+type Retrier struct {
+	Policy RetryPolicy
+	// Clock paces the backoff; nil means the wall clock.
+	Clock Clock
+	// Rand supplies jitter samples in [0,1); nil means math/rand.
+	Rand func() float64
+	// OnRetry observes each scheduled retry: the 1-based attempt that
+	// just failed, the wait before the next one, and the error.
+	OnRetry func(attempt int, delay time.Duration, err error)
+}
+
+func (r *Retrier) clock() Clock {
+	if r.Clock == nil {
+		return Real
+	}
+	return r.Clock
+}
+
+// Do runs op until it succeeds or attempts are exhausted, returning
+// the number of attempts made and the last error.
+func (r *Retrier) Do(op func() error) (int, error) {
+	max := r.Policy.attempts()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || attempt >= max {
+			return attempt, err
+		}
+		delay := r.Policy.Delay(attempt, r.Rand)
+		if r.OnRetry != nil {
+			r.OnRetry(attempt, delay, err)
+		}
+		<-r.clock().After(delay)
+	}
+}
+
+// WithTimeout runs op, bounding the wait by d on the given clock
+// (nil = wall clock; d <= 0 = no deadline). If op has not returned by
+// the deadline, WithTimeout returns ErrTimeout and the caller proceeds;
+// the operation's goroutine is left to finish (or hang) on its own —
+// the price of bounding calls into code that takes no context, and the
+// reason refresh loops must not assume a timed-out fetch released its
+// resources. A panicking op is converted into an error, not a crash.
+func WithTimeout(clock Clock, d time.Duration, op func() error) error {
+	if d <= 0 {
+		return op()
+	}
+	if clock == nil {
+		clock = Real
+	}
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				done <- fmt.Errorf("resilience: operation panicked: %v", rec)
+			}
+		}()
+		done <- op()
+	}()
+	timeout := clock.After(d)
+	select {
+	case err := <-done:
+		return err
+	case <-timeout:
+		// The operation may have finished in the same instant.
+		select {
+		case err := <-done:
+			return err
+		default:
+			return ErrTimeout
+		}
+	}
+}

@@ -22,10 +22,18 @@ import (
 // maxBindings bounds evaluation (0 means 100000) so a stray
 // active-domain query cannot take the server down.
 func QueryHandler(g *graph.Graph, reg *struql.Registry, maxBindings int) http.Handler {
+	return QueryHandlerFrom(func() *graph.Graph { return g }, reg, maxBindings)
+}
+
+// QueryHandlerFrom is QueryHandler over whatever graph the getter
+// currently returns, so ad-hoc queries follow a background refresher's
+// atomic swaps and always see the latest committed graph.
+func QueryHandlerFrom(get func() *graph.Graph, reg *struql.Registry, maxBindings int) http.Handler {
 	if maxBindings == 0 {
 		maxBindings = 100_000
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g := get()
 		src := r.URL.Query().Get("q")
 		if src == "" {
 			w.Header().Set("Content-Type", "text/html; charset=utf-8")

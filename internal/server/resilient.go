@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"strudel/internal/telemetry"
+)
+
+// Recover wraps a handler with panic recovery: a panicking request — a
+// template bug on one page, say — answers 500 and increments the panic
+// counter instead of taking the whole process down. http.ErrAbortHandler
+// is re-raised so deliberate aborts keep their net/http semantics.
+// reg may be nil.
+func Recover(reg *telemetry.Registry, mode string, next http.Handler) http.Handler {
+	var panics *telemetry.Counter
+	if reg != nil {
+		panics = reg.Counter("strudel_http_panics_total",
+			"Requests that panicked and were recovered, by serving mode.",
+			"mode", mode)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			log.Printf("server: %s: panic serving %s: %v\n%s", mode, r.URL.Path, rec, debug.Stack())
+			if panics != nil {
+				panics.Inc()
+			}
+			// Best effort: if the handler already wrote headers this
+			// write is a no-op on the status line.
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Shed wraps a handler with max-in-flight load shedding: when max
+// requests are already being served, new ones are rejected immediately
+// with 503 and a Retry-After header instead of queueing unboundedly —
+// under overload, bounded brown-out beats collapse. max <= 0 disables
+// shedding. reg may be nil.
+func Shed(reg *telemetry.Registry, mode string, max int, next http.Handler) http.Handler {
+	if max <= 0 {
+		return next
+	}
+	var shed *telemetry.Counter
+	if reg != nil {
+		shed = reg.Counter("strudel_http_shed_total",
+			"Requests rejected with 503 because max in-flight was reached, by serving mode.",
+			"mode", mode)
+	}
+	slots := make(chan struct{}, max)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+			next.ServeHTTP(w, r)
+		default:
+			if shed != nil {
+				shed.Inc()
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			http.Error(w, "server overloaded, retry shortly", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// retryAfterSeconds is the backoff hint sent with shed responses.
+const retryAfterSeconds = 1
+
+// NewServer constructs an http.Server with production timeouts: a
+// bare http.ListenAndServe has no header-read or idle timeouts, so one
+// slow-loris client (or a million of them) can pin connections
+// forever. WriteTimeout stays above the 30s pprof CPU profile window
+// so /debug/pprof/profile keeps working on instrumented servers.
+func NewServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// ServeUntil runs srv until stop fires, then shuts it down gracefully:
+// the listener closes, in-flight requests get shutdownTimeout to
+// finish, and a clean shutdown returns nil. A serve error (e.g. the
+// address is taken) is returned as-is.
+func ServeUntil(srv *http.Server, stop <-chan struct{}, shutdownTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -13,6 +13,7 @@
 package server
 
 import (
+	"errors"
 	"expvar"
 	"fmt"
 	"html"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"strudel/internal/incremental"
+	"strudel/internal/resilience"
 	"strudel/internal/sitegen"
 	"strudel/internal/telemetry"
 )
@@ -32,8 +34,17 @@ import (
 // Static returns a handler serving a materialized site. "/" serves
 // index.html when present, else a page listing.
 func Static(site *sitegen.Site) http.Handler {
+	return StaticFrom(func() *sitegen.Site { return site })
+}
+
+// StaticFrom serves whatever site the getter currently returns. A
+// background refresher can atomically swap in a newly built site (via
+// an atomic pointer in the getter) while requests are in flight; each
+// request sees one consistent site snapshot.
+func StaticFrom(get func() *sitegen.Site) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		site := get()
 		path := strings.TrimPrefix(r.URL.Path, "/")
 		if path == "" {
 			path = "index.html"
@@ -87,11 +98,62 @@ func Dynamic(r *incremental.Renderer, rootCollection string) http.Handler {
 // DynamicWith is Dynamic with render errors counted in a telemetry
 // registry (which may be nil).
 func DynamicWith(r *incremental.Renderer, rootCollection string, reg *telemetry.Registry) http.Handler {
+	return DynamicFrom(func() *incremental.Renderer { return r }, rootCollection,
+		DynamicConfig{Registry: reg})
+}
+
+// DynamicConfig tunes a dynamic click-time handler.
+type DynamicConfig struct {
+	// Registry counts render errors and timeouts (may be nil).
+	Registry *telemetry.Registry
+	// RenderTimeout bounds each page computation; a click-time query
+	// that hangs (e.g. over a degraded data graph) answers 504 after
+	// the deadline instead of pinning the connection. 0 disables.
+	RenderTimeout time.Duration
+	// Clock drives the deadline; nil means the wall clock.
+	Clock resilience.Clock
+}
+
+// DynamicFrom serves click-time pages from whatever renderer the
+// getter currently returns, so a background refresher can atomically
+// swap in a renderer over fresh data while requests are in flight.
+// Each request resolves the renderer once and uses it throughout — a
+// consistent snapshot even mid-swap.
+func DynamicFrom(get func() *incremental.Renderer, rootCollection string, cfg DynamicConfig) http.Handler {
+	reg := cfg.Registry
+	var timeouts *telemetry.Counter
+	if reg != nil {
+		timeouts = reg.Counter("strudel_http_render_timeouts_total",
+			"Dynamic renders abandoned at the render deadline, by serving mode.",
+			"mode", "dynamic")
+	}
+	// bounded runs one page computation under the render deadline.
+	bounded := func(op func() error) error {
+		return resilience.WithTimeout(cfg.Clock, cfg.RenderTimeout, op)
+	}
+	renderFailure := func(w http.ResponseWriter, err error) {
+		if errors.Is(err, resilience.ErrTimeout) {
+			if timeouts != nil {
+				timeouts.Inc()
+			}
+			http.Error(w, "page computation timed out", http.StatusGatewayTimeout)
+			return
+		}
+		internalError(w, reg, "dynamic", err)
+	}
 	mux := http.NewServeMux()
-	serve := func(w http.ResponseWriter, ref incremental.PageRef) {
-		htmlText, err := r.RenderPage(ref)
+	serve := func(w http.ResponseWriter, r *incremental.Renderer, ref incremental.PageRef) {
+		var htmlText string
+		err := bounded(func() error {
+			out, err := r.RenderPage(ref)
+			if err != nil {
+				return err
+			}
+			htmlText = out
+			return nil
+		})
 		if err != nil {
-			internalError(w, reg, "dynamic", err)
+			renderFailure(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -102,9 +164,18 @@ func DynamicWith(r *incremental.Renderer, rootCollection string, reg *telemetry.
 			http.NotFound(w, req)
 			return
 		}
-		roots, err := r.Dec.Roots(rootCollection)
+		r := get()
+		var roots []incremental.PageRef
+		err := bounded(func() error {
+			out, err := r.Dec.Roots(rootCollection)
+			if err != nil {
+				return err
+			}
+			roots = out
+			return nil
+		})
 		if err != nil {
-			internalError(w, reg, "dynamic", err)
+			renderFailure(w, err)
 			return
 		}
 		if len(roots) == 0 {
@@ -112,7 +183,7 @@ func DynamicWith(r *incremental.Renderer, rootCollection string, reg *telemetry.
 			return
 		}
 		if len(roots) == 1 {
-			serve(w, roots[0])
+			serve(w, r, roots[0])
 			return
 		}
 		// Multiple roots: list them.
@@ -134,12 +205,13 @@ func DynamicWith(r *incremental.Renderer, rootCollection string, reg *telemetry.
 			http.Error(w, "bad page key", http.StatusBadRequest)
 			return
 		}
+		r := get()
 		ref, ok := r.Dec.Resolve(key)
 		if !ok {
 			http.NotFound(w, req)
 			return
 		}
-		serve(w, ref)
+		serve(w, r, ref)
 	})
 	return mux
 }

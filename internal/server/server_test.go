@@ -3,11 +3,14 @@ package server
 import (
 	"errors"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"strudel/internal/datadef"
 	"strudel/internal/graph"
@@ -266,5 +269,190 @@ object about in Pages { title "About" kind "page" link home }
 	q = url.QueryEscape(`WHERE Pages(p), p -> "title" -> v`)
 	if code, body = get(t, srv, "/?q="+q); code != 200 || !strings.Contains(body, "nothing to show") {
 		t.Errorf("collectless = %d %q", code, body)
+	}
+}
+
+// TestRecoverMiddleware: a panicking handler answers 500 and the
+// process (and counter) survive.
+func TestRecoverMiddleware(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := Recover(reg, "dynamic", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			panic("template bug: nil deref in SFMT")
+		}
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	code, body := get(t, srv, "/boom")
+	if code != 500 || strings.Contains(body, "SFMT") {
+		t.Fatalf("/boom = %d %q", code, body)
+	}
+	// Other pages still render after the panic.
+	if code, body := get(t, srv, "/fine"); code != 200 || body != "ok" {
+		t.Errorf("/fine = %d %q", code, body)
+	}
+	c := reg.Counter("strudel_http_panics_total",
+		"Requests that panicked and were recovered, by serving mode.", "mode", "dynamic")
+	if c.Value() != 1 {
+		t.Errorf("panic counter = %d", c.Value())
+	}
+}
+
+// TestShedMiddleware: with max in-flight reached, new requests get an
+// immediate 503 with Retry-After instead of queueing.
+func TestShedMiddleware(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	h := Shed(reg, "dynamic", 2, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Fill both slots.
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL + "/")
+			if err != nil {
+				results <- -1
+				return
+			}
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+	}
+	<-entered
+	<-entered
+	// The third request is shed, not queued.
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("over-limit request = %d %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != 200 {
+			t.Errorf("in-flight request = %d", code)
+		}
+	}
+	c := reg.Counter("strudel_http_shed_total",
+		"Requests rejected with 503 because max in-flight was reached, by serving mode.",
+		"mode", "dynamic")
+	if c.Value() != 1 {
+		t.Errorf("shed counter = %d", c.Value())
+	}
+}
+
+// hangingRenderer returns a renderer whose page computation blocks
+// until the returned channel is closed (the planner never returns).
+func hangingRenderer(t *testing.T) (*incremental.Renderer, chan struct{}) {
+	t.Helper()
+	r, g := dynamicRendererAndGraph(t)
+	gate := make(chan struct{})
+	r.Dec.UsePlanner(func(conds []struql.Condition, seed []struql.Binding) ([]struql.Binding, error) {
+		if seed == nil {
+			return struql.EvalBindings(g, struql.NewRegistry(), conds, nil)
+		}
+		<-gate
+		return struql.EvalBindings(g, struql.NewRegistry(), conds, seed)
+	})
+	return r, gate
+}
+
+// TestDynamicRenderDeadline: a page whose click-time query hangs
+// answers 504 at the render deadline instead of pinning the
+// connection, and the server keeps answering subsequent requests.
+func TestDynamicRenderDeadline(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r, gate := hangingRenderer(t)
+	defer close(gate)
+	h := DynamicFrom(func() *incremental.Renderer { return r }, "Roots",
+		DynamicConfig{Registry: reg, RenderTimeout: 20 * time.Millisecond})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	code, body := get(t, srv, "/")
+	if code != 504 {
+		t.Fatalf("hanging root render = %d %q, want 504", code, body)
+	}
+	// The deadline freed the connection: the server still answers.
+	if code, _ := get(t, srv, "/"); code != 504 {
+		t.Fatalf("second request = %d, want 504", code)
+	}
+	c := reg.Counter("strudel_http_render_timeouts_total",
+		"Dynamic renders abandoned at the render deadline, by serving mode.", "mode", "dynamic")
+	if c.Value() != 2 {
+		t.Errorf("timeout counter = %d", c.Value())
+	}
+}
+
+// TestServeUntilGracefulShutdown: ServeUntil answers requests until
+// stop fires, then shuts down cleanly and returns nil.
+func TestServeUntilGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	srv := NewServer(addr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("up"))
+	}))
+	if srv.ReadHeaderTimeout == 0 || srv.IdleTimeout == 0 {
+		t.Fatal("NewServer must set real timeouts")
+	}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- ServeUntil(srv, stop, time.Second) }()
+	// Wait for the listener to come up.
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get("http://" + addr + "/")
+		if err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	resp.Body.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/"); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+// TestStaticFromSwapsAtomically: swapping the site pointer mid-serving
+// switches responses without restart.
+func TestStaticFromSwapsAtomically(t *testing.T) {
+	var cur atomic.Pointer[sitegen.Site]
+	cur.Store(&sitegen.Site{Pages: map[string]*sitegen.Page{
+		"index.html": {Path: "index.html", HTML: "v1"},
+	}})
+	srv := httptest.NewServer(StaticFrom(cur.Load))
+	defer srv.Close()
+	if _, body := get(t, srv, "/"); body != "v1" {
+		t.Fatalf("body = %q", body)
+	}
+	cur.Store(&sitegen.Site{Pages: map[string]*sitegen.Page{
+		"index.html": {Path: "index.html", HTML: "v2"},
+	}})
+	if _, body := get(t, srv, "/"); body != "v2" {
+		t.Fatalf("after swap body = %q", body)
 	}
 }

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"strudel/internal/resilience"
+)
+
+// FaultConfig tunes a FaultInjector. The zero value injects nothing.
+type FaultConfig struct {
+	// ErrorRate is the probability in [0, 1] that a fetch fails with a
+	// transient error.
+	ErrorRate float64
+	// Latency is added to every successful fetch (via Clock.After, so
+	// a fake clock makes it free in tests).
+	Latency time.Duration
+	// HangEvery makes every Nth fetch block until Release is called —
+	// the wrapper equivalent of a remote source that accepts the
+	// connection and then never answers. 0 disables.
+	HangEvery int
+	// Seed drives the error-rate coin flips; the same seed gives the
+	// same fault schedule, keeping chaos tests reproducible.
+	Seed int64
+	// Clock drives Latency; nil means the wall clock.
+	Clock resilience.Clock
+}
+
+// FaultStats reports what a FaultInjector has done so far.
+type FaultStats struct {
+	Calls  int // fetches attempted through the injector
+	Errors int // fetches failed with an injected error
+	Hangs  int // fetches that blocked until Release
+}
+
+// FaultInjector wraps a wrapper-level fetch function with configurable
+// faults — transient errors, added latency, and hangs — so the
+// mediator's degradation paths (retry, breaker, fetch timeout,
+// last-good fallback) can be exercised deterministically in tests.
+// It is the chaos-harness half of the workload package: the generators
+// above fake the paper's data sources, this fakes their failure modes.
+type FaultInjector struct {
+	mu      sync.Mutex
+	cfg     FaultConfig
+	rng     *rand.Rand
+	stats   FaultStats
+	release chan struct{}
+}
+
+// NewFaultInjector builds an injector with the given config.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	if cfg.Clock == nil {
+		cfg.Clock = resilience.Real
+	}
+	return &FaultInjector{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		release: make(chan struct{}),
+	}
+}
+
+// SetErrorRate changes the transient-error probability mid-test, e.g.
+// to model a source that recovers.
+func (f *FaultInjector) SetErrorRate(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.ErrorRate = p
+}
+
+// Release unblocks every fetch currently hanging (and all future ones):
+// hangs stop being injected once called. Safe to call more than once.
+func (f *FaultInjector) Release() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case <-f.release:
+	default:
+		close(f.release)
+	}
+}
+
+// Stats returns a snapshot of the injector's activity.
+func (f *FaultInjector) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// WrapFetch wraps a fetch function with the configured faults, in
+// order: hang (if due), injected transient error, added latency, then
+// the real fetch.
+func (f *FaultInjector) WrapFetch(fetch func() (string, error)) func() (string, error) {
+	return func() (string, error) {
+		f.mu.Lock()
+		f.stats.Calls++
+		call := f.stats.Calls
+		hang := false
+		if f.cfg.HangEvery > 0 && call%f.cfg.HangEvery == 0 {
+			select {
+			case <-f.release:
+				// Released: stop injecting hangs.
+			default:
+				hang = true
+				f.stats.Hangs++
+			}
+		}
+		fail := !hang && f.cfg.ErrorRate > 0 && f.rng.Float64() < f.cfg.ErrorRate
+		if fail {
+			f.stats.Errors++
+		}
+		latency := f.cfg.Latency
+		clock := f.cfg.Clock
+		release := f.release
+		f.mu.Unlock()
+
+		if hang {
+			<-release
+			return "", fmt.Errorf("faultinjector: fetch %d hung and was aborted", call)
+		}
+		if fail {
+			return "", fmt.Errorf("faultinjector: injected transient error on fetch %d", call)
+		}
+		if latency > 0 {
+			<-clock.After(latency)
+		}
+		return fetch()
+	}
+}
+
+// StaticFetch returns a fetch function that always yields content —
+// the simplest healthy source to wrap with faults.
+func StaticFetch(content string) func() (string, error) {
+	return func() (string, error) { return content, nil }
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"strudel/internal/resilience"
+)
+
+func TestFaultInjectorErrorRate(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{ErrorRate: 1, Seed: 1})
+	fetch := inj.WrapFetch(StaticFetch("data"))
+	if _, err := fetch(); err == nil || !strings.Contains(err.Error(), "injected transient error") {
+		t.Fatalf("err = %v, want injected error", err)
+	}
+	inj.SetErrorRate(0)
+	if out, err := fetch(); err != nil || out != "data" {
+		t.Fatalf("after recovery: %q, %v", out, err)
+	}
+	st := inj.Stats()
+	if st.Calls != 2 || st.Errors != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	run := func() []bool {
+		inj := NewFaultInjector(FaultConfig{ErrorRate: 0.5, Seed: 42})
+		fetch := inj.WrapFetch(StaticFetch("x"))
+		out := make([]bool, 20)
+		for i := range out {
+			_, err := fetch()
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at call %d", i)
+		}
+	}
+}
+
+func TestFaultInjectorHangAndRelease(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{HangEvery: 2})
+	fetch := inj.WrapFetch(StaticFetch("x"))
+	if _, err := fetch(); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := fetch() // call 2: hangs
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("call 2 returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	inj.Release()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "hung") {
+			t.Fatalf("released hang err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Release did not unblock the hanging fetch")
+	}
+	// After Release, hangs stop being injected.
+	if _, err := fetch(); err != nil {
+		t.Fatalf("post-release call: %v", err)
+	}
+	if _, err := fetch(); err != nil {
+		t.Fatalf("post-release call (would-hang slot): %v", err)
+	}
+	if st := inj.Stats(); st.Hangs != 1 {
+		t.Errorf("hangs = %d", st.Hangs)
+	}
+}
+
+func TestFaultInjectorLatencyUsesClock(t *testing.T) {
+	clk := resilience.NewAutoClock(time.Unix(0, 0))
+	inj := NewFaultInjector(FaultConfig{Latency: 5 * time.Second, Clock: clk})
+	fetch := inj.WrapFetch(StaticFetch("x"))
+	if _, err := fetch(); err != nil {
+		t.Fatal(err)
+	}
+	if sleeps := clk.Sleeps(); len(sleeps) != 1 || sleeps[0] != 5*time.Second {
+		t.Errorf("sleeps = %v", sleeps)
+	}
+}

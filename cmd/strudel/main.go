@@ -129,11 +129,18 @@ func loadManifest(path string) (*manifest, error) {
 			if len(fields) != 4 {
 				return nil, errf("usage: source <name> <kind> <path>")
 			}
-			content, err := readRel(fields[3])
-			if err != nil {
+			// Fail fast on an unreadable file, but register a fetch
+			// function so every refresh re-reads it: -refresh-interval
+			// picks up source changes, and a file that disappears
+			// degrades to last-good data instead of freezing a stale
+			// snapshot in silently.
+			if _, err := readRel(fields[3]); err != nil {
 				return nil, errf("%v", err)
 			}
-			if err := b.AddSource(fields[1], fields[2], content); err != nil {
+			srcPath := fields[3]
+			if err := b.AddSourceFunc(fields[1], fields[2], func() (string, error) {
+				return readRel(srcPath)
+			}); err != nil {
 				return nil, errf("%v", err)
 			}
 		case "mapping":

@@ -72,6 +72,14 @@ type Resilience struct {
 	Rand func() float64
 }
 
+// clock resolves the configured clock, defaulting to the wall clock.
+func (r Resilience) clock() resilience.Clock {
+	if r.Clock == nil {
+		return resilience.Real
+	}
+	return r.Clock
+}
+
 // medMetrics are the mediator's telemetry handles (nil when not
 // instrumented).
 type medMetrics struct {
@@ -94,13 +102,21 @@ type Mediator struct {
 	// Refreshes counts warehouse rebuilds, for diagnostics.
 	Refreshes int
 
-	// mu serializes Refresh (a background refresher and a foreground
-	// rebuild must not interleave staging) and guards the fields below.
+	// refreshMu serializes Refresh end to end (a background refresher
+	// and a foreground rebuild must not interleave staging) and guards
+	// lastGood/staleSince, which only the refresh path touches. It is
+	// distinct from mu so that a slow, retrying refresh never blocks
+	// LastReport/Instrument/SetResilience.
+	refreshMu  sync.Mutex
+	lastGood   map[string]*graph.Graph
+	staleSince map[string]time.Time
+
+	// mu guards the fields below. It is held only for short critical
+	// sections — never across fetches, per-attempt timeouts or backoff
+	// sleeps; a refresh works from a snapshot taken at its start.
 	mu         sync.Mutex
 	res        Resilience
 	breakers   map[string]*resilience.Breaker
-	lastGood   map[string]*graph.Graph
-	staleSince map[string]time.Time
 	lastReport *RefreshReport
 	met        *medMetrics
 }
@@ -119,7 +135,8 @@ func New(repo *repository.Repository, warehouseName string) *Mediator {
 }
 
 // SetResilience configures retry, fetch deadlines and circuit breakers
-// for subsequent Refreshes. Existing breaker state is discarded.
+// for subsequent Refreshes. Existing breaker state is discarded. A
+// refresh already in flight keeps the configuration it started with.
 func (m *Mediator) SetResilience(cfg Resilience) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -165,32 +182,36 @@ func (m *Mediator) LastReport() *RefreshReport {
 	return m.lastReport
 }
 
-func (m *Mediator) clock() resilience.Clock {
-	if m.res.Clock == nil {
-		return resilience.Real
-	}
-	return m.res.Clock
+// metrics returns the current telemetry handles (nil when detached).
+func (m *Mediator) metrics() *medMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.met
 }
 
 // breakerFor returns (creating on first use) the source's circuit
-// breaker, or nil when breakers are disabled. Callers hold m.mu.
-func (m *Mediator) breakerFor(name string) *resilience.Breaker {
-	if m.res.BreakerThreshold <= 0 {
+// breaker, or nil when breakers are disabled. cfg is the refresh's
+// snapshot of the resilience configuration; m.mu must not be held.
+func (m *Mediator) breakerFor(name string, cfg Resilience) *resilience.Breaker {
+	if cfg.BreakerThreshold <= 0 {
 		return nil
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if b, ok := m.breakers[name]; ok {
 		return b
 	}
-	b := resilience.NewBreaker(m.res.BreakerThreshold, m.res.BreakerCooldown, m.clock())
+	b := resilience.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.clock())
 	source := name
 	b.OnStateChange(func(from, to resilience.BreakerState) {
-		if m.met == nil {
+		met := m.metrics()
+		if met == nil {
 			return
 		}
-		m.met.reg.Counter("strudel_mediator_breaker_transitions_total",
+		met.reg.Counter("strudel_mediator_breaker_transitions_total",
 			"Circuit breaker state transitions, by source and new state.",
 			"source", source, "to", to.String()).Inc()
-		m.met.reg.Gauge("strudel_mediator_breaker_state",
+		met.reg.Gauge("strudel_mediator_breaker_state",
 			"Circuit breaker position per source (0 closed, 1 half-open, 2 open).",
 			"source", source).Set(float64(to))
 	})
@@ -199,42 +220,57 @@ func (m *Mediator) breakerFor(name string) *resilience.Breaker {
 }
 
 // acquire fetches one source's content through breaker, retry and
-// per-attempt deadline. Callers hold m.mu.
-func (m *Mediator) acquire(s *Source) (string, int, error) {
-	br := m.breakerFor(s.Name)
+// per-attempt deadline. It runs without m.mu held (fetches can be
+// slow); cfg and met are the refresh's snapshots.
+func (m *Mediator) acquire(s *Source, cfg Resilience, met *medMetrics) (string, int, error) {
+	br := m.breakerFor(s.Name, cfg)
+	var ticket resilience.Ticket
 	if br != nil {
-		if err := br.Allow(); err != nil {
-			if m.met != nil {
-				m.met.breakerRejects.Inc()
+		t, err := br.Allow()
+		if err != nil {
+			if met != nil {
+				met.breakerRejects.Inc()
 			}
 			return "", 0, err
 		}
+		ticket = t
 	}
 	var content string
 	attempts := 0
 	retrier := &resilience.Retrier{
-		Policy: m.res.Retry,
-		Clock:  m.clock(),
-		Rand:   m.res.Rand,
+		Policy: cfg.Retry,
+		Clock:  cfg.clock(),
+		Rand:   cfg.Rand,
 		OnRetry: func(int, time.Duration, error) {
-			if m.met != nil {
-				m.met.retries.Inc()
+			if met != nil {
+				met.retries.Inc()
 			}
 		},
 	}
 	_, err := retrier.Do(func() error {
 		attempts++
-		return resilience.WithTimeout(m.clock(), m.res.FetchTimeout, func() error {
+		// fetched is per-attempt: a timed-out attempt's abandoned
+		// goroutine keeps writing only its own local. content is
+		// assigned on this goroutine, only after WithTimeout's receive
+		// from the attempt's done channel — so never concurrently with
+		// a later attempt or with the caller reading it.
+		var fetched string
+		err := resilience.WithTimeout(cfg.clock(), cfg.FetchTimeout, func() error {
 			c, err := s.Fetch()
 			if err != nil {
 				return err
 			}
-			content = c
+			fetched = c
 			return nil
 		})
+		if err != nil {
+			return err
+		}
+		content = fetched
+		return nil
 	})
 	if br != nil {
-		br.Report(err)
+		br.Report(ticket, err)
 	}
 	return content, attempts, err
 }
@@ -312,14 +348,28 @@ func (m *Mediator) Refresh() (*graph.Graph, error) {
 // with no last-good copy — typically the very first refresh — aborts
 // the refresh as a whole, with nothing committed.
 func (m *Mediator) RefreshWithReport() (*graph.Graph, *RefreshReport, error) {
+	m.refreshMu.Lock()
+	defer m.refreshMu.Unlock()
+
+	// Snapshot the tunables so the fetch loop — slow fetches, timeouts,
+	// real-clock backoff sleeps — runs without m.mu, keeping LastReport
+	// and reconfiguration responsive during a degraded refresh.
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	cfg := m.res
+	met := m.met
+	m.mu.Unlock()
+
 	db := m.repo.Database()
-	now := m.clock().Now()
+	now := cfg.clock().Now()
 	report := &RefreshReport{At: now}
-	abort := func(err error) (*graph.Graph, *RefreshReport, error) {
+	finish := func(failed bool) {
+		m.mu.Lock()
 		m.lastReport = report
-		m.observeRefresh(report, true)
+		m.mu.Unlock()
+		observeRefresh(met, report, failed)
+	}
+	abort := func(err error) (*graph.Graph, *RefreshReport, error) {
+		finish(true)
 		return nil, report, err
 	}
 
@@ -329,7 +379,7 @@ func (m *Mediator) RefreshWithReport() (*graph.Graph, *RefreshReport, error) {
 	fresh := map[string]*graph.Graph{} // newly staged graphs, committed at the end
 	for _, s := range m.sources {
 		st := SourceStatus{Name: s.Name, State: Fresh}
-		content, attempts, err := m.acquire(s)
+		content, attempts, err := m.acquire(s, cfg, met)
 		st.Attempts = attempts
 		if err == nil {
 			g := db.Sibling("src:" + s.Name)
@@ -390,26 +440,26 @@ func (m *Mediator) RefreshWithReport() (*graph.Graph, *RefreshReport, error) {
 	}
 	m.repo.Put(wh)
 	m.Refreshes++
-	m.lastReport = report
-	m.observeRefresh(report, false)
+	finish(false)
 	return wh, report, nil
 }
 
-// observeRefresh records a refresh outcome in telemetry.
-func (m *Mediator) observeRefresh(r *RefreshReport, failed bool) {
-	if m.met == nil {
+// observeRefresh records a refresh outcome in telemetry (met may be
+// nil).
+func observeRefresh(met *medMetrics, r *RefreshReport, failed bool) {
+	if met == nil {
 		return
 	}
 	degraded := len(r.Degraded())
 	switch {
 	case failed:
-		m.met.refreshFail.Inc()
+		met.refreshFail.Inc()
 	case degraded > 0:
-		m.met.refreshDegr.Inc()
+		met.refreshDegr.Inc()
 	default:
-		m.met.refreshOK.Inc()
+		met.refreshOK.Inc()
 	}
-	m.met.degradedGauge.Set(float64(degraded))
+	met.degradedGauge.Set(float64(degraded))
 }
 
 // Warehouse returns the current warehouse graph, if Refresh has run.

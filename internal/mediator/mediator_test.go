@@ -3,6 +3,7 @@ package mediator
 import (
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -558,6 +559,95 @@ func TestRefreshHangingFetchTimesOut(t *testing.T) {
 	st, _ := report.Source("t.csv")
 	if st.State != Degraded || !errors.Is(st.Err, resilience.ErrTimeout) {
 		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestRefreshAbandonedFetchDoesNotRace: a fetch attempt that outlives
+// its deadline is abandoned but stays alive; if it completes during
+// the retry attempt, its result must neither race with nor replace the
+// retry's freshly fetched content. Run under -race this pins the fix
+// for writing fetch results into a variable shared across attempts.
+func TestRefreshAbandonedFetchDoesNotRace(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	w, _ := wrapper.ByName("csv")
+	var calls atomic.Int32
+	release := make(chan struct{})
+	m.AddSourceDynamic(&Source{
+		Name:    "t.csv",
+		Wrapper: w,
+		Fetch: func() (string, error) {
+			if calls.Add(1) == 1 {
+				// First attempt: hang past the deadline, then complete
+				// with outdated content while the retry is committing.
+				<-release
+				return "id,x\nstale,0\n", nil
+			}
+			close(release)
+			return "id,x\nfresh,1\n", nil
+		},
+	})
+	m.SetResilience(Resilience{
+		Retry:        resilience.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+		FetchTimeout: 20 * time.Millisecond,
+	})
+	wh, report, err := m.RefreshWithReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := report.Source("t.csv"); st.State != Fresh || st.Attempts != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	if _, ok := wh.NodeByName("fresh"); !ok {
+		t.Errorf("warehouse missing the retry's content:\n%s", wh.DumpString())
+	}
+	if _, ok := wh.NodeByName("stale"); ok {
+		t.Errorf("abandoned attempt's content leaked into the warehouse:\n%s", wh.DumpString())
+	}
+}
+
+// TestLastReportNotBlockedDuringSlowRefresh: reading the last report
+// (and reconfiguring) must not wait behind an in-flight refresh stuck
+// in a slow fetch.
+func TestLastReportNotBlockedDuringSlowRefresh(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "DataGraph")
+	w, _ := wrapper.ByName("csv")
+	inFetch := make(chan struct{}, 1)
+	release := make(chan struct{})
+	m.AddSourceDynamic(&Source{
+		Name:    "t.csv",
+		Wrapper: w,
+		Fetch: func() (string, error) {
+			inFetch <- struct{}{}
+			<-release
+			return "id,x\na,1\n", nil
+		},
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Refresh()
+		done <- err
+	}()
+	<-inFetch // the refresh is now blocked inside Fetch
+	got := make(chan *RefreshReport, 1)
+	go func() { got <- m.LastReport() }()
+	select {
+	case rep := <-got:
+		if rep != nil {
+			t.Errorf("report before first refresh = %+v", rep)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("LastReport blocked behind the in-flight refresh")
+	}
+	// Reconfiguration must not block either; it applies next refresh.
+	m.SetResilience(Resilience{})
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if m.LastReport() == nil || !m.LastReport().Ok() {
+		t.Errorf("report after refresh = %+v", m.LastReport())
 	}
 }
 

@@ -99,6 +99,7 @@ func (r *RefreshReport) Source(name string) (SourceStatus, bool) {
 
 // Summary renders a one-line human-readable digest, e.g.
 // "2/3 sources fresh; degraded: b.csv (stale 2m30s): network down".
+// Staleness is relative to the refresh time (At minus StaleSince).
 func (r *RefreshReport) Summary() string {
 	fresh := 0
 	var bad []string
@@ -107,9 +108,9 @@ func (r *RefreshReport) Summary() string {
 		case Fresh:
 			fresh++
 		default:
-			detail := fmt.Sprintf("%s (%s)", s.Name, s.State)
+			detail := fmt.Sprintf("%s: %s", s.State, s.Name)
 			if !s.StaleSince.IsZero() {
-				detail = fmt.Sprintf("%s (stale since %s)", s.Name, s.StaleSince.Format(time.RFC3339))
+				detail += fmt.Sprintf(" (stale %s)", r.At.Sub(s.StaleSince).Round(time.Second))
 			}
 			if s.Err != nil {
 				detail += ": " + s.Err.Error()

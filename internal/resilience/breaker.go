@@ -39,6 +39,11 @@ var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
 // in a row open it, rejecting calls for Cooldown; then a single probe
 // is admitted (half-open) and its outcome closes or re-opens the
 // circuit. All transitions are driven by the injected clock.
+//
+// Allow hands every admitted call a Ticket; Report takes it back and
+// ignores outcomes of calls admitted under an earlier state, so a slow
+// call finishing after the breaker has moved on (opened, or admitted a
+// probe) cannot reset the cooldown or force the circuit closed.
 type Breaker struct {
 	mu        sync.Mutex
 	clock     Clock
@@ -50,7 +55,14 @@ type Breaker struct {
 	failures int
 	openedAt time.Time
 	probing  bool
+	// epoch is bumped on every state transition; a Ticket carries the
+	// epoch it was admitted under, and Report drops stale ones.
+	epoch uint64
 }
+
+// Ticket identifies one call admitted by Allow. The zero Ticket is
+// inert: Report ignores it.
+type Ticket struct{ epoch uint64 }
 
 // NewBreaker creates a breaker opening after threshold consecutive
 // failures and probing again after cooldown. clock nil means the wall
@@ -62,7 +74,8 @@ func NewBreaker(threshold int, cooldown time.Duration, clock Clock) *Breaker {
 	if clock == nil {
 		clock = Real
 	}
-	return &Breaker{clock: clock, threshold: threshold, cooldown: cooldown}
+	// epoch starts above zero so the zero Ticket never matches.
+	return &Breaker{clock: clock, threshold: threshold, cooldown: cooldown, epoch: 1}
 }
 
 // OnStateChange registers a transition observer (telemetry hook).
@@ -93,67 +106,77 @@ func (b *Breaker) transition(to BreakerState) {
 		return
 	}
 	b.state = to
+	b.epoch++
 	if b.onChange != nil {
 		b.onChange(from, to)
 	}
 }
 
-// Allow reports whether a call may proceed. It returns nil in Closed
-// state, nil for exactly one probe once an Open breaker's cooldown has
-// elapsed, and ErrBreakerOpen otherwise. Every admitted call must be
-// answered with Report.
-func (b *Breaker) Allow() error {
+// Allow reports whether a call may proceed. It admits calls in Closed
+// state, exactly one probe once an Open breaker's cooldown has
+// elapsed, and rejects with ErrBreakerOpen otherwise. Every admitted
+// call must be answered with Report, passing the returned Ticket.
+func (b *Breaker) Allow() (Ticket, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
-		return nil
+		return Ticket{b.epoch}, nil
 	case HalfOpen:
 		if b.probing {
-			return ErrBreakerOpen
+			return Ticket{}, ErrBreakerOpen
 		}
 		b.probing = true
-		return nil
+		return Ticket{b.epoch}, nil
 	default: // Open
 		if !b.cooldownOver() {
-			return ErrBreakerOpen
+			return Ticket{}, ErrBreakerOpen
 		}
 		b.transition(HalfOpen)
 		b.probing = true
-		return nil
+		return Ticket{b.epoch}, nil
 	}
 }
 
-// Report records the outcome of an admitted call.
-func (b *Breaker) Report(err error) {
+// Report records the outcome of an admitted call. A ticket issued
+// before the breaker last changed state is ignored — the outcome of a
+// call from a previous epoch says nothing about the dependency's
+// health now, and must not restart an Open cooldown, fail someone
+// else's probe, or force an Open circuit closed.
+func (b *Breaker) Report(t Ticket, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if t.epoch != b.epoch {
+		return
+	}
+	// A matching epoch means the state the call was admitted under is
+	// still current: Closed or HalfOpen (tickets are never issued while
+	// Open — admitting a probe first transitions to HalfOpen).
 	if err == nil {
 		b.failures = 0
 		b.probing = false
 		b.transition(Closed)
 		return
 	}
-	switch b.state {
-	case HalfOpen:
+	if b.state == HalfOpen {
 		b.probing = false
-		b.openedAt = b.clock.Now()
-		b.transition(Open)
-	default:
+	} else {
 		b.failures++
-		if b.failures >= b.threshold {
-			b.openedAt = b.clock.Now()
-			b.transition(Open)
+		if b.failures < b.threshold {
+			return
 		}
 	}
+	b.openedAt = b.clock.Now()
+	b.transition(Open)
 }
 
 // Do runs op through the breaker: Allow, op, Report.
 func (b *Breaker) Do(op func() error) error {
-	if err := b.Allow(); err != nil {
+	t, err := b.Allow()
+	if err != nil {
 		return err
 	}
-	err := op()
-	b.Report(err)
+	err = op()
+	b.Report(t, err)
 	return err
 }

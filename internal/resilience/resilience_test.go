@@ -96,15 +96,16 @@ func TestBreakerOpensAfterThreshold(t *testing.T) {
 
 	boom := errors.New("down")
 	for i := 0; i < 2; i++ {
-		if err := b.Allow(); err != nil {
+		tk, err := b.Allow()
+		if err != nil {
 			t.Fatalf("call %d rejected: %v", i, err)
 		}
-		b.Report(boom)
+		b.Report(tk, boom)
 	}
 	if b.State() != Open {
 		t.Fatalf("state = %v, want open", b.State())
 	}
-	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
 		t.Fatalf("open breaker admitted a call: %v", err)
 	}
 	if len(transitions) != 1 || transitions[0] != Open {
@@ -115,28 +116,33 @@ func TestBreakerOpensAfterThreshold(t *testing.T) {
 func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
 	clock := NewFakeClock(t0)
 	b := NewBreaker(1, time.Minute, clock)
-	b.Report(errors.New("down")) // Closed counts failures even via Report.
+	tk, err := b.Allow()
+	if err != nil {
+		t.Fatalf("fresh breaker rejected: %v", err)
+	}
+	b.Report(tk, errors.New("down"))
 	if b.State() != Open {
 		t.Fatalf("state = %v", b.State())
 	}
 	// Before the cooldown: rejected.
 	clock.Advance(30 * time.Second)
-	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
 		t.Fatal("cooldown not elapsed but call admitted")
 	}
 	// After the cooldown: exactly one probe.
 	clock.Advance(31 * time.Second)
-	if err := b.Allow(); err != nil {
+	probe, err := b.Allow()
+	if err != nil {
 		t.Fatalf("probe rejected: %v", err)
 	}
-	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
 		t.Fatal("second concurrent probe admitted")
 	}
-	b.Report(nil)
+	b.Report(probe, nil)
 	if b.State() != Closed {
 		t.Fatalf("state after good probe = %v", b.State())
 	}
-	if err := b.Allow(); err != nil {
+	if _, err := b.Allow(); err != nil {
 		t.Fatalf("closed breaker rejected a call: %v", err)
 	}
 }
@@ -144,19 +150,56 @@ func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
 func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	clock := NewFakeClock(t0)
 	b := NewBreaker(1, time.Minute, clock)
-	b.Report(errors.New("down"))
+	tk, _ := b.Allow()
+	b.Report(tk, errors.New("down"))
 	clock.Advance(2 * time.Minute)
-	if err := b.Allow(); err != nil {
+	probe, err := b.Allow()
+	if err != nil {
 		t.Fatalf("probe rejected: %v", err)
 	}
-	b.Report(errors.New("still down"))
+	b.Report(probe, errors.New("still down"))
 	if b.State() != Open {
 		t.Fatalf("state = %v, want open again", b.State())
 	}
 	// The cooldown restarts from the failed probe.
 	clock.Advance(30 * time.Second)
-	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
 		t.Fatal("reopened breaker admitted a call before new cooldown")
+	}
+}
+
+// TestBreakerIgnoresStaleReports: a call admitted while Closed that
+// completes only after the breaker has opened (a slow concurrent
+// caller, or a timed-out fetch's abandoned goroutine) must not move
+// the breaker — neither restart the cooldown on failure nor force the
+// circuit closed on success.
+func TestBreakerIgnoresStaleReports(t *testing.T) {
+	clock := NewFakeClock(t0)
+	b := NewBreaker(1, time.Minute, clock)
+	boom := errors.New("down")
+
+	stale, _ := b.Allow() // slow call, admitted while Closed
+	tk, _ := b.Allow()
+	b.Report(tk, boom) // opens the breaker, starting the cooldown
+	clock.Advance(45 * time.Second)
+
+	b.Report(stale, boom) // late failure: cooldown must not restart
+	clock.Advance(16 * time.Second)
+	if _, err := b.Allow(); err != nil { // cooldown over: admits the probe
+		t.Fatalf("stale failure extended the cooldown: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+
+	// A late success must neither close the circuit nor free up a
+	// second probe while the real one is still in flight.
+	b.Report(stale, nil)
+	if b.State() != HalfOpen {
+		t.Fatalf("stale success moved the breaker to %v", b.State())
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("stale success released a second probe")
 	}
 }
 

@@ -1,10 +1,11 @@
 # Verify loop. `make check` is the gate every change must pass: build,
 # vet, the full test suite, the race detector over the atomic
-# telemetry counters and the concurrent click-time cache, and the
-# chaos suite (fault-injected sources under concurrent load).
+# telemetry counters and the concurrent click-time cache, the chaos
+# suite (fault-injected sources under concurrent load), and the
+# parallel-build determinism suite.
 GO ?= go
 
-.PHONY: build test vet race bench chaos check
+.PHONY: build test vet race bench chaos testpar check
 
 build:
 	$(GO) build ./...
@@ -26,4 +27,11 @@ bench:
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos' ./internal/server/
 
-check: build vet test race chaos
+# Parallel-build determinism suite: the worker pool's property tests,
+# the concurrent generator/evaluator/materializer, and the example
+# sites at workers 1/4/16, all under the race detector, twice.
+testpar:
+	$(GO) test -race -count=2 ./internal/pool/... ./internal/sitegen/... ./internal/struql/... ./internal/incremental/...
+	$(GO) test -race -count=2 -run 'Deterministic|Parallel|Golden' ./internal/core/ ./examples/...
+
+check: build vet test race chaos testpar

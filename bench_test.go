@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	"strudel/internal/baseline/procedural"
@@ -602,11 +603,57 @@ func BenchmarkOptimizedBuild(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelBuild measures the parallel build pipeline against
+// its own sequential baseline (workers=1) on an orgsite-scale
+// workload. The data graph is supplied directly so mediation cost does
+// not dilute the parallel phases (query evaluation + page generation),
+// and every worker count produces the byte-identical site — the
+// determinism suite in internal/sitegen, internal/struql and
+// examples/ locks that down. On a multi-core runner the GOMAXPROCS
+// variant should beat workers-1 by ~the core count for the generate
+// phase; BENCH_parallel.json records a measured snapshot.
+func BenchmarkParallelBuild(b *testing.B) {
+	data := workload.Articles(1000, 1997)
+	spec := workload.ArticleSpec(false)
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		counts = append(counts, g)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			var pages int
+			for i := 0; i < b.N; i++ {
+				cb := buildSpec(b, spec, data)
+				cb.SetWorkers(w)
+				res, err := cb.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages = res.Stats.Pages
+			}
+			b.ReportMetric(float64(pages), "pages")
+		})
+	}
+	// Parallel dynamic materialization over the same per-page queries.
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("materialize-workers-%d", w), func(b *testing.B) {
+			q := struql.MustParse(spec.Query)
+			for i := 0; i < b.N; i++ {
+				dec := incremental.Decompose(q, data, nil)
+				dec.SetWorkers(w)
+				if _, err := dec.MaterializeAll(spec.RootCollection); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // nopResponseWriter discards the response, so the serve benchmarks
 // measure handler work rather than recorder allocation.
 type nopResponseWriter struct{ h http.Header }
 
-func (w nopResponseWriter) Header() http.Header        { return w.h }
+func (w nopResponseWriter) Header() http.Header         { return w.h }
 func (w nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
 func (w nopResponseWriter) WriteHeader(int)             {}
 

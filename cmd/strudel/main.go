@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	strudel build -manifest site.manifest -out dir/ [-trace]
+//	strudel build -manifest site.manifest -out dir/ [-trace] [-workers N]
 //	strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics]
 //	              [-refresh-interval 5m] [-request-timeout 10s] [-max-inflight 256]
-//	strudel stats -manifest site.manifest [-trace]
+//	              [-workers N]
+//	strudel stats -manifest site.manifest [-trace] [-workers N]
 //
+// -workers bounds the build pipeline's parallelism (query evaluation,
+// page rendering, dynamic materialization); 0 — the default — means
+// one worker per available CPU, 1 builds sequentially. The built site
+// is byte-identical at any worker count.
 // -trace prints the build's span timeline (mediation → query → verify
 // → generate). -metrics instruments the server and exposes /metrics
 // (Prometheus text format), /debug/vars and /debug/pprof.
@@ -82,10 +87,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  strudel build -manifest site.manifest -out dir/ [-trace]
+  strudel build -manifest site.manifest -out dir/ [-trace] [-workers N]
   strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics]
                 [-refresh-interval 5m] [-request-timeout 10s] [-max-inflight 256]
-  strudel stats -manifest site.manifest [-trace]`)
+                [-workers N]
+  strudel stats -manifest site.manifest [-trace] [-workers N]`)
 }
 
 // manifest is the parsed site description.
@@ -243,11 +249,13 @@ func cmdBuild(args []string) error {
 	manifestPath := fs.String("manifest", "", "site manifest file")
 	out := fs.String("out", "site-out", "output directory")
 	trace := fs.Bool("trace", false, "print the build's span timeline")
+	workers := fs.Int("workers", 0, "build parallelism (0 = one worker per CPU, 1 = sequential)")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
 		return err
 	}
+	m.builder.SetWorkers(*workers)
 	res, err := m.builder.Build()
 	if err != nil {
 		return err
@@ -280,11 +288,13 @@ func cmdServe(args []string) error {
 		"render deadline per dynamic page computation (0 disables)")
 	maxInflight := fs.Int("max-inflight", 256,
 		"max concurrently served requests before shedding with 503 (0 disables)")
+	workers := fs.Int("workers", 0, "build parallelism (0 = one worker per CPU, 1 = sequential)")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
 		return err
 	}
+	m.builder.SetWorkers(*workers)
 	var reg *telemetry.Registry
 	if *metrics {
 		reg = telemetry.NewRegistry()
@@ -421,11 +431,13 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	manifestPath := fs.String("manifest", "", "site manifest file")
 	trace := fs.Bool("trace", false, "print the build's span timeline")
+	workers := fs.Int("workers", 0, "build parallelism (0 = one worker per CPU, 1 = sequential)")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
 		return err
 	}
+	m.builder.SetWorkers(*workers)
 	res, err := m.builder.Build()
 	if err != nil {
 		return err

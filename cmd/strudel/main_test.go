@@ -302,3 +302,44 @@ func TestServeHandlerMetricsEndpoint(t *testing.T) {
 		t.Errorf("/debug/pprof/cmdline = %d", code)
 	}
 }
+
+func TestCmdBuildWorkersFlagDeterministic(t *testing.T) {
+	dir := writeTestSite(t)
+	manifest := filepath.Join(dir, "site.manifest")
+	read := func(out string) map[string]string {
+		t.Helper()
+		entries, err := os.ReadDir(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages := map[string]string{}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(out, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages[e.Name()] = string(data)
+		}
+		return pages
+	}
+	seqOut := filepath.Join(dir, "out-seq")
+	if err := cmdBuild([]string{"-manifest", manifest, "-out", seqOut, "-workers", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	want := read(seqOut)
+	for _, w := range []string{"4", "16"} {
+		out := filepath.Join(dir, "out-"+w)
+		if err := cmdBuild([]string{"-manifest", manifest, "-out", out, "-workers", w}); err != nil {
+			t.Fatalf("workers=%s: %v", w, err)
+		}
+		got := read(out)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%s: wrote %d files, want %d", w, len(got), len(want))
+		}
+		for name, content := range want {
+			if got[name] != content {
+				t.Errorf("workers=%s: %s differs from sequential build", w, name)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 
 	"strudel/internal/core"
+	"strudel/internal/graph"
 	"strudel/internal/schema"
 	"strudel/internal/workload"
 )
@@ -28,20 +29,29 @@ func main() {
 	}
 }
 
+// buildSite builds the news site (or its sports-only variant) with the
+// given build parallelism (0 = one worker per CPU). The result is
+// byte-identical at any worker count.
+func buildSite(data *graph.Graph, sportsOnly bool, workers int) (*core.Result, error) {
+	spec := workload.ArticleSpec(sportsOnly)
+	b := core.NewBuilder(spec.Name)
+	b.SetDataGraph(data)
+	if err := b.AddQuery(spec.Query); err != nil {
+		return nil, err
+	}
+	b.AddTemplates(spec.Templates)
+	b.SetIndex(spec.Index)
+	b.AddConstraint(schema.Reachable{Root: spec.Root})
+	b.AddConstraint(schema.MustLink{From: "SectionPage", Label: "Story", To: "ArticlePage"})
+	b.SetWorkers(workers)
+	return b.Build()
+}
+
 func run(outDir string) error {
 	data := workload.Articles(300, 1997)
 	for _, sportsOnly := range []bool{false, true} {
 		spec := workload.ArticleSpec(sportsOnly)
-		b := core.NewBuilder(spec.Name)
-		b.SetDataGraph(data)
-		if err := b.AddQuery(spec.Query); err != nil {
-			return err
-		}
-		b.AddTemplates(spec.Templates)
-		b.SetIndex(spec.Index)
-		b.AddConstraint(schema.Reachable{Root: spec.Root})
-		b.AddConstraint(schema.MustLink{From: "SectionPage", Label: "Story", To: "ArticlePage"})
-		res, err := b.Build()
+		res, err := buildSite(data, sportsOnly, 0)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"strudel/internal/workload"
+)
+
+// TestBuildDeterministicAcrossWorkers: the news site and its
+// sports-only variant render byte-identically at workers 1, 4 and 16.
+// The corpus is kept small so the suite stays brisk under -race.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	data := workload.Articles(60, 1997)
+	for _, sportsOnly := range []bool{false, true} {
+		base, err := buildSite(data, sportsOnly, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{4, 16} {
+			res, err := buildSite(data, sportsOnly, w)
+			if err != nil {
+				t.Fatalf("sports=%v workers=%d: %v", sportsOnly, w, err)
+			}
+			if len(res.Site.Pages) != len(base.Site.Pages) {
+				t.Fatalf("sports=%v workers=%d: %d pages, want %d",
+					sportsOnly, w, len(res.Site.Pages), len(base.Site.Pages))
+			}
+			for path, bp := range base.Site.Pages {
+				gp, ok := res.Site.Pages[path]
+				if !ok || gp.HTML != bp.HTML || gp.Title != bp.Title {
+					t.Errorf("sports=%v workers=%d: %s differs from sequential build", sportsOnly, w, path)
+				}
+			}
+		}
+	}
+}

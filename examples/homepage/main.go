@@ -74,27 +74,35 @@ func main() {
 	}
 }
 
-func run(outDir string) error {
+// buildVersion builds one version of the homepage ("internal" or
+// "external") with the given build parallelism (0 = one worker per
+// CPU). The result is byte-identical at any worker count.
+func buildVersion(version string, workers int) (*core.Result, error) {
 	bib := workload.BibliographyBibTeX(30, 17)
+	b := core.NewBuilder("homepage-" + version)
+	if err := b.AddSource("refs.bib", "bibtex", bib); err != nil {
+		return nil, err
+	}
+	if err := b.AddSource("personal.dd", "datadef", personalInfo); err != nil {
+		return nil, err
+	}
+	if err := b.AddQuery(homepageQuery); err != nil {
+		return nil, err
+	}
+	for key, src := range templates(version == "external") {
+		if err := b.AddTemplate(key, src); err != nil {
+			return nil, err
+		}
+	}
+	b.SetEmbedOnly("Pub")
+	b.SetIndex("HomePage")
+	b.SetWorkers(workers)
+	return b.Build()
+}
+
+func run(outDir string) error {
 	for _, version := range []string{"internal", "external"} {
-		b := core.NewBuilder("homepage-" + version)
-		if err := b.AddSource("refs.bib", "bibtex", bib); err != nil {
-			return err
-		}
-		if err := b.AddSource("personal.dd", "datadef", personalInfo); err != nil {
-			return err
-		}
-		if err := b.AddQuery(homepageQuery); err != nil {
-			return err
-		}
-		for key, src := range templates(version == "external") {
-			if err := b.AddTemplate(key, src); err != nil {
-				return err
-			}
-		}
-		b.SetEmbedOnly("Pub")
-		b.SetIndex("HomePage")
-		res, err := b.Build()
+		res, err := buildVersion(version, 0)
 		if err != nil {
 			return err
 		}

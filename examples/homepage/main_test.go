@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden site fixtures")
+
+// TestBuildDeterministicAcrossWorkers: both homepage versions render
+// byte-identically at workers 1, 4 and 16.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	for _, version := range []string{"internal", "external"} {
+		base, err := buildVersion(version, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{4, 16} {
+			res, err := buildVersion(version, w)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", version, w, err)
+			}
+			if len(res.Site.Pages) != len(base.Site.Pages) {
+				t.Fatalf("%s workers=%d: %d pages, want %d", version, w, len(res.Site.Pages), len(base.Site.Pages))
+			}
+			for path, bp := range base.Site.Pages {
+				gp, ok := res.Site.Pages[path]
+				if !ok || gp.HTML != bp.HTML {
+					t.Errorf("%s workers=%d: %s differs from sequential build", version, w, path)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenSite compares both versions against the fixtures under
+// golden/{internal,external}. Regenerate with:
+// go test ./examples/homepage -update
+func TestGoldenSite(t *testing.T) {
+	for _, version := range []string{"internal", "external"} {
+		res, err := buildVersion(version, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join("golden", version)
+		if *update {
+			if err := os.RemoveAll(dir); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Site.WriteTo(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create the fixtures)", err)
+		}
+		if len(entries) != len(res.Site.Pages) {
+			t.Fatalf("%s: golden has %d files, build has %d pages (run with -update?)",
+				version, len(entries), len(res.Site.Pages))
+		}
+		for path, p := range res.Site.Pages {
+			want, err := os.ReadFile(filepath.Join(dir, path))
+			if err != nil {
+				t.Fatalf("%v (run with -update?)", err)
+			}
+			if p.HTML != string(want) {
+				t.Errorf("%s/%s differs from golden fixture (run with -update to accept)", version, path)
+			}
+		}
+	}
+}

@@ -31,43 +31,52 @@ func main() {
 	}
 }
 
+// buildSite mediates the five organization sources and builds one
+// version of the site with the given build parallelism (0 = one worker
+// per CPU). The result is byte-identical at any worker count.
+func buildSite(src *workload.OrgSources, external bool, workers int) (*core.Result, error) {
+	spec := workload.OrgSpec(external)
+	b := core.NewBuilder(spec.Name)
+	if err := b.AddSource("people.csv", "csv", src.PeopleCSV); err != nil {
+		return nil, err
+	}
+	if err := b.AddSource("departments.csv", "csv", src.DepartmentsCSV); err != nil {
+		return nil, err
+	}
+	if err := b.AddSource("projects.txt", "structured", src.ProjectsTxt); err != nil {
+		return nil, err
+	}
+	if err := b.AddSource("refs.bib", "bibtex", src.BibTeX); err != nil {
+		return nil, err
+	}
+	var pageNames []string
+	for name := range src.HTMLPages {
+		pageNames = append(pageNames, name)
+	}
+	sort.Strings(pageNames)
+	for _, name := range pageNames {
+		if err := b.AddSource(name, "html", src.HTMLPages[name]); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.AddQuery(spec.Query); err != nil {
+		return nil, err
+	}
+	b.AddTemplates(spec.Templates)
+	b.SetIndex(spec.Index)
+	b.AddConstraint(schema.Reachable{Root: spec.Root})
+	b.AddConstraint(schema.MustLink{From: "PersonPage", Label: "Dept", To: "DeptPage"})
+	b.SetWorkers(workers)
+	return b.Build()
+}
+
 func run(outDir string) error {
 	// The paper's internal site covers ~400 people; keep the example
 	// brisk with 120.
 	src := workload.Organization(120, 25, 6, 7)
 	for _, external := range []bool{false, true} {
 		spec := workload.OrgSpec(external)
-		b := core.NewBuilder(spec.Name)
-		if err := b.AddSource("people.csv", "csv", src.PeopleCSV); err != nil {
-			return err
-		}
-		if err := b.AddSource("departments.csv", "csv", src.DepartmentsCSV); err != nil {
-			return err
-		}
-		if err := b.AddSource("projects.txt", "structured", src.ProjectsTxt); err != nil {
-			return err
-		}
-		if err := b.AddSource("refs.bib", "bibtex", src.BibTeX); err != nil {
-			return err
-		}
-		var pageNames []string
-		for name := range src.HTMLPages {
-			pageNames = append(pageNames, name)
-		}
-		sort.Strings(pageNames)
-		for _, name := range pageNames {
-			if err := b.AddSource(name, "html", src.HTMLPages[name]); err != nil {
-				return err
-			}
-		}
-		if err := b.AddQuery(spec.Query); err != nil {
-			return err
-		}
-		b.AddTemplates(spec.Templates)
-		b.SetIndex(spec.Index)
-		b.AddConstraint(schema.Reachable{Root: spec.Root})
-		b.AddConstraint(schema.MustLink{From: "PersonPage", Label: "Dept", To: "DeptPage"})
-		res, err := b.Build()
+		res, err := buildSite(src, external, 0)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"strudel/internal/workload"
+)
+
+// TestBuildDeterministicAcrossWorkers: both organization-site versions
+// — five mediated sources deep — render byte-identically at workers 1,
+// 4 and 16.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	src := workload.Organization(40, 10, 4, 7)
+	for _, external := range []bool{false, true} {
+		base, err := buildSite(src, external, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{4, 16} {
+			res, err := buildSite(src, external, w)
+			if err != nil {
+				t.Fatalf("external=%v workers=%d: %v", external, w, err)
+			}
+			if len(res.Site.Pages) != len(base.Site.Pages) {
+				t.Fatalf("external=%v workers=%d: %d pages, want %d",
+					external, w, len(res.Site.Pages), len(base.Site.Pages))
+			}
+			for path, bp := range base.Site.Pages {
+				gp, ok := res.Site.Pages[path]
+				if !ok || gp.HTML != bp.HTML {
+					t.Errorf("external=%v workers=%d: %s differs from sequential build", external, w, path)
+				}
+			}
+		}
+	}
+}

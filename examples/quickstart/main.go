@@ -63,6 +63,28 @@ func main() {
 	}
 }
 
+// buildSite evaluates the Fig. 3 query over the Fig. 2 data and
+// renders the Fig. 7 site with the given build parallelism (0 = one
+// worker per CPU). The result is byte-identical at any worker count.
+func buildSite(workers int) (*core.Result, error) {
+	res, err := datadef.Parse("BIBTEX", fig2)
+	if err != nil {
+		return nil, err
+	}
+	spec := workload.BibliographySpec()
+	b := core.NewBuilder("homepage")
+	b.SetDataGraph(res.Graph)
+	if err := b.AddQuery(spec.Query); err != nil {
+		return nil, err
+	}
+	b.AddTemplates(spec.Templates)
+	b.SetEmbedOnly("PaperPresentation")
+	b.SetIndex(spec.Index)
+	b.AddConstraint(schema.Reachable{Root: "RootPage"})
+	b.SetWorkers(workers)
+	return b.Build()
+}
+
 func run(outDir string) error {
 	// Step 1: the data graph (Fig. 2).
 	res, err := datadef.Parse("BIBTEX", fig2)
@@ -86,16 +108,7 @@ func run(outDir string) error {
 
 	// Step 3: evaluate the query (Fig. 4) and render HTML (Fig. 7)
 	// through the end-to-end builder.
-	b := core.NewBuilder("homepage")
-	b.SetDataGraph(res.Graph)
-	if err := b.AddQuery(spec.Query); err != nil {
-		return err
-	}
-	b.AddTemplates(spec.Templates)
-	b.SetEmbedOnly("PaperPresentation")
-	b.SetIndex(spec.Index)
-	b.AddConstraint(schema.Reachable{Root: "RootPage"})
-	built, err := b.Build()
+	built, err := buildSite(0)
 	if err != nil {
 		return err
 	}

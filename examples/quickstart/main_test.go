@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"strudel/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden site fixtures")
+
+// pagesOf flattens a build result to path → HTML.
+func pagesOf(t *testing.T, res *core.Result) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for path, p := range res.Site.Pages {
+		out[path] = p.HTML
+	}
+	return out
+}
+
+// TestBuildDeterministicAcrossWorkers: the quickstart site's full page
+// map is byte-identical at workers 1, 4 and 16.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	base, err := buildSite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pagesOf(t, base)
+	for _, w := range []int{4, 16} {
+		res, err := buildSite(w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := pagesOf(t, res)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pages, want %d", w, len(got), len(want))
+		}
+		for path, html := range want {
+			if got[path] != html {
+				t.Errorf("workers=%d: %s differs from sequential build", w, path)
+			}
+		}
+	}
+}
+
+// TestGoldenSite compares every rendered page against the checked-in
+// fixtures under golden/. Regenerate with: go test ./examples/quickstart -update
+func TestGoldenSite(t *testing.T) {
+	res, err := buildSite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := "golden"
+	if *update {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Site.WriteTo(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixtures)", err)
+	}
+	if len(entries) != len(res.Site.Pages) {
+		t.Fatalf("golden has %d files, build has %d pages (run with -update?)", len(entries), len(res.Site.Pages))
+	}
+	for path, p := range res.Site.Pages {
+		want, err := os.ReadFile(filepath.Join(dir, path))
+		if err != nil {
+			t.Fatalf("%v (run with -update?)", err)
+		}
+		if p.HTML != string(want) {
+			t.Errorf("%s differs from golden fixture (run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", path, p.HTML, want)
+		}
+	}
+}

@@ -33,16 +33,39 @@ func main() {
 	}
 }
 
-func run() error {
-	// Build a small article site graph with images, rooted at a front
-	// page.
+// siteGraph builds a small article site graph with images, rooted at a
+// front page.
+func siteGraph() (*graph.Graph, error) {
 	data := workload.Articles(40, 3)
 	front := data.NewNode("front")
 	data.AddToCollection("Root", graph.NodeValue(front))
 	for _, a := range data.Collection("Articles") {
 		if err := data.AddEdge(front, "story", a); err != nil {
-			return err
+			return nil, err
 		}
+	}
+	return data, nil
+}
+
+// transform runs the TextOnly query with the given evaluation
+// parallelism (0 = one worker per CPU). The output graph is
+// byte-identical at any worker count.
+func transform(data *graph.Graph, workers int) (*graph.Graph, error) {
+	q, err := struql.Parse(textOnlyQuery)
+	if err != nil {
+		return nil, err
+	}
+	res, err := struql.Eval(q, data, &struql.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return res.Output, nil
+}
+
+func run() error {
+	data, err := siteGraph()
+	if err != nil {
+		return err
 	}
 
 	countImages := func(g *graph.Graph) int {
@@ -56,23 +79,19 @@ func run() error {
 		return n
 	}
 
-	q, err := struql.Parse(textOnlyQuery)
-	if err != nil {
-		return err
-	}
-	res, err := struql.Eval(q, data, nil)
+	out, err := transform(data, 0)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("original site:  %5d nodes, %5d edges, %3d image links\n",
 		data.NumNodes(), data.NumEdges(), countImages(data))
 	fmt.Printf("text-only copy: %5d nodes, %5d edges, %3d image links\n",
-		res.Output.NumNodes(), res.Output.NumEdges(), countImages(res.Output))
-	if n := countImages(res.Output); n != 0 {
+		out.NumNodes(), out.NumEdges(), countImages(out))
+	if n := countImages(out); n != 0 {
 		return fmt.Errorf("text-only site still has %d image links", n)
 	}
-	roots := res.Output.Collection("TextOnlyRoot")
-	fmt.Printf("text-only root: %s (every page deep in the site is image-free,\n", res.Output.DisplayValue(roots[0]))
+	roots := out.Collection("TextOnlyRoot")
+	fmt.Printf("text-only root: %s (every page deep in the site is image-free,\n", out.DisplayValue(roots[0]))
 	fmt.Println("unlike the CNN site the paper footnotes, which only de-imaged its root)")
 	return nil
 }

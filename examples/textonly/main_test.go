@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestTransformDeterministicAcrossWorkers: the TextOnly graph copy —
+// node names, edge order, collections — is byte-identical at workers
+// 1, 4 and 16. The example has no HTML pages, so the output graph dump
+// is the comparison surface.
+func TestTransformDeterministicAcrossWorkers(t *testing.T) {
+	data, err := siteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := transform(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.DumpString()
+	for _, w := range []int{4, 16} {
+		out, err := transform(data, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if out.DumpString() != want {
+			t.Errorf("workers=%d: output graph differs from sequential evaluation", w)
+		}
+	}
+}

@@ -21,14 +21,15 @@ import (
 	"time"
 
 	"strudel/internal/graph"
-	"strudel/internal/telemetry"
 	"strudel/internal/incremental"
 	"strudel/internal/mediator"
 	"strudel/internal/optimizer"
+	"strudel/internal/pool"
 	"strudel/internal/repository"
 	"strudel/internal/schema"
 	"strudel/internal/sitegen"
 	"strudel/internal/struql"
+	"strudel/internal/telemetry"
 	"strudel/internal/template"
 )
 
@@ -47,6 +48,7 @@ type Builder struct {
 	constraints []schema.Constraint
 	resolver    func(string) (string, error)
 	optimize    bool
+	workers     int
 	telem       *telemetry.Registry
 }
 
@@ -162,6 +164,23 @@ func (b *Builder) AddConstraint(c schema.Constraint) {
 // SetFileResolver lets text/HTML file atoms embed their contents.
 func (b *Builder) SetFileResolver(fn func(string) (string, error)) { b.resolver = fn }
 
+// SetWorkers bounds the parallelism of the whole build pipeline —
+// query evaluation, page generation, and dynamic materialization all
+// share one worker pool per build. 0 means runtime.GOMAXPROCS(0), 1
+// runs the pipeline sequentially. The built site is byte-identical at
+// any worker count.
+func (b *Builder) SetWorkers(n int) { b.workers = n }
+
+// buildPool creates the per-build worker pool, instrumented when
+// telemetry is attached.
+func (b *Builder) buildPool() *pool.Pool {
+	p := pool.New(b.workers)
+	if b.telem != nil {
+		p.Instrument(b.telem)
+	}
+	return p
+}
+
 // EnableOptimizer routes every where conjunction through the
 // cost-based query optimizer with the repository's indexes instead of
 // the interpreter's built-in greedy strategy (paper Sec. 2.4).
@@ -240,7 +259,7 @@ func (b *Builder) optimizerContext(data *graph.Graph) *optimizer.Context {
 
 // evalQueries runs the site-definition queries into one site graph,
 // tracing each query as a child span of sp (which may be nil).
-func (b *Builder) evalQueries(data *graph.Graph, sp *telemetry.Span) (*graph.Graph, int, error) {
+func (b *Builder) evalQueries(data *graph.Graph, sp *telemetry.Span, p *pool.Pool) (*graph.Graph, int, error) {
 	if len(b.queries) == 0 {
 		return nil, 0, fmt.Errorf("core: site %q has no site-definition query", b.name)
 	}
@@ -249,7 +268,7 @@ func (b *Builder) evalQueries(data *graph.Graph, sp *telemetry.Span) (*graph.Gra
 		outName = b.name + "-site"
 	}
 	site := data.NewSibling(outName)
-	opts := &struql.Options{Output: site, Registry: b.Registry()}
+	opts := &struql.Options{Output: site, Registry: b.Registry(), Pool: p}
 	if b.optimize {
 		// Index the data graph and plan every conjunction against it.
 		opts.WherePlanner = optimizer.Hook(b.optimizerContext(data))
@@ -288,6 +307,7 @@ func (b *Builder) siteSchema() *schema.SiteSchema {
 func (b *Builder) Build() (*Result, error) {
 	tr := telemetry.NewTrace("build " + b.name)
 	res := &Result{Trace: tr}
+	pl := b.buildPool()
 	defer func() {
 		tr.Finish()
 		res.Stats.TotalTime = tr.Duration()
@@ -306,7 +326,7 @@ func (b *Builder) Build() (*Result, error) {
 	}
 
 	qsp := tr.Root().Child("query")
-	site, bindings, err := b.evalQueries(data, qsp)
+	site, bindings, err := b.evalQueries(data, qsp, pl)
 	qsp.Finish()
 	res.Stats.QueryTime = qsp.Duration()
 	if err != nil {
@@ -331,6 +351,7 @@ func (b *Builder) Build() (*Result, error) {
 		EmbedOnly:    b.embedOnly,
 		Index:        b.index,
 		FileResolver: b.resolver,
+		Pool:         pl,
 	})
 	htmlSite, err := gen.Generate()
 	gsp.Finish()
@@ -364,6 +385,7 @@ func (b *Builder) BuildDynamic() (*incremental.Renderer, error) {
 		return nil, err
 	}
 	dec := incremental.Decompose(b.queries[0], data, b.Registry())
+	dec.UsePool(b.buildPool())
 	if b.optimize {
 		dec.UsePlanner(optimizer.Hook(b.optimizerContext(data)))
 	}

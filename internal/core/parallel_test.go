@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/telemetry"
+)
+
+// TestBuildWorkersByteIdentical: the full built site — every page's
+// HTML, title and path — is byte-identical at workers 1, 4 and 16.
+func TestBuildWorkersByteIdentical(t *testing.T) {
+	base := bibBuilder(t, 40)
+	base.SetWorkers(1)
+	want, err := base.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 16} {
+		b := bibBuilder(t, 40)
+		b.SetWorkers(w)
+		got, err := b.Build()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got.Site.Pages) != len(want.Site.Pages) {
+			t.Fatalf("workers=%d: %d pages, want %d", w, len(got.Site.Pages), len(want.Site.Pages))
+		}
+		for path, wp := range want.Site.Pages {
+			gp, ok := got.Site.Pages[path]
+			if !ok {
+				t.Fatalf("workers=%d: missing page %s", w, path)
+			}
+			if gp.HTML != wp.HTML || gp.Title != wp.Title {
+				t.Fatalf("workers=%d: page %s differs from sequential build", w, path)
+			}
+		}
+		if got.Stats.Bindings != want.Stats.Bindings {
+			t.Errorf("workers=%d: bindings = %d, want %d", w, got.Stats.Bindings, want.Stats.Bindings)
+		}
+	}
+}
+
+// TestBuildPoolInstrumented: with telemetry attached, the per-build
+// pool reports its gauges into the registry.
+func TestBuildPoolInstrumented(t *testing.T) {
+	b := bibBuilder(t, 10)
+	reg := telemetry.NewRegistry()
+	b.SetTelemetry(reg)
+	b.SetWorkers(4)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{"strudel_pool_workers_busy", "strudel_pool_queue_depth"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("registry missing %s:\n%s", want, text)
+		}
+	}
+}
+
+// TestBuildDynamicWorkersDeterministic: dynamic materialization through
+// the builder produces the same page set at any worker count.
+func TestBuildDynamicWorkersDeterministic(t *testing.T) {
+	counts := map[int]int{}
+	for _, w := range []int{1, 8} {
+		b := bibBuilder(t, 25)
+		b.SetWorkers(w)
+		r, err := b.BuildDynamic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := r.Dec.MaterializeAll("Roots")
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[w] = n
+	}
+	if counts[1] == 0 || counts[1] != counts[8] {
+		t.Errorf("materialized pages differ: %v", counts)
+	}
+}

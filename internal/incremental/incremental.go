@@ -10,12 +10,14 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"strudel/internal/graph"
+	"strudel/internal/pool"
 	"strudel/internal/struql"
 	"strudel/internal/telemetry"
 )
@@ -122,6 +124,10 @@ type Decomposition struct {
 
 	pages    map[string][]pageClause
 	collects []collectClause
+	// pl bounds how many pages MaterializeAll computes concurrently; a
+	// nil pool runs with runtime.GOMAXPROCS(0) workers. Set it (via
+	// SetWorkers or UsePool) before materializing, not concurrently.
+	pl *pool.Pool
 
 	mu    sync.Mutex
 	cache map[string]*PageData
@@ -196,6 +202,16 @@ func (d *Decomposition) Instrument(reg *telemetry.Registry) {
 			"Binding rows computed by click-time query evaluation."),
 	}
 }
+
+// SetWorkers bounds how many pages MaterializeAll computes
+// concurrently; 0 means runtime.GOMAXPROCS(0), 1 materializes
+// sequentially. Page contents, the page count and the cache are
+// identical at any worker count.
+func (d *Decomposition) SetWorkers(n int) { d.pl = pool.New(n) }
+
+// UsePool makes MaterializeAll fan out over a shared (possibly
+// instrumented) worker pool instead of a private one.
+func (d *Decomposition) UsePool(p *pool.Pool) { d.pl = p }
 
 // UsePlanner routes the per-page conjunctions through a planner hook
 // (e.g. optimizer.Hook), so click-time evaluation also benefits from
@@ -469,28 +485,52 @@ func edgeSignature(e PageEdge) string {
 // root collection, computing every page. It is the "compute the
 // complete site before users browse it" end of the spectrum, built on
 // the same per-page queries, and returns the number of pages.
+//
+// Each breadth-first level materializes in parallel over the
+// decomposition's pool (SetWorkers/UsePool; a nil pool uses
+// runtime.GOMAXPROCS(0) workers): the frontier is deduplicated before
+// dispatch so no page is computed twice, every Page call touches the
+// shared cache only under the decomposition's lock, and the next
+// frontier is assembled from the results in input order — so the page
+// set, the cache contents and any reported error are identical at any
+// worker count.
 func (d *Decomposition) MaterializeAll(rootCollection string) (int, error) {
+	return d.MaterializeAllContext(context.Background(), rootCollection)
+}
+
+// MaterializeAllContext is MaterializeAll with cancellation: a
+// cancelled context aborts the walk between page computations.
+func (d *Decomposition) MaterializeAllContext(ctx context.Context, rootCollection string) (int, error) {
 	roots, err := d.Roots(rootCollection)
 	if err != nil {
 		return 0, err
 	}
-	queue := roots
 	visited := map[string]bool{}
-	for len(queue) > 0 {
-		ref := queue[0]
-		queue = queue[1:]
-		key := ref.keyWith(d.input)
-		if visited[key] {
-			continue
+	var frontier []PageRef
+	schedule := func(refs []PageRef) {
+		for _, ref := range refs {
+			key := ref.keyWith(d.input)
+			if !visited[key] {
+				visited[key] = true
+				frontier = append(frontier, ref)
+			}
 		}
-		visited[key] = true
-		pd, err := d.Page(ref)
+	}
+	schedule(roots)
+	for len(frontier) > 0 {
+		level := frontier
+		frontier = nil
+		computed, err := pool.Map(ctx, d.pl, len(level), func(_ context.Context, i int) (*PageData, error) {
+			return d.Page(level[i])
+		})
 		if err != nil {
 			return 0, err
 		}
-		for _, e := range pd.Edges {
-			if e.Page != nil && !visited[e.Page.keyWith(d.input)] {
-				queue = append(queue, *e.Page)
+		for _, pd := range computed {
+			for _, e := range pd.Edges {
+				if e.Page != nil {
+					schedule([]PageRef{*e.Page})
+				}
 			}
 		}
 	}

@@ -1,0 +1,190 @@
+// Package pool is the bounded worker pool shared by the build
+// pipeline: the HTML generator renders pages over it, the incremental
+// evaluator materializes pages over it, and the query processor fans
+// its binding loops out over it. The paper's generator "interprets"
+// the site graph page by page (Sec. 2.3) and its cost analysis
+// (Sec. 5) worries about materialization time for large sites; once
+// the site graph is immutable that work is embarrassingly parallel,
+// and this package supplies the one primitive every layer uses.
+//
+// The contract that makes parallel builds trustworthy is determinism:
+// Map returns results in input order, and when several tasks fail it
+// reports the error of the lowest input index — never a
+// scheduling-dependent one — so a parallel pipeline run is
+// indistinguishable from a sequential one, byte for byte.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"strudel/internal/telemetry"
+)
+
+// Pool bounds the parallelism of Map and ForEach and carries optional
+// telemetry. The zero of everything is usable: a nil *Pool runs with
+// runtime.GOMAXPROCS(0) workers and no instrumentation.
+type Pool struct {
+	workers int
+	busy    *telemetry.Gauge
+	depth   *telemetry.Gauge
+}
+
+// New creates a pool with the given worker bound; workers <= 0 means
+// runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's worker bound (GOMAXPROCS for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.workers
+}
+
+// Instrument makes the pool report workers-busy and queue-depth gauges
+// into a telemetry registry. The depth gauge tracks undispatched tasks
+// of the most recent Map and is approximate when several Maps share
+// one pool.
+func (p *Pool) Instrument(reg *telemetry.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.busy = reg.Gauge("strudel_pool_workers_busy",
+		"Pool workers currently executing a task.")
+	p.depth = reg.Gauge("strudel_pool_queue_depth",
+		"Tasks of the current Map not yet dispatched to a worker.")
+}
+
+// PanicError wraps a panic recovered from a pool task, so one
+// panicking page render fails the build with context instead of
+// killing the process from a worker goroutine.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: task %d panicked: %v", e.Index, e.Value)
+}
+
+// Map runs fn for every index in [0, n) on at most p.Workers()
+// goroutines and returns the results in input order. The first error
+// cancels the derived context to stop the remaining work; when several
+// tasks fail, the error of the lowest input index is returned (a
+// deterministic choice — every lower-index task has been dispatched
+// before a higher one, so the lowest failure is always observed).
+// Panics inside fn are captured as *PanicError. Map returns only after
+// every spawned goroutine has exited.
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	results := make([]T, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := call(ctx, p, i, fn)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		// A task cut short by the cancellation below reports the
+		// context error; that is a victim of the real failure, not the
+		// failure itself, so it must not displace the recorded error
+		// (and under parent cancellation the parent's error is returned
+		// after the wait anyway).
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			return
+		}
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if p != nil && p.depth != nil {
+					p.depth.Set(float64(n - 1 - i))
+				}
+				v, err := call(ctx, p, i, fn)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ForEach is Map without results: fn runs for every index in [0, n),
+// with the same ordering, cancellation and panic-capture contract.
+func ForEach(ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, p, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// call invokes one task with panic capture and the busy gauge.
+func call[T any](ctx context.Context, p *Pool, i int, fn func(context.Context, int) (T, error)) (v T, err error) {
+	if p != nil && p.busy != nil {
+		p.busy.Add(1)
+		defer p.busy.Add(-1)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}

@@ -1,0 +1,149 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"strudel/internal/telemetry"
+)
+
+func TestMapOrderAndResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		p := New(workers)
+		got, err := Map(context.Background(), p, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestNilPoolDefaults(t *testing.T) {
+	var p *Pool
+	if p.Workers() <= 0 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+	got, err := Map(context.Background(), p, 5, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err != nil || len(got) != 5 {
+		t.Fatalf("nil pool Map: %v %v", got, err)
+	}
+	p.Instrument(telemetry.NewRegistry()) // must not panic
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Both tasks 3 and 9 fail; the reported error must be task 3's, at
+	// any worker count, even though task 9 may finish first.
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(context.Background(), New(workers), 12, func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				time.Sleep(5 * time.Millisecond)
+				return 0, errors.New("err-3")
+			}
+			if i == 9 {
+				return 0, errors.New("err-9")
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "err-3" {
+			t.Fatalf("workers=%d: err = %v, want err-3", workers, err)
+		}
+	}
+}
+
+func TestMapPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), New(workers), 8, func(_ context.Context, i int) (int, error) {
+			if i == 2 {
+				panic(fmt.Sprintf("boom-%d", i))
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 2 || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError = index %d, %d stack bytes", workers, pe.Index, len(pe.Stack))
+		}
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	go func() {
+		for started.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	_, err := Map(ctx, New(4), 10000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), New(8), 100, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestInstrumentGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(3)
+	p.Instrument(reg)
+	busy := reg.Gauge("strudel_pool_workers_busy", "Pool workers currently executing a task.")
+	var sawBusy atomic.Bool
+	if err := ForEach(context.Background(), p, 50, func(_ context.Context, i int) error {
+		if busy.Value() > 0 {
+			sawBusy.Store(true)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawBusy.Load() {
+		t.Fatal("busy gauge never rose above zero during execution")
+	}
+	if busy.Value() != 0 {
+		t.Fatalf("busy gauge = %v after completion", busy.Value())
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	got, err := Map(context.Background(), nil, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("n=0: %v %v", got, err)
+	}
+}

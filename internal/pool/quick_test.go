@@ -1,0 +1,109 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// taskPlan is one randomized Map invocation: n tasks on w workers,
+// where some tasks fail and some panic. Tasks are deliberately
+// context-oblivious so the lowest-index failure is always reported.
+type taskPlan struct {
+	n, w     int
+	errs     map[int]bool // index → fails with an error
+	panics   map[int]bool // index → panics
+	firstBad int          // lowest failing index, or -1
+}
+
+func planFrom(seed int64) taskPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := taskPlan{
+		n:        rng.Intn(200),
+		w:        1 + rng.Intn(32),
+		errs:     map[int]bool{},
+		panics:   map[int]bool{},
+		firstBad: -1,
+	}
+	for i := 0; i < p.n; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			p.errs[i] = true
+		case 1:
+			p.panics[i] = true
+		default:
+			continue
+		}
+		if p.firstBad == -1 || i < p.firstBad {
+			p.firstBad = i
+		}
+	}
+	return p
+}
+
+// TestQuickMapDeterministic: for random task counts, worker counts,
+// panicking tasks and mid-stream errors, Map returns results in input
+// order, propagates exactly the first (lowest-index) failure, and
+// leaks no goroutines.
+func TestQuickMapDeterministic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	prop := func(seed int64) bool {
+		p := planFrom(seed)
+		got, err := Map(context.Background(), New(p.w), p.n, func(_ context.Context, i int) (string, error) {
+			if p.panics[i] {
+				panic(fmt.Sprintf("panic-%d", i))
+			}
+			if p.errs[i] {
+				return "", fmt.Errorf("err-%d", i)
+			}
+			return fmt.Sprintf("v-%d", i), nil
+		})
+		if p.firstBad == -1 {
+			if err != nil || len(got) != p.n {
+				t.Logf("seed %d: unexpected err=%v len=%d", seed, err, len(got))
+				return false
+			}
+			for i, v := range got {
+				if v != fmt.Sprintf("v-%d", i) {
+					t.Logf("seed %d: got[%d] = %q", seed, i, v)
+					return false
+				}
+			}
+			return true
+		}
+		if got != nil {
+			t.Logf("seed %d: results returned alongside error", seed)
+			return false
+		}
+		if p.panics[p.firstBad] {
+			var pe *PanicError
+			if !errors.As(err, &pe) || pe.Index != p.firstBad {
+				t.Logf("seed %d: err = %v, want panic at %d", seed, err, p.firstBad)
+				return false
+			}
+			return true
+		}
+		if err == nil || err.Error() != fmt.Sprintf("err-%d", p.firstBad) {
+			t.Logf("seed %d: err = %v, want err-%d", seed, err, p.firstBad)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	// Workers are joined before Map returns, so the goroutine count
+	// settles back to the baseline (allow the runtime a moment).
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before %d, after %d — leak", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,159 @@
+package sitegen
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"strudel/internal/graph"
+	"strudel/internal/pool"
+	"strudel/internal/template"
+)
+
+// pageGraph builds a site graph of n page objects plus an index, with
+// colliding page names so the path-disambiguation suffixes are
+// exercised.
+func pageGraph(t *testing.T, n int) (*graph.Graph, Config) {
+	t.Helper()
+	g := graph.New("site")
+	root := g.NewNode("RootPage()")
+	for i := 0; i < n; i++ {
+		// Names like "Item(a.b)" and "Item(a_b)" sanitize to the same
+		// path, forcing -2/-3... suffixes.
+		p := g.NewNode(fmt.Sprintf("Item(a.%d)", i))
+		q := g.NewNode(fmt.Sprintf("Item(a_%d)", i))
+		for _, id := range []graph.OID{p, q} {
+			if err := g.AddEdge(id, "title", graph.Str(fmt.Sprintf("title-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddEdge(root, "item", graph.NodeValue(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tpls := map[string]*template.Template{}
+	for key, src := range map[string]string{
+		"RootPage": `<html><body><SFMT_UL item></body></html>`,
+		"Item":     `<html><body><h1><SFMT title></h1></body></html>`,
+	} {
+		tpl, err := template.Parse(key, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpls[key] = tpl
+	}
+	return g, Config{Templates: tpls, Index: "RootPage"}
+}
+
+// TestGeneratePathsStable: two back-to-back builds of the same graph
+// produce identical Paths() slices — path assignment is pinned to
+// sorted page OIDs, not enumeration order (regression for the
+// map-iteration-order hazard).
+func TestGeneratePathsStable(t *testing.T) {
+	g, cfg := pageGraph(t, 25)
+	s1, err := New(g, cfg).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(g, cfg).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1.Paths(), s2.Paths()) {
+		t.Fatalf("paths differ between back-to-back builds:\n%v\n%v", s1.Paths(), s2.Paths())
+	}
+	// The collision suffixes must be present and deterministic.
+	foundSuffix := false
+	for _, p := range s1.Paths() {
+		if len(p) > 7 && p[len(p)-7:] == "-2.html" {
+			foundSuffix = true
+		}
+	}
+	if !foundSuffix {
+		t.Fatal("expected colliding page names to produce -2.html suffixes")
+	}
+}
+
+// TestGenerateParallelByteIdentical: the full page map is
+// byte-identical at workers 1, 4 and 16.
+func TestGenerateParallelByteIdentical(t *testing.T) {
+	g, cfg := pageGraph(t, 40)
+	cfg.Workers = 1
+	base, err := New(g, cfg).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 16} {
+		cfg.Workers = w
+		got, err := New(g, cfg).Generate()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got.Pages) != len(base.Pages) {
+			t.Fatalf("workers=%d: %d pages, want %d", w, len(got.Pages), len(base.Pages))
+		}
+		for path, bp := range base.Pages {
+			gp, ok := got.Pages[path]
+			if !ok {
+				t.Fatalf("workers=%d: missing page %s", w, path)
+			}
+			if gp.HTML != bp.HTML || gp.Title != bp.Title || gp.OID != bp.OID {
+				t.Fatalf("workers=%d: page %s differs from sequential render", w, path)
+			}
+		}
+		if !reflect.DeepEqual(got.Paths(), base.Paths()) {
+			t.Fatalf("workers=%d: paths differ", w)
+		}
+	}
+}
+
+// TestGenerateSharedPool: a Config.Pool overrides Workers and renders
+// the same bytes.
+func TestGenerateSharedPool(t *testing.T) {
+	g, cfg := pageGraph(t, 10)
+	base, err := New(g, cfg).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Pool = pool.New(8)
+	got, err := New(g, cfg).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, bp := range base.Pages {
+		if got.Pages[path] == nil || got.Pages[path].HTML != bp.HTML {
+			t.Fatalf("page %s differs under shared pool", path)
+		}
+	}
+}
+
+// TestGenerateParallelError: a failing page render fails the whole
+// build with the page's error at any worker count, and never panics
+// the process.
+func TestGenerateParallelError(t *testing.T) {
+	g := graph.New("site")
+	for i := 0; i < 20; i++ {
+		p := g.NewNode(fmt.Sprintf("Page(%d)", i))
+		if err := g.AddEdge(p, "self", graph.NodeValue(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A self-embedding template exceeds MaxEmbedDepth on every page.
+	tpl, err := template.Parse("Page", `<SFMT self EMBED>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Templates: map[string]*template.Template{"Page": tpl}, MaxEmbedDepth: 4}
+	for _, w := range []int{1, 4, 16} {
+		cfg.Workers = w
+		_, err := New(g, cfg).Generate()
+		if err == nil {
+			t.Fatalf("workers=%d: expected embedding-depth error", w)
+		}
+		var pe *pool.PanicError
+		if errors.As(err, &pe) {
+			t.Fatalf("workers=%d: render error surfaced as panic: %v", w, err)
+		}
+	}
+}

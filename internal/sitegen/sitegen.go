@@ -12,6 +12,7 @@
 package sitegen
 
 import (
+	"context"
 	"fmt"
 	"html"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"strudel/internal/graph"
+	"strudel/internal/pool"
 	"strudel/internal/template"
 )
 
@@ -47,6 +49,15 @@ type Config struct {
 	FileResolver func(path string) (string, error)
 	// MaxEmbedDepth bounds recursive embedding; 0 means 16.
 	MaxEmbedDepth int
+	// Workers bounds how many pages render concurrently; 0 means
+	// runtime.GOMAXPROCS(0), 1 renders sequentially. The output is
+	// byte-identical at any worker count: paths are assigned in sorted
+	// OID order before rendering, and each page renders independently
+	// over the immutable site graph.
+	Workers int
+	// Pool, when set, overrides Workers with a shared (possibly
+	// instrumented) worker pool.
+	Pool *pool.Pool
 }
 
 // Page is one generated HTML page.
@@ -197,15 +208,30 @@ func (g *Generator) pagePath(oid graph.OID) string {
 	return safe + ".html"
 }
 
-// Generate renders every page object of the site graph.
+// Generate renders every page object of the site graph. Pages render
+// concurrently (see Config.Workers); the result is byte-identical to a
+// sequential run.
 func (g *Generator) Generate() (*Site, error) {
+	return g.GenerateContext(context.Background())
+}
+
+// GenerateContext is Generate with cancellation: a cancelled context
+// aborts rendering early and returns the context's error.
+func (g *Generator) GenerateContext(ctx context.Context) (*Site, error) {
 	site := &Site{Pages: map[string]*Page{}, PathOf: map[graph.OID]string{}}
-	// First pass: assign paths so links can resolve forward.
+	// First pass: assign paths so links can resolve forward. Page OIDs
+	// are explicitly sorted so path assignment — and in particular the
+	// collision-disambiguation suffixes below — never depends on the
+	// enumeration order of the underlying graph: two builds of the same
+	// graph produce identical Paths() at any worker count.
 	var pageOIDs []graph.OID
 	for _, oid := range g.site.Nodes() {
-		if !g.isPage(oid) {
-			continue
+		if g.isPage(oid) {
+			pageOIDs = append(pageOIDs, oid)
 		}
+	}
+	sort.Slice(pageOIDs, func(i, j int) bool { return pageOIDs[i] < pageOIDs[j] })
+	for _, oid := range pageOIDs {
 		path := g.pagePath(oid)
 		// Disambiguate collisions deterministically.
 		for i := 2; ; i++ {
@@ -216,17 +242,28 @@ func (g *Generator) Generate() (*Site, error) {
 		}
 		site.Pages[path] = &Page{Path: path, OID: oid}
 		site.PathOf[oid] = path
-		pageOIDs = append(pageOIDs, oid)
 	}
-	// Second pass: render.
-	for _, oid := range pageOIDs {
+	// Second pass: render. The site graph and the path maps are
+	// read-only from here on, and each task writes only its own Page,
+	// so pages render concurrently; the pool joins its workers before
+	// returning, which orders every write before Generate's return.
+	p := g.cfg.Pool
+	if p == nil {
+		p = pool.New(g.cfg.Workers)
+	}
+	err := pool.ForEach(ctx, p, len(pageOIDs), func(_ context.Context, i int) error {
+		oid := pageOIDs[i]
 		htmlText, err := g.renderObject(oid, site, 0)
 		if err != nil {
-			return nil, fmt.Errorf("sitegen: rendering %s: %w", g.site.DisplayName(oid), err)
+			return fmt.Errorf("sitegen: rendering %s: %w", g.site.DisplayName(oid), err)
 		}
-		p := site.Pages[site.PathOf[oid]]
-		p.HTML = htmlText
-		p.Title = g.titleOf(oid)
+		pg := site.Pages[site.PathOf[oid]]
+		pg.HTML = htmlText
+		pg.Title = g.titleOf(oid)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return site, nil
 }

@@ -1,11 +1,14 @@
 package struql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"strudel/internal/graph"
+	"strudel/internal/pool"
 )
 
 // Options configure evaluation.
@@ -31,6 +34,22 @@ type Options struct {
 	// physical-operation tree", Sec. 2.4). The seed rows carry the
 	// bindings of enclosing blocks.
 	WherePlanner func(conds []Condition, seed []Binding) ([]Binding, error)
+	// Workers bounds the parallelism of the query stage: sibling blocks
+	// bind concurrently, and within one conjunction the outer binding
+	// loop is chunked across workers once a condition's input relation
+	// reaches ParallelThreshold rows. 0 means runtime.GOMAXPROCS(0); 1
+	// evaluates sequentially. The construction stage always runs
+	// sequentially in block order, so Skolem OIDs, link order and
+	// collection order are byte-identical at any worker count.
+	Workers int
+	// Pool, when set, overrides Workers with a shared (possibly
+	// instrumented) worker pool.
+	Pool *pool.Pool
+	// ParallelThreshold is the minimum number of binding rows before
+	// one condition's evaluation is chunked across workers; below it
+	// the per-chunk overhead outweighs the win. 0 means the default
+	// (256).
+	ParallelThreshold int
 }
 
 // Result reports what an evaluation did.
@@ -44,6 +63,12 @@ type Result struct {
 }
 
 const defaultMaxBindings = 4_000_000
+
+// defaultParallelThreshold is the row count past which one condition's
+// evaluation is chunked across pool workers. Measured on the workload
+// benchmarks, the per-chunk cost (a goroutine dispatch plus one copy
+// of the bound-variable set) amortizes at a few hundred rows.
+const defaultParallelThreshold = 256
 
 // Eval evaluates a query against an input graph. The semantics are the
 // paper's two stages: the query stage computes all variable bindings
@@ -70,17 +95,39 @@ func Eval(q *Query, input *graph.Graph, opts *Options) (*Result, error) {
 	if maxB == 0 {
 		maxB = defaultMaxBindings
 	}
-	ev := &evaluator{
-		in:       input,
-		out:      out,
-		reg:      reg,
-		varKinds: q.Root.Vars(),
-		newNodes: map[graph.OID]bool{},
-		nfaCache: map[*PathExpr]*nfa{},
-		maxB:     maxB,
-		planner:  opts.WherePlanner,
+	p := opts.Pool
+	if p == nil {
+		p = pool.New(opts.Workers)
 	}
-	if err := ev.evalBlock(q.Root, []env{{}}); err != nil {
+	thresh := opts.ParallelThreshold
+	if thresh == 0 {
+		thresh = defaultParallelThreshold
+	}
+	ev := &evaluator{
+		in:        input,
+		out:       out,
+		reg:       reg,
+		varKinds:  q.Root.Vars(),
+		newNodes:  map[graph.OID]bool{},
+		nfaCache:  map[*PathExpr]*nfa{},
+		maxB:      maxB,
+		planner:   opts.WherePlanner,
+		pool:      p,
+		parThresh: thresh,
+	}
+	// Two stages, as in the paper but restructured for parallelism: the
+	// query stage binds every block of the tree (pure reads of the
+	// input graph, so sibling blocks run concurrently); the construction
+	// stage then replays the tree sequentially in definition order, so
+	// Skolem OID allocation and edge insertion order cannot depend on
+	// scheduling. One consequence: a query-stage error now surfaces
+	// before any construction, instead of after the enclosing blocks'
+	// clauses ran.
+	bound, err := ev.bindBlock(q.Root, []env{{}})
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.constructBlock(bound); err != nil {
 		return nil, err
 	}
 	return &Result{Output: out, Bindings: ev.rows, NewNodes: len(ev.newNodes)}, nil
@@ -105,36 +152,69 @@ type evaluator struct {
 	reg      *Registry
 	varKinds map[string]varKind
 	newNodes map[graph.OID]bool
+	nfaMu    sync.Mutex
 	nfaCache map[*PathExpr]*nfa
 	rows     int
 	maxB     int
 	planner  func(conds []Condition, seed []Binding) ([]Binding, error)
+	// pool bounds query-stage parallelism; nil means sequential (the
+	// EvalBindings entry point — its callers parallelize across pages
+	// instead).
+	pool      *pool.Pool
+	parThresh int
 }
 
-// evalBlock computes the block's binding relation (extending the
-// parent rows) and runs its construction clauses once per row, then
-// recurses into children with the extended relation.
-func (ev *evaluator) evalBlock(b *Block, parents []env) error {
+// boundBlock is one block's computed binding relation, with its
+// children's — the output of the query stage, input to the (strictly
+// sequential) construction stage.
+type boundBlock struct {
+	b        *Block
+	envs     []env
+	children []*boundBlock
+}
+
+// bindBlock computes the block's binding relation (extending the
+// parent rows) and recurses into children with the extended relation.
+// Sibling blocks bind concurrently: the query stage only reads the
+// input graph, never the output graph, so block independence holds by
+// construction.
+func (ev *evaluator) bindBlock(b *Block, parents []env) (*boundBlock, error) {
 	envs, err := ev.applyWhere(b.Where, parents)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	envs = dedupe(envs)
+	node := &boundBlock{b: b, envs: envs}
+	node.children, err = pool.Map(context.Background(), ev.pool, len(b.Children),
+		func(_ context.Context, i int) (*boundBlock, error) {
+			return ev.bindBlock(b.Children[i], envs)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// constructBlock runs the construction clauses over a bound block tree
+// in definition order (pre-order), one row at a time — exactly the
+// order the sequential evaluator used, so Skolem OIDs and edge
+// insertion order are identical at any worker count.
+func (ev *evaluator) constructBlock(n *boundBlock) error {
 	acc := map[aggKey]*aggState{}
-	for _, e := range envs {
+	for _, e := range n.envs {
 		ev.rows++
 		if ev.rows > ev.maxB {
 			return fmt.Errorf("struql: binding relation exceeded %d rows; the query is probably missing a range restriction", ev.maxB)
 		}
-		if err := ev.construct(b, e, acc); err != nil {
+		if err := ev.construct(n.b, e, acc); err != nil {
 			return err
 		}
 	}
 	if err := ev.flushAggregates(acc); err != nil {
 		return err
 	}
-	for _, ch := range b.Children {
-		if err := ev.evalBlock(ch, envs); err != nil {
+	for _, ch := range n.children {
+		if err := ev.constructBlock(ch); err != nil {
 			return err
 		}
 	}
@@ -203,7 +283,7 @@ func (ev *evaluator) applyWhere(conds []Condition, rows []env) ([]env, error) {
 		cond := remaining[idx]
 		remaining = append(remaining[:idx], remaining[idx+1:]...)
 		var err error
-		rows, err = ev.expand(cond, rows, bound)
+		rows, err = ev.expandRows(cond, rows, bound)
 		if err != nil {
 			return nil, err
 		}
@@ -362,6 +442,51 @@ func resolve(t Term, e env) (graph.Value, bool) {
 	}
 	v, ok := e[t.Var]
 	return v, ok
+}
+
+// expandRows applies one condition to the full relation. Past the
+// parallel threshold the outer binding loop is chunked across pool
+// workers: every expand* evaluator processes rows independently and in
+// order, so the concatenation of the chunk outputs equals the
+// sequential output row for row. Each chunk works on a copy of the
+// bound-variable set; the canonical update of bound is replayed once
+// afterwards with an empty relation (the updates depend only on the
+// condition and the bound set, never on the rows).
+func (ev *evaluator) expandRows(c Condition, rows []env, bound map[string]bool) ([]env, error) {
+	w := 1
+	if ev.pool != nil {
+		w = ev.pool.Workers()
+	}
+	if w <= 1 || len(rows) < ev.parThresh {
+		return ev.expand(c, rows, bound)
+	}
+	chunk := (len(rows) + w - 1) / w
+	var chunks [][]env
+	for start := 0; start < len(rows); start += chunk {
+		end := min(start+chunk, len(rows))
+		chunks = append(chunks, rows[start:end])
+	}
+	parts, err := pool.Map(context.Background(), ev.pool, len(chunks),
+		func(_ context.Context, i int) ([]env, error) {
+			return ev.expand(c, chunks[i], copyBound(bound))
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]env, 0, len(rows))
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	if _, err := ev.expand(c, nil, bound); err != nil {
+		return nil, err
+	}
+	if _, ok := c.(*PathCond); ok {
+		// expandPath dedupes its output; per-chunk dedupe can leave
+		// cross-chunk duplicates, so dedupe the concatenation (same
+		// first-occurrence order as the sequential pass).
+		out = dedupe(out)
+	}
+	return out, nil
 }
 
 // expand applies one condition to every row, producing the extended
@@ -527,15 +652,28 @@ func (ev *evaluator) expandEdge(c *EdgeCond, rows []env, bound map[string]bool) 
 	return out, nil
 }
 
+// pathNFA compiles (or returns the memoized automaton for) a path
+// expression. The cache is shared by concurrently binding blocks and
+// by chunk workers, so access is serialized; compilation is cheap
+// relative to path traversal.
+func (ev *evaluator) pathNFA(p *PathExpr) (*nfa, error) {
+	ev.nfaMu.Lock()
+	defer ev.nfaMu.Unlock()
+	if n, ok := ev.nfaCache[p]; ok {
+		return n, nil
+	}
+	n, err := compilePath(p, ev.reg)
+	if err != nil {
+		return nil, err
+	}
+	ev.nfaCache[p] = n
+	return n, nil
+}
+
 func (ev *evaluator) expandPath(c *PathCond, rows []env, bound map[string]bool) ([]env, error) {
-	n, ok := ev.nfaCache[c.Path]
-	if !ok {
-		var err error
-		n, err = compilePath(c.Path, ev.reg)
-		if err != nil {
-			return nil, err
-		}
-		ev.nfaCache[c.Path] = n
+	n, err := ev.pathNFA(c.Path)
+	if err != nil {
+		return nil, err
 	}
 	fromBound := !c.From.IsVar() || bound[c.From.Var]
 	toBound := !c.To.IsVar() || bound[c.To.Var]
@@ -774,11 +912,14 @@ type aggKey struct {
 }
 
 // aggState accumulates the distinct values of the aggregated variable
-// within one group.
+// within one group. ord is the group's creation rank within its block,
+// so flushAggregates emits edges in a deterministic order (the row
+// loop that creates groups is itself deterministic).
 type aggState struct {
 	op   AggOp
 	seen map[graph.Value]struct{}
 	vals []graph.Value
+	ord  int
 }
 
 // construct runs the block's create, link and collect clauses for one
@@ -818,7 +959,7 @@ func (ev *evaluator) construct(b *Block, r env, acc map[aggKey]*aggState) error 
 			k := aggKey{link: &b.Links[li], from: from.OID(), label: label}
 			st, ok2 := acc[k]
 			if !ok2 {
-				st = &aggState{op: l.To.Agg.Op, seen: map[graph.Value]struct{}{}}
+				st = &aggState{op: l.To.Agg.Op, seen: map[graph.Value]struct{}{}, ord: len(acc)}
 				acc[k] = st
 			}
 			if _, dup := st.seen[v]; !dup {
@@ -845,14 +986,26 @@ func (ev *evaluator) construct(b *Block, r env, acc map[aggKey]*aggState) error 
 	return nil
 }
 
-// flushAggregates emits one edge per aggregate group.
+// flushAggregates emits one edge per aggregate group, in group
+// creation order — never map iteration order, which would let two
+// aggregate edges on the same node land in different positions from
+// one build to the next.
 func (ev *evaluator) flushAggregates(acc map[aggKey]*aggState) error {
+	type entry struct {
+		k  aggKey
+		st *aggState
+	}
+	entries := make([]entry, 0, len(acc))
 	for k, st := range acc {
-		v, err := Aggregate(st.op, st.vals)
+		entries = append(entries, entry{k, st})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].st.ord < entries[j].st.ord })
+	for _, e := range entries {
+		v, err := Aggregate(e.st.op, e.st.vals)
 		if err != nil {
 			return err
 		}
-		if err := ev.out.AddEdge(k.from, k.label, v); err != nil {
+		if err := ev.out.AddEdge(e.k.from, e.k.label, v); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,126 @@
+package struql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"strudel/internal/graph"
+)
+
+// parallelData builds a publication graph large enough to cross the
+// chunking threshold, with node-valued and atom-valued edges, cycles,
+// and collections.
+func parallelData(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New("data")
+	var ids []graph.OID
+	for i := 0; i < n; i++ {
+		id := g.NewNode(fmt.Sprintf("pub%d", i))
+		ids = append(ids, id)
+		g.AddToCollection("Publications", graph.NodeValue(id))
+		g.AddEdge(id, "year", graph.Int(int64(1990+rng.Intn(10))))
+		g.AddEdge(id, "category", graph.Str(fmt.Sprintf("Cat%d", rng.Intn(12))))
+		g.AddEdge(id, "title", graph.Str(fmt.Sprintf("Title %d", i)))
+		if len(ids) > 1 {
+			g.AddEdge(id, "cites", graph.NodeValue(ids[rng.Intn(len(ids)-1)]))
+		}
+	}
+	return g
+}
+
+// parallelQuery exercises nested blocks (bound concurrently), a path
+// expression, an aggregate, and Skolem construction in one query.
+const parallelQuerySrc = `
+WHERE Publications(x), x -> "year" -> y
+CREATE YearPage(y)
+LINK YearPage(y) -> "Paper" -> x,
+     YearPage(y) -> "Count" -> COUNT(x)
+{
+  WHERE x -> "category" -> c
+  CREATE CatPage(c)
+  LINK CatPage(c) -> "Paper" -> x
+  COLLECT Cats(CatPage(c))
+}
+{
+  WHERE x -> "cites"* -> z, z -> "title" -> t
+  LINK YearPage(y) -> "ReachesTitle" -> t
+}
+COLLECT Years(YearPage(y))
+`
+
+// evalAt runs the query with a given worker count, forcing chunked
+// expansion with a low threshold, and returns the output graph dump.
+func evalAt(t *testing.T, g *graph.Graph, workers, threshold int) string {
+	t.Helper()
+	q := MustParse(parallelQuerySrc)
+	res, err := Eval(q, g, &Options{Workers: workers, ParallelThreshold: threshold})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res.Output.DumpString()
+}
+
+// TestEvalParallelByteIdentical: the output graph — Skolem OIDs, edge
+// insertion order, collections, aggregates — is byte-identical at
+// workers 1, 4 and 16, with chunking forced on even small relations.
+func TestEvalParallelByteIdentical(t *testing.T) {
+	g := parallelData(300, 7)
+	base := evalAt(t, g, 1, 1_000_000) // pure sequential reference
+	for _, w := range []int{4, 16} {
+		for _, thresh := range []int{1, 256} {
+			if got := evalAt(t, g, w, thresh); got != base {
+				t.Fatalf("workers=%d threshold=%d: output differs from sequential evaluation", w, thresh)
+			}
+		}
+	}
+}
+
+// TestEvalParallelQuick: random graphs evaluate identically at any
+// worker count.
+func TestEvalParallelQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := parallelData(60, seed)
+		base := evalAt(t, g, 1, 1_000_000)
+		return evalAt(t, g, 8, 1) == base
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalParallelError: a failing condition reports the same error
+// at any worker count, with no partial panic from a worker.
+func TestEvalParallelError(t *testing.T) {
+	g := parallelData(50, 3)
+	q := MustParse(`WHERE Publications(x), noSuchPredicate(x) COLLECT C(x)`)
+	var want string
+	for i, w := range []int{1, 4, 16} {
+		_, err := Eval(q, g, &Options{Workers: w, ParallelThreshold: 1})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", w)
+		}
+		if i == 0 {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Fatalf("workers=%d: error %q differs from sequential %q", w, err.Error(), want)
+		}
+	}
+}
+
+// TestEvalBindingsSequentialUnchanged: the EvalBindings entry point
+// (used by click-time evaluation, which parallelizes across pages
+// instead) stays on the sequential path and agrees with Eval's query
+// stage.
+func TestEvalBindingsSequentialUnchanged(t *testing.T) {
+	g := parallelData(80, 11)
+	conds := MustParse(`WHERE Publications(x), x -> "year" -> y COLLECT C(x)`).Root.Where
+	rows, err := EvalBindings(g, nil, conds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 80 {
+		t.Fatalf("rows = %d, want 80", len(rows))
+	}
+}

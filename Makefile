@@ -5,7 +5,7 @@
 # parallel-build determinism suite.
 GO ?= go
 
-.PHONY: build test vet race bench chaos testpar check
+.PHONY: build test vet race bench chaos testpar fuzz check
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,20 @@ chaos:
 	$(GO) test -race -count=2 -run 'Chaos' ./internal/server/
 
 # Parallel-build determinism suite: the worker pool's property tests,
-# the concurrent generator/evaluator/materializer, and the example
-# sites at workers 1/4/16, all under the race detector, twice.
+# the concurrent generator/evaluator/materializer, the example sites at
+# workers 1/4/16, and the differential delta-rebuild suite (random edit
+# scripts, incremental vs. from-scratch, byte-identical at workers
+# 1/4/16), all under the race detector, twice.
 testpar:
 	$(GO) test -race -count=2 ./internal/pool/... ./internal/sitegen/... ./internal/struql/... ./internal/incremental/...
 	$(GO) test -race -count=2 -run 'Deterministic|Parallel|Golden' ./internal/core/ ./examples/...
+	$(GO) test -race -count=2 -run 'Differential' .
 
-check: build vet test race chaos testpar
+# Fuzz smoke: run each language's fuzz target briefly (Go allows one
+# -fuzz pattern per invocation). Longer runs: raise -fuzztime.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzStruQLParse$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzDataDefParse$$' -fuzztime $(FUZZTIME) .
+
+check: build vet test race chaos testpar fuzz

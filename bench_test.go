@@ -649,6 +649,67 @@ func BenchmarkParallelBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaRebuild measures incremental maintenance: touch one
+// object's title on an N-page news site and rebuild, against the full
+// from-scratch build of the same site. The delta path re-evaluates the
+// queries (cheap) but re-renders only the touched article's dependency
+// cone, so its advantage is the rendering fraction it skips; the
+// rendered/reused page counts are reported as metrics. A snapshot
+// lives in BENCH_delta.json.
+func BenchmarkDeltaRebuild(b *testing.B) {
+	const n = 500
+	spec := workload.ArticleSpec(false)
+	for _, mode := range []string{"full", "delta"} {
+		b.Run(fmt.Sprintf("%s-%darticles", mode, n), func(b *testing.B) {
+			data := workload.Articles(n, 1997)
+			cb := buildSpec(b, spec, data)
+			prev, err := cb.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			art, ok := data.NodeByName("art7")
+			if !ok {
+				b.Fatal("art7 missing")
+			}
+			touch := func(i int) {
+				if old, ok := data.First(art, "title"); ok {
+					data.RemoveEdge(art, "title", old)
+				}
+				if err := data.AddEdge(art, "title", graph.Str(fmt.Sprintf("Touched title %d", i%2))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			delta := &graph.Delta{ChangedObjects: []string{"art7"}, TouchedLabels: []string{"title"}}
+			var rendered, reused float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				touch(i)
+				b.StartTimer()
+				if mode == "full" {
+					if _, err := cb.Build(); err != nil {
+						b.Fatal(err)
+					}
+					rendered = float64(len(prev.Site.Pages))
+					continue
+				}
+				res, err := cb.RebuildWithDelta(prev, delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Incremental.Mode != "selective" {
+					b.Fatalf("rebuild mode %s, want selective", res.Incremental.Mode)
+				}
+				rendered = float64(res.Incremental.Site.Rendered)
+				reused = float64(res.Incremental.Site.Reused)
+				prev = res
+			}
+			b.ReportMetric(rendered, "rendered-pages")
+			b.ReportMetric(reused, "reused-pages")
+		})
+	}
+}
+
 // nopResponseWriter discards the response, so the serve benchmarks
 // measure handler work rather than recorder allocation.
 type nopResponseWriter struct{ h http.Header }

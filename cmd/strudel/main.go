@@ -263,13 +263,17 @@ func cmdBuild(args []string) error {
 	for _, v := range res.Violations {
 		fmt.Fprintln(os.Stderr, "warning:", v)
 	}
-	if err := res.Site.WriteTo(*out); err != nil {
+	pruned, err := res.Site.SyncTo(*out)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("built %s: %d pages into %s (data %d/%d, site %d/%d nodes/edges)\n",
 		m.name, res.Stats.Pages, *out,
 		res.Stats.DataNodes, res.Stats.DataEdges,
 		res.Stats.SiteNodes, res.Stats.SiteEdges)
+	if len(pruned) > 0 {
+		fmt.Printf("pruned %d stale page(s) from %s\n", len(pruned), *out)
+	}
 	if *trace {
 		fmt.Print(res.Trace.Summary())
 	}
@@ -372,13 +376,20 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 		// click-time pages see.
 		mux.Handle("/query", http.StripPrefix("/query", server.QueryHandlerFrom(
 			func() *graph.Graph { return cur.Load().Dec.Input() }, m.builder.Registry(), 0)))
+		// Incremental refresh: the mediator reports what changed, and the
+		// new renderer adopts cached pages of unaffected classes instead
+		// of starting cold. refreshLoop is the only caller, so reading
+		// cur without coordination is safe.
 		refresh = func() error {
-			r, err := m.builder.BuildDynamic()
+			prev := cur.Load()
+			r, err := m.builder.RebuildDynamic(prev)
 			if err != nil {
 				return err
 			}
 			warnDegraded(m.builder)
-			cur.Store(r)
+			if r != prev {
+				cur.Store(r)
+			}
 			return nil
 		}
 	} else {
@@ -398,13 +409,21 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 		mux.Handle("/", server.StaticFrom(func() *sitegen.Site { return cur.Load().site }))
 		mux.Handle("/query", http.StripPrefix("/query", server.QueryHandlerFrom(
 			func() *graph.Graph { return cur.Load().siteGraph }, m.builder.Registry(), 0)))
+		// Incremental refresh: the mediator's warehouse delta decides
+		// which pages re-render; unchanged data is a noop. prev is only
+		// touched by refreshLoop (a single goroutine), so no lock.
+		prev := res
 		refresh = func() error {
-			res, err := m.builder.Build()
+			next, err := m.builder.Rebuild(prev)
 			if err != nil {
 				return err
 			}
 			warnDegraded(m.builder)
-			cur.Store(&built{res.Site, res.SiteGraph})
+			if info := next.Incremental; info != nil && info.Mode != "noop" {
+				fmt.Fprintln(os.Stderr, "strudel:", info.Summary())
+			}
+			cur.Store(&built{next.Site, next.SiteGraph})
+			prev = next
 			return nil
 		}
 	}

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"strudel/internal/workload"
 )
+
+var update = flag.Bool("update", false, "rewrite the golden site fixtures")
 
 // TestBuildDeterministicAcrossWorkers: the news site and its
 // sports-only variant render byte-identically at workers 1, 4 and 16.
@@ -31,6 +36,41 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 					t.Errorf("sports=%v workers=%d: %s differs from sequential build", sportsOnly, w, path)
 				}
 			}
+		}
+	}
+}
+
+// TestGoldenSite compares every rendered page of a small news site
+// against the checked-in fixtures under golden/. Regenerate with:
+// go test ./examples/cnn -update
+func TestGoldenSite(t *testing.T) {
+	res, err := buildSite(workload.Articles(24, 1997), false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := "golden"
+	if *update {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Site.WriteTo(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixtures)", err)
+	}
+	if len(entries) != len(res.Site.Pages) {
+		t.Fatalf("golden has %d files, build has %d pages (run with -update?)", len(entries), len(res.Site.Pages))
+	}
+	for path, p := range res.Site.Pages {
+		want, err := os.ReadFile(filepath.Join(dir, path))
+		if err != nil {
+			t.Fatalf("%v (run with -update?)", err)
+		}
+		if p.HTML != string(want) {
+			t.Errorf("%s differs from golden fixture (run with -update to accept)", path)
 		}
 	}
 }

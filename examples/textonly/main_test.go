@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden graph fixture")
 
 // TestTransformDeterministicAcrossWorkers: the TextOnly graph copy —
 // node names, edge order, collections — is byte-identical at workers
@@ -24,5 +31,37 @@ func TestTransformDeterministicAcrossWorkers(t *testing.T) {
 		if out.DumpString() != want {
 			t.Errorf("workers=%d: output graph differs from sequential evaluation", w)
 		}
+	}
+}
+
+// TestGoldenGraph compares the TextOnly output graph's deterministic
+// dump against the checked-in fixture — the example has no HTML pages,
+// so the graph dump is the golden surface. Regenerate with:
+// go test ./examples/textonly -update
+func TestGoldenGraph(t *testing.T) {
+	data, err := siteGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := transform(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.DumpString()
+	path := filepath.Join("golden", "textonly.dump")
+	if *update {
+		if err := os.MkdirAll("golden", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if got != string(want) {
+		t.Errorf("TextOnly graph dump differs from golden fixture (run with -update to accept)")
 	}
 }

@@ -204,7 +204,11 @@ type Stats struct {
 	DataNodes, DataEdges int
 	SiteNodes, SiteEdges int
 	Pages                int
-	Bindings             int
+	// PagesReused and PagesPruned report incremental-rebuild outcomes:
+	// pages carried over unrendered from the previous result, and
+	// previous paths no longer produced. Both are 0 for full builds.
+	PagesReused, PagesPruned int
+	Bindings                 int
 	MediationTime        time.Duration
 	QueryTime            time.Duration
 	VerifyTime           time.Duration
@@ -223,9 +227,13 @@ type Result struct {
 	// → generate); Trace.Summary() renders a timeline.
 	Trace *telemetry.Trace
 	// Refresh reports per-source mediation outcomes (fresh, degraded
-	// to last-good data, failed). Nil when SetDataGraph bypassed the
+	// to last-good data, failed) and, from the second refresh on, the
+	// warehouse-level data delta. Nil when SetDataGraph bypassed the
 	// mediator.
 	Refresh *mediator.RefreshReport
+	// Incremental describes how a Rebuild proceeded (delta, impact,
+	// page reuse). Nil for full Build calls.
+	Incremental *RebuildInfo
 	// Violations are constraint failures; Build returns them without
 	// error so callers can decide whether to publish anyway.
 	Violations []error

@@ -1,0 +1,298 @@
+// Incremental rebuilds: instead of re-rendering every page on each
+// data refresh, the builder diffs the data graph, maps the delta
+// through the site schema, re-evaluates the site-definition queries,
+// and re-renders only the pages whose reverse-reachability cone in the
+// new site graph intersects the changed objects. Query evaluation is
+// always re-run in full (StruQL evaluation is cheap relative to
+// rendering and re-evaluating is trivially conservative); page
+// rendering — the expensive phase — is selective.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"strudel/internal/graph"
+	"strudel/internal/incremental"
+	"strudel/internal/mediator"
+	"strudel/internal/optimizer"
+	"strudel/internal/schema"
+	"strudel/internal/sitegen"
+	"strudel/internal/struql"
+	"strudel/internal/telemetry"
+)
+
+// RebuildInfo describes how an incremental rebuild proceeded.
+type RebuildInfo struct {
+	// Mode is "noop" (nothing changed, previous result reused), "full"
+	// (no usable baseline or delta — everything re-rendered), or
+	// "selective" (only affected pages re-rendered).
+	Mode string
+	// Data is the data-graph delta the rebuild keyed on (nil when
+	// unknown, forcing a full rebuild).
+	Data *graph.Delta
+	// Impact is the delta mapped through the site schema.
+	Impact *schema.Impact
+	// Site reports page-level reuse (nil in noop mode).
+	Site *sitegen.DeltaStats
+}
+
+// Summary renders a one-line digest for logs.
+func (ri *RebuildInfo) Summary() string {
+	if ri == nil {
+		return "rebuild: full (no delta info)"
+	}
+	switch ri.Mode {
+	case "noop":
+		return "rebuild: noop (data unchanged)"
+	case "full":
+		reason := "no baseline"
+		if ri.Site != nil && ri.Site.Reason != "" {
+			reason = ri.Site.Reason
+		}
+		return "rebuild: full (" + reason + ")"
+	default:
+		s := fmt.Sprintf("rebuild: selective, %d rendered, %d reused", ri.Site.Rendered, ri.Site.Reused)
+		if n := len(ri.Site.PrunedPaths); n > 0 {
+			s += fmt.Sprintf(", %d pruned", n)
+		}
+		return s
+	}
+}
+
+// deltaPages returns the telemetry counter for page outcomes during
+// incremental rebuilds, or nil when telemetry is detached.
+func (b *Builder) deltaPages(action string) *telemetry.Counter {
+	if b.telem == nil {
+		return nil
+	}
+	return b.telem.Counter("strudel_delta_pages_total",
+		"Pages processed by incremental rebuilds, by outcome (rendered, reused, pruned).",
+		"action", action)
+}
+
+func (b *Builder) countRebuild(mode string) {
+	if b.telem != nil {
+		b.telem.Counter("strudel_delta_rebuilds_total",
+			"Incremental rebuilds, by mode (noop, selective, full).",
+			"mode", mode).Inc()
+	}
+}
+
+func addCount(c *telemetry.Counter, n int) {
+	if c != nil && n > 0 {
+		c.Add(n)
+	}
+}
+
+// Rebuild refreshes the mediated data graph and rebuilds the site
+// incrementally against a previous result: the mediator reports the
+// warehouse-level delta, and only pages the delta can reach re-render.
+// A nil prev, a first refresh (no delta baseline), or an explicit
+// SetDataGraph (whose mutations the builder cannot observe — use
+// RebuildWithDelta) all degrade to a full build. The returned result
+// is byte-identical to a from-scratch Build over the same data.
+func (b *Builder) Rebuild(prev *Result) (*Result, error) {
+	if prev == nil || prev.Site == nil || prev.SiteGraph == nil {
+		return b.Build()
+	}
+	if b.dataGraph != nil {
+		// In-place mutations are invisible here; only the caller knows
+		// what changed.
+		return b.Build()
+	}
+	data, report, err := b.med.RefreshWithReport()
+	if err != nil {
+		return nil, err
+	}
+	return b.rebuildFrom(prev, data, report, report.Warehouse)
+}
+
+// RebuildWithDelta rebuilds incrementally from an explicitly supplied
+// data graph delta — the caller mutated the graph set via SetDataGraph
+// and knows (or computed via graph.Diff) what changed. The delta must
+// over-approximate the actual change; a nil delta forces a full build.
+func (b *Builder) RebuildWithDelta(prev *Result, delta *graph.Delta) (*Result, error) {
+	if prev == nil || prev.Site == nil || prev.SiteGraph == nil {
+		return b.Build()
+	}
+	data, err := b.buildDataGraph()
+	if err != nil {
+		return nil, err
+	}
+	var report *mediator.RefreshReport
+	if b.dataGraph == nil {
+		report = b.med.LastReport()
+	}
+	return b.rebuildFrom(prev, data, report, delta)
+}
+
+// rebuildFrom is the shared incremental pipeline: analyze the delta,
+// short-circuit when nothing can change, else re-evaluate the queries
+// and regenerate selectively.
+func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.RefreshReport, delta *graph.Delta) (*Result, error) {
+	tr := telemetry.NewTrace("rebuild " + b.name)
+	res := &Result{Trace: tr, DataGraph: data, Refresh: report}
+	pl := b.buildPool()
+	defer func() {
+		tr.Finish()
+		res.Stats.TotalTime = tr.Duration()
+	}()
+
+	sch := b.siteSchema()
+	impact := schema.Analyze(sch, delta)
+	info := &RebuildInfo{Data: delta, Impact: impact}
+	res.Incremental = info
+
+	ds := data.Stats()
+	res.Stats.DataNodes, res.Stats.DataEdges = ds.Nodes, ds.Edges
+
+	// Nothing the schema can see changed: the site graph — a function
+	// of the data graph and the queries — is provably identical, so the
+	// previous site is the new site.
+	if delta != nil && impact.Empty() {
+		info.Mode = "noop"
+		res.SiteGraph = prev.SiteGraph
+		res.Schema = prev.Schema
+		res.Site = prev.Site
+		res.Violations = prev.Violations
+		res.DomainWarnings = prev.DomainWarnings
+		ss := prev.SiteGraph.Stats()
+		res.Stats.SiteNodes, res.Stats.SiteEdges = ss.Nodes, ss.Edges
+		res.Stats.Pages = len(prev.Site.Pages)
+		res.Stats.PagesReused = len(prev.Site.Pages)
+		addCount(b.deltaPages("reused"), len(prev.Site.Pages))
+		b.countRebuild("noop")
+		return res, nil
+	}
+
+	// Re-evaluate the site-definition queries in full — conservative by
+	// construction — then diff the site graphs to find which pages'
+	// dependency cones the change touches.
+	qsp := tr.Root().Child("query")
+	site, bindings, err := b.evalQueries(data, qsp, pl)
+	qsp.Finish()
+	res.Stats.QueryTime = qsp.Duration()
+	if err != nil {
+		return nil, err
+	}
+	res.SiteGraph = site
+	res.Stats.Bindings = bindings
+
+	ver := tr.Root().Child("verify")
+	res.Schema = sch
+	res.Violations = schema.VerifyAll(sch, site, b.constraints)
+	for _, q := range b.queries {
+		res.DomainWarnings = append(res.DomainWarnings,
+			struql.RangeCheckWith(q, data.HasCollection)...)
+	}
+	ver.Finish()
+	res.Stats.VerifyTime = ver.Duration()
+
+	var affected func(graph.OID) bool
+	if delta != nil {
+		siteDelta := graph.Diff(prev.SiteGraph, site)
+		var starts []graph.OID
+		resolvable := true
+		for _, key := range append(append([]string{}, siteDelta.AddedObjects...), siteDelta.ChangedObjects...) {
+			oid, ok := site.ResolveKey(key)
+			if !ok {
+				// A changed object we cannot locate in the new site
+				// graph (should not happen for added/changed keys):
+				// give up on selectivity rather than risk staleness.
+				resolvable = false
+				break
+			}
+			starts = append(starts, oid)
+		}
+		if resolvable {
+			cone := site.ReverseReachable(starts)
+			affected = func(oid graph.OID) bool {
+				_, ok := cone[oid]
+				return ok
+			}
+		}
+	}
+
+	gsp := tr.Root().Child("generate")
+	gen := sitegen.New(site, sitegen.Config{
+		Templates:    b.templates,
+		EmbedOnly:    b.embedOnly,
+		Index:        b.index,
+		FileResolver: b.resolver,
+		Pool:         pl,
+	})
+	htmlSite, dstats, err := gen.RegenerateDeltaContext(context.Background(), prev.Site, affected)
+	gsp.Finish()
+	res.Stats.GenerateTime = gsp.Duration()
+	if err != nil {
+		return nil, err
+	}
+	res.Site = htmlSite
+	info.Site = dstats
+	if dstats.Full {
+		info.Mode = "full"
+	} else {
+		info.Mode = "selective"
+	}
+	b.countRebuild(info.Mode)
+	addCount(b.deltaPages("rendered"), dstats.Rendered)
+	addCount(b.deltaPages("reused"), dstats.Reused)
+	addCount(b.deltaPages("pruned"), len(dstats.PrunedPaths))
+
+	ss := site.Stats()
+	res.Stats.SiteNodes, res.Stats.SiteEdges = ss.Nodes, ss.Edges
+	res.Stats.Pages = len(htmlSite.Pages)
+	res.Stats.PagesReused = dstats.Reused
+	res.Stats.PagesPruned = len(dstats.PrunedPaths)
+	return res, nil
+}
+
+// RebuildDynamic refreshes the mediated data graph and returns a
+// renderer for click-time evaluation, carrying over the previous
+// renderer's page cache for classes the refresh delta cannot affect.
+// When the data did not change at all, prev itself is returned. A nil
+// prev, or no delta baseline, builds a fresh (cold-cache) renderer.
+func (b *Builder) RebuildDynamic(prev *incremental.Renderer) (*incremental.Renderer, error) {
+	if prev == nil {
+		return b.BuildDynamic()
+	}
+	if b.dataGraph != nil {
+		// In-place data mutation: same decomposition, selective eviction.
+		prev.Dec.InvalidateDelta(nil)
+		return prev, nil
+	}
+	data, report, err := b.med.RefreshWithReport()
+	if err != nil {
+		return nil, err
+	}
+	delta := report.Warehouse
+	if delta != nil && delta.Empty() {
+		return prev, nil
+	}
+	if len(b.queries) != 1 {
+		return nil, fmt.Errorf("core: dynamic evaluation needs exactly one site-definition query, have %d", len(b.queries))
+	}
+	dec := incremental.Decompose(b.queries[0], data, b.Registry())
+	dec.UsePool(b.buildPool())
+	if b.optimize {
+		dec.UsePlanner(optimizer.Hook(b.optimizerContext(data)))
+	}
+	adopted := 0
+	if delta != nil {
+		adopted = dec.AdoptCache(prev.Dec, schema.Analyze(dec.Schema(), delta))
+	}
+	r := &incremental.Renderer{
+		Dec:       dec,
+		Templates: b.templates,
+		EmbedOnly: b.embedOnly,
+		URLFor:    prev.URLFor,
+		MaxDepth:  prev.MaxDepth,
+	}
+	if b.telem != nil {
+		r.Instrument(b.telem)
+		b.telem.Counter("strudel_dynamic_cache_events_total",
+			"Dynamic page-cache events (hit, miss, evict).", "event", "adopt").Add(adopted)
+	}
+	return r, nil
+}

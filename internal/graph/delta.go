@@ -1,0 +1,307 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Delta describes the difference between two graphs at object
+// granularity. Objects are identified by symbolic node name where one
+// exists; unnamed nodes fall back to their OID key ("&17"), which makes
+// cross-rebuild comparison of unnamed objects conservative: an unnamed
+// object whose OID shifted between builds is reported as one removal
+// plus one addition.
+//
+// An object is "changed" when its canonical out-edge set or its
+// collection memberships differ between the two graphs. TouchedLabels
+// holds every edge label that appears in the symmetric difference of
+// edge sets (plus all labels of added and removed objects);
+// TouchedCollections holds every collection whose membership changed.
+type Delta struct {
+	AddedObjects       []string
+	RemovedObjects     []string
+	ChangedObjects     []string
+	TouchedLabels      []string
+	TouchedCollections []string
+}
+
+// Empty reports whether the delta records no difference at all.
+func (d *Delta) Empty() bool {
+	return d == nil ||
+		(len(d.AddedObjects) == 0 && len(d.RemovedObjects) == 0 &&
+			len(d.ChangedObjects) == 0 && len(d.TouchedLabels) == 0 &&
+			len(d.TouchedCollections) == 0)
+}
+
+// HasLabel reports whether edges with the given label changed.
+func (d *Delta) HasLabel(label string) bool {
+	if d == nil {
+		return false
+	}
+	for _, l := range d.TouchedLabels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// HasCollection reports whether the named collection's membership
+// changed.
+func (d *Delta) HasCollection(name string) bool {
+	if d == nil {
+		return false
+	}
+	for _, c := range d.TouchedCollections {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyEdgeChange reports whether any edge — of any label — was added or
+// removed. It is the trigger for conditions that are sensitive to the
+// whole active domain (unconstrained arc variables, negation).
+func (d *Delta) AnyEdgeChange() bool {
+	return d != nil && len(d.TouchedLabels) > 0
+}
+
+// Objects returns every affected object key (added, removed and
+// changed), sorted.
+func (d *Delta) Objects() []string {
+	if d == nil {
+		return nil
+	}
+	out := make([]string, 0, len(d.AddedObjects)+len(d.RemovedObjects)+len(d.ChangedObjects))
+	out = append(out, d.AddedObjects...)
+	out = append(out, d.RemovedObjects...)
+	out = append(out, d.ChangedObjects...)
+	sort.Strings(out)
+	return out
+}
+
+// Summary renders a compact one-line description for logs.
+func (d *Delta) Summary() string {
+	if d.Empty() {
+		return "delta: empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "delta: +%d -%d ~%d objects",
+		len(d.AddedObjects), len(d.RemovedObjects), len(d.ChangedObjects))
+	if len(d.TouchedLabels) > 0 {
+		fmt.Fprintf(&b, ", labels %s", strings.Join(d.TouchedLabels, ","))
+	}
+	if len(d.TouchedCollections) > 0 {
+		fmt.Fprintf(&b, ", collections %s", strings.Join(d.TouchedCollections, ","))
+	}
+	return b.String()
+}
+
+// objSnap is one object's canonical comparison form: its out-edges as
+// "label\x00targetKey" strings and the collections it belongs to.
+type objSnap struct {
+	edges   map[string]struct{}
+	members map[string]struct{}
+}
+
+// snapshot captures a graph in identity-keyed canonical form. The names
+// map is the authority for node identity (nodeData.name can be empty
+// for nodes that entered the graph implicitly through AddEdge); when
+// several names bind one OID the lexicographically smallest wins.
+func (g *Graph) snapshot() (objs map[string]*objSnap, colls map[string]map[string]struct{}) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	keyOf := make(map[OID]string, len(g.nodes))
+	for name, id := range g.names {
+		if prev, ok := keyOf[id]; !ok || name < prev {
+			keyOf[id] = name
+		}
+	}
+	for id := range g.nodes {
+		if _, ok := keyOf[id]; !ok {
+			keyOf[id] = "&" + strconv.FormatUint(uint64(id), 10)
+		}
+	}
+	valKey := func(v Value) string {
+		if v.IsNode() {
+			if k, ok := keyOf[v.OID()]; ok {
+				return k
+			}
+			return "&" + strconv.FormatUint(uint64(v.OID()), 10)
+		}
+		return v.String()
+	}
+
+	objs = make(map[string]*objSnap, len(g.nodes))
+	for id, nd := range g.nodes {
+		s := &objSnap{edges: make(map[string]struct{}, len(nd.out))}
+		for _, e := range nd.out {
+			s.edges[e.Label+"\x00"+valKey(e.To)] = struct{}{}
+		}
+		objs[keyOf[id]] = s
+	}
+	colls = make(map[string]map[string]struct{}, len(g.colls))
+	for name, c := range g.colls {
+		set := make(map[string]struct{}, len(c.members))
+		for _, v := range c.members {
+			k := valKey(v)
+			set[k] = struct{}{}
+			if v.IsNode() {
+				if s, ok := objs[k]; ok {
+					if s.members == nil {
+						s.members = make(map[string]struct{})
+					}
+					s.members[name] = struct{}{}
+				}
+			}
+		}
+		colls[name] = set
+	}
+	return objs, colls
+}
+
+// Diff computes the object-level delta from old to new. A nil old graph
+// yields a delta in which every object of new is added; a nil new graph
+// marks every object of old removed.
+func Diff(old, new *Graph) *Delta {
+	var (
+		oldObjs  map[string]*objSnap
+		oldColls map[string]map[string]struct{}
+		newObjs  map[string]*objSnap
+		newColls map[string]map[string]struct{}
+	)
+	if old != nil {
+		oldObjs, oldColls = old.snapshot()
+	}
+	if new != nil {
+		newObjs, newColls = new.snapshot()
+	}
+
+	d := &Delta{}
+	labels := map[string]struct{}{}
+	touchLabels := func(edgeKeys map[string]struct{}) {
+		for k := range edgeKeys {
+			if i := strings.IndexByte(k, 0); i >= 0 {
+				labels[k[:i]] = struct{}{}
+			}
+		}
+	}
+	sameSet := func(a, b map[string]struct{}) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if _, ok := b[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	for key, ns := range newObjs {
+		os, ok := oldObjs[key]
+		if !ok {
+			d.AddedObjects = append(d.AddedObjects, key)
+			touchLabels(ns.edges)
+			continue
+		}
+		if !sameSet(os.edges, ns.edges) || !sameSet(os.members, ns.members) {
+			d.ChangedObjects = append(d.ChangedObjects, key)
+			// Symmetric difference of the edge sets.
+			for k := range ns.edges {
+				if _, dup := os.edges[k]; !dup {
+					if i := strings.IndexByte(k, 0); i >= 0 {
+						labels[k[:i]] = struct{}{}
+					}
+				}
+			}
+			for k := range os.edges {
+				if _, dup := ns.edges[k]; !dup {
+					if i := strings.IndexByte(k, 0); i >= 0 {
+						labels[k[:i]] = struct{}{}
+					}
+				}
+			}
+		}
+	}
+	for key, os := range oldObjs {
+		if _, ok := newObjs[key]; !ok {
+			d.RemovedObjects = append(d.RemovedObjects, key)
+			touchLabels(os.edges)
+		}
+	}
+
+	collSet := map[string]struct{}{}
+	for name, ns := range newColls {
+		if os, ok := oldColls[name]; !ok || !sameSet(os, ns) {
+			collSet[name] = struct{}{}
+		}
+	}
+	for name := range oldColls {
+		if _, ok := newColls[name]; !ok {
+			collSet[name] = struct{}{}
+		}
+	}
+
+	for l := range labels {
+		d.TouchedLabels = append(d.TouchedLabels, l)
+	}
+	for c := range collSet {
+		d.TouchedCollections = append(d.TouchedCollections, c)
+	}
+	sort.Strings(d.AddedObjects)
+	sort.Strings(d.RemovedObjects)
+	sort.Strings(d.ChangedObjects)
+	sort.Strings(d.TouchedLabels)
+	sort.Strings(d.TouchedCollections)
+	return d
+}
+
+// ResolveKey maps a Delta object key back to an OID in this graph.
+// Symbolic names take precedence; "&17"-style keys resolve by OID.
+func (g *Graph) ResolveKey(key string) (OID, bool) {
+	if id, ok := g.NodeByName(key); ok {
+		return id, true
+	}
+	if strings.HasPrefix(key, "&") {
+		n, err := strconv.ParseUint(key[1:], 10, 64)
+		if err == nil && g.HasNode(OID(n)) {
+			return OID(n), true
+		}
+	}
+	return InvalidOID, false
+}
+
+// ReverseReachable returns every node from which any start node can be
+// reached by following node-to-node edges (the starts themselves
+// included). It is the dependency cone used to decide which pages can
+// observe a change: a page whose subtree embeds or links a changed
+// object lies on a reverse path from it.
+func (g *Graph) ReverseReachable(starts []OID) map[OID]struct{} {
+	seen := map[OID]struct{}{}
+	var stack []OID
+	for _, s := range starts {
+		if !g.HasNode(s) {
+			continue
+		}
+		if _, ok := seen[s]; !ok {
+			seen[s] = struct{}{}
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.In(n) {
+			if _, ok := seen[e.From]; !ok {
+				seen[e.From] = struct{}{}
+				stack = append(stack, e.From)
+			}
+		}
+	}
+	return seen
+}

@@ -18,6 +18,7 @@ import (
 
 	"strudel/internal/graph"
 	"strudel/internal/pool"
+	"strudel/internal/schema"
 	"strudel/internal/struql"
 	"strudel/internal/telemetry"
 )
@@ -124,6 +125,9 @@ type Decomposition struct {
 
 	pages    map[string][]pageClause
 	collects []collectClause
+	// siteSchema is the query's site schema, kept for delta-driven
+	// selective cache invalidation.
+	siteSchema *schema.SiteSchema
 	// pl bounds how many pages MaterializeAll computes concurrently; a
 	// nil pool runs with runtime.GOMAXPROCS(0) workers. Set it (via
 	// SetWorkers or UsePool) before materializing, not concurrently.
@@ -180,8 +184,12 @@ func Decompose(q *struql.Query, input *graph.Graph, reg *struql.Registry) *Decom
 		}
 	}
 	walk(q.Root, nil)
+	d.siteSchema = schema.Build(q)
 	return d
 }
+
+// Schema returns the site schema of the decomposed query.
+func (d *Decomposition) Schema() *schema.SiteSchema { return d.siteSchema }
 
 // Instrument makes the decomposition report cache behaviour into a
 // telemetry registry: page-cache hits, misses and evictions, and the
@@ -251,15 +259,64 @@ func (d *Decomposition) Stats() Stats {
 	return d.stats
 }
 
-// InvalidateCache drops all cached pages (call after the data graph
-// changes). Dropped entries count as evictions.
-func (d *Decomposition) InvalidateCache() {
+// InvalidateCache drops all cached pages (call after a data-graph
+// change of unknown shape). Dropped entries count as evictions. When
+// the change is known, InvalidateDelta keeps unaffected classes' pages.
+func (d *Decomposition) InvalidateCache() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	n := len(d.cache)
 	if d.met != nil {
-		d.met.evictions.Add(len(d.cache))
+		d.met.evictions.Add(n)
 	}
 	d.cache = map[string]*PageData{}
+	return n
+}
+
+// InvalidateDelta drops only the cached pages of classes the delta can
+// affect, per the site schema's dependency analysis, and returns the
+// number of evicted entries. Cached PageData holds exactly the page's
+// own out-edges (link targets are identified by key, not content), so
+// direct class sensitivity — without the render closure — is sufficient
+// for cache soundness. A nil delta degrades to InvalidateCache.
+func (d *Decomposition) InvalidateDelta(delta *graph.Delta) int {
+	return d.InvalidateImpact(schema.Analyze(d.siteSchema, delta))
+}
+
+// InvalidateImpact is InvalidateDelta for a precomputed impact.
+func (d *Decomposition) InvalidateImpact(im *schema.Impact) int {
+	if im == nil || im.All {
+		return d.InvalidateCache()
+	}
+	if im.Empty() {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for key, pd := range d.cache {
+		if im.Affected(pd.Ref.Func) {
+			delete(d.cache, key)
+			n++
+		}
+	}
+	if d.met != nil && n > 0 {
+		d.met.evictions.Add(n)
+	}
+	return n
+}
+
+// CachedKeys returns the keys of all cached pages, sorted; tests use it
+// to observe which entries an invalidation kept.
+func (d *Decomposition) CachedKeys() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.cache))
+	for k := range d.cache {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // addBindings records click-time binding rows in both Stats and the

@@ -1,0 +1,117 @@
+package incremental
+
+import (
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// fill materializes the whole test site so the cache holds pages of
+// every class.
+func fill(t *testing.T, d *Decomposition) {
+	t.Helper()
+	if _, err := d.MaterializeAll("Roots"); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.CachedKeys()) == 0 {
+		t.Fatal("cache empty after materialization")
+	}
+}
+
+func TestInvalidateDeltaSelective(t *testing.T) {
+	g, d := setup(t)
+	fill(t, d)
+	before := len(d.CachedKeys())
+
+	// Touch pub1's title in the data graph.
+	pub1, ok := g.NodeByName("pub1")
+	if !ok {
+		t.Fatal("pub1 missing")
+	}
+	if !g.RemoveEdge(pub1, "title", graph.Str("Alpha")) {
+		t.Fatal("title edge missing")
+	}
+	g.AddEdge(pub1, "title", graph.Str("Alpha v2"))
+	delta := &graph.Delta{
+		ChangedObjects: []string{"pub1"},
+		TouchedLabels:  []string{"title"},
+	}
+
+	evicted := d.InvalidateDelta(delta)
+	if evicted == 0 {
+		t.Fatal("title change must evict PaperPage entries")
+	}
+	kept := d.CachedKeys()
+	// The outer block's unconstrained arc variable makes PaperPage
+	// sensitive to any label; YearPage's clauses are guarded by
+	// l = "year" and must survive a title-only delta. RootPage's
+	// YearPage link is also year-guarded.
+	for _, k := range kept {
+		if pref, _ := d.Resolve(k); pref.Func == "PaperPage" {
+			t.Errorf("PaperPage entry %s survived a title delta", k)
+		}
+	}
+	wantKept := map[string]bool{"YearPage(1997)": true, "YearPage(1998)": true, "RootPage()": true}
+	if len(kept) != len(wantKept) {
+		t.Errorf("kept %v, want %v", kept, wantKept)
+	}
+	for _, k := range kept {
+		if !wantKept[k] {
+			t.Errorf("unexpected survivor %s", k)
+		}
+	}
+	if before-evicted != len(kept) {
+		t.Errorf("evicted %d of %d but %d remain", evicted, before, len(kept))
+	}
+
+	// Recomputing the evicted page observes the new title.
+	ref, ok := d.Resolve("PaperPage(pub1)")
+	if !ok {
+		t.Fatal("PaperPage(pub1) unknown")
+	}
+	pd, err := d.Page(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := pd.First("title"); !ok || v != graph.Str("Alpha v2") {
+		t.Errorf("recomputed title = %v, want Alpha v2", v)
+	}
+}
+
+func TestInvalidateDeltaEmptyKeepsEverything(t *testing.T) {
+	_, d := setup(t)
+	fill(t, d)
+	n := len(d.CachedKeys())
+	if evicted := d.InvalidateDelta(&graph.Delta{}); evicted != 0 {
+		t.Fatalf("empty delta evicted %d entries", evicted)
+	}
+	if len(d.CachedKeys()) != n {
+		t.Fatal("empty delta shrank the cache")
+	}
+}
+
+func TestInvalidateDeltaNilDropsEverything(t *testing.T) {
+	_, d := setup(t)
+	fill(t, d)
+	if evicted := d.InvalidateDelta(nil); evicted != len(d.CachedKeys())+evicted {
+		t.Fatalf("nil delta must drop the whole cache, %d entries remain", len(d.CachedKeys()))
+	}
+	if len(d.CachedKeys()) != 0 {
+		t.Fatal("cache not empty after nil-delta invalidation")
+	}
+}
+
+func TestInvalidateDeltaYearChange(t *testing.T) {
+	_, d := setup(t)
+	fill(t, d)
+	delta := &graph.Delta{
+		ChangedObjects: []string{"pub2"},
+		TouchedLabels:  []string{"year"},
+	}
+	d.InvalidateDelta(delta)
+	// A year delta satisfies the l = "year" guard: YearPage and the
+	// year-linked RootPage must go too, alongside the PaperPages.
+	if keys := d.CachedKeys(); len(keys) != 0 {
+		t.Errorf("year delta must evict every class, kept %v", keys)
+	}
+}

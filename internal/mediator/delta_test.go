@@ -1,0 +1,62 @@
+package mediator
+
+import (
+	"testing"
+
+	"strudel/internal/repository"
+	"strudel/internal/wrapper"
+)
+
+// TestRefreshReportsDeltas: the first refresh has no baseline (nil
+// warehouse delta), an unchanged second refresh reports an empty one,
+// and a content edit surfaces in both the source delta and the
+// warehouse delta.
+func TestRefreshReportsDeltas(t *testing.T) {
+	repo := repository.New("")
+	m := New(repo, "warehouse")
+	content := peopleCSV
+	w, _ := wrapper.ByName("csv")
+	m.AddSourceDynamic(&Source{
+		Name:    "people.csv",
+		Wrapper: w,
+		Fetch:   func() (string, error) { return content, nil },
+	})
+
+	_, r1, err := m.RefreshWithReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Warehouse != nil {
+		t.Fatalf("first refresh must have nil warehouse delta, got %s", r1.Warehouse.Summary())
+	}
+	if st, _ := r1.Source("people.csv"); st.Delta != nil {
+		t.Fatalf("first wrap must have nil source delta, got %s", st.Delta.Summary())
+	}
+
+	_, r2, err := m.RefreshWithReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Warehouse == nil || !r2.Warehouse.Empty() {
+		t.Fatalf("unchanged refresh must report an empty warehouse delta, got %v", r2.Warehouse)
+	}
+	if st, _ := r2.Source("people.csv"); st.Delta == nil || !st.Delta.Empty() {
+		t.Fatalf("unchanged source must report an empty delta, got %v", st.Delta)
+	}
+
+	content = peopleCSV + "fer,Mary Fer,att\n"
+	_, r3, err := m.RefreshWithReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Warehouse.Empty() {
+		t.Fatal("content edit must produce a non-empty warehouse delta")
+	}
+	st, _ := r3.Source("people.csv")
+	if st.Delta.Empty() {
+		t.Fatal("content edit must produce a non-empty source delta")
+	}
+	if !st.Delta.HasLabel("name") && len(st.Delta.AddedObjects) == 0 {
+		t.Errorf("source delta misses the new row: %s", st.Delta.Summary())
+	}
+}

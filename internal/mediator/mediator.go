@@ -110,6 +110,9 @@ type Mediator struct {
 	refreshMu  sync.Mutex
 	lastGood   map[string]*graph.Graph
 	staleSince map[string]time.Time
+	// lastWarehouse is the previously committed warehouse, kept as the
+	// baseline for the refresh report's warehouse-level delta.
+	lastWarehouse *graph.Graph
 
 	// mu guards the fields below. It is held only for short critical
 	// sections — never across fetches, per-attempt timeouts or backoff
@@ -388,6 +391,9 @@ func (m *Mediator) RefreshWithReport() (*graph.Graph, *RefreshReport, error) {
 			} else {
 				use[s.Name] = g
 				fresh[s.Name] = g
+				if last, ok := m.lastGood[s.Name]; ok {
+					st.Delta = graph.Diff(last, g)
+				}
 			}
 		} else if !errors.Is(err, resilience.ErrBreakerOpen) {
 			err = fmt.Errorf("mediator: fetching source %q: %w", s.Name, err)
@@ -405,6 +411,7 @@ func (m *Mediator) RefreshWithReport() (*graph.Graph, *RefreshReport, error) {
 			}
 			st.State = Degraded
 			st.StaleSince = m.staleSince[s.Name]
+			st.Delta = &graph.Delta{} // last-good reused verbatim
 			use[s.Name] = last
 		} else {
 			delete(m.staleSince, s.Name)
@@ -431,6 +438,13 @@ func (m *Mediator) RefreshWithReport() (*graph.Graph, *RefreshReport, error) {
 		}
 	}
 
+	// The warehouse-level delta subsumes the per-source ones (it sees
+	// the data after GAV mapping); it is what incremental rebuilds key
+	// on. No baseline on the first refresh leaves it nil — "unknown".
+	if m.lastWarehouse != nil {
+		report.Warehouse = graph.Diff(m.lastWarehouse, wh)
+	}
+
 	// Commit: publish the fresh source graphs and the new warehouse.
 	// Each Put is an atomic pointer swap in the database; readers
 	// holding the old graphs keep a consistent (if stale) view.
@@ -439,6 +453,7 @@ func (m *Mediator) RefreshWithReport() (*graph.Graph, *RefreshReport, error) {
 		m.lastGood[name] = g
 	}
 	m.repo.Put(wh)
+	m.lastWarehouse = wh
 	m.Refreshes++
 	finish(false)
 	return wh, report, nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"strudel/internal/graph"
 )
 
 // SourceState classifies how one source fared during a Refresh.
@@ -46,6 +48,11 @@ type SourceStatus struct {
 	// StaleSince is when the source first degraded without recovering
 	// since; zero for fresh sources.
 	StaleSince time.Time
+	// Delta is the change in this source's wrapped graph relative to
+	// its last-good graph: empty for a degraded source (it reuses the
+	// last-good graph verbatim), nil on the source's very first
+	// successful wrap (no baseline to compare against).
+	Delta *graph.Delta
 }
 
 // RefreshReport describes a warehouse refresh source by source,
@@ -58,6 +65,13 @@ type RefreshReport struct {
 	// Sources holds one status per configured source, in registration
 	// order (truncated at the failing source when the refresh aborts).
 	Sources []SourceStatus
+	// Warehouse is the change in the committed warehouse graph relative
+	// to the previous refresh's warehouse. It is nil on the first
+	// refresh (no baseline — callers must treat nil as "anything may
+	// have changed") and on aborted refreshes (nothing committed). It
+	// subsumes the per-source deltas: GAV-mapped attribute renamings
+	// and merges are diffed after mapping, at warehouse granularity.
+	Warehouse *graph.Delta
 }
 
 // Ok reports whether every source was fresh.

@@ -1,0 +1,287 @@
+// Delta dependency analysis: mapping a data-graph Delta through the
+// site schema's (Q, L, X, Y) edges to the set of possibly affected
+// Skolem page classes. The analysis is a conservative
+// over-approximation — it may mark a class affected when no page of
+// that class actually changes, but it must never miss one. Every rule
+// below errs toward sensitivity:
+//
+//   - a literal-label condition x -> "l" -> y is sensitive iff edges
+//     labeled l changed;
+//   - an arc-variable condition x -> l -> y is sensitive to any edge
+//     change, unless the conjunction constrains l to a finite label set
+//     (l in {...}, l = "lit"), in which case only those labels matter;
+//   - a path expression is sensitive to the union of its literal
+//     labels, and to any edge change if it contains a wildcard or an
+//     external label predicate;
+//   - collection membership Publications(x) is sensitive iff that
+//     collection's member set changed;
+//   - comparisons and external predicates are pure: their outcome
+//     changes only through bindings produced by the graph-sensitive
+//     conditions of the same conjunction;
+//   - negation is sensitive whenever its inner condition is, and — by
+//     active-domain conservatism — whenever anything at all changed,
+//     because a variable bound only under not(...) ranges over the
+//     whole active domain.
+package schema
+
+import (
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+)
+
+// Impact is the result of mapping a Delta through a site schema.
+type Impact struct {
+	// All is the conservative fallback: no delta information was
+	// available (nil delta), so every class must be treated as affected.
+	All    bool
+	Reason string
+	// Funcs are the Skolem classes whose instances, out-edges or
+	// attribute values may have changed.
+	Funcs map[string]bool
+	// Collections are the output collections whose membership may have
+	// changed.
+	Collections map[string]bool
+	// RootFuncs are the classes collected into affected collections —
+	// the page-set entry points whose member lists may differ.
+	RootFuncs map[string]bool
+}
+
+// Empty reports that no page class can be affected: the site graph is
+// provably unchanged.
+func (im *Impact) Empty() bool {
+	return im != nil && !im.All && len(im.Funcs) == 0 &&
+		len(im.Collections) == 0 && len(im.RootFuncs) == 0
+}
+
+// Affected reports whether a Skolem class may be affected.
+func (im *Impact) Affected(fn string) bool {
+	if im == nil || im.All {
+		return true
+	}
+	return im.Funcs[fn] || im.RootFuncs[fn]
+}
+
+// Summary renders a compact one-line description for logs.
+func (im *Impact) Summary() string {
+	switch {
+	case im == nil || im.All:
+		return "impact: all classes (" + im.reason() + ")"
+	case im.Empty():
+		return "impact: none"
+	}
+	return "impact: classes " + strings.Join(im.SortedFuncs(), ",")
+}
+
+func (im *Impact) reason() string {
+	if im == nil || im.Reason == "" {
+		return "no delta"
+	}
+	return im.Reason
+}
+
+// SortedFuncs returns every affected class (Funcs ∪ RootFuncs), sorted.
+func (im *Impact) SortedFuncs() []string {
+	set := map[string]bool{}
+	for f := range im.Funcs {
+		set[f] = true
+	}
+	for f := range im.RootFuncs {
+		set[f] = true
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analyze maps a data-graph delta through the site schema. A nil delta
+// (unknown history, e.g. a first refresh) yields Impact{All: true}; an
+// empty delta yields an empty impact.
+func Analyze(s *SiteSchema, d *graph.Delta) *Impact {
+	im := &Impact{
+		Funcs:       map[string]bool{},
+		Collections: map[string]bool{},
+		RootFuncs:   map[string]bool{},
+	}
+	if s == nil || d == nil {
+		im.All = true
+		im.Reason = "no delta"
+		return im
+	}
+	if d.Empty() {
+		return im
+	}
+	for _, e := range s.Edges {
+		if condsAffected(e.Conds, d) {
+			im.Funcs[e.From] = true
+			if e.To != DataNode {
+				// The target class's key set may change with the same
+				// bindings that produce the link.
+				im.Funcs[e.To] = true
+			}
+		}
+	}
+	for _, ce := range s.Collects {
+		if condsAffected(ce.Conds, d) {
+			im.Collections[ce.Collection] = true
+			if ce.Target != DataNode {
+				im.RootFuncs[ce.Target] = true
+			}
+		}
+	}
+	return im
+}
+
+// RenderClosure widens the impact to every class whose *rendered* form
+// may change: a page's HTML embeds linked pages' titles (and, for
+// embed-only classes, their whole bodies), so any class with a schema
+// path into an affected class re-renders too. The closure walks
+// reverse schema edges to a fixpoint and unions in the root classes.
+func (im *Impact) RenderClosure(s *SiteSchema) map[string]bool {
+	closure := map[string]bool{}
+	if im == nil || im.All {
+		for _, f := range s.Funcs {
+			closure[f] = true
+		}
+		return closure
+	}
+	for f := range im.Funcs {
+		closure[f] = true
+	}
+	for f := range im.RootFuncs {
+		closure[f] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range s.Edges {
+			if e.To != DataNode && closure[e.To] && !closure[e.From] {
+				closure[e.From] = true
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+// condsAffected reports whether any condition of the conjunction can
+// change its match set under the delta.
+func condsAffected(conds []struql.Condition, d *graph.Delta) bool {
+	constraints := labelConstraints(conds)
+	for _, c := range conds {
+		if condAffected(c, d, constraints) {
+			return true
+		}
+	}
+	return false
+}
+
+func condAffected(c struql.Condition, d *graph.Delta, constraints map[string][]map[string]bool) bool {
+	switch c := c.(type) {
+	case *struql.MembershipCond:
+		return d.HasCollection(c.Collection)
+	case *struql.EdgeCond:
+		switch {
+		case c.Label.Any:
+			return d.AnyEdgeChange()
+		case c.Label.Var != "":
+			return varLabelAffected(c.Label.Var, d, constraints)
+		default:
+			return d.HasLabel(c.Label.Lit)
+		}
+	case *struql.PathCond:
+		return pathAffected(c.Path, d)
+	case *struql.NotCond:
+		// Active-domain conservatism: a negated condition can flip when
+		// anything in the graph changes.
+		return !d.Empty() || condAffected(c.Inner, d, constraints)
+	case *struql.CompareCond, *struql.PredCond, *struql.InSetCond:
+		// Pure filters: sensitive only through bindings, which other
+		// conditions of the conjunction produce.
+		return false
+	default:
+		// Unknown condition kind: assume sensitive.
+		return !d.Empty()
+	}
+}
+
+// labelConstraints collects, per arc variable, the label sets the
+// conjunction restricts it to (l in {...}, l = "lit"). An arc variable
+// must satisfy every constraint simultaneously, so each set is an
+// over-approximation of the labels it can bind.
+func labelConstraints(conds []struql.Condition) map[string][]map[string]bool {
+	out := map[string][]map[string]bool{}
+	for _, c := range conds {
+		switch c := c.(type) {
+		case *struql.InSetCond:
+			set := make(map[string]bool, len(c.Set))
+			for _, l := range c.Set {
+				set[l] = true
+			}
+			out[c.Var] = append(out[c.Var], set)
+		case *struql.CompareCond:
+			if c.Op != struql.OpEq {
+				continue
+			}
+			if c.Left.IsVar() && !c.Right.IsVar() {
+				if s, ok := c.Right.Const.AsString(); ok {
+					out[c.Left.Var] = append(out[c.Left.Var], map[string]bool{s: true})
+				}
+			} else if c.Right.IsVar() && !c.Left.IsVar() {
+				if s, ok := c.Left.Const.AsString(); ok {
+					out[c.Right.Var] = append(out[c.Right.Var], map[string]bool{s: true})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// varLabelAffected decides sensitivity of an arc-variable edge
+// condition: if the variable is constrained, only a touched label
+// inside *every* constraint set can alter the match set; otherwise any
+// edge change can.
+func varLabelAffected(v string, d *graph.Delta, constraints map[string][]map[string]bool) bool {
+	sets := constraints[v]
+	if len(sets) == 0 {
+		return d.AnyEdgeChange()
+	}
+	for _, l := range d.TouchedLabels {
+		inAll := true
+		for _, set := range sets {
+			if !set[l] {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			return true
+		}
+	}
+	return false
+}
+
+// pathAffected reports whether a path expression can match differently
+// under the delta: true on any edge change if the expression contains a
+// wildcard or external predicate, else iff one of its literal labels
+// was touched.
+func pathAffected(e *struql.PathExpr, d *graph.Delta) bool {
+	if e == nil {
+		return d.AnyEdgeChange()
+	}
+	switch e.Op {
+	case struql.PathPred:
+		if e.Pred == nil || e.Pred.Any || e.Pred.Ext != "" {
+			return d.AnyEdgeChange()
+		}
+		return d.HasLabel(e.Pred.Lit)
+	case struql.PathStar:
+		return pathAffected(e.Left, d)
+	default:
+		return pathAffected(e.Left, d) || pathAffected(e.Right, d)
+	}
+}

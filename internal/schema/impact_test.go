@@ -1,0 +1,137 @@
+package schema
+
+import (
+	"testing"
+
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+)
+
+// deltaWith builds a synthetic delta touching the given labels and
+// collections, with one changed object so it is non-empty.
+func deltaWith(labels, colls []string) *graph.Delta {
+	return &graph.Delta{
+		ChangedObjects:     []string{"x"},
+		TouchedLabels:      labels,
+		TouchedCollections: colls,
+	}
+}
+
+func TestAnalyzeNilDeltaIsAll(t *testing.T) {
+	s := fig5Schema(t)
+	im := Analyze(s, nil)
+	if !im.All {
+		t.Fatal("nil delta must yield Impact{All}")
+	}
+	if !im.Affected("YearPage") {
+		t.Error("All impact must report every class affected")
+	}
+	if len(im.RenderClosure(s)) != len(s.Funcs) {
+		t.Error("All impact closure must cover every class")
+	}
+}
+
+func TestAnalyzeEmptyDeltaIsEmpty(t *testing.T) {
+	s := fig5Schema(t)
+	im := Analyze(s, &graph.Delta{})
+	if !im.Empty() {
+		t.Fatalf("empty delta must yield empty impact, got %s", im.Summary())
+	}
+	if im.Affected("YearPage") {
+		t.Error("empty impact must not report classes affected")
+	}
+}
+
+// TestAnalyzeConstrainedArcVariable: the fig3 child blocks constrain
+// the arc variable (l = "year" / l = "category"), so a delta touching
+// only "abstract" must not mark YearPage or CategoryPage through those
+// blocks' extra edges — but the unconstrained outer block
+// (x -> l -> v) makes PaperPresentation sensitive to any label.
+func TestAnalyzeConstrainedArcVariable(t *testing.T) {
+	s := fig5Schema(t)
+	im := Analyze(s, deltaWith([]string{"abstract"}, nil))
+	if !im.Funcs["PaperPresentation"] || !im.Funcs["AbstractPage"] {
+		t.Errorf("outer unconstrained arc var must mark paper classes: %s", im.Summary())
+	}
+	// YearPage's own links (Year, Paper) are governed by l = "year";
+	// "abstract" cannot satisfy that constraint. YearPage still appears
+	// via the outer block's PaperPresentation edge target marking — so
+	// check the collect/edge distinction through a purpose-built query.
+	q := struql.MustParse(`
+INPUT data
+WHERE Items(x), x -> l -> v, l = "year"
+CREATE YearOnly(v)
+LINK YearOnly(v) -> "val" -> v
+COLLECT Years(YearOnly(v))
+OUTPUT site
+`)
+	ys := Build(q)
+	if im := Analyze(ys, deltaWith([]string{"abstract"}, nil)); !im.Empty() {
+		t.Errorf("l = \"year\" block must ignore abstract-only delta, got %s", im.Summary())
+	}
+	if im := Analyze(ys, deltaWith([]string{"year"}, nil)); !im.Funcs["YearOnly"] || !im.Collections["Years"] || !im.RootFuncs["YearOnly"] {
+		t.Errorf("year delta must mark YearOnly and Years, got %s", im.Summary())
+	}
+}
+
+func TestAnalyzeInSetConstraint(t *testing.T) {
+	q := struql.MustParse(`
+INPUT data
+WHERE Articles(x), x -> a -> v, a in {"title", "byline"}
+CREATE P(x)
+LINK P(x) -> a -> v
+OUTPUT site
+`)
+	s := Build(q)
+	if im := Analyze(s, deltaWith([]string{"body"}, nil)); !im.Empty() {
+		t.Errorf("body delta outside the in-set must be ignored, got %s", im.Summary())
+	}
+	if im := Analyze(s, deltaWith([]string{"title"}, nil)); !im.Funcs["P"] {
+		t.Errorf("title delta inside the in-set must mark P, got %s", im.Summary())
+	}
+}
+
+func TestAnalyzeCollectionSensitivity(t *testing.T) {
+	s := fig5Schema(t)
+	// Membership-only change: Publications gained a member but no edge
+	// labels were touched (e.g. an existing node collected anew).
+	im := Analyze(s, deltaWith(nil, []string{"Publications"}))
+	if !im.Funcs["PaperPresentation"] {
+		t.Errorf("Publications change must mark classes guarded by Publications(x): %s", im.Summary())
+	}
+	im = Analyze(s, deltaWith(nil, []string{"Unrelated"}))
+	if !im.Empty() {
+		t.Errorf("unrelated collection change must not mark anything, got %s", im.Summary())
+	}
+}
+
+func TestAnalyzeNegationIsConservative(t *testing.T) {
+	q := struql.MustParse(`
+INPUT data
+WHERE Files(p), not(isImageFile(p))
+CREATE N(p)
+LINK N(p) -> "file" -> p
+OUTPUT site
+`)
+	s := Build(q)
+	if im := Analyze(s, deltaWith([]string{"whatever"}, nil)); !im.Funcs["N"] {
+		t.Errorf("negation must be sensitive to any change, got %s", im.Summary())
+	}
+}
+
+func TestRenderClosureWalksAncestors(t *testing.T) {
+	s := fig5Schema(t)
+	im := &Impact{
+		Funcs:       map[string]bool{"AbstractPage": true},
+		Collections: map[string]bool{},
+		RootFuncs:   map[string]bool{},
+	}
+	closure := im.RenderClosure(s)
+	// AbstractPage is linked from PaperPresentation and AbstractsPage,
+	// which are linked from YearPage/CategoryPage/RootPage: all render.
+	for _, f := range []string{"AbstractPage", "PaperPresentation", "AbstractsPage", "RootPage", "YearPage", "CategoryPage"} {
+		if !closure[f] {
+			t.Errorf("closure missing %s: %v", f, closure)
+		}
+	}
+}

@@ -62,6 +62,16 @@ func (e Edge) String() string {
 		strings.Join(e.FromArgs, ","), strings.Join(e.ToArgs, ","), e.To)
 }
 
+// CollectEdge is one collect clause together with the where
+// conjunction in scope at it, mirroring Edge for collection
+// membership: the delta analysis needs the conditions to decide
+// whether a data change can alter a collection's member set.
+type CollectEdge struct {
+	Collection string
+	Target     string // Skolem function name or DataNode
+	Conds      []struql.Condition
+}
+
 // SiteSchema is the schema graph of one query.
 type SiteSchema struct {
 	// Funcs are the Skolem function names, sorted.
@@ -70,6 +80,8 @@ type SiteSchema struct {
 	// Collections maps output collection names to the Skolem functions
 	// (or DataNode) collected into them.
 	Collections map[string][]string
+	// Collects are the collect clauses with their governing conditions.
+	Collects []CollectEdge
 }
 
 // Build constructs the site schema of a query.
@@ -116,6 +128,11 @@ func Build(q *struql.Query) *SiteSchema {
 				funcs[target] = true
 			}
 			s.Collections[c.Collection] = append(s.Collections[c.Collection], target)
+			s.Collects = append(s.Collects, CollectEdge{
+				Collection: c.Collection,
+				Target:     target,
+				Conds:      conds,
+			})
 		}
 		for _, ch := range b.Children {
 			walk(ch, conds)
@@ -141,6 +158,7 @@ func Merge(schemas ...*SiteSchema) *SiteSchema {
 			funcs[f] = true
 		}
 		out.Edges = append(out.Edges, s.Edges...)
+		out.Collects = append(out.Collects, s.Collects...)
 		for c, targets := range s.Collections {
 			out.Collections[c] = append(out.Collections[c], targets...)
 		}

@@ -1,0 +1,153 @@
+// Delta-driven regeneration: re-render only the pages a data change
+// can reach, reuse the rest from the previous site, and report what
+// happened so callers can prune orphaned output files and feed
+// telemetry. Reuse is keyed on symbolic page names — the only identity
+// stable across site-graph re-evaluations — and falls back to a full
+// render whenever that identity is unavailable or the path assignment
+// shifted, so the result is always byte-identical to Generate.
+package sitegen
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// DeltaStats reports what RegenerateDelta did.
+type DeltaStats struct {
+	// Rendered and Reused count pages re-rendered versus carried over
+	// from the previous site.
+	Rendered, Reused int
+	// RenderedPaths lists the re-rendered pages' paths, sorted.
+	RenderedPaths []string
+	// PrunedPaths lists previous-site paths absent from the new site,
+	// sorted; SyncTo removes the corresponding files.
+	PrunedPaths []string
+	// Full is set when reuse was impossible and every page rendered;
+	// Reason says why.
+	Full   bool
+	Reason string
+}
+
+// RegenerateDelta renders the generator's site graph, reusing pages of
+// prev whose objects the affected predicate clears. A page is reused
+// only when its symbolic name and output path are unchanged from prev
+// and affected(oid) is false; affected must over-approximate — it must
+// return true for every page whose rendered form could differ (its own
+// edges, anything it embeds, and the titles of pages it links to — i.e.
+// the reverse-reachability cone of the changed objects).
+//
+// Whenever name-keyed reuse is not provably safe — an unnamed page
+// object, or a page whose path changed between the two assignments
+// (collision-suffix shifts move links in *other* pages' HTML) — the
+// whole site renders from scratch and DeltaStats.Full is set.
+func (g *Generator) RegenerateDelta(prev *Site, affected func(graph.OID) bool) (*Site, *DeltaStats, error) {
+	return g.RegenerateDeltaContext(context.Background(), prev, affected)
+}
+
+// RegenerateDeltaContext is RegenerateDelta with cancellation.
+func (g *Generator) RegenerateDeltaContext(ctx context.Context, prev *Site, affected func(graph.OID) bool) (*Site, *DeltaStats, error) {
+	site, pageOIDs := g.assignPaths()
+	st := &DeltaStats{}
+
+	full := func(reason string) (*Site, *DeltaStats, error) {
+		st.Full, st.Reason = true, reason
+		st.Rendered, st.Reused = len(pageOIDs), 0
+		st.RenderedPaths = site.Paths()
+		st.PrunedPaths = prunedPaths(prev, site)
+		if err := g.renderPages(ctx, site, pageOIDs); err != nil {
+			return nil, nil, err
+		}
+		return site, st, nil
+	}
+
+	if prev == nil || affected == nil {
+		return full("no previous site")
+	}
+	prevByName := make(map[string]*Page, len(prev.Pages))
+	for _, p := range prev.Pages {
+		if p.Name != "" {
+			prevByName[p.Name] = p
+		}
+	}
+	// A common page whose path moved invalidates links in pages the
+	// affected cone does not cover: bail out to a full render.
+	for _, p := range site.Pages {
+		if p.Name == "" {
+			continue
+		}
+		if pp, ok := prevByName[p.Name]; ok && pp.Path != p.Path {
+			return full("path shift for " + p.Name)
+		}
+	}
+
+	var render []graph.OID
+	for _, oid := range pageOIDs {
+		p := site.Pages[site.PathOf[oid]]
+		pp := prevByName[p.Name]
+		if p.Name != "" && pp != nil && pp.HTML != "" && !affected(oid) {
+			p.HTML = pp.HTML
+			p.Title = pp.Title
+			st.Reused++
+			continue
+		}
+		render = append(render, oid)
+		st.RenderedPaths = append(st.RenderedPaths, p.Path)
+	}
+	st.Rendered = len(render)
+	sort.Strings(st.RenderedPaths)
+	st.PrunedPaths = prunedPaths(prev, site)
+	if err := g.renderPages(ctx, site, render); err != nil {
+		return nil, nil, err
+	}
+	return site, st, nil
+}
+
+// prunedPaths lists prev's paths that the new site no longer produces.
+func prunedPaths(prev, site *Site) []string {
+	if prev == nil {
+		return nil
+	}
+	var out []string
+	for path := range prev.Pages {
+		if _, ok := site.Pages[path]; !ok {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SyncTo writes every page under dir like WriteTo and then deletes
+// stale .html files that no current page produces, returning the
+// deleted paths sorted. Only regular .html files directly under dir are
+// candidates for pruning, so user assets are never touched.
+func (s *Site) SyncTo(dir string) ([]string, error) {
+	if err := s.WriteTo(dir); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var pruned []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".html") {
+			continue
+		}
+		if _, ok := s.Pages[name]; ok {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return pruned, err
+		}
+		pruned = append(pruned, name)
+	}
+	sort.Strings(pruned)
+	return pruned, nil
+}

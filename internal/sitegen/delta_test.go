@@ -1,0 +1,166 @@
+package sitegen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strudel/internal/datadef"
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+)
+
+// siteGraphFrom evaluates the fig3 query over a datadef text.
+func siteGraphFrom(t *testing.T, data string) *graph.Graph {
+	t.Helper()
+	res, err := datadef.Parse("BIBTEX", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := struql.Eval(struql.MustParse(fig3Query), res.Graph, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Output
+}
+
+func genFor(t *testing.T, siteGraph *graph.Graph) *Generator {
+	t.Helper()
+	return New(siteGraph, Config{
+		Templates: fig7Templates(t),
+		EmbedOnly: map[string]bool{"PaperPresentation": true},
+		Index:     "RootPage",
+	})
+}
+
+// affectedCone resolves a site-graph delta to the reverse-reachability
+// predicate RegenerateDelta expects.
+func affectedCone(siteGraph *graph.Graph, d *graph.Delta) func(graph.OID) bool {
+	var starts []graph.OID
+	for _, key := range append(append([]string{}, d.AddedObjects...), d.ChangedObjects...) {
+		if oid, ok := siteGraph.ResolveKey(key); ok {
+			starts = append(starts, oid)
+		}
+	}
+	cone := siteGraph.ReverseReachable(starts)
+	return func(oid graph.OID) bool {
+		_, ok := cone[oid]
+		return ok
+	}
+}
+
+func TestRegenerateDeltaTitleTouch(t *testing.T) {
+	oldGraph := siteGraphFrom(t, fig2Data)
+	prev, err := genFor(t, oldGraph).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newData := strings.Replace(fig2Data, `title "Specifying Representations..."`,
+		`title "Specifying NEW Representations"`, 1)
+	newGraph := siteGraphFrom(t, newData)
+	d := graph.Diff(oldGraph, newGraph)
+	if d.Empty() {
+		t.Fatal("site delta unexpectedly empty")
+	}
+
+	gen := genFor(t, newGraph)
+	got, st, err := gen.RegenerateDelta(prev, affectedCone(newGraph, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pages) != len(want.Pages) {
+		t.Fatalf("delta site has %d pages, full has %d", len(got.Pages), len(want.Pages))
+	}
+	for path, wp := range want.Pages {
+		gp, ok := got.Pages[path]
+		if !ok {
+			t.Errorf("missing page %s", path)
+			continue
+		}
+		if gp.HTML != wp.HTML || gp.Title != wp.Title {
+			t.Errorf("%s differs from full rebuild", path)
+		}
+	}
+	if st.Full {
+		t.Fatalf("expected selective rebuild, got full (%s)", st.Reason)
+	}
+	if st.Reused == 0 || st.Rendered == 0 {
+		t.Fatalf("stats = %+v, want a mix of reused and rendered", st)
+	}
+	// pub1 is a 1997 paper: the 1998 year page cannot observe the edit.
+	for _, p := range st.RenderedPaths {
+		if p == "YearPage_1998.html" {
+			t.Errorf("YearPage_1998 re-rendered needlessly: %v", st.RenderedPaths)
+		}
+	}
+	if st.Rendered+st.Reused != len(want.Pages) {
+		t.Errorf("rendered %d + reused %d != %d pages", st.Rendered, st.Reused, len(want.Pages))
+	}
+}
+
+func TestRegenerateDeltaNilPrevIsFull(t *testing.T) {
+	g := genFor(t, siteGraphFrom(t, fig2Data))
+	site, st, err := g.RegenerateDelta(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Full || st.Reused != 0 || st.Rendered != len(site.Pages) {
+		t.Fatalf("stats = %+v, want full render of %d pages", st, len(site.Pages))
+	}
+	want, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, wp := range want.Pages {
+		if site.Pages[path] == nil || site.Pages[path].HTML != wp.HTML {
+			t.Errorf("%s differs from Generate", path)
+		}
+	}
+}
+
+func TestRegenerateDeltaPrunesRemovedPages(t *testing.T) {
+	oldGraph := siteGraphFrom(t, fig2Data)
+	prev, err := genFor(t, oldGraph).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropping pub2's second category removes its CategoryPage.
+	newData := strings.Replace(fig2Data, "    category \"Semistructured Data\"\n", "", 1)
+	newGraph := siteGraphFrom(t, newData)
+	d := graph.Diff(oldGraph, newGraph)
+	got, st, err := genFor(t, newGraph).RegenerateDelta(prev, affectedCone(newGraph, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PrunedPaths) != 1 || !strings.Contains(st.PrunedPaths[0], "Semistructured") {
+		t.Fatalf("pruned = %v, want the dropped category page", st.PrunedPaths)
+	}
+
+	// SyncTo removes the stale file from a directory holding the old site.
+	dir := t.TempDir()
+	if err := prev.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := got.SyncTo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 1 || pruned[0] != st.PrunedPaths[0] {
+		t.Fatalf("SyncTo pruned %v, want %v", pruned, st.PrunedPaths)
+	}
+	if _, err := os.Stat(filepath.Join(dir, st.PrunedPaths[0])); !os.IsNotExist(err) {
+		t.Errorf("stale page still on disk: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(got.Pages) {
+		t.Errorf("dir has %d files, site has %d pages", len(entries), len(got.Pages))
+	}
+}

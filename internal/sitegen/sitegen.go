@@ -62,8 +62,12 @@ type Config struct {
 
 // Page is one generated HTML page.
 type Page struct {
-	Path  string
-	OID   graph.OID
+	Path string
+	OID  graph.OID
+	// Name is the page object's symbolic node name ("YearPage(1997)").
+	// It is the page's stable identity across rebuilds: OIDs shift when
+	// the site graph is re-evaluated, names do not.
+	Name  string
 	HTML  string
 	Title string
 }
@@ -218,12 +222,25 @@ func (g *Generator) Generate() (*Site, error) {
 // GenerateContext is Generate with cancellation: a cancelled context
 // aborts rendering early and returns the context's error.
 func (g *Generator) GenerateContext(ctx context.Context) (*Site, error) {
+	site, pageOIDs := g.assignPaths()
+	// Second pass: render. The site graph and the path maps are
+	// read-only from here on, and each task writes only its own Page,
+	// so pages render concurrently; the pool joins its workers before
+	// returning, which orders every write before Generate's return.
+	if err := g.renderPages(ctx, site, pageOIDs); err != nil {
+		return nil, err
+	}
+	return site, nil
+}
+
+// assignPaths runs the first generation pass: it assigns every page
+// object its output path so links can resolve forward. Page OIDs are
+// explicitly sorted so path assignment — and in particular the
+// collision-disambiguation suffixes — never depends on the enumeration
+// order of the underlying graph: two builds of the same graph produce
+// identical Paths() at any worker count.
+func (g *Generator) assignPaths() (*Site, []graph.OID) {
 	site := &Site{Pages: map[string]*Page{}, PathOf: map[graph.OID]string{}}
-	// First pass: assign paths so links can resolve forward. Page OIDs
-	// are explicitly sorted so path assignment — and in particular the
-	// collision-disambiguation suffixes below — never depends on the
-	// enumeration order of the underlying graph: two builds of the same
-	// graph produce identical Paths() at any worker count.
 	var pageOIDs []graph.OID
 	for _, oid := range g.site.Nodes() {
 		if g.isPage(oid) {
@@ -240,18 +257,19 @@ func (g *Generator) GenerateContext(ctx context.Context) (*Site, error) {
 			}
 			path = strings.TrimSuffix(g.pagePath(oid), ".html") + fmt.Sprintf("-%d.html", i)
 		}
-		site.Pages[path] = &Page{Path: path, OID: oid}
+		site.Pages[path] = &Page{Path: path, OID: oid, Name: g.site.NodeName(oid)}
 		site.PathOf[oid] = path
 	}
-	// Second pass: render. The site graph and the path maps are
-	// read-only from here on, and each task writes only its own Page,
-	// so pages render concurrently; the pool joins its workers before
-	// returning, which orders every write before Generate's return.
+	return site, pageOIDs
+}
+
+// renderPages renders the given page objects into site concurrently.
+func (g *Generator) renderPages(ctx context.Context, site *Site, pageOIDs []graph.OID) error {
 	p := g.cfg.Pool
 	if p == nil {
 		p = pool.New(g.cfg.Workers)
 	}
-	err := pool.ForEach(ctx, p, len(pageOIDs), func(_ context.Context, i int) error {
+	return pool.ForEach(ctx, p, len(pageOIDs), func(_ context.Context, i int) error {
 		oid := pageOIDs[i]
 		htmlText, err := g.renderObject(oid, site, 0)
 		if err != nil {
@@ -262,10 +280,6 @@ func (g *Generator) GenerateContext(ctx context.Context) (*Site, error) {
 		pg.Title = g.titleOf(oid)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return site, nil
 }
 
 // titleOf guesses a page title for diagnostics: the object's title or

@@ -5,7 +5,7 @@
 # parallel-build determinism suite.
 GO ?= go
 
-.PHONY: build test vet race bench chaos testpar fuzz check
+.PHONY: build test vet race bench chaos testpar fuzz check explain-demo
 
 build:
 	$(GO) build ./...
@@ -43,5 +43,10 @@ FUZZTIME ?= 5s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzStruQLParse$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzDataDefParse$$' -fuzztime $(FUZZTIME) .
+
+# Introspection demo: the profiled plan of the CNN example site, no
+# manifest required. Try also: -example org, -optimize, -json.
+explain-demo:
+	$(GO) run ./cmd/strudel explain -example cnn
 
 check: build vet test race chaos testpar fuzz

@@ -742,3 +742,40 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	reg := telemetry.NewRegistry()
 	b.Run("instrumented", run(server.Instrument(reg, "static", server.Static(site))))
 }
+
+// BenchmarkExplainOverhead prices the introspection layer: the same
+// CNN-style build with provenance recording off and on, plus the
+// profiled query stage alone (what `strudel explain` and
+// /debug/explain execute). Recording happens on the sequential
+// construction stage and profiling on per-block counters, so both must
+// stay within noise of the plain build — the observability tax is paid
+// only when someone asks.
+func BenchmarkExplainOverhead(b *testing.B) {
+	spec := workload.ArticleSpec(false)
+	data := workload.Articles(300, 1997)
+	buildLoop := func(introspect bool) func(*testing.B) {
+		return func(b *testing.B) {
+			cb := buildSpec(b, spec, data)
+			if introspect {
+				cb.EnableIntrospection()
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cb.Build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("build-plain", buildLoop(false))
+	b.Run("build-introspect", buildLoop(true))
+	b.Run("explain", func(b *testing.B) {
+		cb := buildSpec(b, spec, data)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cb.Explain(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

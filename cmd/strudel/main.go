@@ -3,19 +3,33 @@
 //
 // Usage:
 //
-//	strudel build -manifest site.manifest -out dir/ [-trace] [-workers N]
+//	strudel build -manifest site.manifest -out dir/ [-trace] [-trace-out build.trace.json] [-workers N]
 //	strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics]
 //	              [-refresh-interval 5m] [-request-timeout 10s] [-max-inflight 256]
 //	              [-workers N]
-//	strudel stats -manifest site.manifest [-trace] [-workers N]
+//	strudel stats -manifest site.manifest [-trace] [-trace-out build.trace.json] [-workers N]
+//	strudel explain (-manifest site.manifest | -example cnn) [-json] [-optimize] [-workers N]
+//	strudel why (-manifest site.manifest | -example cnn) [-json] [-workers N] <page>
 //
 // -workers bounds the build pipeline's parallelism (query evaluation,
 // page rendering, dynamic materialization); 0 — the default — means
 // one worker per available CPU, 1 builds sequentially. The built site
 // is byte-identical at any worker count.
 // -trace prints the build's span timeline (mediation → query → verify
-// → generate). -metrics instruments the server and exposes /metrics
-// (Prometheus text format), /debug/vars and /debug/pprof.
+// → generate); -trace-out writes the same trace as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing. -metrics instruments
+// the server and exposes /metrics (Prometheus text format),
+// /debug/vars, /debug/pprof, and the query-level introspection
+// endpoints /debug/explain and /debug/provenance?page=….
+//
+// explain evaluates the site-definition queries with per-operator
+// profiling and prints, per query, the block-structured plan with
+// estimated vs actual cardinalities — without writing any pages. why
+// builds the site with provenance recording and prints, for one page,
+// the Skolem function that created it, the binding tuples it was
+// generated from, and the source objects and attributes it consumed.
+// Both accept -example (cnn, cnn-sports, homepage, org) to run against
+// a built-in workload instead of a manifest.
 // -refresh-interval rebuilds the site from its sources in the
 // background and swaps the result in atomically; a failed or degraded
 // refresh keeps serving the last good build. -request-timeout bounds
@@ -41,12 +55,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -59,6 +76,7 @@ import (
 	"strudel/internal/server"
 	"strudel/internal/sitegen"
 	"strudel/internal/telemetry"
+	"strudel/internal/workload"
 )
 
 func main() {
@@ -75,6 +93,10 @@ func main() {
 		err = cmdServe(args)
 	case "stats":
 		err = cmdStats(args)
+	case "explain":
+		err = cmdExplain(args)
+	case "why":
+		err = cmdWhy(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -87,11 +109,13 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  strudel build -manifest site.manifest -out dir/ [-trace] [-workers N]
+  strudel build -manifest site.manifest -out dir/ [-trace] [-trace-out f.json] [-workers N]
   strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics]
                 [-refresh-interval 5m] [-request-timeout 10s] [-max-inflight 256]
                 [-workers N]
-  strudel stats -manifest site.manifest [-trace] [-workers N]`)
+  strudel stats -manifest site.manifest [-trace] [-trace-out f.json] [-workers N]
+  strudel explain (-manifest site.manifest | -example cnn) [-json] [-optimize] [-workers N]
+  strudel why (-manifest site.manifest | -example cnn) [-json] [-workers N] <page>`)
 }
 
 // manifest is the parsed site description.
@@ -131,6 +155,7 @@ func loadManifest(path string) (*manifest, error) {
 				return nil, errf("usage: site <name>")
 			}
 			m.name = fields[1]
+			b.SetName(m.name)
 		case "source":
 			if len(fields) != 4 {
 				return nil, errf("usage: source <name> <kind> <path>")
@@ -249,6 +274,7 @@ func cmdBuild(args []string) error {
 	manifestPath := fs.String("manifest", "", "site manifest file")
 	out := fs.String("out", "site-out", "output directory")
 	trace := fs.Bool("trace", false, "print the build's span timeline")
+	traceOut := fs.String("trace-out", "", "write the build trace as Chrome trace-event JSON to this file")
 	workers := fs.Int("workers", 0, "build parallelism (0 = one worker per CPU, 1 = sequential)")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
@@ -277,6 +303,27 @@ func cmdBuild(args []string) error {
 	if *trace {
 		fmt.Print(res.Trace.Summary())
 	}
+	return writeChromeTrace(res.Trace, *traceOut)
+}
+
+// writeChromeTrace exports a build trace as Chrome trace-event JSON
+// (loadable in Perfetto or chrome://tracing); an empty path is a noop.
+func writeChromeTrace(tr *telemetry.Trace, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote build trace %s to %s\n", tr.ID, path)
 	return nil
 }
 
@@ -299,11 +346,17 @@ func cmdServe(args []string) error {
 		return err
 	}
 	m.builder.SetWorkers(*workers)
+	// One structured logger for the whole serving process: build,
+	// refresh and request log lines share a schema and carry build /
+	// request IDs for correlation. The server packages log through it
+	// too.
+	logg := telemetry.NewLogger(os.Stderr)
+	server.SetLogger(logg)
 	var reg *telemetry.Registry
 	if *metrics {
 		reg = telemetry.NewRegistry()
 	}
-	handler, refresh, err := serveHandler(m, *dynamic, reg, *requestTimeout, *maxInflight)
+	handler, refresh, err := serveHandler(m, *dynamic, reg, *requestTimeout, *maxInflight, logg)
 	if err != nil {
 		return err
 	}
@@ -312,14 +365,14 @@ func cmdServe(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Fprintln(os.Stderr, "strudel: shutting down")
+		logg.Info("shutting down", "site", m.name)
 		close(stop)
 	}()
 	if *refreshInterval > 0 {
-		go refreshLoop(refresh, *refreshInterval, stop)
+		go refreshLoop(refresh, *refreshInterval, stop, logg)
 	}
-	fmt.Printf("serving %s on http://%s (dynamic=%v, metrics=%v, refresh=%v)\n",
-		m.name, *addr, *dynamic, *metrics, *refreshInterval)
+	logg.Info("serving", "site", m.name, "addr", *addr,
+		"dynamic", *dynamic, "metrics", *metrics, "refresh", refreshInterval.String())
 	return server.ServeUntil(server.NewServer(*addr, handler), stop, 5*time.Second)
 }
 
@@ -327,7 +380,7 @@ func cmdServe(args []string) error {
 // failure (no last-good data to fall back on) backs off exponentially,
 // capped at 10× the interval, so a broken source set is not hammered;
 // the server keeps answering from the last good build throughout.
-func refreshLoop(refresh func() error, interval time.Duration, stop <-chan struct{}) {
+func refreshLoop(refresh func() error, interval time.Duration, stop <-chan struct{}, logg *slog.Logger) {
 	delay := interval
 	for {
 		select {
@@ -336,7 +389,7 @@ func refreshLoop(refresh func() error, interval time.Duration, stop <-chan struc
 		case <-time.After(delay):
 		}
 		if err := refresh(); err != nil {
-			fmt.Fprintf(os.Stderr, "strudel: refresh failed (serving stale data): %v\n", err)
+			logg.Error("refresh failed, serving stale data", "err", err)
 			delay = min(delay*2, 10*interval)
 		} else {
 			delay = interval
@@ -353,8 +406,9 @@ func refreshLoop(refresh func() error, interval time.Duration, stop <-chan struc
 // maxInflight concurrent requests new ones are shed with 503. With a
 // non-nil registry the whole pipeline reports into it and the debug
 // endpoints are mounted (outside the shedding chain, so /metrics
-// stays reachable under overload).
-func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTimeout time.Duration, maxInflight int) (http.Handler, func() error, error) {
+// stays reachable under overload), including /debug/explain and —
+// in static mode — /debug/provenance.
+func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTimeout time.Duration, maxInflight int, logg *slog.Logger) (http.Handler, func() error, error) {
 	m.builder.SetTelemetry(reg)
 	mode := "static"
 	if dynamic {
@@ -362,6 +416,7 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 	}
 	mux := http.NewServeMux()
 	var refresh func() error
+	var intro server.Introspector
 
 	if dynamic {
 		r0, err := m.builder.BuildDynamic()
@@ -376,6 +431,12 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 		// click-time pages see.
 		mux.Handle("/query", http.StripPrefix("/query", server.QueryHandlerFrom(
 			func() *graph.Graph { return cur.Load().Dec.Input() }, m.builder.Registry(), 0)))
+		// Explain profiles the full query over the renderer's current
+		// data snapshot; click-time pages have no persistent provenance
+		// records (pages are computed and discarded per request).
+		intro.Explain = func() (any, error) {
+			return m.builder.ExplainData(cur.Load().Dec.Input())
+		}
 		// Incremental refresh: the mediator reports what changed, and the
 		// new renderer adopts cached pages of unaffected classes instead
 		// of starting cold. refreshLoop is the only caller, so reading
@@ -386,29 +447,40 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 			if err != nil {
 				return err
 			}
-			warnDegraded(m.builder)
+			warnDegraded(m.builder, logg)
 			if r != prev {
 				cur.Store(r)
 			}
 			return nil
 		}
 	} else {
+		if reg != nil {
+			// Metrics mode also records page provenance, so
+			// /debug/provenance can answer from the served result.
+			m.builder.EnableIntrospection()
+		}
 		res, err := m.builder.Build()
 		if err != nil {
 			return nil, nil, err
 		}
 		for _, v := range res.Violations {
-			fmt.Fprintln(os.Stderr, "warning:", v)
+			logg.Warn("constraint violation", "build_id", res.Trace.ID, "violation", fmt.Sprint(v))
 		}
-		type built struct {
-			site      *sitegen.Site
-			siteGraph *graph.Graph
-		}
-		var cur atomic.Pointer[built]
-		cur.Store(&built{res.Site, res.SiteGraph})
-		mux.Handle("/", server.StaticFrom(func() *sitegen.Site { return cur.Load().site }))
+		var cur atomic.Pointer[core.Result]
+		cur.Store(res)
+		mux.Handle("/", server.StaticFrom(func() *sitegen.Site { return cur.Load().Site }))
 		mux.Handle("/query", http.StripPrefix("/query", server.QueryHandlerFrom(
-			func() *graph.Graph { return cur.Load().siteGraph }, m.builder.Registry(), 0)))
+			func() *graph.Graph { return cur.Load().SiteGraph }, m.builder.Registry(), 0)))
+		intro.Explain = func() (any, error) {
+			return m.builder.ExplainData(cur.Load().DataGraph)
+		}
+		intro.Provenance = func(page string) (any, bool, error) {
+			pp, ok := cur.Load().PageProvenance(page)
+			if !ok {
+				return nil, false, nil
+			}
+			return pp, true, nil
+		}
 		// Incremental refresh: the mediator's warehouse delta decides
 		// which pages re-render; unchanged data is a noop. prev is only
 		// touched by refreshLoop (a single goroutine), so no lock.
@@ -418,11 +490,12 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 			if err != nil {
 				return err
 			}
-			warnDegraded(m.builder)
+			warnDegraded(m.builder, logg)
 			if info := next.Incremental; info != nil && info.Mode != "noop" {
-				fmt.Fprintln(os.Stderr, "strudel:", info.Summary())
+				logg.Info("rebuilt", "build_id", next.Trace.ID, "mode", info.Mode,
+					"summary", info.Summary())
 			}
-			cur.Store(&built{next.Site, next.SiteGraph})
+			cur.Store(next)
 			prev = next
 			return nil
 		}
@@ -435,14 +508,15 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 	outer := http.NewServeMux()
 	outer.Handle("/", server.Instrument(reg, mode, h))
 	server.AttachDebug(outer, reg)
+	server.AttachIntrospection(outer, intro)
 	return outer, refresh, nil
 }
 
 // warnDegraded logs which sources the last refresh served from stale
 // data, so operators see partial failures that did not stop the build.
-func warnDegraded(b *core.Builder) {
+func warnDegraded(b *core.Builder, logg *slog.Logger) {
 	if rep := b.LastRefresh(); rep != nil && !rep.Ok() {
-		fmt.Fprintln(os.Stderr, "strudel: refresh degraded:", rep.Summary())
+		logg.Warn("refresh degraded", "summary", rep.Summary())
 	}
 }
 
@@ -450,6 +524,7 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	manifestPath := fs.String("manifest", "", "site manifest file")
 	trace := fs.Bool("trace", false, "print the build's span timeline")
+	traceOut := fs.String("trace-out", "", "write the build trace as Chrome trace-event JSON to this file")
 	workers := fs.Int("workers", 0, "build parallelism (0 = one worker per CPU, 1 = sequential)")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
@@ -474,5 +549,159 @@ func cmdStats(args []string) error {
 		fmt.Printf("build trace:\n%s", res.Trace.Summary())
 	}
 	fmt.Printf("site schema:\n%s", res.Schema.String())
+	return writeChromeTrace(res.Trace, *traceOut)
+}
+
+// introspectionBuilder resolves the -manifest / -example pair shared
+// by the explain and why verbs: exactly one of the two selects the
+// site to introspect.
+func introspectionBuilder(manifestPath, example string) (*core.Builder, string, error) {
+	switch {
+	case manifestPath != "" && example != "":
+		return nil, "", fmt.Errorf("-manifest and -example are mutually exclusive")
+	case manifestPath != "":
+		m, err := loadManifest(manifestPath)
+		if err != nil {
+			return nil, "", err
+		}
+		return m.builder, m.name, nil
+	case example != "":
+		b, err := exampleBuilder(example)
+		if err != nil {
+			return nil, "", err
+		}
+		return b, example, nil
+	}
+	return nil, "", fmt.Errorf("need -manifest or -example")
+}
+
+// exampleBuilder populates a builder with one of the built-in workload
+// sites, so explain and why can be tried without writing a manifest.
+// The sites mirror the examples/ programs: cnn and cnn-sports share
+// one ~300-article database (paper Sec. 5.1), homepage is the
+// bibliography site, org mediates the five organization sources.
+func exampleBuilder(name string) (*core.Builder, error) {
+	applySpec := func(b *core.Builder, spec *workload.SiteSpec) error {
+		if err := b.AddQuery(spec.Query); err != nil {
+			return err
+		}
+		b.AddTemplates(spec.Templates)
+		b.SetIndex(spec.Index)
+		var embed []string
+		for key := range spec.EmbedOnly {
+			embed = append(embed, key)
+		}
+		sort.Strings(embed)
+		b.SetEmbedOnly(embed...)
+		b.SetRootCollection(spec.RootCollection)
+		return nil
+	}
+	switch name {
+	case "cnn", "cnn-sports":
+		spec := workload.ArticleSpec(name == "cnn-sports")
+		b := core.NewBuilder(spec.Name)
+		b.SetDataGraph(workload.Articles(300, 1997))
+		return b, applySpec(b, spec)
+	case "homepage":
+		spec := workload.BibliographySpec()
+		b := core.NewBuilder(spec.Name)
+		b.SetDataGraph(workload.Bibliography(60, 1997))
+		return b, applySpec(b, spec)
+	case "org":
+		spec := workload.OrgSpec(false)
+		b := core.NewBuilder(spec.Name)
+		src := workload.Organization(120, 25, 6, 7)
+		sources := []struct{ name, kind, content string }{
+			{"people.csv", "csv", src.PeopleCSV},
+			{"departments.csv", "csv", src.DepartmentsCSV},
+			{"projects.txt", "structured", src.ProjectsTxt},
+			{"refs.bib", "bibtex", src.BibTeX},
+		}
+		var pageNames []string
+		for n := range src.HTMLPages {
+			pageNames = append(pageNames, n)
+		}
+		sort.Strings(pageNames)
+		for _, n := range pageNames {
+			sources = append(sources, struct{ name, kind, content string }{n, "html", src.HTMLPages[n]})
+		}
+		for _, s := range sources {
+			if err := b.AddSource(s.name, s.kind, s.content); err != nil {
+				return nil, err
+			}
+		}
+		return b, applySpec(b, spec)
+	}
+	return nil, fmt.Errorf("unknown example %q (want cnn, cnn-sports, homepage, org)", name)
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "site manifest file")
+	example := fs.String("example", "", "built-in example site (cnn, cnn-sports, homepage, org) instead of a manifest")
+	jsonOut := fs.Bool("json", false, "emit the explain report as JSON")
+	optimize := fs.Bool("optimize", false, "plan with the cost-based optimizer (manifests may also say `optimize`)")
+	workers := fs.Int("workers", 0, "build parallelism (0 = one worker per CPU, 1 = sequential)")
+	fs.Parse(args)
+	b, _, err := introspectionBuilder(*manifestPath, *example)
+	if err != nil {
+		return err
+	}
+	b.SetWorkers(*workers)
+	if *optimize {
+		b.EnableOptimizer()
+	}
+	ex, err := b.Explain()
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return writeJSONIndent(os.Stdout, ex)
+	}
+	ex.WriteText(os.Stdout)
 	return nil
+}
+
+func cmdWhy(args []string) error {
+	fs := flag.NewFlagSet("why", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "site manifest file")
+	example := fs.String("example", "", "built-in example site (cnn, cnn-sports, homepage, org) instead of a manifest")
+	jsonOut := fs.Bool("json", false, "emit the provenance record as JSON")
+	workers := fs.Int("workers", 0, "build parallelism (0 = one worker per CPU, 1 = sequential)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: strudel why (-manifest site.manifest | -example cnn) <page>")
+	}
+	page := fs.Arg(0)
+	b, site, err := introspectionBuilder(*manifestPath, *example)
+	if err != nil {
+		return err
+	}
+	b.SetWorkers(*workers)
+	b.EnableIntrospection()
+	res, err := b.Build()
+	if err != nil {
+		return err
+	}
+	pp, ok := res.PageProvenance(page)
+	if !ok {
+		paths := res.Site.Paths()
+		hint := ""
+		if len(paths) > 0 {
+			n := min(len(paths), 5)
+			hint = fmt.Sprintf(" (site has %d pages, e.g. %s)", len(paths), strings.Join(paths[:n], ", "))
+		}
+		return fmt.Errorf("no page %q in site %s%s", page, site, hint)
+	}
+	if *jsonOut {
+		return writeJSONIndent(os.Stdout, pp)
+	}
+	pp.WriteText(os.Stdout)
+	return nil
+}
+
+func writeJSONIndent(w *os.File, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -9,8 +11,16 @@ import (
 	"strings"
 	"testing"
 
+	"strudel/internal/core"
+	"strudel/internal/sitegen"
 	"strudel/internal/telemetry"
 )
+
+// discardLogger returns a structured logger whose output is dropped,
+// for exercising the serving path quietly.
+func discardLogger() *slog.Logger {
+	return telemetry.NewLogger(io.Discard)
+}
 
 // writeTestSite creates a manifest plus its artifacts in a temp dir.
 func writeTestSite(t *testing.T) string {
@@ -155,7 +165,7 @@ func TestServeHandlerStaticAndDynamic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h, refresh, err := serveHandler(m, dynamic, nil, 0, 0)
+		h, refresh, err := serveHandler(m, dynamic, nil, 0, 0, discardLogger())
 		if err != nil {
 			t.Fatalf("dynamic=%v: %v", dynamic, err)
 		}
@@ -186,7 +196,7 @@ func TestServeHandlerQueryEndpointBothModes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h, _, err := serveHandler(m, dynamic, nil, 0, 0)
+		h, _, err := serveHandler(m, dynamic, nil, 0, 0, discardLogger())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +223,7 @@ func TestServeHandlerRefreshSwaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, refresh, err := serveHandler(m, true, nil, 0, 0)
+	h, refresh, err := serveHandler(m, true, nil, 0, 0, discardLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +269,7 @@ func TestServeHandlerMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := telemetry.NewRegistry()
-	h, _, err := serveHandler(m, true, reg, 0, 0)
+	h, _, err := serveHandler(m, true, reg, 0, 0, discardLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,6 +310,214 @@ func TestServeHandlerMetricsEndpoint(t *testing.T) {
 	}
 	if code, _ := fetch("/debug/pprof/cmdline"); code != 200 {
 		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// captureStdout redirects os.Stdout into a temp file around fn and
+// returns what fn printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	old := os.Stdout
+	os.Stdout = f
+	ferr := fn()
+	os.Stdout = old
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestCmdExplainTextAndJSON(t *testing.T) {
+	dir := writeTestSite(t)
+	manifest := filepath.Join(dir, "site.manifest")
+
+	out := captureStdout(t, func() error {
+		return cmdExplain([]string{"-manifest", manifest})
+	})
+	for _, want := range []string{"site testsite", "planner:", "query[0]", "block #0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain text missing %q:\n%s", want, out)
+		}
+	}
+
+	raw := captureStdout(t, func() error {
+		return cmdExplain([]string{"-manifest", manifest, "-json"})
+	})
+	var ex core.Explain
+	if err := json.Unmarshal([]byte(raw), &ex); err != nil {
+		t.Fatalf("explain -json is not valid JSON: %v\n%s", err, raw)
+	}
+	if ex.Site != "testsite" || len(ex.Queries) != 1 {
+		t.Fatalf("explain = %+v", ex)
+	}
+	if got := ex.Queries[0].Plan.TotalRows(); got != ex.Queries[0].Bindings {
+		t.Errorf("plan rows = %d, bindings = %d", got, ex.Queries[0].Bindings)
+	}
+}
+
+func TestCmdExplainExample(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdExplain([]string{"-example", "homepage"})
+	})
+	if !strings.Contains(out, "site homepage") || !strings.Contains(out, "query[0]") {
+		t.Errorf("explain -example homepage:\n%s", out)
+	}
+}
+
+func TestCmdWhy(t *testing.T) {
+	dir := writeTestSite(t)
+	manifest := filepath.Join(dir, "site.manifest")
+
+	out := captureStdout(t, func() error {
+		return cmdWhy([]string{"-manifest", manifest, "index.html"})
+	})
+	for _, want := range []string{"page index.html", "skolem", "sources"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("why output missing %q:\n%s", want, out)
+		}
+	}
+
+	raw := captureStdout(t, func() error {
+		return cmdWhy([]string{"-manifest", manifest, "-json", "index.html"})
+	})
+	var pp sitegen.PageProvenance
+	if err := json.Unmarshal([]byte(raw), &pp); err != nil {
+		t.Fatalf("why -json is not valid JSON: %v\n%s", err, raw)
+	}
+	if pp.Func != "RootPage" || pp.TupleCount == 0 || len(pp.Sources) == 0 {
+		t.Errorf("why -json = %+v", pp)
+	}
+
+	if err := cmdWhy([]string{"-manifest", manifest, "no-such-page.html"}); err == nil {
+		t.Error("why of an unknown page should fail")
+	}
+	if err := cmdWhy([]string{"-manifest", manifest}); err == nil {
+		t.Error("why without a page argument should fail")
+	}
+}
+
+// TestCmdBuildTraceOut: -trace-out writes a Chrome trace-event file
+// that a JSON parser and the trace viewers accept.
+func TestCmdBuildTraceOut(t *testing.T) {
+	dir := writeTestSite(t)
+	tracePath := filepath.Join(dir, "build-trace.json")
+	err := cmdBuild([]string{
+		"-manifest", filepath.Join(dir, "site.manifest"),
+		"-out", filepath.Join(dir, "out"),
+		"-trace-out", tracePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	phases := map[string]bool{}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		phases[ev.Phase] = true
+		names[ev.Name] = true
+	}
+	if !phases["X"] || !phases["M"] {
+		t.Errorf("trace phases = %v, want X and M events", phases)
+	}
+	for _, span := range []string{"query", "generate"} {
+		if !names[span] {
+			t.Errorf("trace has no %q span: %v", span, names)
+		}
+	}
+}
+
+// TestServeHandlerIntrospectionEndpoints: with metrics enabled, both
+// serving modes answer /debug/explain, and the static mode — which
+// holds a full build result — answers /debug/provenance too.
+func TestServeHandlerIntrospectionEndpoints(t *testing.T) {
+	dir := writeTestSite(t)
+	for _, dynamic := range []bool{false, true} {
+		m, err := loadManifest(filepath.Join(dir, "site.manifest"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		h, _, err := serveHandler(m, dynamic, reg, 0, 0, discardLogger())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(h)
+		fetch := func(path string) (int, string) {
+			t.Helper()
+			resp, err := http.Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			return resp.StatusCode, string(body)
+		}
+
+		code, body := fetch("/debug/explain")
+		if code != 200 {
+			t.Fatalf("dynamic=%v: /debug/explain = %d %q", dynamic, code, body)
+		}
+		var ex core.Explain
+		if err := json.Unmarshal([]byte(body), &ex); err != nil {
+			t.Fatalf("dynamic=%v: /debug/explain not JSON: %v", dynamic, err)
+		}
+		if ex.Site != "testsite" || len(ex.Queries) != 1 || ex.Queries[0].Bindings == 0 {
+			t.Errorf("dynamic=%v: explain = %+v", dynamic, ex)
+		}
+
+		code, body = fetch("/debug/provenance?page=index.html")
+		if dynamic {
+			// The dynamic renderer has no generated pages to trace.
+			if code != 404 {
+				t.Errorf("dynamic: /debug/provenance = %d, want 404", code)
+			}
+		} else {
+			if code != 200 {
+				t.Fatalf("static: /debug/provenance = %d %q", code, body)
+			}
+			var pp sitegen.PageProvenance
+			if err := json.Unmarshal([]byte(body), &pp); err != nil {
+				t.Fatalf("static: provenance not JSON: %v", err)
+			}
+			if pp.Func != "RootPage" || len(pp.Sources) == 0 {
+				t.Errorf("static: provenance = %+v", pp)
+			}
+			if code, _ := fetch("/debug/provenance?page=no-such"); code != 404 {
+				t.Errorf("static: unknown page = %d, want 404", code)
+			}
+			if code, _ := fetch("/debug/provenance"); code != 400 {
+				t.Errorf("static: missing ?page = %d, want 400", code)
+			}
+		}
+		srv.Close()
 	}
 }
 

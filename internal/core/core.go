@@ -48,6 +48,7 @@ type Builder struct {
 	constraints []schema.Constraint
 	resolver    func(string) (string, error)
 	optimize    bool
+	introspect  bool
 	workers     int
 	telem       *telemetry.Registry
 }
@@ -64,6 +65,11 @@ func NewBuilder(name string) *Builder {
 		embedOnly: map[string]bool{},
 	}
 }
+
+// SetName renames the site. Manifest loaders create the builder before
+// the naming directive is parsed, so the name must be settable after
+// the fact; it feeds build traces, explain reports and pprof labels.
+func (b *Builder) SetName(name string) { b.name = name }
 
 // Repository exposes the underlying repository (e.g. for Save).
 func (b *Builder) Repository() *repository.Repository { return b.repo }
@@ -172,9 +178,10 @@ func (b *Builder) SetFileResolver(fn func(string) (string, error)) { b.resolver 
 func (b *Builder) SetWorkers(n int) { b.workers = n }
 
 // buildPool creates the per-build worker pool, instrumented when
-// telemetry is attached.
+// telemetry is attached and named for pprof goroutine labels.
 func (b *Builder) buildPool() *pool.Pool {
 	p := pool.New(b.workers)
+	p.SetName(b.name)
 	if b.telem != nil {
 		p.Instrument(b.telem)
 	}
@@ -185,6 +192,13 @@ func (b *Builder) buildPool() *pool.Pool {
 // cost-based query optimizer with the repository's indexes instead of
 // the interpreter's built-in greedy strategy (paper Sec. 2.4).
 func (b *Builder) EnableOptimizer() { b.optimize = true }
+
+// EnableIntrospection makes builds record page provenance: per
+// constructed site-graph node, the Skolem function, binding tuples and
+// consumed source objects (Result.PageProvenance, `strudel why`,
+// /debug/provenance). Off by default — recording costs one map update
+// per construction clause per binding row.
+func (b *Builder) EnableIntrospection() { b.introspect = true }
 
 // SetTelemetry attaches a metrics registry: the repository, the
 // optimizer (when enabled) and dynamic evaluation all report into it,
@@ -209,11 +223,11 @@ type Stats struct {
 	// previous paths no longer produced. Both are 0 for full builds.
 	PagesReused, PagesPruned int
 	Bindings                 int
-	MediationTime        time.Duration
-	QueryTime            time.Duration
-	VerifyTime           time.Duration
-	GenerateTime         time.Duration
-	TotalTime            time.Duration
+	MediationTime            time.Duration
+	QueryTime                time.Duration
+	VerifyTime               time.Duration
+	GenerateTime             time.Duration
+	TotalTime                time.Duration
 }
 
 // Result is a completed build.
@@ -234,6 +248,10 @@ type Result struct {
 	// Incremental describes how a Rebuild proceeded (delta, impact,
 	// page reuse). Nil for full Build calls.
 	Incremental *RebuildInfo
+	// Provenance holds the per-node derivation records collected when
+	// EnableIntrospection is set; nil otherwise. Use PageProvenance for
+	// the page-level view.
+	Provenance *struql.Provenance
 	// Violations are constraint failures; Build returns them without
 	// error so callers can decide whether to publish anyway.
 	Violations []error
@@ -265,38 +283,78 @@ func (b *Builder) optimizerContext(data *graph.Graph) *optimizer.Context {
 	}
 }
 
+// queryRun is one site-definition query's per-evaluation statistics.
+type queryRun struct {
+	bindings int
+	newNodes int
+	plan     *struql.PlanNode // nil unless profiling
+}
+
+// queryEval is the result of running all site-definition queries.
+type queryEval struct {
+	site     *graph.Graph
+	bindings int
+	perQuery []queryRun
+	// prov records page provenance; nil unless EnableIntrospection.
+	prov *struql.Provenance
+}
+
 // evalQueries runs the site-definition queries into one site graph,
-// tracing each query as a child span of sp (which may be nil).
-func (b *Builder) evalQueries(data *graph.Graph, sp *telemetry.Span, p *pool.Pool) (*graph.Graph, int, error) {
+// tracing each query as a child span of sp (which may be nil). With
+// profile set, every query carries an EXPLAIN profiler and the
+// per-block plans are returned; when introspection is enabled, node
+// provenance is recorded alongside.
+func (b *Builder) evalQueries(data *graph.Graph, sp *telemetry.Span, p *pool.Pool, profile bool) (*queryEval, error) {
 	if len(b.queries) == 0 {
-		return nil, 0, fmt.Errorf("core: site %q has no site-definition query", b.name)
+		return nil, fmt.Errorf("core: site %q has no site-definition query", b.name)
 	}
 	outName := b.queries[0].Output
 	if outName == "" {
 		outName = b.name + "-site"
 	}
-	site := data.NewSibling(outName)
-	opts := &struql.Options{Output: site, Registry: b.Registry(), Pool: p}
+	qe := &queryEval{site: data.NewSibling(outName)}
+	opts := &struql.Options{Output: qe.site, Registry: b.Registry(), Pool: p}
 	if b.optimize {
 		// Index the data graph and plan every conjunction against it.
-		opts.WherePlanner = optimizer.Hook(b.optimizerContext(data))
+		octx := b.optimizerContext(data)
+		opts.WherePlanner = optimizer.Hook(octx)
+		if profile {
+			opts.PlannerProfiled = optimizer.ProfiledHook(octx)
+		}
 	}
-	bindings := 0
+	if b.introspect {
+		qe.prov = struql.NewProvenance()
+		opts.Provenance = qe.prov
+	}
 	for i, q := range b.queries {
+		var prof *struql.Profiler
+		if profile {
+			prof = struql.NewProfiler()
+		}
+		opts.Profiler = prof
 		var qs *telemetry.Span
 		if sp != nil {
 			qs = sp.Child(fmt.Sprintf("query[%d]", i))
 		}
 		res, err := struql.Eval(q, data, opts)
 		if qs != nil {
+			if err == nil {
+				qs.SetAttr("bindings", res.Bindings)
+				qs.SetAttr("new_nodes", res.NewNodes)
+			}
 			qs.Finish()
 		}
 		if err != nil {
-			return nil, 0, fmt.Errorf("core: evaluating site query: %w", err)
+			return nil, fmt.Errorf("core: evaluating site query: %w", err)
 		}
-		bindings += res.Bindings
+		qe.bindings += res.Bindings
+		qe.perQuery = append(qe.perQuery, queryRun{
+			bindings: res.Bindings,
+			newNodes: res.NewNodes,
+			plan:     prof.Plan(),
+		})
 	}
-	return site, bindings, nil
+	return qe, nil
 }
 
 // siteSchema merges the per-query schemas.
@@ -321,8 +379,16 @@ func (b *Builder) Build() (*Result, error) {
 		res.Stats.TotalTime = tr.Duration()
 	}()
 
+	tr.Root().SetAttr("site", b.name)
+	tr.Root().SetAttr("workers", pl.Workers())
+
 	med := tr.Root().Child("mediation")
 	data, err := b.buildDataGraph()
+	if err == nil {
+		ds := data.Stats()
+		med.SetAttr("nodes", ds.Nodes)
+		med.SetAttr("edges", ds.Edges)
+	}
 	med.Finish()
 	res.Stats.MediationTime = med.Duration()
 	if err != nil {
@@ -334,14 +400,19 @@ func (b *Builder) Build() (*Result, error) {
 	}
 
 	qsp := tr.Root().Child("query")
-	site, bindings, err := b.evalQueries(data, qsp, pl)
+	qe, err := b.evalQueries(data, qsp, pl, false)
+	if err == nil {
+		qsp.SetAttr("bindings", qe.bindings)
+	}
 	qsp.Finish()
 	res.Stats.QueryTime = qsp.Duration()
 	if err != nil {
 		return nil, err
 	}
+	site := qe.site
 	res.SiteGraph = site
-	res.Stats.Bindings = bindings
+	res.Stats.Bindings = qe.bindings
+	res.Provenance = qe.prov
 
 	ver := tr.Root().Child("verify")
 	res.Schema = b.siteSchema()
@@ -349,6 +420,10 @@ func (b *Builder) Build() (*Result, error) {
 	for _, q := range b.queries {
 		res.DomainWarnings = append(res.DomainWarnings,
 			struql.RangeCheckWith(q, data.HasCollection)...)
+	}
+	ver.SetAttr("violations", len(res.Violations))
+	for _, v := range res.Violations {
+		ver.AddEvent("violation", "error", v.Error())
 	}
 	ver.Finish()
 	res.Stats.VerifyTime = ver.Duration()
@@ -362,6 +437,9 @@ func (b *Builder) Build() (*Result, error) {
 		Pool:         pl,
 	})
 	htmlSite, err := gen.Generate()
+	if err == nil {
+		gsp.SetAttr("pages", len(htmlSite.Pages))
+	}
 	gsp.Finish()
 	res.Stats.GenerateTime = gsp.Duration()
 	if err != nil {
@@ -374,6 +452,27 @@ func (b *Builder) Build() (*Result, error) {
 	res.Stats.SiteNodes, res.Stats.SiteEdges = ss.Nodes, ss.Edges
 	res.Stats.Pages = len(htmlSite.Pages)
 	return res, nil
+}
+
+// PageProvenance returns the provenance of one generated page, looked
+// up by path ("YearPage_1997.html", with or without the extension) or
+// by the page object's symbolic name ("YearPage(1997)"). Requires a
+// build with EnableIntrospection set.
+func (r *Result) PageProvenance(page string) (*sitegen.PageProvenance, bool) {
+	if r == nil || r.Provenance == nil || r.Site == nil || r.SiteGraph == nil {
+		return nil, false
+	}
+	for _, path := range []string{page, page + ".html"} {
+		if pp, ok := sitegen.PageProvenanceFor(r.SiteGraph, r.Site, path, r.Provenance); ok {
+			return pp, true
+		}
+	}
+	for path, pg := range r.Site.Pages {
+		if pg.Name == page {
+			return sitegen.PageProvenanceFor(r.SiteGraph, r.Site, path, r.Provenance)
+		}
+	}
+	return nil, false
 }
 
 // BuildDynamic prepares click-time evaluation instead of full

@@ -1,0 +1,95 @@
+// EXPLAIN at the site level: evaluate the site-definition queries with
+// per-operator profiling and report, per query, the block-structured
+// plan with estimated vs actual cardinalities. This is the `strudel
+// explain` verb and the /debug/explain endpoint; it runs the real
+// query stage (same planner, same physical operators), so the plan it
+// prints is the plan builds execute.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"strudel/internal/graph"
+	"strudel/internal/struql"
+)
+
+// QueryExplain is one site-definition query's profiled evaluation.
+type QueryExplain struct {
+	Index    int              `json:"index"`
+	Source   string           `json:"source,omitempty"`
+	Bindings int              `json:"bindings"`
+	NewNodes int              `json:"new_nodes"`
+	Plan     *struql.PlanNode `json:"plan"`
+}
+
+// Explain is the profiled evaluation of a site's whole query stage.
+type Explain struct {
+	Site      string         `json:"site"`
+	Optimizer bool           `json:"optimizer"`
+	Workers   int            `json:"workers"`
+	DataNodes int            `json:"data_nodes"`
+	DataEdges int            `json:"data_edges"`
+	Queries   []QueryExplain `json:"queries"`
+}
+
+// ExplainData profiles the query stage over an already-integrated data
+// graph. It deliberately does not refresh the mediator: explaining a
+// serving site must not advance its delta baseline (a refresh here
+// would make the next incremental rebuild diff against data the site
+// never rendered).
+func (b *Builder) ExplainData(data *graph.Graph) (*Explain, error) {
+	qe, err := b.evalQueries(data, nil, b.buildPool(), true)
+	if err != nil {
+		return nil, err
+	}
+	ds := data.Stats()
+	ex := &Explain{
+		Site:      b.name,
+		Optimizer: b.optimize,
+		Workers:   b.buildPool().Workers(),
+		DataNodes: ds.Nodes,
+		DataEdges: ds.Edges,
+	}
+	for i, qr := range qe.perQuery {
+		src := ""
+		if b.queries[i].Source != "" {
+			src = b.queries[i].Source
+		}
+		ex.Queries = append(ex.Queries, QueryExplain{
+			Index:    i,
+			Source:   src,
+			Bindings: qr.bindings,
+			NewNodes: qr.newNodes,
+			Plan:     qr.plan,
+		})
+	}
+	return ex, nil
+}
+
+// Explain integrates the data graph (mediating if sources are
+// registered) and profiles the query stage over it.
+func (b *Builder) Explain() (*Explain, error) {
+	data, err := b.buildDataGraph()
+	if err != nil {
+		return nil, err
+	}
+	return b.ExplainData(data)
+}
+
+// WriteText renders the explain report as an indented plan listing.
+func (e *Explain) WriteText(w io.Writer) {
+	planner := "interpreter"
+	if e.Optimizer {
+		planner = "cost-based optimizer"
+	}
+	fmt.Fprintf(w, "site %s: %d nodes, %d edges, planner: %s, workers: %d\n",
+		e.Site, e.DataNodes, e.DataEdges, planner, e.Workers)
+	for _, q := range e.Queries {
+		fmt.Fprintf(w, "query[%d]: %d bindings, %d new nodes\n",
+			q.Index, q.Bindings, q.NewNodes)
+		if q.Plan != nil {
+			q.Plan.WriteText(w)
+		}
+	}
+}

@@ -139,6 +139,9 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 		res.Stats.TotalTime = tr.Duration()
 	}()
 
+	tr.Root().SetAttr("site", b.name)
+	tr.Root().SetAttr("workers", pl.Workers())
+
 	sch := b.siteSchema()
 	impact := schema.Analyze(sch, delta)
 	info := &RebuildInfo{Data: delta, Impact: impact}
@@ -155,6 +158,7 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 		res.SiteGraph = prev.SiteGraph
 		res.Schema = prev.Schema
 		res.Site = prev.Site
+		res.Provenance = prev.Provenance
 		res.Violations = prev.Violations
 		res.DomainWarnings = prev.DomainWarnings
 		ss := prev.SiteGraph.Stats()
@@ -163,6 +167,7 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 		res.Stats.PagesReused = len(prev.Site.Pages)
 		addCount(b.deltaPages("reused"), len(prev.Site.Pages))
 		b.countRebuild("noop")
+		tr.Root().SetAttr("mode", "noop")
 		return res, nil
 	}
 
@@ -170,14 +175,19 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 	// construction — then diff the site graphs to find which pages'
 	// dependency cones the change touches.
 	qsp := tr.Root().Child("query")
-	site, bindings, err := b.evalQueries(data, qsp, pl)
+	qe, err := b.evalQueries(data, qsp, pl, false)
+	if err == nil {
+		qsp.SetAttr("bindings", qe.bindings)
+	}
 	qsp.Finish()
 	res.Stats.QueryTime = qsp.Duration()
 	if err != nil {
 		return nil, err
 	}
+	site := qe.site
 	res.SiteGraph = site
-	res.Stats.Bindings = bindings
+	res.Stats.Bindings = qe.bindings
+	res.Provenance = qe.prov
 
 	ver := tr.Root().Child("verify")
 	res.Schema = sch
@@ -235,6 +245,9 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 	} else {
 		info.Mode = "selective"
 	}
+	tr.Root().SetAttr("mode", info.Mode)
+	gsp.SetAttr("rendered", dstats.Rendered)
+	gsp.SetAttr("reused", dstats.Reused)
 	b.countRebuild(info.Mode)
 	addCount(b.deltaPages("rendered"), dstats.Rendered)
 	addCount(b.deltaPages("reused"), dstats.Reused)

@@ -577,7 +577,7 @@ func (d *Decomposition) MaterializeAllContext(ctx context.Context, rootCollectio
 	for len(frontier) > 0 {
 		level := frontier
 		frontier = nil
-		computed, err := pool.Map(ctx, d.pl, len(level), func(_ context.Context, i int) (*PageData, error) {
+		computed, err := pool.Map(pool.WithPhase(ctx, "materialize"), d.pl, len(level), func(_ context.Context, i int) (*PageData, error) {
 			return d.Page(level[i])
 		})
 		if err != nil {

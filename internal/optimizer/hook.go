@@ -1,6 +1,8 @@
 package optimizer
 
 import (
+	"time"
+
 	"strudel/internal/struql"
 )
 
@@ -64,15 +66,36 @@ func CostBasedFrom(conds []struql.Condition, ctx *Context, bound map[string]bool
 // ExecuteFrom runs the plan starting from the given seed relation
 // instead of the empty row.
 func (p *Plan) ExecuteFrom(ctx *Context, seed []struql.Binding) ([]struql.Binding, error) {
+	return p.ExecuteFromObserved(ctx, seed, nil)
+}
+
+// StepObserver receives, per executed plan step, the step itself, the
+// input/output row counts and the wall time spent. It backs EXPLAIN
+// ANALYZE-style profiling; obs is called on the executing goroutine in
+// pipeline order.
+type StepObserver func(s Step, rowsIn, rowsOut int, wall time.Duration)
+
+// ExecuteFromObserved is ExecuteFrom with per-step profiling: when obs
+// is non-nil it is invoked once per plan step. Steps skipped because an
+// earlier step emptied the relation are still reported (with zero
+// rows and zero wall time) so a profile always covers the whole plan.
+func (p *Plan) ExecuteFromObserved(ctx *Context, seed []struql.Binding, obs StepObserver) ([]struql.Binding, error) {
 	rows := seed
 	if rows == nil {
 		rows = []struql.Binding{{}}
 	}
 	met := ctx.metrics()
-	for _, s := range p.Steps {
+	for si, s := range p.Steps {
 		if len(rows) == 0 {
+			if obs != nil {
+				for _, rest := range p.Steps[si:] {
+					obs(rest, 0, 0, 0)
+				}
+			}
 			return nil, nil
 		}
+		in := len(rows)
+		t0 := time.Now()
 		var err error
 		switch s.Method {
 		case MethodLabelIndexScan:
@@ -84,6 +107,9 @@ func (p *Plan) ExecuteFrom(ctx *Context, seed []struql.Binding) ([]struql.Bindin
 		}
 		if err != nil {
 			return nil, err
+		}
+		if obs != nil {
+			obs(s, in, len(rows), time.Since(t0))
 		}
 		if met != nil {
 			met.observeStep(s, len(rows))
@@ -100,5 +126,30 @@ func Hook(ctx *Context) func([]struql.Condition, []struql.Binding) ([]struql.Bin
 	return func(conds []struql.Condition, seed []struql.Binding) ([]struql.Binding, error) {
 		plan := CostBasedFrom(conds, ctx, boundOf(seed))
 		return plan.ExecuteFrom(ctx, seed)
+	}
+}
+
+// ProfiledHook is Hook with per-step profiling: the returned planner
+// reports every executed step (operator, index, estimated vs actual
+// rows, wall time) through the per-call observer, feeding EXPLAIN's
+// per-operator statistics. It adapts to struql.Options.PlannerProfiled.
+func ProfiledHook(ctx *Context) func([]struql.Condition, []struql.Binding, func(struql.StepStat)) ([]struql.Binding, error) {
+	return func(conds []struql.Condition, seed []struql.Binding, rec func(struql.StepStat)) ([]struql.Binding, error) {
+		plan := CostBasedFrom(conds, ctx, boundOf(seed))
+		var obs StepObserver
+		if rec != nil {
+			obs = func(s Step, in, out int, wall time.Duration) {
+				rec(struql.StepStat{
+					Cond:    s.Cond.String(),
+					Method:  s.Method.String(),
+					Index:   s.Method.IndexUsed(),
+					EstRows: s.EstRows,
+					RowsIn:  in,
+					RowsOut: out,
+					WallNS:  wall.Nanoseconds(),
+				})
+			}
+		}
+		return plan.ExecuteFromObserved(ctx, seed, obs)
 	}
 }

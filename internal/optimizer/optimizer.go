@@ -64,6 +64,22 @@ func (m Method) String() string {
 	}
 }
 
+// IndexUsed names the index a physical operator reads, "" for
+// operators that touch no index. EXPLAIN output surfaces this so a
+// plan shows not just the operator but the structure it exploits.
+func (m Method) IndexUsed() string {
+	switch m {
+	case MethodLabelIndexScan:
+		return "label"
+	case MethodValueIndexLookup:
+		return "value"
+	case MethodSchemaScan:
+		return "schema"
+	default:
+		return ""
+	}
+}
+
 // Step is one pipeline stage: a condition with its chosen operator and
 // estimates.
 type Step struct {

@@ -1,0 +1,143 @@
+package optimizer
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"strudel/internal/struql"
+)
+
+// TestProfiledHookMatchesHook: profiling is observation only — the
+// profiled planner returns exactly the rows the plain hook returns,
+// and reports one step per condition with consistent row flow.
+func TestProfiledHookMatchesHook(t *testing.T) {
+	g := testGraph(100)
+	queries := []string{
+		`WHERE Publications(x), x -> "year" -> y, y = 1995 COLLECT C(x)`,
+		`WHERE Publications(x), x -> "category" -> "Cat3" COLLECT C(x)`,
+		`WHERE Featured(x), x -> l -> v COLLECT C(x)`,
+	}
+	for _, src := range queries {
+		conds := whereOf(t, src)
+		for _, indexed := range []bool{true, false} {
+			plain := Hook(ctxFor(g, indexed))
+			profiled := ProfiledHook(ctxFor(g, indexed))
+
+			want, err := plain(conds, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			var steps []struql.StepStat
+			got, err := profiled(conds, nil, func(s struql.StepStat) { steps = append(steps, s) })
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			if !reflect.DeepEqual(sortedKeys(got, "x"), sortedKeys(want, "x")) {
+				t.Errorf("%s (indexed=%v): profiled rows differ from plain hook", src, indexed)
+			}
+			if len(steps) != len(conds) {
+				t.Fatalf("%s (indexed=%v): %d steps for %d conditions", src, indexed, len(steps), len(conds))
+			}
+			// Row flow: each step's input is the previous step's output
+			// (the first starts from the seed's single empty row), and
+			// the last step's output is the result size.
+			in := 1
+			for i, s := range steps {
+				if s.RowsIn != in {
+					t.Errorf("%s step %d: rows_in = %d, want %d", src, i, s.RowsIn, in)
+				}
+				if s.Method == "" {
+					t.Errorf("%s step %d: empty method", src, i)
+				}
+				if s.EstRows < 0 {
+					t.Errorf("%s step %d: optimizer step without estimate", src, i)
+				}
+				in = s.RowsOut
+			}
+			if in != len(got) {
+				t.Errorf("%s: final rows_out = %d, result rows = %d", src, in, len(got))
+			}
+		}
+	}
+}
+
+// TestProfiledHookIndexAttribution: with an index available, at least
+// one step reports which index it used; without one, none do.
+func TestProfiledHookIndexAttribution(t *testing.T) {
+	g := testGraph(100)
+	conds := whereOf(t, `WHERE Publications(x), x -> "category" -> "Cat3" COLLECT C(x)`)
+	indexUse := func(indexed bool) []string {
+		var used []string
+		_, err := ProfiledHook(ctxFor(g, indexed))(conds, nil, func(s struql.StepStat) {
+			if s.Index != "" {
+				used = append(used, s.Index)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(used)
+		return used
+	}
+	if used := indexUse(true); len(used) == 0 {
+		t.Error("indexed context: no step reported an index")
+	}
+	if used := indexUse(false); len(used) != 0 {
+		t.Errorf("unindexed context reported index use: %v", used)
+	}
+}
+
+// TestProfiledHookNilRecorder: a nil recorder must not crash and must
+// still produce the rows.
+func TestProfiledHookNilRecorder(t *testing.T) {
+	g := testGraph(50)
+	conds := whereOf(t, `WHERE Publications(x), x -> "category" -> "Cat1" COLLECT C(x)`)
+	got, err := ProfiledHook(ctxFor(g, true))(conds, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Hook(ctxFor(g, true))(conds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedKeys(got, "x"), sortedKeys(want, "x")) {
+		t.Error("nil-recorder rows differ from plain hook")
+	}
+}
+
+// TestProfiledHookEmptyRelation: steps after the relation empties are
+// still reported, with zero rows, so the profile covers the whole plan.
+func TestProfiledHookEmptyRelation(t *testing.T) {
+	g := testGraph(20)
+	conds := whereOf(t, `WHERE Publications(x), x -> "year" -> y, y = 1700, x -> "title" -> v COLLECT C(x)`)
+	var steps []struql.StepStat
+	rows, err := ProfiledHook(ctxFor(g, true))(conds, nil, func(s struql.StepStat) { steps = append(steps, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %d, want 0", len(rows))
+	}
+	if len(steps) != len(conds) {
+		t.Fatalf("steps = %d, want %d (skipped steps must still report)", len(steps), len(conds))
+	}
+	last := steps[len(steps)-1]
+	if last.RowsIn != 0 || last.RowsOut != 0 || last.WallNS != 0 {
+		t.Errorf("skipped step reported work: %+v", last)
+	}
+}
+
+func TestMethodIndexUsed(t *testing.T) {
+	for m, want := range map[Method]string{
+		MethodLabelIndexScan:   "label",
+		MethodValueIndexLookup: "value",
+		MethodSchemaScan:       "schema",
+		MethodCollectionScan:   "",
+		MethodGeneric:          "",
+	} {
+		if got := m.IndexUsed(); got != want {
+			t.Errorf("%v.IndexUsed() = %q, want %q", m, got, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package pool
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"testing"
+)
+
+// collectLabels runs a Map over the pool and returns the pprof label
+// values its tasks observed (pprof.Do threads the labeled context into
+// the task, so the labels are readable from inside).
+func collectLabels(t *testing.T, p *Pool, ctx context.Context) (pool, phase string, labeled bool) {
+	t.Helper()
+	var mu sync.Mutex
+	err := ForEach(ctx, p, 8, func(ctx context.Context, i int) error {
+		pl, okP := pprof.Label(ctx, "pool")
+		ph, okQ := pprof.Label(ctx, "phase")
+		mu.Lock()
+		pool, phase, labeled = pl, ph, okP || okQ
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, phase, labeled
+}
+
+func TestPprofLabels(t *testing.T) {
+	t.Run("name and phase", func(t *testing.T) {
+		p := New(4)
+		p.SetName("mysite")
+		ctx := WithPhase(context.Background(), "render")
+		pool, phase, _ := collectLabels(t, p, ctx)
+		if pool != "mysite" || phase != "render" {
+			t.Errorf("labels = pool=%q phase=%q, want mysite/render", pool, phase)
+		}
+	})
+	t.Run("name only defaults phase", func(t *testing.T) {
+		p := New(2)
+		p.SetName("mysite")
+		pool, phase, _ := collectLabels(t, p, context.Background())
+		if pool != "mysite" || phase != "task" {
+			t.Errorf("labels = pool=%q phase=%q, want mysite/task", pool, phase)
+		}
+	})
+	t.Run("phase only defaults pool", func(t *testing.T) {
+		p := New(2)
+		ctx := WithPhase(context.Background(), "bind")
+		pool, phase, _ := collectLabels(t, p, ctx)
+		if pool != "pool" || phase != "bind" {
+			t.Errorf("labels = pool=%q phase=%q, want pool/bind", pool, phase)
+		}
+	})
+	t.Run("unnamed unphased stays unlabeled", func(t *testing.T) {
+		p := New(2)
+		_, _, labeled := collectLabels(t, p, context.Background())
+		if labeled {
+			t.Error("labels attached to tasks of an unnamed pool with no phase")
+		}
+	})
+	t.Run("sequential path labels too", func(t *testing.T) {
+		p := New(1)
+		p.SetName("seq")
+		ctx := WithPhase(context.Background(), "materialize")
+		pool, phase, _ := collectLabels(t, p, ctx)
+		if pool != "seq" || phase != "materialize" {
+			t.Errorf("labels = pool=%q phase=%q, want seq/materialize", pool, phase)
+		}
+	})
+}
+
+func TestPhaseOf(t *testing.T) {
+	if got := PhaseOf(context.Background()); got != "" {
+		t.Errorf("PhaseOf(untagged) = %q", got)
+	}
+	ctx := WithPhase(context.Background(), "bind")
+	if got := PhaseOf(ctx); got != "bind" {
+		t.Errorf("PhaseOf = %q, want bind", got)
+	}
+}

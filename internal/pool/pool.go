@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -31,6 +32,7 @@ import (
 // runtime.GOMAXPROCS(0) workers and no instrumentation.
 type Pool struct {
 	workers int
+	name    string
 	busy    *telemetry.Gauge
 	depth   *telemetry.Gauge
 }
@@ -50,6 +52,35 @@ func (p *Pool) Workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return p.workers
+}
+
+// SetName names the pool for pprof goroutine labels: CPU and goroutine
+// profiles then attribute work to `pool=<name>` (typically the site
+// being built). A nil pool or empty name is fine — tasks are then
+// labeled "pool" only when a phase is set.
+func (p *Pool) SetName(name string) {
+	if p != nil {
+		p.name = name
+	}
+}
+
+// phaseKey carries the pipeline phase ("bind", "construct", "render",
+// "materialize") through the context so pool tasks can be attributed
+// in pprof profiles.
+type phaseKey struct{}
+
+// WithPhase tags the context with a pipeline phase for pprof
+// attribution: tasks dispatched under this context carry
+// `phase=<phase>` goroutine labels, so /debug/pprof CPU profiles show
+// where build time goes per phase.
+func WithPhase(ctx context.Context, phase string) context.Context {
+	return context.WithValue(ctx, phaseKey{}, phase)
+}
+
+// PhaseOf returns the phase tag of a context, "" when untagged.
+func PhaseOf(ctx context.Context) string {
+	s, _ := ctx.Value(phaseKey{}).(string)
+	return s
 }
 
 // Instrument makes the pool report workers-busy and queue-depth gauges
@@ -175,7 +206,9 @@ func ForEach(ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i
 	return err
 }
 
-// call invokes one task with panic capture and the busy gauge.
+// call invokes one task with panic capture, the busy gauge, and pprof
+// goroutine labels (pool name and phase) so profiles attribute CPU to
+// the pipeline phase that spent it.
 func call[T any](ctx context.Context, p *Pool, i int, fn func(context.Context, int) (T, error)) (v T, err error) {
 	if p != nil && p.busy != nil {
 		p.busy.Add(1)
@@ -186,5 +219,22 @@ func call[T any](ctx context.Context, p *Pool, i int, fn func(context.Context, i
 			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return fn(ctx, i)
+	name := ""
+	if p != nil {
+		name = p.name
+	}
+	phase := PhaseOf(ctx)
+	if name == "" && phase == "" {
+		return fn(ctx, i)
+	}
+	if name == "" {
+		name = "pool"
+	}
+	if phase == "" {
+		phase = "task"
+	}
+	pprof.Do(ctx, pprof.Labels("pool", name, "phase", phase), func(ctx context.Context) {
+		v, err = fn(ctx, i)
+	})
+	return v, err
 }

@@ -23,9 +23,9 @@ type Repository struct {
 // indexMetrics are the repository's telemetry handles (nil when not
 // instrumented).
 type indexMetrics struct {
-	builds, cacheHits            *telemetry.Counter
-	labelLookups, valueLookups   *telemetry.Counter
-	schemaLookups                *telemetry.Counter
+	builds, cacheHits          *telemetry.Counter
+	labelLookups, valueLookups *telemetry.Counter
+	schemaLookups              *telemetry.Counter
 }
 
 // Instrument makes the repository report index behaviour into a

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -34,7 +33,9 @@ func Recover(reg *telemetry.Registry, mode string, next http.Handler) http.Handl
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			log.Printf("server: %s: panic serving %s: %v\n%s", mode, r.URL.Path, rec, debug.Stack())
+			logger().Error("panic recovered",
+				"mode", mode, "path", r.URL.Path, "request_id", RequestID(r),
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			if panics != nil {
 				panics.Inc()
 			}

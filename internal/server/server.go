@@ -17,7 +17,6 @@ import (
 	"expvar"
 	"fmt"
 	"html"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"net/url"
@@ -75,9 +74,11 @@ func writeListing(w http.ResponseWriter, site *sitegen.Site) {
 
 // internalError answers a failed request without leaking the error
 // into the response body: the client gets a generic page, and the
-// detail goes to the log and the error counter instead.
-func internalError(w http.ResponseWriter, reg *telemetry.Registry, mode string, err error) {
-	log.Printf("server: %s: internal error: %v", mode, err)
+// detail goes to the structured log (with the request's correlation
+// ID) and the error counter instead.
+func internalError(w http.ResponseWriter, r *http.Request, reg *telemetry.Registry, mode string, err error) {
+	logger().Error("internal error",
+		"mode", mode, "path", r.URL.Path, "request_id", RequestID(r), "err", err)
 	if reg != nil {
 		reg.Counter("strudel_http_internal_errors_total",
 			"Requests that failed with an internal error, by serving mode.",
@@ -131,7 +132,7 @@ func DynamicFrom(get func() *incremental.Renderer, rootCollection string, cfg Dy
 	bounded := func(op func() error) error {
 		return resilience.WithTimeout(cfg.Clock, cfg.RenderTimeout, op)
 	}
-	renderFailure := func(w http.ResponseWriter, err error) {
+	renderFailure := func(w http.ResponseWriter, req *http.Request, err error) {
 		if errors.Is(err, resilience.ErrTimeout) {
 			if timeouts != nil {
 				timeouts.Inc()
@@ -139,10 +140,10 @@ func DynamicFrom(get func() *incremental.Renderer, rootCollection string, cfg Dy
 			http.Error(w, "page computation timed out", http.StatusGatewayTimeout)
 			return
 		}
-		internalError(w, reg, "dynamic", err)
+		internalError(w, req, reg, "dynamic", err)
 	}
 	mux := http.NewServeMux()
-	serve := func(w http.ResponseWriter, r *incremental.Renderer, ref incremental.PageRef) {
+	serve := func(w http.ResponseWriter, req *http.Request, r *incremental.Renderer, ref incremental.PageRef) {
 		var htmlText string
 		err := bounded(func() error {
 			out, err := r.RenderPage(ref)
@@ -153,7 +154,7 @@ func DynamicFrom(get func() *incremental.Renderer, rootCollection string, cfg Dy
 			return nil
 		})
 		if err != nil {
-			renderFailure(w, err)
+			renderFailure(w, req, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -175,7 +176,7 @@ func DynamicFrom(get func() *incremental.Renderer, rootCollection string, cfg Dy
 			return nil
 		})
 		if err != nil {
-			renderFailure(w, err)
+			renderFailure(w, req, err)
 			return
 		}
 		if len(roots) == 0 {
@@ -183,7 +184,7 @@ func DynamicFrom(get func() *incremental.Renderer, rootCollection string, cfg Dy
 			return
 		}
 		if len(roots) == 1 {
-			serve(w, r, roots[0])
+			serve(w, req, r, roots[0])
 			return
 		}
 		// Multiple roots: list them.
@@ -211,7 +212,7 @@ func DynamicFrom(get func() *incremental.Renderer, rootCollection string, cfg Dy
 			http.NotFound(w, req)
 			return
 		}
-		serve(w, r, ref)
+		serve(w, req, r, ref)
 	})
 	return mux
 }
@@ -256,7 +257,9 @@ func Instrument(reg *telemetry.Registry, mode string, next http.Handler) http.Ha
 		t0 := time.Now()
 		inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r)
+		// Assign the correlation ID here, at the outermost instrumented
+		// layer, so every log line of the request can carry it.
+		next.ServeHTTP(sw, withRequestID(r))
 		inflight.Add(-1)
 		latency.Observe(time.Since(t0).Seconds())
 		status := sw.status

@@ -269,7 +269,7 @@ func (g *Generator) renderPages(ctx context.Context, site *Site, pageOIDs []grap
 	if p == nil {
 		p = pool.New(g.cfg.Workers)
 	}
-	return pool.ForEach(ctx, p, len(pageOIDs), func(_ context.Context, i int) error {
+	return pool.ForEach(pool.WithPhase(ctx, "render"), p, len(pageOIDs), func(_ context.Context, i int) error {
 		oid := pageOIDs[i]
 		htmlText, err := g.renderObject(oid, site, 0)
 		if err != nil {

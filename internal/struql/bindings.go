@@ -36,7 +36,7 @@ func EvalBindings(input *graph.Graph, reg *Registry, conds []Condition, seed []B
 	for _, s := range seed {
 		rows = append(rows, env(s))
 	}
-	out, err := ev.applyWhere(conds, rows)
+	out, err := ev.applyWhere(conds, rows, nil)
 	if err != nil {
 		return nil, err
 	}

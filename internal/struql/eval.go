@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"strudel/internal/graph"
 	"strudel/internal/pool"
@@ -34,6 +35,20 @@ type Options struct {
 	// physical-operation tree", Sec. 2.4). The seed rows carry the
 	// bindings of enclosing blocks.
 	WherePlanner func(conds []Condition, seed []Binding) ([]Binding, error)
+	// PlannerProfiled, when set together with Profiler, replaces
+	// WherePlanner with a planner that reports per-step statistics
+	// through the rec callback (the optimizer's ProfiledHook). When
+	// Profiler is nil it behaves exactly like WherePlanner.
+	PlannerProfiled func(conds []Condition, seed []Binding, rec func(StepStat)) ([]Binding, error)
+	// Profiler, when set, collects an EXPLAIN plan tree with
+	// per-operator runtime statistics during this evaluation. All
+	// collected fields except wall times are deterministic at any
+	// worker count.
+	Profiler *Profiler
+	// Provenance, when set, records per constructed node the Skolem
+	// function, binding tuples, and consumed source objects and
+	// attributes during the construction stage.
+	Provenance *Provenance
 	// Workers bounds the parallelism of the query stage: sibling blocks
 	// bind concurrently, and within one conjunction the outer binding
 	// loop is chunked across workers once a condition's input relation
@@ -103,17 +118,23 @@ func Eval(q *Query, input *graph.Graph, opts *Options) (*Result, error) {
 	if thresh == 0 {
 		thresh = defaultParallelThreshold
 	}
+	if opts.Profiler != nil {
+		opts.Profiler.reset(q)
+	}
 	ev := &evaluator{
-		in:        input,
-		out:       out,
-		reg:       reg,
-		varKinds:  q.Root.Vars(),
-		newNodes:  map[graph.OID]bool{},
-		nfaCache:  map[*PathExpr]*nfa{},
-		maxB:      maxB,
-		planner:   opts.WherePlanner,
-		pool:      p,
-		parThresh: thresh,
+		in:          input,
+		out:         out,
+		reg:         reg,
+		varKinds:    q.Root.Vars(),
+		newNodes:    map[graph.OID]bool{},
+		nfaCache:    map[*PathExpr]*nfa{},
+		maxB:        maxB,
+		planner:     opts.WherePlanner,
+		plannerProf: opts.PlannerProfiled,
+		prof:        opts.Profiler,
+		prov:        opts.Provenance,
+		pool:        p,
+		parThresh:   thresh,
 	}
 	// Two stages, as in the paper but restructured for parallelism: the
 	// query stage binds every block of the tree (pure reads of the
@@ -157,6 +178,16 @@ type evaluator struct {
 	rows     int
 	maxB     int
 	planner  func(conds []Condition, seed []Binding) ([]Binding, error)
+	// plannerProf is the profiling-capable planner; it takes precedence
+	// over planner when set.
+	plannerProf func(conds []Condition, seed []Binding, rec func(StepStat)) ([]Binding, error)
+	// prof collects the EXPLAIN plan tree; nil when profiling is off.
+	// Each block's PlanNode is written only by the goroutine binding
+	// that block, so no locking is needed.
+	prof *Profiler
+	// prov records construction provenance; nil when off. Recording
+	// happens only on the sequential construction stage.
+	prov *Provenance
 	// pool bounds query-stage parallelism; nil means sequential (the
 	// EvalBindings entry point — its callers parallelize across pages
 	// instead).
@@ -179,13 +210,18 @@ type boundBlock struct {
 // input graph, never the output graph, so block independence holds by
 // construction.
 func (ev *evaluator) bindBlock(b *Block, parents []env) (*boundBlock, error) {
-	envs, err := ev.applyWhere(b.Where, parents)
+	pn := ev.prof.nodeFor(b)
+	envs, err := ev.applyWhere(b.Where, parents, pn)
 	if err != nil {
 		return nil, err
 	}
 	envs = dedupe(envs)
+	if pn != nil {
+		pn.SeedRows = len(parents)
+		pn.Rows = len(envs)
+	}
 	node := &boundBlock{b: b, envs: envs}
-	node.children, err = pool.Map(context.Background(), ev.pool, len(b.Children),
+	node.children, err = pool.Map(pool.WithPhase(context.Background(), "bind"), ev.pool, len(b.Children),
 		func(_ context.Context, i int) (*boundBlock, error) {
 			return ev.bindBlock(b.Children[i], envs)
 		})
@@ -227,16 +263,40 @@ func (ev *evaluator) constructBlock(n *boundBlock) error {
 // only conditions over unbound variables remain (e.g. negation), one
 // unbound variable is ranged over the active domain, per the paper's
 // active-domain semantics.
-func (ev *evaluator) applyWhere(conds []Condition, rows []env) ([]env, error) {
+func (ev *evaluator) applyWhere(conds []Condition, rows []env, pn *PlanNode) ([]env, error) {
 	if len(conds) == 0 {
 		return rows, nil
 	}
-	if ev.planner != nil {
+	if ev.plannerProf != nil || ev.planner != nil {
 		seed := make([]Binding, len(rows))
 		for i, r := range rows {
 			seed[i] = Binding(r)
 		}
-		planned, err := ev.planner(conds, seed)
+		var planned []Binding
+		var err error
+		switch {
+		case ev.plannerProf != nil:
+			var rec func(StepStat)
+			if pn != nil {
+				rec = func(st StepStat) { pn.Steps = append(pn.Steps, st) }
+			}
+			planned, err = ev.plannerProf(conds, seed, rec)
+		default:
+			t0 := time.Now()
+			planned, err = ev.planner(conds, seed)
+			if pn != nil && err == nil {
+				// Opaque planner: the per-step breakdown is unavailable,
+				// so record the whole conjunction as one step.
+				pn.Steps = append(pn.Steps, StepStat{
+					Cond:    condsString(conds),
+					Method:  "planner",
+					EstRows: -1,
+					RowsIn:  len(seed),
+					RowsOut: len(planned),
+					WallNS:  time.Since(t0).Nanoseconds(),
+				})
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -266,6 +326,8 @@ func (ev *evaluator) applyWhere(conds []Condition, rows []env) ([]env, error) {
 			if v == "" {
 				return nil, fmt.Errorf("struql: cannot order condition %s", remaining[idx])
 			}
+			in := len(rows)
+			t0 := time.Now()
 			domain := ev.activeDomain(kind)
 			var next []env
 			for _, r := range rows {
@@ -278,20 +340,97 @@ func (ev *evaluator) applyWhere(conds []Condition, rows []env) ([]env, error) {
 			}
 			rows = next
 			bound[v] = true
+			if pn != nil {
+				pn.Steps = append(pn.Steps, StepStat{
+					Cond:    "domain(" + v + ")",
+					Method:  "active-domain",
+					EstRows: -1,
+					RowsIn:  in,
+					RowsOut: len(rows),
+					WallNS:  time.Since(t0).Nanoseconds(),
+				})
+			}
 			continue
 		}
 		cond := remaining[idx]
 		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		var method string
+		if pn != nil {
+			method = ev.interpMethod(cond, bound)
+		}
+		in := len(rows)
+		t0 := time.Now()
 		var err error
 		rows, err = ev.expandRows(cond, rows, bound)
 		if err != nil {
 			return nil, err
+		}
+		if pn != nil {
+			pn.Steps = append(pn.Steps, StepStat{
+				Cond:    cond.String(),
+				Method:  method,
+				EstRows: -1,
+				RowsIn:  in,
+				RowsOut: len(rows),
+				WallNS:  time.Since(t0).Nanoseconds(),
+			})
 		}
 		if len(rows) > ev.maxB {
 			return nil, fmt.Errorf("struql: binding relation exceeded %d rows while evaluating %s", ev.maxB, cond)
 		}
 	}
 	return rows, nil
+}
+
+// condsString renders a conjunction for the opaque-planner plan step.
+func condsString(conds []Condition) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// interpMethod names the interpreter's access strategy for one
+// condition given the currently bound variables — the interpreter
+// analogue of the optimizer's physical-operator choice, computed
+// before expandRows mutates the bound set.
+func (ev *evaluator) interpMethod(c Condition, bound map[string]bool) string {
+	termBound := func(t Term) bool { return !t.IsVar() || bound[t.Var] }
+	switch c := c.(type) {
+	case *MembershipCond:
+		if termBound(c.Arg) {
+			return "member-check"
+		}
+		return "collection-scan"
+	case *EdgeCond:
+		switch {
+		case termBound(c.From):
+			return "edge-out"
+		case termBound(c.To):
+			return "edge-in"
+		default:
+			return "edge-scan"
+		}
+	case *PathCond:
+		return "path-nfa"
+	case *CompareCond:
+		if termBound(c.Left) && termBound(c.Right) {
+			return "filter"
+		}
+		return "assign"
+	case *InSetCond:
+		if bound[c.Var] {
+			return "filter:in"
+		}
+		return "set-expand"
+	case *PredCond:
+		return "predicate"
+	case *NotCond:
+		return "anti-join"
+	default:
+		return "generic"
+	}
 }
 
 const scoreNeedsDomain = 1000
@@ -466,7 +605,7 @@ func (ev *evaluator) expandRows(c Condition, rows []env, bound map[string]bool) 
 		end := min(start+chunk, len(rows))
 		chunks = append(chunks, rows[start:end])
 	}
-	parts, err := pool.Map(context.Background(), ev.pool, len(chunks),
+	parts, err := pool.Map(pool.WithPhase(context.Background(), "bind"), ev.pool, len(chunks),
 		func(_ context.Context, i int) ([]env, error) {
 			return ev.expand(c, chunks[i], copyBound(bound))
 		})
@@ -927,9 +1066,11 @@ type aggState struct {
 // and are emitted by flushAggregates after all rows.
 func (ev *evaluator) construct(b *Block, r env, acc map[aggKey]*aggState) error {
 	for _, ct := range b.Creates {
-		if _, err := ev.skolemNode(ct, r); err != nil {
+		id, err := ev.skolemNode(ct, r)
+		if err != nil {
 			return err
 		}
+		ev.recordProv(b, id, r)
 	}
 	for li := range b.Links {
 		l := b.Links[li]
@@ -940,6 +1081,7 @@ func (ev *evaluator) construct(b *Block, r env, acc map[aggKey]*aggState) error 
 		if !from.IsNode() || !ev.newNodes[from.OID()] {
 			return fmt.Errorf("struql: link %s adds an edge from existing object %s; existing nodes are immutable", l, from)
 		}
+		ev.recordProv(b, from.OID(), r)
 		var label string
 		switch {
 		case l.Label.Var != "":
@@ -972,6 +1114,9 @@ func (ev *evaluator) construct(b *Block, r env, acc map[aggKey]*aggState) error 
 		if err != nil {
 			return err
 		}
+		if to.IsNode() && ev.newNodes[to.OID()] {
+			ev.recordProv(b, to.OID(), r)
+		}
 		if err := ev.out.AddEdge(from.OID(), label, to); err != nil {
 			return err
 		}
@@ -981,9 +1126,21 @@ func (ev *evaluator) construct(b *Block, r env, acc map[aggKey]*aggState) error 
 		if err != nil {
 			return err
 		}
+		if v.IsNode() && ev.newNodes[v.OID()] {
+			ev.recordProv(b, v.OID(), r)
+		}
 		ev.out.AddToCollection(c.Collection, v)
 	}
 	return nil
+}
+
+// recordProv forwards one construction touch to the provenance
+// recorder; a no-op when provenance is off. Called only from the
+// sequential construction stage.
+func (ev *evaluator) recordProv(b *Block, id graph.OID, r env) {
+	if ev.prov != nil {
+		ev.prov.record(ev, b, id, r)
+	}
 }
 
 // flushAggregates emits one edge per aggregate group, in group

@@ -1,0 +1,154 @@
+// EXPLAIN support: a structured plan tree mirroring the query's block
+// tree, with per-operator runtime statistics. The paper's optimizer
+// discussion (Sec. 2.4) treats plan choice as invisible machinery;
+// this file makes it observable — which physical operator each
+// condition compiled to, what the optimizer estimated, and what
+// actually flowed through at run time.
+//
+// Concurrency contract: the Profiler's block→node map is built once
+// before evaluation and read-only afterwards; each PlanNode is written
+// only by the single goroutine binding its block (applyWhere is
+// sequential per block; sibling blocks own distinct nodes), so the
+// parallel evaluator needs no locking here. Everything except WallNS
+// is deterministic at any worker count.
+package struql
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// StepStat is one executed plan step: the condition, the physical
+// operator chosen for it, the index it used (if any), and its
+// estimated vs actual row counts. EstRows < 0 means no estimate (the
+// interpreter path does not estimate cardinalities).
+type StepStat struct {
+	Cond    string  `json:"cond"`
+	Method  string  `json:"method"`
+	Index   string  `json:"index,omitempty"`
+	EstRows float64 `json:"est_rows"`
+	RowsIn  int     `json:"rows_in"`
+	RowsOut int     `json:"rows_out"`
+	WallNS  int64   `json:"wall_ns"`
+}
+
+// PlanNode is one block of the query with its conditions' steps and
+// the block's resulting binding relation size. Children mirror the
+// query's nested blocks in definition order.
+type PlanNode struct {
+	ID       int         `json:"id"`
+	Where    []string    `json:"where,omitempty"`
+	SeedRows int         `json:"seed_rows"`
+	Rows     int         `json:"rows"`
+	Steps    []StepStat  `json:"steps,omitempty"`
+	Children []*PlanNode `json:"children,omitempty"`
+}
+
+// Profiler collects a plan tree during one Eval. Set it on
+// Options.Profiler, evaluate, then read Plan(). A Profiler is
+// single-use per evaluation: Eval resets it against the query's block
+// tree before binding starts.
+type Profiler struct {
+	root    *PlanNode
+	byBlock map[*Block]*PlanNode
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler { return &Profiler{} }
+
+// reset builds the plan skeleton for a query's block tree, assigning
+// pre-order IDs. Called by Eval before the query stage starts.
+func (p *Profiler) reset(q *Query) {
+	p.byBlock = map[*Block]*PlanNode{}
+	id := 0
+	var build func(b *Block) *PlanNode
+	build = func(b *Block) *PlanNode {
+		n := &PlanNode{ID: id}
+		id++
+		for _, c := range b.Where {
+			n.Where = append(n.Where, c.String())
+		}
+		p.byBlock[b] = n
+		for _, ch := range b.Children {
+			n.Children = append(n.Children, build(ch))
+		}
+		return n
+	}
+	p.root = build(q.Root)
+}
+
+// nodeFor returns the plan node of a block; nil for a nil profiler or
+// an unknown block.
+func (p *Profiler) nodeFor(b *Block) *PlanNode {
+	if p == nil {
+		return nil
+	}
+	return p.byBlock[b]
+}
+
+// Plan returns the collected plan tree (nil before any evaluation).
+func (p *Profiler) Plan() *PlanNode {
+	if p == nil {
+		return nil
+	}
+	return p.root
+}
+
+// TotalRows sums the binding-relation sizes over the tree — by
+// construction equal to the evaluation's Result.Bindings.
+func (n *PlanNode) TotalRows() int {
+	if n == nil {
+		return 0
+	}
+	total := n.Rows
+	for _, c := range n.Children {
+		total += c.TotalRows()
+	}
+	return total
+}
+
+// StripWall zeroes every WallNS in the tree, leaving only the
+// deterministic fields — two profiles of the same query over the same
+// data then compare equal at any worker count.
+func (n *PlanNode) StripWall() {
+	if n == nil {
+		return
+	}
+	for i := range n.Steps {
+		n.Steps[i].WallNS = 0
+	}
+	for _, c := range n.Children {
+		c.StripWall()
+	}
+}
+
+// WriteText renders the plan tree as an indented explain listing.
+func (n *PlanNode) WriteText(w io.Writer) {
+	n.writeText(w, 0)
+}
+
+func (n *PlanNode) writeText(w io.Writer, depth int) {
+	if n == nil {
+		return
+	}
+	ind := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%sblock #%d: seed %d rows -> %d rows\n", ind, n.ID, n.SeedRows, n.Rows)
+	for _, s := range n.Steps {
+		est := "est -"
+		if s.EstRows >= 0 {
+			est = fmt.Sprintf("est %.0f", s.EstRows)
+		}
+		idx := ""
+		if s.Index != "" {
+			idx = " index=" + s.Index
+		}
+		fmt.Fprintf(w, "%s  [%s]%s %s  (%s, in %d, out %d, %s)\n",
+			ind, s.Method, idx, s.Cond, est, s.RowsIn, s.RowsOut,
+			time.Duration(s.WallNS))
+	}
+	for _, c := range n.Children {
+		c.writeText(w, depth+1)
+	}
+}

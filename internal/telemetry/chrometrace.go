@@ -1,0 +1,145 @@
+// Chrome trace-event export: a Trace's span tree serialized in the
+// trace-event JSON format that chrome://tracing and Perfetto load, so
+// a build's timeline can be inspected in a real trace viewer instead
+// of the text Summary. Spans become "X" (complete) events; span events
+// become "i" (instant) events; process and thread names are emitted as
+// "M" (metadata) events.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the traceEvents array. Field names
+// follow the trace-event format specification; ts and dur are
+// microseconds relative to the trace start.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// chromePid is the constant process id of exported traces: the trace
+// describes one build of one process.
+const chromePid = 1
+
+// WriteChrome serializes the trace in Chrome trace-event JSON. Sibling
+// spans that overlap in time (concurrent query evaluation, say) are
+// placed on distinct thread lanes so the viewer draws them side by
+// side; non-overlapping siblings share their parent's lane. Open spans
+// are rendered as if they ended now.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	base := t.root.start
+	now := time.Now()
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "strudel " + t.root.Name},
+	})
+	nextTid := 0
+	var place func(s *Span, tid int)
+	place = func(s *Span, tid int) {
+		st := spanTimes(s, now)
+		dur := st.dur
+		args := map[string]any{}
+		for _, a := range s.Attrs() {
+			args[a.Key] = a.Value
+		}
+		ev := chromeEvent{
+			Name: s.Name, Phase: "X",
+			Ts: usSince(base, s.start), Dur: &dur,
+			Pid: chromePid, Tid: tid, Args: args,
+		}
+		if len(args) == 0 {
+			ev.Args = nil
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+		for _, e := range s.Events() {
+			eargs := map[string]any{}
+			for _, a := range e.Attrs {
+				eargs[a.Key] = a.Value
+			}
+			iev := chromeEvent{
+				Name: e.Name, Phase: "i",
+				Ts: usSince(base, e.Time), Pid: chromePid, Tid: tid,
+				Scope: "t", Args: eargs,
+			}
+			if len(eargs) == 0 {
+				iev.Args = nil
+			}
+			out.TraceEvents = append(out.TraceEvents, iev)
+		}
+		children := s.Children()
+		sort.SliceStable(children, func(i, j int) bool {
+			return children[i].start.Before(children[j].start)
+		})
+		// Greedy lane assignment: a child reuses the first lane whose
+		// previous occupant ended before the child started, preferring
+		// the parent's own lane; otherwise it opens a fresh lane.
+		type lane struct {
+			tid int
+			end time.Time
+		}
+		lanes := []lane{{tid: tid, end: s.start}}
+		for _, c := range children {
+			ct := spanTimes(c, now)
+			placed := -1
+			for i := range lanes {
+				if !lanes[i].end.After(c.start) {
+					placed = i
+					break
+				}
+			}
+			if placed < 0 {
+				nextTid++
+				lanes = append(lanes, lane{tid: nextTid})
+				placed = len(lanes) - 1
+			}
+			lanes[placed].end = ct.end
+			place(c, lanes[placed].tid)
+		}
+	}
+	place(t.root, 0)
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+type spanTime struct {
+	end time.Time
+	dur float64 // microseconds
+}
+
+// spanTimes resolves a span's end and duration, closing open spans at
+// now for display purposes.
+func spanTimes(s *Span, now time.Time) spanTime {
+	s.mu.Lock()
+	done, end := s.done, s.end
+	s.mu.Unlock()
+	if !done {
+		end = now
+	}
+	if end.Before(s.start) {
+		end = s.start
+	}
+	return spanTime{end: end, dur: float64(end.Sub(s.start)) / float64(time.Microsecond)}
+}
+
+func usSince(base, t time.Time) float64 {
+	if t.Before(base) {
+		return 0
+	}
+	return float64(t.Sub(base)) / float64(time.Microsecond)
+}

@@ -1,0 +1,36 @@
+// Structured logging support: a shared slog construction so every
+// layer logs the same text schema (time, level, msg, then key/value
+// attributes), and process-unique correlation IDs that tie log lines
+// to traces — every line of one build carries its build_id, every line
+// of one request its request_id.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// NewLogger returns a text-format slog.Logger writing to w. One
+// constructor keeps the log schema identical across the CLI, the
+// server and tests.
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
+var (
+	idCounter atomic.Uint64
+	// idEpoch distinguishes processes: two strudel invocations a
+	// second apart never collide on ids even though the counter
+	// restarts at zero.
+	idEpoch = uint64(time.Now().UnixNano()) & 0xffffff
+)
+
+// NewID returns a short process-unique correlation identifier with the
+// given prefix, e.g. "build-3fa2c1-000007". IDs are cheap (one atomic
+// add) and safe for concurrent use.
+func NewID(prefix string) string {
+	return fmt.Sprintf("%s-%06x-%06d", prefix, idEpoch, idCounter.Add(1))
+}

@@ -97,8 +97,13 @@ type Histogram struct {
 	sum     atomic.Uint64 // float64 bits
 }
 
-// Observe records one value.
+// Observe records one value. NaN observations are rejected: a NaN
+// would poison the running sum forever (NaN+x = NaN) and render the
+// whole series useless, so it is dropped rather than recorded.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	// First bucket whose upper bound contains v; past the last bound
 	// only count/sum record it (the +Inf bucket is implicit).
 	i := sort.SearchFloat64s(h.upper, v)
@@ -134,7 +139,6 @@ type family struct {
 	name, help, typ string
 	buckets         []float64 // histograms only
 	series          map[string]*metric
-	order           []string // registration order of label keys, for stable output
 }
 
 // Registry holds metric families and renders them in Prometheus text
@@ -197,7 +201,6 @@ func (f *family) get(labels string) (*metric, bool) {
 	if !ok {
 		m = &metric{labels: labels}
 		f.series[labels] = m
-		f.order = append(f.order, labels)
 	}
 	return m, ok
 }
@@ -249,7 +252,9 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labelPairs ..
 }
 
 // WritePrometheus renders every family in Prometheus text exposition
-// format (version 0.0.4), families sorted by name, series in
+// format (version 0.0.4). Output is fully deterministic: families are
+// sorted by name and series by their canonical label rendering, so
+// two scrapes of the same state are byte-identical regardless of
 // registration order.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
@@ -259,17 +264,24 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	sort.Strings(names)
 	fams := make([]*family, len(names))
+	series := make([][]string, len(names))
 	for i, n := range names {
 		fams[i] = r.families[n]
+		labels := make([]string, 0, len(fams[i].series))
+		for l := range fams[i].series {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		series[i] = labels
 	}
 	r.mu.Unlock()
 
-	for _, f := range fams {
+	for fi, f := range fams {
 		if f.help != "" {
 			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
-		for _, labels := range f.order {
+		for _, labels := range series[fi] {
 			m := f.series[labels]
 			switch f.typ {
 			case "counter":

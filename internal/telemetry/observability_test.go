@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// goldenExposition is the exact exposition for the registry built by
+// fillRegistry: families sorted by name, label sets sorted by their
+// canonical rendering, label keys sorted within a set.
+const goldenExposition = `# HELP a_gauge A gauge.
+# TYPE a_gauge gauge
+a_gauge 2.5
+# HELP h_seconds H.
+# TYPE h_seconds histogram
+h_seconds_bucket{mode="x",le="1"} 1
+h_seconds_bucket{mode="x",le="2"} 1
+h_seconds_bucket{mode="x",le="+Inf"} 2
+h_seconds_sum{mode="x"} 3.5
+h_seconds_count{mode="x"} 2
+# HELP req_total Requests.
+# TYPE req_total counter
+req_total{class="2xx",mode="static"} 3
+req_total{class="5xx",mode="dynamic"} 1
+`
+
+func fillRegistry(reg *Registry, reversed bool) {
+	steps := []func(){
+		func() { reg.Counter("req_total", "Requests.", "mode", "static", "class", "2xx").Add(3) },
+		func() { reg.Counter("req_total", "Requests.", "class", "5xx", "mode", "dynamic").Inc() },
+		func() { reg.Gauge("a_gauge", "A gauge.").Set(2.5) },
+		func() {
+			h := reg.Histogram("h_seconds", "H.", []float64{1, 2}, "mode", "x")
+			h.Observe(0.5)
+			h.Observe(3)
+		},
+	}
+	if reversed {
+		for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+			steps[i], steps[j] = steps[j], steps[i]
+		}
+	}
+	for _, step := range steps {
+		step()
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition byte for byte: two
+// registries populated in opposite orders must both render the golden
+// output, and a second scrape must be identical to the first.
+func TestWritePrometheusGolden(t *testing.T) {
+	for _, reversed := range []bool{false, true} {
+		reg := NewRegistry()
+		fillRegistry(reg, reversed)
+		var sb strings.Builder
+		reg.WritePrometheus(&sb)
+		if sb.String() != goldenExposition {
+			t.Errorf("reversed=%v: exposition mismatch:\n got:\n%s\nwant:\n%s",
+				reversed, sb.String(), goldenExposition)
+		}
+		var sb2 strings.Builder
+		reg.WritePrometheus(&sb2)
+		if sb.String() != sb2.String() {
+			t.Errorf("reversed=%v: two scrapes of the same state differ", reversed)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("e_seconds", "E.", []float64{1})
+
+	// NaN would poison the running sum forever; it must be dropped.
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Errorf("NaN was counted: count = %d", h.Count())
+	}
+	if h.Sum() != 0 {
+		t.Errorf("NaN reached the sum: %v", h.Sum())
+	}
+
+	// +Inf lands only in the implicit +Inf bucket; a value below every
+	// bound lands in the first.
+	h.Observe(math.Inf(1))
+	h.Observe(-5)
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2", h.Count())
+	}
+	if !math.IsInf(h.Sum(), 1) {
+		t.Errorf("sum = %v, want +Inf", h.Sum())
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`e_seconds_bucket{le="1"} 1`,
+		`e_seconds_bucket{le="+Inf"} 2`,
+		"e_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpanConcurrentObservability hammers one trace with concurrent
+// child creation, attribute and event recording, and finishes, while
+// Chrome and summary exports run against the live trace. Under -race
+// this validates the span locking; afterwards the export must still be
+// valid JSON.
+func TestSpanConcurrentObservability(t *testing.T) {
+	tr := NewTrace("t")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c := tr.Root().Child("c")
+				c.SetAttr("worker", w)
+				c.SetAttr("worker", w+1) // replace path
+				c.AddEvent("tick", "j", j)
+				c.Finish()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			var b bytes.Buffer
+			if err := tr.WriteChrome(&b); err != nil {
+				t.Errorf("WriteChrome on live trace: %v", err)
+				return
+			}
+			var sb strings.Builder
+			tr.WriteSummary(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	tr.Finish()
+	if n := len(tr.Root().Children()); n != 400 {
+		t.Fatalf("children = %d, want 400", n)
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+}
+
+// TestWriteChromeFormat checks the trace-event JSON schema: the fields
+// chrome://tracing and Perfetto require, instant-event scoping, span
+// attributes as args, and distinct thread lanes for overlapping
+// sibling spans.
+func TestWriteChromeFormat(t *testing.T) {
+	tr := NewTrace("build")
+	tr.Root().SetAttr("site", "s")
+	a := tr.Root().Child("a")
+	a.AddEvent("violation", "err", "boom")
+	b := tr.Root().Child("b") // starts while a is open: overlapping siblings
+	a.Finish()
+	b.Finish()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Ts    *float64       `json:"ts"`
+			Dur   *float64       `json:"dur"`
+			Pid   *int           `json:"pid"`
+			Tid   *int           `json:"tid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", out.DisplayTimeUnit)
+	}
+	tids := map[string]int{}
+	sawMeta, sawInstant := false, false
+	for _, ev := range out.TraceEvents {
+		if ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %q missing pid/tid", ev.Name)
+		}
+		switch ev.Phase {
+		case "M":
+			sawMeta = true
+		case "X":
+			if ev.Ts == nil || ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("complete event %q missing ts/dur", ev.Name)
+			}
+			tids[ev.Name] = *ev.Tid
+		case "i":
+			sawInstant = true
+			if ev.Scope != "t" {
+				t.Errorf("instant event %q scope = %q, want \"t\"", ev.Name, ev.Scope)
+			}
+			if ev.Name == "violation" && ev.Args["err"] != "boom" {
+				t.Errorf("instant args = %v", ev.Args)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+		if ev.Phase == "X" && ev.Name == "build" && ev.Args["site"] != "s" {
+			t.Errorf("root span args = %v, want site=s", ev.Args)
+		}
+	}
+	if !sawMeta {
+		t.Error("no metadata (process_name) event")
+	}
+	if !sawInstant {
+		t.Error("no instant event for the span event")
+	}
+	if tids["a"] == tids["b"] {
+		t.Errorf("overlapping siblings share lane tid=%d", tids["a"])
+	}
+	if tids["build"] != tids["a"] {
+		t.Errorf("first child should inherit the parent lane: root %d, a %d",
+			tids["build"], tids["a"])
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	const workers, each = 4, 1000
+	ids := make(chan string, workers*each)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				ids <- NewID("x")
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[string]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+		if !strings.HasPrefix(id, "x-") {
+			t.Fatalf("id %q missing prefix", id)
+		}
+	}
+}
+
+func TestLoggerSchema(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.Info("built", "build_id", "build-1", "pages", 42)
+	out := buf.String()
+	for _, want := range []string{"level=INFO", "msg=built", "build_id=build-1", "pages=42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q: %s", want, out)
+		}
+	}
+}

@@ -3,15 +3,32 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
+// Attr is one key/value attribute attached to a span or event. Values
+// are kept as-is and rendered with %v (or JSON-marshaled by the trace
+// exporters), so numbers stay numbers.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Event is a named point in time inside a span, with optional
+// attributes — "violations found", "cache adopted", and the like.
+type Event struct {
+	Name  string
+	Time  time.Time
+	Attrs []Attr
+}
+
 // Span is one timed phase of a trace, with parent/child nesting. A
 // span is open until Finish is called; Duration of an open span is the
-// time elapsed so far. Child creation and finishing are safe for
-// concurrent use.
+// time elapsed so far. Child creation, finishing, attribute and event
+// recording are all safe for concurrent use.
 type Span struct {
 	Name  string
 	start time.Time
@@ -20,6 +37,8 @@ type Span struct {
 	end      time.Time
 	done     bool
 	children []*Span
+	attrs    []Attr
+	events   []Event
 }
 
 // Start returns the span's start time.
@@ -63,16 +82,65 @@ func (s *Span) Children() []*Span {
 	return out
 }
 
+// SetAttr attaches (or replaces) an attribute on the span.
+func (s *Span) SetAttr(key string, value any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Attrs returns a snapshot of the span's attributes, sorted by key so
+// renderings are deterministic.
+func (s *Span) Attrs() []Attr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// AddEvent records a point-in-time event on the span. kv are
+// alternating key/value pairs (a trailing key without a value is
+// dropped), slog-style.
+func (s *Span) AddEvent(name string, kv ...any) {
+	ev := Event{Name: name, Time: time.Now()}
+	for i := 0; i+1 < len(kv); i += 2 {
+		ev.Attrs = append(ev.Attrs, Attr{Key: fmt.Sprint(kv[i]), Value: kv[i+1]})
+	}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Events returns a snapshot of the span's events in recording order.
+func (s *Span) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
 // Trace is a tree of spans rooted at one operation (e.g. a site
 // build). Use Root().Child(...) for phases and Summary() for a
-// human-readable timeline.
+// human-readable timeline. ID correlates log lines with the trace:
+// every slog line of a build carries the same build_id.
 type Trace struct {
 	root *Span
+	// ID is a process-unique correlation identifier ("build-…").
+	ID string
 }
 
 // NewTrace starts a trace whose root span begins now.
 func NewTrace(name string) *Trace {
-	return &Trace{root: &Span{Name: name, start: time.Now()}}
+	return &Trace{root: &Span{Name: name, start: time.Now()}, ID: NewID("build")}
 }
 
 // Root returns the root span.

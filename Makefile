@@ -5,7 +5,7 @@
 # parallel-build determinism suite.
 GO ?= go
 
-.PHONY: build test vet race bench chaos testpar fuzz check explain-demo
+.PHONY: build test vet race bench bench-smoke chaos testpar fuzz check explain-demo
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Benchmark smoke: one iteration of every benchmark, so a refactor
+# that breaks a benchmark's setup (or its acceptance metric wiring)
+# fails CI instead of rotting until the next manual `make bench`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # Fault-injection suite: flaky/hanging sources and overload against
 # the full serving stack, twice, under the race detector.
@@ -49,4 +55,6 @@ fuzz:
 explain-demo:
 	$(GO) run ./cmd/strudel explain -example cnn
 
+# bench-smoke is not part of check (CI runs it as its own step); run it
+# directly after touching benchmark code.
 check: build vet test race chaos testpar fuzz

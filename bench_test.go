@@ -14,6 +14,7 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"testing"
+	"time"
 
 	"strudel/internal/baseline/procedural"
 	"strudel/internal/baseline/relational"
@@ -741,6 +742,95 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("bare", run(server.Static(site)))
 	reg := telemetry.NewRegistry()
 	b.Run("instrumented", run(server.Instrument(reg, "static", server.Static(site))))
+}
+
+// BenchmarkServeObservability prices the full serving-plane
+// observability stack against the metrics-only middleware it extends:
+// per-page access accounting (LRU table + per-page latency histogram),
+// SLO window accounting, in-flight tracking, and sampled request
+// tracing at the default 1-in-16 stride. The dynamic-* pair is the
+// acceptance measurement — click-time page serving, the realistic
+// request the stack instruments — with a <3% overhead target. The
+// floor-* pair serves a one-page in-memory site through a no-op
+// response writer, isolating the absolute per-request middleware cost
+// (a map lookup + list move under one mutex, a few atomic adds, and
+// span allocation on sampled requests only); as a fraction of a no-op
+// handler that cost is large by construction, which is why the floor
+// pair reports ns, not a percentage target. BENCH_serve_obs.json
+// records a measured snapshot.
+func BenchmarkServeObservability(b *testing.B) {
+	observed := func(reg *telemetry.Registry) server.Observability {
+		acct := server.NewAccounting(1024)
+		acct.Instrument(reg)
+		slo := telemetry.NewSLO(time.Second, 0.99, 5*time.Minute, nil)
+		slo.Instrument(reg)
+		return server.Observability{
+			Registry:   reg,
+			Accounting: acct,
+			SLO:        slo,
+			Tracer:     telemetry.NewRequestTracer(16, 8),
+			Inflight:   server.NewInflight(),
+		}
+	}
+	run := func(h http.Handler, req *http.Request) func(*testing.B) {
+		return func(b *testing.B) {
+			w := nopResponseWriter{h: http.Header{}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.ServeHTTP(w, req)
+			}
+		}
+	}
+
+	// Realistic serving: click-time evaluation of a workload site's
+	// root page (decomposed query cache warm, template executed per
+	// request) — the request profile `strudel serve -dynamic -ops`
+	// actually handles. The two arms are interleaved in batches inside
+	// one timing loop: this host's wall-clock drifts by more than the
+	// effect being measured (±15% between sequential b.Run arms of
+	// identical code), so only a drift-canceling A/B design can resolve
+	// a 3% target. overhead-% is the acceptance metric.
+	b.Run("dynamic-ab", func(b *testing.B) {
+		spec := workload.BibliographySpec()
+		dec := incremental.Decompose(struql.MustParse(spec.Query), workload.Bibliography(100, 42), nil)
+		rend := &incremental.Renderer{Dec: dec, Templates: spec.Templates, EmbedOnly: spec.EmbedOnly}
+		rootReq := httptest.NewRequest("GET", "/", nil)
+		inner := server.Dynamic(rend, spec.RootCollection)
+		w := nopResponseWriter{h: http.Header{}}
+		inner.ServeHTTP(w, rootReq) // warm the decomposed-query cache
+		base := server.Instrument(telemetry.NewRegistry(), "dynamic", inner)
+		full := server.InstrumentObserved(observed(telemetry.NewRegistry()), "dynamic", inner)
+		var tBase, tFull time.Duration
+		const batch = 8
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			for j := 0; j < batch; j++ {
+				base.ServeHTTP(w, rootReq)
+			}
+			tBase += time.Since(t0)
+			t0 = time.Now()
+			for j := 0; j < batch; j++ {
+				full.ServeHTTP(w, rootReq)
+			}
+			tFull += time.Since(t0)
+		}
+		b.StopTimer()
+		reqs := float64(b.N * batch)
+		b.ReportMetric(float64(tBase.Nanoseconds())/reqs, "base-ns/req")
+		b.ReportMetric(float64(tFull.Nanoseconds())/reqs, "observed-ns/req")
+		b.ReportMetric(100*(float64(tFull)/float64(tBase)-1), "overhead-%")
+	})
+
+	// Floor: the middleware's absolute cost over a no-op serve.
+	site := &sitegen.Site{Pages: map[string]*sitegen.Page{
+		"index.html": {Path: "index.html", HTML: "<html><body><h1>Home</h1></body></html>"},
+	}}
+	pageReq := httptest.NewRequest("GET", "/index.html", nil)
+	b.Run("floor-metrics-only",
+		run(server.Instrument(telemetry.NewRegistry(), "static", server.Static(site)), pageReq))
+	b.Run("floor-observed",
+		run(server.InstrumentObserved(observed(telemetry.NewRegistry()), "static", server.Static(site)), pageReq))
 }
 
 // BenchmarkExplainOverhead prices the introspection layer: the same

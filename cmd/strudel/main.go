@@ -58,6 +58,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -97,6 +98,8 @@ func main() {
 		err = cmdExplain(args)
 	case "why":
 		err = cmdWhy(args)
+	case "top":
+		err = cmdTop(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -110,12 +113,13 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   strudel build -manifest site.manifest -out dir/ [-trace] [-trace-out f.json] [-workers N]
-  strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics]
-                [-refresh-interval 5m] [-request-timeout 10s] [-max-inflight 256]
-                [-workers N]
+  strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics] [-ops]
+                [-access-log f|-] [-slo-target 250ms] [-refresh-interval 5m]
+                [-request-timeout 10s] [-max-inflight 256] [-workers N]
   strudel stats -manifest site.manifest [-trace] [-trace-out f.json] [-workers N]
   strudel explain (-manifest site.manifest | -example cnn) [-json] [-optimize] [-workers N]
-  strudel why (-manifest site.manifest | -example cnn) [-json] [-workers N] <page>`)
+  strudel why (-manifest site.manifest | -example cnn) [-json] [-workers N] <page>
+  strudel top [-url http://127.0.0.1:8080] [-interval 2s] [-n 0] [-top 10]`)
 }
 
 // manifest is the parsed site description.
@@ -340,6 +344,12 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 256,
 		"max concurrently served requests before shedding with 503 (0 disables)")
 	workers := fs.Int("workers", 0, "build parallelism (0 = one worker per CPU, 1 = sequential)")
+	accessLog := fs.String("access-log", "",
+		"write one structured line per request to this file (\"-\" = stderr; empty disables)")
+	sloTarget := fs.Duration("slo-target", 0,
+		"latency SLO: requests slower than this (or failing) burn the error budget (objective 99% over 5m; 0 disables)")
+	ops := fs.Bool("ops", false,
+		"enable the live ops surface: per-page access accounting, sampled request tracing, /debug/ops")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
@@ -356,11 +366,34 @@ func cmdServe(args []string) error {
 	if *metrics {
 		reg = telemetry.NewRegistry()
 	}
-	handler, refresh, err := serveHandler(m, *dynamic, reg, *requestTimeout, *maxInflight, logg)
+	opts := serveOptions{
+		dynamic:       *dynamic,
+		reg:           reg,
+		renderTimeout: *requestTimeout,
+		maxInflight:   *maxInflight,
+		sloTarget:     *sloTarget,
+		ops:           *ops,
+		logg:          logg,
+	}
+	var accessFile *os.File
+	switch *accessLog {
+	case "":
+	case "-":
+		opts.accessLog = os.Stderr
+	default:
+		accessFile, err = os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+		defer accessFile.Close()
+		opts.accessLog = accessFile
+	}
+	stop := make(chan struct{})
+	opts.stop = stop
+	handler, refresh, err := serveHandler(m, opts)
 	if err != nil {
 		return err
 	}
-	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -372,7 +405,8 @@ func cmdServe(args []string) error {
 		go refreshLoop(refresh, *refreshInterval, stop, logg)
 	}
 	logg.Info("serving", "site", m.name, "addr", *addr,
-		"dynamic", *dynamic, "metrics", *metrics, "refresh", refreshInterval.String())
+		"dynamic", *dynamic, "metrics", *metrics, "ops", *ops,
+		"refresh", refreshInterval.String())
 	return server.ServeUntil(server.NewServer(*addr, handler), stop, 5*time.Second)
 }
 
@@ -397,6 +431,63 @@ func refreshLoop(refresh func() error, interval time.Duration, stop <-chan struc
 	}
 }
 
+// serveOptions tunes serveHandler. The zero value serves the site
+// with no telemetry, matching the bare `strudel serve` invocation.
+type serveOptions struct {
+	// dynamic computes pages at click time instead of materializing.
+	dynamic bool
+	// reg, when non-nil, is exposed at /metrics with the full debug
+	// surface (pprof, expvar, explain, provenance).
+	reg *telemetry.Registry
+	// renderTimeout bounds each dynamic page computation (0 disables).
+	renderTimeout time.Duration
+	// maxInflight sheds requests beyond this concurrency (0 disables).
+	maxInflight int
+	// accessLog, when non-nil, receives one structured line per request.
+	accessLog io.Writer
+	// sloTarget enables the latency SLO tracker (0 disables); the
+	// objective is 99% over a 5-minute window.
+	sloTarget time.Duration
+	// ops enables the accounting table, sampled request tracing, the
+	// runtime sampler and /debug/ops.
+	ops bool
+	// stop, when non-nil, ends the runtime sampler loop on close.
+	stop <-chan struct{}
+	logg *slog.Logger
+}
+
+// observability assembles the serving-plane observers the options ask
+// for. The internal registry aggregates instrumentation even when
+// /metrics is not exposed (-ops without -metrics).
+func (o *serveOptions) observability(ireg *telemetry.Registry) (server.Observability, *server.Ops) {
+	obs := server.Observability{Registry: ireg}
+	if o.accessLog != nil {
+		obs.AccessLog = telemetry.NewAccessLogger(o.accessLog)
+	}
+	if o.sloTarget > 0 {
+		obs.SLO = telemetry.NewSLO(o.sloTarget, 0.99, 5*time.Minute, nil)
+		obs.SLO.Instrument(ireg)
+	}
+	if !o.ops {
+		return obs, nil
+	}
+	obs.Accounting = server.NewAccounting(1024)
+	obs.Accounting.Instrument(ireg)
+	obs.Tracer = telemetry.NewRequestTracer(16, 8)
+	obs.Inflight = server.NewInflight()
+	sampler := telemetry.NewRuntimeSampler(ireg)
+	if o.stop != nil {
+		go sampler.Run(o.stop, 10*time.Second)
+	}
+	return obs, &server.Ops{
+		Accounting: obs.Accounting,
+		SLO:        obs.SLO,
+		Runtime:    sampler,
+		Tracer:     obs.Tracer,
+		Inflight:   obs.Inflight,
+	}
+}
+
 // serveHandler builds the HTTP handler for a manifest — the fully
 // materialized site or click-time evaluation, each with /query for
 // ad-hoc StruQL queries — plus a refresh function that rebuilds from
@@ -407,9 +498,23 @@ func refreshLoop(refresh func() error, interval time.Duration, stop <-chan struc
 // non-nil registry the whole pipeline reports into it and the debug
 // endpoints are mounted (outside the shedding chain, so /metrics
 // stays reachable under overload), including /debug/explain and —
-// in static mode — /debug/provenance.
-func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTimeout time.Duration, maxInflight int, logg *slog.Logger) (http.Handler, func() error, error) {
-	m.builder.SetTelemetry(reg)
+// in static mode — /debug/provenance. /healthz and /readyz are always
+// mounted: readiness follows the mediator's refresh state, flipping
+// off only when a source failed with no last-good data to serve.
+func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, error) {
+	dynamic, reg, logg := opts.dynamic, opts.reg, opts.logg
+	renderTimeout, maxInflight := opts.renderTimeout, opts.maxInflight
+	obsOn := opts.ops || opts.accessLog != nil || opts.sloTarget > 0
+	// ireg backs instrumentation; it is the exposed registry when
+	// -metrics is on, else an internal one (or nil with no observers).
+	ireg := reg
+	if ireg == nil && obsOn {
+		ireg = telemetry.NewRegistry()
+	}
+	m.builder.SetTelemetry(ireg)
+	if ireg != nil {
+		telemetry.RegisterBuildInfo(ireg)
+	}
 	mode := "static"
 	if dynamic {
 		mode = "dynamic"
@@ -417,6 +522,10 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 	mux := http.NewServeMux()
 	var refresh func() error
 	var intro server.Introspector
+	// builtAt tracks (atomically, as unix nanos) when the served
+	// content was last built or re-validated; the accounting table
+	// derives per-page staleness from it.
+	var builtAt atomic.Int64
 
 	if dynamic {
 		r0, err := m.builder.BuildDynamic()
@@ -425,8 +534,9 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 		}
 		var cur atomic.Pointer[incremental.Renderer]
 		cur.Store(r0)
+		builtAt.Store(r0.BuiltAt.UnixNano())
 		mux.Handle("/", server.DynamicFrom(cur.Load, m.rootColl,
-			server.DynamicConfig{Registry: reg, RenderTimeout: renderTimeout}))
+			server.DynamicConfig{Registry: ireg, RenderTimeout: renderTimeout}))
 		// Ad-hoc queries run against the same data-graph snapshot the
 		// click-time pages see.
 		mux.Handle("/query", http.StripPrefix("/query", server.QueryHandlerFrom(
@@ -451,6 +561,7 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 			if r != prev {
 				cur.Store(r)
 			}
+			builtAt.Store(r.BuiltAt.UnixNano())
 			return nil
 		}
 	} else {
@@ -468,6 +579,7 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 		}
 		var cur atomic.Pointer[core.Result]
 		cur.Store(res)
+		builtAt.Store(res.BuiltAt.UnixNano())
 		mux.Handle("/", server.StaticFrom(func() *sitegen.Site { return cur.Load().Site }))
 		mux.Handle("/query", http.StripPrefix("/query", server.QueryHandlerFrom(
 			func() *graph.Graph { return cur.Load().SiteGraph }, m.builder.Registry(), 0)))
@@ -497,18 +609,53 @@ func serveHandler(m *manifest, dynamic bool, reg *telemetry.Registry, renderTime
 			}
 			cur.Store(next)
 			prev = next
+			builtAt.Store(next.BuiltAt.UnixNano())
 			return nil
 		}
 	}
 
-	var h http.Handler = server.Shed(reg, mode, maxInflight, server.Recover(reg, mode, mux))
-	if reg == nil {
-		return h, refresh, nil
+	// Readiness follows the mediator: a refresh that hard-failed (a
+	// source down with no last-good data to degrade to) flips /readyz
+	// to 503 while /healthz — liveness — stays 200. Degraded-but-
+	// serving-stale is still ready: the whole point of the resilience
+	// layer is that stale pages beat no pages.
+	ready := func() error {
+		if rep := m.builder.LastRefresh(); rep != nil && rep.Failed() {
+			return fmt.Errorf("refresh failed: %s", rep.Summary())
+		}
+		return nil
 	}
+
+	var h http.Handler = server.Shed(ireg, mode, maxInflight, server.Recover(ireg, mode, mux))
+	if ireg == nil {
+		// No telemetry at all: just the health endpoints around the
+		// serving chain.
+		outer := http.NewServeMux()
+		outer.Handle("/", h)
+		server.AttachHealth(outer, server.Health{Ready: ready})
+		return outer, refresh, nil
+	}
+	obs, opsSurface := opts.observability(ireg)
+	if obs.Accounting != nil {
+		obs.Accounting.SetFreshness(func() time.Time {
+			return time.Unix(0, builtAt.Load())
+		})
+	}
+	// The debug and health endpoints mount outside the instrumented
+	// shedding chain, so /metrics, /readyz and /debug/ops stay
+	// reachable (and unaccounted) under overload.
 	outer := http.NewServeMux()
-	outer.Handle("/", server.Instrument(reg, mode, h))
-	server.AttachDebug(outer, reg)
-	server.AttachIntrospection(outer, intro)
+	outer.Handle("/", server.InstrumentObserved(obs, mode, h))
+	server.AttachHealth(outer, server.Health{Ready: ready})
+	if reg != nil {
+		server.AttachDebug(outer, reg)
+		server.AttachIntrospection(outer, intro)
+	}
+	if opsSurface != nil {
+		opsSurface.Mode = mode
+		opsSurface.Ready = ready
+		server.AttachOps(outer, opsSurface)
+	}
 	return outer, refresh, nil
 }
 

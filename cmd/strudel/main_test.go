@@ -165,7 +165,7 @@ func TestServeHandlerStaticAndDynamic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h, refresh, err := serveHandler(m, dynamic, nil, 0, 0, discardLogger())
+		h, refresh, err := serveHandler(m, serveOptions{dynamic: dynamic, logg: discardLogger()})
 		if err != nil {
 			t.Fatalf("dynamic=%v: %v", dynamic, err)
 		}
@@ -196,7 +196,7 @@ func TestServeHandlerQueryEndpointBothModes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h, _, err := serveHandler(m, dynamic, nil, 0, 0, discardLogger())
+		h, _, err := serveHandler(m, serveOptions{dynamic: dynamic, logg: discardLogger()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,7 +223,7 @@ func TestServeHandlerRefreshSwaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, refresh, err := serveHandler(m, true, nil, 0, 0, discardLogger())
+	h, refresh, err := serveHandler(m, serveOptions{dynamic: true, logg: discardLogger()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestServeHandlerMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := telemetry.NewRegistry()
-	h, _, err := serveHandler(m, true, reg, 0, 0, discardLogger())
+	h, _, err := serveHandler(m, serveOptions{dynamic: true, reg: reg, logg: discardLogger()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +465,7 @@ func TestServeHandlerIntrospectionEndpoints(t *testing.T) {
 			t.Fatal(err)
 		}
 		reg := telemetry.NewRegistry()
-		h, _, err := serveHandler(m, dynamic, reg, 0, 0, discardLogger())
+		h, _, err := serveHandler(m, serveOptions{dynamic: dynamic, reg: reg, logg: discardLogger()})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,143 @@
+// strudel top: a polling text dashboard over a serving process's
+// /debug/ops snapshot — the operator's one-screen answer to "what is
+// this site doing right now": readiness, SLO budget, runtime health,
+// in-flight requests, and the hottest pages with their latency
+// quantiles and staleness.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"strudel/internal/server"
+)
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	base := fs.String("url", "http://127.0.0.1:8080",
+		"base URL of a `strudel serve -ops` process")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	n := fs.Int("n", 0, "number of polls (0 = until interrupted, 1 = single shot)")
+	topK := fs.Int("top", 10, "page rows to show")
+	fs.Parse(args)
+	return runTop(os.Stdout, *base, *interval, *n, *topK)
+}
+
+// fetchOps pulls one snapshot from the serving process.
+func fetchOps(client *http.Client, base string, topK int) (*server.OpsSnapshot, error) {
+	url := strings.TrimRight(base, "/") + fmt.Sprintf("/debug/ops?top=%d", topK)
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var snap server.OpsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding ops snapshot: %w (is the server running with -ops?)", err)
+	}
+	return &snap, nil
+}
+
+// runTop polls the ops snapshot n times (0 = forever) and renders the
+// dashboard after each poll. Multi-poll runs clear the screen between
+// frames; a single shot (-n 1) prints once, pipe-friendly.
+func runTop(w io.Writer, base string, interval time.Duration, n, topK int) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; n <= 0 || i < n; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		snap, err := fetchOps(client, base, topK)
+		if err != nil {
+			return err
+		}
+		if n != 1 {
+			fmt.Fprint(w, "\033[H\033[2J")
+		}
+		renderOps(w, snap, topK)
+	}
+	return nil
+}
+
+// renderOps writes one dashboard frame.
+func renderOps(w io.Writer, snap *server.OpsSnapshot, topK int) {
+	ready := "ready"
+	if !snap.Ready {
+		ready = "NOT READY: " + snap.ReadyReason
+	}
+	fmt.Fprintf(w, "strudel top — mode %s, up %s, %s\n",
+		snap.Mode, time.Duration(snap.UptimeSeconds*float64(time.Second)).Round(time.Second), ready)
+
+	if s := snap.SLO; s != nil {
+		fmt.Fprintf(w, "slo    target %s  objective %.2f%%  window %s: %d req, %.3f%% compliant, budget used %.1f%%, burn %.2fx\n",
+			time.Duration(s.TargetSeconds*float64(time.Second)),
+			100*s.Objective,
+			time.Duration(s.WindowSeconds*float64(time.Second)),
+			s.Total, 100*s.Compliance, 100*s.BudgetUsed, s.BurnRate)
+	}
+	if r := snap.Runtime; r != nil {
+		fmt.Fprintf(w, "go     %d goroutines, heap %s (%d objects), %d GC cycles, last pause %s\n",
+			r.Goroutines, fmtBytes(r.HeapAllocBytes), r.HeapObjects, r.GCCycles,
+			time.Duration(r.LastGCPauseSeconds*float64(time.Second)).Round(time.Microsecond))
+	}
+	if t := snap.Tracing; t != nil {
+		fmt.Fprintf(w, "traces %d requests seen, %d sampled, %d retained\n",
+			t.Requests, t.Sampled, len(t.Recent))
+	}
+	fmt.Fprintf(w, "inflight %d", len(snap.InFlight))
+	for i, r := range snap.InFlight {
+		if i == 3 {
+			fmt.Fprintf(w, "  …")
+			break
+		}
+		fmt.Fprintf(w, "  %s %s (%.1fs)", r.Method, r.Path, r.AgeSeconds)
+	}
+	fmt.Fprintln(w)
+
+	if a := snap.Accounting; a != nil {
+		fmt.Fprintf(w, "\npages  %d tracked (cap %d), %d hits total, %d evictions — top %d by hits:\n",
+			a.Tracked, a.Capacity, a.TotalHits, a.Evictions, topK)
+		fmt.Fprintf(w, "%8s %5s %9s %9s %9s %9s %6s %8s  %s\n",
+			"HITS", "ERR", "P50", "P99", "MEAN", "BYTES", "LAST", "AGE", "PATH")
+		for _, p := range a.Pages {
+			fmt.Fprintf(w, "%8d %5d %9s %9s %9s %9s %6d %8s  %s\n",
+				p.Hits, p.Errors,
+				fmtMs(p.P50Ms), fmtMs(p.P99Ms), fmtMs(p.MeanMs),
+				fmtBytes(p.Bytes), p.LastStatus,
+				(time.Duration(p.StalenessSeconds * float64(time.Second))).Round(time.Second),
+				p.Path)
+		}
+	}
+}
+
+func fmtMs(ms float64) string {
+	switch {
+	case ms >= 1000:
+		return fmt.Sprintf("%.2fs", ms/1000)
+	case ms >= 1:
+		return fmt.Sprintf("%.1fms", ms)
+	default:
+		return fmt.Sprintf("%.0fµs", ms*1000)
+	}
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -237,6 +237,10 @@ type Result struct {
 	Schema    *schema.SiteSchema
 	Site      *sitegen.Site
 	Stats     Stats
+	// BuiltAt is when the build (or rebuild) completed — including
+	// no-op rebuilds, where the content was re-validated as current.
+	// The serving layer reports the age of served content against it.
+	BuiltAt time.Time
 	// Trace is the build-scoped span tree (mediation → query → verify
 	// → generate); Trace.Summary() renders a timeline.
 	Trace *telemetry.Trace
@@ -377,6 +381,7 @@ func (b *Builder) Build() (*Result, error) {
 	defer func() {
 		tr.Finish()
 		res.Stats.TotalTime = tr.Duration()
+		res.BuiltAt = time.Now()
 	}()
 
 	tr.Root().SetAttr("site", b.name)
@@ -500,6 +505,7 @@ func (b *Builder) BuildDynamic() (*incremental.Renderer, error) {
 		Dec:       dec,
 		Templates: b.templates,
 		EmbedOnly: b.embedOnly,
+		BuiltAt:   time.Now(),
 	}
 	if b.telem != nil {
 		r.Instrument(b.telem)

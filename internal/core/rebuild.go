@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"strudel/internal/graph"
 	"strudel/internal/incremental"
@@ -137,6 +138,7 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 	defer func() {
 		tr.Finish()
 		res.Stats.TotalTime = tr.Duration()
+		res.BuiltAt = time.Now()
 	}()
 
 	tr.Root().SetAttr("site", b.name)
@@ -273,6 +275,7 @@ func (b *Builder) RebuildDynamic(prev *incremental.Renderer) (*incremental.Rende
 	if b.dataGraph != nil {
 		// In-place data mutation: same decomposition, selective eviction.
 		prev.Dec.InvalidateDelta(nil)
+		prev.BuiltAt = time.Now()
 		return prev, nil
 	}
 	data, report, err := b.med.RefreshWithReport()
@@ -281,6 +284,9 @@ func (b *Builder) RebuildDynamic(prev *incremental.Renderer) (*incremental.Rende
 	}
 	delta := report.Warehouse
 	if delta != nil && delta.Empty() {
+		// The refresh re-validated the data as unchanged: the content is
+		// current as of now, even though nothing was recomputed.
+		prev.BuiltAt = time.Now()
 		return prev, nil
 	}
 	if len(b.queries) != 1 {
@@ -301,6 +307,7 @@ func (b *Builder) RebuildDynamic(prev *incremental.Renderer) (*incremental.Rende
 		EmbedOnly: b.embedOnly,
 		URLFor:    prev.URLFor,
 		MaxDepth:  prev.MaxDepth,
+		BuiltAt:   time.Now(),
 	}
 	if b.telem != nil {
 		r.Instrument(b.telem)

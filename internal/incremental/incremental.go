@@ -378,6 +378,30 @@ func (d *Decomposition) Roots(collection string) ([]PageRef, error) {
 	return out, nil
 }
 
+// PageContext is Page with trace propagation: when the context
+// carries a span (a sampled request, or a traced materialization),
+// the page computation is recorded as a child span named after the
+// page key, with its binding count and cache outcome. An untraced
+// context costs one context lookup.
+func (d *Decomposition) PageContext(ctx context.Context, ref PageRef) (*PageData, error) {
+	if telemetry.SpanFromContext(ctx) == nil {
+		return d.Page(ref)
+	}
+	sp, _, finish := telemetry.StartSpan(ctx, "page "+ref.Key())
+	defer finish()
+	d.mu.Lock()
+	_, cached := d.cache[ref.keyWith(d.input)]
+	d.mu.Unlock()
+	pd, err := d.Page(ref)
+	sp.SetAttr("cached", cached)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	} else {
+		sp.SetAttr("edges", len(pd.Edges))
+	}
+	return pd, err
+}
+
 // Page computes (or returns from cache) one page's content.
 func (d *Decomposition) Page(ref PageRef) (*PageData, error) {
 	key := d.remember(&ref)
@@ -577,8 +601,8 @@ func (d *Decomposition) MaterializeAllContext(ctx context.Context, rootCollectio
 	for len(frontier) > 0 {
 		level := frontier
 		frontier = nil
-		computed, err := pool.Map(pool.WithPhase(ctx, "materialize"), d.pl, len(level), func(_ context.Context, i int) (*PageData, error) {
-			return d.Page(level[i])
+		computed, err := pool.Map(pool.WithPhase(ctx, "materialize"), d.pl, len(level), func(wctx context.Context, i int) (*PageData, error) {
+			return d.PageContext(wctx, level[i])
 		})
 		if err != nil {
 			return 0, err

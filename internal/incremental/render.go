@@ -1,6 +1,7 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
 	"html"
 	"net/url"
@@ -27,6 +28,11 @@ type Renderer struct {
 	URLFor func(key string) string
 	// MaxDepth bounds transitive embedding (default 8).
 	MaxDepth int
+
+	// BuiltAt is when the renderer's data graph was last refreshed (or
+	// re-validated as unchanged). The serving layer reads it to report
+	// the staleness of click-time content.
+	BuiltAt time.Time
 
 	// renderSeconds, when set via Instrument, times RenderPage — the
 	// paper's "click time" for one dynamically computed page.
@@ -61,12 +67,27 @@ func (r *Renderer) maxDepth() int {
 
 // RenderPage computes and renders one page.
 func (r *Renderer) RenderPage(ref PageRef) (string, error) {
+	return r.RenderPageContext(context.Background(), ref)
+}
+
+// RenderPageContext is RenderPage with the request context threaded
+// through: when the context carries a sampled request span (see
+// telemetry.SpanFromContext), the render and each page-query
+// evaluation it triggers appear as child spans of the request, so a
+// sampled trace shows where click time actually went. An untraced
+// context pays one context lookup and nothing else.
+func (r *Renderer) RenderPageContext(ctx context.Context, ref PageRef) (string, error) {
 	if r.renderSeconds != nil {
 		t0 := time.Now()
 		defer func() { r.renderSeconds.Observe(time.Since(t0).Seconds()) }()
 	}
+	if telemetry.SpanFromContext(ctx) != nil {
+		var finish func()
+		_, ctx, finish = telemetry.StartSpan(ctx, "render "+ref.Key())
+		defer finish()
+	}
 	g := graph.New("dynamic")
-	oid, err := r.materialize(g, ref, 0, map[string]graph.OID{})
+	oid, err := r.materialize(ctx, g, ref, 0, map[string]graph.OID{})
 	if err != nil {
 		return "", err
 	}
@@ -77,7 +98,7 @@ func (r *Renderer) RenderPage(ref PageRef) (string, error) {
 // into page targets up to the depth limit. Non-embedded page targets
 // are materialized shallowly (node only) since only their key is
 // needed for the link.
-func (r *Renderer) materialize(g *graph.Graph, ref PageRef, depth int, seen map[string]graph.OID) (graph.OID, error) {
+func (r *Renderer) materialize(ctx context.Context, g *graph.Graph, ref PageRef, depth int, seen map[string]graph.OID) (graph.OID, error) {
 	key := ref.keyWith(r.Dec.input)
 	if oid, ok := seen[key]; ok {
 		return oid, nil
@@ -87,14 +108,14 @@ func (r *Renderer) materialize(g *graph.Graph, ref PageRef, depth int, seen map[
 	if depth > r.maxDepth() {
 		return oid, nil
 	}
-	pd, err := r.Dec.Page(ref)
+	pd, err := r.Dec.PageContext(ctx, ref)
 	if err != nil {
 		return 0, err
 	}
 	for _, e := range pd.Edges {
 		switch {
 		case e.Page != nil:
-			sub, err := r.materialize(g, *e.Page, depth+1, seen)
+			sub, err := r.materialize(ctx, g, *e.Page, depth+1, seen)
 			if err != nil {
 				return 0, err
 			}

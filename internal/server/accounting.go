@@ -1,0 +1,309 @@
+// Per-page access accounting: the serving-side observable that the
+// paper's static/dynamic spectrum (Sec. 6) needs to become a *policy*.
+// Deciding which pages to materialize and which to evaluate at click
+// time requires knowing, per page, how often it is hit and what
+// serving it costs — so the accounting table tracks hits, latency
+// quantiles, bytes and staleness per page path.
+//
+// Cardinality is bounded by design: the table is LRU-bounded to a
+// fixed capacity (a crawler walking a million long-tail URLs displaces
+// only long-tail entries, never the hot head, because hot pages keep
+// re-fronting), and per-page detail is exported as a JSON snapshot via
+// /debug/ops — never as Prometheus labels. The registry sees only
+// fixed-cardinality aggregates (total hits, table size, evictions).
+package server
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+
+	"strudel/internal/telemetry"
+)
+
+// accountingBounds are the per-page latency histogram upper bounds in
+// seconds — telemetry.DefBuckets, frozen at package level so quantile
+// estimation and bucket layout cannot drift apart.
+var accountingBounds = telemetry.DefBuckets
+
+// pageAccount is one page's row in the table.
+type pageAccount struct {
+	path    string
+	hits    uint64
+	errors  uint64 // responses with status >= 500
+	bytes   uint64
+	buckets []uint64 // len(accountingBounds)+1, last = +Inf
+	sum     float64  // seconds
+	last    time.Time
+	status  int
+	// staleness is the served content's age at the last hit (now minus
+	// the build time of the result being served).
+	staleness time.Duration
+	elem      *list.Element
+}
+
+// PageStats is one page's exported accounting row.
+type PageStats struct {
+	Path   string `json:"path"`
+	Hits   uint64 `json:"hits"`
+	Errors uint64 `json:"errors"`
+	Bytes  uint64 `json:"bytes"`
+	// P50Ms/P99Ms are latency quantiles estimated from the fixed bucket
+	// layout (linear interpolation within the winning bucket, like
+	// Prometheus histogram_quantile); MeanMs is exact.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// LastStatus and LastServed describe the most recent hit.
+	LastStatus int       `json:"last_status"`
+	LastServed time.Time `json:"last_served"`
+	// StalenessSeconds is how old the served content was at the last
+	// hit — the observable "Maintaining Consistency of Data on the Web"
+	// argues should be first-class. Zero when no freshness source is
+	// wired.
+	StalenessSeconds float64 `json:"staleness_seconds"`
+}
+
+// AccountingSnapshot is the table's JSON view.
+type AccountingSnapshot struct {
+	// Tracked is the current table size; Capacity its bound.
+	Tracked  int `json:"tracked"`
+	Capacity int `json:"capacity"`
+	// TotalHits counts every recorded request, including hits on since-
+	// evicted pages; Evictions counts pages displaced by the LRU bound.
+	TotalHits uint64 `json:"total_hits"`
+	Evictions uint64 `json:"evictions"`
+	// Pages holds the top-K rows by hits (ties broken by path), the
+	// hot head the materialization policy consumes.
+	Pages []PageStats `json:"pages"`
+}
+
+// Accounting is the bounded per-page access table. All methods are
+// safe for concurrent use; a nil *Accounting is a valid no-op.
+type Accounting struct {
+	mu        sync.Mutex
+	max       int
+	pages     map[string]*pageAccount
+	lru       *list.List // front = most recently served
+	totalHits uint64
+	evictions uint64
+	freshness func() time.Time
+
+	// fixed-cardinality registry aggregates (nil until Instrument).
+	mHits, mEvict *telemetry.Counter
+	mTracked      *telemetry.Gauge
+}
+
+// NewAccounting creates a table bounded to max pages (values below 1
+// default to 1024).
+func NewAccounting(max int) *Accounting {
+	if max < 1 {
+		max = 1024
+	}
+	return &Accounting{
+		max:   max,
+		pages: map[string]*pageAccount{},
+		lru:   list.New(),
+	}
+}
+
+// SetFreshness wires the staleness observable: fn returns the build
+// time of the content currently being served (e.g. the Result swapped
+// in by the last refresh); each hit records now minus that time.
+func (a *Accounting) SetFreshness(fn func() time.Time) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.freshness = fn
+	a.mu.Unlock()
+}
+
+// Instrument publishes the table's fixed-cardinality aggregates:
+// strudel_page_hits_total, strudel_page_accounting_pages (current
+// size) and strudel_page_accounting_evictions_total. Deliberately no
+// per-page labels — per-page detail is JSON-only.
+func (a *Accounting) Instrument(reg *telemetry.Registry) {
+	if a == nil || reg == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mHits = reg.Counter("strudel_page_hits_total",
+		"Page requests recorded by the access accounting table.")
+	a.mEvict = reg.Counter("strudel_page_accounting_evictions_total",
+		"Pages displaced from the bounded accounting table by the LRU policy.")
+	a.mTracked = reg.Gauge("strudel_page_accounting_pages",
+		"Pages currently tracked by the accounting table.")
+}
+
+// Record accounts one served request. now is the serve-completion
+// time (passed in so tests and benchmarks control the clock).
+func (a *Accounting) Record(path string, status int, bytes int64, d time.Duration, now time.Time) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.totalHits++
+	pa, ok := a.pages[path]
+	if !ok {
+		if len(a.pages) >= a.max {
+			// Displace the least recently served page.
+			victim := a.lru.Back()
+			vp := victim.Value.(*pageAccount)
+			a.lru.Remove(victim)
+			delete(a.pages, vp.path)
+			a.evictions++
+			if a.mEvict != nil {
+				a.mEvict.Inc()
+			}
+		}
+		pa = &pageAccount{
+			path:    path,
+			buckets: make([]uint64, len(accountingBounds)+1),
+		}
+		pa.elem = a.lru.PushFront(pa)
+		a.pages[path] = pa
+	} else {
+		a.lru.MoveToFront(pa.elem)
+	}
+	pa.hits++
+	if status >= 500 {
+		pa.errors++
+	}
+	if bytes > 0 {
+		pa.bytes += uint64(bytes)
+	}
+	sec := d.Seconds()
+	pa.sum += sec
+	pa.buckets[bucketFor(sec)]++
+	pa.last = now
+	pa.status = status
+	if a.freshness != nil {
+		if built := a.freshness(); !built.IsZero() && now.After(built) {
+			pa.staleness = now.Sub(built)
+		} else {
+			pa.staleness = 0
+		}
+	}
+	tracked := len(a.pages)
+	a.mu.Unlock()
+	if a.mHits != nil {
+		a.mHits.Inc()
+		a.mTracked.Set(float64(tracked))
+	}
+}
+
+// bucketFor returns the index of the first bound containing sec, or
+// the +Inf bucket.
+func bucketFor(sec float64) int {
+	for i, ub := range accountingBounds {
+		if sec <= ub {
+			return i
+		}
+	}
+	return len(accountingBounds)
+}
+
+// quantile estimates the q-quantile (0..1) in milliseconds from the
+// bucket counts, interpolating linearly inside the winning bucket. The
+// +Inf bucket reports the largest finite bound.
+func quantile(buckets []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range buckets {
+		cum += c
+		if float64(cum) >= rank {
+			if i == len(accountingBounds) {
+				return accountingBounds[len(accountingBounds)-1] * 1000
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = accountingBounds[i-1]
+			}
+			upper := accountingBounds[i]
+			// Position of the rank inside this bucket's count.
+			within := (rank - float64(cum-c)) / float64(c)
+			return (lower + (upper-lower)*within) * 1000
+		}
+	}
+	return accountingBounds[len(accountingBounds)-1] * 1000
+}
+
+// statsFor renders one row (caller holds the lock).
+func (pa *pageAccount) stats() PageStats {
+	ps := PageStats{
+		Path:             pa.path,
+		Hits:             pa.hits,
+		Errors:           pa.errors,
+		Bytes:            pa.bytes,
+		P50Ms:            quantile(pa.buckets, 0.50),
+		P99Ms:            quantile(pa.buckets, 0.99),
+		LastStatus:       pa.status,
+		LastServed:       pa.last,
+		StalenessSeconds: pa.staleness.Seconds(),
+	}
+	if pa.hits > 0 {
+		ps.MeanMs = pa.sum / float64(pa.hits) * 1000
+	}
+	return ps
+}
+
+// Snapshot exports the table: aggregates plus the top-K pages by hit
+// count (ties broken by path, so equal-traffic snapshots are
+// deterministic). topK < 1 defaults to 50.
+func (a *Accounting) Snapshot(topK int) AccountingSnapshot {
+	if a == nil {
+		return AccountingSnapshot{}
+	}
+	if topK < 1 {
+		topK = 50
+	}
+	a.mu.Lock()
+	snap := AccountingSnapshot{
+		Tracked:   len(a.pages),
+		Capacity:  a.max,
+		TotalHits: a.totalHits,
+		Evictions: a.evictions,
+	}
+	rows := make([]PageStats, 0, len(a.pages))
+	for _, pa := range a.pages {
+		rows = append(rows, pa.stats())
+	}
+	a.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Hits != rows[j].Hits {
+			return rows[i].Hits > rows[j].Hits
+		}
+		return rows[i].Path < rows[j].Path
+	})
+	if len(rows) > topK {
+		rows = rows[:topK]
+	}
+	snap.Pages = rows
+	return snap
+}
+
+// Hot returns the k hottest pages by hit count — the input the
+// hot/cold materialization policy (ROADMAP item 3) ranks on.
+func (a *Accounting) Hot(k int) []PageStats {
+	return a.Snapshot(k).Pages
+}
+
+// Len reports the current table size.
+func (a *Accounting) Len() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pages)
+}

@@ -1,0 +1,253 @@
+// The live ops surface: process health (/healthz), serving readiness
+// (/readyz, wired to the mediator's degradation state), and a single
+// aggregated JSON snapshot (/debug/ops) of everything an operator —
+// or `strudel top` — needs at a glance: the per-page accounting
+// table, SLO state, Go runtime stats, request-trace sampling, and the
+// requests in flight right now.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"strudel/internal/telemetry"
+)
+
+// InflightRequest is one request currently being served.
+type InflightRequest struct {
+	RequestID string    `json:"request_id"`
+	Method    string    `json:"method"`
+	Path      string    `json:"path"`
+	Start     time.Time `json:"start"`
+	// AgeSeconds is filled at snapshot time — how long the request has
+	// been in flight. A multi-second age on a static page is a stuck
+	// handler, not a slow one.
+	AgeSeconds float64 `json:"age_seconds"`
+
+	seq uint64
+}
+
+// Inflight tracks the requests being served right now, so /debug/ops
+// can show what a wedged server is actually stuck on.
+type Inflight struct {
+	mu   sync.Mutex
+	seq  uint64
+	reqs map[uint64]InflightRequest
+}
+
+// NewInflight creates an empty tracker.
+func NewInflight() *Inflight {
+	return &Inflight{reqs: map[uint64]InflightRequest{}}
+}
+
+// Track registers a request and returns its release func. A nil
+// *Inflight returns a no-op.
+func (f *Inflight) Track(requestID, method, path string, start time.Time) func() {
+	if f == nil {
+		return func() {}
+	}
+	f.mu.Lock()
+	f.seq++
+	id := f.seq
+	f.reqs[id] = InflightRequest{
+		RequestID: requestID, Method: method, Path: path, Start: start, seq: id,
+	}
+	f.mu.Unlock()
+	return func() {
+		f.mu.Lock()
+		delete(f.reqs, id)
+		f.mu.Unlock()
+	}
+}
+
+// Snapshot lists in-flight requests, oldest first (then by arrival
+// order for equal timestamps, so the listing is deterministic).
+func (f *Inflight) Snapshot(now time.Time) []InflightRequest {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	out := make([]InflightRequest, 0, len(f.reqs))
+	for _, r := range f.reqs {
+		r.AgeSeconds = now.Sub(r.Start).Seconds()
+		out = append(out, r)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// Len reports how many requests are in flight.
+func (f *Inflight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.reqs)
+}
+
+// Health supplies liveness and readiness as closures, so the server
+// package needs no dependency on the build pipeline.
+type Health struct {
+	// Ready reports nil when the process should receive traffic; the
+	// error explains why not. A nil func means always ready. The
+	// serving CLI wires this to the mediator's refresh state: a refresh
+	// that hard-failed (a source down with no last-good graph to
+	// degrade to) flips readiness off while liveness stays up.
+	Ready func() error
+}
+
+// AttachHealth mounts the health endpoints:
+//
+//	/healthz  200 while the process can answer at all (liveness)
+//	/readyz   200 while Ready() is nil, else 503 with the reason
+//	          (readiness — what load balancers should route on)
+func AttachHealth(mux *http.ServeMux, h Health) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if h.Ready != nil {
+			if err := h.Ready(); err != nil {
+				http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
+	})
+}
+
+// RecentTrace summarizes one retained request trace.
+type RecentTrace struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name"`
+	DurationMs float64 `json:"duration_ms"`
+	// Spans counts the trace's spans (root included) — a cheap signal
+	// of how much work the request fanned out into.
+	Spans int `json:"spans"`
+}
+
+// TracingStats is the sampler's /debug/ops view.
+type TracingStats struct {
+	Requests uint64        `json:"requests"`
+	Sampled  uint64        `json:"sampled"`
+	Recent   []RecentTrace `json:"recent"`
+}
+
+// OpsSnapshot is the aggregated /debug/ops document.
+type OpsSnapshot struct {
+	Time          time.Time               `json:"time"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Mode          string                  `json:"mode"`
+	Ready         bool                    `json:"ready"`
+	ReadyReason   string                  `json:"ready_reason,omitempty"`
+	SLO           *telemetry.SLOSnapshot  `json:"slo,omitempty"`
+	Runtime       *telemetry.RuntimeStats `json:"runtime,omitempty"`
+	Accounting    *AccountingSnapshot     `json:"accounting,omitempty"`
+	InFlight      []InflightRequest       `json:"in_flight"`
+	Tracing       *TracingStats           `json:"tracing,omitempty"`
+}
+
+// Ops aggregates the serving-plane observables into one snapshot. Any
+// field may be nil; its section is then omitted.
+type Ops struct {
+	// Mode is the serving mode tag ("static", "dynamic").
+	Mode       string
+	Accounting *Accounting
+	SLO        *telemetry.SLO
+	Runtime    *telemetry.RuntimeSampler
+	Tracer     *telemetry.RequestTracer
+	Inflight   *Inflight
+	// Ready mirrors Health.Ready so the snapshot shows readiness inline.
+	Ready func() error
+	// TopK bounds the accounting rows in the snapshot (default 50).
+	TopK int
+}
+
+// Snapshot assembles the current ops view.
+func (o *Ops) Snapshot() OpsSnapshot {
+	now := time.Now()
+	snap := OpsSnapshot{
+		Time:          now,
+		UptimeSeconds: now.Sub(telemetry.ProcessStart()).Seconds(),
+		Mode:          o.Mode,
+		Ready:         true,
+		InFlight:      o.Inflight.Snapshot(now),
+	}
+	if snap.InFlight == nil {
+		snap.InFlight = []InflightRequest{}
+	}
+	if o.Ready != nil {
+		if err := o.Ready(); err != nil {
+			snap.Ready = false
+			snap.ReadyReason = err.Error()
+		}
+	}
+	if o.SLO != nil {
+		s := o.SLO.Snapshot()
+		snap.SLO = &s
+	}
+	if o.Runtime != nil {
+		r := o.Runtime.Sample()
+		snap.Runtime = &r
+	}
+	if o.Accounting != nil {
+		topK := o.TopK
+		if topK < 1 {
+			topK = 50
+		}
+		a := o.Accounting.Snapshot(topK)
+		snap.Accounting = &a
+	}
+	if o.Tracer != nil {
+		total, sampled := o.Tracer.Counts()
+		ts := &TracingStats{Requests: total, Sampled: sampled}
+		for _, tr := range o.Tracer.Recent() {
+			ts.Recent = append(ts.Recent, RecentTrace{
+				ID:         tr.ID,
+				Name:       tr.Root().Name,
+				DurationMs: float64(tr.Duration()) / float64(time.Millisecond),
+				Spans:      countSpans(tr.Root()),
+			})
+		}
+		snap.Tracing = ts
+	}
+	return snap
+}
+
+func countSpans(s *telemetry.Span) int {
+	n := 1
+	for _, c := range s.Children() {
+		n += countSpans(c)
+	}
+	return n
+}
+
+// AttachOps mounts /debug/ops, answering the aggregated JSON snapshot.
+// ?top=N overrides the accounting row bound for one response.
+func AttachOps(mux *http.ServeMux, o *Ops) {
+	mux.HandleFunc("/debug/ops", func(w http.ResponseWriter, r *http.Request) {
+		view := *o
+		if top := r.URL.Query().Get("top"); top != "" {
+			n, err := strconv.Atoi(top)
+			if err != nil || n < 1 {
+				http.Error(w, "bad ?top= parameter", http.StatusBadRequest)
+				return
+			}
+			view.TopK = n
+		}
+		writeJSON(w, view.Snapshot())
+	})
+}

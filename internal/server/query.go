@@ -8,6 +8,7 @@ import (
 
 	"strudel/internal/graph"
 	"strudel/internal/struql"
+	"strudel/internal/telemetry"
 )
 
 // QueryHandler serves ad-hoc StruQL queries against a graph — the
@@ -52,7 +53,18 @@ func QueryHandlerFrom(get func() *graph.Graph, reg *struql.Registry, maxBindings
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		// A sampled request trace gets the evaluation as a child span —
+		// ad-hoc queries are the requests whose cost varies the most.
+		sp, _, finish := telemetry.StartSpan(r.Context(), "struql eval")
 		res, err := struql.Eval(q, g, &struql.Options{Registry: reg, MaxBindings: maxBindings})
+		if sp != nil {
+			if err == nil {
+				sp.SetAttr("bindings", res.Bindings)
+			} else {
+				sp.SetAttr("error", err.Error())
+			}
+		}
+		finish()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return

@@ -257,6 +257,9 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labelPairs ..
 // two scrapes of the same state are byte-identical regardless of
 // registration order.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	// Snapshot families AND series pointers under the lock: the series
+	// maps keep growing concurrently (family creation is lazy), so they
+	// must not be read during rendering.
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
@@ -264,15 +267,15 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	sort.Strings(names)
 	fams := make([]*family, len(names))
-	series := make([][]string, len(names))
+	series := make([][]*metric, len(names))
 	for i, n := range names {
 		fams[i] = r.families[n]
-		labels := make([]string, 0, len(fams[i].series))
-		for l := range fams[i].series {
-			labels = append(labels, l)
+		ms := make([]*metric, 0, len(fams[i].series))
+		for _, m := range fams[i].series {
+			ms = append(ms, m)
 		}
-		sort.Strings(labels)
-		series[i] = labels
+		sort.Slice(ms, func(a, b int) bool { return ms[a].labels < ms[b].labels })
+		series[i] = ms
 	}
 	r.mu.Unlock()
 
@@ -281,13 +284,12 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
-		for _, labels := range series[fi] {
-			m := f.series[labels]
+		for _, m := range series[fi] {
 			switch f.typ {
 			case "counter":
-				fmt.Fprintf(w, "%s%s %d\n", f.name, braced(labels), m.c.Value())
+				fmt.Fprintf(w, "%s%s %d\n", f.name, braced(m.labels), m.c.Value())
 			case "gauge":
-				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(labels), formatFloat(m.g.Value()))
+				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(m.labels), formatFloat(m.g.Value()))
 			case "histogram":
 				writeHistogram(w, f, m)
 			}

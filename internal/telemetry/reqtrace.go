@@ -1,0 +1,123 @@
+// Request tracing: the build-trace Span tree applied to the serving
+// plane. A RequestTracer samples one in every N requests, gives the
+// sampled request a Trace whose root span rides the request context
+// down through click-time query evaluation and rendering, and keeps a
+// bounded ring of recently finished traces so /debug/ops (and the
+// Chrome trace export, which works on these traces unchanged) can show
+// where request time actually went without tracing — and paying for —
+// every request.
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanCtxKey carries the active span in a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span, so layers below
+// the HTTP handler (click-time page computation, ad-hoc query
+// evaluation) can attach child spans to the request's trace.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by the context, or nil for
+// an untraced (unsampled) request. The nil check is the sampling gate:
+// unsampled requests pay one context lookup and nothing else.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan attaches a child span to the context's span, returning the
+// child (nil when the context is untraced — Finish on a nil span via
+// the returned func is a no-op) and a context carrying it.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context, func()) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return nil, ctx, func() {}
+	}
+	child := parent.Child(name)
+	return child, ContextWithSpan(ctx, child), child.Finish
+}
+
+// RequestTracer samples request traces: 1 in every SampleEvery
+// requests gets a full span tree, the rest are counted but untraced.
+// Finished traces land in a fixed-size ring (newest overwrite oldest),
+// so the memory cost of tracing is fixed regardless of traffic. Keep
+// the ring small: retained span trees are live heap the garbage
+// collector rescans on every cycle, so dozens of deep traces tax every
+// request, traced or not.
+type RequestTracer struct {
+	every uint64
+
+	total   atomic.Uint64
+	sampled atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []*Trace
+	next  int
+	count int
+}
+
+// NewRequestTracer samples one in sampleEvery requests (values below 1
+// trace every request) and retains the keep most recent finished
+// traces (values below 1 keep 8).
+func NewRequestTracer(sampleEvery, keep int) *RequestTracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	if keep < 1 {
+		keep = 8
+	}
+	return &RequestTracer{every: uint64(sampleEvery), ring: make([]*Trace, keep)}
+}
+
+// Start counts a request and, when it falls on the sampling stride,
+// returns a fresh trace (ID prefix "req") whose root span begins now;
+// nil for unsampled requests.
+func (t *RequestTracer) Start(name string) *Trace {
+	n := t.total.Add(1)
+	if (n-1)%t.every != 0 {
+		return nil
+	}
+	t.sampled.Add(1)
+	return &Trace{root: &Span{Name: name, start: time.Now()}, ID: NewID("req")}
+}
+
+// Finish closes a sampled trace and retains it in the recent ring.
+// A nil trace (unsampled request) is a no-op.
+func (t *RequestTracer) Finish(tr *Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+}
+
+// Recent returns the retained finished traces, oldest first.
+func (t *RequestTracer) Recent() []*Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, t.count)
+	start := t.next - t.count
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[((start+i)%len(t.ring)+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Counts reports how many requests were seen and how many were sampled.
+func (t *RequestTracer) Counts() (total, sampled uint64) {
+	return t.total.Load(), t.sampled.Load()
+}

@@ -1,0 +1,152 @@
+// Go runtime sampling and process identity metrics. Serving "millions
+// of users" fails first in the runtime — goroutine leaks, heap growth,
+// GC pauses eating the latency budget — so the serving plane samples
+// the runtime into registry gauges, and every process exports a
+// strudel_build_info series plus its start time so dashboards can
+// compute uptime and correlate behaviour changes with deploys.
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// processStart is captured at package initialization — close enough to
+// process start for uptime arithmetic.
+var processStart = time.Now()
+
+// ProcessStart returns when this process initialized the telemetry
+// package (its observable start time).
+func ProcessStart() time.Time { return processStart }
+
+// Version reports the main module's version from build info, or "dev"
+// for local, uninstalled builds.
+func Version() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "dev"
+}
+
+// RegisterBuildInfo registers the process-identity series:
+//
+//	strudel_build_info{version,goversion} 1
+//	strudel_process_start_time_seconds    <unix time>
+//
+// The info-style constant gauge is the Prometheus idiom for exposing
+// labels without cardinality risk (the value is always 1; dashboards
+// join on it), and the start-time gauge is what uptime panels and
+// deploy-correlation queries key on.
+func RegisterBuildInfo(reg *Registry) {
+	reg.Gauge("strudel_build_info",
+		"Build information; constant 1 with version labels.",
+		"version", Version(), "goversion", runtime.Version()).Set(1)
+	reg.Gauge("strudel_process_start_time_seconds",
+		"Unix time the process started, for uptime and deploy correlation.").
+		Set(float64(processStart.UnixNano()) / 1e9)
+}
+
+// RuntimeStats is one sample of the Go runtime, JSON-shaped for
+// /debug/ops.
+type RuntimeStats struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	HeapObjects         uint64  `json:"heap_objects"`
+	TotalAllocBytes     uint64  `json:"total_alloc_bytes"`
+	NextGCBytes         uint64  `json:"next_gc_bytes"`
+	GCCycles            uint32  `json:"gc_cycles"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	LastGCPauseSeconds  float64 `json:"last_gc_pause_seconds"`
+}
+
+// RuntimeSampler reads the runtime into gauges on demand or on an
+// interval. Reading memory stats stops the world briefly, so the
+// sampler is something to run every few seconds, not per request.
+type RuntimeSampler struct {
+	mu   sync.Mutex
+	last RuntimeStats
+
+	goroutines, heapAlloc, heapObjects *Gauge
+	gcCycles, gcPauseTotal             *Gauge
+}
+
+// NewRuntimeSampler creates a sampler; with a non-nil registry each
+// Sample also refreshes the runtime gauges.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	s := &RuntimeSampler{}
+	if reg != nil {
+		s.goroutines = reg.Gauge("strudel_go_goroutines",
+			"Goroutines at the last runtime sample.")
+		s.heapAlloc = reg.Gauge("strudel_go_heap_alloc_bytes",
+			"Heap bytes allocated and in use at the last runtime sample.")
+		s.heapObjects = reg.Gauge("strudel_go_heap_objects",
+			"Live heap objects at the last runtime sample.")
+		s.gcCycles = reg.Gauge("strudel_go_gc_cycles_total",
+			"Completed GC cycles at the last runtime sample.")
+		s.gcPauseTotal = reg.Gauge("strudel_go_gc_pause_seconds_total",
+			"Cumulative GC stop-the-world pause at the last runtime sample.")
+	}
+	return s
+}
+
+// Sample reads the runtime now, refreshes the gauges, and returns the
+// sample.
+func (s *RuntimeSampler) Sample() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := RuntimeStats{
+		Goroutines:          runtime.NumGoroutine(),
+		HeapAllocBytes:      ms.HeapAlloc,
+		HeapObjects:         ms.HeapObjects,
+		TotalAllocBytes:     ms.TotalAlloc,
+		NextGCBytes:         ms.NextGC,
+		GCCycles:            ms.NumGC,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+	}
+	if ms.NumGC > 0 {
+		st.LastGCPauseSeconds = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	s.mu.Lock()
+	s.last = st
+	s.mu.Unlock()
+	if s.goroutines != nil {
+		s.goroutines.Set(float64(st.Goroutines))
+		s.heapAlloc.Set(float64(st.HeapAllocBytes))
+		s.heapObjects.Set(float64(st.HeapObjects))
+		s.gcCycles.Set(float64(st.GCCycles))
+		s.gcPauseTotal.Set(st.GCPauseTotalSeconds)
+	}
+	return st
+}
+
+// Last returns the most recent sample without touching the runtime
+// (zero value before the first Sample).
+func (s *RuntimeSampler) Last() RuntimeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Run samples every interval until stop fires — the background loop
+// that keeps the /metrics gauges fresh between /debug/ops snapshots
+// (which sample on demand). interval <= 0 defaults to 10s.
+func (s *RuntimeSampler) Run(stop <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	s.Sample()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.Sample()
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"strudel/internal/resilience"
+)
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context should carry no span")
+	}
+	root := &Span{Name: "req", start: time.Now()}
+	ctx := ContextWithSpan(context.Background(), root)
+	if SpanFromContext(ctx) != root {
+		t.Fatal("span did not round-trip through the context")
+	}
+	child, cctx, finish := StartSpan(ctx, "render")
+	if child == nil || SpanFromContext(cctx) != child {
+		t.Fatal("StartSpan should attach a child to the context")
+	}
+	finish()
+	if kids := root.Children(); len(kids) != 1 || kids[0].Name != "render" {
+		t.Fatalf("root children = %v", kids)
+	}
+	// Untraced context: StartSpan is a no-op with a safe finish func.
+	none, nctx, fin := StartSpan(context.Background(), "x")
+	if none != nil || SpanFromContext(nctx) != nil {
+		t.Fatal("StartSpan on untraced context should stay untraced")
+	}
+	fin()
+}
+
+func TestRequestTracerSampling(t *testing.T) {
+	tr := NewRequestTracer(4, 3)
+	var sampled int
+	for i := 0; i < 16; i++ {
+		got := tr.Start(fmt.Sprintf("GET /p%d", i))
+		if got != nil {
+			sampled++
+			if !strings.HasPrefix(got.ID, "req-") {
+				t.Errorf("trace ID = %q, want req- prefix", got.ID)
+			}
+		}
+		tr.Finish(got) // nil-safe for unsampled requests
+	}
+	if sampled != 4 {
+		t.Errorf("sampled %d of 16 with stride 4, want 4", sampled)
+	}
+	total, s := tr.Counts()
+	if total != 16 || s != 4 {
+		t.Errorf("Counts() = %d, %d; want 16, 4", total, s)
+	}
+	// The ring keeps only the newest `keep` traces.
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("len(Recent()) = %d, want 3", len(recent))
+	}
+	if recent[2].Root().Name != "GET /p12" {
+		t.Errorf("newest retained = %q, want GET /p12", recent[2].Root().Name)
+	}
+	for _, rt := range recent {
+		if rt.Root().Duration() < 0 {
+			t.Errorf("trace %s not finished", rt.ID)
+		}
+	}
+}
+
+func TestRequestTracerEveryRequest(t *testing.T) {
+	tr := NewRequestTracer(0, 0) // sanitized to every request, keep 8
+	for i := 0; i < 40; i++ {
+		tr.Finish(tr.Start(fmt.Sprintf("GET /%d", i)))
+	}
+	recent := tr.Recent()
+	if got := len(recent); got != 8 {
+		t.Fatalf("ring kept %d, want 8", got)
+	}
+	// The fixed ring holds exactly the last 8 finished traces, oldest
+	// first — newer traces overwrote the older slots.
+	for i, got := range recent {
+		if want := fmt.Sprintf("GET /%d", 32+i); got.Root().Name != want {
+			t.Errorf("recent[%d] = %q, want %q", i, got.Root().Name, want)
+		}
+	}
+}
+
+func TestSLOWindowAndBurnRate(t *testing.T) {
+	clk := resilience.NewFakeClock(time.Unix(1_000_000, 0))
+	// 30s window over 30 buckets → 1s resolution.
+	slo := NewSLO(100*time.Millisecond, 0.9, 30*time.Second, clk)
+
+	for i := 0; i < 8; i++ {
+		slo.Observe(10*time.Millisecond, false) // good
+	}
+	slo.Observe(500*time.Millisecond, false) // slow
+	slo.Observe(10*time.Millisecond, true)   // error
+
+	snap := slo.Snapshot()
+	if snap.Total != 10 || snap.Good != 8 || snap.Slow != 1 || snap.Errors != 1 {
+		t.Fatalf("window = %+v", snap)
+	}
+	if snap.Compliance != 0.8 {
+		t.Errorf("compliance = %v, want 0.8", snap.Compliance)
+	}
+	// Bad fraction 0.2 against a 0.1 budget → burn rate 2.
+	if snap.BurnRate < 1.99 || snap.BurnRate > 2.01 {
+		t.Errorf("burn rate = %v, want 2", snap.BurnRate)
+	}
+
+	// The window slides: after more than the window of silence, the old
+	// observations age out and compliance recovers.
+	clk.Advance(31 * time.Second)
+	snap = slo.Snapshot()
+	if snap.Total != 0 || snap.Compliance != 1 || snap.BurnRate != 0 {
+		t.Errorf("after window slide: %+v", snap)
+	}
+	if snap.LifetimeTotal != 10 || snap.LifetimeBad != 2 {
+		t.Errorf("lifetime = %d/%d, want 10/2", snap.LifetimeBad, snap.LifetimeTotal)
+	}
+
+	// New observations land in fresh buckets.
+	slo.Observe(10*time.Millisecond, false)
+	if snap = slo.Snapshot(); snap.Total != 1 || snap.Good != 1 {
+		t.Errorf("post-slide window = %+v", snap)
+	}
+}
+
+func TestSLOGauges(t *testing.T) {
+	clk := resilience.NewFakeClock(time.Unix(1_000_000, 0))
+	slo := NewSLO(100*time.Millisecond, 0.99, time.Minute, clk)
+	reg := NewRegistry()
+	slo.Instrument(reg)
+	slo.Observe(10*time.Millisecond, false)
+	slo.Observe(500*time.Millisecond, false)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "strudel_slo_compliance_ratio 0.5") {
+		t.Errorf("compliance gauge missing:\n%s", out)
+	}
+	// 0.5 bad over a 0.01 budget ≈ 50, modulo float division.
+	if burn := reg.Gauge("strudel_slo_burn_rate", "").Value(); burn < 49.9 || burn > 50.1 {
+		t.Errorf("burn gauge = %v, want ≈50:\n%s", burn, out)
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	st := s.Sample()
+	if st.Goroutines < 1 || st.HeapAllocBytes == 0 {
+		t.Fatalf("implausible sample: %+v", st)
+	}
+	if last := s.Last(); last != st {
+		t.Errorf("Last() = %+v, want the sample just taken", last)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, name := range []string{"strudel_go_goroutines", "strudel_go_heap_alloc_bytes",
+		"strudel_go_heap_objects", "strudel_go_gc_cycles_total"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("gauge %s missing from exposition", name)
+		}
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `strudel_build_info{goversion="go`) ||
+		!strings.Contains(out, `version="`) {
+		t.Errorf("build info series missing:\n%s", out)
+	}
+	if !strings.Contains(out, "strudel_process_start_time_seconds") {
+		t.Errorf("process start time missing:\n%s", out)
+	}
+	if ProcessStart().IsZero() || time.Since(ProcessStart()) < 0 {
+		t.Errorf("ProcessStart() = %v", ProcessStart())
+	}
+}
+
+func TestAccessLoggerSchema(t *testing.T) {
+	var sb strings.Builder
+	al := NewAccessLogger(&syncWriter{w: &sb})
+	al.Log(AccessEntry{
+		Mode: "static", Method: "GET", Path: "/a.html",
+		Status: 200, Bytes: 17, Duration: 2500 * time.Microsecond,
+		RequestID: "req-x-1", TraceID: "req-x-2",
+	})
+	al.Log(AccessEntry{Mode: "static", Method: "GET", Path: "/b.html",
+		Status: 404, Duration: time.Millisecond, RequestID: "req-x-3"})
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), sb.String())
+	}
+	for _, want := range []string{"msg=access", "mode=static", "method=GET",
+		"path=/a.html", "status=200", "bytes=17", "duration_ms=2.5",
+		"request_id=req-x-1", "trace_id=req-x-2"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("line 1 missing %q: %s", want, lines[0])
+		}
+	}
+	if strings.Contains(lines[1], "trace_id") {
+		t.Errorf("unsampled request should carry no trace_id: %s", lines[1])
+	}
+	// A nil logger is a safe no-op.
+	var nilLogger *AccessLogger
+	nilLogger.Log(AccessEntry{})
+}
+
+// syncWriter serializes writes (slog handlers already do, but the test
+// builder is not otherwise protected).
+type syncWriter struct {
+	mu sync.Mutex
+	w  *strings.Builder
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestRegistryConcurrentFamilies hammers family creation itself — many
+// goroutines registering the same and distinct names across all three
+// metric types, interleaved with scrapes — distinct from
+// TestConcurrentMetrics, which exercises operations on existing
+// handles. Run under -race this pins down the registry's family map
+// locking.
+func TestRegistryConcurrentFamilies(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Same family from every goroutine: first registration
+				// wins, everyone shares the series.
+				reg.Counter("shared_total", "shared").Inc()
+				// Same family, per-goroutine series.
+				reg.Counter("labeled_total", "labeled", "w", fmt.Sprint(w)).Inc()
+				// Distinct families racing into the map.
+				reg.Gauge(fmt.Sprintf("gauge_%d_%d", w, i%7), "g").Set(float64(i))
+				reg.Histogram(fmt.Sprintf("hist_%d", i%5), "h", nil, "w", fmt.Sprint(w)).
+					Observe(float64(i) / 100)
+				if i%10 == 0 {
+					var sb strings.Builder
+					reg.WritePrometheus(&sb)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("shared_total", "shared").Value(); got != workers*50 {
+		t.Errorf("shared counter = %d, want %d", got, workers*50)
+	}
+	for w := 0; w < workers; w++ {
+		if got := reg.Counter("labeled_total", "labeled", "w", fmt.Sprint(w)).Value(); got != 50 {
+			t.Errorf("labeled counter w=%d = %d, want 50", w, got)
+		}
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "shared_total 800") {
+		t.Errorf("exposition missing shared_total:\n%s", sb.String())
+	}
+}

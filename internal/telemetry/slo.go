@@ -1,0 +1,176 @@
+// SLO tracking: a latency objective ("99% of requests under 250ms")
+// turned into a live error budget. Every request is classified good or
+// bad (bad = server error or slower than the target); a sliding window
+// of fixed-width buckets yields the recent compliance ratio and the
+// burn rate — how fast the error budget is being spent, where 1.0
+// means "exactly at budget" and anything above means the objective
+// will be missed if the window's behaviour continues. Time comes from
+// an injectable resilience.Clock so window arithmetic is testable
+// without sleeps.
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"strudel/internal/resilience"
+)
+
+// sloBucket is one window slice. epoch identifies which slice of
+// absolute time the bucket currently holds, so stale buckets from a
+// previous lap of the ring are recognized and reset lazily.
+type sloBucket struct {
+	epoch  int64
+	total  uint64
+	errors uint64 // status >= 500
+	slow   uint64 // latency above target (and not an error)
+}
+
+// sloBuckets is the ring size: the window is split this many ways, so
+// the sliding window's resolution is window/sloBuckets.
+const sloBuckets = 30
+
+// SLO tracks one latency objective over a sliding window.
+type SLO struct {
+	target    time.Duration
+	objective float64
+	width     time.Duration // bucket width
+	clock     resilience.Clock
+
+	mu      sync.Mutex
+	buckets [sloBuckets]sloBucket
+	// lifetime totals, never windowed out.
+	lifeTotal, lifeBad uint64
+
+	// gauges are nil until Instrument.
+	compliance, burn *Gauge
+}
+
+// NewSLO tracks "objective of requests complete within target, judged
+// over window". objective outside (0,1) defaults to 0.99; window <= 0
+// defaults to 5 minutes; a nil clock uses the wall clock.
+func NewSLO(target time.Duration, objective float64, window time.Duration, clock resilience.Clock) *SLO {
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	if window <= 0 {
+		window = 5 * time.Minute
+	}
+	if clock == nil {
+		clock = resilience.Real
+	}
+	return &SLO{
+		target:    target,
+		objective: objective,
+		width:     window / sloBuckets,
+		clock:     clock,
+	}
+}
+
+// Target returns the latency objective.
+func (s *SLO) Target() time.Duration { return s.target }
+
+// Instrument publishes the live compliance ratio and burn rate as
+// registry gauges (fixed cardinality: one series each). The gauges are
+// refreshed on every Observe.
+func (s *SLO) Instrument(reg *Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compliance = reg.Gauge("strudel_slo_compliance_ratio",
+		"Fraction of requests in the sliding window meeting the latency objective.")
+	s.compliance.Set(1)
+	s.burn = reg.Gauge("strudel_slo_burn_rate",
+		"Error-budget burn rate over the sliding window (1.0 = spending exactly the budget).")
+}
+
+// Observe classifies one request. failed marks a server error (counted
+// bad regardless of latency); otherwise the request is bad when it
+// exceeded the latency target.
+func (s *SLO) Observe(latency time.Duration, failed bool) {
+	now := s.clock.Now()
+	epoch := now.UnixNano() / int64(s.width)
+	s.mu.Lock()
+	b := &s.buckets[epoch%sloBuckets]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	b.total++
+	s.lifeTotal++
+	switch {
+	case failed:
+		b.errors++
+		s.lifeBad++
+	case latency > s.target:
+		b.slow++
+		s.lifeBad++
+	}
+	if s.compliance != nil {
+		snap := s.snapshotLocked(epoch)
+		s.compliance.Set(snap.Compliance)
+		s.burn.Set(snap.BurnRate)
+	}
+	s.mu.Unlock()
+}
+
+// SLOSnapshot is the tracker's JSON view for /debug/ops.
+type SLOSnapshot struct {
+	// TargetSeconds is the latency objective.
+	TargetSeconds float64 `json:"target_seconds"`
+	// Objective is the required good fraction, e.g. 0.99.
+	Objective float64 `json:"objective"`
+	// WindowSeconds is the sliding window length.
+	WindowSeconds float64 `json:"window_seconds"`
+	// Total/Good/Errors/Slow count the window's requests.
+	Total  uint64 `json:"total"`
+	Good   uint64 `json:"good"`
+	Errors uint64 `json:"errors"`
+	Slow   uint64 `json:"slow"`
+	// Compliance is Good/Total (1 when the window is empty).
+	Compliance float64 `json:"compliance"`
+	// BudgetUsed is the bad fraction over the allowed bad fraction:
+	// above 1 the window has already spent more than its budget.
+	BudgetUsed float64 `json:"budget_used"`
+	// BurnRate equals BudgetUsed (the window-normalized burn): the
+	// classic multi-window alerting threshold compares it against 1.
+	BurnRate float64 `json:"burn_rate"`
+	// LifetimeTotal/LifetimeBad are process-lifetime counts.
+	LifetimeTotal uint64 `json:"lifetime_total"`
+	LifetimeBad   uint64 `json:"lifetime_bad"`
+}
+
+// Snapshot summarizes the current sliding window.
+func (s *SLO) Snapshot() SLOSnapshot {
+	epoch := s.clock.Now().UnixNano() / int64(s.width)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked(epoch)
+}
+
+func (s *SLO) snapshotLocked(nowEpoch int64) SLOSnapshot {
+	snap := SLOSnapshot{
+		TargetSeconds: s.target.Seconds(),
+		Objective:     s.objective,
+		WindowSeconds: (s.width * sloBuckets).Seconds(),
+		Compliance:    1,
+		LifetimeTotal: s.lifeTotal,
+		LifetimeBad:   s.lifeBad,
+	}
+	oldest := nowEpoch - sloBuckets + 1
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		if b.epoch < oldest || b.epoch > nowEpoch {
+			continue
+		}
+		snap.Total += b.total
+		snap.Errors += b.errors
+		snap.Slow += b.slow
+	}
+	snap.Good = snap.Total - snap.Errors - snap.Slow
+	if snap.Total > 0 {
+		snap.Compliance = float64(snap.Good) / float64(snap.Total)
+		badFrac := float64(snap.Errors+snap.Slow) / float64(snap.Total)
+		snap.BudgetUsed = badFrac / (1 - s.objective)
+		snap.BurnRate = snap.BudgetUsed
+	}
+	return snap
+}

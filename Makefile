@@ -5,7 +5,7 @@
 # parallel-build determinism suite.
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke chaos testpar fuzz check explain-demo
+.PHONY: build test vet race bench bench-smoke chaos crash testpar fuzz check explain-demo
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,13 @@ bench-smoke:
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos' ./internal/server/
 
+# Crash-safety suite: the crash-at-every-write-point sweeps (atomic
+# publication over example sites, repository Save), fault-injected
+# ENOSPC / fsync-EIO publishes, recovery, and corruption detection —
+# all under the race detector.
+crash:
+	$(GO) test -race -run 'Crash|Fault|Publish|Recover|Verify|ENOSPC|EIO|Atomic|Corrupt' ./internal/fsx/ ./internal/publish/ ./internal/repository/ ./internal/sitegen/ .
+
 # Parallel-build determinism suite: the worker pool's property tests,
 # the concurrent generator/evaluator/materializer, the example sites at
 # workers 1/4/16, and the differential delta-rebuild suite (random edit
@@ -57,4 +64,4 @@ explain-demo:
 
 # bench-smoke is not part of check (CI runs it as its own step); run it
 # directly after touching benchmark code.
-check: build vet test race chaos testpar fuzz
+check: build vet test race chaos crash testpar fuzz

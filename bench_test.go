@@ -23,6 +23,7 @@ import (
 	"strudel/internal/incremental"
 	"strudel/internal/mediator"
 	"strudel/internal/optimizer"
+	"strudel/internal/publish"
 	"strudel/internal/repository"
 	"strudel/internal/schema"
 	"strudel/internal/server"
@@ -867,5 +868,51 @@ func BenchmarkExplainOverhead(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkPublish prices crash safety: writing a built site as an
+// fsync'd atomic generation (stage, hash, fsync every page, rename,
+// flip CURRENT durably) against the plain per-page atomic WriteTo
+// (temp + rename, no fsync) and against SyncTo steady-state rewrites.
+// The gap is almost entirely fsync latency, so it scales with page
+// count and storage sync cost, not with CPU. A measured snapshot lives
+// in BENCH_publish.json.
+func BenchmarkPublish(b *testing.B) {
+	const n = 300
+	data := workload.Articles(n, 1997)
+	spec := workload.ArticleSpec(false)
+	res, err := buildSpec(b, spec, data).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pages := float64(res.Stats.Pages)
+	b.Run(fmt.Sprintf("writeto-%darticles", n), func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			if err := res.Site.WriteTo(dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(pages, "pages")
+	})
+	b.Run(fmt.Sprintf("syncto-%darticles", n), func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			if _, err := res.Site.SyncTo(dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(pages, "pages")
+	})
+	b.Run(fmt.Sprintf("publish-%darticles", n), func(b *testing.B) {
+		dir := b.TempDir()
+		p := publish.New(nil, dir, 2)
+		for i := 0; i < b.N; i++ {
+			if _, err := p.PublishSite(res.Site, res.Trace.ID, time.Time{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(pages, "pages")
 	})
 }

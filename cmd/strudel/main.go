@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	strudel build -manifest site.manifest -out dir/ [-trace] [-trace-out build.trace.json] [-workers N]
+//	strudel build -manifest site.manifest -out dir/ [-publish] [-keep N] [-trace] [-trace-out build.trace.json] [-workers N]
 //	strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics]
+//	              [-publish dir/] [-keep N]
 //	              [-refresh-interval 5m] [-request-timeout 10s] [-max-inflight 256]
 //	              [-workers N]
+//	strudel verify [-json] <dir>
 //	strudel stats -manifest site.manifest [-trace] [-trace-out build.trace.json] [-workers N]
 //	strudel explain (-manifest site.manifest | -example cnn) [-json] [-optimize] [-workers N]
 //	strudel why (-manifest site.manifest | -example cnn) [-json] [-workers N] <page>
@@ -30,6 +32,15 @@
 // generated from, and the source objects and attributes it consumed.
 // Both accept -example (cnn, cnn-sports, homepage, org) to run against
 // a built-in workload instead of a manifest.
+// build -publish writes the site as a crash-safe generation (gen-N/
+// with a SHA-256 manifest, committed by atomically flipping a CURRENT
+// pointer) instead of syncing loose pages; -keep bounds retained
+// generations. serve -publish does the same for every completed
+// refresh, swapping the served site only after its generation
+// committed. verify audits a published directory and exits 0 (intact),
+// 1 (corrupt or torn), or 3 (unreadable); torn generations from an
+// interrupted publish are repaired automatically on the next build or
+// serve start.
 // -refresh-interval rebuilds the site from its sources in the
 // background and swaps the result in atomically; a failed or degraded
 // refresh keeps serving the last good build. -request-timeout bounds
@@ -56,9 +67,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"log/slog"
 	"net/http"
 	"os"
@@ -71,8 +84,10 @@ import (
 	"time"
 
 	"strudel/internal/core"
+	"strudel/internal/fsx"
 	"strudel/internal/graph"
 	"strudel/internal/incremental"
+	"strudel/internal/publish"
 	"strudel/internal/schema"
 	"strudel/internal/server"
 	"strudel/internal/sitegen"
@@ -98,6 +113,8 @@ func main() {
 		err = cmdExplain(args)
 	case "why":
 		err = cmdWhy(args)
+	case "verify":
+		os.Exit(cmdVerify(args))
 	case "top":
 		err = cmdTop(args)
 	default:
@@ -119,6 +136,7 @@ func usage() {
   strudel stats -manifest site.manifest [-trace] [-trace-out f.json] [-workers N]
   strudel explain (-manifest site.manifest | -example cnn) [-json] [-optimize] [-workers N]
   strudel why (-manifest site.manifest | -example cnn) [-json] [-workers N] <page>
+  strudel verify [-json] <dir>
   strudel top [-url http://127.0.0.1:8080] [-interval 2s] [-n 0] [-top 10]`)
 }
 
@@ -280,6 +298,9 @@ func cmdBuild(args []string) error {
 	trace := fs.Bool("trace", false, "print the build's span timeline")
 	traceOut := fs.String("trace-out", "", "write the build trace as Chrome trace-event JSON to this file")
 	workers := fs.Int("workers", 0, "build parallelism (0 = one worker per CPU, 1 = sequential)")
+	publishGen := fs.Bool("publish", false,
+		"publish a crash-safe atomic generation under -out (gen-<n>/ + CURRENT) instead of writing pages flat")
+	keep := fs.Int("keep", 2, "generations retained under -out with -publish")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
@@ -293,21 +314,73 @@ func cmdBuild(args []string) error {
 	for _, v := range res.Violations {
 		fmt.Fprintln(os.Stderr, "warning:", v)
 	}
-	pruned, err := res.Site.SyncTo(*out)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("built %s: %d pages into %s (data %d/%d, site %d/%d nodes/edges)\n",
-		m.name, res.Stats.Pages, *out,
-		res.Stats.DataNodes, res.Stats.DataEdges,
-		res.Stats.SiteNodes, res.Stats.SiteEdges)
-	if len(pruned) > 0 {
-		fmt.Printf("pruned %d stale page(s) from %s\n", len(pruned), *out)
+	if *publishGen {
+		if err := recoverPublished(*out); err != nil {
+			return err
+		}
+		gen, err := publish.New(fsx.OS, *out, *keep).PublishSite(res.Site, res.Trace.ID, time.Time{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("published %s generation %d: %d pages into %s (data %d/%d, site %d/%d nodes/edges)\n",
+			m.name, gen, res.Stats.Pages, *out,
+			res.Stats.DataNodes, res.Stats.DataEdges,
+			res.Stats.SiteNodes, res.Stats.SiteEdges)
+	} else {
+		pruned, err := res.Site.SyncTo(*out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built %s: %d pages into %s (data %d/%d, site %d/%d nodes/edges)\n",
+			m.name, res.Stats.Pages, *out,
+			res.Stats.DataNodes, res.Stats.DataEdges,
+			res.Stats.SiteNodes, res.Stats.SiteEdges)
+		if len(pruned) > 0 {
+			fmt.Printf("pruned %d stale page(s) from %s\n", len(pruned), *out)
+		}
 	}
 	if *trace {
 		fmt.Print(res.Trace.Summary())
 	}
 	return writeChromeTrace(res.Trace, *traceOut)
+}
+
+// recoverPublished cleans crash debris out of a published directory
+// before the next publication. A directory that does not exist yet or
+// holds no generation is fine — the next publish creates it.
+func recoverPublished(dir string) error {
+	_, err := publish.Recover(fsx.OS, dir)
+	if err == nil || errors.Is(err, publish.ErrNoGeneration) || errors.Is(err, iofs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// cmdVerify checks a published directory's integrity. Exit codes are
+// distinct so scripts can branch: 0 = intact, 1 = corruption or torn
+// state detected, 2 = usage error, 3 = directory unreadable.
+func cmdVerify(args []string) int {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the integrity report as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: strudel verify [-json] <dir>")
+		return 2
+	}
+	rep, err := publish.Verify(fsx.OS, fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strudel:", err)
+		return 3
+	}
+	if *jsonOut {
+		writeJSONIndent(os.Stdout, rep)
+	} else {
+		fmt.Print(rep.Summary())
+	}
+	if !rep.OK() {
+		return 1
+	}
+	return 0
 }
 
 // writeChromeTrace exports a build trace as Chrome trace-event JSON
@@ -350,12 +423,27 @@ func cmdServe(args []string) error {
 		"latency SLO: requests slower than this (or failing) burn the error budget (objective 99% over 5m; 0 disables)")
 	ops := fs.Bool("ops", false,
 		"enable the live ops surface: per-page access accounting, sampled request tracing, /debug/ops")
+	publishDir := fs.String("publish", "",
+		"publish every build as a crash-safe atomic generation under this directory (static mode only)")
+	keep := fs.Int("keep", 2, "generations retained under -publish")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
 		return err
 	}
 	m.builder.SetWorkers(*workers)
+	var pub *publish.Publisher
+	if *publishDir != "" {
+		if *dynamic {
+			return fmt.Errorf("-publish requires static mode (pages are computed per click in -dynamic)")
+		}
+		// Clean up debris a previous crash may have left before the
+		// first generation of this process is published.
+		if err := recoverPublished(*publishDir); err != nil {
+			return err
+		}
+		pub = publish.New(fsx.OS, *publishDir, *keep)
+	}
 	// One structured logger for the whole serving process: build,
 	// refresh and request log lines share a schema and carry build /
 	// request IDs for correlation. The server packages log through it
@@ -373,6 +461,7 @@ func cmdServe(args []string) error {
 		maxInflight:   *maxInflight,
 		sloTarget:     *sloTarget,
 		ops:           *ops,
+		pub:           pub,
 		logg:          logg,
 	}
 	var accessFile *os.File
@@ -451,6 +540,11 @@ type serveOptions struct {
 	// ops enables the accounting table, sampled request tracing, the
 	// runtime sampler and /debug/ops.
 	ops bool
+	// pub, when non-nil, publishes every completed static build as an
+	// atomic on-disk generation; serving swaps to a new build only
+	// after its generation committed, so the served site always equals
+	// the committed CURRENT generation.
+	pub *publish.Publisher
 	// stop, when non-nil, ends the runtime sampler loop on close.
 	stop <-chan struct{}
 	logg *slog.Logger
@@ -577,6 +671,13 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 		for _, v := range res.Violations {
 			logg.Warn("constraint violation", "build_id", res.Trace.ID, "violation", fmt.Sprint(v))
 		}
+		if opts.pub != nil {
+			gen, err := opts.pub.PublishSite(res.Site, res.Trace.ID, time.Time{})
+			if err != nil {
+				return nil, nil, fmt.Errorf("publishing initial build: %w", err)
+			}
+			logg.Info("published", "build_id", res.Trace.ID, "generation", gen, "dir", opts.pub.Dir())
+		}
 		var cur atomic.Pointer[core.Result]
 		cur.Store(res)
 		builtAt.Store(res.BuiltAt.UnixNano())
@@ -603,6 +704,19 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 				return err
 			}
 			warnDegraded(m.builder, logg)
+			changed := next.Incremental == nil || next.Incremental.Mode != "noop"
+			if opts.pub != nil && changed {
+				// Publish before swapping: the in-memory site only
+				// replaces the old one once the new generation is the
+				// committed CURRENT on disk. A failed publish (e.g.
+				// disk full) keeps serving the last published build
+				// and is retried by the refresh loop's backoff.
+				gen, err := opts.pub.PublishSite(next.Site, next.Trace.ID, time.Time{})
+				if err != nil {
+					return fmt.Errorf("publish failed, serving last good generation: %w", err)
+				}
+				logg.Info("published", "build_id", next.Trace.ID, "generation", gen, "dir", opts.pub.Dir())
+			}
 			if info := next.Incremental; info != nil && info.Mode != "noop" {
 				logg.Info("rebuilt", "build_id", next.Trace.ID, "mode", info.Mode,
 					"summary", info.Summary())

@@ -1,0 +1,137 @@
+package strudel_test
+
+// Crash-safety sweep over whole example sites: publication of a new
+// site version is interrupted at every single filesystem operation,
+// recovery runs, and the site that comes back up must be byte-identical
+// to exactly the old version or the new one — never a mix, never torn.
+// This is the headline test of the atomic-publication layer; it runs
+// under -race via the Makefile's crash target.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"strudel/internal/fsx"
+	"strudel/internal/graph"
+	"strudel/internal/publish"
+	"strudel/internal/sitegen"
+	"strudel/internal/workload"
+)
+
+// buildSite materializes one version of a workload site.
+func buildSite(t *testing.T, spec *workload.SiteSpec, data *graph.Graph) *sitegen.Site {
+	t.Helper()
+	b := specBuilder(spec)(t)
+	b.SetDataGraph(data)
+	res, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Site
+}
+
+// pagesOf flattens a site to path -> HTML for byte comparison.
+func pagesOf(s *sitegen.Site) map[string]string {
+	m := make(map[string]string, len(s.Pages))
+	for path, p := range s.Pages {
+		m[path] = p.HTML
+	}
+	return m
+}
+
+func sameSite(a map[string]string, b *sitegen.Site) bool {
+	if len(a) != len(b.Pages) {
+		return false
+	}
+	for path, html := range a {
+		p, ok := b.Pages[path]
+		if !ok || p.HTML != html {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPublishCrashSweepExampleSites runs the sweep over two example
+// sites from the paper: the Sec. 3.1 bibliography homepage and the
+// CNN-style article site. Version 2 of each site differs from version 1
+// in all three ways a rebuild can differ: changed pages, added pages,
+// and removed pages (the data shrinks for the bibliography and grows
+// for the articles).
+func TestPublishCrashSweepExampleSites(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *workload.SiteSpec
+		v1   *graph.Graph
+		v2   *graph.Graph
+	}{
+		{"homepage", workload.BibliographySpec(), workload.Bibliography(6, 1), workload.Bibliography(4, 2)},
+		{"cnn", workload.ArticleSpec(false), workload.Articles(8, 1997), workload.Articles(10, 1998)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			old := buildSite(t, tc.spec, tc.v1)
+			new_ := buildSite(t, tc.spec, tc.v2)
+			oldPages, newPages := pagesOf(old), pagesOf(new_)
+			if len(oldPages) < 2 || len(newPages) < 2 {
+				t.Fatalf("sites too small for a meaningful sweep: %d and %d pages",
+					len(oldPages), len(newPages))
+			}
+
+			// Probe the op count of an uninterrupted v1 -> v2 publish.
+			probeDir := t.TempDir()
+			if _, err := publish.New(fsx.OS, probeDir, 2).PublishSite(old, "v1", time.Time{}); err != nil {
+				t.Fatal(err)
+			}
+			probe := fsx.NewFaultFS(fsx.OS)
+			if _, err := publish.New(probe, probeDir, 2).PublishSite(new_, "v2", time.Time{}); err != nil {
+				t.Fatal(err)
+			}
+			total := probe.Ops()
+			// At minimum: write + fsync per page, plus the manifest,
+			// the generation rename, and the CURRENT flip.
+			if total < 2*len(newPages)+5 {
+				t.Fatalf("suspiciously few ops (%d) for %d pages; fsync discipline gone?",
+					total, len(newPages))
+			}
+
+			for k := 0; k <= total; k++ {
+				dir := t.TempDir()
+				if _, err := publish.New(fsx.OS, dir, 2).PublishSite(old, "v1", time.Time{}); err != nil {
+					t.Fatal(err)
+				}
+				fault := fsx.NewFaultFS(fsx.OS)
+				fault.CrashAt(k)
+				// The publish may report success (writes silently
+				// dropped past the crash point); the recovered state is
+				// what matters.
+				publish.New(fault, dir, 2).PublishSite(new_, "v2", time.Time{})
+
+				if _, err := publish.Recover(fsx.OS, dir); err != nil {
+					t.Fatalf("crash at op %d: Recover: %v\njournal:\n%s",
+						k, err, strings.Join(fault.Journal(), "\n"))
+				}
+				got, man, err := publish.OpenSite(fsx.OS, dir)
+				if err != nil {
+					t.Fatalf("crash at op %d: OpenSite: %v\njournal:\n%s",
+						k, err, strings.Join(fault.Journal(), "\n"))
+				}
+				isOld, isNew := sameSite(oldPages, got), sameSite(newPages, got)
+				if !isOld && !isNew {
+					t.Fatalf("crash at op %d: recovered site (%d pages, build %s) is neither v1 nor v2\njournal:\n%s",
+						k, len(got.Pages), man.BuildID, strings.Join(fault.Journal(), "\n"))
+				}
+				rep, err := publish.Verify(fsx.OS, dir)
+				if err != nil {
+					t.Fatalf("crash at op %d: Verify: %v", k, err)
+				}
+				if !rep.OK() {
+					t.Fatalf("crash at op %d: recovered dir does not verify:\n%s", k, rep.Summary())
+				}
+			}
+		})
+	}
+}

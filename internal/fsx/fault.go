@@ -1,0 +1,196 @@
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+	"syscall"
+)
+
+// FaultFS wraps an FS with deterministic fault injection for crash and
+// error-path testing. Every *mutating* operation (MkdirAll, WriteFile,
+// Rename, Remove, RemoveAll, Sync) is assigned a sequential index,
+// starting at 0, and faults are scheduled against those indexes:
+//
+//   - FailAt(n, err): operation n returns err without executing.
+//   - LimitBytes(k): WriteFile calls have a shared budget of k payload
+//     bytes; the call that exceeds it writes the prefix that fits —
+//     exactly what a real ENOSPC leaves behind — and returns ENOSPC.
+//   - FailSync(err): every Sync returns err (EIO on fsync is the
+//     classic torn-write escape hatch; callers must treat it as fatal).
+//   - CrashAt(n): operation n and every later mutating operation are
+//     silently *dropped* — they return success but change nothing —
+//     simulating power loss at that write boundary. Reads pass through
+//     untouched, so after the "crash" the filesystem is observed
+//     exactly as a reboot would find it.
+//
+// Index assignment, fault checks and execution happen under one mutex,
+// so concurrent use is linearizable and the sweep in the publication
+// tests is deterministic as long as callers issue operations in a
+// deterministic order.
+type FaultFS struct {
+	mu      sync.Mutex
+	base    FS
+	n       int // next mutating-op index
+	crashAt int // ops >= crashAt are dropped; -1 = never
+	crashed bool
+	failAt  map[int]error
+	syncErr error
+	limit   int64 // remaining WriteFile payload budget; -1 = unlimited
+	journal []string
+}
+
+// NewFaultFS wraps base with no faults scheduled.
+func NewFaultFS(base FS) *FaultFS {
+	return &FaultFS{base: base, crashAt: -1, limit: -1, failAt: map[int]error{}}
+}
+
+// CrashAt schedules a simulated power loss: mutating operation n
+// (0-based) and everything after it succeed without effect. n < 0
+// disables.
+func (f *FaultFS) CrashAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+	if n < 0 {
+		f.crashed = false
+	}
+}
+
+// FailAt makes mutating operation n (0-based) fail with err.
+func (f *FaultFS) FailAt(n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt[n] = err
+}
+
+// FailSync makes every subsequent Sync fail with err (nil disables).
+func (f *FaultFS) FailSync(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// LimitBytes caps the total payload bytes WriteFile may write from now
+// on; the call that exceeds the budget writes the prefix that fits and
+// returns syscall.ENOSPC. k < 0 removes the cap.
+func (f *FaultFS) LimitBytes(k int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.limit = k
+}
+
+// Ops returns how many mutating operations have been issued (dropped
+// and failed ones included). Running a workload once against a
+// fault-free FaultFS and reading Ops gives the sweep bound for
+// CrashAt.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Crashed reports whether the scheduled crash point was reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Journal returns the mutating-operation log ("<index> <op> <path>"),
+// for diagnosing a failed sweep iteration.
+func (f *FaultFS) Journal() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.journal))
+	copy(out, f.journal)
+	return out
+}
+
+// begin assigns the next op index and resolves scheduled faults. The
+// caller must hold f.mu. It returns (fault error, execute?).
+func (f *FaultFS) begin(op, name string) (error, bool) {
+	i := f.n
+	f.n++
+	f.journal = append(f.journal, fmt.Sprintf("%d %s %s", i, op, name))
+	if f.crashAt >= 0 && i >= f.crashAt {
+		f.crashed = true
+		return nil, false // dropped: silent success, no effect
+	}
+	if err := f.failAt[i]; err != nil {
+		return fmt.Errorf("%s %s: injected: %w", op, name, err), false
+	}
+	return nil, true
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, run := f.begin("mkdirall", path); !run {
+		return err
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, run := f.begin("write", name); !run {
+		return err
+	}
+	if f.limit >= 0 {
+		if int64(len(data)) > f.limit {
+			// ENOSPC mid-write: the prefix that fits lands on disk.
+			prefix := data[:f.limit]
+			f.limit = 0
+			f.base.WriteFile(name, prefix, perm)
+			return fmt.Errorf("write %s: injected: %w", name, syscall.ENOSPC)
+		}
+		f.limit -= int64(len(data))
+	}
+	return f.base.WriteFile(name, data, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, run := f.begin("rename", oldpath+" -> "+newpath); !run {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, run := f.begin("remove", name); !run {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, run := f.begin("removeall", path); !run {
+		return err
+	}
+	return f.base.RemoveAll(path)
+}
+
+func (f *FaultFS) Sync(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err, run := f.begin("sync", name); !run {
+		return err
+	}
+	if f.syncErr != nil {
+		return fmt.Errorf("sync %s: injected: %w", name, f.syncErr)
+	}
+	return f.base.Sync(name)
+}
+
+func (f *FaultFS) Open(name string) (io.ReadCloser, error)    { return f.base.Open(name) }
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.base.ReadDir(name) }
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error)      { return f.base.Stat(name) }

@@ -1,0 +1,151 @@
+// Package fsx abstracts the slice of filesystem behaviour STRUDEL's
+// persistence and publication layers depend on, so crash safety can be
+// proven rather than assumed: every component that writes site or
+// repository state takes an fsx.FS, production code passes OS, and the
+// fault-injection harness (FaultFS) substitutes a filesystem that
+// fails or silently loses writes at any chosen operation boundary.
+//
+// Durability model. An FS write (WriteFile, Rename, Remove, MkdirAll)
+// becomes durable only once Sync is called on the file — and, for the
+// existence of a directory entry, on its parent directory. The helpers
+// WriteFileAtomic and WriteFileDurable encode the two disciplines used
+// throughout the code base: atomic-but-volatile (temp + rename, so a
+// concurrent reader never sees a torn file) and atomic-and-durable
+// (additionally fsyncing the temp file before the rename and the
+// parent directory after it, so the rename survives power loss).
+//
+// FaultFS simulates crashes at write granularity: every mutating
+// operation that executed before the crash point is treated as durable
+// and every operation from the crash point on is silently dropped.
+// This is coarser than real power loss — a real disk may also lose
+// *earlier* writes that were never fsynced — but it is exactly the
+// granularity needed to prove commit-point atomicity: a publication
+// protocol is crash-safe iff for every operation boundary the
+// recovered state is a consistent old or new snapshot, never a mix.
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the injectable filesystem surface. Paths are OS paths, not
+// fs.FS-rooted names. Read operations (Open, ReadDir, Stat) are never
+// fault-injected by FaultFS's crash mode: after a simulated crash they
+// observe the state as of the crash point, exactly like a reboot.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// WriteFile creates or truncates name with data. The write is
+	// atomic only at the whole-call level of the simulation; on a real
+	// filesystem a crash or ENOSPC can leave a prefix. Callers that
+	// need reader-visible atomicity use WriteFileAtomic.
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file or empty directory.
+	Remove(name string) error
+	// RemoveAll deletes a path and anything under it.
+	RemoveAll(path string) error
+	// Sync fsyncs the file or directory at name.
+	Sync(name string) error
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// ReadDir lists a directory, sorted by filename.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat describes a path.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error                { return os.RemoveAll(path) }
+func (osFS) Open(name string) (io.ReadCloser, error)    { return os.Open(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+
+func (osFS) Sync(name string) error {
+	// os.Open suffices for fsync on both files and directories.
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("fsync %s: %w", name, err)
+	}
+	return f.Close()
+}
+
+// ReadFile reads the whole of name through fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// tempName is the deterministic staging name WriteFileAtomic and
+// WriteFileDurable use. Determinism matters: the fault-injection sweep
+// replays the exact same operation sequence on every run. Concurrent
+// writers of the *same* target path are not supported (writers of
+// different paths never collide).
+func tempName(name string) string { return name + ".tmp" }
+
+// IsTempName reports whether a file name is a staging remnant left by
+// an interrupted WriteFileAtomic/WriteFileDurable (or a staged
+// publication directory, which uses the same suffix). Recovery deletes
+// such remnants.
+func IsTempName(name string) bool { return filepath.Ext(name) == ".tmp" }
+
+// WriteFileAtomic writes data to name via a temp file in the same
+// directory plus a rename, so a concurrent reader of name observes
+// either the old or the new content in full, never a prefix. The
+// write is NOT durable: nothing is fsynced, and a crash may lose it —
+// use WriteFileDurable where the content must survive power loss.
+func WriteFileAtomic(fsys FS, name string, data []byte, perm fs.FileMode) error {
+	tmp := tempName(name)
+	if err := fsys.WriteFile(tmp, data, perm); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// WriteFileDurable is WriteFileAtomic plus durability: the temp file
+// is fsynced before the rename and the parent directory after it, so
+// after WriteFileDurable returns the new content survives power loss.
+func WriteFileDurable(fsys FS, name string, data []byte, perm fs.FileMode) error {
+	tmp := tempName(name)
+	if err := fsys.WriteFile(tmp, data, perm); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Sync(tmp); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.Sync(filepath.Dir(name))
+}

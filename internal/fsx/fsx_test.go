@@ -1,0 +1,184 @@
+package fsx
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(sub, "f.txt")
+	if err := OS.WriteFile(name, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Sync(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Sync(sub); err != nil {
+		t.Fatalf("directory fsync: %v", err)
+	}
+	got, err := ReadFile(OS, name)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	moved := filepath.Join(sub, "g.txt")
+	if err := OS.Rename(name, moved); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if _, err := OS.Stat(moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.RemoveAll(filepath.Join(dir, "a")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFileAtomicLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "page.html")
+	for i := 0; i < 3; i++ {
+		if err := WriteFileAtomic(OS, name, []byte("v"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, _ := OS.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("want only the target file, got %v", ents)
+	}
+	if !IsTempName("page.html.tmp") || IsTempName("page.html") {
+		t.Fatal("IsTempName misclassifies staging names")
+	}
+}
+
+func TestFaultFSFailAt(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS)
+	boom := errors.New("boom")
+	f.FailAt(1, boom)
+	if err := f.WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil { // op 0
+		t.Fatal(err)
+	}
+	err := f.WriteFile(filepath.Join(dir, "b"), []byte("x"), 0o644) // op 1
+	if !errors.Is(err, boom) {
+		t.Fatalf("op 1 err = %v, want boom", err)
+	}
+	if _, serr := os.Stat(filepath.Join(dir, "b")); !errors.Is(serr, fs.ErrNotExist) {
+		t.Fatal("failed op must not execute")
+	}
+	if f.Ops() != 2 {
+		t.Fatalf("Ops = %d, want 2", f.Ops())
+	}
+}
+
+func TestFaultFSENOSPCWritesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS)
+	f.LimitBytes(10)
+	if err := f.WriteFile(filepath.Join(dir, "a"), []byte("123456"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := f.WriteFile(filepath.Join(dir, "b"), []byte("789012345"), 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	got, _ := os.ReadFile(filepath.Join(dir, "b"))
+	if string(got) != "7890" {
+		t.Fatalf("torn file = %q, want the 4-byte prefix that fit", got)
+	}
+	// Budget is exhausted now: even a 1-byte write fails.
+	if err := f.WriteFile(filepath.Join(dir, "c"), []byte("x"), 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("post-exhaustion err = %v, want ENOSPC", err)
+	}
+}
+
+func TestFaultFSFailSync(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS)
+	f.FailSync(syscall.EIO)
+	name := filepath.Join(dir, "a")
+	if err := f.WriteFile(name, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(name); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync err = %v, want EIO", err)
+	}
+	// WriteFileDurable must surface the sync failure, not swallow it.
+	if err := WriteFileDurable(f, filepath.Join(dir, "d"), []byte("x"), 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("durable write err = %v, want EIO", err)
+	}
+	if _, serr := os.Stat(filepath.Join(dir, "d")); !errors.Is(serr, fs.ErrNotExist) {
+		t.Fatal("a durable write whose fsync failed must not be renamed into place")
+	}
+}
+
+func TestFaultFSCrashDropsWrites(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS)
+	f.CrashAt(2)
+	a, b, c := filepath.Join(dir, "a"), filepath.Join(dir, "b"), filepath.Join(dir, "c")
+	if err := f.WriteFile(a, []byte("1"), 0o644); err != nil { // op 0: executes
+		t.Fatal(err)
+	}
+	if err := f.WriteFile(b, []byte("2"), 0o644); err != nil { // op 1: executes
+		t.Fatal(err)
+	}
+	if err := f.WriteFile(c, []byte("3"), 0o644); err != nil { // op 2: dropped
+		t.Fatalf("dropped op must report success, got %v", err)
+	}
+	if err := f.Remove(a); err != nil { // op 3: dropped
+		t.Fatal(err)
+	}
+	if !f.Crashed() {
+		t.Fatal("crash point not reached")
+	}
+	// Reads see the pre-crash state: a and b exist, c never landed.
+	if _, err := f.Stat(a); err != nil {
+		t.Fatal("pre-crash write lost")
+	}
+	if _, err := f.Stat(c); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("post-crash write landed")
+	}
+	if got := f.Journal(); len(got) != 4 {
+		t.Fatalf("journal = %v, want 4 ops", got)
+	}
+}
+
+func TestFaultFSOpsDeterministic(t *testing.T) {
+	run := func() []string {
+		dir := t.TempDir()
+		f := NewFaultFS(OS)
+		WriteFileDurable(f, filepath.Join(dir, "x"), []byte("1"), 0o644)
+		WriteFileAtomic(f, filepath.Join(dir, "y"), []byte("2"), 0o644)
+		j := f.Journal()
+		// Strip the per-run temp dir so the two journals compare equal.
+		for i := range j {
+			j[i] = strings.ReplaceAll(j[i], dir, "$DIR")
+		}
+		return j
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("op counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package repository
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"strudel/internal/fsx"
+	"strudel/internal/graph"
+)
+
+// corruptible builds a repository with two graphs and saves it.
+func corruptible(t *testing.T) (string, *Repository) {
+	t.Helper()
+	dir := t.TempDir()
+	r := New(dir)
+	r.Put(sample())
+	g2 := r.NewGraph("site")
+	n := g2.NewNode("Root()")
+	g2.AddEdge(n, "x", graph.Str("y"))
+	if err := r.Save(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, r
+}
+
+func TestOpenTruncatedSnapshotNamesFile(t *testing.T) {
+	dir, _ := corruptible(t)
+	path := filepath.Join(dir, "data.graph")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	if err == nil {
+		t.Fatal("truncated snapshot loaded without error")
+	}
+	if !strings.Contains(err.Error(), "data.graph") {
+		t.Fatalf("error does not name the offending file: %v", err)
+	}
+}
+
+func TestOpenGarbageSnapshotNamesFile(t *testing.T) {
+	dir, _ := corruptible(t)
+	path := filepath.Join(dir, "site.graph")
+	if err := os.WriteFile(path, []byte("this is not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir)
+	if err == nil {
+		t.Fatal("garbage snapshot loaded without error")
+	}
+	if !strings.Contains(err.Error(), "site.graph") || !strings.Contains(err.Error(), `"site"`) {
+		t.Fatalf("error does not name the offending file and graph: %v", err)
+	}
+}
+
+func TestOpenMissingSnapshotNamesFile(t *testing.T) {
+	dir, _ := corruptible(t)
+	if err := os.Remove(filepath.Join(dir, "data.graph")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir)
+	if err == nil || !strings.Contains(err.Error(), "data.graph") {
+		t.Fatalf("error does not name the missing file: %v", err)
+	}
+}
+
+// TestSaveCrashSweep crashes Save at every write boundary and requires
+// Open to load a consistent snapshot set afterwards — the old state or
+// the new one, never a torn file and never a mix the loader accepts
+// silently. This is the test that makes persist.go's crash-safety
+// comment true rather than aspirational.
+func TestSaveCrashSweep(t *testing.T) {
+	build := func(titles string) *graph.Graph {
+		g := graph.New("data")
+		n := g.NewNode("pub1")
+		g.AddEdge(n, "title", graph.Str(titles))
+		g.DeclareCollection("Publications")
+		g.AddToCollection("Publications", graph.NodeValue(n))
+		return g
+	}
+
+	// Probe the op count of the second save.
+	probeDir := t.TempDir()
+	pr := New(probeDir)
+	pr.Put(build("old"))
+	if err := pr.Save(); err != nil {
+		t.Fatal(err)
+	}
+	probe := fsx.NewFaultFS(fsx.OS)
+	pr.SetFS(probe)
+	pr.Drop("data")
+	pr.Put(build("new"))
+	if err := pr.Save(); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+	if total < 4 {
+		t.Fatalf("suspiciously few ops (%d); durability discipline gone?", total)
+	}
+
+	for k := 0; k <= total; k++ {
+		dir := t.TempDir()
+		r := New(dir)
+		r.Put(build("old"))
+		if err := r.Save(); err != nil {
+			t.Fatal(err)
+		}
+		fault := fsx.NewFaultFS(fsx.OS)
+		fault.CrashAt(k)
+		r.SetFS(fault)
+		r.Drop("data")
+		r.Put(build("new"))
+		r.Save() // may "succeed" with dropped writes; the crash decides
+
+		r2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("crash at op %d: Open: %v\njournal:\n%s", k, err, strings.Join(fault.Journal(), "\n"))
+		}
+		g, ok := r2.Graph("data")
+		if !ok {
+			t.Fatalf("crash at op %d: data graph lost", k)
+		}
+		n, _ := g.NodeByName("pub1")
+		v, _ := g.First(n, "title")
+		if s, _ := v.AsString(); s != "old" && s != "new" {
+			t.Fatalf("crash at op %d: torn state %q", k, s)
+		}
+	}
+}

@@ -1,18 +1,23 @@
 package repository
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 
+	"strudel/internal/fsx"
 	"strudel/internal/graph"
 )
 
 // The on-disk format is one gob-encoded snapshot file per graph plus
-// a manifest listing them. Writes go through a temporary file and
-// rename so a crash cannot leave a torn graph file.
+// a manifest listing them. Writes go through a temporary file that is
+// fsynced before being renamed into place, and the directory is
+// fsynced after the rename, so a crash — including power loss — cannot
+// leave a torn graph file: Open sees either the old snapshot or the
+// new one. All I/O goes through an injectable fsx.FS (see SetFS) so
+// the crash-safety claim is exercised by fault injection, not assumed.
 
 type valueSnap struct {
 	Kind uint8
@@ -146,33 +151,50 @@ func graphFileName(name string) string {
 	return safe + ".graph"
 }
 
-// Save writes every graph in the repository to its directory.
+// Save writes every graph in the repository to its directory. Every
+// file write is atomic and durable (fsync'd temp + rename + directory
+// fsync), and the manifest is written last, so a crash at any point
+// leaves a directory Open can load: either the previous consistent
+// snapshot set or the new one.
 func (r *Repository) Save() error {
 	if r.dir == "" {
 		return fmt.Errorf("repository: no persistence directory configured")
 	}
-	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+	fsys := r.fs()
+	if err := fsys.MkdirAll(r.dir, 0o755); err != nil {
 		return err
 	}
 	var manifest []string
 	for _, name := range r.Names() {
 		g, _ := r.Graph(name)
 		fn := graphFileName(name)
-		if err := writeGob(filepath.Join(r.dir, fn), snapshot(g)); err != nil {
+		if err := writeGob(fsys, filepath.Join(r.dir, fn), snapshot(g)); err != nil {
 			return fmt.Errorf("repository: saving graph %q: %w", name, err)
 		}
 		manifest = append(manifest, name+"\t"+fn)
 	}
-	return writeAtomic(filepath.Join(r.dir, "MANIFEST"), []byte(strings.Join(manifest, "\n")+"\n"))
+	data := []byte(strings.Join(manifest, "\n") + "\n")
+	if err := fsx.WriteFileDurable(fsys, filepath.Join(r.dir, "MANIFEST"), data, 0o644); err != nil {
+		return fmt.Errorf("repository: saving manifest: %w", err)
+	}
+	return nil
 }
 
 // Open loads a repository previously written by Save.
 func Open(dir string) (*Repository, error) {
-	data, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	return OpenFS(fsx.OS, dir)
+}
+
+// OpenFS is Open over an injectable filesystem. A snapshot file that
+// is truncated, garbled, or missing fails the load with an error
+// naming the offending file.
+func OpenFS(fsys fsx.FS, dir string) (*Repository, error) {
+	data, err := fsx.ReadFile(fsys, filepath.Join(dir, "MANIFEST"))
 	if err != nil {
 		return nil, fmt.Errorf("repository: opening %s: %w", dir, err)
 	}
 	r := New(dir)
+	r.SetFS(fsys)
 	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
 		if line == "" {
 			continue
@@ -181,54 +203,32 @@ func Open(dir string) (*Repository, error) {
 		if len(parts) != 2 {
 			return nil, fmt.Errorf("repository: corrupt manifest line %q", line)
 		}
+		path := filepath.Join(dir, parts[1])
 		var snap graphSnap
-		if err := readGob(filepath.Join(dir, parts[1]), &snap); err != nil {
-			return nil, fmt.Errorf("repository: loading graph %q: %w", parts[0], err)
+		if err := readGob(fsys, path, &snap); err != nil {
+			return nil, fmt.Errorf("repository: loading graph %q from %s: %w", parts[0], path, err)
 		}
 		if _, err := restore(r.db, &snap); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("repository: loading graph %q from %s: %w", parts[0], path, err)
 		}
 	}
 	return r, nil
 }
 
-func writeGob(path string, v any) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
+// writeGob encodes v and writes it atomically and durably.
+func writeGob(fsys fsx.FS, path string, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if err := gob.NewEncoder(tmp).Encode(v); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fsx.WriteFileDurable(fsys, path, buf.Bytes(), 0o644)
 }
 
-func readGob(path string, v any) error {
-	f, err := os.Open(path)
+func readGob(fsys fsx.FS, path string, v any) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	return gob.NewDecoder(f).Decode(v)
-}
-
-func writeAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"strudel/internal/fsx"
 	"strudel/internal/graph"
 	"strudel/internal/telemetry"
 )
@@ -15,6 +16,7 @@ type Repository struct {
 	mu       sync.Mutex
 	db       *graph.Database
 	dir      string // persistence directory; "" = memory only
+	fsys     fsx.FS // filesystem Save/Open go through; nil = fsx.OS
 	indexes  map[string]*GraphIndex
 	indexing bool
 	met      *indexMetrics
@@ -63,6 +65,25 @@ func New(dir string) *Repository {
 		indexes:  map[string]*GraphIndex{},
 		indexing: true,
 	}
+}
+
+// SetFS routes persistence through an injectable filesystem (nil
+// restores the real one). The fault-injection suite uses this to crash
+// Save at arbitrary write boundaries.
+func (r *Repository) SetFS(fsys fsx.FS) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fsys = fsys
+}
+
+// fs returns the filesystem persistence goes through.
+func (r *Repository) fs() fsx.FS {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fsys == nil {
+		return fsx.OS
+	}
+	return r.fsys
 }
 
 // Database exposes the underlying graph database.

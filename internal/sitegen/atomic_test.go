@@ -1,0 +1,136 @@
+package sitegen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"strudel/internal/fsx"
+	"strudel/internal/graph"
+)
+
+func siteWith(pages map[string]string) *Site {
+	s := &Site{Pages: map[string]*Page{}, PathOf: map[graph.OID]string{}}
+	for path, html := range pages {
+		s.Pages[path] = &Page{Path: path, HTML: html}
+	}
+	return s
+}
+
+// TestWriteToAtomicUnderConcurrentReads rewrites one page many times
+// while a reader re-reads the file: with temp+rename per page the
+// reader must always observe a complete old or new version, never a
+// truncated prefix or a mix of the two. Before this suite, WriteTo
+// used a plain os.WriteFile, which exposes partial content.
+func TestWriteToAtomicUnderConcurrentReads(t *testing.T) {
+	dir := t.TempDir()
+	const rounds = 200
+	version := func(i int) string {
+		// Large enough that a truncated write is observable.
+		return fmt.Sprintf("<html>v%04d %s</html>", i, strings.Repeat("x", 4096))
+	}
+	if err := siteWith(map[string]string{"p.html": version(0)}).WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		want := len(version(0))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			data, err := os.ReadFile(filepath.Join(dir, "p.html"))
+			if err != nil {
+				// The rename window never unlinks the target; any
+				// read error is a violation.
+				errs <- fmt.Errorf("reader: %w", err)
+				return
+			}
+			if len(data) != want || !strings.HasPrefix(string(data), "<html>v") || !strings.HasSuffix(string(data), "</html>") {
+				errs <- fmt.Errorf("torn page observed: %d bytes, %.40q…", len(data), data)
+				return
+			}
+		}
+	}()
+	for i := 1; i <= rounds; i++ {
+		if err := siteWith(map[string]string{"p.html": version(i)}).WriteTo(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestWriteToFSDeterministicOps locks down the sorted write order the
+// fault-injection sweep depends on.
+func TestWriteToFSDeterministicOps(t *testing.T) {
+	pages := map[string]string{"b.html": "B", "a.html": "A", "index.html": "I"}
+	journal := func() []string {
+		dir := t.TempDir()
+		f := fsx.NewFaultFS(fsx.OS)
+		if err := siteWith(pages).WriteToFS(f, dir); err != nil {
+			t.Fatal(err)
+		}
+		j := f.Journal()
+		for i := range j {
+			j[i] = strings.ReplaceAll(j[i], dir, "$DIR")
+		}
+		return j
+	}
+	a, b := journal(), journal()
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("op order not deterministic:\n%s\nvs\n%s", strings.Join(a, "\n"), strings.Join(b, "\n"))
+	}
+	// Sorted page order: a.html before b.html before index.html.
+	var seq []string
+	for _, line := range a {
+		if strings.Contains(line, "rename") {
+			seq = append(seq, line)
+		}
+	}
+	if len(seq) != 3 || !strings.Contains(seq[0], "a.html") || !strings.Contains(seq[1], "b.html") || !strings.Contains(seq[2], "index.html") {
+		t.Fatalf("pages not written in sorted order: %v", seq)
+	}
+}
+
+// TestSyncToFSPrunesStaleAndTemp verifies SyncTo removes stale pages
+// and interrupted-write remnants but leaves user assets alone.
+func TestSyncToFSPrunesStaleAndTemp(t *testing.T) {
+	dir := t.TempDir()
+	if err := siteWith(map[string]string{"old.html": "O", "keep.html": "K"}).WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated debris and a user asset.
+	os.WriteFile(filepath.Join(dir, "half.html.tmp"), []byte("partial"), 0o644)
+	os.WriteFile(filepath.Join(dir, "style.css"), []byte("body{}"), 0o644)
+
+	pruned, err := siteWith(map[string]string{"keep.html": "K2"}).SyncTo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"half.html.tmp", "old.html"}
+	if len(pruned) != 2 || pruned[0] != want[0] || pruned[1] != want[1] {
+		t.Fatalf("pruned = %v, want %v", pruned, want)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "style.css")); err != nil {
+		t.Fatal("user asset pruned")
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "keep.html"))
+	if string(data) != "K2" {
+		t.Fatalf("keep.html = %q", data)
+	}
+}

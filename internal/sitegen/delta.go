@@ -9,11 +9,11 @@ package sitegen
 
 import (
 	"context"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"strudel/internal/fsx"
 	"strudel/internal/graph"
 )
 
@@ -127,23 +127,29 @@ func prunedPaths(prev, site *Site) []string {
 // deleted paths sorted. Only regular .html files directly under dir are
 // candidates for pruning, so user assets are never touched.
 func (s *Site) SyncTo(dir string) ([]string, error) {
-	if err := s.WriteTo(dir); err != nil {
+	return s.SyncToFS(fsx.OS, dir)
+}
+
+// SyncToFS is SyncTo over an injectable filesystem. Staging remnants
+// of interrupted atomic page writes (*.tmp) are also pruned.
+func (s *Site) SyncToFS(fsys fsx.FS, dir string) ([]string, error) {
+	if err := s.WriteToFS(fsys, dir); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var pruned []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".html") {
+		if e.IsDir() || !(strings.HasSuffix(name, ".html") || fsx.IsTempName(name)) {
 			continue
 		}
 		if _, ok := s.Pages[name]; ok {
 			continue
 		}
-		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
 			return pruned, err
 		}
 		pruned = append(pruned, name)

@@ -15,11 +15,11 @@ import (
 	"context"
 	"fmt"
 	"html"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"strudel/internal/fsx"
 	"strudel/internal/graph"
 	"strudel/internal/pool"
 	"strudel/internal/template"
@@ -80,13 +80,24 @@ type Site struct {
 	PathOf map[graph.OID]string
 }
 
-// WriteTo writes every page under dir.
+// WriteTo writes every page under dir. Each page is written to a temp
+// file and renamed into place, so a concurrent reader of the output
+// directory (a web server pointed at it) observes either the old or
+// the new page in full, never a truncated prefix. Writes are not
+// fsynced — crash-durable publication is the publish package's job.
 func (s *Site) WriteTo(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return s.WriteToFS(fsx.OS, dir)
+}
+
+// WriteToFS is WriteTo over an injectable filesystem. Pages are
+// written in sorted path order so the operation sequence is
+// deterministic under fault injection.
+func (s *Site) WriteToFS(fsys fsx.FS, dir string) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for path, p := range s.Pages {
-		if err := os.WriteFile(filepath.Join(dir, path), []byte(p.HTML), 0o644); err != nil {
+	for _, path := range s.Paths() {
+		if err := fsx.WriteFileAtomic(fsys, filepath.Join(dir, path), []byte(s.Pages[path].HTML), 0o644); err != nil {
 			return err
 		}
 	}

@@ -5,7 +5,7 @@
 # parallel-build determinism suite.
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke chaos crash testpar fuzz check explain-demo
+.PHONY: build test vet race bench bench-smoke chaos crash testpar fuzz soak check explain-demo
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,14 @@ FUZZTIME ?= 5s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzStruQLParse$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzDataDefParse$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzDifferentialEval$$' -fuzztime $(FUZZTIME) .
+
+# Long-haul differential maintenance: 500 random edits against one
+# evolving site with byte-identity checkpoints against from-scratch
+# rebuilds, under the race detector. Raise SOAK_EDITS via -args in the
+# test if a longer run is wanted.
+soak:
+	$(GO) test -race -run 'SoakDifferential' -timeout 30m .
 
 # Introspection demo: the profiled plan of the CNN example site, no
 # manifest required. Try also: -example org, -optimize, -json.

@@ -51,6 +51,17 @@ type Builder struct {
 	introspect  bool
 	workers     int
 	telem       *telemetry.Registry
+
+	// Differential evaluation state (dataGraph mode only): journals of
+	// in-place data-graph mutations, and the materialized binding
+	// relations primed by the last full build. matLog feeds
+	// RebuildWithDelta's differential fast path, dynLog feeds
+	// RebuildDynamic's selective cache eviction; they are separate
+	// because each consumer drains its journal independently.
+	differential bool
+	matLog       *graph.ChangeLog
+	dynLog       *graph.ChangeLog
+	mat          *struql.Materialized
 }
 
 // NewBuilder creates a builder. The repository is memory-only; use
@@ -58,11 +69,12 @@ type Builder struct {
 func NewBuilder(name string) *Builder {
 	repo := repository.New("")
 	return &Builder{
-		name:      name,
-		repo:      repo,
-		med:       mediator.New(repo, "DataGraph"),
-		templates: map[string]*template.Template{},
-		embedOnly: map[string]bool{},
+		name:         name,
+		repo:         repo,
+		med:          mediator.New(repo, "DataGraph"),
+		templates:    map[string]*template.Template{},
+		embedOnly:    map[string]bool{},
+		differential: true,
 	}
 }
 
@@ -113,8 +125,50 @@ func (b *Builder) AddMapping(querySrc string) error {
 }
 
 // SetDataGraph supplies the data graph directly, bypassing wrappers
-// and mediation (useful when the data is already in graph form).
-func (b *Builder) SetDataGraph(g *graph.Graph) { b.dataGraph = g }
+// and mediation (useful when the data is already in graph form). The
+// builder watches the graph's mutation journal from here on, which is
+// what lets RebuildWithDelta maintain the site differentially and
+// RebuildDynamic evict caches selectively.
+func (b *Builder) SetDataGraph(g *graph.Graph) {
+	if b.dataGraph != nil {
+		if b.matLog != nil {
+			b.dataGraph.Unwatch(b.matLog)
+		}
+		if b.dynLog != nil {
+			b.dataGraph.Unwatch(b.dynLog)
+		}
+	}
+	b.dataGraph = g
+	b.mat = nil
+	b.matLog, b.dynLog = graph.NewChangeLog(), graph.NewChangeLog()
+	g.Watch(b.matLog)
+	g.Watch(b.dynLog)
+}
+
+// SetDifferential toggles differential site maintenance (on by
+// default). When on, a full build over a SetDataGraph graph primes
+// materialized binding relations, and RebuildWithDelta propagates the
+// journaled mutations through them instead of re-evaluating the
+// site-definition queries — falling back to a full rebuild whenever
+// the maintained state cannot be trusted.
+func (b *Builder) SetDifferential(on bool) {
+	b.differential = on
+	if !on {
+		b.mat = nil
+	}
+}
+
+// BindingDump renders the maintained binding relations per query
+// block, in from-scratch order, or nil when no materialization is
+// primed. Test and debug surface: two builders over identical data
+// must dump identically, whether the relations were primed by a full
+// build or maintained through deltas.
+func (b *Builder) BindingDump() map[int][]string {
+	if b.mat == nil || !b.mat.Valid() {
+		return nil
+	}
+	return b.mat.BindingDump()
+}
 
 // AddQuery appends a site-definition query. Multiple queries compose:
 // they build parts of the same site graph, with stable Skolem
@@ -125,6 +179,8 @@ func (b *Builder) AddQuery(src string) error {
 		return err
 	}
 	b.queries = append(b.queries, q)
+	// Any primed materialization describes the old query set.
+	b.mat = nil
 	return nil
 }
 
@@ -308,7 +364,7 @@ type queryEval struct {
 // profile set, every query carries an EXPLAIN profiler and the
 // per-block plans are returned; when introspection is enabled, node
 // provenance is recorded alongside.
-func (b *Builder) evalQueries(data *graph.Graph, sp *telemetry.Span, p *pool.Pool, profile bool) (*queryEval, error) {
+func (b *Builder) evalQueries(data *graph.Graph, sp *telemetry.Span, p *pool.Pool, profile bool, caps []*struql.Capture) (*queryEval, error) {
 	if len(b.queries) == 0 {
 		return nil, fmt.Errorf("core: site %q has no site-definition query", b.name)
 	}
@@ -336,6 +392,10 @@ func (b *Builder) evalQueries(data *graph.Graph, sp *telemetry.Span, p *pool.Poo
 			prof = struql.NewProfiler()
 		}
 		opts.Profiler = prof
+		opts.Capture = nil
+		if caps != nil {
+			opts.Capture = caps[i]
+		}
 		var qs *telemetry.Span
 		if sp != nil {
 			qs = sp.Child(fmt.Sprintf("query[%d]", i))
@@ -359,6 +419,44 @@ func (b *Builder) evalQueries(data *graph.Graph, sp *telemetry.Span, p *pool.Poo
 		})
 	}
 	return qe, nil
+}
+
+// canDifferential reports whether a full build should prime
+// differential state: an explicit data graph whose journal is watched,
+// with the stock interpreter (the materialized plans replicate its
+// greedy ordering) and no provenance recording (which the replica does
+// not reproduce).
+func (b *Builder) canDifferential() bool {
+	return b.differential && b.dataGraph != nil && b.matLog != nil &&
+		!b.optimize && !b.introspect && len(b.queries) > 0
+}
+
+// captureSet allocates one binding capture per query when the build
+// should prime differential state, else nil.
+func (b *Builder) captureSet() []*struql.Capture {
+	if !b.canDifferential() {
+		return nil
+	}
+	caps := make([]*struql.Capture, len(b.queries))
+	for i := range caps {
+		caps[i] = struql.NewCapture()
+	}
+	return caps
+}
+
+// primeDifferential rebuilds the materialized binding relations from a
+// completed full evaluation and resets the journal baseline to "now".
+func (b *Builder) primeDifferential(data, site *graph.Graph, caps []*struql.Capture) {
+	b.mat = nil
+	if caps == nil {
+		return
+	}
+	mat, err := struql.NewMaterialized(b.queries, data, site, b.Registry(), caps, 0)
+	if err != nil {
+		return // differential stays off until the next full build
+	}
+	b.matLog.Take() // the site now reflects everything journaled so far
+	b.mat = mat
 }
 
 // siteSchema merges the per-query schemas.
@@ -405,7 +503,8 @@ func (b *Builder) Build() (*Result, error) {
 	}
 
 	qsp := tr.Root().Child("query")
-	qe, err := b.evalQueries(data, qsp, pl, false)
+	caps := b.captureSet()
+	qe, err := b.evalQueries(data, qsp, pl, false, caps)
 	if err == nil {
 		qsp.SetAttr("bindings", qe.bindings)
 	}
@@ -452,6 +551,8 @@ func (b *Builder) Build() (*Result, error) {
 	}
 	res.Site = htmlSite
 
+	b.primeDifferential(data, site, caps)
+
 	ds, ss := data.Stats(), site.Stats()
 	res.Stats.DataNodes, res.Stats.DataEdges = ds.Nodes, ds.Edges
 	res.Stats.SiteNodes, res.Stats.SiteEdges = ss.Nodes, ss.Edges
@@ -495,6 +596,10 @@ func (b *Builder) BuildDynamic() (*incremental.Renderer, error) {
 	data, err := b.buildDataGraph()
 	if err != nil {
 		return nil, err
+	}
+	if b.dynLog != nil {
+		// The decomposition reflects the data as of now.
+		b.dynLog.Take()
 	}
 	dec := incremental.Decompose(b.queries[0], data, b.Registry())
 	dec.UsePool(b.buildPool())

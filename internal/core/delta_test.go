@@ -39,6 +39,10 @@ func TestRebuildWithDeltaSelective(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	b := bibBuilder(t, n)
 	b.SetTelemetry(reg)
+	// Pin the query-re-evaluation path: with differential maintenance on
+	// (the default, covered by TestRebuildWithDeltaDifferential and the
+	// top-level suite) the journal fast path would take over.
+	b.SetDifferential(false)
 	data := workload.Bibliography(n, 42)
 	b.SetDataGraph(data)
 	prev, err := b.Build()
@@ -106,6 +110,53 @@ func TestRebuildWithDeltaSelective(t *testing.T) {
 	}
 	if len(res.Site.Pages) != len(want.Site.Pages) {
 		t.Fatalf("delta site has %d pages, full build has %d", len(res.Site.Pages), len(want.Site.Pages))
+	}
+	for path, wp := range want.Site.Pages {
+		gp := res.Site.Pages[path]
+		if gp == nil || gp.HTML != wp.HTML {
+			t.Errorf("%s differs from full rebuild", path)
+		}
+	}
+}
+
+// TestRebuildWithDeltaDifferential: with a data graph set and a prior
+// full build, the default rebuild path is the differential one — the
+// journaled mutation propagates through the materialized bindings, no
+// query re-evaluation, and the pages still match a scratch build.
+func TestRebuildWithDeltaDifferential(t *testing.T) {
+	const n = 30
+	b := bibBuilder(t, n)
+	data := workload.Bibliography(n, 42)
+	b.SetDataGraph(data)
+	prev, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := retitle(t, data, "pub7", "A Fresh Title")
+	res, err := b.RebuildWithDelta(prev, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := res.Incremental
+	if info == nil || info.Mode != "differential" {
+		t.Fatalf("incremental info = %+v, want differential mode", info)
+	}
+	if info.Eval == nil || info.Eval.RowsRetained == 0 {
+		t.Fatalf("differential rebuild retained no tuples: %+v", info.Eval)
+	}
+	if info.Site.Reused == 0 {
+		t.Fatal("a one-object touch must reuse pages")
+	}
+	fresh := bibBuilder(t, n)
+	freshData := workload.Bibliography(n, 42)
+	retitle(t, freshData, "pub7", "A Fresh Title")
+	fresh.SetDataGraph(freshData)
+	want, err := fresh.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Site.Pages) != len(want.Site.Pages) {
+		t.Fatalf("differential site has %d pages, full build has %d", len(res.Site.Pages), len(want.Site.Pages))
 	}
 	for path, wp := range want.Site.Pages {
 		gp := res.Site.Pages[path]

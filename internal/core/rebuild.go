@@ -10,6 +10,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -26,8 +27,11 @@ import (
 // RebuildInfo describes how an incremental rebuild proceeded.
 type RebuildInfo struct {
 	// Mode is "noop" (nothing changed, previous result reused), "full"
-	// (no usable baseline or delta — everything re-rendered), or
-	// "selective" (only affected pages re-rendered).
+	// (no usable baseline or delta — everything re-rendered),
+	// "selective" (queries re-evaluated in full, only affected pages
+	// re-rendered), or "differential" (the journaled mutations were
+	// propagated through materialized binding relations; the queries
+	// were not re-evaluated at all).
 	Mode string
 	// Data is the data-graph delta the rebuild keyed on (nil when
 	// unknown, forcing a full rebuild).
@@ -36,6 +40,10 @@ type RebuildInfo struct {
 	Impact *schema.Impact
 	// Site reports page-level reuse (nil in noop mode).
 	Site *sitegen.DeltaStats
+	// Eval reports what differential evaluation did (differential mode
+	// only): tuples retained vs recomputed, blocks maintained vs
+	// re-bound, output lists repaired.
+	Eval *struql.MatStats
 }
 
 // Summary renders a one-line digest for logs.
@@ -46,6 +54,16 @@ func (ri *RebuildInfo) Summary() string {
 	switch ri.Mode {
 	case "noop":
 		return "rebuild: noop (data unchanged)"
+	case "differential":
+		s := "rebuild: differential"
+		if ri.Eval != nil {
+			s += fmt.Sprintf(", %d tuples retained, %d recomputed, %d added, %d removed",
+				ri.Eval.RowsRetained, ri.Eval.RowsRechecked, ri.Eval.RowsAdded, ri.Eval.RowsRemoved)
+		}
+		if ri.Site != nil {
+			s += fmt.Sprintf(", %d rendered, %d reused", ri.Site.Rendered, ri.Site.Reused)
+		}
+		return s
 	case "full":
 		reason := "no baseline"
 		if ri.Site != nil && ri.Site.Reason != "" {
@@ -113,6 +131,16 @@ func (b *Builder) Rebuild(prev *Result) (*Result, error) {
 // data graph delta — the caller mutated the graph set via SetDataGraph
 // and knows (or computed via graph.Diff) what changed. The delta must
 // over-approximate the actual change; a nil delta forces a full build.
+//
+// With differential evaluation primed (SetDataGraph + a prior full
+// Build, SetDifferential on), the supplied delta is not even needed:
+// the builder drains the data graph's mutation journal and propagates
+// it through the materialized binding relations, updating the previous
+// site graph in place and re-rendering only the pages whose
+// reverse-reachability cone the propagation touched. Whenever the
+// journal or the maintained state cannot be trusted, the call falls
+// back to the query-re-evaluation path above. Either way the result is
+// byte-identical to a from-scratch Build.
 func (b *Builder) RebuildWithDelta(prev *Result, delta *graph.Delta) (*Result, error) {
 	if prev == nil || prev.Site == nil || prev.SiteGraph == nil {
 		return b.Build()
@@ -121,11 +149,190 @@ func (b *Builder) RebuildWithDelta(prev *Result, delta *graph.Delta) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	if delta != nil {
+		// A nil delta is an explicit request for a full rebuild — honor
+		// it rather than trusting the journal.
+		if res, err := b.tryDifferential(prev, data); res != nil || err != nil {
+			if err == errDiffAbort {
+				// The apply died partway: the previous site graph may hold a
+				// partial mutation, so regenerate with no page reuse at all.
+				return b.rebuildFrom(prev, data, nil, nil)
+			}
+			return res, err
+		}
+	}
 	var report *mediator.RefreshReport
 	if b.dataGraph == nil {
 		report = b.med.LastReport()
 	}
 	return b.rebuildFrom(prev, data, report, delta)
+}
+
+// errDiffAbort signals that a differential apply failed after possibly
+// mutating the previous site graph: the caller must do a full rebuild
+// without reusing any previously rendered page.
+var errDiffAbort = errors.New("core: differential apply aborted")
+
+// tryDifferential attempts the differential fast path against prev.
+// It returns (nil, nil) when ineligible — the caller falls back to
+// query re-evaluation with the previous site intact — and errDiffAbort
+// when the maintained site graph can no longer back page reuse.
+func (b *Builder) tryDifferential(prev *Result, data *graph.Graph) (*Result, error) {
+	if !b.canDifferential() || !b.mat.Valid() {
+		return nil, nil
+	}
+	if prev.SiteGraph != b.mat.Output() {
+		return nil, nil // prev is not the site the materialization maintains
+	}
+	if prev.Site.Collisions != 0 {
+		// Collision suffixes depend on OID enumeration order, which
+		// in-place maintenance does not reproduce.
+		return nil, nil
+	}
+	ops, ok := b.matLog.Take()
+	if !ok {
+		b.mat.Invalidate("change log overflowed")
+		b.mat = nil
+		return nil, nil
+	}
+
+	tr := telemetry.NewTrace("rebuild " + b.name)
+	res := &Result{Trace: tr, DataGraph: data}
+	pl := b.buildPool()
+	defer func() {
+		tr.Finish()
+		res.Stats.TotalTime = tr.Duration()
+		res.BuiltAt = time.Now()
+	}()
+	tr.Root().SetAttr("site", b.name)
+	tr.Root().SetAttr("workers", pl.Workers())
+
+	// NumNodes/NumEdges, not Stats(): the label census walks every edge,
+	// which would put an O(site) scan on the single-digit-ms fast path.
+	res.Stats.DataNodes, res.Stats.DataEdges = data.NumNodes(), data.NumEdges()
+	sch := prev.Schema
+	if sch == nil {
+		sch = b.siteSchema()
+	}
+	res.Schema = sch
+
+	if len(ops) == 0 {
+		info := &RebuildInfo{Mode: "noop"}
+		res.Incremental = info
+		res.SiteGraph = prev.SiteGraph
+		res.Site = prev.Site
+		res.Provenance = prev.Provenance
+		res.Violations = prev.Violations
+		res.DomainWarnings = prev.DomainWarnings
+		res.Stats.SiteNodes, res.Stats.SiteEdges = prev.SiteGraph.NumNodes(), prev.SiteGraph.NumEdges()
+		res.Stats.Pages = len(prev.Site.Pages)
+		res.Stats.PagesReused = len(prev.Site.Pages)
+		addCount(b.deltaPages("reused"), len(prev.Site.Pages))
+		b.countRebuild("noop")
+		tr.Root().SetAttr("mode", "noop")
+		return res, nil
+	}
+
+	qsp := tr.Root().Child("query")
+	st, err := b.mat.Apply(ops)
+	qsp.Finish()
+	res.Stats.QueryTime = qsp.Duration()
+	if err != nil {
+		b.mat = nil
+		return nil, errDiffAbort
+	}
+	b.countDiff(st)
+	site := prev.SiteGraph // maintained in place
+	res.SiteGraph = site
+	res.Stats.Bindings = st.RowsRetained + st.RowsAdded
+	info := &RebuildInfo{Mode: "differential", Eval: st}
+	res.Incremental = info
+
+	ver := tr.Root().Child("verify")
+	res.Violations = schema.VerifyAll(sch, site, b.constraints)
+	for _, q := range b.queries {
+		res.DomainWarnings = append(res.DomainWarnings,
+			struql.RangeCheckWith(q, data.HasCollection)...)
+	}
+	ver.Finish()
+	res.Stats.VerifyTime = ver.Duration()
+
+	cone := site.ReverseReachable(st.Touched)
+
+	gsp := tr.Root().Child("generate")
+	gen := sitegen.New(site, sitegen.Config{
+		Templates:    b.templates,
+		EmbedOnly:    b.embedOnly,
+		Index:        b.index,
+		FileResolver: b.resolver,
+		Pool:         pl,
+	})
+	htmlSite, dstats, err := gen.RegenerateConeContext(context.Background(), prev.Site, cone, !st.Renumbered)
+	if err == nil && htmlSite == nil {
+		// Name-keyed wholesale reuse unavailable (unnamed page or path
+		// shift): take the conservative predicate path, which re-derives
+		// the full assignment and falls back to a full render as needed.
+		affected := func(oid graph.OID) bool {
+			_, ok := cone[oid]
+			return ok
+		}
+		htmlSite, dstats, err = gen.RegenerateDeltaContext(context.Background(), prev.Site, affected)
+	}
+	gsp.Finish()
+	res.Stats.GenerateTime = gsp.Duration()
+	if err != nil {
+		return nil, err
+	}
+	if htmlSite.Collisions != 0 {
+		// A new collision suffix may not match what a from-scratch build
+		// would assign; hand the whole rebuild back to the full path.
+		b.mat.Invalidate("path collision in maintained site")
+		b.mat = nil
+		return nil, errDiffAbort
+	}
+	res.Site = htmlSite
+	info.Site = dstats
+	tr.Root().SetAttr("mode", info.Mode)
+	gsp.SetAttr("rendered", dstats.Rendered)
+	gsp.SetAttr("reused", dstats.Reused)
+	b.countRebuild("differential")
+	addCount(b.deltaPages("rendered"), dstats.Rendered)
+	addCount(b.deltaPages("reused"), dstats.Reused)
+	addCount(b.deltaPages("pruned"), len(dstats.PrunedPaths))
+
+	res.Stats.SiteNodes, res.Stats.SiteEdges = site.NumNodes(), site.NumEdges()
+	res.Stats.Pages = len(htmlSite.Pages)
+	res.Stats.PagesReused = dstats.Reused
+	res.Stats.PagesPruned = len(dstats.PrunedPaths)
+	return res, nil
+}
+
+// countDiff feeds differential-apply telemetry.
+func (b *Builder) countDiff(st *struql.MatStats) {
+	if b.telem == nil {
+		return
+	}
+	tuples := func(kind string, n int) {
+		if n > 0 {
+			b.telem.Counter("strudel_diff_tuples_total",
+				"Binding tuples processed by differential evaluation, by outcome.",
+				"kind", kind).Add(n)
+		}
+	}
+	tuples("retained", st.RowsRetained)
+	tuples("recomputed", st.RowsRechecked)
+	tuples("added", st.RowsAdded)
+	tuples("removed", st.RowsRemoved)
+	blocks := func(mode string, n int) {
+		if n > 0 {
+			b.telem.Counter("strudel_diff_blocks_total",
+				"Query blocks touched by differential evaluation, by maintenance mode.",
+				"mode", mode).Add(n)
+		}
+	}
+	blocks("differential", st.BlocksDifferential)
+	blocks("fallback", st.BlocksFallback)
+	blocks("rebound", st.BlocksRebound)
 }
 
 // rebuildFrom is the shared incremental pipeline: analyze the delta,
@@ -177,7 +384,8 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 	// construction — then diff the site graphs to find which pages'
 	// dependency cones the change touches.
 	qsp := tr.Root().Child("query")
-	qe, err := b.evalQueries(data, qsp, pl, false)
+	caps := b.captureSet()
+	qe, err := b.evalQueries(data, qsp, pl, false, caps)
 	if err == nil {
 		qsp.SetAttr("bindings", qe.bindings)
 	}
@@ -247,6 +455,7 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 	} else {
 		info.Mode = "selective"
 	}
+	b.primeDifferential(data, site, caps)
 	tr.Root().SetAttr("mode", info.Mode)
 	gsp.SetAttr("rendered", dstats.Rendered)
 	gsp.SetAttr("reused", dstats.Reused)
@@ -273,8 +482,18 @@ func (b *Builder) RebuildDynamic(prev *incremental.Renderer) (*incremental.Rende
 		return b.BuildDynamic()
 	}
 	if b.dataGraph != nil {
-		// In-place data mutation: same decomposition, selective eviction.
-		prev.Dec.InvalidateDelta(nil)
+		// In-place data mutation: same decomposition, and the mutation
+		// journal tells us exactly which cached classes to evict. An
+		// overflowed (or absent) journal degrades to dropping everything.
+		if b.dynLog != nil {
+			if ops, ok := b.dynLog.Take(); ok {
+				prev.Dec.InvalidateDelta(graph.OpsDelta(ops))
+			} else {
+				prev.Dec.InvalidateCache()
+			}
+		} else {
+			prev.Dec.InvalidateDelta(nil)
+		}
 		prev.BuiltAt = time.Now()
 		return prev, nil
 	}

@@ -33,6 +33,8 @@ type Graph struct {
 	colls map[string]*collection
 	// edgeCount caches the total number of edges for Stats.
 	edgeCount int
+	// watchers receive a journal entry for every mutation (changelog.go).
+	watchers []*ChangeLog
 }
 
 type nodeData struct {
@@ -112,6 +114,7 @@ func (g *Graph) NewNode(name string) OID {
 	if name != "" {
 		g.names[name] = id
 	}
+	g.logOp(Op{Kind: OpAddNode, Node: id, Name: name})
 	return id
 }
 
@@ -124,6 +127,7 @@ func (g *Graph) AddNode(id OID, name string) {
 	g.alloc.reserve(id)
 	if _, ok := g.nodes[id]; !ok {
 		g.nodes[id] = &nodeData{name: name}
+		g.logOp(Op{Kind: OpAddNode, Node: id, Name: name})
 	}
 	if name != "" {
 		if _, bound := g.names[name]; !bound {
@@ -209,11 +213,13 @@ func (g *Graph) AddEdge(from OID, label string, to Value) error {
 		if !ok {
 			tn = &nodeData{}
 			g.nodes[to.OID()] = tn
+			g.logOp(Op{Kind: OpAddNode, Node: to.OID()})
 		}
 		tn.in = append(tn.in, Edge{From: from, Label: label, To: to})
 	}
 	nd.out = append(nd.out, Edge{From: from, Label: label, To: to})
 	g.edgeCount++
+	g.logOp(Op{Kind: OpAddEdge, Edge: Edge{From: from, Label: label, To: to}, Name: nd.name})
 	return nil
 }
 
@@ -348,18 +354,23 @@ func (g *Graph) AddToCollection(name string, v Value) {
 	if !ok {
 		c = &collection{seen: make(map[Value]struct{})}
 		g.colls[name] = c
+		g.logOp(Op{Kind: OpNewCollection, Coll: name})
 	}
 	if _, dup := c.seen[v]; dup {
 		return
 	}
 	c.seen[v] = struct{}{}
 	c.members = append(c.members, v)
+	var mname string
 	if v.IsNode() {
 		g.alloc.reserve(v.OID())
 		if _, present := g.nodes[v.OID()]; !present {
 			g.nodes[v.OID()] = &nodeData{}
+			g.logOp(Op{Kind: OpAddNode, Node: v.OID()})
 		}
+		mname = g.nameOfLocked(v.OID())
 	}
+	g.logOp(Op{Kind: OpAddMember, Coll: name, Member: v, Name: mname})
 }
 
 // DeclareCollection ensures a (possibly empty) collection exists.
@@ -368,6 +379,7 @@ func (g *Graph) DeclareCollection(name string) {
 	defer g.mu.Unlock()
 	if _, ok := g.colls[name]; !ok {
 		g.colls[name] = &collection{seen: make(map[Value]struct{})}
+		g.logOp(Op{Kind: OpNewCollection, Coll: name})
 	}
 }
 

@@ -107,6 +107,111 @@ func (g *Generator) RegenerateDeltaContext(ctx context.Context, prev *Site, affe
 	return site, st, nil
 }
 
+// RegenerateConeContext is the differential rebuilder's generation
+// path. Its contract: prev was rendered over the *same* site-graph
+// instance this generator holds, that graph was maintained in place,
+// and cone over-approximates every object whose page — or whose
+// linking pages — could have changed. Under that contract a page
+// object outside the cone kept its name, its template association and
+// therefore its path, so the previous assignment is adopted wholesale
+// (O(pages) map work) instead of re-deriving template selection for
+// every node the way assignPaths does; only cone objects get fresh
+// selection, paths and renders.
+//
+// oidsStable asserts that no output-graph OID changed since prev was
+// rendered (the maintenance layer reports whether it renumbered): the
+// carried pages' recorded OIDs are then still correct, so they are
+// shared as-is — no per-page name resolution, no copies. Pages are
+// immutable once rendered, and only freshly re-rendered pages (never
+// carried ones) are written to, so sharing is safe.
+//
+// Returns (nil, nil, nil) when name-keyed reuse is not provably safe —
+// an unnamed page object, or a cone page whose path moved (links in
+// pages outside the cone would go stale); the caller should fall back
+// to RegenerateDeltaContext. A non-zero Collisions on the returned
+// site means the assignment could not be trusted either: the caller
+// must discard the result (pages may be missing), since a from-scratch
+// build would have chosen enumeration-dependent suffixes.
+func (g *Generator) RegenerateConeContext(ctx context.Context, prev *Site, cone map[graph.OID]struct{}, oidsStable bool) (*Site, *DeltaStats, error) {
+	if prev == nil || prev.Collisions != 0 {
+		return nil, nil, nil
+	}
+	st := &DeltaStats{}
+	site := &Site{
+		Pages:  make(map[string]*Page, len(prev.Pages)+1),
+		PathOf: make(map[graph.OID]string, len(prev.Pages)+1),
+	}
+	var render []graph.OID
+	// Previous paths of cone pages, for path-shift detection below.
+	prevPath := map[string]string{}
+	for _, p := range prev.Pages {
+		if p.Name == "" {
+			return nil, nil, nil // OID-keyed identity: unstable in place
+		}
+		oid := p.OID
+		if !oidsStable {
+			var ok bool
+			oid, ok = g.site.NodeByName(p.Name)
+			if !ok {
+				continue // object removed; prunedPaths picks the page up
+			}
+		} else if !g.site.HasNode(oid) {
+			continue // object removed; prunedPaths picks the page up
+		}
+		if _, touched := cone[oid]; touched {
+			prevPath[p.Name] = p.Path
+			continue // re-derived below
+		}
+		np := p
+		if !oidsStable && oid != p.OID {
+			np = &Page{Path: p.Path, OID: oid, Name: p.Name, HTML: p.HTML, Title: p.Title}
+		}
+		site.Pages[p.Path] = np
+		site.PathOf[oid] = p.Path
+		if p.HTML == "" {
+			render = append(render, oid) // never rendered: do it now
+		} else {
+			st.Reused++
+		}
+	}
+	coneOIDs := make([]graph.OID, 0, len(cone))
+	for oid := range cone {
+		coneOIDs = append(coneOIDs, oid)
+	}
+	sort.Slice(coneOIDs, func(i, j int) bool { return coneOIDs[i] < coneOIDs[j] })
+	for _, oid := range coneOIDs {
+		if !g.isPage(oid) {
+			continue
+		}
+		name := g.site.NodeName(oid)
+		if name == "" {
+			return nil, nil, nil
+		}
+		path := g.pagePath(oid)
+		if pp, ok := prevPath[name]; ok && pp != path {
+			return nil, nil, nil // path shift: reuse unsafe site-wide
+		}
+		if _, taken := site.Pages[path]; taken {
+			site.Collisions++
+			return site, st, nil
+		}
+		site.Pages[path] = &Page{Path: path, OID: oid, Name: name}
+		site.PathOf[oid] = path
+		render = append(render, oid)
+	}
+	sort.Slice(render, func(i, j int) bool { return render[i] < render[j] })
+	st.Rendered = len(render)
+	for _, oid := range render {
+		st.RenderedPaths = append(st.RenderedPaths, site.PathOf[oid])
+	}
+	sort.Strings(st.RenderedPaths)
+	st.PrunedPaths = prunedPaths(prev, site)
+	if err := g.renderPages(ctx, site, render); err != nil {
+		return nil, nil, err
+	}
+	return site, st, nil
+}
+
 // prunedPaths lists prev's paths that the new site no longer produces.
 func prunedPaths(prev, site *Site) []string {
 	if prev == nil {

@@ -78,6 +78,11 @@ type Site struct {
 	Pages map[string]*Page
 	// PathOf maps page objects to their paths.
 	PathOf map[graph.OID]string
+	// Collisions counts pages whose natural path was taken and got a
+	// numeric suffix. Suffix assignment depends on OID enumeration
+	// order, which in-place graph maintenance does not preserve, so a
+	// collision-free site is a precondition for differential rebuilds.
+	Collisions int
 }
 
 // WriteTo writes every page under dir. Each page is written to a temp
@@ -265,6 +270,9 @@ func (g *Generator) assignPaths() (*Site, []graph.OID) {
 		for i := 2; ; i++ {
 			if _, taken := site.Pages[path]; !taken {
 				break
+			}
+			if i == 2 {
+				site.Collisions++
 			}
 			path = strings.TrimSuffix(g.pagePath(oid), ".html") + fmt.Sprintf("-%d.html", i)
 		}

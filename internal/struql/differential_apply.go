@@ -1,0 +1,654 @@
+package struql
+
+import (
+	"fmt"
+	"sort"
+
+	"strudel/internal/graph"
+)
+
+// Apply propagates a batch of journaled input-graph mutations through
+// the materialized binding relations and the construct replica. The
+// input graph must already be in its post-batch state (the ops are
+// the drained journal of the mutations that produced it). On error
+// the materialization invalidates itself and the caller must fall
+// back to a full evaluation.
+func (m *Materialized) Apply(ops []graph.Op) (*MatStats, error) {
+	if m == nil || !m.valid {
+		return nil, fmt.Errorf("struql: differential state invalid: %s", m.Reason())
+	}
+	st := &MatStats{Ops: len(ops)}
+	fail := func(err error) (*MatStats, error) {
+		m.Invalidate(err.Error())
+		return nil, err
+	}
+	for _, op := range ops {
+		if op.Kind == graph.OpNewCollection {
+			// A new collection can flip HasCollection and with it every
+			// replicated plan; re-prime from scratch.
+			return fail(fmt.Errorf("struql: new collection %q changes plan space", op.Coll))
+		}
+	}
+	// Phase 0: roll the sequence numbering forward.
+	for _, op := range ops {
+		m.bumpSeq(op)
+	}
+	m.beginApply()
+	added := map[*matBlock]map[*mrow]struct{}{}
+	removed := map[*matBlock]map[*mrow]struct{}{}
+	for _, mb := range m.blocks {
+		if err := m.processBlock(mb, ops, added, removed, st); err != nil {
+			return fail(err)
+		}
+	}
+	if m.rowN > m.maxB {
+		return fail(fmt.Errorf("struql: differential binding relation exceeded %d rows", m.maxB))
+	}
+	if err := m.finishApply(st); err != nil {
+		return fail(err)
+	}
+	st.RowsRetained = m.rowN - st.RowsAdded
+	for _, mb := range m.blocks {
+		if mb.diff {
+			st.BlocksDifferential++
+		} else {
+			st.BlocksFallback++
+		}
+	}
+	return st, nil
+}
+
+// processBlock maintains one block's relation for the batch.
+func (m *Materialized) processBlock(mb *matBlock, ops []graph.Op, added, removed map[*matBlock]map[*mrow]struct{}, st *MatStats) error {
+	var parAdd, parRem map[*mrow]struct{}
+	if mb.par != nil {
+		parAdd, parRem = added[mb.par], removed[mb.par]
+	}
+	blkAdd := map[*mrow]struct{}{}
+	blkRem := map[*mrow]struct{}{}
+	added[mb], removed[mb] = blkAdd, blkRem
+
+	// Cascade: tuples under a removed parent are gone regardless of
+	// this block's own conditions.
+	for pr := range parRem {
+		for r := range mb.byParent[pr] {
+			m.dropRow(r, st)
+			blkRem[r] = struct{}{}
+		}
+	}
+
+	cands, candDirty := m.removalCandidates(mb, ops)
+	seeds, seedDirty := m.additionSeeds(mb, ops)
+	dirty := candDirty || seedDirty || (!mb.diff && m.relevantTo(mb, ops))
+	if dirty {
+		st.BlocksRebound++
+		return m.rebindBlock(mb, blkAdd, blkRem, st)
+	}
+	if mb.diff {
+		// Deletions: semi-join the removed elements against the rows
+		// that bound them, then recheck each survivor against the new
+		// graph (recheck, not counting, so multiset derivations are
+		// handled: a tuple stays as long as any derivation remains).
+		for r := range cands {
+			if r.dead {
+				continue
+			}
+			st.RowsRechecked++
+			ok, err := m.checkRow(mb, r.env)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				m.dropRow(r, st)
+				blkRem[r] = struct{}{}
+				continue
+			}
+			// Survivor: its derivation rank may still have moved (e.g.
+			// an edge was deleted and re-inserted, shifting to the list
+			// tail).
+			local, err := m.computeSort(mb, r.env)
+			if err != nil {
+				return fmt.Errorf("struql: differential resort: %w", err)
+			}
+			m.resortRow(r, local)
+		}
+		// Insertions: each added element seeds the condition it can
+		// match; joining consistent parent tuples and solving the full
+		// conjunction finds every new tuple (a genuinely new tuple
+		// must use at least one added element at some condition).
+		for _, sd := range seeds {
+			if err := m.solveSeed(mb, sd, blkAdd, st); err != nil {
+				return err
+			}
+		}
+	}
+	// New parent tuples get their subtree solved outright.
+	for pr := range parAdd {
+		if err := m.solveParent(mb, pr, blkAdd, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropRow removes a tuple from the relation and the construct
+// replica.
+func (m *Materialized) dropRow(r *mrow, st *MatStats) {
+	if r.dead {
+		return
+	}
+	r.dead = true
+	mb := r.block
+	delete(mb.rows, r.key)
+	for v := range mb.ownVars {
+		if val, ok := r.env[v]; ok {
+			if set := mb.index[val]; set != nil {
+				delete(set, r)
+				if len(set) == 0 {
+					delete(mb.index, val)
+				}
+			}
+			mb.bound[v]--
+		}
+	}
+	if set := mb.byParent[r.par]; set != nil {
+		delete(set, r)
+		if len(set) == 0 {
+			delete(mb.byParent, r.par)
+		}
+	}
+	m.rowN--
+	st.RowsRemoved++
+	m.unregisterRow(r)
+}
+
+// addRow inserts a tuple. During priming the construct replica only
+// records state; afterwards it also schedules output-graph edits.
+func (m *Materialized) addRow(mb *matBlock, e env, par *mrow, local []uint64, prime bool) error {
+	key := rowKey(e)
+	if _, dup := mb.rows[key]; dup {
+		return nil
+	}
+	full := make([]uint64, 0, len(par.sort)+len(local))
+	full = append(full, par.sort...)
+	full = append(full, local...)
+	r := &mrow{env: e, key: key, block: mb, par: par, sort: full, nloc: len(local)}
+	mb.rows[key] = r
+	for v := range mb.ownVars {
+		if val, ok := e[v]; ok {
+			set := mb.index[val]
+			if set == nil {
+				set = map[*mrow]struct{}{}
+				mb.index[val] = set
+			}
+			set[r] = struct{}{}
+			mb.bound[v]++
+		}
+	}
+	set := mb.byParent[par]
+	if set == nil {
+		set = map[*mrow]struct{}{}
+		mb.byParent[par] = set
+	}
+	set[r] = struct{}{}
+	m.rowN++
+	return m.registerRow(r, prime)
+}
+
+// resortRow installs a new local rank for a retained tuple and
+// rewrites the rank prefix of every descendant tuple, marking all
+// affected output lists for order repair.
+func (m *Materialized) resortRow(r *mrow, local []uint64) {
+	old := r.localSort()
+	same := len(old) == len(local)
+	if same {
+		for i := range old {
+			if old[i] != local[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return
+	}
+	full := make([]uint64, 0, len(r.par.sort)+len(local))
+	full = append(full, r.par.sort...)
+	full = append(full, local...)
+	r.sort, r.nloc = full, len(local)
+	m.markRowOrderDirty(r)
+	m.reprefixDescendants(r)
+}
+
+func (m *Materialized) reprefixDescendants(r *mrow) {
+	for _, kb := range r.block.kids {
+		for cr := range kb.byParent[r] {
+			local := cr.localSort()
+			full := make([]uint64, 0, len(r.sort)+len(local))
+			full = append(full, r.sort...)
+			full = append(full, local...)
+			cr.sort, cr.nloc = full, len(local)
+			m.markRowOrderDirty(cr)
+			m.reprefixDescendants(cr)
+		}
+	}
+}
+
+// parentRows returns the block's parent tuples in from-scratch order.
+func (m *Materialized) parentRows(mb *matBlock) []*mrow {
+	if mb.par == nil {
+		return []*mrow{m.roots[mb.q]}
+	}
+	return mb.par.orderedRows()
+}
+
+// rebindBlock recomputes the whole relation with the interpreter and
+// diffs it against the materialized one. Tuple order within one
+// parent group is the interpreter's own output order, so positional
+// ranks are exact; retained tuples keep their identity (and their
+// descendants), only their ranks move.
+func (m *Materialized) rebindBlock(mb *matBlock, blkAdd, blkRem map[*mrow]struct{}, st *MatStats) error {
+	ev := m.evs[mb.q]
+	for _, par := range m.parentRows(mb) {
+		rows, err := ev.applyWhere(mb.b.Where, []env{par.env}, nil)
+		if err != nil {
+			return err
+		}
+		rows = dedupe(rows)
+		fresh := make(map[string]int, len(rows))
+		for i, e := range rows {
+			fresh[rowKey(e)] = i
+		}
+		for r := range mb.byParent[par] {
+			if _, keep := fresh[r.key]; !keep {
+				m.dropRow(r, st)
+				blkRem[r] = struct{}{}
+			}
+		}
+		for i, e := range rows {
+			key := rowKey(e)
+			if r, ok := mb.rows[key]; ok {
+				local, err := m.rankOf(mb, e, i)
+				if err != nil {
+					return err
+				}
+				m.resortRow(r, local)
+				continue
+			}
+			local, err := m.rankOf(mb, e, i)
+			if err != nil {
+				return err
+			}
+			if err := m.addRow(mb, e, par, local, false); err != nil {
+				return err
+			}
+			blkAdd[mb.rows[key]] = struct{}{}
+			st.RowsAdded++
+		}
+	}
+	return nil
+}
+
+// rankOf picks the rank scheme: derivation-derived units for
+// differential blocks, the interpreter's positional order for
+// fallback blocks.
+func (m *Materialized) rankOf(mb *matBlock, e env, pos int) ([]uint64, error) {
+	if mb.diff {
+		return m.computeSort(mb, e)
+	}
+	return []uint64{uint64(pos)}, nil
+}
+
+// solveParent computes a new parent tuple's rows in this block.
+func (m *Materialized) solveParent(mb *matBlock, par *mrow, blkAdd map[*mrow]struct{}, st *MatStats) error {
+	ev := m.evs[mb.q]
+	rows, err := ev.applyWhere(mb.b.Where, []env{par.env}, nil)
+	if err != nil {
+		return err
+	}
+	rows = dedupe(rows)
+	for i, e := range rows {
+		key := rowKey(e)
+		if _, dup := mb.rows[key]; dup {
+			continue
+		}
+		local, err := m.rankOf(mb, e, i)
+		if err != nil {
+			return err
+		}
+		if err := m.addRow(mb, e, par, local, false); err != nil {
+			return err
+		}
+		blkAdd[mb.rows[key]] = struct{}{}
+		st.RowsAdded++
+	}
+	return nil
+}
+
+// seed is one partially bound environment derived from an added
+// element matched against one condition.
+type seed struct {
+	vals env
+}
+
+// solveSeed joins a seed against every consistent parent tuple and
+// solves the block's full conjunction from the merged environment.
+// Keeping the seeded condition in the conjunction re-verifies the
+// element's presence for free. When the seed grounds a variable the
+// parent block binds in every row, the parent's value index narrows
+// the join to the few consistent tuples instead of scanning the whole
+// parent relation — the difference between O(parent) and O(change) per
+// added element.
+func (m *Materialized) solveSeed(mb *matBlock, sd seed, blkAdd map[*mrow]struct{}, st *MatStats) error {
+	ev := m.evs[mb.q]
+	for _, par := range m.seedParents(mb, sd) {
+		merged := make(env, len(par.env)+len(sd.vals))
+		ok := true
+		for k, v := range par.env {
+			merged[k] = v
+		}
+		for k, v := range sd.vals {
+			if pv, bound := merged[k]; bound && pv != v {
+				ok = false
+				break
+			}
+			merged[k] = v
+		}
+		if !ok {
+			continue
+		}
+		rows, err := ev.applyWhere(mb.b.Where, []env{merged}, nil)
+		if err != nil {
+			return err
+		}
+		for _, e := range dedupe(rows) {
+			key := rowKey(e)
+			if _, dup := mb.rows[key]; dup {
+				continue
+			}
+			local, err := m.computeSort(mb, e)
+			if err != nil {
+				return err
+			}
+			if err := m.addRow(mb, e, par, local, false); err != nil {
+				return err
+			}
+			blkAdd[mb.rows[key]] = struct{}{}
+			st.RowsAdded++
+		}
+	}
+	return nil
+}
+
+// seedParents returns the parent tuples a seed could consistently join,
+// in from-scratch order. When some seed value is indexed by the parent
+// block AND that variable is bound in every live parent row (bound
+// count equals relation size — vars under negation may be unbound and
+// invisible to the index), the index rows bound the join; they are a
+// superset of the consistent tuples (the index mixes the block's own
+// variables), which solveSeed's merge check filters exactly. Otherwise
+// every parent row is a candidate.
+func (m *Materialized) seedParents(mb *matBlock, sd seed) []*mrow {
+	pb := mb.par
+	if pb == nil {
+		return m.parentRows(mb)
+	}
+	var best map[*mrow]struct{}
+	found := false
+	for k, v := range sd.vals {
+		if !pb.ownVars[k] || pb.bound[k] != len(pb.rows) {
+			continue
+		}
+		set := pb.index[v]
+		if !found || len(set) < len(best) {
+			best, found = set, true
+		}
+	}
+	if !found {
+		return m.parentRows(mb)
+	}
+	out := make([]*mrow, 0, len(best))
+	for r := range best {
+		if !r.dead {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return sortLess(out[i].sort, out[j].sort) })
+	return out
+}
+
+// removalCandidates semi-joins the batch's removed elements against
+// the block's index: a tuple is a candidate iff some removed element
+// matches one of the block's conditions at the tuple's own bindings.
+// Conditions anchored only by constants have no index entry; they
+// make the whole block dirty instead (rare: a fully ground
+// condition).
+func (m *Materialized) removalCandidates(mb *matBlock, ops []graph.Op) (map[*mrow]struct{}, bool) {
+	cands := map[*mrow]struct{}{}
+	dirty := false
+	collect := func(v graph.Value) {
+		for r := range mb.index[v] {
+			cands[r] = struct{}{}
+		}
+	}
+	for _, op := range ops {
+		for _, stp := range mb.plan {
+			switch c := stp.cond.(type) {
+			case *EdgeCond:
+				if op.Kind != graph.OpRemoveEdge {
+					continue
+				}
+				anchor, ground, match := edgeAnchor(c, op.Edge)
+				if !match {
+					continue
+				}
+				if ground {
+					dirty = true
+					continue
+				}
+				collect(anchor)
+			case *MembershipCond:
+				if op.Kind != graph.OpRemoveMember || c.Collection != op.Coll {
+					continue
+				}
+				if !c.Arg.IsVar() {
+					if c.Arg.Const == op.Member {
+						dirty = true
+					}
+					continue
+				}
+				collect(op.Member)
+			}
+		}
+	}
+	return cands, dirty
+}
+
+// edgeAnchor matches a condition against a concrete edge and returns
+// one variable-position value to probe the index with. ground means
+// the condition has no variable positions (probe impossible); match
+// is false when a constant position disagrees with the edge.
+func edgeAnchor(c *EdgeCond, e graph.Edge) (anchor graph.Value, ground, match bool) {
+	if !c.Label.Any && c.Label.Var == "" && c.Label.Lit != e.Label {
+		return graph.Value{}, false, false
+	}
+	if !c.From.IsVar() && c.From.Const != graph.NodeValue(e.From) {
+		return graph.Value{}, false, false
+	}
+	if !c.To.IsVar() && c.To.Const != e.To {
+		return graph.Value{}, false, false
+	}
+	switch {
+	case c.From.IsVar():
+		return graph.NodeValue(e.From), false, true
+	case c.To.IsVar():
+		return e.To, false, true
+	case c.Label.Var != "":
+		return graph.Str(e.Label), false, true
+	default:
+		return graph.Value{}, true, true
+	}
+}
+
+// additionSeeds derives the partial environments the batch's added
+// elements can contribute through each condition.
+func (m *Materialized) additionSeeds(mb *matBlock, ops []graph.Op) ([]seed, bool) {
+	var seeds []seed
+	dirty := false
+	for _, op := range ops {
+		for _, stp := range mb.plan {
+			switch c := stp.cond.(type) {
+			case *EdgeCond:
+				if op.Kind != graph.OpAddEdge {
+					continue
+				}
+				vals, ground, match := edgeSeed(c, op.Edge)
+				if !match {
+					continue
+				}
+				if ground {
+					dirty = true
+					continue
+				}
+				seeds = append(seeds, seed{vals: vals})
+			case *MembershipCond:
+				if op.Kind != graph.OpAddMember || c.Collection != op.Coll {
+					continue
+				}
+				if !c.Arg.IsVar() {
+					if c.Arg.Const == op.Member {
+						dirty = true
+					}
+					continue
+				}
+				seeds = append(seeds, seed{vals: env{c.Arg.Var: op.Member}})
+			}
+		}
+	}
+	return seeds, dirty
+}
+
+// edgeSeed binds a condition's variable positions to a concrete added
+// edge, checking constant positions and intra-condition consistency
+// (the same variable appearing twice must receive one value).
+func edgeSeed(c *EdgeCond, e graph.Edge) (vals env, ground, match bool) {
+	if !c.Label.Any && c.Label.Var == "" && c.Label.Lit != e.Label {
+		return nil, false, false
+	}
+	if !c.From.IsVar() && c.From.Const != graph.NodeValue(e.From) {
+		return nil, false, false
+	}
+	if !c.To.IsVar() && c.To.Const != e.To {
+		return nil, false, false
+	}
+	vals = env{}
+	put := func(v string, val graph.Value) bool {
+		if old, dup := vals[v]; dup && old != val {
+			return false
+		}
+		vals[v] = val
+		return true
+	}
+	if c.From.IsVar() && !put(c.From.Var, graph.NodeValue(e.From)) {
+		return nil, false, false
+	}
+	if c.To.IsVar() && !put(c.To.Var, e.To) {
+		return nil, false, false
+	}
+	if c.Label.Var != "" && !put(c.Label.Var, graph.Str(e.Label)) {
+		return nil, false, false
+	}
+	if len(vals) == 0 {
+		return nil, true, true
+	}
+	return vals, false, true
+}
+
+// relevantTo reports whether any op in the batch could affect a
+// fallback block's conditions (label/collection/node granularity —
+// the NFA frontier test: a delta whose labels no automaton transition
+// accepts cannot change any path-condition result).
+func (m *Materialized) relevantTo(mb *matBlock, ops []graph.Op) bool {
+	rel := mb.relevance(m)
+	for _, op := range ops {
+		switch op.Kind {
+		case graph.OpAddEdge, graph.OpRemoveEdge:
+			if rel.anyLabel || rel.labels[op.Edge.Label] {
+				return true
+			}
+		case graph.OpAddMember, graph.OpRemoveMember:
+			if rel.colls[op.Coll] {
+				return true
+			}
+		case graph.OpAddNode, graph.OpRemoveNode:
+			if rel.nodes {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockRelevance is the static delta-sensitivity of a block.
+type blockRelevance struct {
+	labels   map[string]bool
+	anyLabel bool
+	colls    map[string]bool
+	nodes    bool
+}
+
+func (mb *matBlock) relevance(m *Materialized) *blockRelevance {
+	if mb.rel != nil {
+		return mb.rel
+	}
+	rel := &blockRelevance{labels: map[string]bool{}, colls: map[string]bool{}}
+	var walkPath func(p *PathExpr)
+	walkPath = func(p *PathExpr) {
+		if p == nil {
+			return
+		}
+		if p.Pred != nil {
+			if p.Pred.Any || p.Pred.Ext != "" {
+				rel.anyLabel = true
+			} else {
+				rel.labels[p.Pred.Lit] = true
+			}
+		}
+		walkPath(p.Left)
+		walkPath(p.Right)
+	}
+	var walkCond func(c Condition)
+	walkCond = func(c Condition) {
+		switch c := c.(type) {
+		case *EdgeCond:
+			if c.Label.Any || c.Label.Var != "" {
+				rel.anyLabel = true
+			} else {
+				rel.labels[c.Label.Lit] = true
+			}
+		case *PathCond:
+			walkPath(c.Path)
+			rel.nodes = true // unbound sources range over all nodes
+		case *MembershipCond:
+			if m.in.HasCollection(c.Collection) {
+				rel.colls[c.Collection] = true
+			}
+		case *NotCond:
+			walkCond(c.Inner)
+		}
+	}
+	for _, c := range mb.b.Where {
+		walkCond(c)
+	}
+	for _, stp := range mb.plan {
+		if stp.kind == stepDomain {
+			rel.nodes = true // active domain spans all nodes and atoms
+			rel.anyLabel = true
+			for _, cl := range m.in.Collections() {
+				rel.colls[cl] = true
+			}
+		}
+	}
+	mb.rel = rel
+	return rel
+}

@@ -1,0 +1,1075 @@
+// The construct replica: a support-counted mirror of everything the
+// sequential construction stage put into the output graph. Every
+// output edge, collection membership and Skolem node is attributed to
+// the binding tuples (or aggregate groups) that derive it; a binding
+// delta translates into reference-count moves, and only structures
+// whose count crosses zero touch the graph. Page-visible order (the
+// per-label adjacency order templates iterate, and collection order)
+// is restored afterwards from the tuples' from-scratch ranks.
+package struql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"strudel/internal/graph"
+)
+
+// conTarget identifies an edge target or collection member: a Skolem
+// node by output-graph name (stable across OID churn), or a concrete
+// value copied from the binding.
+type conTarget struct {
+	name string
+	val  graph.Value
+}
+
+type conEdgeKey struct {
+	from  string // Skolem name of the source (links only leave new nodes)
+	label string
+	to    conTarget
+}
+
+type conMemKey struct {
+	coll string
+	to   conTarget
+}
+
+// supTag is one derivation of an output structure: a (tuple, clause)
+// pair, or an aggregate group.
+type supTag struct {
+	row *mrow
+	li  int
+	agg *aggGroup
+}
+
+// supSet is the support of one output structure. present mirrors
+// whether the structure physically exists in the output graph.
+type supSet struct {
+	set     map[supTag]struct{}
+	present bool
+}
+
+// aggGKey identifies one aggregate group: the link clause within its
+// block plus the resolved source and label (the from-scratch grouping
+// key).
+type aggGKey struct {
+	block int
+	li    int
+	from  string
+	label string
+}
+
+// aggGroup accumulates one aggregate edge's contributions. cur/has
+// track the currently emitted value.
+type aggGroup struct {
+	key      aggGKey
+	op       AggOp
+	contribs map[*mrow]graph.Value
+	cur      graph.Value
+	has      bool
+}
+
+// rank is the group's from-scratch emission rank: aggregates flush
+// after their block's rows (phase 1 vs 0) in group-creation order,
+// which is the rank of the earliest contributing tuple.
+func (g *aggGroup) rank() []uint64 {
+	var best []uint64
+	for r := range g.contribs {
+		if best == nil || sortLess(r.sort, best) {
+			best = r.sort
+		}
+	}
+	k := make([]uint64, 0, len(best)+3)
+	k = append(k, uint64(g.key.block), 1)
+	k = append(k, best...)
+	k = append(k, uint64(g.key.li))
+	return k
+}
+
+// conOp kinds.
+const (
+	conCreate = iota
+	conEdge
+	conMember
+	conAgg
+)
+
+// conOp is one construction effect of one tuple, stored at
+// registration so unregistration is exactly symmetric even after the
+// deriving values left the data graph.
+type conOp struct {
+	kind int
+	name string // conCreate
+	edge conEdgeKey
+	mem  conMemKey
+	li   int
+	agg  aggGKey
+}
+
+// listKey identifies one per-label adjacency list of the output
+// graph.
+type listKey struct {
+	from  string
+	label string
+}
+
+// pending accumulates the structures an Apply touched; resolved into
+// graph edits by finishApply.
+type pending struct {
+	edges map[conEdgeKey]struct{}
+	mems  map[conMemKey]struct{}
+	aggs  map[*aggGroup]struct{}
+	names map[string]struct{}
+	lists map[listKey]struct{}
+	colls map[string]struct{}
+	oids  map[graph.OID]struct{}
+	// rowRefs maps each name to the rows whose reference to it changed
+	// this apply (registered, unregistered, or re-ranked) — the only
+	// rows that can move the name's construct rank.
+	rowRefs map[string]map[*mrow]struct{}
+}
+
+func (m *Materialized) beginApply() {
+	m.pend = &pending{
+		edges:   map[conEdgeKey]struct{}{},
+		mems:    map[conMemKey]struct{}{},
+		aggs:    map[*aggGroup]struct{}{},
+		names:   map[string]struct{}{},
+		lists:   map[listKey]struct{}{},
+		colls:   map[string]struct{}{},
+		oids:    map[graph.OID]struct{}{},
+		rowRefs: map[string]map[*mrow]struct{}{},
+	}
+}
+
+// noteRowRef records one changed (name, row) reference for the
+// incremental re-ranking.
+func (m *Materialized) noteRowRef(n string, r *mrow) {
+	if m.pend == nil {
+		return
+	}
+	set := m.pend.rowRefs[n]
+	if set == nil {
+		set = map[*mrow]struct{}{}
+		m.pend.rowRefs[n] = set
+	}
+	set[r] = struct{}{}
+}
+
+// checkConstructible validates the block's construction clauses
+// against what the replica can maintain. Links always leave Skolem
+// nodes (the evaluator rejects anything else as mutating an existing
+// object), so this only guards against queries a full run would have
+// rejected anyway.
+func (m *Materialized) checkConstructible(mb *matBlock) error {
+	for _, l := range mb.b.Links {
+		if l.From.Skolem == nil {
+			return fmt.Errorf("struql: differential: link %s from non-Skolem target", l)
+		}
+	}
+	return nil
+}
+
+// skolemName replicates the evaluator's Skolem key (the output-graph
+// node name serving as the memo table).
+func (m *Materialized) skolemName(t *SkolemTerm, e env) (string, error) {
+	args := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		v, ok := resolve(a, e)
+		if !ok {
+			return "", fmt.Errorf("struql: %s: variable %q unbound", t, a.Var)
+		}
+		args[i] = skolemArgKey(m.in, v)
+	}
+	return t.Func + "(" + strings.Join(args, ",") + ")", nil
+}
+
+func (m *Materialized) bumpRef(name string, d int) {
+	m.presRef[name] += d
+	if m.pend != nil {
+		m.pend.names[name] = struct{}{}
+	}
+}
+
+// registerRow mirrors construct() for one tuple into the replica.
+// During priming (prime=true) it only records state the full run
+// already materialized; afterwards support transitions schedule graph
+// edits.
+func (m *Materialized) registerRow(r *mrow, prime bool) error {
+	b := r.block.b
+	var cons []conOp
+	for ci := range b.Creates {
+		name, err := m.skolemName(&b.Creates[ci], r.env)
+		if err != nil {
+			return err
+		}
+		cons = append(cons, conOp{kind: conCreate, name: name})
+		m.bumpRef(name, 1)
+	}
+	for li := range b.Links {
+		l := &b.Links[li]
+		fromName, err := m.skolemName(l.From.Skolem, r.env)
+		if err != nil {
+			return err
+		}
+		m.bumpRef(fromName, 1)
+		var label string
+		if l.Label.Var != "" {
+			lv, ok := r.env[l.Label.Var]
+			if !ok {
+				return fmt.Errorf("struql: link %s: arc variable %q unbound", l, l.Label.Var)
+			}
+			label, _ = lv.AsString()
+		} else {
+			label = l.Label.Lit
+		}
+		if l.To.Agg != nil {
+			v, ok := r.env[l.To.Agg.Var]
+			if !ok {
+				return fmt.Errorf("struql: aggregate %s: variable %q unbound", l.To.Agg, l.To.Agg.Var)
+			}
+			gk := aggGKey{block: r.block.idx, li: li, from: fromName, label: label}
+			g := m.aggs[gk]
+			if g == nil {
+				g = &aggGroup{key: gk, op: l.To.Agg.Op, contribs: map[*mrow]graph.Value{}}
+				m.aggs[gk] = g
+			}
+			g.contribs[r] = v
+			if m.pend != nil {
+				m.pend.aggs[g] = struct{}{}
+			}
+			cons = append(cons, conOp{kind: conAgg, agg: gk})
+			continue
+		}
+		to, err := m.conTargetOf(l.To, r.env, true)
+		if err != nil {
+			return err
+		}
+		ek := conEdgeKey{from: fromName, label: label, to: to}
+		m.addSup(m.edges, ek, supTag{row: r, li: li}, prime)
+		if m.pend != nil {
+			m.pend.edges[ek] = struct{}{}
+		}
+		cons = append(cons, conOp{kind: conEdge, edge: ek, li: li})
+	}
+	for ci := range b.Collects {
+		c := &b.Collects[ci]
+		to, err := m.conTargetOf(c.Target, r.env, true)
+		if err != nil {
+			return err
+		}
+		mk := conMemKey{coll: c.Collection, to: to}
+		m.addSup(m.members, mk, supTag{row: r, li: len(b.Links) + ci}, prime)
+		if m.pend != nil {
+			m.pend.mems[mk] = struct{}{}
+		}
+		cons = append(cons, conOp{kind: conMember, mem: mk, li: len(b.Links) + ci})
+	}
+	r.cons = cons
+	m.linkRefs(r)
+	return nil
+}
+
+// eachConName visits every Skolem name one construction effect
+// references, in the order the sequential construct stage would touch
+// them (edge source before edge target).
+func eachConName(op conOp, f func(string)) {
+	switch op.kind {
+	case conCreate:
+		f(op.name)
+	case conEdge:
+		f(op.edge.from)
+		if op.edge.to.name != "" {
+			f(op.edge.to.name)
+		}
+	case conAgg:
+		f(op.agg.from)
+	case conMember:
+		if op.mem.to.name != "" {
+			f(op.mem.to.name)
+		}
+	}
+}
+
+// linkRefs / unlinkRefs maintain the name → referencing-rows index the
+// incremental renumbering needs.
+func (m *Materialized) linkRefs(r *mrow) {
+	for _, op := range r.cons {
+		eachConName(op, func(n string) {
+			set := m.refRows[n]
+			if set == nil {
+				set = map[*mrow]struct{}{}
+				m.refRows[n] = set
+			}
+			set[r] = struct{}{}
+			m.noteRowRef(n, r)
+		})
+	}
+}
+
+func (m *Materialized) unlinkRefs(r *mrow) {
+	for _, op := range r.cons {
+		eachConName(op, func(n string) {
+			if set := m.refRows[n]; set != nil {
+				delete(set, r)
+				if len(set) == 0 {
+					delete(m.refRows, n)
+				}
+			}
+			m.noteRowRef(n, r)
+		})
+	}
+}
+
+// conTargetOf resolves a link/collect target symbolically. Skolem
+// targets resolve by name (bumping the presence count when counted);
+// term targets copy the bound value.
+func (m *Materialized) conTargetOf(t LinkTarget, e env, count bool) (conTarget, error) {
+	if t.Skolem != nil {
+		name, err := m.skolemName(t.Skolem, e)
+		if err != nil {
+			return conTarget{}, err
+		}
+		if count {
+			m.bumpRef(name, 1)
+		}
+		return conTarget{name: name}, nil
+	}
+	v, ok := resolve(*t.Term, e)
+	if !ok {
+		return conTarget{}, fmt.Errorf("struql: variable %q unbound in construction clause", t.Term.Var)
+	}
+	return conTarget{val: v}, nil
+}
+
+func (m *Materialized) addSup(sups interface{}, key interface{}, tag supTag, prime bool) {
+	switch ss := sups.(type) {
+	case map[conEdgeKey]*supSet:
+		k := key.(conEdgeKey)
+		s := ss[k]
+		if s == nil {
+			s = &supSet{set: map[supTag]struct{}{}}
+			ss[k] = s
+		}
+		s.set[tag] = struct{}{}
+		if prime {
+			s.present = true
+		}
+	case map[conMemKey]*supSet:
+		k := key.(conMemKey)
+		s := ss[k]
+		if s == nil {
+			s = &supSet{set: map[supTag]struct{}{}}
+			ss[k] = s
+		}
+		s.set[tag] = struct{}{}
+		if prime {
+			s.present = true
+		}
+	}
+}
+
+// unregisterRow reverses registerRow from the stored effect list.
+func (m *Materialized) unregisterRow(r *mrow) {
+	m.unlinkRefs(r)
+	for _, op := range r.cons {
+		switch op.kind {
+		case conCreate:
+			m.bumpRef(op.name, -1)
+		case conEdge:
+			m.bumpRef(op.edge.from, -1)
+			if op.edge.to.name != "" {
+				m.bumpRef(op.edge.to.name, -1)
+			}
+			if s := m.edges[op.edge]; s != nil {
+				delete(s.set, supTag{row: r, li: op.li})
+				m.pend.edges[op.edge] = struct{}{}
+			}
+		case conMember:
+			if op.mem.to.name != "" {
+				m.bumpRef(op.mem.to.name, -1)
+			}
+			if s := m.members[op.mem]; s != nil {
+				delete(s.set, supTag{row: r, li: op.li})
+				m.pend.mems[op.mem] = struct{}{}
+			}
+		case conAgg:
+			m.bumpRef(op.agg.from, -1)
+			if g := m.aggs[op.agg]; g != nil {
+				delete(g.contribs, r)
+				m.pend.aggs[g] = struct{}{}
+			}
+		}
+	}
+	r.cons = nil
+}
+
+// markRowOrderDirty flags every output list a tuple contributes to:
+// its rank changed, so those lists may need their order restored. The
+// names it references are flagged too — a rank move can shift which
+// row references a node first, i.e. the node's construct position.
+func (m *Materialized) markRowOrderDirty(r *mrow) {
+	if m.pend == nil {
+		return
+	}
+	for _, op := range r.cons {
+		eachConName(op, func(n string) { m.noteRowRef(n, r) })
+		switch op.kind {
+		case conEdge:
+			m.pend.lists[listKey{from: op.edge.from, label: op.edge.label}] = struct{}{}
+		case conMember:
+			m.pend.colls[op.mem.coll] = struct{}{}
+		case conAgg:
+			if g := m.aggs[op.agg]; g != nil {
+				m.pend.aggs[g] = struct{}{}
+			}
+		}
+	}
+}
+
+// primeFinish reconstructs the aggregate groups' current values and
+// their support tags after priming. No graph writes: the full run
+// already emitted these edges.
+func (m *Materialized) primeFinish() error {
+	for _, g := range m.aggs {
+		val, err := m.aggValue(g)
+		if err != nil {
+			return err
+		}
+		g.cur, g.has = val, true
+		ek := conEdgeKey{from: g.key.from, label: g.key.label, to: valueTarget(m.out, val)}
+		m.addSup(m.edges, ek, supTag{agg: g}, true)
+	}
+	return nil
+}
+
+// valueTarget wraps an aggregate value as a conTarget. Aggregate
+// values are atoms, but route node values through the name mapping
+// for symmetry.
+func valueTarget(out *graph.Graph, v graph.Value) conTarget {
+	if v.IsNode() {
+		if n := out.NodeName(v.OID()); n != "" {
+			return conTarget{name: n}
+		}
+	}
+	return conTarget{val: v}
+}
+
+// aggValue recomputes a group: contributions in tuple-rank order,
+// first-seen distinct values, then the aggregate — exactly the
+// sequential accumulator's semantics.
+func (m *Materialized) aggValue(g *aggGroup) (graph.Value, error) {
+	rows := make([]*mrow, 0, len(g.contribs))
+	for r := range g.contribs {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return sortLess(rows[i].sort, rows[j].sort) })
+	seen := map[graph.Value]struct{}{}
+	vals := make([]graph.Value, 0, len(rows))
+	for _, r := range rows {
+		v := g.contribs[r]
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			vals = append(vals, v)
+		}
+	}
+	return Aggregate(g.op, vals)
+}
+
+// finishApply turns the pending support transitions into output-graph
+// edits, then restores page-visible order, in a fixed sequence: node
+// creations, aggregate moves, structure removals, structure
+// additions, node removals, order repair. The sequence guarantees
+// every edit's endpoints exist when the edit runs.
+func (m *Materialized) finishApply(st *MatStats) error {
+	p := m.pend
+	// 1. Nodes whose presence count rose from zero.
+	names := make([]string, 0, len(p.names))
+	for n := range p.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if m.presRef[n] > 0 {
+			if _, ok := m.out.NodeByName(n); !ok {
+				id := m.out.NewNode(n)
+				p.oids[id] = struct{}{}
+			}
+		}
+	}
+	// 2. Aggregate groups: recompute touched groups, moving their edge
+	// support when the value changed.
+	for g := range p.aggs {
+		oldKey := conEdgeKey{from: g.key.from, label: g.key.label, to: valueTarget(m.out, g.cur)}
+		if len(g.contribs) == 0 {
+			if g.has {
+				if s := m.edges[oldKey]; s != nil {
+					delete(s.set, supTag{agg: g})
+					p.edges[oldKey] = struct{}{}
+				}
+			}
+			delete(m.aggs, g.key)
+			p.lists[listKey{from: g.key.from, label: g.key.label}] = struct{}{}
+			continue
+		}
+		val, err := m.aggValue(g)
+		if err != nil {
+			return err
+		}
+		if !g.has || val != g.cur {
+			if g.has {
+				if s := m.edges[oldKey]; s != nil {
+					delete(s.set, supTag{agg: g})
+					p.edges[oldKey] = struct{}{}
+				}
+			}
+			nk := conEdgeKey{from: g.key.from, label: g.key.label, to: valueTarget(m.out, val)}
+			m.addSup(m.edges, nk, supTag{agg: g}, false)
+			p.edges[nk] = struct{}{}
+			g.cur, g.has = val, true
+		}
+		// Rank may have moved even when the value did not.
+		p.lists[listKey{from: g.key.from, label: g.key.label}] = struct{}{}
+	}
+	// 3+4. Edges and memberships whose support crossed zero. Removals
+	// run before additions; list repair normalizes insertion order.
+	// shadows collects node-valued targets that removals may orphan: a
+	// from-scratch build only holds an unnamed data-node entry in the
+	// output graph while something references it, so orphans must go
+	// for the graphs to stay byte-identical.
+	shadows := map[graph.OID]struct{}{}
+	for ek, s := range edgesTouched(p.edges, m.edges) {
+		want := len(s.set) > 0
+		if want == s.present {
+			if !want {
+				delete(m.edges, ek)
+			}
+			continue
+		}
+		fromID, ok := m.out.NodeByName(ek.from)
+		if !ok {
+			return fmt.Errorf("struql: differential: source node %q missing", ek.from)
+		}
+		to, err := m.resolveTargetValue(ek.to)
+		if err != nil {
+			return err
+		}
+		if want {
+			if err := m.out.AddEdge(fromID, ek.label, to); err != nil {
+				return err
+			}
+		} else {
+			m.out.RemoveEdge(fromID, ek.label, to)
+			delete(m.edges, ek)
+			if to.IsNode() {
+				shadows[to.OID()] = struct{}{}
+			}
+		}
+		s.present = want
+		p.lists[listKey{from: ek.from, label: ek.label}] = struct{}{}
+		p.oids[fromID] = struct{}{}
+	}
+	for mk, s := range memsTouched(p.mems, m.members) {
+		want := len(s.set) > 0
+		if want == s.present {
+			if !want {
+				delete(m.members, mk)
+			}
+			continue
+		}
+		to, err := m.resolveTargetValue(mk.to)
+		if err != nil {
+			return err
+		}
+		if want {
+			m.out.AddToCollection(mk.coll, to)
+		} else {
+			m.out.RemoveFromCollection(mk.coll, to)
+			delete(m.members, mk)
+			if to.IsNode() {
+				shadows[to.OID()] = struct{}{}
+			}
+		}
+		s.present = want
+		p.colls[mk.coll] = struct{}{}
+		if to.IsNode() {
+			p.oids[to.OID()] = struct{}{}
+		}
+	}
+	// 5. Nodes whose presence count fell to zero.
+	for _, n := range names {
+		if m.presRef[n] <= 0 {
+			delete(m.presRef, n)
+			if id, ok := m.out.NodeByName(n); ok {
+				p.oids[id] = struct{}{}
+				for _, e := range m.out.Out(id) {
+					if e.To.IsNode() {
+						shadows[e.To.OID()] = struct{}{}
+					}
+				}
+				m.out.RemoveNode(id)
+			}
+		}
+	}
+	// 5b. Garbage-collect orphaned shadow entries (unnamed, edgeless,
+	// in no collection). Not page-visible, so not Touched.
+	m.collectShadows(shadows)
+	// 5c. A from-scratch run instantiates each node at its first
+	// reference, so a node's enumeration position can shift whenever the
+	// derivation set changes: a new node gets an OID past every retained
+	// one, and adding or removing a tuple can move which row references
+	// a surviving node first. Renumber whenever the computed construct
+	// order no longer matches the current OID order.
+	if err := m.renumberOutput(p, st); err != nil {
+		return err
+	}
+	// 6. Order repair: per-label adjacency lists and collections are
+	// re-sorted by the minimum from-scratch rank of each element's
+	// surviving derivations.
+	for lk := range p.lists {
+		fromID, ok := m.out.NodeByName(lk.from)
+		if !ok {
+			continue // node removed; nothing to repair
+		}
+		vals := m.out.OutLabel(fromID, lk.label)
+		if len(vals) < 2 {
+			continue
+		}
+		ranked := m.rankValues(vals, func(v graph.Value) []uint64 {
+			s := m.edges[conEdgeKey{from: lk.from, label: lk.label, to: valueTarget(m.out, v)}]
+			return minRank(s)
+		})
+		if m.out.SetLabelOrder(fromID, lk.label, ranked) {
+			st.ListsRepaired++
+			p.oids[fromID] = struct{}{}
+		}
+	}
+	for coll := range p.colls {
+		vals := m.out.Collection(coll)
+		if len(vals) < 2 {
+			continue
+		}
+		ranked := m.rankValues(vals, func(v graph.Value) []uint64 {
+			s := m.members[conMemKey{coll: coll, to: valueTarget(m.out, v)}]
+			return minRank(s)
+		})
+		if m.out.SetMemberOrder(coll, ranked) {
+			st.ListsRepaired++
+		}
+	}
+	// Touched output nodes, for selective regeneration.
+	st.Touched = make([]graph.OID, 0, len(p.oids))
+	for id := range p.oids {
+		st.Touched = append(st.Touched, id)
+	}
+	sort.Slice(st.Touched, func(i, j int) bool { return st.Touched[i] < st.Touched[j] })
+	m.pend = nil
+	return nil
+}
+
+// rowNameRank is the rank at which one tuple first references a name:
+// the tuple's from-scratch rank extended by the position of its first
+// effect touching the name. The sequential construct stage
+// instantiates a node at exactly that point.
+func (m *Materialized) rowNameRank(r *mrow, name string) []uint64 {
+	for o, op := range r.cons {
+		sub := -1
+		switch op.kind {
+		case conCreate:
+			if op.name == name {
+				sub = 0
+			}
+		case conEdge:
+			if op.edge.from == name {
+				sub = 0
+			} else if op.edge.to.name == name {
+				sub = 1
+			}
+		case conAgg:
+			// The from node is always created by an earlier clause (a
+			// bare aggregate source is rejected at eval time).
+			if op.agg.from == name {
+				sub = 0
+			}
+		case conMember:
+			if op.mem.to.name == name {
+				sub = 0
+			}
+		}
+		if sub >= 0 {
+			k := make([]uint64, 0, len(r.sort)+4)
+			k = append(k, uint64(r.block.idx), 0)
+			k = append(k, r.sort...)
+			return append(k, uint64(o), uint64(sub))
+		}
+	}
+	return nil
+}
+
+// nameRankOf is a name's construct rank: the minimum rowNameRank over
+// the live tuples referencing it (and the tuple achieving it), nil
+// when nothing references it.
+func (m *Materialized) nameRankOf(name string) ([]uint64, *mrow) {
+	var best []uint64
+	var row *mrow
+	for r := range m.refRows[name] {
+		if k := m.rowNameRank(r, name); k != nil && (best == nil || sortLess(k, best)) {
+			best, row = k, r
+		}
+	}
+	return best, row
+}
+
+// primeOrder computes every name's construct rank after priming and
+// records the construct order. A full build emits named nodes in this
+// exact order, so the OID invariant should hold from the start; if it
+// does not, the first apply re-checks in full.
+func (m *Materialized) primeOrder() error {
+	m.order = m.order[:0]
+	for n := range m.refRows {
+		if k, r := m.nameRankOf(n); k != nil {
+			m.rank[n] = k
+			m.rankRow[n] = r
+			m.order = append(m.order, n)
+		}
+	}
+	sort.Slice(m.order, func(i, j int) bool {
+		return sortLess(m.rank[m.order[i]], m.rank[m.order[j]])
+	})
+	ordered, err := m.orderMatchesOIDs()
+	if err != nil {
+		return err
+	}
+	m.ordDirty = !ordered
+	return nil
+}
+
+// orderMatchesOIDs reports whether the live OIDs enumerate in
+// construct-rank order.
+func (m *Materialized) orderMatchesOIDs() (bool, error) {
+	var last graph.OID
+	for i, n := range m.order {
+		id, ok := m.out.NodeByName(n)
+		if !ok {
+			return false, fmt.Errorf("struql: differential: node %q missing during order check", n)
+		}
+		if i > 0 && id <= last {
+			return false, nil
+		}
+		last = id
+	}
+	return true, nil
+}
+
+func rankEq(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// orderPos finds the index holding the given rank (ranks are distinct
+// and m.order is rank-sorted).
+func (m *Materialized) orderPos(rank []uint64) int {
+	return sort.Search(len(m.order), func(i int) bool {
+		return !sortLess(m.rank[m.order[i]], rank)
+	})
+}
+
+func (m *Materialized) orderRemove(n string, rank []uint64) error {
+	i := m.orderPos(rank)
+	if i >= len(m.order) || m.order[i] != n {
+		return fmt.Errorf("struql: differential: construct order lost track of %q", n)
+	}
+	m.order = append(m.order[:i], m.order[i+1:]...)
+	return nil
+}
+
+func (m *Materialized) orderInsert(n string, rank []uint64) {
+	i := sort.Search(len(m.order), func(i int) bool {
+		return sortLess(rank, m.rank[m.order[i]])
+	})
+	m.order = append(m.order, "")
+	copy(m.order[i+1:], m.order[i:])
+	m.order[i] = n
+}
+
+// neighborsOrdered reports whether a name's OID sits between its
+// construct-order neighbors' OIDs — the local slice of the global
+// invariant, sufficient because everything else kept both its rank and
+// its OID.
+func (m *Materialized) neighborsOrdered(n string) (bool, error) {
+	rank, ok := m.rank[n]
+	if !ok {
+		return true, nil
+	}
+	i := m.orderPos(rank)
+	if i >= len(m.order) || m.order[i] != n {
+		return false, fmt.Errorf("struql: differential: construct order lost track of %q", n)
+	}
+	id, ok := m.out.NodeByName(n)
+	if !ok {
+		return false, fmt.Errorf("struql: differential: node %q missing during renumber", n)
+	}
+	if i > 0 {
+		pid, ok := m.out.NodeByName(m.order[i-1])
+		if !ok {
+			return false, fmt.Errorf("struql: differential: node %q missing during renumber", m.order[i-1])
+		}
+		if pid >= id {
+			return false, nil
+		}
+	}
+	if i+1 < len(m.order) {
+		nid, ok := m.out.NodeByName(m.order[i+1])
+		if !ok {
+			return false, fmt.Errorf("struql: differential: node %q missing during renumber", m.order[i+1])
+		}
+		if id >= nid {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// reRank recomputes one name's construct rank given the rows whose
+// reference to it changed this apply. While the row that achieved the
+// previous minimum is untouched, the minimum can only improve, so
+// min(old, changed rows) settles it in O(changed) — crucial for hub
+// names (a root page every tuple links from) whose full reference set
+// is the whole relation. Only when the minimum's own row was dropped
+// or re-ranked does the full set need a scan.
+func (m *Materialized) reRank(n string, chg map[*mrow]struct{}) ([]uint64, *mrow) {
+	oldRank, had := m.rank[n]
+	if !had {
+		// New name: every referencing row registered this apply, so the
+		// full set is the changed set.
+		return m.nameRankOf(n)
+	}
+	minRow := m.rankRow[n]
+	if _, touched := chg[minRow]; touched || minRow == nil || minRow.dead {
+		return m.nameRankOf(n)
+	}
+	best, row := oldRank, minRow
+	for r := range chg {
+		if r.dead {
+			continue
+		}
+		if _, still := m.refRows[n][r]; !still {
+			continue
+		}
+		if k := m.rowNameRank(r, n); k != nil && sortLess(k, best) {
+			best, row = k, r
+		}
+	}
+	return best, row
+}
+
+// renumberOutput keeps output-graph OIDs enumerating in from-scratch
+// construction order without recomputing every row's rank: only the
+// names the apply touched (p.names covers every name whose reference
+// set, or a referencing row's rank, changed) are re-ranked and
+// repositioned in the maintained construct order, and the graph is
+// renumbered only when a repositioned name's OID falls out of line
+// with its neighbors'. Touched OIDs in p are remapped in place.
+func (m *Materialized) renumberOutput(p *pending, st *MatStats) error {
+	if len(p.rowRefs) == 0 && !m.ordDirty {
+		return nil
+	}
+	names := make([]string, 0, len(p.rowRefs))
+	for n := range p.rowRefs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var moved []string
+	for _, n := range names {
+		newRank, newRow := m.reRank(n, p.rowRefs[n])
+		oldRank, had := m.rank[n]
+		switch {
+		case newRank == nil && !had:
+			continue
+		case newRank == nil:
+			if err := m.orderRemove(n, oldRank); err != nil {
+				return err
+			}
+			delete(m.rank, n)
+			delete(m.rankRow, n)
+		case !had:
+			m.rank[n], m.rankRow[n] = newRank, newRow
+			m.orderInsert(n, newRank)
+			moved = append(moved, n)
+		case rankEq(oldRank, newRank):
+			m.rankRow[n] = newRow
+			continue
+		default:
+			if err := m.orderRemove(n, oldRank); err != nil {
+				return err
+			}
+			m.rank[n], m.rankRow[n] = newRank, newRow
+			m.orderInsert(n, newRank)
+			moved = append(moved, n)
+		}
+	}
+	violated := false
+	if m.ordDirty {
+		ok, err := m.orderMatchesOIDs()
+		if err != nil {
+			return err
+		}
+		violated = !ok
+		m.ordDirty = false
+	}
+	if !violated {
+		for _, n := range moved {
+			ok, err := m.neighborsOrdered(n)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				violated = true
+				break
+			}
+		}
+	}
+	if !violated {
+		return nil
+	}
+	mapping := m.out.RenumberNodes(m.order)
+	if mapping == nil {
+		return fmt.Errorf("struql: differential: renumbering failed (node set out of sync)")
+	}
+	st.Renumbered = true
+	oids := make(map[graph.OID]struct{}, len(p.oids))
+	for id := range p.oids {
+		if n, ok := mapping[id]; ok {
+			oids[n] = struct{}{}
+		} else {
+			oids[id] = struct{}{}
+		}
+	}
+	p.oids = oids
+	return nil
+}
+
+// collectShadows removes candidate output-graph nodes that nothing
+// references anymore: unnamed edge-target shadows a scratch build
+// would never have materialized.
+func (m *Materialized) collectShadows(cands map[graph.OID]struct{}) {
+	for id := range cands {
+		if m.out.NodeName(id) != "" {
+			continue // a real (Skolem) node; presRef owns its lifetime
+		}
+		if len(m.out.Out(id)) > 0 || len(m.out.In(id)) > 0 {
+			continue
+		}
+		member := false
+		for _, c := range m.out.Collections() {
+			if m.out.InCollection(c, graph.NodeValue(id)) {
+				member = true
+				break
+			}
+		}
+		if member {
+			continue
+		}
+		m.out.RemoveNode(id)
+	}
+}
+
+// edgesTouched / memsTouched narrow the support maps to the touched
+// keys (dropping keys whose support vanished entirely before the
+// supSet was created — impossible, but nil-safe).
+func edgesTouched(keys map[conEdgeKey]struct{}, all map[conEdgeKey]*supSet) map[conEdgeKey]*supSet {
+	out := make(map[conEdgeKey]*supSet, len(keys))
+	for k := range keys {
+		if s := all[k]; s != nil {
+			out[k] = s
+		}
+	}
+	return out
+}
+
+func memsTouched(keys map[conMemKey]struct{}, all map[conMemKey]*supSet) map[conMemKey]*supSet {
+	out := make(map[conMemKey]*supSet, len(keys))
+	for k := range keys {
+		if s := all[k]; s != nil {
+			out[k] = s
+		}
+	}
+	return out
+}
+
+// resolveTargetValue turns a symbolic target into a concrete value
+// against the live output graph.
+func (m *Materialized) resolveTargetValue(t conTarget) (graph.Value, error) {
+	if t.name == "" {
+		return t.val, nil
+	}
+	id, ok := m.out.NodeByName(t.name)
+	if !ok {
+		return graph.Value{}, fmt.Errorf("struql: differential: node %q missing", t.name)
+	}
+	return graph.NodeValue(id), nil
+}
+
+// minRank is the smallest rank among a structure's derivations; nil
+// (sorted last, order preserved) when unsupported.
+func minRank(s *supSet) []uint64 {
+	if s == nil {
+		return nil
+	}
+	var best []uint64
+	for t := range s.set {
+		r := tagRank(t)
+		if best == nil || sortLess(r, best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// tagRank is a derivation's from-scratch emission rank: block index,
+// then phase (row clauses before aggregate flush), then the tuple's
+// rank, then the clause index.
+func tagRank(t supTag) []uint64 {
+	if t.agg != nil {
+		return t.agg.rank()
+	}
+	r := t.row
+	k := make([]uint64, 0, len(r.sort)+3)
+	k = append(k, uint64(r.block.idx), 0)
+	k = append(k, r.sort...)
+	k = append(k, uint64(t.li))
+	return k
+}
+
+// rankValues stably sorts values by their ranks (nil ranks last, in
+// current order).
+func (m *Materialized) rankValues(vals []graph.Value, rank func(graph.Value) []uint64) []graph.Value {
+	type rv struct {
+		v graph.Value
+		r []uint64
+	}
+	rvs := make([]rv, len(vals))
+	for i, v := range vals {
+		rvs[i] = rv{v: v, r: rank(v)}
+	}
+	sort.SliceStable(rvs, func(i, j int) bool {
+		a, b := rvs[i].r, rvs[j].r
+		if a == nil || b == nil {
+			return b == nil && a != nil
+		}
+		return sortLess(a, b)
+	})
+	out := make([]graph.Value, len(rvs))
+	for i, x := range rvs {
+		out[i] = x.v
+	}
+	return out
+}

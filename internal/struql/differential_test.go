@@ -1,0 +1,360 @@
+package struql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"strudel/internal/graph"
+)
+
+// diffHarness primes a Materialized over queries and cross-checks
+// every Apply against a from-scratch evaluation: output graphs must
+// agree on all page-visible state (node names, per-label adjacency
+// order, collection order) and the maintained binding relations must
+// match a fresh prime tuple-for-tuple in from-scratch order.
+type diffHarness struct {
+	t       *testing.T
+	g       *graph.Graph
+	queries []*Query
+	reg     *Registry
+	mat     *Materialized
+	log     *graph.ChangeLog
+}
+
+func newDiffHarness(t *testing.T, g *graph.Graph, reg *Registry, srcs ...string) *diffHarness {
+	t.Helper()
+	h := &diffHarness{t: t, g: g, reg: reg}
+	for _, s := range srcs {
+		h.queries = append(h.queries, MustParse(s))
+	}
+	out := g.NewSibling("site")
+	caps := make([]*Capture, len(h.queries))
+	for i, q := range h.queries {
+		caps[i] = NewCapture()
+		if _, err := Eval(q, g, &Options{Output: out, Capture: caps[i], Workers: 1, Registry: reg}); err != nil {
+			t.Fatalf("prime eval: %v", err)
+		}
+	}
+	mat, err := NewMaterialized(h.queries, g, out, reg, caps, 0)
+	if err != nil {
+		t.Fatalf("NewMaterialized: %v", err)
+	}
+	h.mat = mat
+	h.log = graph.NewChangeLog()
+	g.Watch(h.log)
+	return h
+}
+
+// apply drains the journal, applies it differentially, and verifies
+// against from-scratch evaluation.
+func (h *diffHarness) apply() *MatStats {
+	h.t.Helper()
+	ops, ok := h.log.Take()
+	if !ok {
+		h.t.Fatal("change log overflowed")
+	}
+	st, err := h.mat.Apply(ops)
+	if err != nil {
+		h.t.Fatalf("Apply: %v", err)
+	}
+	h.verify()
+	return st
+}
+
+func (h *diffHarness) verify() {
+	h.t.Helper()
+	ref := h.g.NewSibling("ref")
+	caps := make([]*Capture, len(h.queries))
+	for i, q := range h.queries {
+		caps[i] = NewCapture()
+		if _, err := Eval(q, h.g, &Options{Output: ref, Capture: caps[i], Workers: 1, Registry: h.reg}); err != nil {
+			h.t.Fatalf("reference eval: %v", err)
+		}
+	}
+	if got, want := graphFingerprint(h.mat.Output()), graphFingerprint(ref); got != want {
+		h.t.Fatalf("maintained graph diverges from from-scratch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	refMat, err := NewMaterialized(h.queries, h.g, ref, h.reg, caps, 0)
+	if err != nil {
+		h.t.Fatalf("reference prime: %v", err)
+	}
+	got, want := h.mat.BindingDump(), refMat.BindingDump()
+	for idx, wrows := range want {
+		grows := got[idx]
+		if fmt.Sprint(grows) != fmt.Sprint(wrows) {
+			h.t.Fatalf("block %d binding relation diverges:\n got %v\nwant %v", idx, grows, wrows)
+		}
+	}
+}
+
+// graphFingerprint renders page-visible graph state: the named node
+// set, each node's per-label target order (output nodes by name), and
+// each collection's member order.
+func graphFingerprint(g *graph.Graph) string {
+	render := func(v graph.Value) string {
+		if v.IsNode() {
+			if n := g.NodeName(v.OID()); n != "" {
+				return "@" + n
+			}
+		}
+		return v.String()
+	}
+	var names []string
+	for _, id := range g.Nodes() {
+		if n := g.NodeName(id); n != "" {
+			names = append(names, n)
+		}
+		// Unnamed nodes are edge-target shadows with no outgoing
+		// structure; they are invisible to page generation.
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "nodes=%d\n", len(names))
+	for _, n := range names {
+		id, _ := g.NodeByName(n)
+		labels := map[string]bool{}
+		for _, e := range g.Out(id) {
+			labels[e.Label] = true
+		}
+		var ll []string
+		for l := range labels {
+			ll = append(ll, l)
+		}
+		sort.Strings(ll)
+		fmt.Fprintf(&sb, "%s:\n", n)
+		for _, l := range ll {
+			parts := []string{}
+			for _, v := range g.OutLabel(id, l) {
+				parts = append(parts, render(v))
+			}
+			fmt.Fprintf(&sb, "  %s -> %s\n", l, strings.Join(parts, ", "))
+		}
+	}
+	colls := g.Collections()
+	sort.Strings(colls)
+	for _, c := range colls {
+		parts := []string{}
+		for _, v := range g.Collection(c) {
+			parts = append(parts, render(v))
+		}
+		fmt.Fprintf(&sb, "coll %s: %s\n", c, strings.Join(parts, ", "))
+	}
+	return sb.String()
+}
+
+func TestDifferentialFig3EditScript(t *testing.T) {
+	g := fig2Graph(t)
+	h := newDiffHarness(t, g, nil, fig3)
+
+	pub1, _ := g.NodeByName("pub1")
+	pub2, _ := g.NodeByName("pub2")
+
+	// Retitle: remove + re-add an attribute edge.
+	g.RemoveEdge(pub1, "title", graph.Str("Specifying Representations..."))
+	g.AddEdge(pub1, "title", graph.Str("Specifying Representations, 2nd ed."))
+	st := h.apply()
+	if st.RowsAdded == 0 || st.RowsRemoved == 0 {
+		t.Errorf("retitle: stats = %+v, want both adds and removes", st)
+	}
+
+	// Shared category page gains a paper.
+	g.AddEdge(pub2, "category", graph.Str("Architecture Specifications"))
+	h.apply()
+
+	// A brand-new publication: node, membership, attributes.
+	pub3 := g.NewNode("pub3")
+	g.AddToCollection("Publications", graph.NodeValue(pub3))
+	g.AddEdge(pub3, "title", graph.Str("A Third Paper"))
+	g.AddEdge(pub3, "year", graph.Int(1997))
+	g.AddEdge(pub3, "category", graph.Str("Semistructured Data"))
+	h.apply()
+
+	// Remove a publication from the collection: its pages vanish.
+	g.RemoveFromCollection("Publications", graph.NodeValue(pub2))
+	h.apply()
+
+	// Delete a node outright: the journal carries the cascade.
+	g.RemoveNode(pub3)
+	h.apply()
+
+	// Reinstate pub2; its pages come back, ordered after the
+	// retained pub1 pages (its membership is now the newest).
+	g.AddToCollection("Publications", graph.NodeValue(pub2))
+	h.apply()
+}
+
+func TestDifferentialDeleteThenReinsertSameEdge(t *testing.T) {
+	g := fig2Graph(t)
+	h := newDiffHarness(t, g, nil, fig3)
+	pub1, _ := g.NodeByName("pub1")
+	title := graph.Str("Specifying Representations...")
+
+	// Same edge out and back in within ONE batch: the tuple survives
+	// the recheck but its derivation rank moves to the list tail.
+	g.RemoveEdge(pub1, "title", title)
+	g.AddEdge(pub1, "title", title)
+	st := h.apply()
+	if st.RowsRechecked == 0 {
+		t.Errorf("delete+reinsert: no rows rechecked: %+v", st)
+	}
+
+	// And across two batches.
+	g.RemoveEdge(pub1, "year", graph.Int(1997))
+	h.apply()
+	g.AddEdge(pub1, "year", graph.Int(1997))
+	h.apply()
+}
+
+func TestDifferentialEmptyThenRepopulate(t *testing.T) {
+	g := fig2Graph(t)
+	h := newDiffHarness(t, g, nil, fig3)
+	pub1, _ := g.NodeByName("pub1")
+	pub2, _ := g.NodeByName("pub2")
+
+	// Empty the driving block completely: every derived page must be
+	// withdrawn (only the unconditional root/abstracts pages remain).
+	g.RemoveFromCollection("Publications", graph.NodeValue(pub1))
+	g.RemoveFromCollection("Publications", graph.NodeValue(pub2))
+	st := h.apply()
+	if st.RowsAdded != 0 || st.RowsRemoved == 0 {
+		t.Errorf("empty: stats = %+v", st)
+	}
+	if _, ok := h.mat.Output().NodeByName("PaperPresentation(pub1)"); ok {
+		t.Error("PaperPresentation(pub1) survived an empty block")
+	}
+
+	// Repopulate in reverse order: pages reappear, ordered pub2-first.
+	g.AddToCollection("Publications", graph.NodeValue(pub2))
+	g.AddToCollection("Publications", graph.NodeValue(pub1))
+	st = h.apply()
+	if st.RowsAdded == 0 {
+		t.Errorf("repopulate: stats = %+v", st)
+	}
+}
+
+func TestDifferentialCyclicPathFrontier(t *testing.T) {
+	// A cyclic path expression: the NFA frontier revisits deleted
+	// nodes. Path blocks fall back to a full re-bind when a relevant
+	// label changes; correctness over the cycle is what matters.
+	g := graph.New("cyc")
+	a, b, c := g.NewNode("a"), g.NewNode("b"), g.NewNode("c")
+	g.AddEdge(a, "next", graph.NodeValue(b))
+	g.AddEdge(b, "next", graph.NodeValue(c))
+	g.AddEdge(c, "next", graph.NodeValue(a))
+	g.AddEdge(a, "tag", graph.Str("start"))
+	g.AddToCollection("Roots", graph.NodeValue(a))
+
+	h := newDiffHarness(t, g, nil, `
+WHERE Roots(r), r -> ("next")* -> x
+CREATE Page(x)
+LINK Page(x) -> "of" -> x
+COLLECT Pages(Page(x))`)
+	modes := h.mat.BlockModes()
+	if modes[0].Mode != "fallback" {
+		t.Fatalf("path block mode = %+v, want fallback", modes[0])
+	}
+
+	// Sever the cycle: c and a's self-reach survive, b..c unreachable
+	// pages are withdrawn.
+	g.RemoveEdge(a, "next", graph.NodeValue(b))
+	h.apply()
+
+	// Delete a node on the (former) cycle and re-close it elsewhere:
+	// the frontier would revisit the deleted node.
+	g.RemoveNode(b)
+	g.AddEdge(a, "next", graph.NodeValue(c))
+	h.apply()
+
+	// Unrelated-label edit: the frontier test prunes the re-bind.
+	g.AddEdge(c, "color", graph.Str("red"))
+	st := h.apply()
+	if st.BlocksRebound != 0 {
+		t.Errorf("unrelated label forced %d rebinds, want 0", st.BlocksRebound)
+	}
+}
+
+func TestDifferentialDuplicateDerivations(t *testing.T) {
+	// One binding tuple with two derivations (an Any-label condition
+	// matched by two parallel edges): deleting one derivation must
+	// keep the tuple, deleting both must remove it.
+	g := graph.New("dup")
+	x := g.NewNode("x")
+	g.AddEdge(x, "alpha", graph.Str("v"))
+	g.AddEdge(x, "beta", graph.Str("v"))
+	g.AddToCollection("Objs", graph.NodeValue(x))
+
+	h := newDiffHarness(t, g, nil, `
+WHERE Objs(o), o -> _ -> w
+CREATE Page(o)
+LINK Page(o) -> "val" -> w`)
+
+	g.RemoveEdge(x, "alpha", graph.Str("v"))
+	st := h.apply()
+	if st.RowsRemoved != 0 {
+		t.Errorf("first derivation removed the tuple: %+v", st)
+	}
+	if _, ok := h.mat.Output().NodeByName("Page(x)"); !ok {
+		t.Fatal("Page(x) gone while a derivation remains")
+	}
+
+	g.RemoveEdge(x, "beta", graph.Str("v"))
+	st = h.apply()
+	if st.RowsRemoved == 0 {
+		t.Errorf("last derivation did not remove the tuple: %+v", st)
+	}
+	if _, ok := h.mat.Output().NodeByName("Page(x)"); ok {
+		t.Fatal("Page(x) survived with zero derivations")
+	}
+}
+
+func TestDifferentialAggregates(t *testing.T) {
+	g := graph.New("agg")
+	mk := func(name string, year int64, cites int64) graph.OID {
+		n := g.NewNode(name)
+		g.AddEdge(n, "year", graph.Int(year))
+		g.AddEdge(n, "cites", graph.Int(cites))
+		g.AddToCollection("Papers", graph.NodeValue(n))
+		return n
+	}
+	p1 := mk("p1", 1997, 10)
+	mk("p2", 1997, 4)
+	mk("p3", 1998, 6)
+
+	h := newDiffHarness(t, g, nil, `
+WHERE Papers(p), p -> "year" -> y, p -> "cites" -> c
+CREATE YearPage(y)
+LINK YearPage(y) -> "papers" -> COUNT(p),
+     YearPage(y) -> "cites" -> SUM(c)`)
+
+	// Shift a paper across groups: one COUNT falls, another rises.
+	g.RemoveEdge(p1, "year", graph.Int(1997))
+	g.AddEdge(p1, "year", graph.Int(1998))
+	h.apply()
+
+	// Empty a group entirely: its page disappears.
+	g.RemoveFromCollection("Papers", graph.NodeValue(p1))
+	p3, _ := g.NodeByName("p3")
+	g.RemoveFromCollection("Papers", graph.NodeValue(p3))
+	h.apply()
+	if _, ok := h.mat.Output().NodeByName("YearPage(1998)"); ok {
+		t.Error("YearPage(1998) survived an empty aggregate group")
+	}
+}
+
+func TestDifferentialInvalidation(t *testing.T) {
+	g := fig2Graph(t)
+	h := newDiffHarness(t, g, nil, fig3)
+
+	// A new collection changes the plan space: the materialization
+	// must refuse the batch and invalidate itself.
+	g.DeclareCollection("Brand-New")
+	ops, _ := h.log.Take()
+	if _, err := h.mat.Apply(ops); err == nil {
+		t.Fatal("Apply accepted a new-collection op")
+	}
+	if h.mat.Valid() {
+		t.Fatal("materialization still valid after new collection")
+	}
+}

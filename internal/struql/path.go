@@ -2,6 +2,7 @@ package struql
 
 import (
 	"fmt"
+	"sort"
 
 	"strudel/internal/graph"
 )
@@ -147,11 +148,13 @@ func (n *nfa) reach(g *graph.Graph, src graph.Value) []graph.Value {
 	accepted := map[graph.Value]struct{}{}
 	var order []graph.Value
 
-	// Seed with the epsilon closure of the start state at src.
+	// Seed with the epsilon closure of the start state at src. States
+	// are enqueued in sorted order so the acceptance order — and with it
+	// the order of downstream bindings — is deterministic across runs.
 	startSet := map[int]struct{}{n.start: {}}
 	n.closure(startSet)
 	queue := make([]pair, 0, len(startSet))
-	for s := range startSet {
+	for _, s := range sortedStates(startSet) {
 		p := pair{src, s}
 		visited[p] = struct{}{}
 		queue = append(queue, p)
@@ -178,7 +181,7 @@ func (n *nfa) reach(g *graph.Graph, src graph.Value) []graph.Value {
 				}
 				next := map[int]struct{}{tr.to: {}}
 				n.closure(next)
-				for s := range next {
+				for _, s := range sortedStates(next) {
 					np := pair{e.To, s}
 					if _, seen := visited[np]; !seen {
 						visited[np] = struct{}{}
@@ -190,6 +193,16 @@ func (n *nfa) reach(g *graph.Graph, src graph.Value) []graph.Value {
 		})
 	}
 	return order
+}
+
+// sortedStates returns the states of a set in increasing order.
+func sortedStates(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // matches reports whether a path matching the automaton connects src

@@ -174,28 +174,32 @@ func evalAttrExpr(expr AttrExpr, env *Env) []graph.Value {
 	return current
 }
 
-// sortValues applies an ORDER directive.
+// sortValues applies an ORDER directive. Sort keys are computed once
+// per element rather than inside the comparator: a KEY lookup walks
+// the graph, and re-evaluating it per comparison turns an n-element
+// list into O(n log n) graph reads — visible on large index pages.
 func sortValues(vals []graph.Value, ord *OrderSpec, env *Env) {
-	key := func(v graph.Value) graph.Value {
-		if len(ord.Key) == 0 {
-			return v
-		}
-		if !v.IsNode() {
-			return v
-		}
-		sub := &Env{Graph: env.Graph, Self: v.OID(), Vars: env.Vars, Render: env.Render}
-		ks := evalAttrExpr(ord.Key, sub)
-		if len(ks) == 0 {
-			return graph.Str("")
-		}
-		return ks[0]
+	type decorated struct {
+		key, val graph.Value
 	}
-	sort.SliceStable(vals, func(i, j int) bool {
-		ki, kj := key(vals[i]), key(vals[j])
-		cmp, ok := graph.Compare(ki, kj)
+	rows := make([]decorated, len(vals))
+	for i, v := range vals {
+		k := v
+		if len(ord.Key) > 0 && v.IsNode() {
+			sub := &Env{Graph: env.Graph, Self: v.OID(), Vars: env.Vars, Render: env.Render}
+			if ks := evalAttrExpr(ord.Key, sub); len(ks) > 0 {
+				k = ks[0]
+			} else {
+				k = graph.Str("")
+			}
+		}
+		rows[i] = decorated{key: k, val: v}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		cmp, ok := graph.Compare(rows[i].key, rows[j].key)
 		if !ok {
 			// Fall back to the deterministic total order.
-			if graph.Less(ki, kj) {
+			if graph.Less(rows[i].key, rows[j].key) {
 				cmp = -1
 			} else {
 				cmp = 1
@@ -206,6 +210,9 @@ func sortValues(vals []graph.Value, ord *OrderSpec, env *Env) {
 		}
 		return cmp < 0
 	})
+	for i := range rows {
+		vals[i] = rows[i].val
+	}
 }
 
 func execFmt(w io.Writer, n *fmtNode, env *Env) error {

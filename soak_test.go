@@ -1,0 +1,80 @@
+package strudel_test
+
+// Soak test for differential maintenance: one warehouse, hundreds of
+// sequential random edits, one incremental rebuild per edit, never a
+// fresh builder. Periodic checkpoints rebuild the identically edited
+// data from scratch and require byte-identical pages, site-graph dump,
+// and binding relations — so state that drifts slowly (support counts,
+// sequence numbers, order repair) is caught within one checkpoint
+// window of where it went wrong. `make soak` runs the full 500 edits
+// under the race detector; -short keeps a CI-sized slice of it.
+
+import (
+	"math/rand"
+	"testing"
+
+	"strudel/internal/graph"
+	"strudel/internal/workload"
+)
+
+func TestSoakDifferential(t *testing.T) {
+	edits, checkpointEvery := 500, 50
+	if testing.Short() {
+		edits, checkpointEvery = 60, 20
+	}
+	fresh := func() *graph.Graph { return workload.Bibliography(60, 13) }
+	mk := specBuilder(workload.BibliographySpec())
+
+	cur := fresh()
+	b := mk(t)
+	b.SetWorkers(4)
+	b.SetDataGraph(cur)
+	prev, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := fresh()
+	rng := rand.New(rand.NewSource(77))
+	var script editScript
+	differentialRounds := 0
+	for i := 1; i <= edits; i++ {
+		op := editOp{Kind: rng.Intn(5), Seed: rng.Int63()}
+		script = append(script, op)
+		applyBibOp(cur, op)
+		delta := graph.Diff(old, cur)
+		res, err := b.RebuildWithDelta(prev, delta)
+		if err != nil {
+			t.Fatalf("edit %d: rebuild: %v", i, err)
+		}
+		applyBibOp(old, op)
+		if res.Incremental != nil && res.Incremental.Mode == "differential" {
+			differentialRounds++
+		}
+		prev = res
+
+		if i%checkpointEvery != 0 && i != edits {
+			continue
+		}
+		sdata := fresh()
+		for _, sop := range script {
+			applyBibOp(sdata, sop)
+		}
+		sb := mk(t)
+		sb.SetWorkers(4)
+		sb.SetDataGraph(sdata)
+		want, err := sb.Build()
+		if err != nil {
+			t.Fatalf("checkpoint at edit %d: scratch build: %v", i, err)
+		}
+		if err := compareResultsErr(prev, want, b.BindingDump(), sb.BindingDump()); err != nil {
+			t.Fatalf("checkpoint at edit %d: %v", i, err)
+		}
+	}
+	// The soak is only meaningful if the fast path actually carried the
+	// load; a silent degradation to full rebuilds must fail loudly.
+	if differentialRounds < edits/2 {
+		t.Errorf("only %d of %d edits took the differential path", differentialRounds, edits)
+	}
+	t.Logf("soak: %d edits, %d differential, %d checkpoints",
+		edits, differentialRounds, edits/checkpointEvery)
+}

@@ -5,7 +5,7 @@
 # parallel-build determinism suite.
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke chaos crash testpar fuzz soak check explain-demo
+.PHONY: build test vet race bench bench-smoke chaos crash testpar fuzz load soak check explain-demo
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,13 @@ testpar:
 	$(GO) test -race -count=2 -run 'Deterministic|Parallel|Golden' ./internal/core/ ./examples/...
 	$(GO) test -race -count=2 -run 'Differential' .
 
+# Serving-edge load smoke: the deterministic load-generation
+# conformance harness (Zipf clients, conditional revalidation, fault
+# injection) against the full serving stack, under the race detector —
+# the hit-ratio, p99 and RPS floors plus the ETag differential suite.
+load:
+	$(GO) test -race -run 'LoadConformance|ETag|HTTPConformance|RunLoad' . ./internal/server/ ./internal/workload/
+
 # Fuzz smoke: run each language's fuzz target briefly (Go allows one
 # -fuzz pattern per invocation). Longer runs: raise -fuzztime.
 FUZZTIME ?= 5s
@@ -72,4 +79,4 @@ explain-demo:
 
 # bench-smoke is not part of check (CI runs it as its own step); run it
 # directly after touching benchmark code.
-check: build vet test race chaos crash testpar fuzz
+check: build vet test race chaos crash testpar load fuzz

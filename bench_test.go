@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -1038,5 +1039,79 @@ func BenchmarkPublish(b *testing.B) {
 			}
 		}
 		b.ReportMetric(pages, "pages")
+	})
+}
+
+// BenchmarkServeEdge prices the serving edge's answer classes on a
+// built bibliography site: revalidation against a resident hot page
+// (304 without touching the source), resident hot bytes, the cold
+// conditional fast path (the materialized source knows the tag, no
+// render), a cold full serve, and the closed-loop load harness's
+// end-to-end throughput over the whole stack. BENCH_serve.json
+// snapshots the recorded numbers.
+func BenchmarkServeEdge(b *testing.B) {
+	bld := buildSpec(b, workload.BibliographySpec(), workload.Bibliography(40, 42))
+	res, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	acct := server.NewAccounting(1024)
+	edge := server.NewEdge(server.NewSiteSource(res.Site), server.EdgeConfig{
+		Mode: "static", HotPages: 12, Compress: true, Accounting: acct,
+	})
+	var paths []string
+	for p := range res.Site.Pages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	// Make the first ranked page hot, leave the last cold.
+	hotPath, coldPath := paths[0], paths[len(paths)-1]
+	for i := 0; i < 64; i++ {
+		acct.Record("/"+hotPath, 200, 10, time.Millisecond, time.Now())
+	}
+	edge.Rerank()
+	if hot := edge.HotKeys(); len(hot) == 0 {
+		b.Fatal("no hot pages after rerank")
+	}
+	tag := func(path string) string {
+		rec := httptest.NewRecorder()
+		edge.ServeHTTP(rec, httptest.NewRequest("GET", "/"+path, nil))
+		if rec.Code != 200 {
+			b.Fatalf("GET /%s = %d", path, rec.Code)
+		}
+		return rec.Header().Get("ETag")
+	}
+	hotTag, coldTag := tag(hotPath), tag(coldPath)
+	serve := func(path, inm string) func(*testing.B) {
+		req := httptest.NewRequest("GET", "/"+path, nil)
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		return func(b *testing.B) {
+			w := nopResponseWriter{h: http.Header{}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				edge.ServeHTTP(w, req)
+			}
+		}
+	}
+	b.Run("hot-304", serve(hotPath, hotTag))
+	b.Run("hot-bytes", serve(hotPath, ""))
+	b.Run("cold-304", serve(coldPath, coldTag))
+	b.Run("cold-200", serve(coldPath, ""))
+	b.Run("loadgen", func(b *testing.B) {
+		b.ReportAllocs()
+		var rps, ratio float64
+		for i := 0; i < b.N; i++ {
+			rep, err := workload.RunLoad(edge, paths, workload.LoadOptions{
+				Clients: 4, Requests: 500, Seed: 42, ZipfS: 1.3, Gzip: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rps, ratio = rep.RPS, rep.Ratio304()
+		}
+		b.ReportMetric(rps, "rps")
+		b.ReportMetric(100*ratio, "304-%")
 	})
 }

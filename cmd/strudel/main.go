@@ -131,8 +131,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   strudel build -manifest site.manifest -out dir/ [-trace] [-trace-out f.json] [-workers N]
   strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics] [-ops]
-                [-access-log f|-] [-slo-target 250ms] [-refresh-interval 5m]
-                [-request-timeout 10s] [-max-inflight 256] [-workers N]
+                [-hot-pages N] [-compress] [-access-log f|-] [-slo-target 250ms]
+                [-refresh-interval 5m] [-request-timeout 10s] [-max-inflight 256]
+                [-workers N]
   strudel stats -manifest site.manifest [-trace] [-trace-out f.json] [-workers N]
   strudel explain (-manifest site.manifest | -example cnn) [-json] [-optimize] [-workers N]
   strudel why (-manifest site.manifest | -example cnn) [-json] [-workers N] <page>
@@ -423,6 +424,10 @@ func cmdServe(args []string) error {
 		"latency SLO: requests slower than this (or failing) burn the error budget (objective 99% over 5m; 0 disables)")
 	ops := fs.Bool("ops", false,
 		"enable the live ops surface: per-page access accounting, sampled request tracing, /debug/ops")
+	hotPages := fs.Int("hot-pages", 0,
+		"materialize this many traffic-ranked pages at the serving edge (bytes and gzip resident; 0 disables)")
+	compress := fs.Bool("compress", false,
+		"precompress materialized pages and serve gzip to accepting clients")
 	publishDir := fs.String("publish", "",
 		"publish every build as a crash-safe atomic generation under this directory (static mode only)")
 	keep := fs.Int("keep", 2, "generations retained under -publish")
@@ -461,6 +466,8 @@ func cmdServe(args []string) error {
 		maxInflight:   *maxInflight,
 		sloTarget:     *sloTarget,
 		ops:           *ops,
+		hotPages:      *hotPages,
+		compress:      *compress,
 		pub:           pub,
 		logg:          logg,
 	}
@@ -540,6 +547,12 @@ type serveOptions struct {
 	// ops enables the accounting table, sampled request tracing, the
 	// runtime sampler and /debug/ops.
 	ops bool
+	// hotPages materializes this many traffic-ranked pages at the
+	// serving edge (0 disables the hot/cold policy).
+	hotPages int
+	// compress serves precompressed gzip variants of materialized
+	// pages to accepting clients.
+	compress bool
 	// pub, when non-nil, publishes every completed static build as an
 	// atomic on-disk generation; serving swaps to a new build only
 	// after its generation committed, so the served site always equals
@@ -562,11 +575,16 @@ func (o *serveOptions) observability(ireg *telemetry.Registry) (server.Observabi
 		obs.SLO = telemetry.NewSLO(o.sloTarget, 0.99, 5*time.Minute, nil)
 		obs.SLO.Instrument(ireg)
 	}
+	if o.ops || o.hotPages > 0 {
+		// The edge's hot/cold policy ranks pages by this table, so it
+		// exists whenever -hot-pages asks for materialization, not just
+		// under -ops.
+		obs.Accounting = server.NewAccounting(1024)
+		obs.Accounting.Instrument(ireg)
+	}
 	if !o.ops {
 		return obs, nil
 	}
-	obs.Accounting = server.NewAccounting(1024)
-	obs.Accounting.Instrument(ireg)
 	obs.Tracer = telemetry.NewRequestTracer(16, 8)
 	obs.Inflight = server.NewInflight()
 	sampler := telemetry.NewRuntimeSampler(ireg)
@@ -598,7 +616,7 @@ func (o *serveOptions) observability(ireg *telemetry.Registry) (server.Observabi
 func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, error) {
 	dynamic, reg, logg := opts.dynamic, opts.reg, opts.logg
 	renderTimeout, maxInflight := opts.renderTimeout, opts.maxInflight
-	obsOn := opts.ops || opts.accessLog != nil || opts.sloTarget > 0
+	obsOn := opts.ops || opts.accessLog != nil || opts.sloTarget > 0 || opts.hotPages > 0
 	// ireg backs instrumentation; it is the exposed registry when
 	// -metrics is on, else an internal one (or nil with no observers).
 	ireg := reg
@@ -616,6 +634,26 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 	mux := http.NewServeMux()
 	var refresh func() error
 	var intro server.Introspector
+	// Observability is assembled before the serving handlers so the
+	// edge's hot/cold policy can rank pages by the same accounting
+	// table the middleware feeds.
+	var obs server.Observability
+	var opsSurface *server.Ops
+	if ireg != nil {
+		obs, opsSurface = opts.observability(ireg)
+	}
+	// edgeOn routes requests through the caching edge (provenance-keyed
+	// ETags, hot-page materialization, precompression) instead of the
+	// plain handlers.
+	edgeOn := opts.hotPages > 0 || opts.compress
+	edgeCfg := server.EdgeConfig{
+		Mode:          mode,
+		HotPages:      opts.hotPages,
+		Compress:      opts.compress,
+		Accounting:    obs.Accounting,
+		Registry:      ireg,
+		RenderTimeout: renderTimeout,
+	}
 	// builtAt tracks (atomically, as unix nanos) when the served
 	// content was last built or re-validated; the accounting table
 	// derives per-page staleness from it.
@@ -629,8 +667,17 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 		var cur atomic.Pointer[incremental.Renderer]
 		cur.Store(r0)
 		builtAt.Store(r0.BuiltAt.UnixNano())
-		mux.Handle("/", server.DynamicFrom(cur.Load, m.rootColl,
-			server.DynamicConfig{Registry: ireg, RenderTimeout: renderTimeout}))
+		var edge *server.Edge
+		if edgeOn {
+			edge = server.DynamicEdge(cur.Load, m.rootColl, edgeCfg)
+			if opts.hotPages > 0 && opts.stop != nil {
+				go edge.RunPolicy(opts.stop, 0)
+			}
+			mux.Handle("/", edge)
+		} else {
+			mux.Handle("/", server.DynamicFrom(cur.Load, m.rootColl,
+				server.DynamicConfig{Registry: ireg, RenderTimeout: renderTimeout}))
+		}
 		// Ad-hoc queries run against the same data-graph snapshot the
 		// click-time pages see.
 		mux.Handle("/query", http.StripPrefix("/query", server.QueryHandlerFrom(
@@ -654,6 +701,12 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 			warnDegraded(m.builder, logg)
 			if r != prev {
 				cur.Store(r)
+				if edge != nil {
+					// A new renderer means the data changed: resident hot
+					// bytes may be stale, so drop them and let the policy
+					// re-materialize from the new snapshot on demand.
+					edge.FlushHot()
+				}
 			}
 			builtAt.Store(r.BuiltAt.UnixNano())
 			return nil
@@ -681,7 +734,16 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 		var cur atomic.Pointer[core.Result]
 		cur.Store(res)
 		builtAt.Store(res.BuiltAt.UnixNano())
-		mux.Handle("/", server.StaticFrom(func() *sitegen.Site { return cur.Load().Site }))
+		var edge *server.Edge
+		if edgeOn {
+			edge = server.NewEdge(server.NewSiteSource(res.Site), edgeCfg)
+			if opts.hotPages > 0 && opts.stop != nil {
+				go edge.RunPolicy(opts.stop, 0)
+			}
+			mux.Handle("/", edge)
+		} else {
+			mux.Handle("/", server.StaticFrom(func() *sitegen.Site { return cur.Load().Site }))
+		}
 		mux.Handle("/query", http.StripPrefix("/query", server.QueryHandlerFrom(
 			func() *graph.Graph { return cur.Load().SiteGraph }, m.builder.Registry(), 0)))
 		intro.Explain = func() (any, error) {
@@ -722,6 +784,12 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 					"summary", info.Summary())
 			}
 			cur.Store(next)
+			if edge != nil && changed {
+				// Swap the edge's snapshot: hot pages whose ETag survived
+				// the rebuild keep their resident bytes; invalidated ones
+				// re-materialize from the new site.
+				edge.SetSource(server.NewSiteSource(next.Site))
+			}
 			prev = next
 			builtAt.Store(next.BuiltAt.UnixNano())
 			return nil
@@ -749,7 +817,6 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 		server.AttachHealth(outer, server.Health{Ready: ready})
 		return outer, refresh, nil
 	}
-	obs, opsSurface := opts.observability(ireg)
 	if obs.Accounting != nil {
 		obs.Accounting.SetFreshness(func() time.Time {
 			return time.Unix(0, builtAt.Load())

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"strudel/internal/workload"
+)
+
+// TestRebuildReportsInvalidatedPages: the rebuild observable lists
+// exactly the pages whose ETag changed — the set a serving edge must
+// refetch — and a noop rebuild reports none.
+func TestRebuildReportsInvalidatedPages(t *testing.T) {
+	const n = 30
+	b := bibBuilder(t, n)
+	b.SetDifferential(false)
+	data := workload.Bibliography(n, 42)
+	b.SetDataGraph(data)
+	prev, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delta := retitle(t, data, "pub7", "A Fresh Title")
+	res, err := b.RebuildWithDelta(prev, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := res.Incremental
+	if info == nil || len(info.Invalidated) == 0 {
+		t.Fatalf("no invalidated pages reported: %+v", info)
+	}
+	if len(info.Invalidated) == len(res.Site.Pages) {
+		t.Fatalf("all %d pages invalidated by a one-object retitle", len(info.Invalidated))
+	}
+	// The report must agree with a direct ETag diff of the two builds.
+	want := map[string]bool{}
+	for path, p := range res.Site.Pages {
+		if pp, ok := prev.Site.Pages[path]; !ok || pp.ETag != p.ETag {
+			want[path] = true
+		}
+	}
+	if len(want) != len(info.Invalidated) {
+		t.Fatalf("Invalidated has %d paths, ETag diff says %d", len(info.Invalidated), len(want))
+	}
+	for _, path := range info.Invalidated {
+		if !want[path] {
+			t.Errorf("path %s reported invalidated but its ETag is unchanged", path)
+		}
+	}
+
+	// A delta that cannot affect the site carries every tag over.
+	noop, err := b.RebuildWithDelta(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = noop // nil delta forces a full rebuild; equal content must keep tags
+	if noop.Incremental != nil && noop.Incremental.Mode == "full" {
+		for path, p := range noop.Site.Pages {
+			if res.Site.Pages[path].ETag != p.ETag {
+				t.Errorf("full rebuild of identical data changed ETag of %s", path)
+			}
+		}
+	}
+	if s := res.Incremental.Summary(); !strings.Contains(s, "invalidated") {
+		t.Errorf("Summary() omits invalidation count: %q", s)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"strudel/internal/graph"
@@ -44,6 +45,25 @@ type RebuildInfo struct {
 	// only): tuples retained vs recomputed, blocks maintained vs
 	// re-bound, output lists repaired.
 	Eval *struql.MatStats
+	// Invalidated lists the paths whose ETag changed relative to the
+	// previous build, sorted (new pages included, vanished pages not) —
+	// exactly the URLs HTTP caches must refetch after the swap. Empty
+	// in noop mode: every tag carried over.
+	Invalidated []string
+}
+
+// invalidatedPaths diffs two builds by ETag: the pages a serving edge
+// (or any downstream HTTP cache keyed on our strong tags) can no
+// longer answer 304 for.
+func invalidatedPaths(prev, next *sitegen.Site) []string {
+	var out []string
+	for path, p := range next.Pages {
+		if pp, ok := prev.Pages[path]; !ok || pp.ETag != p.ETag {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Summary renders a one-line digest for logs.
@@ -74,6 +94,9 @@ func (ri *RebuildInfo) Summary() string {
 		s := fmt.Sprintf("rebuild: selective, %d rendered, %d reused", ri.Site.Rendered, ri.Site.Reused)
 		if n := len(ri.Site.PrunedPaths); n > 0 {
 			s += fmt.Sprintf(", %d pruned", n)
+		}
+		if n := len(ri.Invalidated); n > 0 {
+			s += fmt.Sprintf(", %d invalidated", n)
 		}
 		return s
 	}
@@ -292,6 +315,7 @@ func (b *Builder) tryDifferential(prev *Result, data *graph.Graph) (*Result, err
 	}
 	res.Site = htmlSite
 	info.Site = dstats
+	info.Invalidated = invalidatedPaths(prev.Site, htmlSite)
 	tr.Root().SetAttr("mode", info.Mode)
 	gsp.SetAttr("rendered", dstats.Rendered)
 	gsp.SetAttr("reused", dstats.Reused)
@@ -450,6 +474,7 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 	}
 	res.Site = htmlSite
 	info.Site = dstats
+	info.Invalidated = invalidatedPaths(prev.Site, htmlSite)
 	if dstats.Full {
 		info.Mode = "full"
 	} else {

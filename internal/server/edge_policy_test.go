@@ -1,0 +1,191 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"strudel/internal/resilience"
+	"strudel/internal/sitegen"
+)
+
+// TestAccountingHotTieBreakDeterminism: Hot(k) ranks by hits
+// descending with ties broken by path ascending, so equal-traffic
+// snapshots are stable run to run — the property the materialization
+// policy's determinism rests on.
+func TestAccountingHotTieBreakDeterminism(t *testing.T) {
+	mk := func(order []string) *Accounting {
+		a := NewAccounting(64)
+		now := time.Now()
+		for _, p := range order {
+			a.Record(p, 200, 1, time.Millisecond, now)
+		}
+		return a
+	}
+	// Same hit multiset, recorded in different orders.
+	a1 := mk([]string{"/c", "/a", "/b", "/b", "/a", "/c"})
+	a2 := mk([]string{"/b", "/b", "/c", "/c", "/a", "/a"})
+	want := []string{"/a", "/b", "/c"} // all tied at 2 hits → path order
+	for i, a := range []*Accounting{a1, a2} {
+		var got []string
+		for _, ps := range a.Hot(10) {
+			got = append(got, ps.Path)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("table %d: Hot = %v, want %v", i, got, want)
+		}
+		if ps := a.Hot(10); ps[0].Hits != 2 {
+			t.Errorf("table %d: top hits = %d", i, ps[0].Hits)
+		}
+	}
+	// Unequal hits dominate the tie-break.
+	a3 := mk([]string{"/z", "/z", "/z", "/a", "/m", "/m"})
+	var got []string
+	for _, ps := range a3.Hot(2) {
+		got = append(got, ps.Path)
+	}
+	if !reflect.DeepEqual(got, []string{"/z", "/m"}) {
+		t.Errorf("ranked Hot = %v", got)
+	}
+}
+
+// policySite builds a three-page site for policy tests.
+func policySite() *sitegen.Site {
+	mk := func(path, body string) *sitegen.Page {
+		return &sitegen.Page{Path: path, Name: path, HTML: body, ETag: sitegen.BytesETag(body)}
+	}
+	return &sitegen.Site{Pages: map[string]*sitegen.Page{
+		"a.html": mk("a.html", "<h1>A</h1>"),
+		"b.html": mk("b.html", "<h1>B</h1>"),
+		"c.html": mk("c.html", "<h1>C</h1>"),
+	}}
+}
+
+// replay records n hits for a path, stamping the policy clock's time.
+func replay(a *Accounting, clock *resilience.FakeClock, path string, n int) {
+	for i := 0; i < n; i++ {
+		a.Record(path, 200, 10, time.Millisecond, clock.Now())
+	}
+}
+
+// TestEdgePromotionDemotionHysteresis replays a deterministic workload
+// on a FakeClock and checks the policy's two hysteresis ingredients:
+// a challenger must beat the incumbent's hits by the margin, and an
+// incumbent younger than MinResidency is immune to demotion. No
+// wall-clock sleeps anywhere.
+func TestEdgePromotionDemotionHysteresis(t *testing.T) {
+	clock := resilience.NewFakeClock(time.Unix(1000, 0))
+	acct := NewAccounting(64)
+	edge := NewEdge(NewSiteSource(policySite()), EdgeConfig{
+		Mode:         "static",
+		HotPages:     1,
+		Accounting:   acct,
+		Clock:        clock,
+		Hysteresis:   0.5,
+		MinResidency: 10 * time.Second,
+	})
+
+	// Phase 1: a dominates → promoted.
+	replay(acct, clock, "/a.html", 10)
+	edge.Rerank()
+	if got := edge.HotKeys(); !reflect.DeepEqual(got, []string{"a.html"}) {
+		t.Fatalf("phase 1 hot = %v", got)
+	}
+	if st := edge.Stats(); st.Promotions != 1 || st.Demotions != 0 {
+		t.Fatalf("phase 1 stats = %+v", st)
+	}
+
+	// Phase 2: traffic shifts to b, but not past the 1.5× margin
+	// (b=12 ≤ a·1.5=15). Past the dwell, so only the margin protects a.
+	clock.Advance(11 * time.Second)
+	replay(acct, clock, "/b.html", 12)
+	edge.Rerank()
+	if got := edge.HotKeys(); !reflect.DeepEqual(got, []string{"a.html"}) {
+		t.Fatalf("phase 2 hot = %v (margin should protect the incumbent)", got)
+	}
+	if st := edge.Stats(); st.Demotions != 0 {
+		t.Fatalf("phase 2 demotions = %d", st.Demotions)
+	}
+
+	// Phase 3: b decisively overtakes (b=20 > 15) → a demoted, b
+	// promoted.
+	replay(acct, clock, "/b.html", 8)
+	edge.Rerank()
+	if got := edge.HotKeys(); !reflect.DeepEqual(got, []string{"b.html"}) {
+		t.Fatalf("phase 3 hot = %v", got)
+	}
+	if st := edge.Stats(); st.Promotions != 2 || st.Demotions != 1 {
+		t.Fatalf("phase 3 stats = %+v", st)
+	}
+
+	// Phase 4: immediately crush b with a-traffic; b was promoted just
+	// now, so the dwell holds it resident until MinResidency passes.
+	replay(acct, clock, "/a.html", 100)
+	edge.Rerank()
+	if got := edge.HotKeys(); !reflect.DeepEqual(got, []string{"b.html"}) {
+		t.Fatalf("phase 4 hot = %v (dwell should protect the fresh incumbent)", got)
+	}
+
+	// Phase 5: after the dwell, the same ranking flips it.
+	clock.Advance(11 * time.Second)
+	edge.Rerank()
+	if got := edge.HotKeys(); !reflect.DeepEqual(got, []string{"a.html"}) {
+		t.Fatalf("phase 5 hot = %v", got)
+	}
+
+	// Rerank is idempotent on a stable ranking: no churn.
+	before := edge.Stats()
+	edge.Rerank()
+	after := edge.Stats()
+	if before.Promotions != after.Promotions || before.Demotions != after.Demotions {
+		t.Errorf("idle rerank churned: %+v -> %+v", before, after)
+	}
+}
+
+// TestEdgeSwapPreservesResidency: after a swap, hot pages whose ETag
+// is unchanged keep their bytes; pages whose content changed are
+// re-materialized with the new bytes; vanished pages drop.
+func TestEdgeSwapPreservesResidency(t *testing.T) {
+	clock := resilience.NewFakeClock(time.Unix(1000, 0))
+	acct := NewAccounting(64)
+	edge := NewEdge(NewSiteSource(policySite()), EdgeConfig{
+		Mode: "static", HotPages: 2, Accounting: acct, Clock: clock,
+	})
+	replay(acct, clock, "/a.html", 5)
+	replay(acct, clock, "/b.html", 4)
+	edge.Rerank()
+	if got := edge.HotKeys(); !reflect.DeepEqual(got, []string{"a.html", "b.html"}) {
+		t.Fatalf("hot = %v", got)
+	}
+
+	// New snapshot: a unchanged, b changed, c unchanged.
+	next := policySite()
+	next.Pages["b.html"].HTML = "<h1>B2</h1>"
+	next.Pages["b.html"].ETag = sitegen.BytesETag("<h1>B2</h1>")
+	edge.SetSource(NewSiteSource(next))
+
+	if got := edge.HotKeys(); !reflect.DeepEqual(got, []string{"a.html", "b.html"}) {
+		t.Fatalf("hot after swap = %v", got)
+	}
+	st := edge.Stats()
+	if st.Rematerializations != 1 {
+		t.Errorf("rematerializations = %d, want 1", st.Rematerializations)
+	}
+	// The re-materialized page serves the new bytes.
+	rec := do(edge, http.MethodGet, "/b.html", nil)
+	if rec.Body.String() != "<h1>B2</h1>" {
+		t.Errorf("b.html after swap = %q", rec.Body.String())
+	}
+	if st.HitsHot == 0 && edge.Stats().HitsHot != 1 {
+		t.Errorf("swap-surviving page did not serve from resident bytes")
+	}
+
+	// A vanished hot page drops.
+	gone := policySite()
+	delete(gone.Pages, "a.html")
+	edge.SetSource(NewSiteSource(gone))
+	if got := edge.HotKeys(); !reflect.DeepEqual(got, []string{"b.html"}) {
+		t.Errorf("hot after vanish = %v", got)
+	}
+}

@@ -13,15 +13,13 @@
 package server
 
 import (
-	"errors"
 	"expvar"
 	"fmt"
 	"html"
 	"io"
 	"net/http"
 	"net/http/pprof"
-	"net/url"
-	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,9 +39,19 @@ func Static(site *sitegen.Site) http.Handler {
 // background refresher can atomically swap in a newly built site (via
 // an atomic pointer in the getter) while requests are in flight; each
 // request sees one consistent site snapshot.
+//
+// Responses carry the page's provenance-keyed ETag (when the site was
+// built with one), Content-Length, and honor If-None-Match and HEAD.
+// For the materializing byte cache and precompressed variants, serve
+// through an Edge instead (NewEdge + SetSource).
 func StaticFrom(get func() *sitegen.Site) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		site := get()
 		path := strings.TrimPrefix(r.URL.Path, "/")
 		if path == "" {
@@ -52,25 +60,53 @@ func StaticFrom(get func() *sitegen.Site) http.Handler {
 		page, ok := site.Pages[path]
 		if !ok {
 			if r.URL.Path == "/" {
-				writeListing(w, site)
+				writeListing(w, r, site)
 				return
 			}
 			http.NotFound(w, r)
 			return
 		}
+		if page.ETag != "" {
+			w.Header().Set("ETag", page.ETag)
+			if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, page.ETag) {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		body := []byte(page.HTML)
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, page.HTML)
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		if r.Method == http.MethodHead {
+			return
+		}
+		w.Write(body)
 	})
 	return mux
 }
 
-func writeListing(w http.ResponseWriter, site *sitegen.Site) {
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, "<html><body><h1>Site</h1><ul>")
+// writeListing answers "/" when the site has no index.html: a buffered
+// page listing with Content-Length, a bytes-keyed ETag, and no body on
+// HEAD.
+func writeListing(w http.ResponseWriter, r *http.Request, site *sitegen.Site) {
+	var b strings.Builder
+	b.WriteString("<html><body><h1>Site</h1><ul>")
 	for _, p := range site.Paths() {
-		fmt.Fprintf(w, "<li><a href=%q>%s</a></li>", "/"+p, html.EscapeString(p))
+		fmt.Fprintf(&b, "<li><a href=%q>%s</a></li>", "/"+p, html.EscapeString(p))
 	}
-	fmt.Fprint(w, "</ul></body></html>")
+	b.WriteString("</ul></body></html>")
+	body := b.String()
+	etag := sitegen.BytesETag(body)
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	io.WriteString(w, body)
 }
 
 // internalError answers a failed request without leaking the error
@@ -121,104 +157,18 @@ type DynamicConfig struct {
 // swap in a renderer over fresh data while requests are in flight.
 // Each request resolves the renderer once and uses it throughout — a
 // consistent snapshot even mid-swap.
+//
+// The handler is a serving edge (see edge.go) without a byte cache:
+// every page renders at click time, with post-render If-None-Match
+// comparison so conditional clients save the transfer. To materialize
+// hot pages too, build the edge yourself with DynamicEdge.
 func DynamicFrom(get func() *incremental.Renderer, rootCollection string, cfg DynamicConfig) http.Handler {
-	reg := cfg.Registry
-	var timeouts *telemetry.Counter
-	if reg != nil {
-		timeouts = reg.Counter("strudel_http_render_timeouts_total",
-			"Dynamic renders abandoned at the render deadline, by serving mode.",
-			"mode", "dynamic")
-	}
-	// bounded runs one page computation under the render deadline.
-	bounded := func(op func() error) error {
-		return resilience.WithTimeout(cfg.Clock, cfg.RenderTimeout, op)
-	}
-	renderFailure := func(w http.ResponseWriter, req *http.Request, err error) {
-		if errors.Is(err, resilience.ErrTimeout) {
-			if timeouts != nil {
-				timeouts.Inc()
-			}
-			http.Error(w, "page computation timed out", http.StatusGatewayTimeout)
-			return
-		}
-		internalError(w, req, reg, "dynamic", err)
-	}
-	mux := http.NewServeMux()
-	serve := func(w http.ResponseWriter, req *http.Request, r *incremental.Renderer, ref incremental.PageRef) {
-		var htmlText string
-		err := bounded(func() error {
-			// The request context carries the sampled trace's span (if
-			// any), so the render and its query evaluations show up as
-			// children of the request.
-			out, err := r.RenderPageContext(req.Context(), ref)
-			if err != nil {
-				return err
-			}
-			htmlText = out
-			return nil
-		})
-		if err != nil {
-			renderFailure(w, req, err)
-			return
-		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, htmlText)
-	}
-	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Path != "/" {
-			http.NotFound(w, req)
-			return
-		}
-		r := get()
-		var roots []incremental.PageRef
-		err := bounded(func() error {
-			out, err := r.Dec.Roots(rootCollection)
-			if err != nil {
-				return err
-			}
-			roots = out
-			return nil
-		})
-		if err != nil {
-			renderFailure(w, req, err)
-			return
-		}
-		if len(roots) == 0 {
-			http.Error(w, "site has no root pages", http.StatusNotFound)
-			return
-		}
-		if len(roots) == 1 {
-			serve(w, req, r, roots[0])
-			return
-		}
-		// Multiple roots: list them.
-		keys := make([]string, len(roots))
-		for i, root := range roots {
-			keys[i] = root.Key()
-		}
-		sort.Strings(keys)
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, "<html><body><h1>Roots</h1><ul>")
-		for _, k := range keys {
-			fmt.Fprintf(w, "<li><a href=%q>%s</a></li>", "/page/"+url.PathEscape(k), html.EscapeString(k))
-		}
-		fmt.Fprint(w, "</ul></body></html>")
+	return DynamicEdge(get, rootCollection, EdgeConfig{
+		Mode:          "dynamic",
+		Registry:      cfg.Registry,
+		RenderTimeout: cfg.RenderTimeout,
+		Clock:         cfg.Clock,
 	})
-	mux.HandleFunc("/page/", func(w http.ResponseWriter, req *http.Request) {
-		key, err := url.PathUnescape(strings.TrimPrefix(req.URL.Path, "/page/"))
-		if err != nil {
-			http.Error(w, "bad page key", http.StatusBadRequest)
-			return
-		}
-		r := get()
-		ref, ok := r.Dec.Resolve(key)
-		if !ok {
-			http.NotFound(w, req)
-			return
-		}
-		serve(w, req, r, ref)
-	})
-	return mux
 }
 
 // statusWriter captures the response status and body byte count for

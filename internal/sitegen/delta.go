@@ -92,6 +92,11 @@ func (g *Generator) RegenerateDeltaContext(ctx context.Context, prev *Site, affe
 		if p.Name != "" && pp != nil && pp.HTML != "" && !affected(oid) {
 			p.HTML = pp.HTML
 			p.Title = pp.Title
+			// The reused page's closure avoided the change (that is what
+			// affected over-approximates), so its entity tag is provably
+			// unchanged: carry it, and conditional requests keep
+			// answering 304 across the swap.
+			p.ETag = pp.ETag
 			st.Reused++
 			continue
 		}
@@ -164,7 +169,7 @@ func (g *Generator) RegenerateConeContext(ctx context.Context, prev *Site, cone 
 		}
 		np := p
 		if !oidsStable && oid != p.OID {
-			np = &Page{Path: p.Path, OID: oid, Name: p.Name, HTML: p.HTML, Title: p.Title}
+			np = &Page{Path: p.Path, OID: oid, Name: p.Name, HTML: p.HTML, Title: p.Title, ETag: p.ETag}
 		}
 		site.Pages[p.Path] = np
 		site.PathOf[oid] = p.Path

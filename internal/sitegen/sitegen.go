@@ -70,6 +70,12 @@ type Page struct {
 	Name  string
 	HTML  string
 	Title string
+	// ETag is the page's strong HTTP entity tag, derived from the
+	// SHA-256 of its provenance closure plus the rendered bytes (see
+	// etag.go). Computed once at build/delta time; the serving edge
+	// answers If-None-Match from it. Carried unchanged when a delta
+	// rebuild reuses the page.
+	ETag string
 }
 
 // Site is the browsable result of generation.
@@ -283,11 +289,15 @@ func (g *Generator) assignPaths() (*Site, []graph.OID) {
 }
 
 // renderPages renders the given page objects into site concurrently.
+// Each rendered page also gets its closure-keyed ETag here (see
+// etag.go); the shared fingerprint memo makes the ETag pass cost one
+// fingerprint per distinct closure object, not one per page.
 func (g *Generator) renderPages(ctx context.Context, site *Site, pageOIDs []graph.OID) error {
 	p := g.cfg.Pool
 	if p == nil {
 		p = pool.New(g.cfg.Workers)
 	}
+	et := newETagger(g.site)
 	return pool.ForEach(pool.WithPhase(ctx, "render"), p, len(pageOIDs), func(_ context.Context, i int) error {
 		oid := pageOIDs[i]
 		htmlText, err := g.renderObject(oid, site, 0)
@@ -297,6 +307,7 @@ func (g *Generator) renderPages(ctx context.Context, site *Site, pageOIDs []grap
 		pg := site.Pages[site.PathOf[oid]]
 		pg.HTML = htmlText
 		pg.Title = g.titleOf(oid)
+		pg.ETag = et.pageETag(oid, htmlText)
 		return nil
 	})
 }

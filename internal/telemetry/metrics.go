@@ -131,6 +131,7 @@ type metric struct {
 	labels string // canonical rendering, e.g. `mode="static"`; "" for none
 	c      *Counter
 	g      *Gauge
+	gf     func() float64 // scrape-time gauge; set instead of g
 	h      *Histogram
 }
 
@@ -224,11 +225,25 @@ func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.getFamily(name, help, "gauge", nil)
-	m, ok := f.get(canonLabels(labelPairs))
-	if !ok {
-		m.g = &Gauge{}
+	m, _ := f.get(canonLabels(labelPairs))
+	if m.g == nil {
+		m.g = &Gauge{} // ignored at scrape time if a GaugeFunc is set
 	}
 	return m.g
+}
+
+// GaugeFunc registers a gauge series whose value is computed by fn at
+// scrape time. Derived observables — a hit *ratio*, a cache occupancy
+// percentage — are read this way instead of being pushed on every
+// request, so the hot path never pays for them. Re-registering the
+// same series replaces its function; fn must be safe for concurrent
+// calls.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, "gauge", nil)
+	m, _ := f.get(canonLabels(labelPairs))
+	m.g, m.gf = nil, fn
 }
 
 // Histogram returns (registering on first use) the histogram series.
@@ -289,7 +304,13 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			case "counter":
 				fmt.Fprintf(w, "%s%s %d\n", f.name, braced(m.labels), m.c.Value())
 			case "gauge":
-				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(m.labels), formatFloat(m.g.Value()))
+				v := 0.0
+				if m.gf != nil {
+					v = m.gf()
+				} else if m.g != nil {
+					v = m.g.Value()
+				}
+				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(m.labels), formatFloat(v))
 			case "histogram":
 				writeHistogram(w, f, m)
 			}

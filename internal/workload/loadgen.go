@@ -1,0 +1,274 @@
+// Deterministic load generation against the serving edge: closed-loop
+// clients with Zipf-distributed page popularity, a client-side ETag
+// cache model issuing mixed conditional/unconditional requests, and
+// optional fault injection — the conformance-and-performance harness
+// for the paper's "millions of users" serving argument (Sec. 6).
+//
+// Determinism: each client owns a seeded RNG (seed + client index)
+// driving both its page choices and its conditional-request coin
+// flips, so the request *sequences* are reproducible regardless of
+// goroutine interleaving. Only aggregate timing varies run to run.
+package workload
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadOptions tunes RunLoad. The zero value gets small defaults
+// suitable for a smoke test.
+type LoadOptions struct {
+	// Clients is the number of closed-loop clients (default 4): each
+	// sends its next request only after the previous one completes.
+	Clients int
+	// Requests is the per-client request count (default 250).
+	Requests int
+	// Seed drives every client RNG (client i uses Seed+i).
+	Seed int64
+	// ZipfS and ZipfV shape page popularity (defaults 1.2 and 1.0):
+	// rank-1 pages dominate, the long tail is cold — the skew the
+	// hot/cold materialization policy exists for.
+	ZipfS, ZipfV float64
+	// Conditional is the probability in [0,1] that a client revalidates
+	// a page it has a cached ETag for (If-None-Match) instead of
+	// refetching unconditionally. Default 0.9 — mixed traffic.
+	Conditional float64
+	// Gzip makes clients send Accept-Encoding: gzip. Gzip response
+	// bodies are transparently decoded before validation.
+	Gzip bool
+	// Faults optionally wraps every request through a FaultInjector:
+	// injected errors surface as client errors, injected latency
+	// stretches the closed loop. Nil disables.
+	Faults *FaultInjector
+	// Validate, when set, checks every completed response (decoded
+	// body). A non-nil error is counted and reported.
+	Validate func(path string, status int, etag string, body []byte) error
+}
+
+func (o *LoadOptions) defaults() {
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Requests <= 0 {
+		o.Requests = 250
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.ZipfV < 1 {
+		o.ZipfV = 1.0
+	}
+	if o.Conditional == 0 {
+		o.Conditional = 0.9
+	}
+}
+
+// LoadReport aggregates one RunLoad pass.
+type LoadReport struct {
+	Clients  int           `json:"clients"`
+	Requests int           `json:"requests"`
+	Elapsed  time.Duration `json:"elapsed"`
+	// RPS is Requests / Elapsed — closed-loop throughput.
+	RPS float64 `json:"rps"`
+	// Status counts responses by status code; NotModified is the 304
+	// count (Status[304], hoisted for the hit-ratio arithmetic).
+	Status      map[int]int `json:"status"`
+	NotModified int         `json:"not_modified"`
+	// Conditional counts requests sent with If-None-Match.
+	Conditional int `json:"conditional"`
+	// Bytes is the wire bytes received (encoded form for gzip).
+	Bytes int64 `json:"bytes"`
+	// Errors counts transport faults and validation failures;
+	// FirstError keeps the first for diagnosis.
+	Errors     int    `json:"errors"`
+	FirstError string `json:"first_error,omitempty"`
+	// Latency quantiles over every request.
+	P50, P99, Max time.Duration `json:"-"`
+	P50Ms         float64       `json:"p50_ms"`
+	P99Ms         float64       `json:"p99_ms"`
+	MaxMs         float64       `json:"max_ms"`
+}
+
+// Ratio304 is the fraction of requests answered 304 Not Modified.
+func (r *LoadReport) Ratio304() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.NotModified) / float64(r.Requests)
+}
+
+// loadRecorder is a minimal ResponseWriter: status, headers and body,
+// with none of httptest.ResponseRecorder's extras on the hot path.
+type loadRecorder struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func (r *loadRecorder) Header() http.Header { return r.header }
+func (r *loadRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+func (r *loadRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	r.body = append(r.body, b...)
+	return len(b), nil
+}
+
+// clientResult is one client's tally, merged after the join.
+type clientResult struct {
+	status      map[int]int
+	conditional int
+	bytes       int64
+	errors      int
+	firstErr    string
+	durations   []time.Duration
+}
+
+// RunLoad drives the handler in-process (no sockets — the harness
+// measures the serving edge, not the kernel) with opts.Clients
+// closed-loop clients over the given page paths and returns the
+// aggregate report. An empty path list is an error.
+func RunLoad(h http.Handler, paths []string, opts LoadOptions) (*LoadReport, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("workload: RunLoad needs at least one path")
+	}
+	opts.defaults()
+	// Sorted copy: the Zipf rank of a page must not depend on the
+	// caller's enumeration order.
+	ranked := append([]string(nil), paths...)
+	sort.Strings(ranked)
+
+	results := make([]clientResult, opts.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = runClient(h, ranked, opts, c)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Clients:  opts.Clients,
+		Requests: opts.Clients * opts.Requests,
+		Elapsed:  elapsed,
+		Status:   map[int]int{},
+	}
+	var all []time.Duration
+	for _, cr := range results {
+		for code, n := range cr.status {
+			rep.Status[code] += n
+		}
+		rep.Conditional += cr.conditional
+		rep.Bytes += cr.bytes
+		rep.Errors += cr.errors
+		if rep.FirstError == "" {
+			rep.FirstError = cr.firstErr
+		}
+		all = append(all, cr.durations...)
+	}
+	rep.NotModified = rep.Status[http.StatusNotModified]
+	if elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if n := len(all); n > 0 {
+		rep.P50 = all[n/2]
+		rep.P99 = all[(n*99)/100]
+		rep.Max = all[n-1]
+	}
+	rep.P50Ms = float64(rep.P50) / float64(time.Millisecond)
+	rep.P99Ms = float64(rep.P99) / float64(time.Millisecond)
+	rep.MaxMs = float64(rep.Max) / float64(time.Millisecond)
+	return rep, nil
+}
+
+// runClient is one closed-loop client: pick a Zipf-ranked page, attach
+// If-None-Match when the tag is cached and the coin says revalidate,
+// serve in-process, record.
+func runClient(h http.Handler, ranked []string, opts LoadOptions, id int) clientResult {
+	cr := clientResult{
+		status:    map[int]int{},
+		durations: make([]time.Duration, 0, opts.Requests),
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + int64(id)))
+	zipf := rand.NewZipf(rng, opts.ZipfS, opts.ZipfV, uint64(len(ranked)-1))
+	etags := make(map[string]string, len(ranked))
+	fail := func(err error) {
+		cr.errors++
+		if cr.firstErr == "" {
+			cr.firstErr = err.Error()
+		}
+	}
+	for i := 0; i < opts.Requests; i++ {
+		path := "/" + ranked[zipf.Uint64()]
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		if opts.Gzip {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		if tag, ok := etags[path]; ok && rng.Float64() < opts.Conditional {
+			req.Header.Set("If-None-Match", tag)
+			cr.conditional++
+		}
+		rec := &loadRecorder{header: http.Header{}}
+		do := func() (string, error) {
+			h.ServeHTTP(rec, req)
+			return "", nil
+		}
+		if opts.Faults != nil {
+			do = opts.Faults.WrapFetch(do)
+		}
+		t0 := time.Now()
+		_, err := do()
+		cr.durations = append(cr.durations, time.Since(t0))
+		if err != nil {
+			fail(err)
+			continue
+		}
+		cr.status[rec.status]++
+		cr.bytes += int64(len(rec.body))
+		if rec.status == http.StatusOK {
+			if tag := rec.header.Get("ETag"); tag != "" {
+				etags[path] = tag
+			}
+		}
+		if opts.Validate != nil {
+			body := rec.body
+			if rec.header.Get("Content-Encoding") == "gzip" {
+				if body, err = gunzip(body); err != nil {
+					fail(fmt.Errorf("workload: %s: bad gzip body: %w", path, err))
+					continue
+				}
+			}
+			if err := opts.Validate(path, rec.status, rec.header.Get("ETag"), body); err != nil {
+				fail(err)
+			}
+		}
+	}
+	return cr
+}
+
+func gunzip(b []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}

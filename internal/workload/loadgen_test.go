@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// tagServer is a tiny conditional-GET handler: every path serves a
+// stable body with a stable ETag and honors If-None-Match, so load
+// reports have predictable status mixes.
+func tagServer(paths map[string]string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, ok := paths[r.URL.Path]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		etag := `"tag-` + strconv.Itoa(len(body)) + "-" + r.URL.Path[1:] + `"`
+		w.Header().Set("ETag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Write([]byte(body))
+	})
+}
+
+func threePages() (map[string]string, []string) {
+	m := map[string]string{
+		"/a.html": "<h1>A</h1>",
+		"/b.html": "<h1>Bee</h1>",
+		"/c.html": "<h1>Sea page</h1>",
+	}
+	return m, []string{"a.html", "b.html", "c.html"}
+}
+
+// TestRunLoadDeterministicSequences: the same seed produces the same
+// request mix — identical status counts, conditional counts and byte
+// totals — run after run, regardless of goroutine interleaving.
+func TestRunLoadDeterministicSequences(t *testing.T) {
+	pages, paths := threePages()
+	run := func() *LoadReport {
+		rep, err := RunLoad(tagServer(pages), paths, LoadOptions{
+			Clients: 3, Requests: 200, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if !reflect.DeepEqual(r1.Status, r2.Status) {
+		t.Errorf("status mix differs across runs: %v vs %v", r1.Status, r2.Status)
+	}
+	if r1.Conditional != r2.Conditional || r1.Bytes != r2.Bytes || r1.NotModified != r2.NotModified {
+		t.Errorf("aggregates differ: %+v vs %+v", r1, r2)
+	}
+	if r1.Requests != 600 || r1.Status[200]+r1.Status[304] != 600 {
+		t.Errorf("unexpected request accounting: %+v", r1)
+	}
+	// With Conditional=0.9 (default) and stable tags, revalidation
+	// dominates after each client's first touch of a page.
+	if r1.Ratio304() < 0.5 {
+		t.Errorf("Ratio304 = %.2f, want most requests revalidated", r1.Ratio304())
+	}
+	if r1.Conditional != r1.NotModified {
+		t.Errorf("every conditional request should 304 here: cond=%d 304=%d",
+			r1.Conditional, r1.NotModified)
+	}
+	// A different seed produces a different (but valid) mix.
+	r3, err := RunLoad(tagServer(pages), paths, LoadOptions{
+		Clients: 3, Requests: 200, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(r1.Status, r3.Status) && r1.Bytes == r3.Bytes {
+		t.Errorf("seeds 42 and 7 produced identical traffic — RNG not seeded per run?")
+	}
+}
+
+// TestRunLoadPathOrderIndependence: Zipf ranks come from the sorted
+// path list, so shuffling the caller's slice cannot change the traffic.
+func TestRunLoadPathOrderIndependence(t *testing.T) {
+	pages, paths := threePages()
+	shuffled := []string{paths[2], paths[0], paths[1]}
+	opts := LoadOptions{Clients: 2, Requests: 150, Seed: 9}
+	r1, err := RunLoad(tagServer(pages), paths, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunLoad(tagServer(pages), shuffled, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Status, r2.Status) || r1.Bytes != r2.Bytes {
+		t.Errorf("path order changed the workload: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestRunLoadValidationAndFaults: Validate failures and injected
+// transport errors are counted, and FirstError survives for diagnosis.
+func TestRunLoadValidationAndFaults(t *testing.T) {
+	pages, paths := threePages()
+
+	// A validator that rejects one page's body sees every 200 for it.
+	rep, err := RunLoad(tagServer(pages), paths, LoadOptions{
+		Clients: 2, Requests: 100, Seed: 1,
+		Validate: func(path string, status int, etag string, body []byte) error {
+			if status == 200 && etag == "" {
+				return fmt.Errorf("200 without ETag at %s", path)
+			}
+			if path == "/b.html" && status == 200 {
+				return fmt.Errorf("reject %s", path)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 || rep.FirstError == "" {
+		t.Errorf("validation failures not counted: %+v", rep)
+	}
+	if rep.Errors != rep.Status[200] && rep.Errors > rep.Status[200] {
+		t.Errorf("more errors (%d) than 200s (%d)?", rep.Errors, rep.Status[200])
+	}
+
+	// Injected faults surface as client errors without killing the run.
+	inj := NewFaultInjector(FaultConfig{ErrorRate: 0.2, Seed: 3})
+	rep, err = RunLoad(tagServer(pages), paths, LoadOptions{
+		Clients: 2, Requests: 100, Seed: 1, Faults: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := inj.Stats()
+	if st.Errors == 0 {
+		t.Fatalf("injector injected nothing: %+v", st)
+	}
+	if rep.Errors != st.Errors {
+		t.Errorf("report errors %d != injected %d", rep.Errors, st.Errors)
+	}
+	// Failed fetches still count toward latency samples and totals.
+	if got := rep.Status[200] + rep.Status[304] + rep.Errors; got != rep.Requests {
+		t.Errorf("accounting leak: 200+304+errors = %d, requests = %d", got, rep.Requests)
+	}
+}
+
+// TestRunLoadEmptyPaths: no paths is a configuration error.
+func TestRunLoadEmptyPaths(t *testing.T) {
+	if _, err := RunLoad(tagServer(nil), nil, LoadOptions{}); err == nil {
+		t.Fatal("want error for empty path list")
+	}
+}

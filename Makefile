@@ -5,7 +5,7 @@
 # parallel-build determinism suite.
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke chaos crash testpar fuzz load soak check explain-demo
+.PHONY: build test vet race bench bench-smoke chaos crash testpar fuzz load soak ledger check explain-demo
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,17 @@ fuzz:
 soak:
 	$(GO) test -race -run 'SoakDifferential' -timeout 30m .
 
+# Build-plane observability suite: the ledger package under the race
+# detector (rotation, recovery, the crash-at-every-op sweep, the
+# watchdog), the serve-cycle end-to-end test (build IDs observable in
+# /debug/ledger, the access log, /debug/ops, the edge metrics, and
+# `strudel history`/`strudel top`), and the ledger-overhead A/B guard
+# on the delta-rebuild benchmark (<3% budget, 80 cycles per arm).
+ledger:
+	$(GO) test -race ./internal/ledger/
+	$(GO) test -race -run 'Ledger|History|TopRenders' ./cmd/strudel/
+	$(GO) test -run '^$$' -bench 'LedgerOverhead' -benchtime 10x .
+
 # Introspection demo: the profiled plan of the CNN example site, no
 # manifest required. Try also: -example org, -optimize, -json.
 explain-demo:
@@ -79,4 +90,4 @@ explain-demo:
 
 # bench-smoke is not part of check (CI runs it as its own step); run it
 # directly after touching benchmark code.
-check: build vet test race chaos crash testpar load fuzz
+check: build vet test race chaos crash testpar load fuzz ledger

@@ -22,6 +22,7 @@ import (
 	"strudel/internal/core"
 	"strudel/internal/graph"
 	"strudel/internal/incremental"
+	"strudel/internal/ledger"
 	"strudel/internal/mediator"
 	"strudel/internal/optimizer"
 	"strudel/internal/publish"
@@ -1114,4 +1115,100 @@ func BenchmarkServeEdge(b *testing.B) {
 		b.ReportMetric(rps, "rps")
 		b.ReportMetric(100*ratio, "304-%")
 	})
+}
+
+// BenchmarkLedgerOverhead prices the build ledger against the delta
+// rebuild it records: every cycle of the B arm converts the result to
+// a ledger entry (FromResult), stamps freshness, and appends it to a
+// disk-backed ledger — the exact per-refresh work `strudel serve
+// -ledger` adds. The arms are interleaved in batches inside one timing
+// loop (the same drift-canceling A/B design as the serve-observability
+// benchmark: sequential b.Run arms drift more than the effect
+// measured). overhead-% is the acceptance metric, target <3% — the
+// append is one JSON-encode plus one atomic segment rewrite, against a
+// rebuild that re-evaluates queries over a 500-article site. A
+// snapshot lives in BENCH_ledger.json.
+func BenchmarkLedgerOverhead(b *testing.B) {
+	const n = 500
+	spec := workload.ArticleSpec(false)
+	data := workload.Articles(n, 1997)
+	cb := buildSpec(b, spec, data)
+	cb.SetDifferential(false)
+	prev, err := cb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	art, ok := data.NodeByName("art7")
+	if !ok {
+		b.Fatal("art7 missing")
+	}
+	touch := func(i int) {
+		if old, ok := data.First(art, "title"); ok {
+			data.RemoveEdge(art, "title", old)
+		}
+		if err := data.AddEdge(art, "title", graph.Str(fmt.Sprintf("Touched title %d", i%2))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	delta := &graph.Delta{ChangedObjects: []string{"art7"}, TouchedLabels: []string{"title"}}
+	led, err := ledger.Open(ledger.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rebuild := func(i int) *core.Result {
+		touch(i)
+		res, err := cb.RebuildWithDelta(prev, delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev = res
+		return res
+	}
+	var tBase, tLedger time.Duration
+	const batch = 8
+	cycles := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		for j := 0; j < batch; j++ {
+			rebuild(i*batch + j)
+		}
+		tBase += time.Since(t0)
+		t0 = time.Now()
+		for j := 0; j < batch; j++ {
+			observed := time.Now()
+			res := rebuild(i*batch + j)
+			e := ledger.FromResult(res, "interval")
+			e.StampFreshness(observed, time.Now())
+			if _, err := led.Append(e); err != nil {
+				b.Fatal(err)
+			}
+			cycles++
+		}
+		tLedger += time.Since(t0)
+	}
+	b.StopTimer()
+	// Structural checks: the measured arm really recorded every cycle,
+	// freshness stamped, segments on disk.
+	last, ok := led.Last()
+	if !ok || led.Len() != cycles || int(last.Seq) != cycles {
+		b.Fatalf("ledger recorded %d entries, last seq %d, want %d", led.Len(), last.Seq, cycles)
+	}
+	if last.Freshness == nil || last.Freshness.PropagationSeconds < 0 {
+		b.Fatalf("last entry freshness = %+v", last.Freshness)
+	}
+	perCycle := float64(b.N * batch)
+	b.ReportMetric(float64(tBase.Nanoseconds())/perCycle/1e6, "base-ms/cycle")
+	b.ReportMetric(float64(tLedger.Nanoseconds())/perCycle/1e6, "ledger-ms/cycle")
+	overhead := 100 * (float64(tLedger)/float64(tBase) - 1)
+	b.ReportMetric(overhead, "overhead-%")
+	// The <3% acceptance bound only means something once the arms ran
+	// enough batches to average out scheduler noise: the true cost is
+	// ~0.5ms of append against a ~300ms rebuild (~0.2%), but host
+	// jitter between the interleaved arms is ±2% at small N. The CI
+	// guard runs -benchtime 10x (80 cycles per arm), where the bound
+	// holds with margin.
+	if b.N*batch >= 80 && overhead > 3 {
+		b.Fatalf("ledger overhead %.2f%% exceeds the 3%% budget", overhead)
+	}
 }

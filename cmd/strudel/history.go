@@ -1,0 +1,118 @@
+// strudel history: the build ledger as a CLI verb. Reads either a
+// ledger directory on disk (-dir, works offline and after the server
+// is gone) or a live serving process's /debug/ledger endpoint (-url),
+// and prints one summary line per refresh cycle — or the raw entries
+// as JSONL with -json. -follow polls and prints only entries newer
+// than the last one seen, `tail -f` for the build plane.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"strudel/internal/ledger"
+)
+
+func cmdHistory(args []string) error {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	dir := fs.String("dir", "", "ledger `directory` to read (as passed to build/serve -ledger)")
+	base := fs.String("url", "", "base `URL` of a serving process exposing /debug/ledger")
+	asJSON := fs.Bool("json", false, "print raw entries as JSONL instead of summary lines")
+	follow := fs.Bool("follow", false, "poll and print entries as they appear")
+	n := fs.Int("n", 20, "entries to show (most recent)")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval with -follow")
+	fs.Parse(args)
+	if (*dir == "") == (*base == "") {
+		return fmt.Errorf("history: exactly one of -dir or -url is required")
+	}
+	return runHistory(os.Stdout, *dir, *base, *asJSON, *follow, *n, *interval, nil)
+}
+
+// historyEntries fetches one batch, newest first. Directory mode
+// re-opens the ledger per poll so a concurrently appending server's
+// segments are re-read; URL mode decodes the /debug/ledger view.
+func historyEntries(client *http.Client, dir, base string, limit int) ([]ledger.Entry, error) {
+	if dir != "" {
+		l, err := ledger.Open(ledger.Options{Dir: dir})
+		if err != nil {
+			return nil, err
+		}
+		return l.Entries(ledger.Filter{Limit: limit}), nil
+	}
+	url := strings.TrimRight(base, "/") + fmt.Sprintf("/debug/ledger?limit=%d", limit)
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var view ledger.View
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, fmt.Errorf("decoding ledger view: %w (is the server running with -ledger or -metrics?)", err)
+	}
+	return view.Entries, nil
+}
+
+// runHistory prints up to n entries oldest-first, then — with follow
+// — keeps polling and prints only entries with a sequence number
+// above the last printed one. stop, when non-nil, ends the follow
+// loop (tests); interactive runs follow until interrupted.
+func runHistory(w io.Writer, dir, base string, asJSON, follow bool, n int, interval time.Duration, stop <-chan struct{}) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	if n < 1 {
+		n = 20
+	}
+	var lastSeq uint64
+	print := func(batch []ledger.Entry) error {
+		// Batches arrive newest-first; print oldest-first so the terminal
+		// reads like a log.
+		for i := len(batch) - 1; i >= 0; i-- {
+			e := batch[i]
+			if e.Seq <= lastSeq {
+				continue
+			}
+			lastSeq = e.Seq
+			if asJSON {
+				raw, err := json.Marshal(e)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, string(raw))
+			} else {
+				fmt.Fprintln(w, e.Summary())
+			}
+		}
+		return nil
+	}
+	batch, err := historyEntries(client, dir, base, n)
+	if err != nil {
+		return err
+	}
+	if err := print(batch); err != nil {
+		return err
+	}
+	for follow {
+		select {
+		case <-stop:
+			return nil
+		case <-time.After(interval):
+		}
+		batch, err := historyEntries(client, dir, base, n)
+		if err != nil {
+			return err
+		}
+		if err := print(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}

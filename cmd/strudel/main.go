@@ -87,6 +87,8 @@ import (
 	"strudel/internal/fsx"
 	"strudel/internal/graph"
 	"strudel/internal/incremental"
+	"strudel/internal/ledger"
+	"strudel/internal/mediator"
 	"strudel/internal/publish"
 	"strudel/internal/schema"
 	"strudel/internal/server"
@@ -117,6 +119,8 @@ func main() {
 		os.Exit(cmdVerify(args))
 	case "top":
 		err = cmdTop(args)
+	case "history":
+		err = cmdHistory(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -130,15 +134,18 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   strudel build -manifest site.manifest -out dir/ [-trace] [-trace-out f.json] [-workers N]
+                [-publish] [-keep N] [-ledger dir/]
   strudel serve -manifest site.manifest -addr :8080 [-dynamic] [-metrics] [-ops]
                 [-hot-pages N] [-compress] [-access-log f|-] [-slo-target 250ms]
                 [-refresh-interval 5m] [-request-timeout 10s] [-max-inflight 256]
-                [-workers N]
+                [-workers N] [-publish dir/] [-ledger dir/] [-freshness-target 2s]
   strudel stats -manifest site.manifest [-trace] [-trace-out f.json] [-workers N]
   strudel explain (-manifest site.manifest | -example cnn) [-json] [-optimize] [-workers N]
   strudel why (-manifest site.manifest | -example cnn) [-json] [-workers N] <page>
   strudel verify [-json] <dir>
-  strudel top [-url http://127.0.0.1:8080] [-interval 2s] [-n 0] [-top 10]`)
+  strudel top [-url http://127.0.0.1:8080] [-interval 2s] [-n 0] [-top 10]
+  strudel history (-dir ledger/ | -url http://127.0.0.1:8080) [-json] [-follow] [-n 20]
+                [-interval 2s]`)
 }
 
 // manifest is the parsed site description.
@@ -302,6 +309,8 @@ func cmdBuild(args []string) error {
 	publishGen := fs.Bool("publish", false,
 		"publish a crash-safe atomic generation under -out (gen-<n>/ + CURRENT) instead of writing pages flat")
 	keep := fs.Int("keep", 2, "generations retained under -out with -publish")
+	ledgerDir := fs.String("ledger", "",
+		"append this build to the crash-safe build ledger under this directory (see `strudel history`)")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
@@ -315,11 +324,12 @@ func cmdBuild(args []string) error {
 	for _, v := range res.Violations {
 		fmt.Fprintln(os.Stderr, "warning:", v)
 	}
+	gen := 0
 	if *publishGen {
 		if err := recoverPublished(*out); err != nil {
 			return err
 		}
-		gen, err := publish.New(fsx.OS, *out, *keep).PublishSite(res.Site, res.Trace.ID, time.Time{})
+		gen, err = publish.New(fsx.OS, *out, *keep).PublishSite(res.Site, res.Trace.ID, time.Time{})
 		if err != nil {
 			return err
 		}
@@ -338,6 +348,21 @@ func cmdBuild(args []string) error {
 			res.Stats.SiteNodes, res.Stats.SiteEdges)
 		if len(pruned) > 0 {
 			fmt.Printf("pruned %d stale page(s) from %s\n", len(pruned), *out)
+		}
+	}
+	if *ledgerDir != "" {
+		led, err := ledger.Open(ledger.Options{Dir: *ledgerDir})
+		if err != nil {
+			return err
+		}
+		trigger := "manual"
+		if *publishGen {
+			trigger = "publish"
+		}
+		e := ledger.FromResult(res, trigger)
+		e.Generation = gen
+		if _, err := led.Append(e); err != nil {
+			return err
 		}
 	}
 	if *trace {
@@ -431,6 +456,10 @@ func cmdServe(args []string) error {
 	publishDir := fs.String("publish", "",
 		"publish every build as a crash-safe atomic generation under this directory (static mode only)")
 	keep := fs.Int("keep", 2, "generations retained under -publish")
+	ledgerDir := fs.String("ledger", "",
+		"persist the build ledger (refresh history, freshness stamps) as crash-safe JSONL segments under this directory; empty keeps it in memory only")
+	freshnessTarget := fs.Duration("freshness-target", 0,
+		"watchdog alert when a source change takes longer than this to become servable at the edge (0 disables)")
 	fs.Parse(args)
 	m, err := loadManifest(*manifestPath)
 	if err != nil {
@@ -460,16 +489,18 @@ func cmdServe(args []string) error {
 		reg = telemetry.NewRegistry()
 	}
 	opts := serveOptions{
-		dynamic:       *dynamic,
-		reg:           reg,
-		renderTimeout: *requestTimeout,
-		maxInflight:   *maxInflight,
-		sloTarget:     *sloTarget,
-		ops:           *ops,
-		hotPages:      *hotPages,
-		compress:      *compress,
-		pub:           pub,
-		logg:          logg,
+		dynamic:         *dynamic,
+		reg:             reg,
+		renderTimeout:   *requestTimeout,
+		maxInflight:     *maxInflight,
+		sloTarget:       *sloTarget,
+		ops:             *ops,
+		hotPages:        *hotPages,
+		compress:        *compress,
+		pub:             pub,
+		logg:            logg,
+		ledgerDir:       *ledgerDir,
+		freshnessTarget: *freshnessTarget,
 	}
 	var accessFile *os.File
 	switch *accessLog {
@@ -561,6 +592,14 @@ type serveOptions struct {
 	// stop, when non-nil, ends the runtime sampler loop on close.
 	stop <-chan struct{}
 	logg *slog.Logger
+	// ledgerDir persists the build ledger as crash-safe JSONL segments
+	// under this directory; "" keeps the ledger in memory only. The
+	// ledger itself always exists — every refresh cycle is recorded.
+	ledgerDir string
+	// freshnessTarget makes the watchdog alert when a source change
+	// takes longer than this to become servable at the edge (0
+	// disables the propagation check).
+	freshnessTarget time.Duration
 }
 
 // observability assembles the serving-plane observers the options ask
@@ -631,6 +670,28 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 	if dynamic {
 		mode = "dynamic"
 	}
+	// The build ledger records every refresh cycle — in memory always,
+	// on disk (crash-safe JSONL segments) when -ledger names a
+	// directory. The watchdog folds each entry into its EWMA and
+	// raises gauges/log warnings on regressions.
+	led, err := ledger.Open(ledger.Options{Dir: opts.ledgerDir})
+	if err != nil {
+		return nil, nil, err
+	}
+	wd := ledger.NewWatchdog(ledger.WatchdogConfig{
+		PropagationTarget: opts.freshnessTarget,
+		Logger:            logg,
+	})
+	if ireg != nil {
+		led.Instrument(ireg)
+		wd.Instrument(ireg)
+	}
+	record := func(e ledger.Entry) {
+		if _, err := led.Append(e); err != nil {
+			logg.Warn("build ledger append failed", "err", err)
+		}
+		wd.Observe(e)
+	}
 	mux := http.NewServeMux()
 	var refresh func() error
 	var intro server.Introspector
@@ -656,8 +717,16 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 	}
 	// builtAt tracks (atomically, as unix nanos) when the served
 	// content was last built or re-validated; the accounting table
-	// derives per-page staleness from it.
+	// derives per-page staleness from it. dataAsOf tracks when the
+	// served data was last *observed at its sources* (the refresh
+	// stamp) — a no-op refresh advances builtAt but not dataAsOf — and
+	// curBuild names the live build for cross-plane correlation.
 	var builtAt atomic.Int64
+	var dataAsOf atomic.Int64
+	var curBuild atomic.Value // string
+	curBuild.Store("")
+	buildID := func() string { s, _ := curBuild.Load().(string); return s }
+	var edge *server.Edge
 
 	if dynamic {
 		r0, err := m.builder.BuildDynamic()
@@ -667,9 +736,25 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 		var cur atomic.Pointer[incremental.Renderer]
 		cur.Store(r0)
 		builtAt.Store(r0.BuiltAt.UnixNano())
-		var edge *server.Edge
+		dataAsOf.Store(r0.BuiltAt.UnixNano())
+		// Click-time rendering has no core.Result; each cycle gets a
+		// fresh build ID and a minimal ledger entry carrying the
+		// mediator's per-source outcomes.
+		dynEntry := func(id, trigger string, totalMs float64) ledger.Entry {
+			e := ledger.Entry{BuildID: id, Site: m.name, Trigger: trigger,
+				Mode: "dynamic", TotalMs: totalMs}
+			if rep := m.builder.LastRefresh(); rep != nil {
+				e.Sources = ledger.SourceRecords(rep)
+				e.Data = ledger.DeltaSizeOf(rep.Warehouse)
+			}
+			return e
+		}
+		id0 := telemetry.NewID("build")
+		curBuild.Store(id0)
+		record(dynEntry(id0, "initial", 0))
 		if edgeOn {
 			edge = server.DynamicEdge(cur.Load, m.rootColl, edgeCfg)
+			edge.NoteBuild(id0)
 			if opts.hotPages > 0 && opts.stop != nil {
 				go edge.RunPolicy(opts.stop, 0)
 			}
@@ -693,12 +778,17 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 		// of starting cold. refreshLoop is the only caller, so reading
 		// cur without coordination is safe.
 		refresh = func() error {
+			t0 := time.Now()
 			prev := cur.Load()
 			r, err := m.builder.RebuildDynamic(prev)
 			if err != nil {
+				record(ledger.Entry{BuildID: telemetry.NewID("build"), Site: m.name,
+					Trigger: "interval", Mode: "failed", Err: err.Error()})
 				return err
 			}
 			warnDegraded(m.builder, logg)
+			id := telemetry.NewID("build")
+			e := dynEntry(id, "interval", float64(time.Since(t0))/float64(time.Millisecond))
 			if r != prev {
 				cur.Store(r)
 				if edge != nil {
@@ -706,8 +796,19 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 					// bytes may be stale, so drop them and let the policy
 					// re-materialize from the new snapshot on demand.
 					edge.FlushHot()
+					edge.NoteBuild(id)
 				}
+				observed := t0
+				if rep := m.builder.LastRefresh(); rep != nil && !rep.At.IsZero() {
+					observed = rep.At
+				}
+				e.StampFreshness(observed, time.Now())
+				dataAsOf.Store(dataStamp(m.builder.LastRefresh(), observed).UnixNano())
+			} else {
+				e.Mode = "noop"
 			}
+			curBuild.Store(id)
+			record(e)
 			builtAt.Store(r.BuiltAt.UnixNano())
 			return nil
 		}
@@ -724,19 +825,27 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 		for _, v := range res.Violations {
 			logg.Warn("constraint violation", "build_id", res.Trace.ID, "violation", fmt.Sprint(v))
 		}
+		gen0 := 0
 		if opts.pub != nil {
-			gen, err := opts.pub.PublishSite(res.Site, res.Trace.ID, time.Time{})
+			gen0, err = opts.pub.PublishSite(res.Site, res.Trace.ID, time.Time{})
 			if err != nil {
 				return nil, nil, fmt.Errorf("publishing initial build: %w", err)
 			}
-			logg.Info("published", "build_id", res.Trace.ID, "generation", gen, "dir", opts.pub.Dir())
+			logg.Info("published", "build_id", res.Trace.ID, "generation", gen0, "dir", opts.pub.Dir())
 		}
 		var cur atomic.Pointer[core.Result]
 		cur.Store(res)
 		builtAt.Store(res.BuiltAt.UnixNano())
-		var edge *server.Edge
+		curBuild.Store(res.Trace.ID)
+		// The initial build's data is as fresh as its refresh stamp
+		// (when the mediator fetched), falling back to build completion.
+		dataAsOf.Store(dataStamp(res.Refresh, res.BuiltAt).UnixNano())
+		e0 := ledger.FromResult(res, "initial")
+		e0.Generation = gen0
+		record(e0)
 		if edgeOn {
 			edge = server.NewEdge(server.NewSiteSource(res.Site), edgeCfg)
+			edge.NoteBuild(res.Trace.ID)
 			if opts.hotPages > 0 && opts.stop != nil {
 				go edge.RunPolicy(opts.stop, 0)
 			}
@@ -761,20 +870,34 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 		// touched by refreshLoop (a single goroutine), so no lock.
 		prev := res
 		refresh = func() error {
+			t0 := time.Now()
 			next, err := m.builder.Rebuild(prev)
 			if err != nil {
+				record(ledger.Entry{BuildID: telemetry.NewID("build"), Site: m.name,
+					Trigger: "interval", Mode: "failed", Err: err.Error()})
 				return err
 			}
 			warnDegraded(m.builder, logg)
+			// observed is the freshness anchor: when the source change
+			// entered the pipeline (the refresh-report stamp, i.e. when
+			// the mediator started fetching), not when the rebuild ended.
+			observed := t0
+			if rep := next.Refresh; rep != nil && !rep.At.IsZero() {
+				observed = rep.At
+			}
 			changed := next.Incremental == nil || next.Incremental.Mode != "noop"
+			gen := 0
 			if opts.pub != nil && changed {
 				// Publish before swapping: the in-memory site only
 				// replaces the old one once the new generation is the
 				// committed CURRENT on disk. A failed publish (e.g.
 				// disk full) keeps serving the last published build
 				// and is retried by the refresh loop's backoff.
-				gen, err := opts.pub.PublishSite(next.Site, next.Trace.ID, time.Time{})
+				gen, err = opts.pub.PublishSite(next.Site, next.Trace.ID, time.Time{})
 				if err != nil {
+					fe := ledger.FromResult(next, "interval")
+					fe.Err = "publish: " + err.Error()
+					record(fe)
 					return fmt.Errorf("publish failed, serving last good generation: %w", err)
 				}
 				logg.Info("published", "build_id", next.Trace.ID, "generation", gen, "dir", opts.pub.Dir())
@@ -789,7 +912,19 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 				// the rebuild keep their resident bytes; invalidated ones
 				// re-materialize from the new site.
 				edge.SetSource(server.NewSiteSource(next.Site))
+				edge.NoteBuild(next.Trace.ID)
 			}
+			// The new ETags are servable from this instant: the result is
+			// swapped and (when edged) the edge answers from it.
+			servable := time.Now()
+			e := ledger.FromResult(next, "interval")
+			e.Generation = gen
+			if changed {
+				e.StampFreshness(observed, servable)
+			}
+			record(e)
+			curBuild.Store(next.Trace.ID)
+			dataAsOf.Store(dataStamp(next.Refresh, observed).UnixNano())
 			prev = next
 			builtAt.Store(next.BuiltAt.UnixNano())
 			return nil
@@ -811,23 +946,38 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 	var h http.Handler = server.Shed(ireg, mode, maxInflight, server.Recover(ireg, mode, mux))
 	if ireg == nil {
 		// No telemetry at all: just the health endpoints around the
-		// serving chain.
+		// serving chain — plus the ledger view when it persists to
+		// disk (the operator asked for build history explicitly).
 		outer := http.NewServeMux()
 		outer.Handle("/", h)
 		server.AttachHealth(outer, server.Health{Ready: ready})
+		if opts.ledgerDir != "" {
+			outer.Handle("/debug/ledger", led.Handler(wd))
+		}
 		return outer, refresh, nil
 	}
 	if obs.Accounting != nil {
 		obs.Accounting.SetFreshness(func() time.Time {
 			return time.Unix(0, builtAt.Load())
 		})
+		obs.Accounting.SetDataFreshness(func() time.Time {
+			if v := dataAsOf.Load(); v != 0 {
+				return time.Unix(0, v)
+			}
+			return time.Time{}
+		})
 	}
+	// Every served request carries the live build's ID into the access
+	// log and sampled traces — the serving-plane half of the ledger's
+	// cross-plane correlation.
+	obs.BuildID = buildID
 	// The debug and health endpoints mount outside the instrumented
 	// shedding chain, so /metrics, /readyz and /debug/ops stay
 	// reachable (and unaccounted) under overload.
 	outer := http.NewServeMux()
 	outer.Handle("/", server.InstrumentObserved(obs, mode, h))
 	server.AttachHealth(outer, server.Health{Ready: ready})
+	outer.Handle("/debug/ledger", led.Handler(wd))
 	if reg != nil {
 		server.AttachDebug(outer, reg)
 		server.AttachIntrospection(outer, intro)
@@ -835,9 +985,35 @@ func serveHandler(m *manifest, opts serveOptions) (http.Handler, func() error, e
 	if opsSurface != nil {
 		opsSurface.Mode = mode
 		opsSurface.Ready = ready
+		opsSurface.BuildID = buildID
+		opsSurface.Edge = edge
+		opsSurface.LastBuild = func() any {
+			if e, ok := led.Last(); ok {
+				return e
+			}
+			return nil
+		}
 		server.AttachOps(outer, opsSurface)
 	}
 	return outer, refresh, nil
+}
+
+// dataStamp is the "data as of" provenance stamp for a refresh: the
+// report time when every source answered fresh, pulled back to the
+// oldest StaleSince when a source is serving last-good data — the
+// served data is only as current as its stalest source. fallback
+// covers refresh-less builds (fixed data graphs).
+func dataStamp(rep *mediator.RefreshReport, fallback time.Time) time.Time {
+	if rep == nil || rep.At.IsZero() {
+		return fallback
+	}
+	stamp := rep.At
+	for _, s := range rep.Sources {
+		if s.State != mediator.Fresh && !s.StaleSince.IsZero() && s.StaleSince.Before(stamp) {
+			stamp = s.StaleSince
+		}
+	}
+	return stamp
 }
 
 // warnDegraded logs which sources the last refresh served from stale

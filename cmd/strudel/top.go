@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"strudel/internal/ledger"
 	"strudel/internal/server"
 )
 
@@ -77,6 +78,28 @@ func renderOps(w io.Writer, snap *server.OpsSnapshot, topK int) {
 	}
 	fmt.Fprintf(w, "strudel top — mode %s, up %s, %s\n",
 		snap.Mode, time.Duration(snap.UptimeSeconds*float64(time.Second)).Round(time.Second), ready)
+
+	if snap.BuildID != "" || snap.LastBuild != nil {
+		fmt.Fprintf(w, "build  %s", snap.BuildID)
+		var e ledger.Entry
+		if snap.LastBuild != nil && json.Unmarshal(snap.LastBuild, &e) == nil {
+			fmt.Fprintf(w, "  last cycle: %s/%s, %d/%d pages rendered (%d reused), %d etags churned, %.0fms",
+				e.Trigger, e.Mode, e.Pages.Rendered, e.Pages.Total, e.Pages.Reused, e.ETagChurn, e.TotalMs)
+			if e.Freshness != nil {
+				fmt.Fprintf(w, ", propagated %.3fs", e.Freshness.PropagationSeconds)
+			}
+			if e.Err != "" {
+				fmt.Fprintf(w, ", ERR %s", e.Err)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if es := snap.Edge; es != nil {
+		fmt.Fprintf(w, "edge   %s: %d requests, %.1f%% hit (%d hot, %d 304), %d cold, %d not-found, %d errors; hot %d/%d pages, %d promotions, %d demotions\n",
+			es.Mode, es.Requests, 100*es.HitRatio, es.HitsHot, es.Hits304,
+			es.Cold, es.NotFound, es.Errors, es.HotPages, es.Capacity,
+			es.Promotions, es.Demotions)
+	}
 
 	if s := snap.SLO; s != nil {
 		fmt.Fprintf(w, "slo    target %s  objective %.2f%%  window %s: %d req, %.3f%% compliant, budget used %.1f%%, burn %.2fx\n",

@@ -284,6 +284,16 @@ type Stats struct {
 	VerifyTime               time.Duration
 	GenerateTime             time.Duration
 	TotalTime                time.Duration
+	// Per-phase heap-allocation deltas (bytes), sampled from the
+	// process-wide runtime allocation counter at the same boundaries
+	// as the durations. Concurrent activity (served requests, another
+	// build) is attributed to whichever phase was running — treat
+	// these as profiles, not accounting.
+	MediationAlloc uint64
+	QueryAlloc     uint64
+	VerifyAlloc    uint64
+	GenerateAlloc  uint64
+	TotalAlloc     uint64
 }
 
 // Result is a completed build.
@@ -476,9 +486,11 @@ func (b *Builder) Build() (*Result, error) {
 	tr := telemetry.NewTrace("build " + b.name)
 	res := &Result{Trace: tr}
 	pl := b.buildPool()
+	a0 := telemetry.AllocBytes()
 	defer func() {
 		tr.Finish()
 		res.Stats.TotalTime = tr.Duration()
+		res.Stats.TotalAlloc = telemetry.AllocBytes() - a0
 		res.BuiltAt = time.Now()
 	}()
 
@@ -494,6 +506,8 @@ func (b *Builder) Build() (*Result, error) {
 	}
 	med.Finish()
 	res.Stats.MediationTime = med.Duration()
+	aMed := telemetry.AllocBytes()
+	res.Stats.MediationAlloc = aMed - a0
 	if err != nil {
 		return nil, err
 	}
@@ -510,6 +524,8 @@ func (b *Builder) Build() (*Result, error) {
 	}
 	qsp.Finish()
 	res.Stats.QueryTime = qsp.Duration()
+	aQuery := telemetry.AllocBytes()
+	res.Stats.QueryAlloc = aQuery - aMed
 	if err != nil {
 		return nil, err
 	}
@@ -531,6 +547,8 @@ func (b *Builder) Build() (*Result, error) {
 	}
 	ver.Finish()
 	res.Stats.VerifyTime = ver.Duration()
+	aVerify := telemetry.AllocBytes()
+	res.Stats.VerifyAlloc = aVerify - aQuery
 
 	gsp := tr.Root().Child("generate")
 	gen := sitegen.New(site, sitegen.Config{
@@ -546,6 +564,7 @@ func (b *Builder) Build() (*Result, error) {
 	}
 	gsp.Finish()
 	res.Stats.GenerateTime = gsp.Duration()
+	res.Stats.GenerateAlloc = telemetry.AllocBytes() - aVerify
 	if err != nil {
 		return nil, err
 	}

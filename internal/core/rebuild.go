@@ -222,9 +222,11 @@ func (b *Builder) tryDifferential(prev *Result, data *graph.Graph) (*Result, err
 	tr := telemetry.NewTrace("rebuild " + b.name)
 	res := &Result{Trace: tr, DataGraph: data}
 	pl := b.buildPool()
+	a0 := telemetry.AllocBytes()
 	defer func() {
 		tr.Finish()
 		res.Stats.TotalTime = tr.Duration()
+		res.Stats.TotalAlloc = telemetry.AllocBytes() - a0
 		res.BuiltAt = time.Now()
 	}()
 	tr.Root().SetAttr("site", b.name)
@@ -260,6 +262,8 @@ func (b *Builder) tryDifferential(prev *Result, data *graph.Graph) (*Result, err
 	st, err := b.mat.Apply(ops)
 	qsp.Finish()
 	res.Stats.QueryTime = qsp.Duration()
+	aQuery := telemetry.AllocBytes()
+	res.Stats.QueryAlloc = aQuery - a0
 	if err != nil {
 		b.mat = nil
 		return nil, errDiffAbort
@@ -279,6 +283,8 @@ func (b *Builder) tryDifferential(prev *Result, data *graph.Graph) (*Result, err
 	}
 	ver.Finish()
 	res.Stats.VerifyTime = ver.Duration()
+	aVerify := telemetry.AllocBytes()
+	res.Stats.VerifyAlloc = aVerify - aQuery
 
 	cone := site.ReverseReachable(st.Touched)
 
@@ -303,6 +309,7 @@ func (b *Builder) tryDifferential(prev *Result, data *graph.Graph) (*Result, err
 	}
 	gsp.Finish()
 	res.Stats.GenerateTime = gsp.Duration()
+	res.Stats.GenerateAlloc = telemetry.AllocBytes() - aVerify
 	if err != nil {
 		return nil, err
 	}
@@ -366,9 +373,11 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 	tr := telemetry.NewTrace("rebuild " + b.name)
 	res := &Result{Trace: tr, DataGraph: data, Refresh: report}
 	pl := b.buildPool()
+	a0 := telemetry.AllocBytes()
 	defer func() {
 		tr.Finish()
 		res.Stats.TotalTime = tr.Duration()
+		res.Stats.TotalAlloc = telemetry.AllocBytes() - a0
 		res.BuiltAt = time.Now()
 	}()
 
@@ -415,6 +424,8 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 	}
 	qsp.Finish()
 	res.Stats.QueryTime = qsp.Duration()
+	aQuery := telemetry.AllocBytes()
+	res.Stats.QueryAlloc = aQuery - a0
 	if err != nil {
 		return nil, err
 	}
@@ -432,6 +443,8 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 	}
 	ver.Finish()
 	res.Stats.VerifyTime = ver.Duration()
+	aVerify := telemetry.AllocBytes()
+	res.Stats.VerifyAlloc = aVerify - aQuery
 
 	var affected func(graph.OID) bool
 	if delta != nil {
@@ -469,6 +482,7 @@ func (b *Builder) rebuildFrom(prev *Result, data *graph.Graph, report *mediator.
 	htmlSite, dstats, err := gen.RegenerateDeltaContext(context.Background(), prev.Site, affected)
 	gsp.Finish()
 	res.Stats.GenerateTime = gsp.Duration()
+	res.Stats.GenerateAlloc = telemetry.AllocBytes() - aVerify
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,55 @@
+package ledger
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// View is the /debug/ledger response body: matching entries
+// newest-first plus the watchdog state.
+type View struct {
+	Entries  []Entry           `json:"entries"`
+	Watchdog *WatchdogSnapshot `json:"watchdog,omitempty"`
+}
+
+// defaultViewLimit caps /debug/ledger responses unless ?limit= says
+// otherwise.
+const defaultViewLimit = 20
+
+// Handler serves the ledger as JSON, filterable by query parameters:
+// ?source=<name>, ?page=<path>, ?build=<build_id>, ?trigger=<t>,
+// ?limit=<n> (default 20, 0 = everything retained in memory). wd may
+// be nil.
+func (l *Ledger) Handler(wd *Watchdog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f := Filter{
+			Source:  q.Get("source"),
+			Page:    q.Get("page"),
+			BuildID: q.Get("build"),
+			Trigger: q.Get("trigger"),
+			Limit:   defaultViewLimit,
+		}
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		view := View{Entries: l.Entries(f)}
+		if view.Entries == nil {
+			view.Entries = []Entry{}
+		}
+		if wd != nil {
+			snap := wd.Snapshot()
+			view.Watchdog = &snap
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(view)
+	})
+}

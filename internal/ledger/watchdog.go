@@ -1,0 +1,216 @@
+package ledger
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"strudel/internal/telemetry"
+)
+
+// Alert kinds raised by the watchdog.
+const (
+	AlertSlowRebuild    = "slow_rebuild"    // rebuild duration regressed vs. the EWMA
+	AlertSourceDegraded = "source_degraded" // a source stayed degraded past the threshold
+	AlertPropagation    = "propagation"     // freshness propagation blew its target
+)
+
+var alertKinds = []string{AlertSlowRebuild, AlertSourceDegraded, AlertPropagation}
+
+// WatchdogConfig tunes the rebuild watchdog. The zero value gets the
+// defaults documented per field.
+type WatchdogConfig struct {
+	// Alpha is the EWMA smoothing factor over rebuild durations
+	// (default 0.3 — a handful of cycles of memory).
+	Alpha float64
+	// SlowFactor raises slow_rebuild when a cycle takes more than
+	// SlowFactor × EWMA (default 3).
+	SlowFactor float64
+	// MinSamples is how many cycles must season the EWMA before
+	// slow_rebuild can fire (default 5).
+	MinSamples int
+	// DegradedAfter raises source_degraded once a source has been
+	// serving stale data longer than this (default 10m).
+	DegradedAfter time.Duration
+	// PropagationTarget raises propagation when an entry's freshness
+	// propagation exceeds it; 0 disables the check.
+	PropagationTarget time.Duration
+	// Logger receives a warning per raised alert; nil disables
+	// logging (gauges and counters still update).
+	Logger *slog.Logger
+}
+
+func (c *WatchdogConfig) defaults() {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.SlowFactor <= 1 {
+		c.SlowFactor = 3
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.DegradedAfter <= 0 {
+		c.DegradedAfter = 10 * time.Minute
+	}
+}
+
+// Alert is one raised condition, attributed to the build that
+// triggered it.
+type Alert struct {
+	Kind    string `json:"kind"`
+	BuildID string `json:"build_id"`
+	Detail  string `json:"detail"`
+}
+
+// WatchdogSnapshot is the watchdog's queryable state, embedded in the
+// /debug/ledger view.
+type WatchdogSnapshot struct {
+	EWMAMs      float64 `json:"ewma_ms"`
+	Samples     int     `json:"samples"`
+	AlertsTotal uint64  `json:"alerts_total"`
+	// Active lists the alert kinds raised by the most recent cycle.
+	Active []string `json:"active,omitempty"`
+	// Recent keeps the last few alerts for context.
+	Recent []Alert `json:"recent,omitempty"`
+}
+
+const watchdogRecent = 8
+
+// Watchdog tracks an EWMA of rebuild duration over ledger entries and
+// raises alerts — registry gauges plus log warnings — when a cycle
+// regresses, a source stays degraded, or propagation misses target.
+type Watchdog struct {
+	mu      sync.Mutex
+	cfg     WatchdogConfig
+	ewmaMs  float64
+	samples int
+	total   uint64
+	active  map[string]bool
+	recent  []Alert
+
+	mTotal  map[string]*telemetry.Counter
+	mActive map[string]*telemetry.Gauge
+}
+
+// NewWatchdog builds a watchdog with the given config (zero value ok).
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	cfg.defaults()
+	return &Watchdog{cfg: cfg, active: map[string]bool{}}
+}
+
+// Instrument registers strudel_watchdog_alerts_total{kind} and
+// strudel_watchdog_alert_active{kind} (1 while the most recent cycle
+// raised the kind, else 0) on reg.
+func (w *Watchdog) Instrument(reg *telemetry.Registry) {
+	if w == nil || reg == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mTotal = map[string]*telemetry.Counter{}
+	w.mActive = map[string]*telemetry.Gauge{}
+	for _, kind := range alertKinds {
+		w.mTotal[kind] = reg.Counter("strudel_watchdog_alerts_total",
+			"Watchdog alerts raised, by kind.", "kind", kind)
+		w.mActive[kind] = reg.Gauge("strudel_watchdog_alert_active",
+			"1 while the most recent rebuild cycle raised this alert kind.", "kind", kind)
+	}
+}
+
+// Observe folds one ledger entry into the watchdog and returns the
+// alerts it raised (possibly none). Failed cycles ("failed"/"noop"
+// durations) do not season the EWMA.
+func (w *Watchdog) Observe(e Entry) []Alert {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var alerts []Alert
+
+	if e.Err == "" && e.Mode != "noop" {
+		if w.samples >= w.cfg.MinSamples && e.TotalMs > w.cfg.SlowFactor*w.ewmaMs && w.ewmaMs > 0 {
+			alerts = append(alerts, Alert{
+				Kind:    AlertSlowRebuild,
+				BuildID: e.BuildID,
+				Detail: fmt.Sprintf("rebuild took %.1fms, %.1f× the %.1fms EWMA",
+					e.TotalMs, e.TotalMs/w.ewmaMs, w.ewmaMs),
+			})
+		}
+		if w.samples == 0 {
+			w.ewmaMs = e.TotalMs
+		} else {
+			w.ewmaMs = w.cfg.Alpha*e.TotalMs + (1-w.cfg.Alpha)*w.ewmaMs
+		}
+		w.samples++
+	}
+
+	for _, s := range e.Sources {
+		if s.State == "fresh" {
+			continue
+		}
+		if stale := time.Duration(s.StaleSeconds * float64(time.Second)); stale > w.cfg.DegradedAfter {
+			alerts = append(alerts, Alert{
+				Kind:    AlertSourceDegraded,
+				BuildID: e.BuildID,
+				Detail: fmt.Sprintf("source %q %s for %s (threshold %s): %s",
+					s.Name, s.State, stale.Round(time.Second), w.cfg.DegradedAfter, s.Err),
+			})
+		}
+	}
+
+	if w.cfg.PropagationTarget > 0 && e.Freshness != nil {
+		if prop := time.Duration(e.Freshness.PropagationSeconds * float64(time.Second)); prop > w.cfg.PropagationTarget {
+			alerts = append(alerts, Alert{
+				Kind:    AlertPropagation,
+				BuildID: e.BuildID,
+				Detail: fmt.Sprintf("freshness propagation %s exceeded target %s",
+					prop.Round(time.Millisecond), w.cfg.PropagationTarget),
+			})
+		}
+	}
+
+	raised := map[string]bool{}
+	for _, a := range alerts {
+		raised[a.Kind] = true
+		w.total++
+		w.recent = append(w.recent, a)
+		if w.mTotal != nil {
+			w.mTotal[a.Kind].Inc()
+		}
+		if w.cfg.Logger != nil {
+			w.cfg.Logger.Warn("watchdog alert", "kind", a.Kind, "build_id", a.BuildID, "detail", a.Detail)
+		}
+	}
+	if over := len(w.recent) - watchdogRecent; over > 0 {
+		w.recent = append([]Alert(nil), w.recent[over:]...)
+	}
+	w.active = raised
+	if w.mActive != nil {
+		for _, kind := range alertKinds {
+			v := 0.0
+			if raised[kind] {
+				v = 1
+			}
+			w.mActive[kind].Set(v)
+		}
+	}
+	return alerts
+}
+
+// Snapshot returns the watchdog's current state.
+func (w *Watchdog) Snapshot() WatchdogSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	snap := WatchdogSnapshot{
+		EWMAMs:      w.ewmaMs,
+		Samples:     w.samples,
+		AlertsTotal: w.total,
+		Recent:      append([]Alert(nil), w.recent...),
+	}
+	for _, kind := range alertKinds {
+		if w.active[kind] {
+			snap.Active = append(snap.Active, kind)
+		}
+	}
+	return snap
+}

@@ -38,9 +38,13 @@ type pageAccount struct {
 	last    time.Time
 	status  int
 	// staleness is the served content's age at the last hit (now minus
-	// the build time of the result being served).
-	staleness time.Duration
-	elem      *list.Element
+	// the build time of the result being served); dataStaleness
+	// measures against the last *known-good source observation*
+	// instead — a degraded source keeps aging the data even while
+	// rebuilds keep re-validating the content.
+	staleness     time.Duration
+	dataStaleness time.Duration
+	elem          *list.Element
 }
 
 // PageStats is one page's exported accounting row.
@@ -63,6 +67,12 @@ type PageStats struct {
 	// argues should be first-class. Zero when no freshness source is
 	// wired.
 	StalenessSeconds float64 `json:"staleness_seconds"`
+	// DataStalenessSeconds is the served content's age against the
+	// last *known-good source observation*, not the last rebuild:
+	// while a source is degraded the served data keeps aging here
+	// even though rebuilds keep resetting StalenessSeconds. Zero when
+	// no data-freshness source is wired.
+	DataStalenessSeconds float64 `json:"data_staleness_seconds"`
 }
 
 // AccountingSnapshot is the table's JSON view.
@@ -82,13 +92,14 @@ type AccountingSnapshot struct {
 // Accounting is the bounded per-page access table. All methods are
 // safe for concurrent use; a nil *Accounting is a valid no-op.
 type Accounting struct {
-	mu        sync.Mutex
-	max       int
-	pages     map[string]*pageAccount
-	lru       *list.List // front = most recently served
-	totalHits uint64
-	evictions uint64
-	freshness func() time.Time
+	mu            sync.Mutex
+	max           int
+	pages         map[string]*pageAccount
+	lru           *list.List // front = most recently served
+	totalHits     uint64
+	evictions     uint64
+	freshness     func() time.Time
+	dataFreshness func() time.Time
 
 	// fixed-cardinality registry aggregates (nil until Instrument).
 	mHits, mEvict *telemetry.Counter
@@ -117,6 +128,20 @@ func (a *Accounting) SetFreshness(fn func() time.Time) {
 	}
 	a.mu.Lock()
 	a.freshness = fn
+	a.mu.Unlock()
+}
+
+// SetDataFreshness wires the data-staleness observable: fn returns
+// when the data underlying the served content was last observed at
+// its sources (the refresh-report stamp recorded in the build
+// ledger), so each hit can report age against the *source change*
+// rather than the last rebuild.
+func (a *Accounting) SetDataFreshness(fn func() time.Time) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.dataFreshness = fn
 	a.mu.Unlock()
 }
 
@@ -187,6 +212,13 @@ func (a *Accounting) Record(path string, status int, bytes int64, d time.Duratio
 			pa.staleness = 0
 		}
 	}
+	if a.dataFreshness != nil {
+		if asOf := a.dataFreshness(); !asOf.IsZero() && now.After(asOf) {
+			pa.dataStaleness = now.Sub(asOf)
+		} else {
+			pa.dataStaleness = 0
+		}
+	}
 	tracked := len(a.pages)
 	a.mu.Unlock()
 	if a.mHits != nil {
@@ -241,15 +273,16 @@ func quantile(buckets []uint64, q float64) float64 {
 // statsFor renders one row (caller holds the lock).
 func (pa *pageAccount) stats() PageStats {
 	ps := PageStats{
-		Path:             pa.path,
-		Hits:             pa.hits,
-		Errors:           pa.errors,
-		Bytes:            pa.bytes,
-		P50Ms:            quantile(pa.buckets, 0.50),
-		P99Ms:            quantile(pa.buckets, 0.99),
-		LastStatus:       pa.status,
-		LastServed:       pa.last,
-		StalenessSeconds: pa.staleness.Seconds(),
+		Path:                 pa.path,
+		Hits:                 pa.hits,
+		Errors:               pa.errors,
+		Bytes:                pa.bytes,
+		P50Ms:                quantile(pa.buckets, 0.50),
+		P99Ms:                quantile(pa.buckets, 0.99),
+		LastStatus:           pa.status,
+		LastServed:           pa.last,
+		StalenessSeconds:     pa.staleness.Seconds(),
+		DataStalenessSeconds: pa.dataStaleness.Seconds(),
 	}
 	if pa.hits > 0 {
 		ps.MeanMs = pa.sum / float64(pa.hits) * 1000

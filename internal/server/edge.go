@@ -325,8 +325,8 @@ type EdgeStats struct {
 	// HitRatio is (Hits304 + HitsHot) / Requests, 0 when idle.
 	HitRatio float64 `json:"hit_ratio"`
 	// Policy activity.
-	Promotions        uint64 `json:"promotions"`
-	Demotions         uint64 `json:"demotions"`
+	Promotions         uint64 `json:"promotions"`
+	Demotions          uint64 `json:"demotions"`
 	Rematerializations uint64 `json:"rematerializations"`
 }
 
@@ -411,6 +411,19 @@ func (e *Edge) Stats() EdgeStats {
 		st.HitRatio = float64(st.Hits304+st.HitsHot) / float64(st.Requests)
 	}
 	return st
+}
+
+// NoteBuild records which build the edge is now serving as the
+// strudel_edge_build_info info-gauge — the serving-plane end of the
+// build_id correlation chain. Replace semantics: the family always
+// holds exactly one series, so build swaps cannot grow cardinality.
+func (e *Edge) NoteBuild(buildID string) {
+	if e == nil || e.cfg.Registry == nil || buildID == "" {
+		return
+	}
+	e.cfg.Registry.Info("strudel_edge_build_info",
+		"Identity of the build the serving edge is answering from (value is always 1).",
+		"mode", e.cfg.Mode, "build_id", buildID)
 }
 
 // HotKeys lists the currently materialized page keys, sorted.

@@ -7,6 +7,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -148,16 +149,24 @@ type TracingStats struct {
 
 // OpsSnapshot is the aggregated /debug/ops document.
 type OpsSnapshot struct {
-	Time          time.Time               `json:"time"`
-	UptimeSeconds float64                 `json:"uptime_seconds"`
-	Mode          string                  `json:"mode"`
-	Ready         bool                    `json:"ready"`
-	ReadyReason   string                  `json:"ready_reason,omitempty"`
-	SLO           *telemetry.SLOSnapshot  `json:"slo,omitempty"`
-	Runtime       *telemetry.RuntimeStats `json:"runtime,omitempty"`
-	Accounting    *AccountingSnapshot     `json:"accounting,omitempty"`
-	InFlight      []InflightRequest       `json:"in_flight"`
-	Tracing       *TracingStats           `json:"tracing,omitempty"`
+	Time          time.Time `json:"time"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Mode          string    `json:"mode"`
+	Ready         bool      `json:"ready"`
+	ReadyReason   string    `json:"ready_reason,omitempty"`
+	// BuildID names the build currently being served — the key into
+	// the build ledger (/debug/ledger, `strudel history`).
+	BuildID string                  `json:"build_id,omitempty"`
+	SLO     *telemetry.SLOSnapshot  `json:"slo,omitempty"`
+	Runtime *telemetry.RuntimeStats `json:"runtime,omitempty"`
+	// Edge is the serving edge's cache counters (hit/304 ratios).
+	Edge       *EdgeStats          `json:"edge,omitempty"`
+	Accounting *AccountingSnapshot `json:"accounting,omitempty"`
+	InFlight   []InflightRequest   `json:"in_flight"`
+	Tracing    *TracingStats       `json:"tracing,omitempty"`
+	// LastBuild is the newest build-ledger entry, marshaled by the
+	// provider (the server package has no ledger dependency).
+	LastBuild json.RawMessage `json:"last_build,omitempty"`
 }
 
 // Ops aggregates the serving-plane observables into one snapshot. Any
@@ -172,6 +181,14 @@ type Ops struct {
 	Inflight   *Inflight
 	// Ready mirrors Health.Ready so the snapshot shows readiness inline.
 	Ready func() error
+	// BuildID reports the live build's ID (see OpsSnapshot.BuildID).
+	BuildID func() string
+	// Edge, when set, contributes its cache stats to the snapshot.
+	Edge *Edge
+	// LastBuild, when set, returns the newest build-ledger entry (any
+	// JSON-marshalable value; nil for none) — a closure so the server
+	// package stays decoupled from the ledger package.
+	LastBuild func() any
 	// TopK bounds the accounting rows in the snapshot (default 50).
 	TopK int
 }
@@ -193,6 +210,20 @@ func (o *Ops) Snapshot() OpsSnapshot {
 		if err := o.Ready(); err != nil {
 			snap.Ready = false
 			snap.ReadyReason = err.Error()
+		}
+	}
+	if o.BuildID != nil {
+		snap.BuildID = o.BuildID()
+	}
+	if o.Edge != nil {
+		es := o.Edge.Stats()
+		snap.Edge = &es
+	}
+	if o.LastBuild != nil {
+		if v := o.LastBuild(); v != nil {
+			if raw, err := json.Marshal(v); err == nil {
+				snap.LastBuild = raw
+			}
 		}
 	}
 	if o.SLO != nil {

@@ -245,6 +245,11 @@ type Observability struct {
 	Tracer *telemetry.RequestTracer
 	// Inflight tracks requests currently being served for /debug/ops.
 	Inflight *Inflight
+	// BuildID, when set, names the build the response was served from
+	// (read once per request, at completion); it lands in the access
+	// log and on sampled request traces, correlating the serving plane
+	// with the build ledger.
+	BuildID func() string
 }
 
 // Instrument wraps a handler with per-mode request telemetry: a
@@ -318,8 +323,15 @@ func InstrumentObserved(obs Observability, mode string, next http.Handler) http.
 		if obs.SLO != nil {
 			obs.SLO.Observe(d, status >= 500)
 		}
+		buildID := ""
+		if obs.BuildID != nil {
+			buildID = obs.BuildID()
+		}
 		if obs.Tracer != nil && tr != nil {
 			tr.Root().SetAttr("status", status)
+			if buildID != "" {
+				tr.Root().SetAttr("build_id", buildID)
+			}
 			obs.Tracer.Finish(tr)
 		}
 		if obs.AccessLog != nil {
@@ -330,7 +342,7 @@ func InstrumentObserved(obs Observability, mode string, next http.Handler) http.
 			obs.AccessLog.Log(telemetry.AccessEntry{
 				Mode: mode, Method: r.Method, Path: r.URL.Path,
 				Status: status, Bytes: sw.bytes, Duration: d,
-				RequestID: reqID, TraceID: traceID,
+				RequestID: reqID, TraceID: traceID, BuildID: buildID,
 			})
 		}
 	})

@@ -27,6 +27,10 @@ type AccessEntry struct {
 	// the request was not sampled).
 	RequestID string
 	TraceID   string
+	// BuildID names the build the response was served from ("" when
+	// the serving layer has no build-plane wiring) — the cross-plane
+	// correlation key into the build ledger.
+	BuildID string
 }
 
 // AccessLogger writes one structured line per request. A nil
@@ -69,6 +73,9 @@ func (a *AccessLogger) Log(e AccessEntry) {
 	}
 	if e.TraceID != "" {
 		attrs = append(attrs, "trace_id", e.TraceID)
+	}
+	if e.BuildID != "" {
+		attrs = append(attrs, "build_id", e.BuildID)
 	}
 	a.l.Info("access", attrs...)
 }

@@ -1,0 +1,23 @@
+package telemetry
+
+import "runtime/metrics"
+
+// allocSample is reused per call; runtime/metrics.Read fills values
+// in place and the read itself is a few microseconds with no
+// stop-the-world, unlike runtime.ReadMemStats — cheap enough to
+// sample at build-phase boundaries.
+var allocSampleName = "/gc/heap/allocs:bytes"
+
+// AllocBytes returns the process-wide cumulative heap-allocation byte
+// counter. Differences between two reads bound the allocation cost of
+// the code in between — polluted by whatever else the process did
+// concurrently, so treat deltas as profiles, not accounting. Returns
+// 0 if the runtime does not expose the metric.
+func AllocBytes() uint64 {
+	s := []metrics.Sample{{Name: allocSampleName}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}

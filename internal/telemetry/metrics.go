@@ -266,6 +266,25 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labelPairs ..
 	return m.h
 }
 
+// Info installs an info-style gauge (constant value 1, identity in
+// the labels) with *replace* semantics: the whole family is reset to
+// exactly this one series. That bounds cardinality for identities
+// that change over the process lifetime — e.g. the live build ID —
+// where the Prometheus-idiomatic one-series-per-identity pattern
+// would grow without limit. Note the replacement is family-wide: two
+// writers sharing one family clobber each other, so Info families
+// must have a single owner.
+func (r *Registry) Info(name, help string, labelPairs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, "gauge", nil)
+	f.series = map[string]*metric{}
+	m, _ := f.get(canonLabels(labelPairs))
+	g := &Gauge{}
+	g.Set(1)
+	m.g = g
+}
+
 // WritePrometheus renders every family in Prometheus text exposition
 // format (version 0.0.4). Output is fully deterministic: families are
 // sorted by name and series by their canonical label rendering, so

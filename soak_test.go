@@ -12,8 +12,10 @@ package strudel_test
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"strudel/internal/graph"
+	"strudel/internal/ledger"
 	"strudel/internal/workload"
 )
 
@@ -33,14 +35,26 @@ func TestSoakDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every edit's cycle is recorded in a persistent build ledger, the
+	// way a long-running server would: the freshness stamp must exist
+	// and stay sane for every single edit, and the segments must
+	// survive a reopen at the end of the soak.
+	ledgerDir := t.TempDir()
+	led, err := ledger.Open(ledger.Options{
+		Dir: ledgerDir, SegmentEntries: 128, KeepSegments: 8, MemoryEntries: edits + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	old := fresh()
 	rng := rand.New(rand.NewSource(77))
 	var script editScript
-	differentialRounds := 0
+	differentialRounds, stamped := 0, 0
 	for i := 1; i <= edits; i++ {
 		op := editOp{Kind: rng.Intn(5), Seed: rng.Int63()}
 		script = append(script, op)
 		applyBibOp(cur, op)
+		observed := time.Now()
 		delta := graph.Diff(old, cur)
 		res, err := b.RebuildWithDelta(prev, delta)
 		if err != nil {
@@ -49,6 +63,23 @@ func TestSoakDifferential(t *testing.T) {
 		applyBibOp(old, op)
 		if res.Incremental != nil && res.Incremental.Mode == "differential" {
 			differentialRounds++
+		}
+		e := ledger.FromResult(res, "interval")
+		if e.Mode != "noop" {
+			e.StampFreshness(observed, time.Now())
+		}
+		rec, err := led.Append(e)
+		if err != nil {
+			t.Fatalf("edit %d: ledger append: %v", i, err)
+		}
+		if rec.Mode != "noop" {
+			if rec.Freshness == nil {
+				t.Fatalf("edit %d: changed cycle has no freshness stamp", i)
+			}
+			if p := rec.Freshness.PropagationSeconds; p < 0 || p > 30 {
+				t.Fatalf("edit %d: propagation %v outside [0, 30s]", i, p)
+			}
+			stamped++
 		}
 		prev = res
 
@@ -75,6 +106,30 @@ func TestSoakDifferential(t *testing.T) {
 	if differentialRounds < edits/2 {
 		t.Errorf("only %d of %d edits took the differential path", differentialRounds, edits)
 	}
-	t.Logf("soak: %d edits, %d differential, %d checkpoints",
-		edits, differentialRounds, edits/checkpointEvery)
+	// Freshness must have been tracked for the soak to mean anything:
+	// nearly every random edit changes the site.
+	if stamped < edits/2 {
+		t.Errorf("only %d of %d edits recorded a freshness stamp", stamped, edits)
+	}
+	if led.Len() != edits {
+		t.Errorf("ledger holds %d entries, want %d", led.Len(), edits)
+	}
+	// Reopen from disk: recovery must see every persisted cycle intact,
+	// newest first, ending at the soak's last sequence number.
+	re, err := ledger.Open(ledger.Options{
+		Dir: ledgerDir, SegmentEntries: 128, KeepSegments: 8, MemoryEntries: edits + 1,
+	})
+	if err != nil {
+		t.Fatalf("reopening soak ledger: %v", err)
+	}
+	if re.Dropped() != 0 {
+		t.Errorf("recovery dropped %d damaged lines", re.Dropped())
+	}
+	recovered := re.Entries(ledger.Filter{})
+	if len(recovered) == 0 || recovered[0].Seq != uint64(edits) {
+		t.Errorf("recovered %d entries, head seq %d, want head %d",
+			len(recovered), recovered[0].Seq, edits)
+	}
+	t.Logf("soak: %d edits, %d differential, %d stamped, %d recovered, %d checkpoints",
+		edits, differentialRounds, stamped, len(recovered), edits/checkpointEvery)
 }
